@@ -1,0 +1,31 @@
+//! Cost of the §3.1 preprocessing: greedy edge colouring (and its
+//! validation), which divides the edge loops into recurrence-free
+//! vector/parallel groups.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eul3d_mesh::gen::{bump_channel, unit_box, BumpSpec};
+use eul3d_partition::{color_edges, validate_coloring};
+
+fn bench_coloring(c: &mut Criterion) {
+    let small = unit_box(10, 0.15, 3);
+    let big = bump_channel(&BumpSpec { nx: 32, ny: 12, nz: 10, jitter: 0.15, ..Default::default() });
+
+    let mut group = c.benchmark_group("coloring");
+    group.sample_size(20);
+    for (name, mesh) in [("box_10", &small), ("bump_32", &big)] {
+        group.throughput(Throughput::Elements(mesh.nedges() as u64));
+        group.bench_function(format!("greedy_{name}"), |b| {
+            b.iter(|| black_box(color_edges(mesh)));
+        });
+        let coloring = color_edges(mesh);
+        group.bench_function(format!("validate_{name}"), |b| {
+            b.iter(|| validate_coloring(mesh, &coloring).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Per-cycle cost of the three solution strategies (the sequential-cost
+//! side of §2.3: "a W-multigrid cycle requires approximately 90% more
+//! CPU time than a single grid cycle, while the multigrid V-cycle
+//! requires 75% more").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eul3d_core::{MultigridSolver, SolverConfig, Strategy};
+use eul3d_mesh::gen::BumpSpec;
+use eul3d_mesh::MeshSequence;
+
+fn bench_cycles(c: &mut Criterion) {
+    let spec = BumpSpec { nx: 20, ny: 8, nz: 6, jitter: 0.12, ..Default::default() };
+    let cfg = SolverConfig::default();
+
+    let mut group = c.benchmark_group("cycle_cost");
+    group.sample_size(10);
+    for strategy in [Strategy::SingleGrid, Strategy::VCycle, Strategy::WCycle] {
+        let seq = MeshSequence::bump_sequence(&spec, 3);
+        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        // Warm the state into a realistic (non-uniform) flow.
+        mg.solve(5);
+        group.bench_function(strategy.label().replace(' ', "_"), |b| {
+            b.iter(|| black_box(mg.cycle()));
+        });
+    }
+    group.finish();
+
+    // Report the per-cycle flop ratios alongside the timing.
+    let mut flops = Vec::new();
+    for strategy in [Strategy::SingleGrid, Strategy::VCycle, Strategy::WCycle] {
+        let seq = MeshSequence::bump_sequence(&spec, 3);
+        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        mg.solve(3);
+        flops.push(mg.counter.flops / 3.0);
+    }
+    eprintln!(
+        "flops/cycle: SG {:.2e}; V {:.2e} (+{:.0}%); W {:.2e} (+{:.0}%)  [paper: +75% / +90%]",
+        flops[0],
+        flops[1],
+        100.0 * (flops[1] / flops[0] - 1.0),
+        flops[2],
+        100.0 * (flops[2] / flops[0] - 1.0)
+    );
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

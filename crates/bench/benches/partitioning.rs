@@ -1,0 +1,47 @@
+//! The partitioning cost the paper complains about (§2.4, §6: RSB "was
+//! found to require CPU times comparable to the amount of time required
+//! for the entire flow solution procedure"): recursive spectral
+//! bisection vs the cheap geometric and random baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eul3d_mesh::gen::unit_box;
+use eul3d_partition::{random_partition, rcb_partition, rsb_partition, PartitionQuality};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mesh = unit_box(12, 0.15, 5);
+    let nparts = 16;
+
+    let mut group = c.benchmark_group("partitioning_16_parts");
+    group.sample_size(10);
+    group.bench_function("rsb_spectral", |b| {
+        b.iter(|| black_box(rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1)));
+    });
+    group.bench_function("rcb_coordinate", |b| {
+        b.iter(|| black_box(rcb_partition(&mesh.coords, nparts)));
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(random_partition(mesh.nverts(), nparts, 1)));
+    });
+    group.finish();
+
+    // Print the quality side of the trade-off once (criterion measures
+    // only time; cut quality is why RSB is worth its cost).
+    for (name, parts) in [
+        ("rsb", rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1)),
+        ("rcb", rcb_partition(&mesh.coords, nparts)),
+        ("random", random_partition(mesh.nverts(), nparts, 1)),
+    ] {
+        let q = PartitionQuality::compute(&parts, nparts, &mesh.edges);
+        eprintln!(
+            "quality {name:7}: cut {:5} edges ({:.1}%), imbalance {:.3}",
+            q.cut_edges,
+            100.0 * q.cut_fraction,
+            q.max_imbalance
+        );
+    }
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

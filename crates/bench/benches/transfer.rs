@@ -1,0 +1,56 @@
+//! Cost of the §2.4 inter-grid preprocessing (the graph-traversal search
+//! that builds the 4-address/4-weight operators — priced by the paper at
+//! "one or two flow solution cycles") and of applying the transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eul3d_core::gas::NVAR;
+use eul3d_mesh::gen::{bump_channel, BumpSpec};
+use eul3d_mesh::InterpOps;
+
+fn bench_transfer(c: &mut Criterion) {
+    let fine = bump_channel(&BumpSpec { nx: 24, ny: 10, nz: 8, jitter: 0.12, ..Default::default() });
+    let coarse = bump_channel(&BumpSpec {
+        nx: 12,
+        ny: 5,
+        nz: 4,
+        jitter: 0.12,
+        seed: 43,
+        ..Default::default()
+    });
+
+    let mut group = c.benchmark_group("intergrid_transfer");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fine.nverts() as u64));
+
+    group.bench_function("build_search_fine_from_coarse", |b| {
+        b.iter(|| black_box(InterpOps::build(&coarse, &fine)));
+    });
+    group.bench_function("build_search_coarse_from_fine", |b| {
+        b.iter(|| black_box(InterpOps::build(&fine, &coarse)));
+    });
+
+    let to_fine = InterpOps::build(&coarse, &fine);
+    let src = vec![1.0; coarse.nverts() * NVAR];
+    let mut dst = vec![0.0; fine.nverts() * NVAR];
+    group.bench_function("interpolate_5vars", |b| {
+        b.iter(|| {
+            to_fine.interpolate(&src, &mut dst, NVAR);
+            black_box(&dst);
+        });
+    });
+    let fine_res = vec![1.0; fine.nverts() * NVAR];
+    let mut coarse_acc = vec![0.0; coarse.nverts() * NVAR];
+    group.bench_function("restrict_transpose_5vars", |b| {
+        b.iter(|| {
+            coarse_acc.iter_mut().for_each(|x| *x = 0.0);
+            to_fine.restrict_transpose(&fine_res, &mut coarse_acc, NVAR);
+            black_box(&coarse_acc);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Quantitative verification suite: the solver against *exact*
+//! compressible-flow solutions (beyond the paper's qualitative "good
+//! shock resolution"). Three studies:
+//!
+//! 1. **freestream preservation** — uniform flow must be an exact
+//!    discrete fixed point (dual-surface closure);
+//! 2. **oblique shock** — supersonic wedge flow vs the exact θ–β–M
+//!    relation (shock angle & pressure ratio);
+//! 3. **grid convergence** — entropy-error norm of smooth subsonic bump
+//!    flow under uniform mesh refinement (discretization order).
+
+use eul3d_core::gas::oblique_shock;
+use eul3d_core::postproc::{entropy_error_field, l2_norm, pressure_field};
+use eul3d_core::{Scheme, SingleGridSolver, SolverConfig};
+use eul3d_mesh::gen::{bump_channel, wedge_channel, BumpSpec, WedgeSpec};
+use eul3d_mesh::refine::refine_uniform;
+use eul3d_mesh::Vec3;
+use eul3d_perf::TextTable;
+
+fn nearest(mesh: &eul3d_mesh::TetMesh, pt: Vec3) -> usize {
+    mesh.coords
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i, (c - pt).norm_sq()))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0
+}
+
+fn main() {
+    let mut failures = 0;
+
+    // ---- 1. freestream preservation ------------------------------------
+    println!("1) freestream preservation (uniform flow = exact fixed point):");
+    {
+        let mesh = eul3d_mesh::gen::unit_box(6, 0.22, 17);
+        let cfg = SolverConfig { mach: 0.8, alpha_deg: 3.0, ..SolverConfig::default() };
+        let mut s = SingleGridSolver::new(mesh, cfg);
+        let r = s.cycle();
+        let ok = r < 1e-12;
+        println!("   residual after one cycle: {r:.2e}  [{}]", if ok { "PASS" } else { "FAIL" });
+        failures += !ok as u32;
+    }
+
+    // ---- 2. oblique shock ------------------------------------------------
+    println!("\n2) supersonic wedge vs exact oblique-shock theory (M=2, θ=10°):");
+    for scheme in [Scheme::CentralJst, Scheme::RoeUpwind] {
+        println!("   scheme: {scheme:?}");
+        let cfg = SolverConfig { mach: 2.0, cfl: 2.0, scheme, ..SolverConfig::default() };
+        let spec = WedgeSpec { nx: 30, ny: 12, nz: 3, ..WedgeSpec::default() };
+        let mesh = wedge_channel(&spec);
+        let mut s = SingleGridSolver::new(mesh, cfg);
+        let hist = s.solve(300);
+        println!("   converged to {:.2e}", hist.last().unwrap());
+        let (beta, pr_exact, m2) = oblique_shock(cfg.gamma, 2.0, spec.angle_deg).unwrap();
+        let p = pressure_field(cfg.gamma, s.state(), s.st.n);
+        let p_inf = 1.0 / cfg.gamma;
+        let mut t = TextTable::new(&["probe", "p/p∞ measured", "p/p∞ exact", "err %"]);
+        let mut worst: f64 = 0.0;
+        for (x, y) in [(0.7, 0.25), (0.9, 0.30), (1.1, 0.35)] {
+            let pr = p[nearest(&s.mesh, Vec3::new(x, y, 0.2))] / p_inf;
+            let err = 100.0 * (pr / pr_exact - 1.0);
+            worst = worst.max(err.abs());
+            t.row(&[
+                format!("({x:.1},{y:.2}) behind shock"),
+                format!("{pr:.4}"),
+                format!("{pr_exact:.4}"),
+                format!("{err:+.1}"),
+            ]);
+        }
+        let pr_pre = p[nearest(&s.mesh, Vec3::new(-0.3, 0.5, 0.2))] / p_inf;
+        t.row(&[
+            "(-0.3,0.50) ahead of shock".into(),
+            format!("{pr_pre:.4}"),
+            "1.0000".into(),
+            format!("{:+.1}", 100.0 * (pr_pre - 1.0)),
+        ]);
+        println!("{}", t.render());
+        println!("   exact: β = {beta:.2}°, M₂ = {m2:.2}");
+        let ok = worst < 3.0 && (pr_pre - 1.0).abs() < 0.02;
+        println!("   worst post-shock error {worst:.1}%  [{}]", if ok { "PASS" } else { "FAIL" });
+        failures += !ok as u32;
+    }
+
+    // ---- 3. grid convergence (entropy error) -----------------------------
+    println!("\n3) grid convergence of the entropy error (smooth subsonic bump):");
+    {
+        let cfg = SolverConfig { mach: 0.4, ..SolverConfig::default() };
+        let base = bump_channel(&BumpSpec {
+            nx: 10,
+            ny: 5,
+            nz: 3,
+            bump_height: 0.06,
+            jitter: 0.08,
+            seed: 5,
+            ..BumpSpec::default()
+        });
+        let meshes = vec![base.clone(), refine_uniform(&base), refine_uniform(&refine_uniform(&base))];
+        let mut t = TextTable::new(&["h (rel)", "nodes", "entropy L2", "order"]);
+        let mut prev: Option<f64> = None;
+        let mut orders = Vec::new();
+        for (k, mesh) in meshes.into_iter().enumerate() {
+            let cycles = 300 * (k + 1); // finer meshes need more cycles
+            let mut s = SingleGridSolver::new(mesh, cfg);
+            s.solve(cycles);
+            let ent = entropy_error_field(cfg.gamma, s.state(), s.st.n);
+            let err = l2_norm(&ent, &s.mesh.vol);
+            let order = prev.map(|p: f64| (p / err).log2());
+            if let Some(o) = order {
+                orders.push(o);
+            }
+            t.row(&[
+                format!("1/{}", 1 << k),
+                s.st.n.to_string(),
+                format!("{err:.3e}"),
+                order.map(|o| format!("{o:.2}")).unwrap_or_else(|| "-".into()),
+            ]);
+            prev = Some(err);
+        }
+        println!("{}", t.render());
+        // Switched JST dissipation on irregular tets observes between
+        // 1st and 2nd order in entropy; require monotone decay with
+        // order comfortably above zero and improving toward refinement.
+        let ok = orders.iter().all(|&o| o > 0.5)
+            && orders.windows(2).all(|w| w[1] >= w[0] - 0.05);
+        println!(
+            "   error falls under refinement with observed order {:?}  [{}]",
+            orders.iter().map(|o| format!("{o:.2}")).collect::<Vec<_>>(),
+            if ok { "PASS" } else { "FAIL" }
+        );
+        failures += !ok as u32;
+    }
+
+    println!(
+        "\nvalidation: {}",
+        if failures == 0 { "ALL PASS" } else { "FAILURES PRESENT" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

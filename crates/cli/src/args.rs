@@ -1,0 +1,129 @@
+//! A small, dependency-free flag parser: `--key value` and `--switch`
+//! forms, with typed accessors and an unknown-flag check.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pub command: Option<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    /// Flags consumed by accessors, for unknown-flag reporting.
+    seen: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parse `argv[1..]`: the first non-flag token is the subcommand;
+    /// `--key value` pairs and bare `--switch`es follow.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag '--'".into());
+                }
+                // A flag followed by a non-flag token is a key/value pair.
+                match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        args.values.insert(name.to_string(), it.next().unwrap().clone());
+                    }
+                    _ => args.switches.push(name.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok.clone());
+            } else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            }
+        }
+        Ok(args)
+    }
+
+    fn note(&self, key: &str) {
+        self.seen.borrow_mut().push(key.to_string());
+    }
+
+    /// Typed value with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        self.note(key);
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Optional string value.
+    pub fn get_str(&self, key: &str) -> Option<String> {
+        self.note(key);
+        self.values.get(key).cloned()
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, key: &str) -> bool {
+        self.note(key);
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// After all accessors ran: error on any flag the command ignored.
+    pub fn check_unknown(&self) -> Result<(), String> {
+        let seen = self.seen.borrow();
+        for k in self.values.keys().chain(self.switches.iter()) {
+            if !seen.iter().any(|s| s == k) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_values_switches() {
+        let a = Args::parse(&sv(&["solve", "--nx", "24", "--fmg", "--mach", "0.7"])).unwrap();
+        assert_eq!(a.command.as_deref(), Some("solve"));
+        assert_eq!(a.get::<usize>("nx", 0).unwrap(), 24);
+        assert_eq!(a.get::<f64>("mach", 0.0).unwrap(), 0.7);
+        assert!(a.has("fmg"));
+        assert!(!a.has("vtk"));
+        a.check_unknown().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&sv(&["mesh"])).unwrap();
+        assert_eq!(a.get::<usize>("nx", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = Args::parse(&sv(&["solve", "--nx", "abc"])).unwrap();
+        assert!(a.get::<usize>("nx", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let a = Args::parse(&sv(&["solve", "--bogus", "1"])).unwrap();
+        let _ = a.get::<usize>("nx", 0);
+        assert!(a.check_unknown().is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(Args::parse(&sv(&["solve", "extra"])).is_err());
+    }
+
+    #[test]
+    fn switch_before_pair() {
+        let a = Args::parse(&sv(&["run", "--quiet", "--n", "3"])).unwrap();
+        assert!(a.has("quiet"));
+        assert_eq!(a.get::<u32>("n", 0).unwrap(), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Subcommand implementations.
+
+use std::path::PathBuf;
+
+use eul3d_core::checkpoint::Checkpoint;
+use eul3d_core::postproc::{cp_field, mach_field, pressure_field};
+use eul3d_core::shared::SharedSingleGridSolver;
+use eul3d_core::{ConvergenceHistory, MultigridSolver, Scheme, SolverConfig, Strategy};
+use eul3d_delta::CostModel;
+use eul3d_mesh::gen::BumpSpec;
+use eul3d_mesh::stats::MeshStats;
+use eul3d_mesh::vtk::write_vtk_file;
+use eul3d_mesh::MeshSequence;
+use eul3d_partition::{
+    kl_refine, parallel_rcb, random_partition, rcb_partition, rsb_partition, PartitionQuality,
+};
+use eul3d_perf::TextTable;
+
+use crate::args::Args;
+
+fn bump_spec(a: &Args) -> Result<BumpSpec, String> {
+    let nx: usize = a.get("nx", 24)?;
+    Ok(BumpSpec {
+        nx,
+        ny: a.get("ny", (nx * 7 / 20).max(4))?,
+        nz: a.get("nz", (nx * 3 / 10).max(3))?,
+        bump_height: a.get("bump", 0.10)?,
+        taper: a.get("taper", 0.0)?,
+        jitter: a.get("jitter", 0.12)?,
+        seed: a.get("seed", 42u64)?,
+    })
+}
+
+fn strategy_of(a: &Args) -> Result<Strategy, String> {
+    match a.get_str("strategy").as_deref().unwrap_or("w") {
+        "sg" | "single" => Ok(Strategy::SingleGrid),
+        "v" => Ok(Strategy::VCycle),
+        "w" => Ok(Strategy::WCycle),
+        other => Err(format!("--strategy must be sg|v|w, got '{other}'")),
+    }
+}
+
+fn config_of(a: &Args) -> Result<SolverConfig, String> {
+    let scheme = match a.get_str("scheme").as_deref().unwrap_or("jst") {
+        "jst" => Scheme::CentralJst,
+        "roe" => Scheme::RoeUpwind,
+        other => return Err(format!("--scheme must be jst|roe, got '{other}'")),
+    };
+    Ok(SolverConfig {
+        mach: a.get("mach", 0.675)?,
+        alpha_deg: a.get("alpha", 0.0)?,
+        cfl: a.get("cfl", 2.8)?,
+        scheme,
+        ..SolverConfig::default()
+    })
+}
+
+pub fn mesh(a: &Args) -> Result<(), String> {
+    let spec = bump_spec(a)?;
+    let levels: usize = a.get("levels", 1)?;
+    let vtk = a.get_str("vtk");
+    a.check_unknown()?;
+
+    let seq = MeshSequence::bump_sequence(&spec, levels);
+    let mut t = TextTable::new(&["level", "nodes", "edges", "tets", "bfaces", "valid"]);
+    for (l, m) in seq.meshes.iter().enumerate() {
+        let s = MeshStats::compute(m);
+        t.row(&[
+            l.to_string(),
+            s.nverts.to_string(),
+            s.nedges.to_string(),
+            s.ntets.to_string(),
+            s.nbfaces.to_string(),
+            s.is_valid().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Some(path) = vtk {
+        write_vtk_file(&PathBuf::from(&path), &seq.meshes[0], &[])
+            .map_err(|e| format!("vtk export failed: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+pub fn partition(a: &Args) -> Result<(), String> {
+    let spec = bump_spec(a)?;
+    let parts_n: usize = a.get("parts", 16)?;
+    let method = a.get_str("method").unwrap_or_else(|| "rsb".into());
+    let kl = a.has("kl");
+    a.check_unknown()?;
+
+    let mesh = eul3d_mesh::gen::bump_channel(&spec);
+    let mut parts = match method.as_str() {
+        "rsb" => rsb_partition(mesh.nverts(), &mesh.edges, parts_n, 40, 7),
+        "rcb" => rcb_partition(&mesh.coords, parts_n),
+        "random" => random_partition(mesh.nverts(), parts_n, 7),
+        "prcb" => {
+            if !parts_n.is_power_of_two() {
+                return Err("--method prcb needs a power-of-two --parts".into());
+            }
+            parallel_rcb(&mesh.coords, parts_n, 8)
+        }
+        other => return Err(format!("--method must be rsb|rcb|random|prcb, got '{other}'")),
+    };
+    if kl {
+        let moved = kl_refine(mesh.nverts(), &mesh.edges, &mut parts, parts_n, 1.06, 8);
+        println!("KL refinement moved {moved} vertices");
+    }
+    let q = PartitionQuality::compute(&parts, parts_n, &mesh.edges);
+    println!(
+        "{} vertices into {parts_n} parts via {method}{}:",
+        mesh.nverts(),
+        if kl { "+kl" } else { "" }
+    );
+    println!("  cut edges      {} ({:.1}%)", q.cut_edges, 100.0 * q.cut_fraction);
+    println!("  max imbalance  {:.3}", q.max_imbalance);
+    println!("  boundary verts {}", q.boundary_vertices);
+    println!("  surface/volume {:.3}", q.mean_surface_to_volume);
+    Ok(())
+}
+
+pub fn solve(a: &Args) -> Result<(), String> {
+    let spec = bump_spec(a)?;
+    let levels: usize = a.get("levels", 4)?;
+    let cycles: usize = a.get("cycles", 100)?;
+    let strategy = strategy_of(a)?;
+    let cfg = config_of(a)?;
+    let fmg = a.has("fmg");
+    let agglo = a.get_str("coarse").as_deref() == Some("agglo");
+    let threads: usize = a.get("threads", 0)?;
+    let restart = a.get_str("restart");
+    let checkpoint = a.get_str("checkpoint");
+    let vtk = a.get_str("vtk");
+    a.check_unknown()?;
+
+    if threads > 0 && strategy != Strategy::SingleGrid {
+        return Err("--threads (shared-memory executor) currently drives the single-grid strategy; \
+                    use --strategy sg with --threads"
+            .into());
+    }
+
+    println!(
+        "solve: nx={} levels={levels} {} cycles={cycles} M={} α={}°{}{}",
+        spec.nx,
+        strategy.label(),
+        cfg.mach,
+        cfg.alpha_deg,
+        if fmg { " +FMG" } else { "" },
+        if agglo { " [agglomerated coarse levels]" } else { "" }
+    );
+    let t0 = std::time::Instant::now();
+    if agglo {
+        if threads > 0 || restart.is_some() || fmg {
+            return Err("--coarse agglo is incompatible with --threads/--restart/--fmg".into());
+        }
+        let mesh = eul3d_mesh::gen::bump_channel(&spec);
+        let mut mg = eul3d_core::agglo::AggloMultigrid::new(mesh, cfg, strategy, levels);
+        println!("agglomerated levels: {:?} cells", mg.level_sizes());
+        let hist = mg.solve(cycles);
+        let h = ConvergenceHistory::from_residuals(hist);
+        println!(
+            "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders)",
+            cycles,
+            t0.elapsed().as_secs_f64(),
+            h.residuals[0],
+            h.residuals.last().unwrap(),
+            h.orders_reduced()
+        );
+        if let Some(path) = checkpoint {
+            Checkpoint::new(mg.state(), cycles as u64, cfg.mach, cfg.alpha_deg)
+                .save(PathBuf::from(&path).as_path())
+                .map_err(|e| format!("checkpoint: {e}"))?;
+            println!("checkpointed to {path}");
+        }
+        if let Some(path) = vtk {
+            let n = mg.mesh.nverts();
+            let mach = mach_field(cfg.gamma, mg.state(), n);
+            write_vtk_file(PathBuf::from(&path).as_path(), &mg.mesh, &[("mach", &mach)])
+                .map_err(|e| format!("vtk export: {e}"))?;
+            println!("wrote {path}");
+        }
+        return Ok(());
+    }
+
+    let seq = MeshSequence::bump_sequence(&spec, levels);
+    println!(
+        "mesh family {:?} vertices ({:.2}s preprocessing)",
+        seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let (hist, w, nverts, flops, mesh0) = if threads > 0 {
+        let mesh = seq.meshes.into_iter().next().unwrap();
+        let mut s = SharedSingleGridSolver::new(mesh, cfg, threads);
+        if let Some(path) = &restart {
+            let ck = Checkpoint::load(PathBuf::from(path).as_path())
+                .map_err(|e| format!("restart: {e}"))?;
+            ck.restore_into(&mut s.st.w);
+            println!("restarted from {path} ({} cycles done)", ck.cycles_done);
+        }
+        let hist = s.solve(cycles);
+        let n = s.st.n;
+        (hist, s.st.w.clone(), n, s.counter.flops, s.mesh)
+    } else {
+        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        if let Some(path) = &restart {
+            let ck = Checkpoint::load(PathBuf::from(path).as_path())
+                .map_err(|e| format!("restart: {e}"))?;
+            ck.restore_into(&mut mg.levels[0].w);
+            println!("restarted from {path} ({} cycles done)", ck.cycles_done);
+        } else if fmg {
+            mg.fmg_init(cycles.min(20));
+        }
+        let hist = mg.solve(cycles);
+        let n = mg.levels[0].n;
+        let w = mg.levels[0].w.clone();
+        let mesh0 = mg.seq.meshes.into_iter().next().unwrap();
+        (hist, w, n, mg.counter.flops, mesh0)
+    };
+
+    let h = ConvergenceHistory::from_residuals(hist);
+    println!(
+        "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders, rate {:.4}/cycle, {:.2e} flops)",
+        cycles,
+        t0.elapsed().as_secs_f64(),
+        h.residuals[0],
+        h.residuals.last().unwrap(),
+        h.orders_reduced(),
+        h.asymptotic_rate(10),
+        flops
+    );
+    if h.diverged() {
+        return Err("run diverged".into());
+    }
+    if h.stalled(10, 0.002) {
+        println!("note: convergence has stalled (rate ≈ 1)");
+    }
+
+    if let Some(path) = checkpoint {
+        Checkpoint::new(&w, cycles as u64, cfg.mach, cfg.alpha_deg)
+            .save(PathBuf::from(&path).as_path())
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        println!("checkpointed to {path}");
+    }
+    if let Some(path) = vtk {
+        let mach = mach_field(cfg.gamma, &w, nverts);
+        let p = pressure_field(cfg.gamma, &w, nverts);
+        let cp = cp_field(cfg.gamma, cfg.mach, &w, nverts);
+        write_vtk_file(
+            PathBuf::from(&path).as_path(),
+            &mesh0,
+            &[("mach", &mach), ("pressure", &p), ("cp", &cp)],
+        )
+        .map_err(|e| format!("vtk export: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+pub fn distributed(a: &Args) -> Result<(), String> {
+    use eul3d_core::dist::{run_distributed, DistOptions, DistSetup};
+    let spec = bump_spec(a)?;
+    let levels: usize = a.get("levels", 3)?;
+    let cycles: usize = a.get("cycles", 25)?;
+    let nranks: usize = a.get("ranks", 32)?;
+    let strategy = strategy_of(a)?;
+    let cfg = config_of(a)?;
+    let no_incr = a.has("no-incremental");
+    a.check_unknown()?;
+
+    println!(
+        "distributed: nx={} levels={levels} {} cycles={cycles} on {nranks} simulated ranks",
+        spec.nx,
+        strategy.label()
+    );
+    let seq = MeshSequence::bump_sequence(&spec, levels);
+    let t0 = std::time::Instant::now();
+    let setup = DistSetup::new(seq, nranks, 40, 7);
+    println!("RSB partitioning of all levels: {:.2}s", t0.elapsed().as_secs_f64());
+
+    let opts = DistOptions { refetch_per_loop: no_incr, ..DistOptions::default() };
+    let t1 = std::time::Instant::now();
+    let r = run_distributed(&setup, cfg, strategy, cycles, opts);
+    let h = ConvergenceHistory::from_residuals(r.history().to_vec());
+    println!(
+        "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders)",
+        cycles,
+        t1.elapsed().as_secs_f64(),
+        h.residuals[0],
+        h.residuals.last().unwrap(),
+        h.orders_reduced()
+    );
+
+    let model = CostModel::delta_i860();
+    let b = model.evaluate(&r.cycle_counters());
+    println!("modeled Delta cost: comm {:.2}s + comp {:.2}s = {:.2}s ({:.0} MFlops, comm/comp {:.2})",
+        b.comm_seconds, b.comp_seconds, b.total_seconds, b.mflops, b.comm_to_comp());
+    Ok(())
+}

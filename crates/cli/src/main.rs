@@ -1,0 +1,56 @@
+//! `eul3d` — command-line driver for the EUL3D reproduction.
+//!
+//! ```text
+//! eul3d mesh       --nx 24 [--levels 1] [--taper 0.0] [--vtk out.vtk]
+//! eul3d partition  --nx 24 --parts 16 [--method rsb|rcb|random] [--kl]
+//! eul3d solve      --nx 24 --levels 4 [--strategy sg|v|w] [--scheme jst|roe]
+//!                  [--cycles 100] [--mach 0.675] [--alpha 0.0] [--fmg] [--threads N]
+//!                  [--restart ck] [--checkpoint ck] [--vtk out.vtk]
+//! eul3d distributed --nx 24 --levels 3 --ranks 32 [--strategy sg|v|w]
+//!                  [--cycles 25] [--no-incremental]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("mesh") => commands::mesh(&parsed),
+        Some("partition") => commands::partition(&parsed),
+        Some("solve") => commands::solve(&parsed),
+        Some("distributed") => commands::distributed(&parsed),
+        Some("help") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("eul3d — parallel unstructured Euler solver (Mavriplis et al., SC'92 reproduction)");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  mesh         generate a bump-channel mesh family and report statistics");
+    eprintln!("  partition    partition a mesh and report cut/balance quality");
+    eprintln!("  solve        sequential or shared-memory flow solve");
+    eprintln!("  distributed  SPMD solve on the simulated Touchstone Delta");
+    eprintln!();
+    eprintln!("run `eul3d <command> --help-flags` is not needed: unknown flags are rejected");
+    eprintln!("with a message; see crates/cli/src/main.rs for the full flag list.");
+}

@@ -1,0 +1,87 @@
+//! End-to-end tests of the `eul3d` binary.
+
+use std::process::Command;
+
+fn eul3d(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_eul3d"))
+        .args(args)
+        .output()
+        .expect("failed to run eul3d binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn mesh_command_reports_levels() {
+    let (ok, stdout, _) = eul3d(&["mesh", "--nx", "8", "--levels", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("level"));
+    assert!(stdout.contains("true"), "meshes must be valid: {stdout}");
+    assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(['0', '1'])).count(), 2);
+}
+
+#[test]
+fn partition_command_all_methods() {
+    for method in ["rsb", "rcb", "random", "prcb"] {
+        let (ok, stdout, stderr) =
+            eul3d(&["partition", "--nx", "8", "--parts", "4", "--method", method]);
+        assert!(ok, "method {method} failed: {stderr}");
+        assert!(stdout.contains("cut edges"), "{stdout}");
+    }
+}
+
+#[test]
+fn solve_roundtrip_with_checkpoint() {
+    let dir = std::env::temp_dir().join("eul3d_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("cli_state.ck");
+    let ck_s = ck.to_str().unwrap();
+
+    let (ok, stdout, stderr) = eul3d(&[
+        "solve", "--nx", "8", "--levels", "2", "--cycles", "10", "--strategy", "v",
+        "--checkpoint", ck_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("checkpointed"));
+
+    let (ok2, stdout2, stderr2) = eul3d(&[
+        "solve", "--nx", "8", "--levels", "2", "--cycles", "3", "--strategy", "v",
+        "--restart", ck_s,
+    ]);
+    assert!(ok2, "{stderr2}");
+    assert!(stdout2.contains("restarted"));
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
+fn distributed_command_runs() {
+    let (ok, stdout, stderr) = eul3d(&[
+        "distributed", "--nx", "8", "--levels", "2", "--ranks", "4", "--cycles", "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("modeled Delta cost"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let (ok, _, stderr) = eul3d(&["solve", "--nonsense", "1", "--cycles", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let (ok, _, stderr) = eul3d(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _, stderr) = eul3d(&["help"]);
+    assert!(ok);
+    assert!(stderr.contains("commands:"));
+}

@@ -1,0 +1,206 @@
+//! Boundary fluxes: inviscid slip walls (pressure only) and
+//! characteristic far-field boundaries driven by Riemann invariants.
+
+use eul3d_mesh::{BcKind, BoundaryFace, Vec3};
+
+use crate::counters::{FlopCounter, FLOPS_FARFIELD_FACE, FLOPS_WALL_FACE};
+use crate::gas::{flux_dot, get5, sound_speed, Freestream, NVAR};
+
+/// Characteristic far-field state for an interior state `wi` against the
+/// freestream, through the outward unit normal `n` (1-D Riemann-invariant
+/// analysis normal to the boundary).
+pub fn farfield_state(gamma: f64, wi: &[f64; 5], pi: f64, fs: &Freestream, n: Vec3) -> [f64; 5] {
+    let rho_i = wi[0];
+    let vel_i = Vec3::new(wi[1] / rho_i, wi[2] / rho_i, wi[3] / rho_i);
+    let qn_i = vel_i.dot(n);
+    let c_i = sound_speed(gamma, rho_i, pi);
+
+    let rho_o = fs.w[0];
+    let vel_o = fs.velocity();
+    let qn_o = vel_o.dot(n);
+    let c_o = sound_speed(gamma, rho_o, fs.p);
+
+    // Supersonic cases: one-sided.
+    if qn_i >= c_i {
+        return *wi; // supersonic outflow
+    }
+    if qn_o <= -c_o {
+        return fs.w; // supersonic inflow
+    }
+
+    let gm1 = gamma - 1.0;
+    // Outgoing invariant from inside, incoming from outside.
+    let r_plus = qn_i + 2.0 * c_i / gm1;
+    let r_minus = qn_o - 2.0 * c_o / gm1;
+    let qn_b = 0.5 * (r_plus + r_minus);
+    let c_b = 0.25 * gm1 * (r_plus - r_minus);
+
+    // Entropy and tangential velocity ride the flow direction.
+    let (rho_ref, p_ref, vel_ref, qn_ref) = if qn_b > 0.0 {
+        (rho_i, pi, vel_i, qn_i) // outflow: from interior
+    } else {
+        (rho_o, fs.p, vel_o, qn_o) // inflow: from freestream
+    };
+    let s = p_ref / rho_ref.powf(gamma);
+    let rho_b = (c_b * c_b / (gamma * s)).powf(1.0 / gm1);
+    let p_b = rho_b * c_b * c_b / gamma;
+    let vel_b = vel_ref + (qn_b - qn_ref) * n;
+
+    [
+        rho_b,
+        rho_b * vel_b.x,
+        rho_b * vel_b.y,
+        rho_b * vel_b.z,
+        p_b / gm1 + 0.5 * rho_b * vel_b.norm_sq(),
+    ]
+}
+
+/// Accumulate boundary-face fluxes into the convective residual `q`.
+///
+/// Slip walls and symmetry planes contribute pure pressure flux using
+/// each vertex's own pressure through its third of the face normal;
+/// far-field faces solve the characteristic state from the face-averaged
+/// interior state and push the resulting flux through `S/3` per vertex.
+pub fn boundary_residual(
+    bfaces: &[BoundaryFace],
+    w: &[f64],
+    p: &[f64],
+    fs: &Freestream,
+    gamma: f64,
+    q: &mut [f64],
+    counter: &mut FlopCounter,
+) {
+    let mut nwall = 0usize;
+    let mut nfar = 0usize;
+    for face in bfaces {
+        match face.kind {
+            BcKind::Wall | BcKind::Symmetry => {
+                nwall += 1;
+                let third = face.normal / 3.0;
+                for &v in &face.v {
+                    let v = v as usize;
+                    q[v * NVAR + 1] += p[v] * third.x;
+                    q[v * NVAR + 2] += p[v] * third.y;
+                    q[v * NVAR + 3] += p[v] * third.z;
+                }
+            }
+            BcKind::FarField => {
+                nfar += 1;
+                // Face-averaged interior state.
+                let mut wf = [0.0; NVAR];
+                for &v in &face.v {
+                    let wv = get5(w, v as usize);
+                    for c in 0..NVAR {
+                        wf[c] += wv[c] / 3.0;
+                    }
+                }
+                let pf = crate::gas::pressure(gamma, &wf);
+                let n_unit = match face.normal.normalized() {
+                    Some(n) => n,
+                    None => continue, // degenerate sliver face: no area, no flux
+                };
+                let wb = farfield_state(gamma, &wf, pf, fs, n_unit);
+                let pb = crate::gas::pressure(gamma, &wb);
+                let f = flux_dot(&wb, pb, face.normal / 3.0);
+                for &v in &face.v {
+                    for c in 0..NVAR {
+                        q[v as usize * NVAR + c] += f[c];
+                    }
+                }
+            }
+        }
+    }
+    if nwall > 0 {
+        counter.add(nwall, FLOPS_WALL_FACE);
+    }
+    if nfar > 0 {
+        counter.add(nfar, FLOPS_FARFIELD_FACE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux::{compute_pressures, conv_residual_edges};
+    use crate::gas::GAMMA;
+    use eul3d_mesh::gen::unit_box;
+
+    fn uniform_state(n: usize, fs: &Freestream) -> Vec<f64> {
+        let mut w = vec![0.0; n * NVAR];
+        for i in 0..n {
+            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
+        }
+        w
+    }
+
+    #[test]
+    fn farfield_state_at_freestream_is_freestream() {
+        let fs = Freestream::new(GAMMA, 0.675, 2.0);
+        for n in [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, -1.0, 0.0)] {
+            let wb = farfield_state(GAMMA, &fs.w, fs.p, &fs, n);
+            for (c, (got, want)) in wb.iter().zip(&fs.w).enumerate() {
+                assert!((got - want).abs() < 1e-12, "component {c}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn supersonic_outflow_copies_interior() {
+        let fs = Freestream::new(GAMMA, 0.5, 0.0);
+        // Interior state at Mach 2 flowing out through +x.
+        let wi = Freestream::new(GAMMA, 2.0, 0.0).w;
+        let pi = crate::gas::pressure(GAMMA, &wi);
+        let wb = farfield_state(GAMMA, &wi, pi, &fs, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(wb, wi);
+    }
+
+    #[test]
+    fn supersonic_inflow_copies_freestream() {
+        let fs = Freestream::new(GAMMA, 2.0, 0.0);
+        let wi = Freestream::new(GAMMA, 0.3, 0.0).w;
+        let pi = crate::gas::pressure(GAMMA, &wi);
+        // Inflow boundary: outward normal against the flow.
+        let wb = farfield_state(GAMMA, &wi, pi, &fs, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(wb, fs.w);
+    }
+
+    #[test]
+    fn freestream_preservation_on_farfield_box() {
+        // THE discretization acid test: uniform flow through an
+        // all-far-field jittered box must produce an exactly zero
+        // convective residual (dual-surface closure).
+        let m = unit_box(4, 0.2, 9);
+        let fs = Freestream::new(GAMMA, 0.675, 1.5);
+        let w = uniform_state(m.nverts(), &fs);
+        let mut p = vec![0.0; m.nverts()];
+        let mut counter = FlopCounter::default();
+        compute_pressures(GAMMA, &w, &mut p, &mut counter);
+        let mut q = vec![0.0; m.nverts() * NVAR];
+        conv_residual_edges(&m.edges, &m.edge_coef, &w, &p, &mut q, &mut counter);
+        boundary_residual(&m.bfaces, &w, &p, &fs, GAMMA, &mut q, &mut counter);
+        let max = q.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(max < 1e-11, "freestream must be preserved, max residual {max}");
+    }
+
+    #[test]
+    fn wall_blocks_mass_flux() {
+        // A wall face must contribute no mass or energy residual.
+        use eul3d_mesh::{BcKind, BoundaryFace};
+        let fs = Freestream::new(GAMMA, 0.5, 0.0);
+        let w = uniform_state(3, &fs);
+        let p = vec![fs.p; 3];
+        let face = BoundaryFace {
+            v: [0, 1, 2],
+            normal: Vec3::new(0.0, 0.3, 0.0),
+            kind: BcKind::Wall,
+        };
+        let mut q = vec![0.0; 3 * NVAR];
+        let mut counter = FlopCounter::default();
+        boundary_residual(&[face], &w, &p, &fs, GAMMA, &mut q, &mut counter);
+        for v in 0..3 {
+            assert_eq!(q[v * NVAR], 0.0, "no mass through a wall");
+            assert_eq!(q[v * NVAR + 4], 0.0, "no energy through a wall");
+            assert!(q[v * NVAR + 2] > 0.0, "pressure pushes on the wall");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Checkpoint/restart of flow solutions: a small self-describing binary
+//! format for the conserved-variable field, so long steady-state runs
+//! (the paper's production setting — "a whole range of Mach number and
+//! incidence conditions") can resume, and converged states can seed
+//! nearby conditions.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::gas::NVAR;
+
+const MAGIC: &[u8; 8] = b"EUL3DCK1";
+
+/// A saved flow state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Vertex count the state belongs to.
+    pub nverts: usize,
+    /// Cycles already performed.
+    pub cycles_done: u64,
+    /// Freestream Mach / angle of attack the state was computed at.
+    pub mach: f64,
+    pub alpha_deg: f64,
+    /// Conserved variables, `nverts × NVAR`.
+    pub w: Vec<f64>,
+}
+
+impl Checkpoint {
+    pub fn new(w: &[f64], cycles_done: u64, mach: f64, alpha_deg: f64) -> Checkpoint {
+        assert_eq!(w.len() % NVAR, 0);
+        Checkpoint { nverts: w.len() / NVAR, cycles_done, mach, alpha_deg, w: w.to_vec() }
+    }
+
+    /// Serialize to any writer (little-endian, fixed layout).
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&(self.nverts as u64).to_le_bytes())?;
+        out.write_all(&self.cycles_done.to_le_bytes())?;
+        out.write_all(&self.mach.to_le_bytes())?;
+        out.write_all(&self.alpha_deg.to_le_bytes())?;
+        for &x in &self.w {
+            out.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from any reader; validates magic and length.
+    pub fn read_from<R: Read>(inp: &mut R) -> io::Result<Checkpoint> {
+        let mut magic = [0u8; 8];
+        inp.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an EUL3D checkpoint"));
+        }
+        let mut b8 = [0u8; 8];
+        let mut read_u64 = |inp: &mut R| -> io::Result<u64> {
+            inp.read_exact(&mut b8)?;
+            Ok(u64::from_le_bytes(b8))
+        };
+        let nverts = read_u64(inp)? as usize;
+        let cycles_done = read_u64(inp)?;
+        let mach = f64::from_bits(read_u64(inp)?);
+        let alpha_deg = f64::from_bits(read_u64(inp)?);
+        let mut w = vec![0.0; nverts * NVAR];
+        let mut buf = [0u8; 8];
+        for x in &mut w {
+            inp.read_exact(&mut buf)?;
+            *x = f64::from_le_bytes(buf);
+        }
+        Ok(Checkpoint { nverts, cycles_done, mach, alpha_deg, w })
+    }
+
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)?;
+        f.flush()
+    }
+
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Checkpoint::read_from(&mut f)
+    }
+
+    /// Install the state into a solver-level array (lengths must match).
+    pub fn restore_into(&self, w: &mut [f64]) {
+        assert_eq!(w.len(), self.w.len(), "checkpoint size mismatch");
+        w.copy_from_slice(&self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SingleGridSolver, SolverConfig};
+    use eul3d_mesh::gen::unit_box;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let w: Vec<f64> = (0..5 * NVAR).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let ck = Checkpoint::new(&w, 42, 0.675, 1.116);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = b"NOTACKPTxxxxxxxxxxxx".to_vec();
+        assert!(Checkpoint::read_from(&mut garbage.as_slice()).is_err());
+    }
+
+    #[test]
+    fn resume_continues_the_run_exactly() {
+        let mesh = unit_box(4, 0.15, 3);
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+
+        // Reference: 10 uninterrupted cycles.
+        let mut a = SingleGridSolver::new(mesh.clone(), cfg);
+        // Perturb so there is an actual transient to track.
+        for i in 0..a.st.n {
+            a.st.w[i * NVAR] *= 1.0 + 0.01 * ((i % 5) as f64 - 2.0);
+        }
+        let w_init = a.st.w.clone();
+        a.solve(10);
+
+        // Checkpointed: 5 cycles, save, restore into a fresh solver, 5 more.
+        let mut b = SingleGridSolver::new(mesh.clone(), cfg);
+        b.st.w.copy_from_slice(&w_init);
+        b.solve(5);
+        let ck = Checkpoint::new(&b.st.w, 5, cfg.mach, cfg.alpha_deg);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+
+        let restored = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        let mut c = SingleGridSolver::new(mesh, cfg);
+        restored.restore_into(&mut c.st.w);
+        c.solve(5);
+
+        for (x, y) in a.state().iter().zip(c.state()) {
+            assert_eq!(x, y, "restart must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("eul3d_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ck");
+        let w = vec![1.5; 3 * NVAR];
+        let ck = Checkpoint::new(&w, 7, 0.5, 0.0);
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,86 @@
+//! Operation-count accounting, the measurement methodology of §4.4: "the
+//! computational rate (MFlops) obtained by counting the number of
+//! operations in each loop". Each kernel has a documented per-item flop
+//! constant; drivers report `items × constant`. The paper notes such
+//! counts are ~10% more conservative than hardware monitors — fine,
+//! since both our Table 1 and Table 2 use the same counts.
+
+/// Flops per edge of the convective loop (flux average + accumulation,
+/// with per-vertex pressures precomputed).
+pub const FLOPS_CONV_EDGE: f64 = 68.0;
+/// Flops per vertex of the pressure precomputation.
+pub const FLOPS_PRESSURE_VERT: f64 = 9.0;
+/// Flops per edge of dissipation pass 1 (Laplacian + pressure sensor).
+pub const FLOPS_DISS_P1_EDGE: f64 = 26.0;
+/// Flops per edge of dissipation pass 2 (switched blend + accumulation).
+pub const FLOPS_DISS_P2_EDGE: f64 = 58.0;
+/// Flops per edge of the first-order coarse-grid dissipation.
+pub const FLOPS_DISS_FO_EDGE: f64 = 38.0;
+/// Flops per edge of the Roe matrix dissipation (wave decomposition).
+pub const FLOPS_DISS_ROE_EDGE: f64 = 150.0;
+/// Flops per edge of the spectral-radius accumulation.
+pub const FLOPS_RADII_EDGE: f64 = 16.0;
+/// Flops per boundary face (characteristic far-field, the dear one).
+pub const FLOPS_FARFIELD_FACE: f64 = 130.0;
+/// Flops per boundary face (slip wall / symmetry: pressure flux only).
+pub const FLOPS_WALL_FACE: f64 = 24.0;
+/// Flops per vertex of one residual-averaging Jacobi update.
+pub const FLOPS_SMOOTH_VERT: f64 = 12.0;
+/// Flops per edge of one residual-averaging neighbour accumulation.
+pub const FLOPS_SMOOTH_EDGE: f64 = 10.0;
+/// Flops per vertex of one RK stage update (5 components × mul-add +
+/// dt/vol scaling).
+pub const FLOPS_UPDATE_VERT: f64 = 17.0;
+/// Flops per vertex of the local time-step computation.
+pub const FLOPS_DT_VERT: f64 = 3.0;
+/// Flops per vertex of a 4-point inter-grid interpolation (5 comps).
+pub const FLOPS_TRANSFER_VERT: f64 = 40.0;
+/// Flops per vertex of assembling `R = Q - D + P` (5 comps).
+pub const FLOPS_ASSEMBLE_VERT: f64 = 10.0;
+
+/// Accumulates flops and parallel-loop launches for one executor.
+///
+/// `launches` counts vectorizable loop invocations (per colour group on
+/// the shared-memory path), which the Cray model charges a start-up cost
+/// for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlopCounter {
+    pub flops: f64,
+    pub launches: u64,
+}
+
+impl FlopCounter {
+    #[inline]
+    pub fn add(&mut self, items: usize, per_item: f64) {
+        self.flops += items as f64 * per_item;
+        self.launches += 1;
+    }
+
+    pub fn merge(&mut self, o: &FlopCounter) {
+        self.flops += o.flops;
+        self.launches += o.launches;
+    }
+
+    pub fn reset(&mut self) {
+        *self = FlopCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = FlopCounter::default();
+        c.add(100, FLOPS_CONV_EDGE);
+        c.add(10, FLOPS_PRESSURE_VERT);
+        assert_eq!(c.flops, 100.0 * FLOPS_CONV_EDGE + 10.0 * FLOPS_PRESSURE_VERT);
+        assert_eq!(c.launches, 2);
+        let mut d = FlopCounter::default();
+        d.merge(&c);
+        assert_eq!(d.flops, c.flops);
+        c.reset();
+        assert_eq!(c.flops, 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The artificial dissipation operator `D(w)`: "a blend of Laplacian and
+//! biharmonic operators on the conserved variables. The biharmonic
+//! operator acts everywhere in the flow field except near shock waves,
+//! where the Laplacian operator is turned on to prevent oscillations"
+//! (§2.2). Assembled as the classic JST switched scheme in "a two-pass
+//! loop over the edges".
+
+use eul3d_mesh::Vec3;
+
+use crate::counters::{
+    FlopCounter, FLOPS_DISS_FO_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE,
+};
+use crate::gas::{get5, spectral_radius, NVAR};
+
+/// Pass 1: undivided Laplacian of the conserved variables and the
+/// pressure-sensor numerator/denominator, accumulated over edges.
+///
+/// `lapl` (n×5), `sens` (n×2 = [Σ(p_j−p_i), Σ(p_j+p_i)]) must be zeroed
+/// by the caller (the distributed path zeroes ghosts separately).
+pub fn laplacian_pass(
+    edges: &[[u32; 2]],
+    w: &[f64],
+    p: &[f64],
+    lapl: &mut [f64],
+    sens: &mut [f64],
+    counter: &mut FlopCounter,
+) {
+    for &[a, b] in edges {
+        let (a, b) = (a as usize, b as usize);
+        for c in 0..NVAR {
+            let d = w[b * NVAR + c] - w[a * NVAR + c];
+            lapl[a * NVAR + c] += d;
+            lapl[b * NVAR + c] -= d;
+        }
+        let dp = p[b] - p[a];
+        let sp = p[b] + p[a];
+        sens[a * 2] += dp;
+        sens[a * 2 + 1] += sp;
+        sens[b * 2] -= dp;
+        sens[b * 2 + 1] += sp;
+    }
+    counter.add(edges.len(), FLOPS_DISS_P1_EDGE);
+}
+
+/// Shock sensor `ν_i = |Σ(p_j − p_i)| / Σ(p_j + p_i)` from the pass-1
+/// accumulators, for `n` vertices.
+pub fn sensor_from_accumulators(sens: &[f64], nu: &mut [f64]) {
+    for (i, nu_i) in nu.iter_mut().enumerate() {
+        let num = sens[i * 2].abs();
+        let den = sens[i * 2 + 1].abs().max(1e-300);
+        *nu_i = num / den;
+    }
+}
+
+/// Pass 2: assemble the switched Laplacian/biharmonic dissipation,
+/// accumulating `d_ij = λ_ij [ ε₂ (w_j − w_i) − ε₄ (L_j − L_i) ]` into
+/// `diss` (+ at `a`, − at `b`). `diss` must be zeroed by the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn dissipation_pass(
+    edges: &[[u32; 2]],
+    coef: &[Vec3],
+    w: &[f64],
+    p: &[f64],
+    lapl: &[f64],
+    nu: &[f64],
+    gamma: f64,
+    k2: f64,
+    k4: f64,
+    diss: &mut [f64],
+    counter: &mut FlopCounter,
+) {
+    for (e, &[a, b]) in edges.iter().enumerate() {
+        let (a, b) = (a as usize, b as usize);
+        let wa = get5(w, a);
+        let wb = get5(w, b);
+        let lam = 0.5
+            * (spectral_radius(gamma, &wa, p[a], coef[e])
+                + spectral_radius(gamma, &wb, p[b], coef[e]));
+        let eps2 = k2 * nu[a].max(nu[b]);
+        let eps4 = (k4 - eps2).max(0.0);
+        for c in 0..NVAR {
+            let d2 = w[b * NVAR + c] - w[a * NVAR + c];
+            let d4 = lapl[b * NVAR + c] - lapl[a * NVAR + c];
+            let d = lam * (eps2 * d2 - eps4 * d4);
+            diss[a * NVAR + c] += d;
+            diss[b * NVAR + c] -= d;
+        }
+    }
+    counter.add(edges.len(), FLOPS_DISS_P2_EDGE);
+}
+
+/// Single-pass first-order dissipation for coarse multigrid levels:
+/// constant-coefficient scalar Laplacian `d_ij = k λ_ij (w_j − w_i)`.
+/// Cheap and very robust — the usual choice on coarse grids, whose only
+/// job is to smooth.
+#[allow(clippy::too_many_arguments)]
+pub fn dissipation_first_order(
+    edges: &[[u32; 2]],
+    coef: &[Vec3],
+    w: &[f64],
+    p: &[f64],
+    gamma: f64,
+    k: f64,
+    diss: &mut [f64],
+    counter: &mut FlopCounter,
+) {
+    for (e, &[a, b]) in edges.iter().enumerate() {
+        let (a, b) = (a as usize, b as usize);
+        let wa = get5(w, a);
+        let wb = get5(w, b);
+        let lam = 0.5
+            * (spectral_radius(gamma, &wa, p[a], coef[e])
+                + spectral_radius(gamma, &wb, p[b], coef[e]));
+        let kl = k * lam;
+        for c in 0..NVAR {
+            let d = kl * (w[b * NVAR + c] - w[a * NVAR + c]);
+            diss[a * NVAR + c] += d;
+            diss[b * NVAR + c] -= d;
+        }
+    }
+    counter.add(edges.len(), FLOPS_DISS_FO_EDGE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{Freestream, GAMMA};
+    use eul3d_mesh::gen::unit_box;
+
+    fn setup(n: usize, seed: u64) -> (eul3d_mesh::TetMesh, Vec<f64>, Vec<f64>) {
+        let m = unit_box(n, 0.15, seed);
+        let fs = Freestream::new(GAMMA, 0.675, 0.0);
+        let nv = m.nverts();
+        let mut w = vec![0.0; nv * NVAR];
+        for i in 0..nv {
+            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
+        }
+        let p = vec![fs.p; nv];
+        (m, w, p)
+    }
+
+    #[test]
+    fn uniform_flow_has_zero_dissipation() {
+        let (m, w, p) = setup(4, 2);
+        let nv = m.nverts();
+        let mut lapl = vec![0.0; nv * NVAR];
+        let mut sens = vec![0.0; nv * 2];
+        let mut counter = FlopCounter::default();
+        laplacian_pass(&m.edges, &w, &p, &mut lapl, &mut sens, &mut counter);
+        assert!(lapl.iter().all(|&x| x.abs() < 1e-13));
+        let mut nu = vec![0.0; nv];
+        sensor_from_accumulators(&sens, &mut nu);
+        assert!(nu.iter().all(|&x| x < 1e-13));
+        let mut diss = vec![0.0; nv * NVAR];
+        dissipation_pass(
+            &m.edges, &m.edge_coef, &w, &p, &lapl, &nu, GAMMA, 0.5, 0.03, &mut diss, &mut counter,
+        );
+        assert!(diss.iter().all(|&x| x.abs() < 1e-13));
+    }
+
+    #[test]
+    fn sensor_spikes_at_a_pressure_jump() {
+        let (m, w, mut p) = setup(4, 3);
+        let nv = m.nverts();
+        // Pressure doubles for x > 0.5: a "shock".
+        for (i, pt) in m.coords.iter().enumerate() {
+            if pt.x > 0.5 {
+                p[i] *= 2.0;
+            }
+        }
+        let mut lapl = vec![0.0; nv * NVAR];
+        let mut sens = vec![0.0; nv * 2];
+        let mut counter = FlopCounter::default();
+        laplacian_pass(&m.edges, &w, &p, &mut lapl, &mut sens, &mut counter);
+        let mut nu = vec![0.0; nv];
+        sensor_from_accumulators(&sens, &mut nu);
+        let max_nu = nu.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max_nu > 0.1, "sensor must see the jump, max ν = {max_nu}");
+        // Vertices far from the jump stay smooth.
+        let far = m
+            .coords
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.x < 0.2)
+            .map(|(i, _)| nu[i])
+            .fold(0.0f64, f64::max);
+        assert!(far < 1e-12);
+    }
+
+    #[test]
+    fn dissipation_conserves_totals() {
+        // ±accumulation means the dissipation operator is globally
+        // conservative whatever the state.
+        let (m, mut w, p) = setup(3, 4);
+        let nv = m.nverts();
+        for (i, x) in w.iter_mut().enumerate() {
+            *x *= 1.0 + 0.1 * ((i * 2654435761) % 97) as f64 / 97.0;
+        }
+        let mut lapl = vec![0.0; nv * NVAR];
+        let mut sens = vec![0.0; nv * 2];
+        let mut counter = FlopCounter::default();
+        laplacian_pass(&m.edges, &w, &p, &mut lapl, &mut sens, &mut counter);
+        let mut nu = vec![0.0; nv];
+        sensor_from_accumulators(&sens, &mut nu);
+        let mut diss = vec![0.0; nv * NVAR];
+        dissipation_pass(
+            &m.edges, &m.edge_coef, &w, &p, &lapl, &nu, GAMMA, 0.5, 0.03, &mut diss, &mut counter,
+        );
+        for c in 0..NVAR {
+            let total: f64 = (0..nv).map(|i| diss[i * NVAR + c]).sum();
+            assert!(total.abs() < 1e-9, "component {c} not conserved: {total}");
+        }
+    }
+
+    #[test]
+    fn switch_suppresses_biharmonic_at_shocks() {
+        // With ν ≥ k4/k2 the ε4 term must vanish: eps4 = max(0, k4-eps2).
+        let k2 = 0.5;
+        let k4: f64 = 1.0 / 32.0;
+        let nu_shock = 0.2; // eps2 = 0.1 > k4
+        let eps2 = k2 * nu_shock;
+        assert!((k4 - eps2).max(0.0) == 0.0);
+    }
+
+    #[test]
+    fn first_order_dissipation_smooths_and_conserves() {
+        let (m, mut w, p) = setup(3, 5);
+        let nv = m.nverts();
+        for i in 0..nv {
+            w[i * NVAR] = 1.0 + 0.2 * (i % 5) as f64;
+        }
+        let mut diss = vec![0.0; nv * NVAR];
+        let mut counter = FlopCounter::default();
+        dissipation_first_order(
+            &m.edges, &m.edge_coef, &w, &p, GAMMA, 0.05, &mut diss, &mut counter,
+        );
+        let total: f64 = (0..nv).map(|i| diss[i * NVAR]).sum();
+        assert!(total.abs() < 1e-10);
+        assert!(diss.iter().any(|&x| x != 0.0));
+    }
+}

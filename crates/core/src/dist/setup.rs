@@ -1,0 +1,77 @@
+//! Sequential preprocessing for a distributed run: partition every mesh
+//! level (recursive spectral bisection by default, §4.1) and build the
+//! per-rank mesh pieces. Like the paper's, this phase is sequential and
+//! its cost is amortized over many flow solutions.
+
+use std::sync::Arc;
+
+use eul3d_mesh::MeshSequence;
+use eul3d_partition::{rsb_partition, PartitionedMesh};
+
+/// Everything the SPMD ranks need, shared read-only.
+pub struct DistSetup {
+    pub seq: Arc<MeshSequence>,
+    /// One partitioned mesh per level.
+    pub pms: Vec<Arc<PartitionedMesh>>,
+    pub nranks: usize,
+}
+
+impl DistSetup {
+    /// Partition all levels of `seq` over `nranks` ranks with RSB.
+    pub fn new(seq: MeshSequence, nranks: usize, lanczos_iters: usize, seed: u64) -> DistSetup {
+        let pms = seq
+            .meshes
+            .iter()
+            .map(|m| {
+                let parts = rsb_partition(m.nverts(), &m.edges, nranks, lanczos_iters, seed);
+                Arc::new(PartitionedMesh::build(m, &parts, nranks))
+            })
+            .collect();
+        DistSetup { seq: Arc::new(seq), pms, nranks }
+    }
+
+    /// Partition with a caller-supplied partitioner (e.g. RCB or random,
+    /// for the partitioning ablation).
+    pub fn with_partitioner(
+        seq: MeshSequence,
+        nranks: usize,
+        partitioner: impl Fn(&eul3d_mesh::TetMesh) -> Vec<u32>,
+    ) -> DistSetup {
+        let pms = seq
+            .meshes
+            .iter()
+            .map(|m| Arc::new(PartitionedMesh::build(m, &partitioner(m), nranks)))
+            .collect();
+        DistSetup { seq: Arc::new(seq), pms, nranks }
+    }
+
+    pub fn levels(&self) -> usize {
+        self.seq.levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_partitions_every_level() {
+        let seq = MeshSequence::box_sequence(6, 3, 0.1, 3);
+        let setup = DistSetup::new(seq, 4, 20, 1);
+        assert_eq!(setup.pms.len(), 3);
+        for (pm, mesh) in setup.pms.iter().zip(&setup.seq.meshes) {
+            assert_eq!(pm.nparts, 4);
+            let owned: usize = pm.ranks.iter().map(|r| r.n_owned()).sum();
+            assert_eq!(owned, mesh.nverts());
+        }
+    }
+
+    #[test]
+    fn custom_partitioner_is_used() {
+        let seq = MeshSequence::box_sequence(4, 2, 0.0, 0);
+        let setup = DistSetup::with_partitioner(seq, 2, |m| {
+            (0..m.nverts() as u32).map(|v| v % 2).collect()
+        });
+        assert_eq!(setup.pms[0].nparts, 2);
+    }
+}

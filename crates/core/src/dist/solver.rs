@@ -1,0 +1,248 @@
+//! The distributed solve driver: SPMD body construction, the distributed
+//! multigrid recursion, and the top-level [`run_distributed`] entry.
+
+use eul3d_delta::{run_spmd, MachineRun, Rank, RankCounters};
+
+use crate::config::SolverConfig;
+use crate::counters::FlopCounter;
+use crate::gas::NVAR;
+use crate::multigrid::Strategy;
+
+use super::level::{DistExecOptions, DistLevel};
+use super::setup::DistSetup;
+use super::transfer::TransferLink;
+
+/// Options of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistOptions {
+    /// Re-gather flow variables before every loop (ablation of §4.3).
+    pub refetch_per_loop: bool,
+    /// All-reduce the residual norm every cycle (the paper's convergence
+    /// monitoring, included in its timings).
+    pub monitor_residual: bool,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions { refetch_per_loop: false, monitor_residual: true }
+    }
+}
+
+/// What each rank returns from the SPMD body.
+#[derive(Debug, Clone)]
+pub struct RankOutput {
+    /// Residual history (identical on every rank when monitoring; rank 0
+    /// authoritative).
+    pub history: Vec<f64>,
+    /// Owned fine-grid state, for global reassembly.
+    pub w_owned: Vec<f64>,
+    /// Owned fine-grid global vertex ids.
+    pub owned_globals: Vec<u32>,
+    /// Counter snapshot taken after setup (schedule building), so the
+    /// harness can separate inspector cost from cycle cost.
+    pub setup_counters: RankCounters,
+    /// Solver-side flop/launch accounting.
+    pub flops: FlopCounter,
+}
+
+/// Result of a distributed run.
+pub struct DistRunResult {
+    pub run: MachineRun<RankOutput>,
+}
+
+impl DistRunResult {
+    /// Residual history (from rank 0).
+    pub fn history(&self) -> &[f64] {
+        &self.run.results[0].history
+    }
+
+    /// Reassemble the global fine-grid state from the rank pieces.
+    pub fn global_state(&self, nverts: usize) -> Vec<f64> {
+        let mut w = vec![0.0; nverts * NVAR];
+        for out in &self.run.results {
+            for (k, &g) in out.owned_globals.iter().enumerate() {
+                let (src, dst) = (k * NVAR, g as usize * NVAR);
+                w[dst..dst + NVAR].copy_from_slice(&out.w_owned[src..src + NVAR]);
+            }
+        }
+        w
+    }
+
+    /// Per-rank counters for the cycle phase only (setup subtracted).
+    pub fn cycle_counters(&self) -> Vec<RankCounters> {
+        self.run
+            .counters
+            .iter()
+            .zip(&self.run.results)
+            .map(|(total, out)| total.delta_since(&out.setup_counters))
+            .collect()
+    }
+
+    /// Per-rank counters for the setup (inspector/partition-exchange)
+    /// phase.
+    pub fn setup_counters(&self) -> Vec<RankCounters> {
+        self.run.results.iter().map(|o| o.setup_counters.clone()).collect()
+    }
+}
+
+/// One rank's full solver: levels plus transfer links.
+pub struct DistSolver {
+    pub levels: Vec<DistLevel>,
+    pub links: Vec<TransferLink>,
+    pub cfg: SolverConfig,
+    pub strategy: Strategy,
+    pub opts: DistExecOptions,
+    pub counter: FlopCounter,
+}
+
+impl DistSolver {
+    /// SPMD constructor: builds every level and link, localizing all
+    /// schedules (the inspector phase).
+    pub fn build(
+        rank: &mut Rank,
+        setup: &DistSetup,
+        cfg: SolverConfig,
+        strategy: Strategy,
+        opts: DistOptions,
+    ) -> DistSolver {
+        let nlevels = match strategy {
+            Strategy::SingleGrid => 1,
+            _ => setup.levels(),
+        };
+        let levels: Vec<DistLevel> = (0..nlevels)
+            .map(|l| DistLevel::build(rank, &setup.pms[l], &cfg, 100 + 10 * l as u32))
+            .collect();
+        let links: Vec<TransferLink> = (0..nlevels.saturating_sub(1))
+            .map(|l| {
+                TransferLink::build(
+                    rank,
+                    &setup.seq.to_coarse[l],
+                    &setup.seq.to_fine[l],
+                    &setup.pms[l],
+                    &setup.pms[l + 1],
+                    1000 + 10 * l as u32,
+                )
+            })
+            .collect();
+        DistSolver {
+            levels,
+            links,
+            cfg,
+            strategy,
+            opts: DistExecOptions { refetch_per_loop: opts.refetch_per_loop },
+            counter: FlopCounter::default(),
+        }
+    }
+
+    /// One cycle; returns the local residual-norm parts (sum, count).
+    pub fn cycle(&mut self, rank: &mut Rank) -> (f64, f64) {
+        match self.strategy {
+            Strategy::SingleGrid => {
+                let cfg = self.cfg;
+                let opts = self.opts;
+                self.levels[0].time_step(rank, &cfg, false, &opts, &mut self.counter);
+            }
+            _ => self.recurse(rank, 0, self.strategy.gamma()),
+        }
+        self.levels[0].residual_norm_parts()
+    }
+
+    fn recurse(&mut self, rank: &mut Rank, l: usize, gamma: usize) {
+        let cfg = self.cfg;
+        let opts = self.opts;
+        self.levels[l].time_step(rank, &cfg, l > 0, &opts, &mut self.counter);
+        if l + 1 == self.levels.len() {
+            return;
+        }
+        self.transfer_down(rank, l);
+        let visits = if l + 2 == self.levels.len() { 1 } else { gamma };
+        for _ in 0..visits {
+            self.recurse(rank, l + 1, gamma);
+        }
+        self.prolong_up(rank, l);
+    }
+
+    fn transfer_down(&mut self, rank: &mut Rank, l: usize) {
+        let cfg = self.cfg;
+        let opts = self.opts;
+        // Fresh fine residual (with its forcing).
+        self.levels[l].eval_total_residual(rank, &cfg, l > 0, &opts, &mut self.counter);
+
+        let (fine, coarse) = self.levels.split_at_mut(l + 1);
+        let fine = &mut fine[l];
+        let coarse = &mut coarse[0];
+        let link = &self.links[l];
+        let nc_owned = coarse.n_owned();
+
+        // State down (owned coarse entries set directly).
+        link.restrict_state(rank, &fine.w, &mut coarse.w, NVAR, &mut self.counter);
+        coarse.w_ref.copy_from_slice(&coarse.w[..nc_owned * NVAR]);
+
+        // Residuals down, conservatively, into coarse.corr (owned).
+        coarse.corr[..nc_owned * NVAR].iter_mut().for_each(|x| *x = 0.0);
+        // restrict_residual reads owned fine residuals only.
+        {
+            let fine_res = &fine.res;
+            let mut tmp = std::mem::take(&mut coarse.corr);
+            link.restrict_residual(rank, fine_res, &mut tmp, NVAR, &mut self.counter);
+            coarse.corr = tmp;
+        }
+
+        // Forcing P = R' − R(w').
+        coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
+        coarse.eval_total_residual(rank, &cfg, true, &opts, &mut self.counter);
+        for i in 0..nc_owned * NVAR {
+            coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
+        }
+    }
+
+    fn prolong_up(&mut self, rank: &mut Rank, l: usize) {
+        let (fine, coarse) = self.levels.split_at_mut(l + 1);
+        let fine = &mut fine[l];
+        let coarse = &mut coarse[0];
+        let link = &self.links[l];
+        let nc_owned = coarse.n_owned();
+        for i in 0..nc_owned * NVAR {
+            coarse.corr[i] = coarse.w[i] - coarse.w_ref[i];
+        }
+        link.prolong(rank, &coarse.corr, &mut fine.corr, NVAR, &mut self.counter);
+        let nf_owned = fine.n_owned();
+        for i in 0..nf_owned * NVAR {
+            fine.w[i] += fine.corr[i];
+        }
+    }
+}
+
+/// Run a full distributed solve on the simulated machine.
+pub fn run_distributed(
+    setup: &DistSetup,
+    cfg: SolverConfig,
+    strategy: Strategy,
+    cycles: usize,
+    opts: DistOptions,
+) -> DistRunResult {
+    let run = run_spmd(setup.nranks, |rank| {
+        let mut solver = DistSolver::build(rank, setup, cfg, strategy, opts);
+        let setup_counters = rank.counters.clone();
+        let mut history = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            let (sum, n) = solver.cycle(rank);
+            if opts.monitor_residual {
+                let parts = rank.all_reduce_sum(&[sum, n]);
+                history.push((parts[0] / parts[1]).sqrt());
+            } else {
+                history.push(f64::NAN);
+            }
+        }
+        rank.add_flops(solver.counter.flops);
+        let fine = &solver.levels[0];
+        RankOutput {
+            history,
+            w_owned: fine.w[..fine.n_owned() * NVAR].to_vec(),
+            owned_globals: fine.rm.owned_globals.clone(),
+            setup_counters,
+            flops: solver.counter,
+        }
+    });
+    DistRunResult { run }
+}

@@ -1,0 +1,196 @@
+//! Equivalence tests: the distributed solver must reproduce the
+//! sequential solver on the same mesh to accumulation-order round-off —
+//! the paper's §4.4 observation that "the solution and convergence rates
+//! obtained were, of course, identical".
+
+use eul3d_delta::CommClass;
+use eul3d_mesh::gen::BumpSpec;
+use eul3d_mesh::MeshSequence;
+
+use crate::config::SolverConfig;
+use crate::dist::{run_distributed, DistOptions, DistSetup};
+use crate::gas::NVAR;
+use crate::multigrid::{MultigridSolver, Strategy};
+use crate::solver::SingleGridSolver;
+
+fn small_seq(levels: usize) -> MeshSequence {
+    let spec = BumpSpec { nx: 10, ny: 4, nz: 3, jitter: 0.1, ..BumpSpec::default() };
+    MeshSequence::bump_sequence(&spec, levels)
+}
+
+fn compare_states(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len());
+    let mut max = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        max = max.max((x - y).abs());
+    }
+    assert!(max < tol, "{what}: max state deviation {max:.3e} exceeds {tol:.1e}");
+}
+
+#[test]
+fn distributed_single_grid_matches_serial() {
+    let seq = small_seq(1);
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
+    let hs = serial.solve(4);
+
+    let setup = DistSetup::new(seq, 4, 20, 7);
+    let result = run_distributed(&setup, cfg, Strategy::SingleGrid, 4, DistOptions::default());
+    let hd = result.history();
+    for (a, b) in hs.iter().zip(hd) {
+        assert!(
+            (a - b).abs() < 1e-9 * a.max(1e-30),
+            "residual histories diverge: {a} vs {b}"
+        );
+    }
+    let wd = result.global_state(setup.seq.meshes[0].nverts());
+    compare_states(serial.state(), &wd, 1e-9, "single grid state");
+}
+
+#[test]
+fn distributed_multigrid_matches_serial() {
+    for strategy in [Strategy::VCycle, Strategy::WCycle] {
+        let seq = small_seq(2);
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let nverts = seq.meshes[0].nverts();
+        let mut serial = MultigridSolver::new(small_seq(2), cfg, strategy);
+        let hs = serial.solve(3);
+
+        let setup = DistSetup::new(seq, 3, 20, 7);
+        let result = run_distributed(&setup, cfg, strategy, 3, DistOptions::default());
+        for (a, b) in hs.iter().zip(result.history()) {
+            assert!(
+                (a - b).abs() < 1e-8 * a.max(1e-30),
+                "{}: residual histories diverge: {a} vs {b}",
+                strategy.label()
+            );
+        }
+        let wd = result.global_state(nverts);
+        compare_states(serial.state(), &wd, 1e-8, strategy.label());
+    }
+}
+
+#[test]
+fn single_rank_distributed_matches_serial_exactly_shaped() {
+    let seq = small_seq(1);
+    let cfg = SolverConfig::default();
+    let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
+    let hs = serial.solve(2);
+    let setup = DistSetup::new(seq, 1, 10, 0);
+    let result = run_distributed(&setup, cfg, Strategy::SingleGrid, 2, DistOptions::default());
+    for (a, b) in hs.iter().zip(result.history()) {
+        assert!((a - b).abs() < 1e-13 * a.max(1e-30));
+    }
+    // No halo traffic on one rank.
+    let cc = result.cycle_counters();
+    assert_eq!(cc[0].sent[CommClass::Halo as usize].messages, 0);
+}
+
+#[test]
+fn refetch_ablation_same_answer_more_traffic() {
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let run = |refetch: bool| {
+        let setup = DistSetup::new(small_seq(1), 4, 20, 7);
+        let opts = DistOptions { refetch_per_loop: refetch, ..DistOptions::default() };
+        let r = run_distributed(&setup, cfg, Strategy::SingleGrid, 3, opts);
+        let halo_bytes: u64 = r
+            .cycle_counters()
+            .iter()
+            .map(|c| c.sent[CommClass::Halo as usize].bytes)
+            .sum();
+        (r.history().to_vec(), r.global_state(setup.seq.meshes[0].nverts()), halo_bytes)
+    };
+    let (h0, w0, b0) = run(false);
+    let (h1, w1, b1) = run(true);
+    for (a, b) in h0.iter().zip(&h1) {
+        assert!((a - b).abs() < 1e-10 * a.max(1e-30), "answers must agree");
+    }
+    compare_states(&w0, &w1, 1e-10, "refetch ablation");
+    assert!(
+        b1 as f64 > b0 as f64 * 1.15,
+        "refetching every loop must move materially more data: {b0} vs {b1}"
+    );
+}
+
+#[test]
+fn transfer_traffic_is_small_fraction() {
+    // §4.4: "communication required for inter-grid transfers has been
+    // found to constitute a small fraction of the total communication".
+    let seq = small_seq(2);
+    let cfg = SolverConfig::default();
+    let setup = DistSetup::new(seq, 4, 20, 3);
+    let r = run_distributed(&setup, cfg, Strategy::VCycle, 5, DistOptions::default());
+    let cc = r.cycle_counters();
+    let halo: u64 = cc.iter().map(|c| c.sent[CommClass::Halo as usize].bytes).sum();
+    let transfer: u64 = cc.iter().map(|c| c.sent[CommClass::Transfer as usize].bytes).sum();
+    assert!(transfer > 0, "multigrid must move transfer data");
+    assert!(
+        (transfer as f64) < 0.35 * halo as f64,
+        "transfers ({transfer}) should be a small fraction of halo traffic ({halo})"
+    );
+}
+
+#[test]
+fn monitoring_off_skips_collectives() {
+    let setup = DistSetup::new(small_seq(1), 3, 20, 7);
+    let opts = DistOptions { monitor_residual: false, ..DistOptions::default() };
+    let r = run_distributed(&setup, SolverConfig::default(), Strategy::SingleGrid, 2, opts);
+    let cc = r.cycle_counters();
+    for c in &cc {
+        assert_eq!(c.sent[CommClass::Collective as usize].messages, 0);
+    }
+    assert!(r.history().iter().all(|x| x.is_nan()));
+}
+
+#[test]
+fn roe_scheme_distributed_matches_serial_and_cuts_messages() {
+    use crate::config::Scheme;
+    let run_scheme = |scheme: Scheme| {
+        let seq = small_seq(1);
+        let cfg = SolverConfig { mach: 0.5, scheme, ..SolverConfig::default() };
+        let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
+        let hs = serial.solve(3);
+        let setup = DistSetup::new(seq, 4, 20, 7);
+        let r = run_distributed(&setup, cfg, Strategy::SingleGrid, 3, DistOptions::default());
+        for (a, b) in hs.iter().zip(r.history()) {
+            assert!(
+                (a - b).abs() < 1e-9 * a.max(1e-30),
+                "{scheme:?}: {a} vs {b}"
+            );
+        }
+        let wd = r.global_state(setup.seq.meshes[0].nverts());
+        compare_states(serial.state(), &wd, 1e-9, "roe dist");
+        let msgs: u64 = r
+            .cycle_counters()
+            .iter()
+            .map(|c| c.sent[CommClass::Halo as usize].messages)
+            .sum();
+        msgs
+    };
+    let jst_msgs = run_scheme(Scheme::CentralJst);
+    let roe_msgs = run_scheme(Scheme::RoeUpwind);
+    // Roe needs no Laplacian/sensor exchanges: materially fewer messages.
+    assert!(
+        (roe_msgs as f64) < 0.9 * jst_msgs as f64,
+        "Roe {roe_msgs} vs JST {jst_msgs} halo messages"
+    );
+}
+
+#[test]
+fn distributed_freestream_preservation() {
+    // Uniform flow on an all-far-field box, distributed: residual must
+    // be round-off and state unchanged.
+    let seq = MeshSequence::box_sequence(5, 2, 0.15, 9);
+    let cfg = SolverConfig::default();
+    let nverts = seq.meshes[0].nverts();
+    let fsw = cfg.freestream().w;
+    let setup = DistSetup::new(seq, 4, 20, 1);
+    let r = run_distributed(&setup, cfg, Strategy::VCycle, 2, DistOptions::default());
+    assert!(r.history().iter().all(|&x| x < 1e-11), "{:?}", r.history());
+    let w = r.global_state(nverts);
+    for i in 0..nverts {
+        for c in 0..NVAR {
+            assert!((w[i * NVAR + c] - fsw[c]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Convergence-history analysis: asymptotic-rate estimation, stall
+//! detection, and work-normalized comparisons between solution
+//! strategies — the quantities behind the paper's Figure-2 discussion
+//! ("both multigrid strategies provide close to an order of magnitude
+//! increase in convergence").
+
+/// A residual-vs-cycle record with derived statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceHistory {
+    pub residuals: Vec<f64>,
+}
+
+impl ConvergenceHistory {
+    pub fn from_residuals(residuals: Vec<f64>) -> ConvergenceHistory {
+        ConvergenceHistory { residuals }
+    }
+
+    pub fn push(&mut self, r: f64) {
+        self.residuals.push(r);
+    }
+
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+
+    /// Total orders of magnitude reduced from the first to the last entry.
+    pub fn orders_reduced(&self) -> f64 {
+        match (self.residuals.first(), self.residuals.last()) {
+            (Some(&a), Some(&b)) if a > 0.0 && b > 0.0 => (a / b).log10(),
+            _ => 0.0,
+        }
+    }
+
+    /// Asymptotic convergence rate: geometric-mean residual ratio per
+    /// cycle over the last `window` cycles (1.0 = stalled, < 1 =
+    /// converging).
+    pub fn asymptotic_rate(&self, window: usize) -> f64 {
+        let n = self.residuals.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let w = window.clamp(1, n - 1);
+        let a = self.residuals[n - 1 - w];
+        let b = self.residuals[n - 1];
+        if a <= 0.0 || b <= 0.0 {
+            return 1.0;
+        }
+        (b / a).powf(1.0 / w as f64)
+    }
+
+    /// Cycles (interpolated) to reduce the residual by `orders` decades
+    /// from the first entry; `None` if never reached.
+    pub fn cycles_to_orders(&self, orders: f64) -> Option<f64> {
+        let r0 = self.residuals.first()?.log10();
+        let target = r0 - orders;
+        let mut prev = r0;
+        for (i, &r) in self.residuals.iter().enumerate().skip(1) {
+            let lr = r.log10();
+            if lr <= target {
+                let frac = (prev - target) / (prev - lr).max(1e-300);
+                return Some((i - 1) as f64 + frac);
+            }
+            prev = lr;
+        }
+        None
+    }
+
+    /// True when the recent history is no longer improving (rate within
+    /// `tol` of 1 over the window).
+    pub fn stalled(&self, window: usize, tol: f64) -> bool {
+        self.asymptotic_rate(window) > 1.0 - tol
+    }
+
+    /// Has the run diverged (non-finite or grown well past the start)?
+    pub fn diverged(&self) -> bool {
+        match (self.residuals.first(), self.residuals.last()) {
+            (Some(&a), Some(&b)) => !b.is_finite() || b > 50.0 * a,
+            _ => false,
+        }
+    }
+}
+
+/// Work-normalized comparison of two strategies: how many times less
+/// *work* (flops) strategy `a` needs than `b` per order of residual
+/// reduction. The paper's bottom line — multigrid's extra per-cycle cost
+/// is "greatly outweighed" — is this number being > 1.
+pub fn work_efficiency_ratio(
+    a: &ConvergenceHistory,
+    a_flops: f64,
+    b: &ConvergenceHistory,
+    b_flops: f64,
+) -> f64 {
+    let ra = a.orders_reduced() / a_flops.max(1e-300);
+    let rb = b.orders_reduced() / b_flops.max(1e-300);
+    ra / rb.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric(r0: f64, rate: f64, n: usize) -> ConvergenceHistory {
+        ConvergenceHistory::from_residuals(
+            (0..n).map(|i| r0 * rate.powi(i as i32)).collect(),
+        )
+    }
+
+    #[test]
+    fn orders_and_rate_of_geometric_decay() {
+        let h = geometric(1.0, 0.9, 101);
+        assert!((h.orders_reduced() - 100.0 * 0.9f64.log10().abs()).abs() < 1e-9);
+        assert!((h.asymptotic_rate(20) - 0.9).abs() < 1e-12);
+        assert!(!h.stalled(20, 0.01));
+        assert!(!h.diverged());
+    }
+
+    #[test]
+    fn cycles_to_orders_matches_analytic() {
+        let h = geometric(1.0, 0.1, 6); // one decade per cycle
+        assert!((h.cycles_to_orders(3.0).unwrap() - 3.0).abs() < 1e-9);
+        assert!(h.cycles_to_orders(10.0).is_none());
+    }
+
+    #[test]
+    fn stall_detection() {
+        let mut h = geometric(1.0, 0.8, 30);
+        for _ in 0..20 {
+            h.push(*h.residuals.last().unwrap());
+        }
+        assert!(h.stalled(10, 0.01));
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let h = ConvergenceHistory::from_residuals(vec![1.0, 10.0, 100.0]);
+        assert!(h.diverged());
+        let h2 = ConvergenceHistory::from_residuals(vec![1.0, f64::NAN]);
+        assert!(h2.diverged());
+    }
+
+    #[test]
+    fn work_efficiency_prefers_cheap_fast() {
+        // a: 4 orders for 2 units of work; b: 2 orders for 4 units.
+        let a = ConvergenceHistory::from_residuals(vec![1.0, 1e-4]);
+        let b = ConvergenceHistory::from_residuals(vec![1.0, 1e-2]);
+        let r = work_efficiency_ratio(&a, 2.0, &b, 4.0);
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_is_benign() {
+        let h = ConvergenceHistory::default();
+        assert!(h.is_empty());
+        assert_eq!(h.orders_reduced(), 0.0);
+        assert_eq!(h.asymptotic_rate(5), 1.0);
+        assert!(!h.diverged());
+    }
+}

@@ -1,0 +1,486 @@
+//! The FAS multigrid solver on *unrelated* meshes (§2.3): time stepping
+//! on each level, residual collection to the coarse grids through the
+//! transpose of the interpolation operator, the forcing function
+//! `P = R' − R(w')`, and correction prolongation — in V or W cycles.
+
+use eul3d_mesh::MeshSequence;
+
+use crate::config::SolverConfig;
+use crate::counters::{FlopCounter, FLOPS_TRANSFER_VERT};
+use crate::gas::NVAR;
+use crate::level::{eval_total_residual, time_step, LevelState};
+use crate::shared::{time_step_shared_level, SharedExecutor};
+
+/// Solution strategy, as compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Fine grid only.
+    SingleGrid,
+    /// One time step per level per cycle.
+    VCycle,
+    /// Recursive cycle weighting the coarse grids more heavily.
+    WCycle,
+}
+
+impl Strategy {
+    /// Recursion multiplicity γ (coarse-level visits per fine visit).
+    pub fn gamma(self) -> usize {
+        match self {
+            Strategy::WCycle => 2,
+            _ => 1,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::SingleGrid => "single grid",
+            Strategy::VCycle => "V-cycle",
+            Strategy::WCycle => "W-cycle",
+        }
+    }
+}
+
+/// Events of one multigrid cycle, in execution order — the Figure-1
+/// schedule ("Euler time steps are depicted by E, interpolations by I").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleEvent {
+    /// An Euler time step on a level (E).
+    Step(usize),
+    /// Restriction of state + residuals from `from` to `from + 1`.
+    Restrict(usize),
+    /// Interpolation of corrections from `to + 1` back to `to` (I).
+    Prolong(usize),
+}
+
+/// The multigrid EUL3D solver.
+pub struct MultigridSolver {
+    pub seq: MeshSequence,
+    pub cfg: SolverConfig,
+    pub strategy: Strategy,
+    pub levels: Vec<LevelState>,
+    pub counter: FlopCounter,
+    /// When set, every cycle appends its event schedule here.
+    pub record_events: bool,
+    pub events: Vec<CycleEvent>,
+    /// When present, time steps run through the coloured shared-memory
+    /// executors (one per level) — the paper's actual C90 configuration,
+    /// which ran the full multigrid cycle under autotasking (§3.2).
+    /// Inter-grid transfers stay serial (they are a small fraction of
+    /// the work, and the paper's tables fold them into the cycle).
+    shared: Option<Vec<SharedExecutor>>,
+}
+
+impl MultigridSolver {
+    pub fn new(seq: MeshSequence, cfg: SolverConfig, strategy: Strategy) -> MultigridSolver {
+        let levels = seq.meshes.iter().map(|m| LevelState::new(m, &cfg)).collect();
+        MultigridSolver {
+            seq,
+            cfg,
+            strategy,
+            levels,
+            counter: FlopCounter::default(),
+            record_events: false,
+            events: Vec::new(),
+            shared: None,
+        }
+    }
+
+    /// Multigrid with every level's edge loops executed through the
+    /// coloured shared-memory path on `ncpus` workers.
+    pub fn new_shared(
+        seq: MeshSequence,
+        cfg: SolverConfig,
+        strategy: Strategy,
+        ncpus: usize,
+    ) -> MultigridSolver {
+        let execs = seq.meshes.iter().map(|m| SharedExecutor::new(m, ncpus)).collect();
+        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        mg.shared = Some(execs);
+        mg
+    }
+
+    /// Number of mesh levels.
+    pub fn nlevels(&self) -> usize {
+        self.seq.levels()
+    }
+
+    /// One full cycle of the configured strategy; returns the fine-grid
+    /// density-residual norm.
+    pub fn cycle(&mut self) -> f64 {
+        self.events.clear();
+        match self.strategy {
+            Strategy::SingleGrid => {
+                self.step(0);
+            }
+            _ => self.recurse(0, self.strategy.gamma()),
+        }
+        self.levels[0].density_residual_norm(&self.seq.meshes[0].vol)
+    }
+
+    /// Run `n` cycles, returning the residual history.
+    pub fn solve(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.cycle()).collect()
+    }
+
+    /// Fine-grid conserved state.
+    pub fn state(&self) -> &[f64] {
+        &self.levels[0].w
+    }
+
+    /// Full-multigrid (FMG) start-up: converge the coarsest grid first,
+    /// then repeatedly interpolate the *solution* one level finer and run
+    /// `cycles_per_level` cycles of the configured strategy on the
+    /// sub-hierarchy — "mesh sequencing", the standard complement to the
+    /// paper's scheme (its §2.3 notes new finer meshes can be introduced
+    /// on top of a converged sequence, e.g. by adaptive refinement).
+    ///
+    /// Afterwards the fine grid starts from a coarse-grid solution
+    /// instead of an impulsive freestream, which removes most of the
+    /// startup transient.
+    pub fn fmg_init(&mut self, cycles_per_level: usize) {
+        let last = self.nlevels() - 1;
+        // The coarsest level relaxes alone (its forcing is zero).
+        for _ in 0..cycles_per_level {
+            self.step(last);
+        }
+        for l in (0..last).rev() {
+            // Prolong the full state (not a correction) onto level l.
+            let (fine, coarse) = self.levels.split_at_mut(l + 1);
+            self.seq.to_fine[l].interpolate(&coarse[0].w, &mut fine[l].w, NVAR);
+            self.counter.add(fine[l].n, FLOPS_TRANSFER_VERT);
+            // Level l now drives its own sub-hierarchy.
+            self.levels[l].forcing.iter_mut().for_each(|x| *x = 0.0);
+            let gamma = self.strategy.gamma();
+            for _ in 0..cycles_per_level {
+                match self.strategy {
+                    Strategy::SingleGrid => self.step(l),
+                    _ => self.recurse(l, gamma),
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, l: usize) {
+        if self.record_events {
+            self.events.push(CycleEvent::Step(l));
+        }
+        match &self.shared {
+            Some(execs) => time_step_shared_level(
+                &self.seq.meshes[l],
+                &mut self.levels[l],
+                &self.cfg,
+                l > 0,
+                &execs[l],
+                &mut self.counter,
+            ),
+            None => time_step(
+                &self.seq.meshes[l],
+                &mut self.levels[l],
+                &self.cfg,
+                l > 0,
+                &mut self.counter,
+            ),
+        }
+    }
+
+    fn recurse(&mut self, l: usize, gamma: usize) {
+        self.step(l);
+        if l + 1 == self.nlevels() {
+            return;
+        }
+        self.transfer_down(l);
+        // The coarsest level needs no repeat visits: without a further
+        // restriction below it, a second visit would just re-step the
+        // same problem. Classic W recursion applies γ at interior levels.
+        let visits = if l + 2 == self.nlevels() { 1 } else { gamma };
+        for v in 0..visits {
+            if v > 0 {
+                // Re-entering the coarse level: refresh its forcing from
+                // the (unchanged) fine residual baseline is not needed —
+                // FAS recursion continues from the coarse state directly.
+                self.step_into_again(l + 1, gamma);
+            } else {
+                self.recurse(l + 1, gamma);
+            }
+        }
+        self.prolong_up(l);
+    }
+
+    /// Second (and later) W-cycle visits to a coarse level: another full
+    /// sub-cycle from that level downward, without re-restricting from
+    /// the fine grid above it.
+    fn step_into_again(&mut self, l: usize, gamma: usize) {
+        self.recurse(l, gamma);
+    }
+
+    /// Restrict state and residuals from level `l` to `l + 1` and set the
+    /// coarse forcing `P = R' − R(w')`.
+    fn transfer_down(&mut self, l: usize) {
+        if self.record_events {
+            self.events.push(CycleEvent::Restrict(l));
+        }
+        // Fresh fine-level residual (includes the fine forcing).
+        eval_total_residual(
+            &self.seq.meshes[l],
+            &mut self.levels[l],
+            &self.cfg,
+            l > 0,
+            &mut self.counter,
+        );
+
+        let (fine, coarse) = self.levels.split_at_mut(l + 1);
+        let fine = &mut fine[l];
+        let coarse = &mut coarse[0];
+
+        // State moves down by direct interpolation onto coarse vertices.
+        self.seq.to_coarse[l].interpolate(&fine.w, &mut coarse.w, NVAR);
+        coarse.w_ref.copy_from_slice(&coarse.w);
+        self.counter.add(coarse.n, FLOPS_TRANSFER_VERT);
+
+        // Residuals move down conservatively: transpose of prolongation.
+        coarse.corr.iter_mut().for_each(|x| *x = 0.0);
+        self.seq.to_fine[l].restrict_transpose(&fine.res, &mut coarse.corr, NVAR);
+        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+
+        // Forcing: P = R' − R(w') with R evaluated at the restricted
+        // state *without* any forcing.
+        coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
+        eval_total_residual(
+            &self.seq.meshes[l + 1],
+            coarse,
+            &self.cfg,
+            true,
+            &mut self.counter,
+        );
+        for i in 0..coarse.n * NVAR {
+            coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
+        }
+    }
+
+    /// Interpolate the coarse-grid correction `w − w'` back to level `l`.
+    fn prolong_up(&mut self, l: usize) {
+        if self.record_events {
+            self.events.push(CycleEvent::Prolong(l));
+        }
+        let (fine, coarse) = self.levels.split_at_mut(l + 1);
+        let fine = &mut fine[l];
+        let coarse = &mut coarse[0];
+        for i in 0..coarse.n * NVAR {
+            coarse.corr[i] = coarse.w[i] - coarse.w_ref[i];
+        }
+        self.seq.to_fine[l].interpolate(&coarse.corr, &mut fine.corr, NVAR);
+        for i in 0..fine.n * NVAR {
+            fine.w[i] += fine.corr[i];
+        }
+        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eul3d_mesh::gen::BumpSpec;
+
+    fn bump_seq(levels: usize) -> MeshSequence {
+        let spec = BumpSpec { nx: 16, ny: 6, nz: 4, jitter: 0.12, ..BumpSpec::default() };
+        MeshSequence::bump_sequence(&spec, levels)
+    }
+
+    #[test]
+    fn freestream_generates_no_coarse_corrections() {
+        // "as the residuals are driven to zero on the fine grid, no
+        // corrections will be generated by the coarse grid" (§2.3): at
+        // exact freestream the cycle must be a no-op.
+        let seq = MeshSequence::box_sequence(6, 3, 0.15, 11);
+        let cfg = SolverConfig::default();
+        let mut mg = MultigridSolver::new(seq, cfg, Strategy::VCycle);
+        let before = mg.levels[0].w.clone();
+        let r = mg.cycle();
+        assert!(r < 1e-11, "freestream residual {r}");
+        for (a, b) in mg.levels[0].w.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-9, "no corrections at convergence");
+        }
+    }
+
+    #[test]
+    fn v_cycle_converges_faster_than_single_grid() {
+        let cycles = 25;
+        let run = |strategy: Strategy| -> Vec<f64> {
+            let seq = bump_seq(3);
+            let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+            let mut mg = MultigridSolver::new(seq, cfg, strategy);
+            mg.solve(cycles)
+        };
+        let sg = run(Strategy::SingleGrid);
+        let v = run(Strategy::VCycle);
+        let ratio_sg = sg.last().unwrap() / sg[0];
+        let ratio_v = v.last().unwrap() / v[0];
+        assert!(
+            ratio_v < ratio_sg,
+            "V-cycle ({ratio_v:.3e}) must beat single grid ({ratio_sg:.3e}) per cycle"
+        );
+    }
+
+    #[test]
+    fn w_cycle_event_schedule_matches_figure_1() {
+        // 3 levels, W-cycle: E0 R0 E1 R1 E2 P1 E1 R1 E2 P1 P0
+        let seq = MeshSequence::box_sequence(4, 3, 0.1, 2);
+        let mut mg = MultigridSolver::new(seq, SolverConfig::default(), Strategy::WCycle);
+        mg.record_events = true;
+        mg.cycle();
+        use CycleEvent::*;
+        assert_eq!(
+            mg.events,
+            vec![
+                Step(0),
+                Restrict(0),
+                Step(1),
+                Restrict(1),
+                Step(2),
+                Prolong(1),
+                Step(1),
+                Restrict(1),
+                Step(2),
+                Prolong(1),
+                Prolong(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn v_cycle_event_schedule_matches_figure_1() {
+        // 3 levels, V-cycle: one step per level down, then corrections up.
+        let seq = MeshSequence::box_sequence(4, 3, 0.1, 2);
+        let mut mg = MultigridSolver::new(seq, SolverConfig::default(), Strategy::VCycle);
+        mg.record_events = true;
+        mg.cycle();
+        use CycleEvent::*;
+        assert_eq!(
+            mg.events,
+            vec![
+                Step(0),
+                Restrict(0),
+                Step(1),
+                Restrict(1),
+                Step(2),
+                Prolong(1),
+                Prolong(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn w_cycle_does_more_work_per_cycle_than_v() {
+        let mut mg_v = MultigridSolver::new(
+            MeshSequence::box_sequence(6, 3, 0.1, 3),
+            SolverConfig::default(),
+            Strategy::VCycle,
+        );
+        let mut mg_w = MultigridSolver::new(
+            MeshSequence::box_sequence(6, 3, 0.1, 3),
+            SolverConfig::default(),
+            Strategy::WCycle,
+        );
+        mg_v.cycle();
+        mg_w.cycle();
+        assert!(
+            mg_w.counter.flops > mg_v.counter.flops,
+            "W ({}) must cost more than V ({})",
+            mg_w.counter.flops,
+            mg_v.counter.flops
+        );
+    }
+
+    #[test]
+    fn shared_multigrid_matches_serial_multigrid() {
+        // The paper's C90 configuration: the whole W-cycle under the
+        // coloured executor. Must agree with the serial recursion to
+        // accumulation-order round-off.
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let mut serial = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
+        let hs = serial.solve(4);
+        let mut shared = MultigridSolver::new_shared(bump_seq(3), cfg, Strategy::WCycle, 3);
+        let hp = shared.solve(4);
+        for (a, b) in hs.iter().zip(&hp) {
+            assert!(
+                (a - b).abs() < 1e-9 * a.max(1e-30),
+                "residual histories diverge: {a} vs {b}"
+            );
+        }
+        let mut max = 0.0f64;
+        for (x, y) in serial.state().iter().zip(shared.state()) {
+            max = max.max((x - y).abs());
+        }
+        assert!(max < 1e-9, "states diverge: {max:.3e}");
+        // Same flop accounting within the per-kernel constants.
+        assert!((serial.counter.flops - shared.counter.flops).abs() < 0.02 * serial.counter.flops);
+    }
+
+    #[test]
+    fn fmg_startup_removes_the_impulsive_transient() {
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cold_start = {
+            let mut mg = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
+            mg.cycle()
+        };
+        let fmg_start = {
+            let mut mg = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
+            mg.fmg_init(15);
+            mg.cycle()
+        };
+        assert!(
+            fmg_start < 0.4 * cold_start,
+            "FMG first-cycle residual {fmg_start:.3e} should be far below cold start {cold_start:.3e}"
+        );
+    }
+
+    #[test]
+    fn fmg_then_cycles_converges_with_less_total_work() {
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let mut cold = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
+        let cold_hist = cold.solve(25);
+
+        let mut warm = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
+        warm.fmg_init(10);
+        let warm_hist = warm.solve(10);
+        assert!(
+            warm_hist.last().unwrap() <= &(cold_hist.last().unwrap() * 3.0),
+            "FMG ({:.2e} after {:.2e} flops) should compete with cold start ({:.2e} after {:.2e} flops)",
+            warm_hist.last().unwrap(),
+            warm.counter.flops,
+            cold_hist.last().unwrap(),
+            cold.counter.flops
+        );
+        assert!(warm.counter.flops < cold.counter.flops);
+    }
+
+    #[test]
+    fn nested_sequence_also_converges() {
+        // The paper's unrelated meshes vs refinement-nested meshes: both
+        // must drive the fine grid.
+        use eul3d_mesh::gen::BumpSpec;
+        let spec = BumpSpec { nx: 8, ny: 4, nz: 3, jitter: 0.1, ..BumpSpec::default() };
+        let seq = MeshSequence::nested_bump_sequence(&spec, 3);
+        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+        let hist = mg.solve(40);
+        assert!(
+            hist.last().unwrap() < &(hist[0] * 0.12),
+            "nested-sequence multigrid must converge: {:?}",
+            (hist[0], hist.last().unwrap())
+        );
+    }
+
+    #[test]
+    fn multigrid_solution_stays_physical() {
+        let seq = bump_seq(3);
+        let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+        let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+        let hist = mg.solve(20);
+        assert!(hist.iter().all(|r| r.is_finite()));
+        for i in 0..mg.levels[0].n {
+            assert!(mg.state()[i * NVAR] > 0.05, "density positive at {i}");
+        }
+        assert!(hist.last().unwrap() < &(hist[0] * 0.8));
+    }
+}

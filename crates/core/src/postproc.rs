@@ -1,0 +1,216 @@
+//! Post-processing: Mach fields, contour-band occupancy (the textual
+//! stand-in for Figure 4's Mach contours), and surface quantities.
+
+use eul3d_mesh::{BcKind, TetMesh};
+
+use crate::gas::{get5, mach_number, pressure};
+
+/// Local Mach number at every vertex.
+pub fn mach_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
+    (0..n).map(|i| mach_number(gamma, &get5(w, i))).collect()
+}
+
+/// Pressure at every vertex.
+pub fn pressure_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
+    (0..n).map(|i| pressure(gamma, &get5(w, i))).collect()
+}
+
+/// Pressure coefficient `c_p = (p − p∞) / (½ ρ∞ |u∞|²)`.
+pub fn cp_field(gamma: f64, mach_inf: f64, w: &[f64], n: usize) -> Vec<f64> {
+    let p_inf = 1.0 / gamma;
+    let qinf = 0.5 * mach_inf * mach_inf;
+    (0..n)
+        .map(|i| (pressure(gamma, &get5(w, i)) - p_inf) / qinf)
+        .collect()
+}
+
+/// Histogram of a field over uniform bands — a textual "contour plot":
+/// band occupancy shifts tell you where the field concentrates, and a
+/// transonic solution shows occupied bands both below and above M = 1.
+pub fn band_histogram(field: &[f64], lo: f64, hi: f64, nbands: usize) -> Vec<usize> {
+    let mut bands = vec![0usize; nbands];
+    let width = (hi - lo) / nbands as f64;
+    for &x in field {
+        let b = (((x - lo) / width).floor() as isize).clamp(0, nbands as isize - 1);
+        bands[b as usize] += 1;
+    }
+    bands
+}
+
+/// Does the field cross a threshold anywhere (e.g. supersonic pockets,
+/// `M > 1`, in a transonic solution)?
+pub fn crosses(field: &[f64], threshold: f64) -> bool {
+    let min = field.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    min < threshold && max > threshold
+}
+
+/// Pointwise relative entropy error
+/// `(p/ρ^γ) / (p∞/ρ∞^γ) − 1` — exactly zero for smooth inviscid flow
+/// from a uniform freestream, so its norm measures pure discretization
+/// error (away from shocks, where physical entropy is produced).
+pub fn entropy_error_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
+    let p_inf = 1.0 / gamma;
+    let s_inf = p_inf; // ρ∞ = 1
+    (0..n)
+        .map(|i| {
+            let wi = get5(w, i);
+            let p = pressure(gamma, &wi);
+            p / wi[0].powf(gamma) / s_inf - 1.0
+        })
+        .collect()
+}
+
+/// Volume-weighted L2 norm of a per-vertex field.
+pub fn l2_norm(field: &[f64], vol: &[f64]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (f, v) in field.iter().zip(vol) {
+        num += f * f * v;
+        den += v;
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+/// Integrated pressure force over the wall boundary (per unit dynamic
+/// pressure this is drag/lift-like). Uses vertex pressures through each
+/// vertex's third of the face normal.
+pub fn wall_pressure_force(mesh: &TetMesh, gamma: f64, w: &[f64]) -> eul3d_mesh::Vec3 {
+    let mut force = eul3d_mesh::Vec3::ZERO;
+    for f in &mesh.bfaces {
+        if f.kind != BcKind::Wall {
+            continue;
+        }
+        let third = f.normal / 3.0;
+        for &v in &f.v {
+            let p = pressure(gamma, &get5(w, v as usize));
+            force += third * p;
+        }
+    }
+    force
+}
+
+/// Sample the nearest vertex value along a straight probe line — used by
+/// the Figure-4 harness to extract a floor-line Mach distribution.
+pub fn probe_line(
+    mesh: &TetMesh,
+    field: &[f64],
+    from: eul3d_mesh::Vec3,
+    to: eul3d_mesh::Vec3,
+    samples: usize,
+) -> Vec<(f64, f64)> {
+    (0..samples)
+        .map(|k| {
+            let t = k as f64 / (samples - 1).max(1) as f64;
+            let pt = from + (to - from) * t;
+            let (best, _) = mesh
+                .coords
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i, (c - pt).norm_sq()))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            (t, field[best])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{Freestream, GAMMA, NVAR};
+    use eul3d_mesh::gen::unit_box;
+
+    fn uniform(n: usize, mach: f64) -> Vec<f64> {
+        let fs = Freestream::new(GAMMA, mach, 0.0);
+        let mut w = vec![0.0; n * NVAR];
+        for i in 0..n {
+            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
+        }
+        w
+    }
+
+    #[test]
+    fn mach_field_of_uniform_flow() {
+        let w = uniform(10, 0.768);
+        let m = mach_field(GAMMA, &w, 10);
+        for x in m {
+            assert!((x - 0.768).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cp_of_freestream_is_zero() {
+        let w = uniform(5, 0.675);
+        let cp = cp_field(GAMMA, 0.675, &w, 5);
+        for x in cp {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn band_histogram_counts_everything() {
+        let field = vec![0.1, 0.5, 0.9, 1.3, -0.2, 2.5];
+        let bands = band_histogram(&field, 0.0, 2.0, 4);
+        assert_eq!(bands.iter().sum::<usize>(), 6);
+        assert_eq!(bands[0], 2); // 0.1 and clamped -0.2
+        assert_eq!(bands[3], 1); // clamped 2.5
+    }
+
+    #[test]
+    fn crosses_detects_transonic() {
+        assert!(crosses(&[0.8, 1.2], 1.0));
+        assert!(!crosses(&[0.7, 0.9], 1.0));
+    }
+
+    #[test]
+    fn wall_force_zero_without_walls() {
+        let m = unit_box(3, 0.1, 1);
+        let w = uniform(m.nverts(), 0.5);
+        let f = wall_pressure_force(&m, GAMMA, &w);
+        assert_eq!(f, eul3d_mesh::Vec3::ZERO);
+    }
+
+    #[test]
+    fn probe_line_samples_endpoints() {
+        let m = unit_box(4, 0.0, 0);
+        let field: Vec<f64> = m.coords.iter().map(|c| c.x).collect();
+        let samples = probe_line(
+            &m,
+            &field,
+            eul3d_mesh::Vec3::new(0.0, 0.5, 0.5),
+            eul3d_mesh::Vec3::new(1.0, 0.5, 0.5),
+            5,
+        );
+        assert_eq!(samples.len(), 5);
+        assert!(samples[0].1 < 0.2);
+        assert!(samples[4].1 > 0.8);
+    }
+
+    #[test]
+    fn entropy_error_zero_at_freestream() {
+        let w = uniform(6, 0.675);
+        let e = entropy_error_field(GAMMA, &w, 6);
+        for x in e {
+            assert!(x.abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn entropy_error_detects_heated_gas() {
+        let mut w = uniform(2, 0.5);
+        w[4] *= 1.5; // extra internal energy at vertex 0 => entropy rise
+        let e = entropy_error_field(GAMMA, &w, 2);
+        assert!(e[0] > 0.1);
+        assert!(e[1].abs() < 1e-13);
+    }
+
+    #[test]
+    fn l2_norm_is_volume_weighted() {
+        let field = vec![2.0, 0.0];
+        // All volume on the first vertex: the norm is |2.0|.
+        assert!((l2_norm(&field, &[1.0, 0.0]) - 2.0).abs() < 1e-14);
+        // Even split: sqrt(2).
+        assert!((l2_norm(&field, &[1.0, 1.0]) - 2.0f64.sqrt()).abs() < 1e-14);
+    }
+}

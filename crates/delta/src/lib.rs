@@ -1,0 +1,43 @@
+//! A simulated distributed-memory multicomputer — the stand-in for the
+//! Intel Touchstone Delta of §4 of the paper.
+//!
+//! Each **rank** runs the same SPMD closure on its own OS thread with its
+//! own private data, communicating only through typed point-to-point
+//! messages, barriers, and deterministic collectives. Because every
+//! receive names its source and tag, the program is a Kahn process
+//! network: results are bit-identical across runs regardless of thread
+//! scheduling, even with hundreds of ranks multiplexed onto one core.
+//!
+//! What the real Delta charged in *time*, this machine charges in
+//! **counters**: every rank accumulates flops (reported by the numerical
+//! kernels) and message/byte counts (recorded by the send path, split by
+//! communication class). The [`cost::CostModel`] then maps those counters
+//! to seconds using calibrated i860 + mesh-network constants, producing
+//! the computation/communication breakdown format of Tables 2a–2c.
+
+//! ```
+//! use eul3d_delta::{run_spmd, CommClass, CostModel};
+//!
+//! // 4 SPMD ranks: a ring exchange, then a deterministic reduction.
+//! let run = run_spmd(4, |rank| {
+//!     let next = (rank.id + 1) % rank.nranks;
+//!     let prev = (rank.id + rank.nranks - 1) % rank.nranks;
+//!     rank.send_f64(next, 1, vec![rank.id as f64], CommClass::Halo);
+//!     let got = rank.recv_f64(prev, 1)[0];
+//!     rank.add_flops(100.0);
+//!     rank.all_reduce_sum(&[got])[0]
+//! });
+//! assert!(run.results.iter().all(|&x| x == 6.0)); // 0+1+2+3
+//! let table2_row = CostModel::delta_i860().evaluate(&run.counters);
+//! assert!(table2_row.total_seconds > 0.0);
+//! ```
+
+pub mod cost;
+pub mod machine;
+pub mod msg;
+pub mod rank;
+
+pub use cost::{CostBreakdown, CostModel};
+pub use machine::{run_spmd, MachineRun};
+pub use msg::{CommClass, CommStats, Payload, RankCounters};
+pub use rank::Rank;

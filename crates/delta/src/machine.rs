@@ -1,0 +1,219 @@
+//! The SPMD driver: spawns one thread per rank, wires the mailboxes, runs
+//! the rank body, and collects results and counters.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::unbounded;
+
+use crate::msg::RankCounters;
+use crate::rank::Rank;
+
+/// Result of an SPMD run: per-rank return values and accounting.
+#[derive(Debug)]
+pub struct MachineRun<T> {
+    pub results: Vec<T>,
+    pub counters: Vec<RankCounters>,
+}
+
+impl<T> MachineRun<T> {
+    /// Machine-total flops.
+    pub fn total_flops(&self) -> f64 {
+        self.counters.iter().map(|c| c.flops).sum()
+    }
+}
+
+/// Run `body` on `nranks` simulated ranks and wait for completion.
+///
+/// Hundreds of ranks are fine on a single-core host: threads block on
+/// channel receives, so the scheduler interleaves them; determinism comes
+/// from fully-addressed receives, not timing. Stacks default to 4 MiB —
+/// rank bodies keep their big arrays on the heap.
+pub fn run_spmd<T, F>(nranks: usize, body: F) -> MachineRun<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    assert!(nranks >= 1);
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..nranks).map(|_| unbounded()).unzip();
+    let barrier = Arc::new(Barrier::new(nranks));
+    let body = &body;
+
+    let mut slots: Vec<Option<(T, RankCounters)>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (id, rx) in rxs.into_iter().enumerate() {
+            let txs = txs.clone();
+            let barrier = barrier.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("delta-rank-{id}"))
+                .stack_size(4 << 20)
+                .spawn_scoped(scope, move || {
+                    let mut rank = Rank::new(id, nranks, rx, txs, barrier);
+                    let out = body(&mut rank);
+                    (out, rank.counters)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+        for (id, h) in handles.into_iter().enumerate() {
+            slots[id] = Some(h.join().expect("rank panicked"));
+        }
+    });
+
+    let (results, counters) = slots.into_iter().map(Option::unwrap).unzip();
+    MachineRun { results, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::CommClass;
+
+    #[test]
+    fn single_rank_runs() {
+        let run = run_spmd(1, |r| r.id * 10);
+        assert_eq!(run.results, vec![0]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its id to the next; receives from the previous.
+        let n = 8;
+        let run = run_spmd(n, |r| {
+            let next = (r.id + 1) % r.nranks;
+            let prev = (r.id + r.nranks - 1) % r.nranks;
+            r.send_u32(next, 1, vec![r.id as u32], CommClass::Halo);
+            let got = r.recv_u32(prev, 1);
+            got[0]
+        });
+        for (id, &got) in run.results.iter().enumerate() {
+            assert_eq!(got as usize, (id + n - 1) % n);
+        }
+        // Each rank sent exactly one 4-byte message.
+        for c in &run.counters {
+            assert_eq!(c.total_messages(), 1);
+            assert_eq!(c.total_bytes(), 4);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let run = run_spmd(2, |r| {
+            if r.id == 0 {
+                r.send_f64(1, 2, vec![2.0], CommClass::Halo);
+                r.send_f64(1, 1, vec![1.0], CommClass::Halo);
+                0.0
+            } else {
+                let first = r.recv_f64(0, 1);
+                let second = r.recv_f64(0, 2);
+                first[0] * 10.0 + second[0]
+            }
+        });
+        assert_eq!(run.results[1], 12.0);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_correct_and_deterministic() {
+        let run1 = run_spmd(16, |r| r.all_reduce_sum(&[r.id as f64, 1.0]));
+        let expect: f64 = (0..16).sum::<usize>() as f64;
+        for v in &run1.results {
+            assert_eq!(v[0], expect);
+            assert_eq!(v[1], 16.0);
+        }
+        let run2 = run_spmd(16, |r| r.all_reduce_sum(&[r.id as f64, 1.0]));
+        assert_eq!(run1.results, run2.results, "bitwise deterministic");
+    }
+
+    #[test]
+    fn all_reduce_max() {
+        let run = run_spmd(7, |r| r.all_reduce_max(&[-(r.id as f64), r.id as f64]));
+        for v in &run.results {
+            assert_eq!(v[0], 0.0);
+            assert_eq!(v[1], 6.0);
+        }
+    }
+
+    #[test]
+    fn barriers_do_not_deadlock() {
+        let run = run_spmd(32, |r| {
+            for _ in 0..10 {
+                r.barrier();
+            }
+            r.counters.syncs
+        });
+        assert!(run.results.iter().all(|&s| s == 10));
+    }
+
+    #[test]
+    fn many_ranks_on_one_core() {
+        // 256 ranks exchanging with neighbours must complete quickly.
+        let run = run_spmd(256, |r| {
+            let next = (r.id + 1) % r.nranks;
+            let prev = (r.id + r.nranks - 1) % r.nranks;
+            r.send_f64(next, 7, vec![r.id as f64; 100], CommClass::Halo);
+            let got = r.recv_f64(prev, 7);
+            got.iter().sum::<f64>()
+        });
+        assert_eq!(run.results.len(), 256);
+        assert_eq!(run.counters[3].total_bytes(), 800);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let run = run_spmd(9, |r| {
+            let got = r.broadcast(3, &[r.id as f64 * 0.0 + 42.0, r.id as f64]);
+            (got[0], got[1])
+        });
+        for &(a, b) in &run.results {
+            assert_eq!(a, 42.0);
+            assert_eq!(b, 3.0, "payload must come from the root");
+        }
+    }
+
+    #[test]
+    fn gather_to_root_concatenates_in_rank_order() {
+        let run = run_spmd(5, |r| r.gather_to_root(2, &[r.id as f64, -(r.id as f64)]));
+        assert_eq!(
+            run.results[2],
+            vec![0.0, 0.0, 1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0]
+        );
+        assert!(run.results[0].is_empty());
+    }
+
+    #[test]
+    fn hop_accounting_uses_manhattan_distance() {
+        // 16 ranks => 4x4 mesh. Rank 0 at (0,0) sends to rank 15 at (3,3):
+        // 6 hops; to rank 1 at (0,1): 1 hop.
+        let run = run_spmd(16, |r| {
+            if r.id == 0 {
+                r.send_f64(15, 1, vec![0.0], CommClass::Halo);
+                r.send_f64(1, 2, vec![0.0], CommClass::Halo);
+            }
+            if r.id == 15 {
+                r.recv_f64(0, 1);
+            }
+            if r.id == 1 {
+                r.recv_f64(0, 2);
+            }
+            (r.hops_to(15), r.hops_to(1))
+        });
+        assert_eq!(run.results[0], (6, 1));
+        assert_eq!(run.counters[0].hops, 7);
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let run = run_spmd(4, |r| {
+            let a = r.all_reduce_sum(&[1.0])[0];
+            let b = r.all_reduce_sum(&[2.0])[0];
+            let c = r.all_reduce_max(&[r.id as f64])[0];
+            (a, b, c)
+        });
+        for &(a, b, c) in &run.results {
+            assert_eq!(a, 4.0);
+            assert_eq!(b, 8.0);
+            assert_eq!(c, 3.0);
+        }
+    }
+}

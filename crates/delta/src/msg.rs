@@ -1,0 +1,170 @@
+//! Message payloads and per-rank accounting counters.
+
+/// Typed message payload. The solver and the PARTI runtime only ever move
+/// index lists (`U32`) and field data (`F64`).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    F64(Vec<f64>),
+    U32(Vec<u32>),
+}
+
+impl Payload {
+    /// Wire size in bytes (what the cost model charges for).
+    pub fn nbytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U32(v) => 4 * v.len() as u64,
+        }
+    }
+
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            Payload::U32(_) => panic!("expected F64 payload, got U32"),
+        }
+    }
+
+    pub fn into_u32(self) -> Vec<u32> {
+        match self {
+            Payload::U32(v) => v,
+            Payload::F64(_) => panic!("expected U32 payload, got F64"),
+        }
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug)]
+pub struct Message {
+    pub src: usize,
+    pub tag: u32,
+    pub payload: Payload,
+}
+
+/// Classification of traffic, so reports can separate intra-grid halo
+/// exchange, inter-grid multigrid transfers (which the paper found to be
+/// "a small fraction of the total communication costs"), the inspector's
+/// preprocessing traffic, and collectives (residual monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommClass {
+    Halo = 0,
+    Transfer = 1,
+    Inspector = 2,
+    Collective = 3,
+}
+
+pub const N_COMM_CLASSES: usize = 4;
+
+/// Message/byte counts for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+impl CommStats {
+    pub fn add(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    pub fn merge(&mut self, o: &CommStats) {
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+    }
+}
+
+/// Everything one rank accumulated during a run.
+#[derive(Debug, Clone, Default)]
+pub struct RankCounters {
+    /// Floating-point operations reported by the numerical kernels
+    /// (op-count based, like the paper's Delta MFlops; §4.4 notes this is
+    /// ~10% more conservative than the Cray hardware monitor).
+    pub flops: f64,
+    /// Sent-side traffic per communication class.
+    pub sent: [CommStats; N_COMM_CLASSES],
+    /// Number of barrier/collective synchronizations joined.
+    pub syncs: u64,
+    /// Sum over sent messages of the 2-D mesh hop distance to the
+    /// destination (the Delta was a 16x32 wormhole-routed mesh; hop
+    /// counts let the cost model price placement quality).
+    pub hops: u64,
+}
+
+impl RankCounters {
+    pub fn record_send(&mut self, class: CommClass, bytes: u64) {
+        self.sent[class as usize].add(bytes);
+    }
+
+    pub fn record_hops(&mut self, hops: u64) {
+        self.hops += hops;
+    }
+
+    pub fn add_flops(&mut self, n: f64) {
+        self.flops += n;
+    }
+
+    /// Total messages sent across classes.
+    pub fn total_messages(&self) -> u64 {
+        self.sent.iter().map(|s| s.messages).sum()
+    }
+
+    /// Total bytes sent across classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Counters accumulated since an earlier snapshot (`self` must be the
+    /// later measurement). Used to separate setup/inspector cost from the
+    /// per-cycle cost in the Table-2 harness.
+    pub fn delta_since(&self, earlier: &RankCounters) -> RankCounters {
+        let mut out = RankCounters { flops: self.flops - earlier.flops, ..Default::default() };
+        for k in 0..N_COMM_CLASSES {
+            out.sent[k] = CommStats {
+                messages: self.sent[k].messages - earlier.sent[k].messages,
+                bytes: self.sent[k].bytes - earlier.sent[k].bytes,
+            };
+        }
+        out.syncs = self.syncs - earlier.syncs;
+        out.hops = self.hops - earlier.hops;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::F64(vec![0.0; 10]).nbytes(), 80);
+        assert_eq!(Payload::U32(vec![0; 10]).nbytes(), 40);
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let v = Payload::F64(vec![1.0, 2.0]).into_f64();
+        assert_eq!(v, vec![1.0, 2.0]);
+        let u = Payload::U32(vec![3, 4]).into_u32();
+        assert_eq!(u, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn payload_type_mismatch_panics() {
+        Payload::U32(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = RankCounters::default();
+        c.record_send(CommClass::Halo, 100);
+        c.record_send(CommClass::Halo, 50);
+        c.record_send(CommClass::Transfer, 10);
+        c.add_flops(1e6);
+        assert_eq!(c.sent[CommClass::Halo as usize].messages, 2);
+        assert_eq!(c.sent[CommClass::Halo as usize].bytes, 150);
+        assert_eq!(c.total_messages(), 3);
+        assert_eq!(c.total_bytes(), 160);
+        assert_eq!(c.flops, 1e6);
+    }
+}

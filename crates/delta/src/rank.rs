@@ -1,0 +1,212 @@
+//! The per-rank SPMD context: typed sends/receives, barriers, and
+//! deterministic collectives.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::msg::{CommClass, Message, Payload, RankCounters};
+
+/// Reserved tag space for collectives; user tags must stay below this.
+pub const COLLECTIVE_TAG_BASE: u32 = 0xF000_0000;
+
+/// One rank's handle onto the simulated machine. Passed by the SPMD
+/// driver to the rank body; all communication goes through it.
+pub struct Rank {
+    pub id: usize,
+    pub nranks: usize,
+    rx: Receiver<Message>,
+    txs: Vec<Sender<Message>>,
+    /// Out-of-order receive buffer: messages that arrived before anyone
+    /// asked for them, keyed by `(src, tag)`.
+    stash: HashMap<(usize, u32), VecDeque<Payload>>,
+    barrier: Arc<Barrier>,
+    /// Accounting; read back by the driver after the run.
+    pub counters: RankCounters,
+    /// Monotonic counter for internal collective tags.
+    collective_seq: u32,
+    /// Columns of the (nearly square) 2-D mesh the ranks are mapped
+    /// onto, row-major — used only for hop accounting.
+    mesh_cols: usize,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        id: usize,
+        nranks: usize,
+        rx: Receiver<Message>,
+        txs: Vec<Sender<Message>>,
+        barrier: Arc<Barrier>,
+    ) -> Rank {
+        // Nearly-square 2-D mesh factorization (the Delta itself was a
+        // 16x32 mesh of i860s).
+        let mut cols = (nranks as f64).sqrt().ceil() as usize;
+        cols = cols.max(1);
+        Rank {
+            id,
+            nranks,
+            rx,
+            txs,
+            stash: HashMap::new(),
+            barrier,
+            counters: RankCounters::default(),
+            collective_seq: 0,
+            mesh_cols: cols,
+        }
+    }
+
+    /// Manhattan hop distance to `dst` on the 2-D rank mesh.
+    pub fn hops_to(&self, dst: usize) -> u64 {
+        let (r1, c1) = (self.id / self.mesh_cols, self.id % self.mesh_cols);
+        let (r2, c2) = (dst / self.mesh_cols, dst % self.mesh_cols);
+        (r1.abs_diff(r2) + c1.abs_diff(c2)) as u64
+    }
+
+    /// Report flops performed by a local numerical kernel.
+    #[inline]
+    pub fn add_flops(&mut self, n: f64) {
+        self.counters.add_flops(n);
+    }
+
+    fn send_payload(&mut self, dst: usize, tag: u32, payload: Payload, class: CommClass) {
+        assert!(dst < self.nranks, "send to rank {dst} out of range");
+        assert_ne!(dst, self.id, "self-sends are a bug in schedule construction");
+        self.counters.record_send(class, payload.nbytes());
+        self.counters.record_hops(self.hops_to(dst));
+        self.txs[dst]
+            .send(Message { src: self.id, tag, payload })
+            .expect("receiver hung up");
+    }
+
+    /// Send a float buffer to `dst` under `tag`.
+    pub fn send_f64(&mut self, dst: usize, tag: u32, data: Vec<f64>, class: CommClass) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag collides with collective space");
+        self.send_payload(dst, tag, Payload::F64(data), class);
+    }
+
+    /// Send an index buffer to `dst` under `tag`.
+    pub fn send_u32(&mut self, dst: usize, tag: u32, data: Vec<u32>, class: CommClass) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag collides with collective space");
+        self.send_payload(dst, tag, Payload::U32(data), class);
+    }
+
+    fn recv_payload(&mut self, src: usize, tag: u32) -> Payload {
+        if let Some(q) = self.stash.get_mut(&(src, tag)) {
+            if let Some(p) = q.pop_front() {
+                return p;
+            }
+        }
+        loop {
+            let m = self.rx.recv().expect("all senders hung up while receiving");
+            if m.src == src && m.tag == tag {
+                return m.payload;
+            }
+            self.stash.entry((m.src, m.tag)).or_default().push_back(m.payload);
+        }
+    }
+
+    /// Blocking receive of a float buffer from `src` under `tag`.
+    pub fn recv_f64(&mut self, src: usize, tag: u32) -> Vec<f64> {
+        self.recv_payload(src, tag).into_f64()
+    }
+
+    /// Blocking receive of an index buffer from `src` under `tag`.
+    pub fn recv_u32(&mut self, src: usize, tag: u32) -> Vec<u32> {
+        self.recv_payload(src, tag).into_u32()
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        self.counters.syncs += 1;
+        self.barrier.wait();
+    }
+
+    fn next_collective_tag(&mut self) -> u32 {
+        // Wraps within the reserved space; fine because tags are consumed
+        // in program order on every rank (deterministic network).
+        let t = COLLECTIVE_TAG_BASE + (self.collective_seq & 0x0FFF_FFFF);
+        self.collective_seq = self.collective_seq.wrapping_add(1);
+        t
+    }
+
+    /// Deterministic element-wise sum across ranks: gather to rank 0 in
+    /// rank order, reduce there, broadcast back. Mirrors the paper's
+    /// residual-monitoring global sums.
+    pub fn all_reduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.id == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.nranks {
+                let part = self.recv_payload(src, tag).into_f64();
+                assert_eq!(part.len(), acc.len(), "all_reduce length mismatch");
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a += p;
+                }
+            }
+            for dst in 1..self.nranks {
+                self.send_payload(dst, tag, Payload::F64(acc.clone()), CommClass::Collective);
+            }
+            acc
+        } else {
+            self.send_payload(0, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+            self.recv_payload(0, tag).into_f64()
+        }
+    }
+
+    /// Broadcast from `root` to all ranks; returns the payload everywhere.
+    pub fn broadcast(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.id == root {
+            for dst in 0..self.nranks {
+                if dst != root {
+                    self.send_payload(dst, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+                }
+            }
+            vals.to_vec()
+        } else {
+            self.recv_payload(root, tag).into_f64()
+        }
+    }
+
+    /// Gather every rank's buffer to `root`, concatenated in rank order;
+    /// non-root ranks get an empty vector.
+    pub fn gather_to_root(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.id == root {
+            let mut out = Vec::new();
+            for src in 0..self.nranks {
+                if src == root {
+                    out.extend_from_slice(vals);
+                } else {
+                    out.extend(self.recv_payload(src, tag).into_f64());
+                }
+            }
+            out
+        } else {
+            self.send_payload(root, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+            Vec::new()
+        }
+    }
+
+    /// Deterministic element-wise max across ranks (same pattern).
+    pub fn all_reduce_max(&mut self, vals: &[f64]) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.id == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.nranks {
+                let part = self.recv_payload(src, tag).into_f64();
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a = a.max(*p);
+                }
+            }
+            for dst in 1..self.nranks {
+                self.send_payload(dst, tag, Payload::F64(acc.clone()), CommClass::Collective);
+            }
+            acc
+        } else {
+            self.send_payload(0, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+            self.recv_payload(0, tag).into_f64()
+        }
+    }
+}

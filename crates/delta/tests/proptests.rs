@@ -1,0 +1,92 @@
+//! Property tests of the simulated machine: determinism, FIFO matching,
+//! and collective correctness over randomized traffic.
+
+use proptest::prelude::*;
+
+use eul3d_delta::{run_spmd, CommClass};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// all_reduce_sum equals the serial sum, bit-for-bit reproducibly,
+    /// for arbitrary rank counts and values.
+    #[test]
+    fn all_reduce_matches_serial_sum(
+        nranks in 1usize..12,
+        base in proptest::collection::vec(-100.0f64..100.0, 1..6),
+    ) {
+        let expect: Vec<f64> = base
+            .iter()
+            .map(|b| (0..nranks).map(|r| b * (r as f64 + 1.0)).sum())
+            .collect();
+        let run1 = run_spmd(nranks, |r| {
+            let mine: Vec<f64> = base.iter().map(|b| b * (r.id as f64 + 1.0)).collect();
+            r.all_reduce_sum(&mine)
+        });
+        let run2 = run_spmd(nranks, |r| {
+            let mine: Vec<f64> = base.iter().map(|b| b * (r.id as f64 + 1.0)).collect();
+            r.all_reduce_sum(&mine)
+        });
+        for res in &run1.results {
+            for (a, e) in res.iter().zip(&expect) {
+                prop_assert!((a - e).abs() <= 1e-9 * e.abs().max(1.0));
+            }
+        }
+        // Determinism: both runs bitwise identical.
+        prop_assert_eq!(&run1.results, &run2.results);
+    }
+
+    /// Messages with the same (src, tag) are received in send order
+    /// (FIFO), regardless of interleaving with other tags.
+    #[test]
+    fn same_tag_messages_are_fifo(count in 1usize..20, noise_tag in 2u32..50) {
+        let run = run_spmd(2, move |r| {
+            if r.id == 0 {
+                for k in 0..count {
+                    if k % 3 == 0 {
+                        r.send_f64(1, noise_tag, vec![-1.0], CommClass::Halo);
+                    }
+                    r.send_f64(1, 1, vec![k as f64], CommClass::Halo);
+                }
+                Vec::new()
+            } else {
+                (0..count).map(|_| r.recv_f64(0, 1)[0]).collect::<Vec<f64>>()
+            }
+        });
+        let got = &run.results[1];
+        for (k, &v) in got.iter().enumerate() {
+            prop_assert_eq!(v, k as f64, "FIFO violated at position {}", k);
+        }
+    }
+
+    /// Byte accounting is exact for arbitrary payload sizes.
+    #[test]
+    fn byte_accounting_is_exact(lens in proptest::collection::vec(0usize..50, 1..8)) {
+        let expected: u64 = lens.iter().map(|&l| 8 * l as u64).sum();
+        let lens2 = lens.clone();
+        let run = run_spmd(2, move |r| {
+            if r.id == 0 {
+                for (k, &l) in lens2.iter().enumerate() {
+                    r.send_f64(1, k as u32 + 1, vec![0.0; l], CommClass::Halo);
+                }
+            } else {
+                for k in 0..lens2.len() {
+                    r.recv_f64(0, k as u32 + 1);
+                }
+            }
+        });
+        prop_assert_eq!(run.counters[0].total_bytes(), expected);
+        prop_assert_eq!(run.counters[0].total_messages(), lens.len() as u64);
+        prop_assert_eq!(run.counters[1].total_messages(), 0);
+    }
+
+    /// Broadcast delivers the root's payload to everyone for any root.
+    #[test]
+    fn broadcast_from_any_root(nranks in 1usize..10, root_pick in 0usize..10) {
+        let root = root_pick % nranks;
+        let run = run_spmd(nranks, move |r| r.broadcast(root, &[r.id as f64 + 0.5]));
+        for res in &run.results {
+            prop_assert_eq!(res[0], root as f64 + 0.5);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`TetMesh`] container: geometry, the edge-based data structure, and
+//! boundary faces, plus the derived-metric build pipeline.
+
+use crate::dual::{dual_volumes, edge_coefficients};
+use crate::topology::{boundary_faces, extract_edges, vertex_edge_adjacency};
+use crate::types::{BcKind, BoundaryFace, Csr};
+use crate::vec3::{tet_volume, tri_area_vec, Vec3};
+
+/// An unstructured tetrahedral mesh in the edge-based representation used
+/// by EUL3D. Constructed via [`TetMesh::from_tets`] (or the generators in
+/// [`crate::gen`]); all derived quantities are built eagerly because the
+/// solver treats them as static preprocessed data (§2.4 of the paper).
+#[derive(Debug, Clone)]
+pub struct TetMesh {
+    /// Vertex coordinates.
+    pub coords: Vec<Vec3>,
+    /// Tetrahedra as vertex quadruples, all positively oriented.
+    pub tets: Vec<[u32; 4]>,
+    /// Unique undirected edges `[a, b]`, `a < b`, lexicographically sorted.
+    pub edges: Vec<[u32; 2]>,
+    /// Dual-face area vector per edge, oriented `a → b`.
+    pub edge_coef: Vec<Vec3>,
+    /// Boundary triangles with outward normals and BC tags.
+    pub bfaces: Vec<BoundaryFace>,
+    /// Median-dual control volume per vertex.
+    pub vol: Vec<f64>,
+    /// Vertex → incident-edge adjacency.
+    pub v2e: Csr,
+}
+
+impl TetMesh {
+    /// Build a mesh (and all derived metrics) from raw vertices and tets.
+    ///
+    /// Tets with negative volume are repaired by swapping two vertices;
+    /// degenerate (zero-volume) tets are rejected. `classify` assigns a
+    /// boundary condition to each boundary face from its centroid and
+    /// outward unit normal.
+    pub fn from_tets(
+        coords: Vec<Vec3>,
+        mut tets: Vec<[u32; 4]>,
+        classify: impl Fn(Vec3, Vec3) -> BcKind,
+    ) -> TetMesh {
+        // Orient all tets positively.
+        for t in &mut tets {
+            let v = tet_volume(
+                coords[t[0] as usize],
+                coords[t[1] as usize],
+                coords[t[2] as usize],
+                coords[t[3] as usize],
+            );
+            assert!(v != 0.0, "degenerate tetrahedron {t:?}");
+            if v < 0.0 {
+                t.swap(2, 3);
+            }
+        }
+
+        let edges = extract_edges(&tets);
+        let edge_coef = edge_coefficients(&coords, &tets, &edges);
+        let vol = dual_volumes(&coords, &tets, coords.len());
+        let v2e = vertex_edge_adjacency(coords.len(), &edges);
+
+        let bfaces = boundary_faces(&tets)
+            .into_iter()
+            .map(|f| {
+                let a = coords[f[0] as usize];
+                let b = coords[f[1] as usize];
+                let c = coords[f[2] as usize];
+                let normal = tri_area_vec(a, b, c);
+                let centroid = (a + b + c) / 3.0;
+                let unit = normal.normalized().unwrap_or(Vec3::ZERO);
+                BoundaryFace { v: f, normal, kind: classify(centroid, unit) }
+            })
+            .collect();
+
+        TetMesh { coords, tets, edges, edge_coef, bfaces, vol, v2e }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn nverts(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of unique edges.
+    #[inline]
+    pub fn nedges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of tetrahedra.
+    #[inline]
+    pub fn ntets(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Total mesh volume (sum of dual volumes == sum of tet volumes).
+    pub fn total_volume(&self) -> f64 {
+        self.vol.iter().sum()
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn bounding_box(&self) -> (Vec3, Vec3) {
+        let mut lo = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut hi = -lo;
+        for &p in &self.coords {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+
+    /// Neighbour vertices of `i` (derived from the incident edge list).
+    pub fn vertex_neighbors<'a>(&'a self, i: u32) -> impl Iterator<Item = u32> + 'a {
+        self.v2e.row(i as usize).iter().map(move |&e| {
+            let [a, b] = self.edges[e as usize];
+            if a == i {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// The maximum vertex degree (number of incident edges).
+    pub fn max_degree(&self) -> usize {
+        (0..self.nverts()).map(|i| self.v2e.degree(i)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn far(_: Vec3, _: Vec3) -> BcKind {
+        BcKind::FarField
+    }
+
+    #[test]
+    fn from_tets_repairs_orientation() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        // Negatively oriented input.
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 3, 2]], far);
+        let t = mesh.tets[0];
+        let v = tet_volume(
+            mesh.coords[t[0] as usize],
+            mesh.coords[t[1] as usize],
+            mesh.coords[t[2] as usize],
+            mesh.coords[t[3] as usize],
+        );
+        assert!(v > 0.0);
+        assert_eq!(mesh.nverts(), 4);
+        assert_eq!(mesh.nedges(), 6);
+        assert_eq!(mesh.bfaces.len(), 4);
+        assert!((mesh.total_volume() - 1.0 / 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_tet_rejected() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        ];
+        TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+    }
+
+    #[test]
+    fn vertex_neighbors_of_tet() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        let mut nbrs: Vec<u32> = mesh.vertex_neighbors(0).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 2, 3]);
+        assert_eq!(mesh.max_degree(), 3);
+    }
+
+    #[test]
+    fn boundary_normals_point_outward() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        let centroid = (mesh.coords[0] + mesh.coords[1] + mesh.coords[2] + mesh.coords[3]) / 4.0;
+        for f in &mesh.bfaces {
+            let fc = (mesh.coords[f.v[0] as usize]
+                + mesh.coords[f.v[1] as usize]
+                + mesh.coords[f.v[2] as usize])
+                / 3.0;
+            assert!(f.normal.dot(fc - centroid) > 0.0, "normal must point outward");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Point location by tetrahedron-adjacency walking — the "efficient graph
+//! traversal search algorithm" of §2.4, used to build the inter-grid
+//! interpolation operators in a preprocessing pass.
+
+use crate::mesh::TetMesh;
+use crate::topology::tet_neighbors;
+use crate::vec3::{tet_volume, Vec3};
+
+/// Barycentric coordinates of `p` in tet `t` (sum to 1; all non-negative
+/// iff `p` is inside).
+pub fn barycentric(mesh: &TetMesh, t: usize, p: Vec3) -> [f64; 4] {
+    let tv = mesh.tets[t];
+    let a = mesh.coords[tv[0] as usize];
+    let b = mesh.coords[tv[1] as usize];
+    let c = mesh.coords[tv[2] as usize];
+    let d = mesh.coords[tv[3] as usize];
+    let v = tet_volume(a, b, c, d);
+    [
+        tet_volume(p, b, c, d) / v,
+        tet_volume(a, p, c, d) / v,
+        tet_volume(a, b, p, d) / v,
+        tet_volume(a, b, c, p) / v,
+    ]
+}
+
+/// A reusable point locator over one mesh. Construction builds the
+/// face-adjacency graph once; queries walk from a seed tet toward the
+/// target, which is `O(path length)` — near-constant when queries have
+/// spatial locality (as successive mesh vertices do).
+pub struct Locator<'m> {
+    mesh: &'m TetMesh,
+    nbrs: Vec<[u32; 4]>,
+    /// Tet centroids, for the brute-force fallback.
+    centroids: Vec<Vec3>,
+}
+
+/// Result of a locate query.
+#[derive(Debug, Clone, Copy)]
+pub struct Located {
+    /// Containing (or closest-found) tet index.
+    pub tet: usize,
+    /// Barycentric weights in that tet, clamped to `[0, 1]` and
+    /// renormalized when the point was (slightly) outside the mesh.
+    pub bary: [f64; 4],
+    /// True if the point was strictly inside (no clamping applied).
+    pub inside: bool,
+}
+
+impl<'m> Locator<'m> {
+    pub fn new(mesh: &'m TetMesh) -> Self {
+        let nbrs = tet_neighbors(&mesh.tets);
+        let centroids = mesh
+            .tets
+            .iter()
+            .map(|t| {
+                (mesh.coords[t[0] as usize]
+                    + mesh.coords[t[1] as usize]
+                    + mesh.coords[t[2] as usize]
+                    + mesh.coords[t[3] as usize])
+                    / 4.0
+            })
+            .collect();
+        Locator { mesh, nbrs, centroids }
+    }
+
+    /// Walk from `seed` toward `p`: while some barycentric coordinate is
+    /// negative, step across the face opposite the most-negative one.
+    /// Bounded by the tet count; on failure (point outside the mesh, or a
+    /// rare cycle on a boundary) falls back to the nearest-centroid tet
+    /// with clamped weights.
+    pub fn locate(&self, p: Vec3, seed: usize) -> Located {
+        const EPS: f64 = -1e-12;
+        let mut t = seed.min(self.mesh.ntets() - 1);
+        let mut steps = 0usize;
+        let max_steps = self.mesh.ntets();
+        loop {
+            let bary = barycentric(self.mesh, t, p);
+            let (worst, &min) = bary
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            if min >= EPS {
+                return Located { tet: t, bary: clamp_bary(bary), inside: min >= 0.0 };
+            }
+            // The face opposite local vertex `worst` leads toward p.
+            let next = self.nbrs[t][worst];
+            steps += 1;
+            if next == u32::MAX || steps > max_steps {
+                return self.fallback(p);
+            }
+            t = next as usize;
+        }
+    }
+
+    /// Brute-force fallback: nearest centroid, clamped weights.
+    fn fallback(&self, p: Vec3) -> Located {
+        let (best, _) = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, (c - p).norm_sq()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("mesh has no tets");
+        let bary = barycentric(self.mesh, best, p);
+        Located { tet: best, bary: clamp_bary(bary), inside: false }
+    }
+}
+
+/// Clamp barycentric weights to `[0, 1]` and renormalize to sum 1.
+fn clamp_bary(b: [f64; 4]) -> [f64; 4] {
+    let mut c = b.map(|w| w.clamp(0.0, 1.0));
+    let s: f64 = c.iter().sum();
+    if s > 0.0 {
+        for w in &mut c {
+            *w /= s;
+        }
+    } else {
+        c = [0.25; 4];
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::unit_box;
+
+    #[test]
+    fn barycentric_at_vertices() {
+        let m = unit_box(2, 0.0, 0);
+        let t = 0usize;
+        for local in 0..4 {
+            let p = m.coords[m.tets[t][local] as usize];
+            let b = barycentric(&m, t, p);
+            for (i, w) in b.iter().enumerate() {
+                let expect = if i == local { 1.0 } else { 0.0 };
+                assert!((w - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_interior_points() {
+        let m = unit_box(4, 0.15, 5);
+        let loc = Locator::new(&m);
+        for (i, pt) in [
+            Vec3::new(0.3, 0.4, 0.5),
+            Vec3::new(0.9, 0.1, 0.2),
+            Vec3::new(0.01, 0.99, 0.5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let r = loc.locate(*pt, i * 7 % m.ntets());
+            assert!(r.inside, "interior point must be found inside");
+            // Reconstruct the point from the weights.
+            let t = m.tets[r.tet];
+            let mut q = Vec3::ZERO;
+            for (&v, &bk) in t.iter().zip(&r.bary) {
+                q += m.coords[v as usize] * bk;
+            }
+            assert!((q - *pt).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn locate_outside_point_clamps() {
+        let m = unit_box(3, 0.0, 0);
+        let loc = Locator::new(&m);
+        let r = loc.locate(Vec3::new(2.0, 0.5, 0.5), 0);
+        assert!(!r.inside);
+        let s: f64 = r.bary.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(r.bary.iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn locate_every_lattice_vertex_of_other_mesh() {
+        let a = unit_box(5, 0.2, 1);
+        let b = unit_box(3, 0.2, 2);
+        let loc = Locator::new(&b);
+        let mut seed = 0usize;
+        for &p in &a.coords {
+            let r = loc.locate(p, seed);
+            seed = r.tet;
+            let t = b.tets[r.tet];
+            let mut q = Vec3::ZERO;
+            for (&v, &bk) in t.iter().zip(&r.bary) {
+                q += b.coords[v as usize] * bk;
+            }
+            // Both meshes fill the same unit cube, so every vertex must be
+            // reproduced (up to clamping at the very boundary).
+            assert!((q - p).norm() < 1e-9, "vertex {p:?} badly located");
+        }
+    }
+}

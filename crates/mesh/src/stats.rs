@@ -1,0 +1,118 @@
+//! Mesh statistics and validation.
+
+use crate::dual::closure_residual;
+use crate::mesh::TetMesh;
+use crate::types::BcKind;
+use crate::vec3::tet_volume;
+
+/// Summary statistics of a mesh (Figure-3-style reporting).
+#[derive(Debug, Clone)]
+pub struct MeshStats {
+    pub nverts: usize,
+    pub nedges: usize,
+    pub ntets: usize,
+    pub nbfaces: usize,
+    pub walls: usize,
+    pub farfield: usize,
+    pub symmetry: usize,
+    pub total_volume: f64,
+    pub min_tet_volume: f64,
+    pub max_vertex_degree: usize,
+    pub avg_vertex_degree: f64,
+    /// Max-norm of the per-vertex dual-surface closure residual (should
+    /// be round-off small).
+    pub closure_max: f64,
+}
+
+impl MeshStats {
+    pub fn compute(mesh: &TetMesh) -> MeshStats {
+        let min_tet_volume = mesh
+            .tets
+            .iter()
+            .map(|t| {
+                tet_volume(
+                    mesh.coords[t[0] as usize],
+                    mesh.coords[t[1] as usize],
+                    mesh.coords[t[2] as usize],
+                    mesh.coords[t[3] as usize],
+                )
+            })
+            .fold(f64::INFINITY, f64::min);
+        let bf: Vec<_> = mesh.bfaces.iter().map(|f| (f.normal, f.v)).collect();
+        let closure_max = closure_residual(mesh.nverts(), &mesh.edges, &mesh.edge_coef, &bf)
+            .iter()
+            .map(|r| r.norm())
+            .fold(0.0, f64::max);
+        let count = |k: BcKind| mesh.bfaces.iter().filter(|f| f.kind == k).count();
+        MeshStats {
+            nverts: mesh.nverts(),
+            nedges: mesh.nedges(),
+            ntets: mesh.ntets(),
+            nbfaces: mesh.bfaces.len(),
+            walls: count(BcKind::Wall),
+            farfield: count(BcKind::FarField),
+            symmetry: count(BcKind::Symmetry),
+            total_volume: mesh.total_volume(),
+            min_tet_volume,
+            max_vertex_degree: mesh.max_degree(),
+            avg_vertex_degree: 2.0 * mesh.nedges() as f64 / mesh.nverts() as f64,
+            closure_max,
+        }
+    }
+
+    /// Hard validity check: positive volumes and closed dual surfaces.
+    pub fn is_valid(&self) -> bool {
+        self.min_tet_volume > 0.0 && self.closure_max < 1e-9 * self.total_volume.max(1.0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} nodes, {} edges, {} tets, {} bfaces (wall {}, far {}, sym {}), vol {:.4}, closure {:.2e}",
+            self.nverts,
+            self.nedges,
+            self.ntets,
+            self.nbfaces,
+            self.walls,
+            self.farfield,
+            self.symmetry,
+            self.total_volume,
+            self.closure_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{bump_channel, unit_box, BumpSpec};
+
+    #[test]
+    fn stats_of_unit_box() {
+        let m = unit_box(4, 0.2, 17);
+        let s = MeshStats::compute(&m);
+        assert!(s.is_valid(), "{}", s.summary());
+        assert_eq!(s.nverts, 125);
+        assert_eq!(s.farfield, s.nbfaces);
+        assert_eq!(s.walls, 0);
+        assert!((s.total_volume - 1.0).abs() < 1e-12);
+        // Split-hex lattices average ~7 edges per vertex in the interior.
+        assert!(s.avg_vertex_degree > 4.0 && s.avg_vertex_degree < 14.0);
+    }
+
+    #[test]
+    fn stats_of_bump_channel() {
+        let m = bump_channel(&BumpSpec::default());
+        let s = MeshStats::compute(&m);
+        assert!(s.is_valid(), "{}", s.summary());
+        assert!(s.walls > 0 && s.farfield > 0 && s.symmetry > 0);
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let m = unit_box(2, 0.0, 0);
+        let s = MeshStats::compute(&m).summary();
+        assert!(s.contains("nodes"));
+        assert!(s.contains("tets"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Minimal 3-vector used throughout the mesh and solver crates.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component double-precision vector (point, normal, or velocity).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > f64::EPSILON {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Access by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn axis(self, a: usize) -> f64 {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis index {a} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Signed volume of the tetrahedron `(a, b, c, d)`; positive when the
+/// vertices are positively oriented (right-handed).
+#[inline]
+pub fn tet_volume(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    (b - a).cross(c - a).dot(d - a) / 6.0
+}
+
+/// Area vector (half the cross product) of triangle `(a, b, c)`, normal by
+/// the right-hand rule on the winding.
+#[inline]
+pub fn tri_area_vec(a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    (b - a).cross(c - a) * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert!((a.dot(b) - (-1.0 + 1.0 + 6.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 1.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_tet_volume() {
+        let v = tet_volume(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        assert!((v - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swapping_vertices_flips_volume_sign() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        assert!((tet_volume(a, b, c, d) + tet_volume(b, a, c, d)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn triangle_area_vector() {
+        let s = tri_area_vec(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(s, Vec3::new(0.0, 0.0, 0.5));
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(3.0, 0.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axis_access() {
+        let a = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(a.axis(0), 7.0);
+        assert_eq!(a.axis(1), 8.0);
+        assert_eq!(a.axis(2), 9.0);
+    }
+}

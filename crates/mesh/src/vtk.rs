@@ -1,0 +1,85 @@
+//! Legacy-VTK (ASCII) export of meshes and vertex fields, for inspecting
+//! the Figure-3 meshes and Figure-4 Mach fields in ParaView/VisIt.
+
+use std::io::{self, Write};
+
+use crate::mesh::TetMesh;
+
+/// Write the mesh (and optional named scalar point fields) as a legacy
+/// VTK unstructured grid.
+pub fn write_vtk<W: Write>(
+    out: &mut W,
+    mesh: &TetMesh,
+    fields: &[(&str, &[f64])],
+) -> io::Result<()> {
+    writeln!(out, "# vtk DataFile Version 3.0")?;
+    writeln!(out, "eul3d-rs mesh export")?;
+    writeln!(out, "ASCII")?;
+    writeln!(out, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(out, "POINTS {} double", mesh.nverts())?;
+    for p in &mesh.coords {
+        writeln!(out, "{} {} {}", p.x, p.y, p.z)?;
+    }
+    writeln!(out, "CELLS {} {}", mesh.ntets(), mesh.ntets() * 5)?;
+    for t in &mesh.tets {
+        writeln!(out, "4 {} {} {} {}", t[0], t[1], t[2], t[3])?;
+    }
+    writeln!(out, "CELL_TYPES {}", mesh.ntets())?;
+    for _ in 0..mesh.ntets() {
+        writeln!(out, "10")?; // VTK_TETRA
+    }
+    if !fields.is_empty() {
+        writeln!(out, "POINT_DATA {}", mesh.nverts())?;
+        for (name, data) in fields {
+            assert_eq!(data.len(), mesh.nverts(), "field `{name}` has wrong length");
+            writeln!(out, "SCALARS {name} double 1")?;
+            writeln!(out, "LOOKUP_TABLE default")?;
+            for v in *data {
+                writeln!(out, "{v}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_vtk_file(
+    path: &std::path::Path,
+    mesh: &TetMesh,
+    fields: &[(&str, &[f64])],
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_vtk(&mut f, mesh, fields)?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::unit_box;
+
+    #[test]
+    fn vtk_output_structure() {
+        let m = unit_box(2, 0.0, 0);
+        let field: Vec<f64> = (0..m.nverts()).map(|i| i as f64).collect();
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &m, &[("id", &field)]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("# vtk DataFile"));
+        assert!(s.contains(&format!("POINTS {} double", m.nverts())));
+        assert!(s.contains(&format!("CELLS {} {}", m.ntets(), m.ntets() * 5)));
+        assert!(s.contains("SCALARS id double 1"));
+        // One "4 a b c d" connectivity line per tet.
+        assert_eq!(s.lines().filter(|l| l.starts_with("4 ")).count(), m.ntets());
+        assert!(s.contains(&format!("CELL_TYPES {}", m.ntets())));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn vtk_rejects_bad_field_length() {
+        let m = unit_box(2, 0.0, 0);
+        let field = vec![0.0; 3];
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &m, &[("bad", &field)]).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the mesh machinery across randomized generator
+//! parameters.
+
+use proptest::prelude::*;
+
+use eul3d_mesh::dual::closure_residual;
+use eul3d_mesh::gen::{bump_channel, cluster1d, unit_box, BumpSpec};
+use eul3d_mesh::refine::refine_uniform;
+use eul3d_mesh::search::Locator;
+use eul3d_mesh::stats::MeshStats;
+use eul3d_mesh::vec3::tet_volume;
+use eul3d_mesh::{InterpOps, Vec3};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// Every generated box mesh is geometrically valid: positive tet
+    /// volumes, closed dual surfaces, exact total volume.
+    #[test]
+    fn box_meshes_always_valid(n in 2usize..6, jitter in 0.0f64..0.25, seed in 0u64..10_000) {
+        let m = unit_box(n, jitter, seed);
+        for t in &m.tets {
+            let v = tet_volume(
+                m.coords[t[0] as usize],
+                m.coords[t[1] as usize],
+                m.coords[t[2] as usize],
+                m.coords[t[3] as usize],
+            );
+            prop_assert!(v > 0.0);
+        }
+        prop_assert!((m.total_volume() - 1.0).abs() < 1e-12);
+        let bf: Vec<_> = m.bfaces.iter().map(|f| (f.normal, f.v)).collect();
+        let res = closure_residual(m.nverts(), &m.edges, &m.edge_coef, &bf);
+        for r in res {
+            prop_assert!(r.norm() < 1e-12);
+        }
+    }
+
+    /// cluster1d is monotone and endpoint-exact for the full parameter
+    /// range the generators use.
+    #[test]
+    fn cluster1d_always_monotone(
+        n in 2usize..64,
+        a in -10.0f64..0.0,
+        width in 0.1f64..20.0,
+        uc in 0.0f64..1.0,
+        s in 0.0f64..0.95,
+    ) {
+        let b = a + width;
+        let xs = cluster1d(n, a, b, uc, s);
+        prop_assert!((xs[0] - a).abs() < 1e-9 * width);
+        prop_assert!((xs[n] - b).abs() < 1e-9 * width);
+        for w in xs.windows(2) {
+            prop_assert!(w[1] > w[0], "non-monotone at s={s}, uc={uc}");
+        }
+    }
+
+    /// Refinement preserves volume and validity for any base mesh.
+    #[test]
+    fn refinement_preserves_geometry(n in 2usize..4, jitter in 0.0f64..0.2, seed in 0u64..500) {
+        let m = unit_box(n, jitter, seed);
+        let r = refine_uniform(&m);
+        prop_assert!((r.total_volume() - m.total_volume()).abs() < 1e-12);
+        prop_assert!(MeshStats::compute(&r).is_valid());
+    }
+
+    /// Transfer operators between random mesh pairs reproduce constants
+    /// (partition of unity) everywhere.
+    #[test]
+    fn interp_weights_are_partition_of_unity(sa in 0u64..100, sb in 100u64..200) {
+        let src = unit_box(3, 0.15, sa);
+        let dst = unit_box(4, 0.15, sb);
+        let ops = InterpOps::build(&src, &dst);
+        for w in &ops.w {
+            let s: f64 = w.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-12);
+            prop_assert!(w.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+        }
+    }
+
+    /// The walk locator and a brute-force barycentric scan agree on
+    /// containment.
+    #[test]
+    fn locator_agrees_with_brute_force(
+        seed in 0u64..100,
+        x in 0.1f64..0.9, y in 0.1f64..0.9, z in 0.1f64..0.9,
+    ) {
+        let m = unit_box(3, 0.2, seed);
+        let loc = Locator::new(&m);
+        let p = Vec3::new(x, y, z);
+        let r = loc.locate(p, 0);
+        prop_assert!(r.inside);
+        // The found tet must actually contain the point.
+        let bary = eul3d_mesh::search::barycentric(&m, r.tet, p);
+        prop_assert!(bary.iter().all(|&b| b >= -1e-9));
+    }
+
+    /// Bump meshes: wall + symmetry + far-field areas tile the whole
+    /// boundary for any spec.
+    #[test]
+    fn bump_boundary_is_fully_tagged(
+        nx in 6usize..16,
+        bump in 0.0f64..0.12,
+        seed in 0u64..1000,
+    ) {
+        let spec = BumpSpec {
+            nx,
+            ny: (nx / 3).max(2),
+            nz: (nx / 4).max(2),
+            bump_height: bump,
+            jitter: 0.12,
+            seed,
+            ..BumpSpec::default()
+        };
+        let m = bump_channel(&spec);
+        // Closed boundary: total outward area vector is zero.
+        let total: Vec3 = m.bfaces.iter().fold(Vec3::ZERO, |acc, f| acc + f.normal);
+        prop_assert!(total.norm() < 1e-10, "boundary must close, leak {total:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Incremental schedules (§4.3): "Incremental schedules obtain only those
+//! off-processor data not requested by a given set of pre-existing
+//! schedules. Hash-tables are used to omit duplicate off-processor data
+//! references."
+//!
+//! [`GhostRegistry`] tracks which ghost globals are already covered by
+//! earlier schedules for the *same* array; [`GhostRegistry::filter_new`]
+//! returns only the uncovered references, which is what gets handed to
+//! [`crate::localize`] for the incremental schedule.
+
+use std::collections::HashMap;
+
+/// Tracks ghost coverage for one distributed array.
+#[derive(Debug, Clone, Default)]
+pub struct GhostRegistry {
+    /// Global id → local ghost slot, for every ghost already scheduled.
+    covered: HashMap<u32, u32>,
+}
+
+impl GhostRegistry {
+    pub fn new() -> GhostRegistry {
+        GhostRegistry::default()
+    }
+
+    /// Number of distinct ghosts covered so far.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// Slot of an already-covered ghost.
+    pub fn slot_of(&self, global: u32) -> Option<u32> {
+        self.covered.get(&global).copied()
+    }
+
+    /// Split `required` into the *new* references (returned, with their
+    /// slots, deduplicated) and record them as covered. References
+    /// already covered are dropped — their data will be fetched by the
+    /// pre-existing schedules, so refetching would be pure waste.
+    pub fn filter_new(&mut self, required: &[u32], slots: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert_eq!(required.len(), slots.len());
+        let mut new_globals = Vec::new();
+        let mut new_slots = Vec::new();
+        for (&g, &s) in required.iter().zip(slots) {
+            if let Some(&prev) = self.covered.get(&g) {
+                assert_eq!(prev, s, "ghost {g} mapped to two different slots");
+            } else {
+                self.covered.insert(g, s);
+                new_globals.push(g);
+                new_slots.push(s);
+            }
+        }
+        (new_globals, new_slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_call_passes_everything() {
+        let mut reg = GhostRegistry::new();
+        let (g, s) = reg.filter_new(&[10, 20, 30], &[0, 1, 2]);
+        assert_eq!(g, vec![10, 20, 30]);
+        assert_eq!(s, vec![0, 1, 2]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn second_call_is_incremental() {
+        let mut reg = GhostRegistry::new();
+        reg.filter_new(&[10, 20], &[0, 1]);
+        let (g, s) = reg.filter_new(&[20, 30, 10, 40], &[1, 2, 0, 3]);
+        assert_eq!(g, vec![30, 40]);
+        assert_eq!(s, vec![2, 3]);
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn duplicates_within_one_call_are_dropped() {
+        let mut reg = GhostRegistry::new();
+        let (g, _) = reg.filter_new(&[5, 5, 5], &[9, 9, 9]);
+        assert_eq!(g, vec![5]);
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let mut reg = GhostRegistry::new();
+        reg.filter_new(&[7], &[3]);
+        assert_eq!(reg.slot_of(7), Some(3));
+        assert_eq!(reg.slot_of(8), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "two different slots")]
+    fn conflicting_slots_rejected() {
+        let mut reg = GhostRegistry::new();
+        reg.filter_new(&[7], &[3]);
+        reg.filter_new(&[7], &[4]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Communication schedules and their executors.
+
+use eul3d_delta::{CommClass, Rank};
+
+/// A reusable communication pattern for one rank: which of its *owned*
+/// entries to send to each peer, and into which local *ghost* slots to
+/// place data arriving from each peer. Built once by the inspector
+/// ([`crate::localize`]), executed many times.
+///
+/// All messages to one peer are packed into a single buffer — PARTI's
+/// "packing various small messages with the same destinations into one
+/// large message" (§4.1).
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Base tag; executors offset it to keep gather and scatter distinct.
+    pub tag: u32,
+    /// Traffic class charged to the cost model.
+    pub class: CommClass,
+    /// `(peer, owned local indices to pack)` — ascending peer order.
+    pub sends: Vec<(usize, Vec<u32>)>,
+    /// `(peer, local ghost slots to fill)` — ascending peer order.
+    pub recvs: Vec<(usize, Vec<u32>)>,
+}
+
+impl Schedule {
+    /// An empty schedule (single-rank runs, or nothing off-processor).
+    pub fn empty(tag: u32, class: CommClass) -> Schedule {
+        Schedule { tag, class, sends: Vec::new(), recvs: Vec::new() }
+    }
+
+    /// Number of ghost entries this schedule fills.
+    pub fn nghosts(&self) -> usize {
+        self.recvs.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Number of owned entries this schedule exports.
+    pub fn nexports(&self) -> usize {
+        self.sends.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// **Gather executor**: fetch off-processor data into ghost slots.
+    /// `data` is a flat per-vertex array with `nc` components per entry;
+    /// both owned and ghost slots live in the same array.
+    pub fn gather(&self, rank: &mut Rank, data: &mut [f64], nc: usize) {
+        for (peer, idxs) in &self.sends {
+            let mut buf = Vec::with_capacity(idxs.len() * nc);
+            for &i in idxs {
+                let base = i as usize * nc;
+                buf.extend_from_slice(&data[base..base + nc]);
+            }
+            rank.send_f64(*peer, self.tag, buf, self.class);
+        }
+        for (peer, slots) in &self.recvs {
+            let buf = rank.recv_f64(*peer, self.tag);
+            assert_eq!(buf.len(), slots.len() * nc, "gather buffer size mismatch");
+            for (k, &s) in slots.iter().enumerate() {
+                let base = s as usize * nc;
+                data[base..base + nc].copy_from_slice(&buf[k * nc..k * nc + nc]);
+            }
+        }
+    }
+
+    /// **Scatter-add executor**: flush partial sums accumulated in ghost
+    /// slots back to their owners, *adding* into the owners' entries, and
+    /// zero the ghost slots afterwards (they are accumulators).
+    pub fn scatter_add(&self, rank: &mut Rank, data: &mut [f64], nc: usize) {
+        // Reverse direction: ghosts (recvs side) are packed and sent to
+        // owners; owners (sends side) receive and accumulate.
+        let tag = self.tag + 1;
+        for (peer, slots) in &self.recvs {
+            let mut buf = Vec::with_capacity(slots.len() * nc);
+            for &s in slots {
+                let base = s as usize * nc;
+                buf.extend_from_slice(&data[base..base + nc]);
+                data[base..base + nc].iter_mut().for_each(|x| *x = 0.0);
+            }
+            rank.send_f64(*peer, tag, buf, self.class);
+        }
+        for (peer, idxs) in &self.sends {
+            let buf = rank.recv_f64(*peer, tag);
+            assert_eq!(buf.len(), idxs.len() * nc, "scatter buffer size mismatch");
+            for (k, &i) in idxs.iter().enumerate() {
+                let base = i as usize * nc;
+                for c in 0..nc {
+                    data[base + c] += buf[k * nc + c];
+                }
+            }
+        }
+    }
+
+    /// Like [`Schedule::gather`] but with distinct source and destination
+    /// arrays: owners pack from `src` (owner-local indices), receivers
+    /// fill `dst` (buffer slots). Used by the inter-grid transfer
+    /// executors, where fetched data lands in a compact staging buffer
+    /// instead of ghost slots of the same array.
+    pub fn gather_into(&self, rank: &mut Rank, src: &[f64], dst: &mut [f64], nc: usize) {
+        for (peer, idxs) in &self.sends {
+            let mut buf = Vec::with_capacity(idxs.len() * nc);
+            for &i in idxs {
+                let base = i as usize * nc;
+                buf.extend_from_slice(&src[base..base + nc]);
+            }
+            rank.send_f64(*peer, self.tag, buf, self.class);
+        }
+        for (peer, slots) in &self.recvs {
+            let buf = rank.recv_f64(*peer, self.tag);
+            assert_eq!(buf.len(), slots.len() * nc, "gather_into buffer size mismatch");
+            for (k, &s) in slots.iter().enumerate() {
+                let base = s as usize * nc;
+                dst[base..base + nc].copy_from_slice(&buf[k * nc..k * nc + nc]);
+            }
+        }
+    }
+
+    /// Like [`Schedule::scatter_add`] but with distinct arrays: staged
+    /// partial sums in `ghost_src` (buffer slots, zeroed after sending)
+    /// are flushed to owners, who accumulate into `dst` (owner-local
+    /// indices). Used to push restricted residuals to coarse-grid owners.
+    pub fn scatter_add_into(
+        &self,
+        rank: &mut Rank,
+        ghost_src: &mut [f64],
+        dst: &mut [f64],
+        nc: usize,
+    ) {
+        let tag = self.tag + 1;
+        for (peer, slots) in &self.recvs {
+            let mut buf = Vec::with_capacity(slots.len() * nc);
+            for &s in slots {
+                let base = s as usize * nc;
+                buf.extend_from_slice(&ghost_src[base..base + nc]);
+                ghost_src[base..base + nc].iter_mut().for_each(|x| *x = 0.0);
+            }
+            rank.send_f64(*peer, tag, buf, self.class);
+        }
+        for (peer, idxs) in &self.sends {
+            let buf = rank.recv_f64(*peer, tag);
+            assert_eq!(buf.len(), idxs.len() * nc, "scatter_add_into size mismatch");
+            for (k, &i) in idxs.iter().enumerate() {
+                let base = i as usize * nc;
+                for c in 0..nc {
+                    dst[base + c] += buf[k * nc + c];
+                }
+            }
+        }
+    }
+
+    /// **Message aggregation across loops** (§4.3): combine several
+    /// schedules into one whose executor sends a single message per peer.
+    /// The inputs must address disjoint ghost slots (which incremental
+    /// construction guarantees).
+    pub fn merge(parts: &[&Schedule], tag: u32, class: CommClass) -> Schedule {
+        let mut sends: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+        let mut recvs: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+        for s in parts {
+            for (peer, idxs) in &s.sends {
+                sends.entry(*peer).or_default().extend_from_slice(idxs);
+            }
+            for (peer, slots) in &s.recvs {
+                recvs.entry(*peer).or_default().extend_from_slice(slots);
+            }
+        }
+        Schedule {
+            tag,
+            class,
+            sends: sends.into_iter().collect(),
+            recvs: recvs.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eul3d_delta::run_spmd;
+
+    /// Hand-built two-rank schedule: rank 0 owns entries {0,1}, rank 1
+    /// owns {0,1}; each has one ghost slot (index 2) mirroring the peer's
+    /// entry 1.
+    fn mirror_schedule(me: usize) -> Schedule {
+        let other = 1 - me;
+        Schedule {
+            tag: 10,
+            class: CommClass::Halo,
+            sends: vec![(other, vec![1])],
+            recvs: vec![(other, vec![2])],
+        }
+    }
+
+    #[test]
+    fn gather_fills_ghosts() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let mut data = vec![r.id as f64 * 10.0, r.id as f64 * 10.0 + 1.0, -1.0];
+            sched.gather(r, &mut data, 1);
+            data
+        });
+        // Rank 0's ghost = rank 1's entry 1 = 11; rank 1's ghost = 1.
+        assert_eq!(run.results[0][2], 11.0);
+        assert_eq!(run.results[1][2], 1.0);
+    }
+
+    #[test]
+    fn scatter_add_flushes_and_zeros_ghosts() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            // Owned entries start at 100; ghost accumulator holds 5+id.
+            let mut data = vec![100.0, 100.0, 5.0 + r.id as f64];
+            sched.scatter_add(r, &mut data, 1);
+            data
+        });
+        // Rank 0's entry 1 += rank 1's ghost (6); ghost zeroed.
+        assert_eq!(run.results[0], vec![100.0, 106.0, 0.0]);
+        assert_eq!(run.results[1], vec![100.0, 105.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_multicomponent() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let base = r.id as f64 * 100.0;
+            let mut data = vec![base, base + 1.0, base + 10.0, base + 11.0, 0.0, 0.0];
+            sched.gather(r, &mut data, 2);
+            data
+        });
+        assert_eq!(&run.results[0][4..], &[110.0, 111.0]);
+        assert_eq!(&run.results[1][4..], &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn merge_aggregates_per_peer() {
+        let a = Schedule {
+            tag: 1,
+            class: CommClass::Halo,
+            sends: vec![(1, vec![0])],
+            recvs: vec![(1, vec![4])],
+        };
+        let b = Schedule {
+            tag: 2,
+            class: CommClass::Halo,
+            sends: vec![(1, vec![2]), (2, vec![3])],
+            recvs: vec![(2, vec![5])],
+        };
+        let m = Schedule::merge(&[&a, &b], 7, CommClass::Halo);
+        assert_eq!(m.sends, vec![(1, vec![0, 2]), (2, vec![3])]);
+        assert_eq!(m.recvs, vec![(1, vec![4]), (2, vec![5])]);
+        assert_eq!(m.nexports(), 3);
+        assert_eq!(m.nghosts(), 2);
+    }
+
+    #[test]
+    fn merged_schedule_sends_fewer_messages() {
+        // Two separate gathers vs one merged gather: same bytes moved,
+        // half the messages (the aggregation win the cost model prices).
+        let sched_pair = |me: usize, tag: u32, ghost: u32, own: u32| {
+            let other = 1 - me;
+            Schedule {
+                tag,
+                class: CommClass::Halo,
+                sends: vec![(other, vec![own])],
+                recvs: vec![(other, vec![ghost])],
+            }
+        };
+        let separate = run_spmd(2, |r| {
+            let s1 = sched_pair(r.id, 20, 2, 0);
+            let s2 = sched_pair(r.id, 30, 3, 1);
+            let mut data = vec![1.0, 2.0, 0.0, 0.0];
+            s1.gather(r, &mut data, 1);
+            s2.gather(r, &mut data, 1);
+            data
+        });
+        let merged = run_spmd(2, |r| {
+            let s1 = sched_pair(r.id, 20, 2, 0);
+            let s2 = sched_pair(r.id, 30, 3, 1);
+            let m = Schedule::merge(&[&s1, &s2], 40, CommClass::Halo);
+            let mut data = vec![1.0, 2.0, 0.0, 0.0];
+            m.gather(r, &mut data, 1);
+            data
+        });
+        assert_eq!(separate.results, merged.results, "same data either way");
+        assert_eq!(separate.counters[0].total_messages(), 2);
+        assert_eq!(merged.counters[0].total_messages(), 1);
+        assert_eq!(
+            separate.counters[0].total_bytes(),
+            merged.counters[0].total_bytes()
+        );
+    }
+
+    #[test]
+    fn gather_into_separate_arrays() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let src = vec![r.id as f64 * 10.0, r.id as f64 * 10.0 + 1.0];
+            let mut dst = vec![0.0; 3];
+            sched.gather_into(r, &src, &mut dst, 1);
+            dst
+        });
+        assert_eq!(run.results[0][2], 11.0);
+        assert_eq!(run.results[1][2], 1.0);
+    }
+
+    #[test]
+    fn scatter_add_into_separate_arrays() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let mut staged = vec![0.0, 0.0, 7.0 + r.id as f64];
+            let mut dst = vec![100.0, 100.0];
+            sched.scatter_add_into(r, &mut staged, &mut dst, 1);
+            (staged, dst)
+        });
+        // Rank 0's dst[1] += rank 1's staged (8); staging buffer zeroed.
+        assert_eq!(run.results[0].1, vec![100.0, 108.0]);
+        assert_eq!(run.results[1].1, vec![100.0, 107.0]);
+        assert_eq!(run.results[0].0[2], 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_is_a_noop() {
+        let run = run_spmd(2, |r| {
+            let s = Schedule::empty(5, CommClass::Halo);
+            let mut data = vec![1.0, 2.0];
+            s.gather(r, &mut data, 1);
+            s.scatter_add(r, &mut data, 1);
+            data
+        });
+        assert_eq!(run.results[0], vec![1.0, 2.0]);
+        assert_eq!(run.counters[0].total_messages(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Partition quality metrics (§4.1: "the criteria for this partitioning
+//! is to reduce the volume of interprocessor data communication and also
+//! to ensure good load-balancing").
+
+/// Quality summary of a vertex partition.
+#[derive(Debug, Clone)]
+pub struct PartitionQuality {
+    pub nparts: usize,
+    /// Vertices per part.
+    pub sizes: Vec<usize>,
+    /// Largest part size over the ideal size.
+    pub max_imbalance: f64,
+    /// Edges whose endpoints live in different parts — each costs
+    /// communication on every edge loop.
+    pub cut_edges: usize,
+    /// Fraction of edges cut.
+    pub cut_fraction: f64,
+    /// Vertices adjacent to at least one cut edge (the "partition
+    /// surface"), summed over parts.
+    pub boundary_vertices: usize,
+    /// Mean surface-to-volume ratio across parts (boundary vertices of
+    /// the part / vertices of the part).
+    pub mean_surface_to_volume: f64,
+}
+
+impl PartitionQuality {
+    pub fn compute(parts: &[u32], nparts: usize, edges: &[[u32; 2]]) -> PartitionQuality {
+        let mut sizes = vec![0usize; nparts];
+        for &p in parts {
+            sizes[p as usize] += 1;
+        }
+        let ideal = parts.len() as f64 / nparts as f64;
+        let max_imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / ideal.max(1e-300);
+
+        let mut cut_edges = 0usize;
+        let mut on_boundary = vec![false; parts.len()];
+        for &[a, b] in edges {
+            if parts[a as usize] != parts[b as usize] {
+                cut_edges += 1;
+                on_boundary[a as usize] = true;
+                on_boundary[b as usize] = true;
+            }
+        }
+        let mut bverts = vec![0usize; nparts];
+        for (v, &onb) in on_boundary.iter().enumerate() {
+            if onb {
+                bverts[parts[v] as usize] += 1;
+            }
+        }
+        let boundary_vertices = bverts.iter().sum();
+        let mean_surface_to_volume = bverts
+            .iter()
+            .zip(&sizes)
+            .map(|(&b, &s)| if s > 0 { b as f64 / s as f64 } else { 0.0 })
+            .sum::<f64>()
+            / nparts as f64;
+
+        PartitionQuality {
+            nparts,
+            sizes,
+            max_imbalance,
+            cut_edges,
+            cut_fraction: cut_edges as f64 / edges.len().max(1) as f64,
+            boundary_vertices,
+            mean_surface_to_volume,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_of_perfect_split() {
+        // 4 vertices in a path 0-1-2-3 split [0,1] vs [2,3].
+        let parts = vec![0, 0, 1, 1];
+        let edges = vec![[0u32, 1], [1, 2], [2, 3]];
+        let q = PartitionQuality::compute(&parts, 2, &edges);
+        assert_eq!(q.sizes, vec![2, 2]);
+        assert!((q.max_imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(q.cut_edges, 1);
+        assert_eq!(q.boundary_vertices, 2);
+        assert!((q.cut_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_surface_to_volume - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_of_unbalanced_split() {
+        let parts = vec![0, 0, 0, 1];
+        let edges = vec![[0u32, 1], [1, 2], [2, 3]];
+        let q = PartitionQuality::compute(&parts, 2, &edges);
+        assert!((q.max_imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cut_edges_when_single_part() {
+        let parts = vec![0; 5];
+        let edges = vec![[0u32, 1], [2, 3], [3, 4]];
+        let q = PartitionQuality::compute(&parts, 1, &edges);
+        assert_eq!(q.cut_edges, 0);
+        assert_eq!(q.boundary_vertices, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Recursive coordinate bisection (RCB): a cheap geometric baseline
+//! partitioner. Splits the current vertex set at the weighted median of
+//! the longest bounding-box axis. Used as the ablation comparator for RSB
+//! (good balance, usually more cut edges on irregular geometries).
+
+use eul3d_mesh::Vec3;
+
+/// Partition vertices (given their coordinates) into `nparts` pieces by
+/// recursive coordinate bisection.
+pub fn rcb_partition(coords: &[Vec3], nparts: usize) -> Vec<u32> {
+    assert!(nparts >= 1);
+    let mut parts = vec![0u32; coords.len()];
+    if nparts == 1 || coords.is_empty() {
+        return parts;
+    }
+    let all: Vec<u32> = (0..coords.len() as u32).collect();
+    let mut stack = vec![(all, 0u32, nparts)];
+    while let Some((verts, base, np)) = stack.pop() {
+        if np == 1 || verts.len() <= 1 {
+            for &v in &verts {
+                parts[v as usize] = base;
+            }
+            continue;
+        }
+        let np_left = np / 2;
+        let np_right = np - np_left;
+
+        // Longest axis of the subset's bounding box.
+        let mut lo = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut hi = -lo;
+        for &v in &verts {
+            lo = lo.min(coords[v as usize]);
+            hi = hi.max(coords[v as usize]);
+        }
+        let ext = hi - lo;
+        let axis = if ext.x >= ext.y && ext.x >= ext.z {
+            0
+        } else if ext.y >= ext.z {
+            1
+        } else {
+            2
+        };
+
+        let mut order = verts;
+        order.sort_by(|&a, &b| {
+            coords[a as usize]
+                .axis(axis)
+                .partial_cmp(&coords[b as usize].axis(axis))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let cut = order.len() * np_left / np;
+        let right = order.split_off(cut);
+        stack.push((order, base, np_left));
+        stack.push((right, base + np_left as u32, np_right));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::PartitionQuality;
+    use eul3d_mesh::gen::unit_box;
+
+    #[test]
+    fn rcb_is_balanced() {
+        let m = unit_box(6, 0.2, 4);
+        let p = rcb_partition(&m.coords, 8);
+        let q = PartitionQuality::compute(&p, 8, &m.edges);
+        assert!(q.max_imbalance < 1.05, "{q:?}");
+    }
+
+    #[test]
+    fn rcb_two_parts_split_longest_axis() {
+        // A slab longer in x must be split by an x plane.
+        let coords: Vec<Vec3> = (0..100)
+            .map(|i| Vec3::new(i as f64, (i % 3) as f64 * 0.1, 0.0))
+            .collect();
+        let p = rcb_partition(&coords, 2);
+        for (i, &r) in p.iter().enumerate() {
+            assert_eq!(r, if i < 50 { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn rcb_nparts_one() {
+        let coords = vec![Vec3::ZERO; 10];
+        assert!(rcb_partition(&coords, 1).iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn rcb_cut_quality_beats_random() {
+        let m = unit_box(6, 0.15, 5);
+        let p = rcb_partition(&m.coords, 4);
+        let q = PartitionQuality::compute(&p, 4, &m.edges);
+        let pr = crate::random_partition(m.nverts(), 4, 2);
+        let qr = PartitionQuality::compute(&pr, 4, &m.edges);
+        assert!(q.cut_edges < qr.cut_edges);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the preprocessing algorithms over random graphs
+//! (not just meshes): connected random graphs are built from a random
+//! spanning tree plus extra edges.
+
+use proptest::prelude::*;
+
+use eul3d_partition::coloring::color_edge_list;
+use eul3d_partition::reorder::{random_order, rcm_order};
+use eul3d_partition::{kl_refine, rsb_partition, PartitionQuality};
+
+/// A connected random graph: spanning tree + `extra` random edges.
+fn arb_graph(n: usize) -> impl Strategy<Value = Vec<[u32; 2]>> {
+    (
+        proptest::collection::vec(0u64..u64::MAX, n.saturating_sub(1)),
+        proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..2 * n),
+    )
+        .prop_map(move |(tree_picks, extras)| {
+            let mut edges: Vec<[u32; 2]> = Vec::new();
+            for (i, pick) in tree_picks.iter().enumerate() {
+                let v = (i + 1) as u32;
+                let parent = (pick % (i as u64 + 1)) as u32;
+                edges.push(if parent < v { [parent, v] } else { [v, parent] });
+            }
+            for (a, b) in extras {
+                if a != b {
+                    edges.push(if a < b { [a, b] } else { [b, a] });
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            edges
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Greedy colouring of arbitrary graphs: no two edges in one colour
+    /// share a vertex; colour count bounded by 2Δ−1.
+    #[test]
+    fn coloring_valid_on_random_graphs(edges in arb_graph(30)) {
+        let n = 30;
+        let coloring = color_edge_list(n, &edges);
+        // Validate by hand (validate_coloring requires a TetMesh).
+        let mut seen = vec![false; edges.len()];
+        for group in &coloring.groups {
+            let mut touched = std::collections::HashSet::new();
+            for &e in group {
+                prop_assert!(!seen[e as usize]);
+                seen[e as usize] = true;
+                let [a, b] = edges[e as usize];
+                prop_assert!(touched.insert(a), "vertex {a} reused in a group");
+                prop_assert!(touched.insert(b), "vertex {b} reused in a group");
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let mut deg = vec![0usize; n];
+        for &[a, b] in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let max_deg = deg.iter().copied().max().unwrap_or(0);
+        prop_assert!(coloring.ncolors() <= (2 * max_deg).max(1));
+    }
+
+    /// RSB on arbitrary connected graphs: full cover, sane balance.
+    #[test]
+    fn rsb_on_random_graphs(edges in arb_graph(40), nparts in 2usize..6) {
+        let n = 40;
+        let parts = rsb_partition(n, &edges, nparts, 25, 3);
+        prop_assert_eq!(parts.len(), n);
+        let q = PartitionQuality::compute(&parts, nparts, &edges);
+        prop_assert!(q.max_imbalance < 1.4, "imbalance {}", q.max_imbalance);
+    }
+
+    /// KL refinement never increases the cut and keeps every part
+    /// nonempty.
+    #[test]
+    fn kl_monotone_on_random_graphs(edges in arb_graph(36), seed in 0u64..50) {
+        let n = 36;
+        let nparts = 3;
+        let mut parts = eul3d_partition::random_partition(n, nparts, seed);
+        let before = PartitionQuality::compute(&parts, nparts, &edges);
+        kl_refine(n, &edges, &mut parts, nparts, 1.4, 6);
+        let after = PartitionQuality::compute(&parts, nparts, &edges);
+        prop_assert!(after.cut_edges <= before.cut_edges);
+        for p in 0..nparts as u32 {
+            prop_assert!(parts.contains(&p));
+        }
+    }
+
+    /// RCM is always a permutation, on any graph.
+    #[test]
+    fn rcm_is_permutation_on_random_graphs(edges in arb_graph(25)) {
+        let order = rcm_order(25, &edges);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..25u32).collect::<Vec<_>>());
+    }
+
+    /// random_order is a permutation for any seed.
+    #[test]
+    fn random_order_is_permutation(n in 1usize..100, seed in 0u64..1000) {
+        let order = random_order(n, seed);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-architecture comparison helpers for the §5 claims:
+//! * "the Y-MP C90 outperform\[s\] the Touchstone Delta by roughly a factor
+//!   of two";
+//! * "the 512 Intel Delta machine appears to be roughly equivalent to a 5
+//!   processor CRAY Y-MP C90";
+//! * peak-fraction utilization (C90 ~21% of peak, Delta ~5%).
+
+/// Rated peak of a 16-CPU Y-MP C90 (1 GFlops/CPU era figure), MFlops.
+pub const C90_PEAK_MFLOPS: f64 = 16.0 * 1000.0;
+/// Rated peak of the 512-node Touchstone Delta (60 MFlops double-precision
+/// i860 peak per node), MFlops.
+pub const DELTA_PEAK_MFLOPS: f64 = 512.0 * 60.0;
+
+/// A cross-machine comparison of one solution strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// C90-16 wall clock for the run.
+    pub c90_wall_s: f64,
+    /// Delta-512 wall clock for the same run.
+    pub delta_wall_s: f64,
+    /// C90-16 achieved MFlops.
+    pub c90_mflops: f64,
+    /// Delta-512 achieved MFlops.
+    pub delta_mflops: f64,
+}
+
+impl Comparison {
+    /// How many times faster the C90 is (paper: ~2).
+    pub fn c90_advantage(&self) -> f64 {
+        self.delta_wall_s / self.c90_wall_s
+    }
+
+    /// How many C90 CPUs the Delta-512 is worth, assuming near-linear
+    /// C90 scaling over the relevant range (paper: ~5).
+    pub fn delta_in_c90_cpus(&self) -> f64 {
+        16.0 / self.c90_advantage()
+    }
+
+    /// Fraction of rated peak achieved on the C90 (paper: ~21%).
+    pub fn c90_peak_fraction(&self) -> f64 {
+        self.c90_mflops / C90_PEAK_MFLOPS
+    }
+
+    /// Fraction of rated peak achieved on the Delta (paper: ~5%).
+    pub fn delta_peak_fraction(&self) -> f64 {
+        self.delta_mflops / DELTA_PEAK_MFLOPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's own W-cycle numbers as a fixture.
+    fn paper() -> Comparison {
+        Comparison {
+            c90_wall_s: 268.0,
+            delta_wall_s: 843.0,
+            c90_mflops: 3136.0,
+            delta_mflops: 1030.0,
+        }
+    }
+
+    #[test]
+    fn paper_fixture_reproduces_section_5() {
+        let c = paper();
+        let adv = c.c90_advantage();
+        assert!((2.0..4.5).contains(&adv), "C90 advantage {adv}");
+        let cpus = c.delta_in_c90_cpus();
+        assert!((3.5..8.0).contains(&cpus), "Delta ≈ {cpus} C90 CPUs");
+        assert!((0.15..0.25).contains(&c.c90_peak_fraction()));
+        assert!((0.02..0.06).contains(&c.delta_peak_fraction()));
+    }
+
+    #[test]
+    fn advantage_definition() {
+        let c = Comparison { c90_wall_s: 100.0, delta_wall_s: 200.0, c90_mflops: 1.0, delta_mflops: 1.0 };
+        assert_eq!(c.c90_advantage(), 2.0);
+        assert_eq!(c.delta_in_c90_cpus(), 8.0);
+    }
+}

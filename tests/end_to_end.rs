@@ -1,0 +1,116 @@
+//! End-to-end integration: the full preprocessing → solve → post-process
+//! pipeline, and consistency between solution strategies ("the solution
+//! and convergence rates obtained were, of course, identical" — §4.4:
+//! all strategies converge to the same steady state).
+
+use eul3d::mesh::gen::{bump_channel, BumpSpec};
+use eul3d::mesh::MeshSequence;
+use eul3d::solver::gas::NVAR;
+use eul3d::solver::postproc::{mach_field, wall_pressure_force};
+use eul3d::solver::{MultigridSolver, SingleGridSolver, SolverConfig, Strategy};
+
+fn spec() -> BumpSpec {
+    BumpSpec { nx: 14, ny: 6, nz: 4, jitter: 0.1, ..BumpSpec::default() }
+}
+
+#[test]
+fn multigrid_and_single_grid_agree_at_convergence() {
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+
+    let mut sg = SingleGridSolver::new(bump_channel(&spec()), cfg);
+    sg.solve(500);
+
+    let seq = MeshSequence::bump_sequence(&spec(), 3);
+    let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+    mg.solve(150);
+
+    // Same fine mesh (same spec/seed) ⇒ directly comparable states.
+    let a = sg.state();
+    let b = mg.state();
+    let mut max = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        max = max.max((x - y).abs());
+    }
+    assert!(
+        max < 2e-2,
+        "single-grid and W-cycle steady states should agree, max dev {max:.3e}"
+    );
+
+    // Integrated wall force agrees even more tightly.
+    let fa = wall_pressure_force(&sg.mesh, cfg.gamma, a);
+    let fb = wall_pressure_force(&mg.seq.meshes[0], cfg.gamma, b);
+    assert!((fa - fb).norm() < 5e-3, "wall force {fa:?} vs {fb:?}");
+}
+
+#[test]
+fn transonic_case_develops_and_keeps_a_shock() {
+    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let seq = MeshSequence::bump_sequence(&spec(), 3);
+    let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+    let hist = mg.solve(120);
+    assert!(
+        hist.last().unwrap() < &(hist[0] * 1e-2),
+        "transonic W-cycle must converge ≥2 orders: {:?}",
+        (hist[0], hist.last().unwrap())
+    );
+    let mesh = &mg.seq.meshes[0];
+    let mach = mach_field(cfg.gamma, mg.state(), mesh.nverts());
+    let peak = mach.iter().cloned().fold(0.0f64, f64::max);
+    assert!(peak > 1.0, "supersonic pocket expected, peak Mach {peak}");
+    assert!(peak < 2.0, "pocket should stay physical, peak Mach {peak}");
+}
+
+#[test]
+fn deeper_sequences_converge_faster_per_cycle() {
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let run = |levels: usize| {
+        let seq = MeshSequence::bump_sequence(&spec(), levels);
+        let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+        let h = mg.solve(40);
+        (h[0] / h.last().unwrap()).log10()
+    };
+    let shallow = run(1); // degenerate: pure single grid
+    let deep = run(3);
+    assert!(
+        deep > shallow + 0.4,
+        "3 levels ({deep:.2} orders) must beat 1 level ({shallow:.2} orders)"
+    );
+}
+
+#[test]
+fn solution_is_independent_of_strategy_order_of_magnitude() {
+    // All three strategies, run long enough, give the same lift-ish
+    // force within discretization noise.
+    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let mut forces = Vec::new();
+    for (strategy, cycles) in [
+        (Strategy::SingleGrid, 400),
+        (Strategy::VCycle, 200),
+        (Strategy::WCycle, 120),
+    ] {
+        let seq = MeshSequence::bump_sequence(&spec(), 3);
+        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        mg.solve(cycles);
+        forces.push(wall_pressure_force(&mg.seq.meshes[0], cfg.gamma, mg.state()));
+    }
+    for f in &forces[1..] {
+        assert!(
+            (*f - forces[0]).norm() < 0.05 * forces[0].norm().max(1e-3),
+            "forces diverge across strategies: {forces:?}"
+        );
+    }
+}
+
+#[test]
+fn state_stays_physical_through_the_transient() {
+    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let seq = MeshSequence::bump_sequence(&spec(), 3);
+    let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
+    for _ in 0..30 {
+        mg.cycle();
+        for i in 0..mg.levels[0].n {
+            let rho = mg.state()[i * NVAR];
+            assert!(rho > 0.05 && rho < 5.0, "density {rho} out of range mid-transient");
+        }
+    }
+}

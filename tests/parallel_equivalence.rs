@@ -1,0 +1,107 @@
+//! Cross-executor equivalence: the sequential reference, the coloured
+//! shared-memory executor (§3), and the PARTI/Delta distributed executor
+//! (§4) must produce the same flow solution on the same mesh.
+
+use eul3d::mesh::gen::BumpSpec;
+use eul3d::mesh::MeshSequence;
+use eul3d::solver::dist::{run_distributed, DistOptions, DistSetup};
+use eul3d::solver::shared::SharedSingleGridSolver;
+use eul3d::solver::{MultigridSolver, SingleGridSolver, SolverConfig, Strategy};
+
+fn spec() -> BumpSpec {
+    BumpSpec { nx: 12, ny: 5, nz: 4, jitter: 0.1, ..BumpSpec::default() }
+}
+
+fn max_dev(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn three_executors_one_answer_single_grid() {
+    let cfg = SolverConfig { mach: 0.55, ..SolverConfig::default() };
+    let cycles = 8;
+
+    let seq = MeshSequence::bump_sequence(&spec(), 1);
+    let mesh = seq.meshes[0].clone();
+
+    let mut serial = SingleGridSolver::new(mesh.clone(), cfg);
+    serial.solve(cycles);
+
+    let mut shared = SharedSingleGridSolver::new(mesh, cfg, 3);
+    shared.solve(cycles);
+
+    let setup = DistSetup::new(seq, 6, 25, 11);
+    let dist = run_distributed(&setup, cfg, Strategy::SingleGrid, cycles, DistOptions::default());
+    let wd = dist.global_state(setup.seq.meshes[0].nverts());
+
+    let d1 = max_dev(serial.state(), &shared.st.w);
+    let d2 = max_dev(serial.state(), &wd);
+    assert!(d1 < 1e-10, "serial vs shared: {d1:.3e}");
+    assert!(d2 < 1e-9, "serial vs distributed: {d2:.3e}");
+}
+
+#[test]
+fn distributed_w_cycle_matches_serial_multigrid() {
+    let cfg = SolverConfig { mach: 0.55, ..SolverConfig::default() };
+    let cycles = 4;
+
+    let mut serial = MultigridSolver::new(MeshSequence::bump_sequence(&spec(), 3), cfg, Strategy::WCycle);
+    let hs = serial.solve(cycles);
+
+    let setup = DistSetup::new(MeshSequence::bump_sequence(&spec(), 3), 5, 25, 11);
+    let dist = run_distributed(&setup, cfg, Strategy::WCycle, cycles, DistOptions::default());
+
+    for (a, b) in hs.iter().zip(dist.history()) {
+        assert!(
+            (a - b).abs() < 1e-8 * a.max(1e-30),
+            "residual history: serial {a} vs dist {b}"
+        );
+    }
+    let wd = dist.global_state(setup.seq.meshes[0].nverts());
+    let d = max_dev(serial.state(), &wd);
+    assert!(d < 1e-8, "W-cycle states: {d:.3e}");
+}
+
+#[test]
+fn rank_count_does_not_change_the_answer() {
+    let cfg = SolverConfig { mach: 0.55, ..SolverConfig::default() };
+    let run = |nranks: usize| {
+        let setup = DistSetup::new(MeshSequence::bump_sequence(&spec(), 2), nranks, 25, 3);
+        let r = run_distributed(&setup, cfg, Strategy::VCycle, 5, DistOptions::default());
+        r.global_state(setup.seq.meshes[0].nverts())
+    };
+    let w2 = run(2);
+    let w7 = run(7);
+    let d = max_dev(&w2, &w7);
+    assert!(d < 1e-8, "2 vs 7 ranks: {d:.3e}");
+}
+
+#[test]
+fn partitioner_choice_does_not_change_the_answer() {
+    // RSB vs random partitioning: wildly different communication, same
+    // numerics.
+    let cfg = SolverConfig { mach: 0.55, ..SolverConfig::default() };
+    let seq_a = MeshSequence::bump_sequence(&spec(), 1);
+    let nverts = seq_a.meshes[0].nverts();
+    let setup_rsb = DistSetup::new(seq_a, 4, 25, 3);
+    let setup_rand = DistSetup::with_partitioner(
+        MeshSequence::bump_sequence(&spec(), 1),
+        4,
+        |m| eul3d::partition::random_partition(m.nverts(), 4, 99),
+    );
+    let a = run_distributed(&setup_rsb, cfg, Strategy::SingleGrid, 5, DistOptions::default());
+    let b = run_distributed(&setup_rand, cfg, Strategy::SingleGrid, 5, DistOptions::default());
+    let d = max_dev(&a.global_state(nverts), &b.global_state(nverts));
+    assert!(d < 1e-9, "partitioner must not affect numerics: {d:.3e}");
+
+    // ... but it must affect communication volume.
+    let bytes = |r: &eul3d::solver::dist::DistRunResult| -> u64 {
+        r.cycle_counters().iter().map(|c| c.total_bytes()).sum()
+    };
+    assert!(
+        bytes(&b) > 2 * bytes(&a),
+        "random partition should move far more data: rsb {} vs random {}",
+        bytes(&a),
+        bytes(&b)
+    );
+}
