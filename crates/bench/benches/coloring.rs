@@ -10,7 +10,13 @@ use eul3d_partition::{color_edges, validate_coloring};
 
 fn bench_coloring(c: &mut Criterion) {
     let small = unit_box(10, 0.15, 3);
-    let big = bump_channel(&BumpSpec { nx: 32, ny: 12, nz: 10, jitter: 0.15, ..Default::default() });
+    let big = bump_channel(&BumpSpec {
+        nx: 32,
+        ny: 12,
+        nz: 10,
+        jitter: 0.15,
+        ..Default::default()
+    });
 
     let mut group = c.benchmark_group("coloring");
     group.sample_size(20);

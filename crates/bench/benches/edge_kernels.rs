@@ -17,7 +17,13 @@ use eul3d_mesh::gen::{bump_channel, BumpSpec};
 use eul3d_mesh::TetMesh;
 
 fn workload() -> (TetMesh, Vec<f64>, Vec<f64>) {
-    let mesh = bump_channel(&BumpSpec { nx: 24, ny: 10, nz: 8, jitter: 0.15, ..Default::default() });
+    let mesh = bump_channel(&BumpSpec {
+        nx: 24,
+        ny: 10,
+        nz: 8,
+        jitter: 0.15,
+        ..Default::default()
+    });
     let cfg = SolverConfig::default();
     let fs = cfg.freestream();
     let n = mesh.nverts();
@@ -96,7 +102,15 @@ fn bench_edges(c: &mut Criterion) {
         let mut counter = FlopCounter::default();
         b.iter(|| {
             lam.iter_mut().for_each(|x| *x = 0.0);
-            radii_edges(&mesh.edges, &mesh.edge_coef, &w, &p, GAMMA, &mut lam, &mut counter);
+            radii_edges(
+                &mesh.edges,
+                &mesh.edge_coef,
+                &w,
+                &p,
+                GAMMA,
+                &mut lam,
+                &mut counter,
+            );
             black_box(&lam);
         });
     });

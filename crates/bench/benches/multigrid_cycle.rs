@@ -11,7 +11,13 @@ use eul3d_mesh::gen::BumpSpec;
 use eul3d_mesh::MeshSequence;
 
 fn bench_cycles(c: &mut Criterion) {
-    let spec = BumpSpec { nx: 20, ny: 8, nz: 6, jitter: 0.12, ..Default::default() };
+    let spec = BumpSpec {
+        nx: 20,
+        ny: 8,
+        nz: 6,
+        jitter: 0.12,
+        ..Default::default()
+    };
     let cfg = SolverConfig::default();
 
     let mut group = c.benchmark_group("cycle_cost");
@@ -33,7 +39,7 @@ fn bench_cycles(c: &mut Criterion) {
         let seq = MeshSequence::bump_sequence(&spec, 3);
         let mut mg = MultigridSolver::new(seq, cfg, strategy);
         mg.solve(3);
-        flops.push(mg.counter.flops / 3.0);
+        flops.push(mg.counter.flops() / 3.0);
     }
     eprintln!(
         "flops/cycle: SG {:.2e}; V {:.2e} (+{:.0}%); W {:.2e} (+{:.0}%)  [paper: +75% / +90%]",

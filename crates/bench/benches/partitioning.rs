@@ -29,7 +29,10 @@ fn bench_partitioning(c: &mut Criterion) {
     // Print the quality side of the trade-off once (criterion measures
     // only time; cut quality is why RSB is worth its cost).
     for (name, parts) in [
-        ("rsb", rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1)),
+        (
+            "rsb",
+            rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1),
+        ),
         ("rcb", rcb_partition(&mesh.coords, nparts)),
         ("random", random_partition(mesh.nverts(), nparts, 1)),
     ] {

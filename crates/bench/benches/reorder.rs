@@ -30,9 +30,18 @@ fn state_for(mesh: &TetMesh) -> (Vec<f64>, Vec<f64>) {
 
 fn bench_reorder(c: &mut Criterion) {
     // Large enough that vertex arrays exceed L1/L2 on most hosts.
-    let base = bump_channel(&BumpSpec { nx: 40, ny: 16, nz: 14, jitter: 0.15, ..Default::default() });
+    let base = bump_channel(&BumpSpec {
+        nx: 40,
+        ny: 16,
+        nz: 14,
+        jitter: 0.15,
+        ..Default::default()
+    });
     let shuffled_nodes = shuffle_vertices(&base, 99);
-    let rcm = apply_vertex_order(&shuffled_nodes, &rcm_order(shuffled_nodes.nverts(), &shuffled_nodes.edges));
+    let rcm = apply_vertex_order(
+        &shuffled_nodes,
+        &rcm_order(shuffled_nodes.nverts(), &shuffled_nodes.edges),
+    );
     let mut shuffled_edges = rcm.clone();
     shuffle_edges(&mut shuffled_edges, 7);
 

@@ -19,7 +19,9 @@ fn block_translation() -> Translation {
 /// Each rank needs the last 64 entries of its left neighbour.
 fn required(id: usize) -> (Vec<u32>, Vec<u32>) {
     let prev = (id + NRANKS - 1) % NRANKS;
-    let globals: Vec<u32> = (0..64).map(|k| (prev * OWNED + OWNED - 64 + k) as u32).collect();
+    let globals: Vec<u32> = (0..64)
+        .map(|k| (prev * OWNED + OWNED - 64 + k) as u32)
+        .collect();
     let slots: Vec<u32> = (0..64).map(|k| (OWNED + k) as u32).collect();
     (globals, slots)
 }
@@ -89,7 +91,12 @@ fn bench_schedules(c: &mut Criterion) {
         let (gi, si) = reg.filter_new(&g2, &s2);
         let incr = localize(r, &trans, &gi, &si, 300, CommClass::Halo);
         let merged = Schedule::merge(&[&full1, &incr], 400, CommClass::Halo);
-        (full1.nghosts(), incr.nghosts(), merged.nghosts(), merged.recvs.len())
+        (
+            full1.nghosts(),
+            incr.nghosts(),
+            merged.nghosts(),
+            merged.recvs.len(),
+        )
     });
     let (full, incr, merged, msgs) = run.results[0];
     eprintln!(

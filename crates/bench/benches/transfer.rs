@@ -10,7 +10,13 @@ use eul3d_mesh::gen::{bump_channel, BumpSpec};
 use eul3d_mesh::InterpOps;
 
 fn bench_transfer(c: &mut Criterion) {
-    let fine = bump_channel(&BumpSpec { nx: 24, ny: 10, nz: 8, jitter: 0.12, ..Default::default() });
+    let fine = bump_channel(&BumpSpec {
+        nx: 24,
+        ny: 10,
+        nz: 8,
+        jitter: 0.12,
+        ..Default::default()
+    });
     let coarse = bump_channel(&BumpSpec {
         nx: 12,
         ny: 5,

@@ -20,11 +20,19 @@ use eul3d_core::{ConvergenceHistory, MultigridSolver, SolverConfig, Strategy};
 use eul3d_delta::{CommClass, CostModel};
 use eul3d_mesh::gen::BumpSpec;
 use eul3d_mesh::{MeshSequence, TetMesh};
-use eul3d_partition::{kl_refine, random_partition, rcb_partition, rsb_partition, PartitionQuality};
+use eul3d_partition::{
+    kl_refine, random_partition, rcb_partition, rsb_partition, PartitionQuality,
+};
 use eul3d_perf::TextTable;
 
 fn spec(case: &CaseSpec) -> BumpSpec {
-    BumpSpec { nx: case.nx / 2, ny: case.nx / 5, nz: case.nx / 6, jitter: 0.12, ..Default::default() }
+    BumpSpec {
+        nx: case.nx / 2,
+        ny: case.nx / 5,
+        nz: case.nx / 6,
+        jitter: 0.12,
+        ..Default::default()
+    }
 }
 
 fn main() {
@@ -32,14 +40,25 @@ fn main() {
     let cfg: SolverConfig = case.config();
     let model = CostModel::delta_i860();
     let nranks = 32;
-    println!("ablations: bump nx={}, M={}, {} cycles where applicable\n", case.nx / 2, cfg.mach, case.cycles);
+    println!(
+        "ablations: bump nx={}, M={}, {} cycles where applicable\n",
+        case.nx / 2,
+        cfg.mach,
+        case.cycles
+    );
 
     // ---- 1. incremental schedules -------------------------------------
-    println!("1) §4.3 fetch-once vs re-fetch per loop ({} ranks, single grid):", nranks);
+    println!(
+        "1) §4.3 fetch-once vs re-fetch per loop ({} ranks, single grid):",
+        nranks
+    );
     let mut rows = TextTable::new(&["variant", "halo MB/cycle", "comm s/cycle", "total s/cycle"]);
     for (name, refetch) in [("fetch-once (paper)", false), ("re-fetch per loop", true)] {
         let setup = DistSetup::new(MeshSequence::bump_sequence(&spec(&case), 1), nranks, 40, 7);
-        let opts = DistOptions { refetch_per_loop: refetch, ..DistOptions::default() };
+        let opts = DistOptions {
+            refetch_per_loop: refetch,
+            ..DistOptions::default()
+        };
         let r = run_distributed(&setup, cfg, Strategy::SingleGrid, 10, opts);
         let cyc = r.cycle_counters();
         let b = model.evaluate(&cyc);
@@ -59,11 +78,17 @@ fn main() {
     println!("{}", rows.render());
 
     // ---- 2. partitioners ----------------------------------------------
-    println!("2) partitioner quality ({} parts) and its comm cost:", nranks);
+    println!(
+        "2) partitioner quality ({} parts) and its comm cost:",
+        nranks
+    );
     let mesh = eul3d_mesh::gen::bump_channel(&spec(&case));
     let mut rows = TextTable::new(&["partitioner", "cut %", "imbalance", "comm s/cycle"]);
     let parts_of: Vec<(&str, Vec<u32>)> = vec![
-        ("rsb", rsb_partition(mesh.nverts(), &mesh.edges, nranks, 40, 7)),
+        (
+            "rsb",
+            rsb_partition(mesh.nverts(), &mesh.edges, nranks, 40, 7),
+        ),
         ("rsb+kl", {
             let mut p = rsb_partition(mesh.nverts(), &mesh.edges, nranks, 40, 7);
             kl_refine(mesh.nverts(), &mesh.edges, &mut p, nranks, 1.06, 6);
@@ -95,15 +120,31 @@ fn main() {
     let mut rows = TextTable::new(&["sequence", "levels (verts)", "orders/40 W-cycles"]);
     {
         let seq = MeshSequence::bump_sequence(&spec(&case), 3);
-        let sizes = format!("{:?}", seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>());
+        let sizes = format!(
+            "{:?}",
+            seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>()
+        );
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
-        rows.row(&["unrelated".into(), sizes, format!("{:.2}", h.orders_reduced())]);
+        rows.row(&[
+            "unrelated".into(),
+            sizes,
+            format!("{:.2}", h.orders_reduced()),
+        ]);
     }
     {
-        let base = BumpSpec { nx: case.nx / 8, ny: case.nx / 20 + 2, nz: case.nx / 24 + 2, jitter: 0.12, ..Default::default() };
+        let base = BumpSpec {
+            nx: case.nx / 8,
+            ny: case.nx / 20 + 2,
+            nz: case.nx / 24 + 2,
+            jitter: 0.12,
+            ..Default::default()
+        };
         let seq = MeshSequence::nested_bump_sequence(&base, 3);
-        let sizes = format!("{:?}", seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>());
+        let sizes = format!(
+            "{:?}",
+            seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>()
+        );
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
         rows.row(&["nested".into(), sizes, format!("{:.2}", h.orders_reduced())]);
@@ -114,15 +155,31 @@ fn main() {
     println!("4) impulsive start (paper) vs FMG mesh sequencing:");
     let mut rows = TextTable::new(&["start", "flops", "residual after 20 W-cycles"]);
     {
-        let mut mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(&case), 3), cfg, Strategy::WCycle);
+        let mut mg = MultigridSolver::new(
+            MeshSequence::bump_sequence(&spec(&case), 3),
+            cfg,
+            Strategy::WCycle,
+        );
         let h = mg.solve(20);
-        rows.row(&["impulsive".into(), format!("{:.2e}", mg.counter.flops), format!("{:.3e}", h.last().unwrap())]);
+        rows.row(&[
+            "impulsive".into(),
+            format!("{:.2e}", mg.counter.flops()),
+            format!("{:.3e}", h.last().unwrap()),
+        ]);
     }
     {
-        let mut mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(&case), 3), cfg, Strategy::WCycle);
+        let mut mg = MultigridSolver::new(
+            MeshSequence::bump_sequence(&spec(&case), 3),
+            cfg,
+            Strategy::WCycle,
+        );
         mg.fmg_init(8);
         let h = mg.solve(20);
-        rows.row(&["FMG(8)".into(), format!("{:.2e}", mg.counter.flops), format!("{:.3e}", h.last().unwrap())]);
+        rows.row(&[
+            "FMG(8)".into(),
+            format!("{:.2e}", mg.counter.flops()),
+            format!("{:.3e}", h.last().unwrap()),
+        ]);
     }
     println!("{}", rows.render());
 
@@ -130,13 +187,20 @@ fn main() {
     println!("5) coarse-grid dissipation: first-order (robust) vs full JST:");
     let mut rows = TextTable::new(&["coarse dissipation", "orders/40 W-cycles", "flops"]);
     for (name, fo) in [("first-order", true), ("full JST", false)] {
-        let cfg2 = SolverConfig { coarse_first_order: fo, ..cfg };
-        let mut mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(&case), 3), cfg2, Strategy::WCycle);
+        let cfg2 = SolverConfig {
+            coarse_first_order: fo,
+            ..cfg
+        };
+        let mut mg = MultigridSolver::new(
+            MeshSequence::bump_sequence(&spec(&case), 3),
+            cfg2,
+            Strategy::WCycle,
+        );
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
         rows.row(&[
             name.into(),
             format!("{:.2}", h.orders_reduced()),
-            format!("{:.2e}", mg.counter.flops),
+            format!("{:.2e}", mg.counter.flops()),
         ]);
     }
     println!("{}", rows.render());
@@ -145,13 +209,14 @@ fn main() {
     println!("6) strategy trade (sequential work vs convergence):");
     let mut rows = TextTable::new(&["strategy", "orders/40 cycles", "flops", "orders per Gflop"]);
     for strategy in [Strategy::SingleGrid, Strategy::VCycle, Strategy::WCycle] {
-        let mut mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(&case), 3), cfg, strategy);
+        let mut mg =
+            MultigridSolver::new(MeshSequence::bump_sequence(&spec(&case), 3), cfg, strategy);
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
         rows.row(&[
             strategy.label().into(),
             format!("{:.2}", h.orders_reduced()),
-            format!("{:.2e}", mg.counter.flops),
-            format!("{:.2}", h.orders_reduced() / (mg.counter.flops / 1e9)),
+            format!("{:.2e}", mg.counter.flops()),
+            format!("{:.2}", h.orders_reduced() / (mg.counter.flops() / 1e9)),
         ]);
     }
     println!("{}", rows.render());
@@ -168,7 +233,7 @@ fn main() {
             levels.to_string(),
             coarsest.to_string(),
             format!("{:.2}", h.orders_reduced()),
-            format!("{:.2e}", mg.counter.flops),
+            format!("{:.2e}", mg.counter.flops()),
         ]);
     }
     println!("{}", rows.render());
@@ -179,10 +244,18 @@ fn main() {
     let mut rows = TextTable::new(&["construction", "levels (cells)", "orders", "flops"]);
     {
         let seq = MeshSequence::bump_sequence(&spec(&case), 3);
-        let sizes = format!("{:?}", seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>());
+        let sizes = format!(
+            "{:?}",
+            seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>()
+        );
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
-        rows.row(&["unrelated meshes (paper)".into(), sizes, format!("{:.2}", h.orders_reduced()), format!("{:.2e}", mg.counter.flops)]);
+        rows.row(&[
+            "unrelated meshes (paper)".into(),
+            sizes,
+            format!("{:.2}", h.orders_reduced()),
+            format!("{:.2e}", mg.counter.flops()),
+        ]);
     }
     {
         use eul3d_core::agglo::AggloMultigrid;
@@ -190,7 +263,12 @@ fn main() {
         let mut mg = AggloMultigrid::new(mesh, cfg, Strategy::WCycle, 3);
         let sizes = format!("{:?}", mg.level_sizes());
         let h = ConvergenceHistory::from_residuals(mg.solve(40));
-        rows.row(&["agglomerated dual volumes".into(), sizes, format!("{:.2}", h.orders_reduced()), format!("{:.2e}", mg.counter.flops)]);
+        rows.row(&[
+            "agglomerated dual volumes".into(),
+            sizes,
+            format!("{:.2}", h.orders_reduced()),
+            format!("{:.2e}", mg.counter.flops()),
+        ]);
     }
     println!("{}", rows.render());
     println!("(agglomeration needs no coarse meshing or inter-grid search — the");

@@ -34,11 +34,14 @@ fn main() {
         "Delta≈CPUs",
     ]);
     let mut w_comparison = None;
+    let mut w_phases = None;
     for strategy in [Strategy::SingleGrid, Strategy::VCycle, Strategy::WCycle] {
-        // Shared-memory side: measured work through the C90 model.
-        let mut mg = MultigridSolver::new(case.sequence(), cfg, strategy);
+        // Shared-memory side: the real coloured executor's work through
+        // the C90 model (launches = colour-group loop starts).
+        let mut mg = MultigridSolver::new_shared(case.sequence(), cfg, strategy, 2)
+            .expect("edge colourings must validate");
         mg.solve(case.cycles);
-        let c90 = cray.evaluate(mg.counter.flops, mg.counter.launches * 25, 16);
+        let c90 = cray.evaluate(mg.counter.flops(), mg.counter.launches(), 16);
 
         // Distributed side: simulated Delta.
         let setup = DistSetup::new(case.sequence(), nranks, 40, 7);
@@ -62,14 +65,36 @@ fn main() {
         ]);
         if strategy == Strategy::WCycle {
             w_comparison = Some((cmp, b));
+            // Sum the executor-layer phase counters over the ranks for
+            // the per-phase comp/comm breakdown below.
+            let mut total = eul3d_core::PhaseCounters::default();
+            for p in result.phase_counters() {
+                total.merge(&p);
+            }
+            w_phases = Some(total);
         }
     }
     println!("{}", table.render());
 
+    println!("\nW-cycle per-phase breakdown (distributed, summed over ranks):");
+    let mut pt = TextTable::new(&["phase", "flops", "launches", "messages", "bytes"]);
+    for (label, flops, launches, msgs, bytes) in w_phases.unwrap().rows() {
+        pt.row(&[
+            label.to_string(),
+            format!("{flops:.3e}"),
+            launches.to_string(),
+            msgs.to_string(),
+            bytes.to_string(),
+        ]);
+    }
+    println!("{}", pt.render());
+
     let (cmp, b) = w_comparison.unwrap();
-    println!("W-cycle peak fractions: C90 {:.0}% (paper ~21%), Delta {:.0}% (paper ~5%)",
+    println!(
+        "W-cycle peak fractions: C90 {:.0}% (paper ~21%), Delta {:.0}% (paper ~5%)",
         100.0 * cmp.c90_peak_fraction(),
-        100.0 * cmp.delta_peak_fraction());
+        100.0 * cmp.delta_peak_fraction()
+    );
     println!(
         "Delta comm/comp ratio (W-cycle): {:.0}% (paper: ~50% for its problem/machine size)",
         100.0 * b.comm_to_comp()
@@ -83,5 +108,7 @@ fn main() {
         unordered.mflops_per_rank,
         delta.mflops_per_rank
     );
-    println!("run `cargo bench -p eul3d-bench --bench reorder` for the measured host-cache analogue.");
+    println!(
+        "run `cargo bench -p eul3d-bench --bench reorder` for the measured host-cache analogue."
+    );
 }

@@ -17,14 +17,22 @@ fn render(events: &[CycleEvent], nlevels: usize) -> String {
                 out.push_str(&format!("{}E{}\n", "  ".repeat(*l), l));
             }
             CycleEvent::Restrict(l) => {
-                out.push_str(&format!("{} \\ restrict {}->{}\n", "  ".repeat(*l), l, l + 1));
+                out.push_str(&format!(
+                    "{} \\ restrict {}->{}\n",
+                    "  ".repeat(*l),
+                    l,
+                    l + 1
+                ));
             }
             CycleEvent::Prolong(l) => {
                 out.push_str(&format!("{} / I {}->{}\n", "  ".repeat(*l), l + 1, l));
             }
         }
     }
-    let steps = events.iter().filter(|e| matches!(e, CycleEvent::Step(_))).count();
+    let steps = events
+        .iter()
+        .filter(|e| matches!(e, CycleEvent::Step(_)))
+        .count();
     out.push_str(&format!("  ({} E steps over {} levels)\n", steps, nlevels));
     out
 }

@@ -29,7 +29,11 @@ fn main() {
                 seq.meshes.iter().map(|m| m.nverts()).collect::<Vec<_>>()
             );
         }
-        let cycles = if strategy == Strategy::SingleGrid { sg_cycles } else { case.cycles };
+        let cycles = if strategy == Strategy::SingleGrid {
+            sg_cycles
+        } else {
+            case.cycles
+        };
         let mut mg = MultigridSolver::new(seq, cfg, strategy);
         let t0 = std::time::Instant::now();
         let hist = mg.solve(cycles);
@@ -41,10 +45,10 @@ fn main() {
             hist[0],
             hist.last().unwrap(),
             (hist[0] / hist.last().unwrap()).log10(),
-            mg.counter.flops,
+            mg.counter.flops(),
             dt
         );
-        histories.push((strategy, hist, mg.counter.flops));
+        histories.push((strategy, hist, mg.counter.flops()));
     }
 
     // CSV (ragged histories padded with empty cells).
@@ -59,7 +63,11 @@ fn main() {
         })
         .collect();
     let path = case.out_dir().join("fig2_convergence.csv");
-    write_csv(&path, &["cycle", "single_grid", "v_cycle", "w_cycle"], &rows);
+    write_csv(
+        &path,
+        &["cycle", "single_grid", "v_cycle", "w_cycle"],
+        &rows,
+    );
     println!("wrote {}", path.display());
 
     // Headline shape: cycles to reach a fixed reduction.

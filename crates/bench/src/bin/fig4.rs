@@ -71,7 +71,14 @@ fn main() {
     let out = case.out_dir().join("fig4_mach.vtk");
     let pressure = eul3d_core::postproc::pressure_field(cfg.gamma, mg.state(), mesh.nverts());
     let cp = eul3d_core::postproc::cp_field(cfg.gamma, cfg.mach, mg.state(), mesh.nverts());
-    write_vtk_file(&out, mesh, &[("mach", &mach), ("pressure", &pressure), ("cp", &cp)])
-        .expect("vtk export");
-    println!("\nwrote {} (contour 'mach' to reproduce Figure 4)", out.display());
+    write_vtk_file(
+        &out,
+        mesh,
+        &[("mach", &mach), ("pressure", &pressure), ("cp", &cp)],
+    )
+    .expect("vtk export");
+    println!(
+        "\nwrote {} (contour 'mach' to reproduce Figure 4)",
+        out.display()
+    );
 }

@@ -72,7 +72,15 @@ fn main() {
     let path = case.out_dir().join("scaling.csv");
     write_csv(
         &path,
-        &["nodes", "comm_s", "comp_s", "total_s", "mflops", "efficiency_pct", "comm_to_comp"],
+        &[
+            "nodes",
+            "comm_s",
+            "comp_s",
+            "total_s",
+            "mflops",
+            "efficiency_pct",
+            "comm_to_comp",
+        ],
         &csv,
     );
     println!("wrote {}", path.display());

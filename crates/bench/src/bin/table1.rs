@@ -76,22 +76,22 @@ fn main() {
         let seq = case.sequence();
         let fine_nodes = seq.meshes[0].nverts() as f64;
         let fine_edges = seq.meshes[0].nedges();
-        // Run one cycle through the actual coloured executor so the real
-        // §3 decomposition (colour count, subgroup lengths) is measured.
-        let mut shared =
-            eul3d_core::shared::SharedSingleGridSolver::new(seq.meshes[0].clone(), cfg, 2);
-        shared.cycle();
-        let ncolors = shared.exec.coloring.ncolors();
-        drop(shared);
+        let ncolors = eul3d_core::shared::SharedExecutor::new(&seq.meshes[0], 2)
+            .expect("edge colouring must validate")
+            .coloring
+            .ncolors();
 
-        let mut mg = MultigridSolver::new(seq, cfg, strategy);
+        // Run the real coloured/rayon multigrid (§3.2): launch counts come
+        // straight from the executor (one launch per colour group).
+        let mut mg = MultigridSolver::new_shared(seq, cfg, strategy, 2)
+            .expect("edge colourings must validate");
         let t0 = std::time::Instant::now();
         let hist = mg.solve(case.cycles);
         let host = t0.elapsed().as_secs_f64();
         // Normalize to 100 cycles like the paper's tables.
         let norm = 100.0 / case.cycles as f64;
-        let flops = mg.counter.flops * norm;
-        let launches = (mg.counter.launches as f64 * norm) as u64 * ncolors as u64;
+        let flops = mg.counter.flops() * norm;
+        let launches = (mg.counter.launches() as f64 * norm) as u64;
 
         println!(
             "{label}  ({ncolors} fine-grid colour groups, {:.2e} flops/100cyc, host {:.1}s, residual -> {:.2e})",
@@ -103,6 +103,17 @@ fn main() {
             "  subgroup vector length at 16 CPUs: {} edges (paper: ~2000 at 128 CPUs on 5.5M edges)",
             fine_edges / ncolors / 16
         );
+
+        // Per-phase computation breakdown from the executor layer.
+        let mut phases = TextTable::new(&["phase", "flops", "launches"]);
+        for (label, flops, launches, _msgs, _bytes) in mg.counter.rows() {
+            phases.row(&[
+                label.to_string(),
+                format!("{flops:.3e}"),
+                launches.to_string(),
+            ]);
+        }
+        println!("{}", phases.render());
 
         println!("-- at measured scale ({} fine nodes):", fine_nodes as u64);
         print_sweep(&model, flops, launches);
@@ -121,7 +132,11 @@ fn main() {
     }
 
     let path = case.out_dir().join("table1_c90.csv");
-    write_csv(&path, &["strategy", "cpus", "wall_clock_s", "cpu_s", "mflops"], &csv_rows);
+    write_csv(
+        &path,
+        &["strategy", "cpus", "wall_clock_s", "cpu_s", "mflops"],
+        &csv_rows,
+    );
     println!("wrote {}", path.display());
     println!("\nPaper reference rows (100 cycles, 804k-node mesh):");
     println!("  1a single grid: 1 CPU 1916s/252MF ... 16 CPUs 156s/3252MF");

@@ -16,9 +16,9 @@
 
 use eul3d_bench::{write_csv, CaseSpec};
 use eul3d_core::dist::{run_distributed, DistOptions, DistSetup};
-use eul3d_mesh::TetMesh;
 use eul3d_core::Strategy;
 use eul3d_delta::{CommClass, CostModel};
+use eul3d_mesh::TetMesh;
 use eul3d_perf::TextTable;
 
 /// Build the distributed setup with the selected partitioner.
@@ -91,7 +91,10 @@ fn main() {
         for &nranks in &ranks {
             let seq = case.sequence();
             let setup = make_setup(seq, nranks, &partitioner);
-            let opts = DistOptions { refetch_per_loop: refetch, ..DistOptions::default() };
+            let opts = DistOptions {
+                refetch_per_loop: refetch,
+                ..DistOptions::default()
+            };
             let t0 = std::time::Instant::now();
             let result = run_distributed(&setup, cfg, strategy, case.cycles, opts);
             let host = t0.elapsed().as_secs_f64();
@@ -132,6 +135,27 @@ fn main() {
                 sb.comm_seconds,
                 result.history().last().unwrap()
             );
+
+            // Executor-layer per-phase comp/comm breakdown at the largest
+            // machine size.
+            if Some(&nranks) == ranks.last() {
+                let mut total = eul3d_core::PhaseCounters::default();
+                for p in result.phase_counters() {
+                    total.merge(&p);
+                }
+                let mut pt = TextTable::new(&["phase", "flops", "launches", "messages", "bytes"]);
+                for (plabel, flops, launches, msgs, bytes) in total.rows() {
+                    pt.row(&[
+                        plabel.to_string(),
+                        format!("{flops:.3e}"),
+                        launches.to_string(),
+                        msgs.to_string(),
+                        bytes.to_string(),
+                    ]);
+                }
+                println!("  per-phase breakdown at {nranks} nodes (summed over ranks):");
+                println!("{}", pt.render());
+            }
         }
         println!("{}", t.render());
     }
@@ -139,7 +163,14 @@ fn main() {
     let path = CaseSpec::from_env(25).out_dir().join("table2_delta.csv");
     write_csv(
         &path,
-        &["strategy", "nodes", "comm_s_per_100", "comp_s_per_100", "total_s_per_100", "mflops"],
+        &[
+            "strategy",
+            "nodes",
+            "comm_s_per_100",
+            "comp_s_per_100",
+            "total_s_per_100",
+            "mflops",
+        ],
         &csv_rows,
     );
     println!("wrote {}", path.display());

@@ -34,11 +34,18 @@ fn main() {
     println!("1) freestream preservation (uniform flow = exact fixed point):");
     {
         let mesh = eul3d_mesh::gen::unit_box(6, 0.22, 17);
-        let cfg = SolverConfig { mach: 0.8, alpha_deg: 3.0, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.8,
+            alpha_deg: 3.0,
+            ..SolverConfig::default()
+        };
         let mut s = SingleGridSolver::new(mesh, cfg);
         let r = s.cycle();
         let ok = r < 1e-12;
-        println!("   residual after one cycle: {r:.2e}  [{}]", if ok { "PASS" } else { "FAIL" });
+        println!(
+            "   residual after one cycle: {r:.2e}  [{}]",
+            if ok { "PASS" } else { "FAIL" }
+        );
         failures += !ok as u32;
     }
 
@@ -46,8 +53,18 @@ fn main() {
     println!("\n2) supersonic wedge vs exact oblique-shock theory (M=2, θ=10°):");
     for scheme in [Scheme::CentralJst, Scheme::RoeUpwind] {
         println!("   scheme: {scheme:?}");
-        let cfg = SolverConfig { mach: 2.0, cfl: 2.0, scheme, ..SolverConfig::default() };
-        let spec = WedgeSpec { nx: 30, ny: 12, nz: 3, ..WedgeSpec::default() };
+        let cfg = SolverConfig {
+            mach: 2.0,
+            cfl: 2.0,
+            scheme,
+            ..SolverConfig::default()
+        };
+        let spec = WedgeSpec {
+            nx: 30,
+            ny: 12,
+            nz: 3,
+            ..WedgeSpec::default()
+        };
         let mesh = wedge_channel(&spec);
         let mut s = SingleGridSolver::new(mesh, cfg);
         let hist = s.solve(300);
@@ -78,14 +95,20 @@ fn main() {
         println!("{}", t.render());
         println!("   exact: β = {beta:.2}°, M₂ = {m2:.2}");
         let ok = worst < 3.0 && (pr_pre - 1.0).abs() < 0.02;
-        println!("   worst post-shock error {worst:.1}%  [{}]", if ok { "PASS" } else { "FAIL" });
+        println!(
+            "   worst post-shock error {worst:.1}%  [{}]",
+            if ok { "PASS" } else { "FAIL" }
+        );
         failures += !ok as u32;
     }
 
     // ---- 3. grid convergence (entropy error) -----------------------------
     println!("\n3) grid convergence of the entropy error (smooth subsonic bump):");
     {
-        let cfg = SolverConfig { mach: 0.4, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.4,
+            ..SolverConfig::default()
+        };
         let base = bump_channel(&BumpSpec {
             nx: 10,
             ny: 5,
@@ -95,7 +118,11 @@ fn main() {
             seed: 5,
             ..BumpSpec::default()
         });
-        let meshes = vec![base.clone(), refine_uniform(&base), refine_uniform(&refine_uniform(&base))];
+        let meshes = vec![
+            base.clone(),
+            refine_uniform(&base),
+            refine_uniform(&refine_uniform(&base)),
+        ];
         let mut t = TextTable::new(&["h (rel)", "nodes", "entropy L2", "order"]);
         let mut prev: Option<f64> = None;
         let mut orders = Vec::new();
@@ -113,7 +140,9 @@ fn main() {
                 format!("1/{}", 1 << k),
                 s.st.n.to_string(),
                 format!("{err:.3e}"),
-                order.map(|o| format!("{o:.2}")).unwrap_or_else(|| "-".into()),
+                order
+                    .map(|o| format!("{o:.2}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
             prev = Some(err);
         }
@@ -121,8 +150,7 @@ fn main() {
         // Switched JST dissipation on irregular tets observes between
         // 1st and 2nd order in entropy; require monotone decay with
         // order comfortably above zero and improving toward refinement.
-        let ok = orders.iter().all(|&o| o > 0.5)
-            && orders.windows(2).all(|w| w[1] >= w[0] - 0.05);
+        let ok = orders.iter().all(|&o| o > 0.5) && orders.windows(2).all(|w| w[1] >= w[0] - 0.05);
         println!(
             "   error falls under refinement with observed order {:?}  [{}]",
             orders.iter().map(|o| format!("{o:.2}")).collect::<Vec<_>>(),
@@ -133,7 +161,11 @@ fn main() {
 
     println!(
         "\nvalidation: {}",
-        if failures == 0 { "ALL PASS" } else { "FAILURES PRESENT" }
+        if failures == 0 {
+            "ALL PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
     );
     if failures > 0 {
         std::process::exit(1);

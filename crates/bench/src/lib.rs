@@ -30,7 +30,10 @@ pub struct CaseSpec {
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl CaseSpec {
@@ -69,7 +72,11 @@ impl CaseSpec {
 
     /// Solver configuration for this case.
     pub fn config(&self) -> SolverConfig {
-        SolverConfig { mach: self.mach, alpha_deg: self.alpha_deg, ..SolverConfig::default() }
+        SolverConfig {
+            mach: self.mach,
+            alpha_deg: self.alpha_deg,
+            ..SolverConfig::default()
+        }
     }
 
     /// Output directory (created on demand).

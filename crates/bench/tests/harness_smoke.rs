@@ -10,7 +10,13 @@ fn run(bin: &str, env: &[(&str, &str)]) -> (bool, String) {
         .env("EUL3D_LEVELS", "2")
         .env("EUL3D_CYCLES", "3")
         .env("EUL3D_RANKS", "3,5")
-        .env("EUL3D_OUT", std::env::temp_dir().join("eul3d_harness_smoke").to_str().unwrap());
+        .env(
+            "EUL3D_OUT",
+            std::env::temp_dir()
+                .join("eul3d_harness_smoke")
+                .to_str()
+                .unwrap(),
+        );
     for (k, v) in env {
         cmd.env(k, v);
     }

@@ -27,7 +27,8 @@ impl Args {
                 // A flag followed by a non-flag token is a key/value pair.
                 match it.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        args.values.insert(name.to_string(), it.next().unwrap().clone());
+                        args.values
+                            .insert(name.to_string(), it.next().unwrap().clone());
                     }
                     _ => args.switches.push(name.to_string()),
                 }
@@ -49,7 +50,9 @@ impl Args {
         self.note(key);
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 

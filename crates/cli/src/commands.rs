@@ -101,7 +101,11 @@ pub fn partition(a: &Args) -> Result<(), String> {
             }
             parallel_rcb(&mesh.coords, parts_n, 8)
         }
-        other => return Err(format!("--method must be rsb|rcb|random|prcb, got '{other}'")),
+        other => {
+            return Err(format!(
+                "--method must be rsb|rcb|random|prcb, got '{other}'"
+            ))
+        }
     };
     if kl {
         let moved = kl_refine(mesh.nverts(), &mesh.edges, &mut parts, parts_n, 1.06, 8);
@@ -113,7 +117,11 @@ pub fn partition(a: &Args) -> Result<(), String> {
         mesh.nverts(),
         if kl { "+kl" } else { "" }
     );
-    println!("  cut edges      {} ({:.1}%)", q.cut_edges, 100.0 * q.cut_fraction);
+    println!(
+        "  cut edges      {} ({:.1}%)",
+        q.cut_edges,
+        100.0 * q.cut_fraction
+    );
     println!("  max imbalance  {:.3}", q.max_imbalance);
     println!("  boundary verts {}", q.boundary_vertices);
     println!("  surface/volume {:.3}", q.mean_surface_to_volume);
@@ -135,9 +143,11 @@ pub fn solve(a: &Args) -> Result<(), String> {
     a.check_unknown()?;
 
     if threads > 0 && strategy != Strategy::SingleGrid {
-        return Err("--threads (shared-memory executor) currently drives the single-grid strategy; \
+        return Err(
+            "--threads (shared-memory executor) currently drives the single-grid strategy; \
                     use --strategy sg with --threads"
-            .into());
+                .into(),
+        );
     }
 
     println!(
@@ -147,7 +157,11 @@ pub fn solve(a: &Args) -> Result<(), String> {
         cfg.mach,
         cfg.alpha_deg,
         if fmg { " +FMG" } else { "" },
-        if agglo { " [agglomerated coarse levels]" } else { "" }
+        if agglo {
+            " [agglomerated coarse levels]"
+        } else {
+            ""
+        }
     );
     let t0 = std::time::Instant::now();
     if agglo {
@@ -192,7 +206,8 @@ pub fn solve(a: &Args) -> Result<(), String> {
 
     let (hist, w, nverts, flops, mesh0) = if threads > 0 {
         let mesh = seq.meshes.into_iter().next().unwrap();
-        let mut s = SharedSingleGridSolver::new(mesh, cfg, threads);
+        let mut s = SharedSingleGridSolver::new(mesh, cfg, threads)
+            .map_err(|e| format!("shared executor: {e}"))?;
         if let Some(path) = &restart {
             let ck = Checkpoint::load(PathBuf::from(path).as_path())
                 .map_err(|e| format!("restart: {e}"))?;
@@ -201,7 +216,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         }
         let hist = s.solve(cycles);
         let n = s.st.n;
-        (hist, s.st.w.clone(), n, s.counter.flops, s.mesh)
+        (hist, s.st.w.clone(), n, s.counter.flops(), s.mesh)
     } else {
         let mut mg = MultigridSolver::new(seq, cfg, strategy);
         if let Some(path) = &restart {
@@ -216,7 +231,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         let n = mg.levels[0].n;
         let w = mg.levels[0].w.clone();
         let mesh0 = mg.seq.meshes.into_iter().next().unwrap();
-        (hist, w, n, mg.counter.flops, mesh0)
+        (hist, w, n, mg.counter.flops(), mesh0)
     };
 
     let h = ConvergenceHistory::from_residuals(hist);
@@ -277,9 +292,15 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let seq = MeshSequence::bump_sequence(&spec, levels);
     let t0 = std::time::Instant::now();
     let setup = DistSetup::new(seq, nranks, 40, 7);
-    println!("RSB partitioning of all levels: {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "RSB partitioning of all levels: {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
-    let opts = DistOptions { refetch_per_loop: no_incr, ..DistOptions::default() };
+    let opts = DistOptions {
+        refetch_per_loop: no_incr,
+        ..DistOptions::default()
+    };
     let t1 = std::time::Instant::now();
     let r = run_distributed(&setup, cfg, strategy, cycles, opts);
     let h = ConvergenceHistory::from_residuals(r.history().to_vec());
@@ -294,7 +315,13 @@ pub fn distributed(a: &Args) -> Result<(), String> {
 
     let model = CostModel::delta_i860();
     let b = model.evaluate(&r.cycle_counters());
-    println!("modeled Delta cost: comm {:.2}s + comp {:.2}s = {:.2}s ({:.0} MFlops, comm/comp {:.2})",
-        b.comm_seconds, b.comp_seconds, b.total_seconds, b.mflops, b.comm_to_comp());
+    println!(
+        "modeled Delta cost: comm {:.2}s + comp {:.2}s = {:.2}s ({:.0} MFlops, comm/comp {:.2})",
+        b.comm_seconds,
+        b.comp_seconds,
+        b.total_seconds,
+        b.mflops,
+        b.comm_to_comp()
+    );
     Ok(())
 }

@@ -20,7 +20,13 @@ fn mesh_command_reports_levels() {
     assert!(ok);
     assert!(stdout.contains("level"));
     assert!(stdout.contains("true"), "meshes must be valid: {stdout}");
-    assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(['0', '1'])).count(), 2);
+    assert_eq!(
+        stdout
+            .lines()
+            .filter(|l| l.trim_start().starts_with(['0', '1']))
+            .count(),
+        2
+    );
 }
 
 #[test]
@@ -41,15 +47,33 @@ fn solve_roundtrip_with_checkpoint() {
     let ck_s = ck.to_str().unwrap();
 
     let (ok, stdout, stderr) = eul3d(&[
-        "solve", "--nx", "8", "--levels", "2", "--cycles", "10", "--strategy", "v",
-        "--checkpoint", ck_s,
+        "solve",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--cycles",
+        "10",
+        "--strategy",
+        "v",
+        "--checkpoint",
+        ck_s,
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("checkpointed"));
 
     let (ok2, stdout2, stderr2) = eul3d(&[
-        "solve", "--nx", "8", "--levels", "2", "--cycles", "3", "--strategy", "v",
-        "--restart", ck_s,
+        "solve",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--cycles",
+        "3",
+        "--strategy",
+        "v",
+        "--restart",
+        ck_s,
     ]);
     assert!(ok2, "{stderr2}");
     assert!(stdout2.contains("restarted"));
@@ -59,7 +83,15 @@ fn solve_roundtrip_with_checkpoint() {
 #[test]
 fn distributed_command_runs() {
     let (ok, stdout, stderr) = eul3d(&[
-        "distributed", "--nx", "8", "--levels", "2", "--ranks", "4", "--cycles", "2",
+        "distributed",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--ranks",
+        "4",
+        "--cycles",
+        "2",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("modeled Delta cost"));

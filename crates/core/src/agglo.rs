@@ -25,7 +25,8 @@ use std::collections::HashMap;
 use eul3d_mesh::{BcKind, BoundaryFace, TetMesh, Vec3};
 
 use crate::config::SolverConfig;
-use crate::counters::{FlopCounter, FLOPS_TRANSFER_VERT};
+use crate::counters::{PhaseCounters, FLOPS_TRANSFER_VERT};
+use crate::executor::{count_vertex_loop, Phase, SerialExecutor};
 use crate::gas::NVAR;
 use crate::level::{eval_total_residual, time_step, LevelState, SolverGrid};
 use crate::multigrid::Strategy;
@@ -109,13 +110,19 @@ pub fn agglomerate<G: SolverGrid + ?Sized>(fine: &G) -> AggloLevel {
         if ca == cb {
             continue;
         }
-        let (key, sign) = if ca < cb { ((ca, cb), 1.0) } else { ((cb, ca), -1.0) };
+        let (key, sign) = if ca < cb {
+            ((ca, cb), 1.0)
+        } else {
+            ((cb, ca), -1.0)
+        };
         *coef_map.entry(key).or_insert(Vec3::ZERO) += fine.grid_edge_coef()[e] * sign;
     }
     let mut coarse_edges: Vec<((u32, u32), Vec3)> = coef_map.into_iter().collect();
     coarse_edges.sort_by_key(|&((a, b), _)| (a, b));
-    let (edges_out, coef_out): (Vec<[u32; 2]>, Vec<Vec3>) =
-        coarse_edges.into_iter().map(|((a, b), c)| ([a, b], c)).unzip();
+    let (edges_out, coef_out): (Vec<[u32; 2]>, Vec<Vec3>) = coarse_edges
+        .into_iter()
+        .map(|((a, b), c)| ([a, b], c))
+        .unzip();
 
     // Volumes.
     let mut vol = vec![0.0; n];
@@ -130,16 +137,29 @@ pub fn agglomerate<G: SolverGrid + ?Sized>(fine: &G) -> AggloLevel {
     for f in fine.grid_bfaces() {
         let third = f.normal / 3.0;
         for &v in &f.v {
-            *bmap.entry((assign[v as usize], f.kind)).or_insert(Vec3::ZERO) += third;
+            *bmap
+                .entry((assign[v as usize], f.kind))
+                .or_insert(Vec3::ZERO) += third;
         }
     }
     let mut bfaces: Vec<BoundaryFace> = bmap
         .into_iter()
-        .map(|((c, kind), normal)| BoundaryFace { v: [c, c, c], normal, kind })
+        .map(|((c, kind), normal)| BoundaryFace {
+            v: [c, c, c],
+            normal,
+            kind,
+        })
         .collect();
     bfaces.sort_by_key(|f| (f.v[0], f.kind as u8));
 
-    AggloLevel { n, assign, edges: edges_out, edge_coef: coef_out, bfaces, vol }
+    AggloLevel {
+        n,
+        assign,
+        edges: edges_out,
+        edge_coef: coef_out,
+        bfaces,
+        vol,
+    }
 }
 
 /// FAS multigrid on agglomerated levels: the fine grid is a real mesh,
@@ -151,7 +171,7 @@ pub struct AggloMultigrid {
     pub strategy: Strategy,
     /// `states[0]` is the fine grid, `states[l]` lives on `coarse[l-1]`.
     pub states: Vec<LevelState>,
-    pub counter: FlopCounter,
+    pub counter: PhaseCounters,
     /// Jacobi sweeps applied to prolonged corrections (piecewise-constant
     /// injection is rough; 1–2 sweeps recover most of the smoothness).
     pub correction_smoothing: usize,
@@ -188,7 +208,7 @@ impl AggloMultigrid {
             cfg,
             strategy,
             states,
-            counter: FlopCounter::default(),
+            counter: PhaseCounters::default(),
             correction_smoothing: 2,
         }
     }
@@ -199,7 +219,9 @@ impl AggloMultigrid {
 
     /// Sizes of all levels, finest first.
     pub fn level_sizes(&self) -> Vec<usize> {
-        std::iter::once(self.mesh.nverts()).chain(self.coarse.iter().map(|c| c.n)).collect()
+        std::iter::once(self.mesh.nverts())
+            .chain(self.coarse.iter().map(|c| c.n))
+            .collect()
     }
 
     pub fn state(&self) -> &[f64] {
@@ -220,9 +242,23 @@ impl AggloMultigrid {
 
     fn step(&mut self, l: usize) {
         if l == 0 {
-            time_step(&self.mesh, &mut self.states[0], &self.cfg, false, &mut self.counter);
+            time_step(
+                &self.mesh,
+                &mut self.states[0],
+                &self.cfg,
+                false,
+                &mut SerialExecutor,
+                &mut self.counter,
+            );
         } else {
-            time_step(&self.coarse[l - 1], &mut self.states[l], &self.cfg, true, &mut self.counter);
+            time_step(
+                &self.coarse[l - 1],
+                &mut self.states[l],
+                &self.cfg,
+                true,
+                &mut SerialExecutor,
+                &mut self.counter,
+            );
         }
     }
 
@@ -241,13 +277,21 @@ impl AggloMultigrid {
 
     fn transfer_down(&mut self, l: usize) {
         if l == 0 {
-            eval_total_residual(&self.mesh, &mut self.states[0], &self.cfg, false, &mut self.counter);
+            eval_total_residual(
+                &self.mesh,
+                &mut self.states[0],
+                &self.cfg,
+                false,
+                &mut SerialExecutor,
+                &mut self.counter,
+            );
         } else {
             eval_total_residual(
                 &self.coarse[l - 1],
                 &mut self.states[l],
                 &self.cfg,
                 true,
+                &mut SerialExecutor,
                 &mut self.counter,
             );
         }
@@ -258,8 +302,11 @@ impl AggloMultigrid {
 
         // State: volume-weighted average over members.
         coarse.w.iter_mut().for_each(|x| *x = 0.0);
-        let fine_vol: &[f64] =
-            if l == 0 { &self.mesh.vol } else { &self.coarse[l - 1].vol };
+        let fine_vol: &[f64] = if l == 0 {
+            &self.mesh.vol
+        } else {
+            &self.coarse[l - 1].vol
+        };
         for (v, &c) in agg.assign.iter().enumerate() {
             let wgt = fine_vol[v];
             for k in 0..NVAR {
@@ -272,7 +319,12 @@ impl AggloMultigrid {
             }
         }
         coarse.w_ref.copy_from_slice(&coarse.w);
-        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+        count_vertex_loop(
+            &mut self.counter,
+            Phase::Transfer,
+            fine.n,
+            FLOPS_TRANSFER_VERT,
+        );
 
         // Residuals: conservative member sum.
         coarse.corr.iter_mut().for_each(|x| *x = 0.0);
@@ -284,7 +336,14 @@ impl AggloMultigrid {
 
         // Forcing P = R' − R(w').
         coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
-        eval_total_residual(agg, coarse, &self.cfg, true, &mut self.counter);
+        eval_total_residual(
+            agg,
+            coarse,
+            &self.cfg,
+            true,
+            &mut SerialExecutor,
+            &mut self.counter,
+        );
         for i in 0..coarse.n * NVAR {
             coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
         }
@@ -306,8 +365,11 @@ impl AggloMultigrid {
         }
         // ...then smooth the correction on the receiving level.
         if self.correction_smoothing > 0 {
-            let fine_edges: &[[u32; 2]] =
-                if l == 0 { &self.mesh.edges } else { &self.coarse[l - 1].edges };
+            let fine_edges: &[[u32; 2]] = if l == 0 {
+                &self.mesh.edges
+            } else {
+                &self.coarse[l - 1].edges
+            };
             // Borrow split: take the correction out of the state.
             let mut corr = std::mem::take(&mut fine.corr);
             smooth_residual_serial(
@@ -318,14 +380,19 @@ impl AggloMultigrid {
                 self.correction_smoothing,
                 &mut corr,
                 &mut fine.acc,
-                &mut self.counter,
+                self.counter.phase(Phase::Transfer),
             );
             fine.corr = corr;
         }
         for i in 0..fine.n * NVAR {
             fine.w[i] += fine.corr[i];
         }
-        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+        count_vertex_loop(
+            &mut self.counter,
+            Phase::Transfer,
+            fine.n,
+            FLOPS_TRANSFER_VERT,
+        );
     }
 }
 
@@ -354,14 +421,26 @@ mod tests {
     #[test]
     fn agglomerated_closure_is_exact() {
         // Σ ±η + Σ S = 0 per cell, inherited exactly from the fine grid.
-        let m = bump_channel(&BumpSpec { nx: 10, ny: 4, nz: 3, ..BumpSpec::default() });
+        let m = bump_channel(&BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 3,
+            ..BumpSpec::default()
+        });
         let a = agglomerate(&m);
-        let bf: Vec<_> = a.bfaces.iter().map(|f| (f.normal / 3.0 * 3.0, [f.v[0], f.v[0], f.v[0]])).collect();
+        let bf: Vec<_> = a
+            .bfaces
+            .iter()
+            .map(|f| (f.normal / 3.0 * 3.0, [f.v[0], f.v[0], f.v[0]]))
+            .collect();
         // closure_residual adds normal/3 per listed vertex; our pseudo
         // faces list the cell three times, so pass the normal as-is.
         let res = closure_residual(a.n, &a.edges, &a.edge_coef, &bf);
         for r in res {
-            assert!(r.norm() < 1e-12, "agglomerated dual surface must close: {r:?}");
+            assert!(
+                r.norm() < 1e-12,
+                "agglomerated dual surface must close: {r:?}"
+            );
         }
     }
 
@@ -372,16 +451,24 @@ mod tests {
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&a, &cfg);
         let before = st.w.clone();
-        let mut counter = FlopCounter::default();
-        time_step(&a, &mut st, &cfg, true, &mut counter);
+        let mut counter = PhaseCounters::default();
+        time_step(&a, &mut st, &cfg, true, &mut SerialExecutor, &mut counter);
         for (x, y) in st.w.iter().zip(&before) {
-            assert!((x - y).abs() < 1e-11, "freestream drift on agglomerated level");
+            assert!(
+                (x - y).abs() < 1e-11,
+                "freestream drift on agglomerated level"
+            );
         }
     }
 
     #[test]
     fn repeated_agglomeration_builds_a_hierarchy() {
-        let m = bump_channel(&BumpSpec { nx: 16, ny: 6, nz: 4, ..BumpSpec::default() });
+        let m = bump_channel(&BumpSpec {
+            nx: 16,
+            ny: 6,
+            nz: 4,
+            ..BumpSpec::default()
+        });
         let mg = AggloMultigrid::new(m, SolverConfig::default(), Strategy::WCycle, 4);
         let sizes = mg.level_sizes();
         assert!(sizes.len() >= 3, "hierarchy too shallow: {sizes:?}");
@@ -392,11 +479,19 @@ mod tests {
 
     #[test]
     fn agglomeration_multigrid_beats_single_grid() {
-        let spec = BumpSpec { nx: 16, ny: 6, nz: 4, jitter: 0.12, ..BumpSpec::default() };
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let spec = BumpSpec {
+            nx: 16,
+            ny: 6,
+            nz: 4,
+            jitter: 0.12,
+            ..BumpSpec::default()
+        };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let run = |levels: usize| {
-            let mut mg =
-                AggloMultigrid::new(bump_channel(&spec), cfg, Strategy::WCycle, levels);
+            let mut mg = AggloMultigrid::new(bump_channel(&spec), cfg, Strategy::WCycle, levels);
             let h = mg.solve(40);
             (h[0] / h.last().unwrap()).log10()
         };
@@ -413,6 +508,9 @@ mod tests {
         let m = unit_box(4, 0.2, 5);
         let mut mg = AggloMultigrid::new(m, SolverConfig::default(), Strategy::VCycle, 3);
         let r = mg.cycle();
-        assert!(r < 1e-11, "freestream residual through a full agglo cycle: {r:.3e}");
+        assert!(
+            r < 1e-11,
+            "freestream residual through a full agglo cycle: {r:.3e}"
+        );
     }
 }

@@ -179,7 +179,10 @@ mod tests {
         conv_residual_edges(&m.edges, &m.edge_coef, &w, &p, &mut q, &mut counter);
         boundary_residual(&m.bfaces, &w, &p, &fs, GAMMA, &mut q, &mut counter);
         let max = q.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-        assert!(max < 1e-11, "freestream must be preserved, max residual {max}");
+        assert!(
+            max < 1e-11,
+            "freestream must be preserved, max residual {max}"
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub struct Checkpoint {
 impl Checkpoint {
     pub fn new(w: &[f64], cycles_done: u64, mach: f64, alpha_deg: f64) -> Checkpoint {
         assert_eq!(w.len() % NVAR, 0);
-        Checkpoint { nverts: w.len() / NVAR, cycles_done, mach, alpha_deg, w: w.to_vec() }
+        Checkpoint {
+            nverts: w.len() / NVAR,
+            cycles_done,
+            mach,
+            alpha_deg,
+            w: w.to_vec(),
+        }
     }
 
     /// Serialize to any writer (little-endian, fixed layout).
@@ -49,7 +55,10 @@ impl Checkpoint {
         let mut magic = [0u8; 8];
         inp.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an EUL3D checkpoint"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an EUL3D checkpoint",
+            ));
         }
         let mut b8 = [0u8; 8];
         let mut read_u64 = |inp: &mut R| -> io::Result<u64> {
@@ -66,7 +75,13 @@ impl Checkpoint {
             inp.read_exact(&mut buf)?;
             *x = f64::from_le_bytes(buf);
         }
-        Ok(Checkpoint { nverts, cycles_done, mach, alpha_deg, w })
+        Ok(Checkpoint {
+            nverts,
+            cycles_done,
+            mach,
+            alpha_deg,
+            w,
+        })
     }
 
     pub fn save(&self, path: &Path) -> io::Result<()> {
@@ -112,7 +127,10 @@ mod tests {
     #[test]
     fn resume_continues_the_run_exactly() {
         let mesh = unit_box(4, 0.15, 3);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
 
         // Reference: 10 uninterrupted cycles.
         let mut a = SingleGridSolver::new(mesh.clone(), cfg);

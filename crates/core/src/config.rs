@@ -69,7 +69,11 @@ impl Default for SolverConfig {
 impl SolverConfig {
     /// The paper's transonic case: M∞ = 0.768, α = 1.116°.
     pub fn paper_case() -> SolverConfig {
-        SolverConfig { mach: 0.768, alpha_deg: 1.116, ..SolverConfig::default() }
+        SolverConfig {
+            mach: 0.768,
+            alpha_deg: 1.116,
+            ..SolverConfig::default()
+        }
     }
 
     /// Freestream implied by this configuration.

@@ -66,16 +66,151 @@ impl FlopCounter {
     }
 }
 
+/// Uniform per-phase computation/communication breakdown reported by
+/// every executor backend — the common currency `table1`, `table2`, and
+/// `compare` consume. Computation is a [`FlopCounter`] per
+/// [`Phase`](crate::executor::Phase); communication is the message/byte
+/// traffic the distributed backend charged to each phase (zero on the
+/// serial and shared paths, which exchange nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseCounters {
+    pub comp: [FlopCounter; crate::executor::NPHASES],
+    pub comm_msgs: [u64; crate::executor::NPHASES],
+    pub comm_bytes: [u64; crate::executor::NPHASES],
+}
+
+impl Default for PhaseCounters {
+    fn default() -> PhaseCounters {
+        PhaseCounters {
+            comp: [FlopCounter::default(); crate::executor::NPHASES],
+            comm_msgs: [0; crate::executor::NPHASES],
+            comm_bytes: [0; crate::executor::NPHASES],
+        }
+    }
+}
+
+impl PhaseCounters {
+    /// Mutable computation counter of one phase.
+    #[inline]
+    pub fn phase(&mut self, p: crate::executor::Phase) -> &mut FlopCounter {
+        &mut self.comp[p.index()]
+    }
+
+    /// Record `msgs` messages totalling `bytes` charged to `p`.
+    #[inline]
+    pub fn add_comm(&mut self, p: crate::executor::Phase, msgs: u64, bytes: u64) {
+        self.comm_msgs[p.index()] += msgs;
+        self.comm_bytes[p.index()] += bytes;
+    }
+
+    /// Total flops across all phases.
+    pub fn flops(&self) -> f64 {
+        self.comp.iter().map(|c| c.flops).sum()
+    }
+
+    /// Total parallel-loop launches across all phases.
+    pub fn launches(&self) -> u64 {
+        self.comp.iter().map(|c| c.launches).sum()
+    }
+
+    /// Total messages across all phases.
+    pub fn messages(&self) -> u64 {
+        self.comm_msgs.iter().sum()
+    }
+
+    /// Total bytes across all phases.
+    pub fn bytes(&self) -> u64 {
+        self.comm_bytes.iter().sum()
+    }
+
+    /// Collapse into a single [`FlopCounter`] (legacy consumers).
+    pub fn total(&self) -> FlopCounter {
+        FlopCounter {
+            flops: self.flops(),
+            launches: self.launches(),
+        }
+    }
+
+    pub fn merge(&mut self, o: &PhaseCounters) {
+        for (a, b) in self.comp.iter_mut().zip(&o.comp) {
+            a.merge(b);
+        }
+        for (a, b) in self.comm_msgs.iter_mut().zip(&o.comm_msgs) {
+            *a += b;
+        }
+        for (a, b) in self.comm_bytes.iter_mut().zip(&o.comm_bytes) {
+            *a += b;
+        }
+    }
+
+    pub fn reset(&mut self) {
+        *self = PhaseCounters::default();
+    }
+
+    /// `(label, flops, launches, msgs, bytes)` rows for every phase that
+    /// did any work, in reporting order.
+    pub fn rows(&self) -> Vec<(&'static str, f64, u64, u64, u64)> {
+        crate::executor::Phase::ALL
+            .iter()
+            .filter_map(|&p| {
+                let i = p.index();
+                let c = &self.comp[i];
+                let (m, b) = (self.comm_msgs[i], self.comm_bytes[i]);
+                (c.flops != 0.0 || c.launches != 0 || m != 0 || b != 0).then_some((
+                    p.label(),
+                    c.flops,
+                    c.launches,
+                    m,
+                    b,
+                ))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::Phase;
+
+    #[test]
+    fn phase_counters_accumulate_and_merge() {
+        let mut c = PhaseCounters::default();
+        c.phase(Phase::Convection).add(100, FLOPS_CONV_EDGE);
+        c.phase(Phase::Pressure).add(10, FLOPS_PRESSURE_VERT);
+        c.add_comm(Phase::Exchange, 4, 320);
+        assert_eq!(
+            c.flops(),
+            100.0 * FLOPS_CONV_EDGE + 10.0 * FLOPS_PRESSURE_VERT
+        );
+        assert_eq!(c.launches(), 2);
+        assert_eq!(c.messages(), 4);
+        assert_eq!(c.bytes(), 320);
+
+        let mut d = PhaseCounters::default();
+        d.merge(&c);
+        assert_eq!(d.flops(), c.flops());
+        assert_eq!(d.total().launches, 2);
+
+        let rows = d.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "exchange");
+        assert_eq!(rows[0].4, 320);
+
+        d.reset();
+        assert_eq!(d.flops(), 0.0);
+        assert!(d.rows().is_empty());
+    }
 
     #[test]
     fn counter_accumulates() {
         let mut c = FlopCounter::default();
         c.add(100, FLOPS_CONV_EDGE);
         c.add(10, FLOPS_PRESSURE_VERT);
-        assert_eq!(c.flops, 100.0 * FLOPS_CONV_EDGE + 10.0 * FLOPS_PRESSURE_VERT);
+        assert_eq!(
+            c.flops,
+            100.0 * FLOPS_CONV_EDGE + 10.0 * FLOPS_PRESSURE_VERT
+        );
         assert_eq!(c.launches, 2);
         let mut d = FlopCounter::default();
         d.merge(&c);

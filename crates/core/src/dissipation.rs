@@ -7,9 +7,7 @@
 
 use eul3d_mesh::Vec3;
 
-use crate::counters::{
-    FlopCounter, FLOPS_DISS_FO_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE,
-};
+use crate::counters::{FlopCounter, FLOPS_DISS_FO_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE};
 use crate::gas::{get5, spectral_radius, NVAR};
 
 /// Pass 1: undivided Laplacian of the conserved variables and the
@@ -153,7 +151,17 @@ mod tests {
         assert!(nu.iter().all(|&x| x < 1e-13));
         let mut diss = vec![0.0; nv * NVAR];
         dissipation_pass(
-            &m.edges, &m.edge_coef, &w, &p, &lapl, &nu, GAMMA, 0.5, 0.03, &mut diss, &mut counter,
+            &m.edges,
+            &m.edge_coef,
+            &w,
+            &p,
+            &lapl,
+            &nu,
+            GAMMA,
+            0.5,
+            0.03,
+            &mut diss,
+            &mut counter,
         );
         assert!(diss.iter().all(|&x| x.abs() < 1e-13));
     }
@@ -204,7 +212,17 @@ mod tests {
         sensor_from_accumulators(&sens, &mut nu);
         let mut diss = vec![0.0; nv * NVAR];
         dissipation_pass(
-            &m.edges, &m.edge_coef, &w, &p, &lapl, &nu, GAMMA, 0.5, 0.03, &mut diss, &mut counter,
+            &m.edges,
+            &m.edge_coef,
+            &w,
+            &p,
+            &lapl,
+            &nu,
+            GAMMA,
+            0.5,
+            0.03,
+            &mut diss,
+            &mut counter,
         );
         for c in 0..NVAR {
             let total: f64 = (0..nv).map(|i| diss[i * NVAR + c]).sum();
@@ -232,7 +250,14 @@ mod tests {
         let mut diss = vec![0.0; nv * NVAR];
         let mut counter = FlopCounter::default();
         dissipation_first_order(
-            &m.edges, &m.edge_coef, &w, &p, GAMMA, 0.05, &mut diss, &mut counter,
+            &m.edges,
+            &m.edge_coef,
+            &w,
+            &p,
+            GAMMA,
+            0.05,
+            &mut diss,
+            &mut counter,
         );
         let total: f64 = (0..nv).map(|i| diss[i * NVAR]).sum();
         assert!(total.abs() < 1e-10);

@@ -1,20 +1,16 @@
-//! One rank's share of one mesh level, with its halo schedule and local
-//! working arrays, plus the distributed five-stage time step.
+//! One rank's share of one mesh level — its local mesh, halo schedule and
+//! working arrays — plus the [`DistExecutor`] backend that runs the
+//! generic kernels of [`crate::level`] SPMD over the simulated machine.
 
 use eul3d_delta::{CommClass, Rank};
 use eul3d_parti::{localize, Schedule, Translation};
 use eul3d_partition::{PartitionedMesh, RankMesh};
 
-use crate::boundary::boundary_residual;
 use crate::config::SolverConfig;
-use crate::counters::{FlopCounter, FLOPS_ASSEMBLE_VERT, FLOPS_UPDATE_VERT};
-use crate::dissipation::{
-    dissipation_first_order, dissipation_pass, laplacian_pass, sensor_from_accumulators,
-};
-use crate::flux::{compute_pressures, conv_residual_edges};
+use crate::counters::PhaseCounters;
+use crate::executor::{Executor, HaloOp, Phase, ScatterAccess};
 use crate::gas::NVAR;
-use crate::smooth::{degrees_from_edges, smooth_accumulate, smooth_update};
-use crate::timestep::{local_dt, radii_bfaces, radii_edges};
+use crate::level::LevelState;
 
 /// Execution options for the distributed path.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,81 +20,135 @@ pub struct DistExecOptions {
     pub refetch_per_loop: bool,
 }
 
-/// Per-rank state of one level. Every per-vertex array has `n_local =
-/// n_owned + n_ghost` entries; ghost slots serve as receive targets
-/// (gather) and off-rank accumulators (scatter_add).
+/// The distributed [`Executor`]: one instance per rank, borrowing the
+/// rank's machine endpoint and the level's halo schedule. Edge and vertex
+/// loops run sequentially on the rank (the Delta nodes are scalar);
+/// ghost coherence is PARTI gather/scatter-add, with the traffic charged
+/// to the phase that requested it.
+pub struct DistExecutor<'a> {
+    pub rank: &'a mut Rank,
+    pub halo: &'a Schedule,
+    pub n_owned: usize,
+    pub refetch_per_loop: bool,
+}
+
+impl DistExecutor<'_> {
+    /// Run `f` against the rank and charge the message/byte delta it
+    /// produced to `phase`.
+    fn charged<R>(
+        &mut self,
+        phase: Phase,
+        counters: &mut PhaseCounters,
+        f: impl FnOnce(&mut Rank) -> R,
+    ) -> R {
+        let (m0, b0) = (
+            self.rank.counters.total_messages(),
+            self.rank.counters.total_bytes(),
+        );
+        let out = f(self.rank);
+        let (m1, b1) = (
+            self.rank.counters.total_messages(),
+            self.rank.counters.total_bytes(),
+        );
+        counters.add_comm(phase, m1 - m0, b1 - b0);
+        out
+    }
+}
+
+impl Executor for DistExecutor<'_> {
+    fn owned(&self, _n_all: usize) -> usize {
+        self.n_owned
+    }
+
+    fn refetch(&mut self, w: &mut [f64], counters: &mut PhaseCounters) {
+        if self.refetch_per_loop {
+            let halo = self.halo;
+            self.charged(Phase::Exchange, counters, |rank| halo.gather(rank, w, NVAR));
+        }
+    }
+
+    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(usize, &ScatterAccess) + Sync,
+    {
+        let access = ScatterAccess::new(targets);
+        for e in 0..nedges {
+            f(e, &access);
+        }
+    }
+
+    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    where
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
+        for (i, row) in data.chunks_mut(stride).enumerate() {
+            f(i, row);
+        }
+    }
+
+    fn exchange_halo(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    ) {
+        let halo = self.halo;
+        self.charged(phase, counters, |rank| match op {
+            HaloOp::Gather => halo.gather(rank, data, stride),
+            HaloOp::ScatterAdd => halo.scatter_add(rank, data, stride),
+        });
+    }
+
+    fn reduce_sum(&mut self, phase: Phase, vals: &[f64], counters: &mut PhaseCounters) -> Vec<f64> {
+        self.charged(phase, counters, |rank| rank.all_reduce_sum(vals))
+    }
+}
+
+/// Per-rank state of one level. Every per-vertex array of `st` has
+/// `n_local = n_owned + n_ghost` entries; ghost slots serve as receive
+/// targets (gather) and off-rank accumulators (scatter_add).
 pub struct DistLevel {
     pub rm: RankMesh,
     pub trans: Translation,
     /// Ghost exchange schedule for per-vertex arrays.
     pub halo: Schedule,
-    pub w: Vec<f64>,
-    pub w0: Vec<f64>,
-    pub p: Vec<f64>,
-    pub lapl: Vec<f64>,
-    pub sens: Vec<f64>,
-    pub nu: Vec<f64>,
-    pub diss: Vec<f64>,
-    pub q: Vec<f64>,
-    pub res: Vec<f64>,
-    pub r0: Vec<f64>,
-    pub acc: Vec<f64>,
-    pub lam: Vec<f64>,
-    pub dt: Vec<f64>,
-    pub deg: Vec<f64>,
-    pub forcing: Vec<f64>,
-    pub w_ref: Vec<f64>,
-    pub corr: Vec<f64>,
+    /// Working arrays, laid out exactly as on the other backends.
+    pub st: LevelState,
 }
 
 impl DistLevel {
     /// Build this rank's level: extract its `RankMesh`, localize the halo
     /// schedule (tag space `[tag, tag+2)`), and initialize freestream
     /// state. Must be called SPMD (every rank, same order).
-    pub fn build(
-        rank: &mut Rank,
-        pm: &PartitionedMesh,
-        cfg: &SolverConfig,
-        tag: u32,
-    ) -> DistLevel {
+    pub fn build(rank: &mut Rank, pm: &PartitionedMesh, cfg: &SolverConfig, tag: u32) -> DistLevel {
         let rm = pm.ranks[rank.id].clone();
         let trans = Translation::new(pm.owner.clone(), pm.owner_local.clone());
         let n_owned = rm.n_owned();
-        let nl = rm.n_local();
 
-        let slots: Vec<u32> = (0..rm.n_ghost() as u32).map(|k| n_owned as u32 + k).collect();
-        let halo = localize(rank, &trans, &rm.ghost_globals, &slots, tag, CommClass::Halo);
+        let slots: Vec<u32> = (0..rm.n_ghost() as u32)
+            .map(|k| n_owned as u32 + k)
+            .collect();
+        let halo = localize(
+            rank,
+            &trans,
+            &rm.ghost_globals,
+            &slots,
+            tag,
+            CommClass::Halo,
+        );
 
-        let fs = cfg.freestream();
-        let mut w = vec![0.0; nl * NVAR];
-        for i in 0..nl {
-            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
-        }
-
-        // Degrees: local partial counts summed across ranks once.
-        let mut deg = degrees_from_edges(&rm.edges, nl);
-        halo.scatter_add(rank, &mut deg, 1);
+        // LevelState::new sizes everything by n_local and leaves *partial*
+        // degrees (from the rank-local edge list); one setup scatter-add
+        // completes them.
+        let mut st = LevelState::new(&rm, cfg);
+        halo.scatter_add(rank, &mut st.deg, 1);
 
         DistLevel {
             trans,
-            w0: w.clone(),
-            w,
-            p: vec![0.0; nl],
-            lapl: vec![0.0; nl * NVAR],
-            sens: vec![0.0; nl * 2],
-            nu: vec![0.0; nl],
-            diss: vec![0.0; nl * NVAR],
-            q: vec![0.0; nl * NVAR],
-            res: vec![0.0; nl * NVAR],
-            r0: vec![0.0; nl * NVAR],
-            acc: vec![0.0; nl * NVAR],
-            lam: vec![0.0; nl],
-            dt: vec![0.0; n_owned],
-            deg,
-            forcing: vec![0.0; n_owned * NVAR],
-            w_ref: vec![0.0; n_owned * NVAR],
-            corr: vec![0.0; nl * NVAR],
             halo,
+            st,
             rm,
         }
     }
@@ -113,109 +163,26 @@ impl DistLevel {
 
     /// Gather ghost copies of the flow variables.
     pub fn fetch_w(&mut self, rank: &mut Rank) {
-        self.halo.gather(rank, &mut self.w, NVAR);
+        self.halo.gather(rank, &mut self.st.w, NVAR);
     }
 
-    fn zero(v: &mut [f64]) {
-        v.iter_mut().for_each(|x| *x = 0.0);
-    }
-
-    /// Fresh dissipation into `diss` (owned entries complete after the
-    /// scatter). Assumes ghost `w` is current.
-    pub fn eval_dissipation(
+    /// One distributed five-stage time step — the *same* stage loop as
+    /// every other backend, driven through [`DistExecutor`].
+    pub fn time_step(
         &mut self,
         rank: &mut Rank,
         cfg: &SolverConfig,
         is_coarse: bool,
         opts: &DistExecOptions,
-        counter: &mut FlopCounter,
+        counters: &mut PhaseCounters,
     ) {
-        if opts.refetch_per_loop {
-            self.fetch_w(rank);
-        }
-        Self::zero(&mut self.diss);
-        if cfg.scheme == crate::config::Scheme::RoeUpwind {
-            // One pass, no sensor: the Laplacian/ν ghost exchanges of the
-            // JST path disappear entirely.
-            crate::roe::roe_dissipation_edges(
-                &self.rm.edges,
-                &self.rm.edge_coef,
-                &self.w,
-                &self.p,
-                cfg.gamma,
-                &mut self.diss,
-                counter,
-            );
-            self.halo.scatter_add(rank, &mut self.diss, NVAR);
-            return;
-        }
-        if is_coarse && cfg.coarse_first_order {
-            dissipation_first_order(
-                &self.rm.edges,
-                &self.rm.edge_coef,
-                &self.w,
-                &self.p,
-                cfg.gamma,
-                cfg.coarse_k2,
-                &mut self.diss,
-                counter,
-            );
-            self.halo.scatter_add(rank, &mut self.diss, NVAR);
-            return;
-        }
-        Self::zero(&mut self.lapl);
-        Self::zero(&mut self.sens);
-        laplacian_pass(&self.rm.edges, &self.w, &self.p, &mut self.lapl, &mut self.sens, counter);
-        self.halo.scatter_add(rank, &mut self.lapl, NVAR);
-        self.halo.scatter_add(rank, &mut self.sens, 2);
-        // ν for owned vertices, then ghost copies of L and ν for pass 2.
-        sensor_from_accumulators(&self.sens[..self.n_owned() * 2], &mut self.nu[..self.rm.n_owned()]);
-        self.halo.gather(rank, &mut self.lapl, NVAR);
-        self.halo.gather(rank, &mut self.nu, 1);
-        if opts.refetch_per_loop {
-            self.fetch_w(rank);
-        }
-        dissipation_pass(
-            &self.rm.edges,
-            &self.rm.edge_coef,
-            &self.w,
-            &self.p,
-            &self.lapl,
-            &self.nu,
-            cfg.gamma,
-            cfg.k2,
-            cfg.k4,
-            &mut self.diss,
-            counter,
-        );
-        self.halo.scatter_add(rank, &mut self.diss, NVAR);
-    }
-
-    /// Fresh convective residual into `q` (owned complete after scatter).
-    pub fn eval_convection(
-        &mut self,
-        rank: &mut Rank,
-        cfg: &SolverConfig,
-        opts: &DistExecOptions,
-        counter: &mut FlopCounter,
-    ) {
-        if opts.refetch_per_loop {
-            self.fetch_w(rank);
-        }
-        Self::zero(&mut self.q);
-        conv_residual_edges(&self.rm.edges, &self.rm.edge_coef, &self.w, &self.p, &mut self.q, counter);
-        let fs = cfg.freestream();
-        boundary_residual(&self.rm.bfaces, &self.w, &self.p, &fs, cfg.gamma, &mut self.q, counter);
-        self.halo.scatter_add(rank, &mut self.q, NVAR);
-    }
-
-    /// `res = Q − D + P` on owned vertices.
-    pub fn assemble_residual(&mut self, counter: &mut FlopCounter) {
-        let n = self.n_owned();
-        for i in 0..n * NVAR {
-            self.res[i] = self.q[i] - self.diss[i] + self.forcing[i];
-        }
-        counter.add(n, FLOPS_ASSEMBLE_VERT);
+        let mut exec = DistExecutor {
+            rank,
+            halo: &self.halo,
+            n_owned: self.rm.n_owned(),
+            refetch_per_loop: opts.refetch_per_loop,
+        };
+        crate::level::time_step(&self.rm, &mut self.st, cfg, is_coarse, &mut exec, counters);
     }
 
     /// Full fresh residual evaluation (for transfers/monitoring).
@@ -225,87 +192,26 @@ impl DistLevel {
         cfg: &SolverConfig,
         is_coarse: bool,
         opts: &DistExecOptions,
-        counter: &mut FlopCounter,
+        counters: &mut PhaseCounters,
     ) {
-        self.fetch_w(rank);
-        compute_pressures(cfg.gamma, &self.w, &mut self.p, counter);
-        self.eval_dissipation(rank, cfg, is_coarse, opts, counter);
-        self.eval_convection(rank, cfg, opts, counter);
-        self.assemble_residual(counter);
-    }
-
-    /// Distributed residual averaging on the owned residuals.
-    fn smooth(&mut self, rank: &mut Rank, cfg: &SolverConfig, counter: &mut FlopCounter) {
-        if cfg.smooth_passes == 0 || cfg.smooth_eps == 0.0 {
-            return;
-        }
-        let n = self.n_owned();
-        self.r0[..n * NVAR].copy_from_slice(&self.res[..n * NVAR]);
-        for _ in 0..cfg.smooth_passes {
-            self.halo.gather(rank, &mut self.res, NVAR);
-            Self::zero(&mut self.acc);
-            smooth_accumulate(&self.rm.edges, &self.res, &mut self.acc, counter);
-            self.halo.scatter_add(rank, &mut self.acc, NVAR);
-            smooth_update(n, &self.r0, &self.acc, &self.deg, cfg.smooth_eps, &mut self.res, counter);
-        }
-    }
-
-    /// One distributed five-stage time step (the §4.1 executor sequence).
-    pub fn time_step(
-        &mut self,
-        rank: &mut Rank,
-        cfg: &SolverConfig,
-        is_coarse: bool,
-        opts: &DistExecOptions,
-        counter: &mut FlopCounter,
-    ) {
-        let n = self.n_owned();
-        self.w0[..n * NVAR].copy_from_slice(&self.w[..n * NVAR]);
-        for (stage, &alpha) in cfg.rk_alpha.iter().enumerate() {
-            // One gather of the flow variables per stage (§4.3).
-            self.fetch_w(rank);
-            compute_pressures(cfg.gamma, &self.w, &mut self.p, counter);
-
-            if stage == 0 {
-                Self::zero(&mut self.lam);
-                radii_edges(
-                    &self.rm.edges,
-                    &self.rm.edge_coef,
-                    &self.w,
-                    &self.p,
-                    cfg.gamma,
-                    &mut self.lam,
-                    counter,
-                );
-                radii_bfaces(&self.rm.bfaces, &self.w, &self.p, cfg.gamma, &mut self.lam, counter);
-                self.halo.scatter_add(rank, &mut self.lam, 1);
-                local_dt(cfg.cfl, &self.rm.vol, &self.lam[..n], &mut self.dt, counter);
-            }
-            if stage <= 1 {
-                self.eval_dissipation(rank, cfg, is_coarse, opts, counter);
-            }
-            self.eval_convection(rank, cfg, opts, counter);
-            self.assemble_residual(counter);
-            self.smooth(rank, cfg, counter);
-
-            for i in 0..n {
-                let scale = alpha * self.dt[i] / self.rm.vol[i];
-                for c in 0..NVAR {
-                    self.w[i * NVAR + c] = self.w0[i * NVAR + c] - scale * self.res[i * NVAR + c];
-                }
-            }
-            counter.add(n, FLOPS_UPDATE_VERT);
-        }
+        let mut exec = DistExecutor {
+            rank,
+            halo: &self.halo,
+            n_owned: self.rm.n_owned(),
+            refetch_per_loop: opts.refetch_per_loop,
+        };
+        crate::level::eval_total_residual(
+            &self.rm,
+            &mut self.st,
+            cfg,
+            is_coarse,
+            &mut exec,
+            counters,
+        );
     }
 
     /// Squared density-residual sum and count for the global norm.
     pub fn residual_norm_parts(&self) -> (f64, f64) {
-        let n = self.n_owned();
-        let mut sum = 0.0;
-        for i in 0..n {
-            let r = self.res[i * NVAR] / self.rm.vol[i];
-            sum += r * r;
-        }
-        (sum, n as f64)
+        self.st.residual_norm_parts(&self.rm.vol)
     }
 }

@@ -14,7 +14,7 @@ mod setup;
 mod solver;
 mod transfer;
 
-pub use level::{DistExecOptions, DistLevel};
+pub use level::{DistExecOptions, DistExecutor, DistLevel};
 pub use setup::DistSetup;
 pub use solver::{run_distributed, DistOptions, DistRunResult, RankOutput};
 pub use transfer::TransferLink;

@@ -27,7 +27,11 @@ impl DistSetup {
                 Arc::new(PartitionedMesh::build(m, &parts, nranks))
             })
             .collect();
-        DistSetup { seq: Arc::new(seq), pms, nranks }
+        DistSetup {
+            seq: Arc::new(seq),
+            pms,
+            nranks,
+        }
     }
 
     /// Partition with a caller-supplied partitioner (e.g. RCB or random,
@@ -42,7 +46,11 @@ impl DistSetup {
             .iter()
             .map(|m| Arc::new(PartitionedMesh::build(m, &partitioner(m), nranks)))
             .collect();
-        DistSetup { seq: Arc::new(seq), pms, nranks }
+        DistSetup {
+            seq: Arc::new(seq),
+            pms,
+            nranks,
+        }
     }
 
     pub fn levels(&self) -> usize {

@@ -4,7 +4,8 @@
 use eul3d_delta::{run_spmd, MachineRun, Rank, RankCounters};
 
 use crate::config::SolverConfig;
-use crate::counters::FlopCounter;
+use crate::counters::PhaseCounters;
+use crate::executor::Phase;
 use crate::gas::NVAR;
 use crate::multigrid::Strategy;
 
@@ -24,7 +25,10 @@ pub struct DistOptions {
 
 impl Default for DistOptions {
     fn default() -> Self {
-        DistOptions { refetch_per_loop: false, monitor_residual: true }
+        DistOptions {
+            refetch_per_loop: false,
+            monitor_residual: true,
+        }
     }
 }
 
@@ -41,8 +45,8 @@ pub struct RankOutput {
     /// Counter snapshot taken after setup (schedule building), so the
     /// harness can separate inspector cost from cycle cost.
     pub setup_counters: RankCounters,
-    /// Solver-side flop/launch accounting.
-    pub flops: FlopCounter,
+    /// Per-phase flop/launch/message accounting from the executor layer.
+    pub phases: PhaseCounters,
 }
 
 /// Result of a distributed run.
@@ -51,12 +55,18 @@ pub struct DistRunResult {
 }
 
 impl DistRunResult {
-    /// Residual history (from rank 0).
+    /// Residual history (from rank 0; empty if the run produced no
+    /// rank outputs).
     pub fn history(&self) -> &[f64] {
-        &self.run.results[0].history
+        self.run
+            .results
+            .first()
+            .map(|r| r.history.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Reassemble the global fine-grid state from the rank pieces.
+    /// Vertices not owned by any reporting rank stay zero.
     pub fn global_state(&self, nverts: usize) -> Vec<f64> {
         let mut w = vec![0.0; nverts * NVAR];
         for out in &self.run.results {
@@ -81,7 +91,16 @@ impl DistRunResult {
     /// Per-rank counters for the setup (inspector/partition-exchange)
     /// phase.
     pub fn setup_counters(&self) -> Vec<RankCounters> {
-        self.run.results.iter().map(|o| o.setup_counters.clone()).collect()
+        self.run
+            .results
+            .iter()
+            .map(|o| o.setup_counters.clone())
+            .collect()
+    }
+
+    /// Per-rank per-phase executor counters for the cycle work.
+    pub fn phase_counters(&self) -> Vec<PhaseCounters> {
+        self.run.results.iter().map(|o| o.phases).collect()
     }
 }
 
@@ -92,7 +111,7 @@ pub struct DistSolver {
     pub cfg: SolverConfig,
     pub strategy: Strategy,
     pub opts: DistExecOptions,
-    pub counter: FlopCounter,
+    pub counter: PhaseCounters,
 }
 
 impl DistSolver {
@@ -129,8 +148,10 @@ impl DistSolver {
             links,
             cfg,
             strategy,
-            opts: DistExecOptions { refetch_per_loop: opts.refetch_per_loop },
-            counter: FlopCounter::default(),
+            opts: DistExecOptions {
+                refetch_per_loop: opts.refetch_per_loop,
+            },
+            counter: PhaseCounters::default(),
         }
     }
 
@@ -173,26 +194,32 @@ impl DistSolver {
         let coarse = &mut coarse[0];
         let link = &self.links[l];
         let nc_owned = coarse.n_owned();
+        let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        let xfer = self.counter.phase(Phase::Transfer);
 
         // State down (owned coarse entries set directly).
-        link.restrict_state(rank, &fine.w, &mut coarse.w, NVAR, &mut self.counter);
-        coarse.w_ref.copy_from_slice(&coarse.w[..nc_owned * NVAR]);
+        link.restrict_state(rank, &fine.st.w, &mut coarse.st.w, NVAR, xfer);
+        coarse.st.w_ref[..nc_owned * NVAR].copy_from_slice(&coarse.st.w[..nc_owned * NVAR]);
 
-        // Residuals down, conservatively, into coarse.corr (owned).
-        coarse.corr[..nc_owned * NVAR].iter_mut().for_each(|x| *x = 0.0);
+        // Residuals down, conservatively, into coarse.st.corr (owned).
+        coarse.st.corr[..nc_owned * NVAR]
+            .iter_mut()
+            .for_each(|x| *x = 0.0);
         // restrict_residual reads owned fine residuals only.
         {
-            let fine_res = &fine.res;
-            let mut tmp = std::mem::take(&mut coarse.corr);
-            link.restrict_residual(rank, fine_res, &mut tmp, NVAR, &mut self.counter);
-            coarse.corr = tmp;
+            let fine_res = &fine.st.res;
+            let mut tmp = std::mem::take(&mut coarse.st.corr);
+            link.restrict_residual(rank, fine_res, &mut tmp, NVAR, xfer);
+            coarse.st.corr = tmp;
         }
+        let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        self.counter.add_comm(Phase::Transfer, m1 - m0, b1 - b0);
 
         // Forcing P = R' − R(w').
-        coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
+        coarse.st.forcing.iter_mut().for_each(|x| *x = 0.0);
         coarse.eval_total_residual(rank, &cfg, true, &opts, &mut self.counter);
         for i in 0..nc_owned * NVAR {
-            coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
+            coarse.st.forcing[i] = coarse.st.corr[i] - coarse.st.res[i];
         }
     }
 
@@ -203,12 +230,16 @@ impl DistSolver {
         let link = &self.links[l];
         let nc_owned = coarse.n_owned();
         for i in 0..nc_owned * NVAR {
-            coarse.corr[i] = coarse.w[i] - coarse.w_ref[i];
+            coarse.st.corr[i] = coarse.st.w[i] - coarse.st.w_ref[i];
         }
-        link.prolong(rank, &coarse.corr, &mut fine.corr, NVAR, &mut self.counter);
+        let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        let xfer = self.counter.phase(Phase::Transfer);
+        link.prolong(rank, &coarse.st.corr, &mut fine.st.corr, NVAR, xfer);
+        let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        self.counter.add_comm(Phase::Transfer, m1 - m0, b1 - b0);
         let nf_owned = fine.n_owned();
         for i in 0..nf_owned * NVAR {
-            fine.w[i] += fine.corr[i];
+            fine.st.w[i] += fine.st.corr[i];
         }
     }
 }
@@ -228,20 +259,23 @@ pub fn run_distributed(
         for _ in 0..cycles {
             let (sum, n) = solver.cycle(rank);
             if opts.monitor_residual {
+                let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
                 let parts = rank.all_reduce_sum(&[sum, n]);
+                let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
+                solver.counter.add_comm(Phase::Monitor, m1 - m0, b1 - b0);
                 history.push((parts[0] / parts[1]).sqrt());
             } else {
                 history.push(f64::NAN);
             }
         }
-        rank.add_flops(solver.counter.flops);
+        rank.add_flops(solver.counter.flops());
         let fine = &solver.levels[0];
         RankOutput {
             history,
-            w_owned: fine.w[..fine.n_owned() * NVAR].to_vec(),
+            w_owned: fine.st.w[..fine.n_owned() * NVAR].to_vec(),
             owned_globals: fine.rm.owned_globals.clone(),
             setup_counters,
-            flops: solver.counter,
+            phases: solver.counter,
         }
     });
     DistRunResult { run }

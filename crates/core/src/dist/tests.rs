@@ -14,7 +14,13 @@ use crate::multigrid::{MultigridSolver, Strategy};
 use crate::solver::SingleGridSolver;
 
 fn small_seq(levels: usize) -> MeshSequence {
-    let spec = BumpSpec { nx: 10, ny: 4, nz: 3, jitter: 0.1, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 10,
+        ny: 4,
+        nz: 3,
+        jitter: 0.1,
+        ..BumpSpec::default()
+    };
     MeshSequence::bump_sequence(&spec, levels)
 }
 
@@ -24,13 +30,19 @@ fn compare_states(a: &[f64], b: &[f64], tol: f64, what: &str) {
     for (x, y) in a.iter().zip(b) {
         max = max.max((x - y).abs());
     }
-    assert!(max < tol, "{what}: max state deviation {max:.3e} exceeds {tol:.1e}");
+    assert!(
+        max < tol,
+        "{what}: max state deviation {max:.3e} exceeds {tol:.1e}"
+    );
 }
 
 #[test]
 fn distributed_single_grid_matches_serial() {
     let seq = small_seq(1);
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
     let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
     let hs = serial.solve(4);
 
@@ -51,7 +63,10 @@ fn distributed_single_grid_matches_serial() {
 fn distributed_multigrid_matches_serial() {
     for strategy in [Strategy::VCycle, Strategy::WCycle] {
         let seq = small_seq(2);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let nverts = seq.meshes[0].nverts();
         let mut serial = MultigridSolver::new(small_seq(2), cfg, strategy);
         let hs = serial.solve(3);
@@ -88,17 +103,27 @@ fn single_rank_distributed_matches_serial_exactly_shaped() {
 
 #[test]
 fn refetch_ablation_same_answer_more_traffic() {
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
     let run = |refetch: bool| {
         let setup = DistSetup::new(small_seq(1), 4, 20, 7);
-        let opts = DistOptions { refetch_per_loop: refetch, ..DistOptions::default() };
+        let opts = DistOptions {
+            refetch_per_loop: refetch,
+            ..DistOptions::default()
+        };
         let r = run_distributed(&setup, cfg, Strategy::SingleGrid, 3, opts);
         let halo_bytes: u64 = r
             .cycle_counters()
             .iter()
             .map(|c| c.sent[CommClass::Halo as usize].bytes)
             .sum();
-        (r.history().to_vec(), r.global_state(setup.seq.meshes[0].nverts()), halo_bytes)
+        (
+            r.history().to_vec(),
+            r.global_state(setup.seq.meshes[0].nverts()),
+            halo_bytes,
+        )
     };
     let (h0, w0, b0) = run(false);
     let (h1, w1, b1) = run(true);
@@ -121,8 +146,14 @@ fn transfer_traffic_is_small_fraction() {
     let setup = DistSetup::new(seq, 4, 20, 3);
     let r = run_distributed(&setup, cfg, Strategy::VCycle, 5, DistOptions::default());
     let cc = r.cycle_counters();
-    let halo: u64 = cc.iter().map(|c| c.sent[CommClass::Halo as usize].bytes).sum();
-    let transfer: u64 = cc.iter().map(|c| c.sent[CommClass::Transfer as usize].bytes).sum();
+    let halo: u64 = cc
+        .iter()
+        .map(|c| c.sent[CommClass::Halo as usize].bytes)
+        .sum();
+    let transfer: u64 = cc
+        .iter()
+        .map(|c| c.sent[CommClass::Transfer as usize].bytes)
+        .sum();
     assert!(transfer > 0, "multigrid must move transfer data");
     assert!(
         (transfer as f64) < 0.35 * halo as f64,
@@ -133,8 +164,17 @@ fn transfer_traffic_is_small_fraction() {
 #[test]
 fn monitoring_off_skips_collectives() {
     let setup = DistSetup::new(small_seq(1), 3, 20, 7);
-    let opts = DistOptions { monitor_residual: false, ..DistOptions::default() };
-    let r = run_distributed(&setup, SolverConfig::default(), Strategy::SingleGrid, 2, opts);
+    let opts = DistOptions {
+        monitor_residual: false,
+        ..DistOptions::default()
+    };
+    let r = run_distributed(
+        &setup,
+        SolverConfig::default(),
+        Strategy::SingleGrid,
+        2,
+        opts,
+    );
     let cc = r.cycle_counters();
     for c in &cc {
         assert_eq!(c.sent[CommClass::Collective as usize].messages, 0);
@@ -147,7 +187,11 @@ fn roe_scheme_distributed_matches_serial_and_cuts_messages() {
     use crate::config::Scheme;
     let run_scheme = |scheme: Scheme| {
         let seq = small_seq(1);
-        let cfg = SolverConfig { mach: 0.5, scheme, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            scheme,
+            ..SolverConfig::default()
+        };
         let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
         let hs = serial.solve(3);
         let setup = DistSetup::new(seq, 4, 20, 7);

@@ -102,19 +102,27 @@ impl TransferLink {
             &fine_trans,
             me,
         );
-        let fine_sched =
-            localize(rank, &fine_trans, &req_f, &slots_f, tag, CommClass::Transfer);
+        let fine_sched = localize(
+            rank,
+            &fine_trans,
+            &req_f,
+            &slots_f,
+            tag,
+            CommClass::Transfer,
+        );
 
         // Residual restriction + prolongation: owned fine vertices
         // address coarse entries.
-        let (resid_terms, coarse_buf_len, coarse_local, req_c, slots_c) = build_terms(
-            &fine_pm.ranks[me].owned_globals,
-            to_fine,
+        let (resid_terms, coarse_buf_len, coarse_local, req_c, slots_c) =
+            build_terms(&fine_pm.ranks[me].owned_globals, to_fine, &coarse_trans, me);
+        let coarse_sched = localize(
+            rank,
             &coarse_trans,
-            me,
+            &req_c,
+            &slots_c,
+            tag + 2,
+            CommClass::Transfer,
         );
-        let coarse_sched =
-            localize(rank, &coarse_trans, &req_c, &slots_c, tag + 2, CommClass::Transfer);
 
         TransferLink {
             state_terms,
@@ -184,7 +192,8 @@ impl TransferLink {
                 coarse_out[l + c] += buf[b + c];
             }
         }
-        self.coarse_sched.scatter_add_into(rank, &mut buf, coarse_out, nc);
+        self.coarse_sched
+            .scatter_add_into(rank, &mut buf, coarse_out, nc);
         counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
     }
 

@@ -1,0 +1,344 @@
+//! The **executor abstraction**: one set of solver kernels, three
+//! execution strategies — the paper's central claim ("the same solver ran
+//! on the shared-memory C90 and the distributed-memory Delta, with only
+//! the execution layer swapped underneath").
+//!
+//! The five-stage Runge–Kutta step, residual assembly, dissipation,
+//! convection and smoothing in [`crate::level`] are written **once**,
+//! generic over an [`Executor`] that provides the four capabilities the
+//! kernels actually need:
+//!
+//! * [`Executor::for_edges_scatter`] — a conflict-managed edge loop with
+//!   scatter-add accumulation into per-vertex arrays;
+//! * [`Executor::for_vertices`] — a strided per-vertex map;
+//! * [`Executor::exchange_halo`] — ghost coherence (a no-op in a single
+//!   address space, a PARTI gather/scatter-add on the distributed path);
+//! * [`Executor::reduce_sum`] — a global reduction for monitoring.
+//!
+//! Backends:
+//! * [`SerialExecutor`] — plain loops (the sequential reference);
+//! * [`crate::shared::SharedExecutor`] — §3 edge-coloured groups
+//!   work-shared over a rayon pool (the Cray autotasking analogue);
+//! * [`crate::dist::DistExecutor`] — §4 PARTI schedules over the
+//!   simulated Delta, one instance per rank.
+
+use std::marker::PhantomData;
+
+use crate::counters::{FlopCounter, PhaseCounters};
+
+/// Solver phases, the rows of the uniform per-phase comp/comm breakdown
+/// every backend reports through [`PhaseCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Per-stage ghost gather of the flow variables (§4.3: fetched once
+    /// per stage and reused by every loop).
+    Exchange,
+    /// Per-vertex pressure evaluation.
+    Pressure,
+    /// Spectral radii + local time steps.
+    Radii,
+    /// Artificial dissipation (JST two-pass, first-order, or Roe).
+    Dissipation,
+    /// Interior convective fluxes.
+    Convection,
+    /// Boundary-face fluxes (wall + far field).
+    Boundary,
+    /// Residual assembly `R = Q − D + P`.
+    Assemble,
+    /// Implicit residual averaging.
+    Smooth,
+    /// Runge–Kutta stage update.
+    Update,
+    /// Inter-grid transfers (restriction/prolongation).
+    Transfer,
+    /// Convergence monitoring (residual-norm reductions).
+    Monitor,
+}
+
+/// Number of [`Phase`] variants.
+pub const NPHASES: usize = 11;
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; NPHASES] = [
+        Phase::Exchange,
+        Phase::Pressure,
+        Phase::Radii,
+        Phase::Dissipation,
+        Phase::Convection,
+        Phase::Boundary,
+        Phase::Assemble,
+        Phase::Smooth,
+        Phase::Update,
+        Phase::Transfer,
+        Phase::Monitor,
+    ];
+
+    /// Dense index for table layouts.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Exchange => 0,
+            Phase::Pressure => 1,
+            Phase::Radii => 2,
+            Phase::Dissipation => 3,
+            Phase::Convection => 4,
+            Phase::Boundary => 5,
+            Phase::Assemble => 6,
+            Phase::Smooth => 7,
+            Phase::Update => 8,
+            Phase::Transfer => 9,
+            Phase::Monitor => 10,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Exchange => "exchange",
+            Phase::Pressure => "pressure",
+            Phase::Radii => "radii/dt",
+            Phase::Dissipation => "dissipation",
+            Phase::Convection => "convection",
+            Phase::Boundary => "boundary",
+            Phase::Assemble => "assemble",
+            Phase::Smooth => "smooth",
+            Phase::Update => "update",
+            Phase::Transfer => "transfer",
+            Phase::Monitor => "monitor",
+        }
+    }
+}
+
+/// Direction of a ghost exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaloOp {
+    /// Fetch owner values into ghost slots (PARTI gather).
+    Gather,
+    /// Flush partial sums accumulated in ghost slots back to their
+    /// owners, adding, and zero the ghost accumulators (PARTI
+    /// scatter-add).
+    ScatterAdd,
+}
+
+/// Maximum number of target arrays one edge loop may scatter into
+/// (the JST Laplacian pass writes two: `lapl` and `sens`).
+pub const MAX_SCATTER_TARGETS: usize = 2;
+
+/// A raw shared view of the scatter-target arrays of one edge loop.
+///
+/// # Safety contract
+/// [`ScatterAccess::add`] performs an unsynchronized read-modify-write.
+/// It is sound because every backend arranges that no two concurrently
+/// executing edge kernels touch the same vertex: the serial and
+/// distributed backends run one edge at a time, and the shared-memory
+/// backend only runs edges of one *colour group* concurrently (a
+/// validated colouring guarantees disjoint endpoints within a group, and
+/// groups are separated by joins). Indices must be in bounds.
+pub struct ScatterAccess<'a> {
+    ptrs: [(*mut f64, usize); MAX_SCATTER_TARGETS],
+    ntargets: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+unsafe impl Sync for ScatterAccess<'_> {}
+
+impl<'a> ScatterAccess<'a> {
+    /// Wrap the target arrays of one edge loop.
+    pub fn new(targets: &mut [&'a mut [f64]]) -> ScatterAccess<'a> {
+        assert!(
+            targets.len() <= MAX_SCATTER_TARGETS,
+            "too many scatter targets"
+        );
+        let mut ptrs = [(std::ptr::null_mut(), 0); MAX_SCATTER_TARGETS];
+        for (slot, t) in ptrs.iter_mut().zip(targets.iter_mut()) {
+            *slot = (t.as_mut_ptr(), t.len());
+        }
+        ScatterAccess {
+            ptrs,
+            ntargets: targets.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Add `v` at flat index `i` of target `t`.
+    ///
+    /// # Safety
+    /// Caller must uphold the conflict contract documented on
+    /// [`ScatterAccess`]: within one parallel region no other edge kernel
+    /// writes index `i` of target `t`.
+    #[inline(always)]
+    pub unsafe fn add(&self, t: usize, i: usize, v: f64) {
+        debug_assert!(t < self.ntargets);
+        debug_assert!(i < self.ptrs[t].1);
+        unsafe { *self.ptrs[t].0.add(i) += v }
+    }
+}
+
+/// One execution strategy for the EUL3D kernels. See the module docs.
+///
+/// Backends that need mutable state (the distributed backend drives a
+/// [`eul3d_delta::Rank`]) take `&mut self`; stateless backends simply
+/// ignore the mutability.
+pub trait Executor {
+    /// Vertices with authoritative data, given the level's total slot
+    /// count `n_all`. Per-vertex *updates* (assembly, smoothing, stage
+    /// update) loop over this prefix; only the distributed backend, whose
+    /// arrays carry ghost slots after the owned prefix, returns less
+    /// than `n_all`.
+    fn owned(&self, n_all: usize) -> usize {
+        n_all
+    }
+
+    /// Parallel-loop launches one edge loop costs (the Cray model charges
+    /// a start-up per launch). 1 except on the coloured shared path,
+    /// where each colour group is a separate launch.
+    fn edge_launches(&self) -> u64 {
+        1
+    }
+
+    /// Re-gather the flow variables if this backend is configured to
+    /// refetch before every loop (the §4.3 ablation). Default: no-op.
+    fn refetch(&mut self, _w: &mut [f64], _counters: &mut PhaseCounters) {}
+
+    /// Conflict-managed edge loop: run `f(e, scatter)` for every edge
+    /// `e` in `0..nedges`, where `f` accumulates into the `targets`
+    /// through the [`ScatterAccess`] (and may read any captured shared
+    /// state). `f` must write only endpoint data of edge `e`.
+    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(usize, &ScatterAccess) + Sync;
+
+    /// Strided vertex map: `f(i, row)` for every `stride`-wide row of
+    /// `data`. `f` may read captured shared state but writes only `row`.
+    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    where
+        F: Fn(usize, &mut [f64]) + Sync;
+
+    /// Ghost exchange on a strided per-vertex array. No-op in a single
+    /// address space; PARTI gather / scatter-add on the distributed
+    /// path, with the traffic charged to `phase`.
+    fn exchange_halo(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    );
+
+    /// Sum `vals` element-wise across every participant of this
+    /// execution (identity for single-address-space backends).
+    fn reduce_sum(&mut self, phase: Phase, vals: &[f64], counters: &mut PhaseCounters) -> Vec<f64>;
+}
+
+/// The sequential reference backend: plain loops, nothing to exchange.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(usize, &ScatterAccess) + Sync,
+    {
+        let access = ScatterAccess::new(targets);
+        for e in 0..nedges {
+            f(e, &access);
+        }
+    }
+
+    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    where
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
+        for (i, row) in data.chunks_mut(stride).enumerate() {
+            f(i, row);
+        }
+    }
+
+    fn exchange_halo(
+        &mut self,
+        _phase: Phase,
+        _op: HaloOp,
+        _data: &mut [f64],
+        _stride: usize,
+        _counters: &mut PhaseCounters,
+    ) {
+    }
+
+    fn reduce_sum(
+        &mut self,
+        _phase: Phase,
+        vals: &[f64],
+        _counters: &mut PhaseCounters,
+    ) -> Vec<f64> {
+        vals.to_vec()
+    }
+}
+
+/// Charge an edge loop of `nedges` edges to `phase`: uniform flop count
+/// (`nedges × per_edge` — identical across backends for the same global
+/// mesh), backend-specific launch count.
+pub fn count_edge_loop<E: Executor + ?Sized>(
+    counters: &mut PhaseCounters,
+    phase: Phase,
+    exec: &E,
+    nedges: usize,
+    per_edge: f64,
+) {
+    let c: &mut FlopCounter = counters.phase(phase);
+    c.flops += nedges as f64 * per_edge;
+    c.launches += exec.edge_launches();
+}
+
+/// Charge a vertex loop of `items` vertices to `phase`.
+pub fn count_vertex_loop(counters: &mut PhaseCounters, phase: Phase, items: usize, per_vert: f64) {
+    let c = counters.phase(phase);
+    c.flops += items as f64 * per_vert;
+    c.launches += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_edge_scatter_accumulates() {
+        let edges = [[0u32, 1], [1, 2], [0, 2]];
+        let mut acc = vec![0.0; 3];
+        let mut exec = SerialExecutor;
+        exec.for_edges_scatter(edges.len(), &mut [&mut acc], |e, s| {
+            let [a, b] = edges[e];
+            // SAFETY: single-threaded execution.
+            unsafe {
+                s.add(0, a as usize, 1.0);
+                s.add(0, b as usize, 1.0);
+            }
+        });
+        assert_eq!(acc, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn serial_executor_vertex_map_is_indexed() {
+        let mut data = vec![0.0; 6];
+        SerialExecutor.for_vertices(&mut data, 2, |i, row| {
+            row[0] = i as f64;
+            row[1] = 10.0 * i as f64;
+        });
+        assert_eq!(data, vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn phases_index_round_trips() {
+        for (k, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), k);
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_identity_serially() {
+        let mut c = PhaseCounters::default();
+        let out = SerialExecutor.reduce_sum(Phase::Monitor, &[1.0, 2.0], &mut c);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+}

@@ -79,7 +79,13 @@ impl Freestream {
         let v = mach * a.sin();
         let p = 1.0 / gamma;
         let e = p / (gamma - 1.0) + 0.5 * mach * mach;
-        Freestream { mach, alpha_deg, gamma, w: [1.0, u, v, 0.0, e], p }
+        Freestream {
+            mach,
+            alpha_deg,
+            gamma,
+            w: [1.0, u, v, 0.0, e],
+            p,
+        }
     }
 
     /// Freestream velocity vector.
@@ -132,8 +138,8 @@ pub fn oblique_shock(gamma: f64, m1: f64, theta_deg: f64) -> Option<(f64, f64, f
     let beta = 0.5 * (lo + hi);
     let mn1 = m1 * beta.sin();
     let p_ratio = 1.0 + 2.0 * gamma / (gamma + 1.0) * (mn1 * mn1 - 1.0);
-    let mn2_sq = (1.0 + 0.5 * (gamma - 1.0) * mn1 * mn1)
-        / (gamma * mn1 * mn1 - 0.5 * (gamma - 1.0));
+    let mn2_sq =
+        (1.0 + 0.5 * (gamma - 1.0) * mn1 * mn1) / (gamma * mn1 * mn1 - 0.5 * (gamma - 1.0));
     let m2 = mn2_sq.sqrt() / (beta - theta).sin();
     Some((beta.to_degrees(), p_ratio, m2))
 }
@@ -142,8 +148,7 @@ pub fn oblique_shock(gamma: f64, m1: f64, theta_deg: f64) -> Option<(f64, f64, f
 #[inline]
 pub fn mach_number(gamma: f64, w: &[f64; 5]) -> f64 {
     let rho = w[0];
-    let speed =
-        ((w[1] * w[1] + w[2] * w[2] + w[3] * w[3]).sqrt()) / rho;
+    let speed = ((w[1] * w[1] + w[2] * w[2] + w[3] * w[3]).sqrt()) / rho;
     let p = pressure(gamma, w);
     speed / sound_speed(gamma, rho, p)
 }
@@ -216,7 +221,10 @@ mod tests {
     #[test]
     fn oblique_shock_zero_deflection_is_mach_wave() {
         let (beta, pr, m2) = oblique_shock(GAMMA, 2.0, 1e-9).unwrap();
-        assert!((beta - 30.0).abs() < 0.1, "Mach angle for M=2 is 30°, got {beta}");
+        assert!(
+            (beta - 30.0).abs() < 0.1,
+            "Mach angle for M=2 is 30°, got {beta}"
+        );
         assert!((pr - 1.0).abs() < 1e-3);
         assert!((m2 - 2.0).abs() < 1e-2);
     }

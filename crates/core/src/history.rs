@@ -104,9 +104,7 @@ mod tests {
     use super::*;
 
     fn geometric(r0: f64, rate: f64, n: usize) -> ConvergenceHistory {
-        ConvergenceHistory::from_residuals(
-            (0..n).map(|i| r0 * rate.powi(i as i32)).collect(),
-        )
+        ConvergenceHistory::from_residuals((0..n).map(|i| r0 * rate.powi(i as i32)).collect())
     }
 
     #[test]

@@ -1,29 +1,44 @@
-//! Per-level solver state and the sequential five-stage time step —
-//! eq. (1) of the paper, with the dissipative operator evaluated at the
-//! first two stages and frozen for the remainder.
+//! Per-level solver state and **the** five-stage time step — eq. (1) of
+//! the paper, with the dissipative operator evaluated at the first two
+//! stages and frozen for the remainder.
+//!
+//! Every routine here is written once, generic over an
+//! [`Executor`](crate::executor::Executor): the sequential reference, the
+//! coloured shared-memory path and the PARTI distributed path all run
+//! this exact code, differing only in how the edge loops are scheduled
+//! and how ghost data is kept coherent. This is the paper's central
+//! architectural claim, made literal.
 
 use eul3d_mesh::{BoundaryFace, TetMesh, Vec3};
+use eul3d_partition::RankMesh;
 
 use crate::boundary::boundary_residual;
 use crate::config::SolverConfig;
-use crate::counters::{FlopCounter, FLOPS_ASSEMBLE_VERT, FLOPS_UPDATE_VERT};
-use crate::dissipation::{
-    dissipation_first_order, dissipation_pass, laplacian_pass, sensor_from_accumulators,
+use crate::counters::{
+    FlopCounter, PhaseCounters, FLOPS_ASSEMBLE_VERT, FLOPS_CONV_EDGE, FLOPS_DISS_FO_EDGE,
+    FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE, FLOPS_DISS_ROE_EDGE, FLOPS_DT_VERT,
+    FLOPS_PRESSURE_VERT, FLOPS_RADII_EDGE, FLOPS_SMOOTH_EDGE, FLOPS_SMOOTH_VERT, FLOPS_UPDATE_VERT,
 };
-use crate::flux::{compute_pressures, conv_residual_edges};
-use crate::gas::NVAR;
-use crate::smooth::{degrees_from_edges, smooth_residual_serial};
-use crate::timestep::{local_dt, radii_bfaces, radii_edges};
+use crate::executor::{count_edge_loop, count_vertex_loop, Executor, HaloOp, Phase};
+use crate::flux::conv_edge_flux;
+use crate::gas::{get5, pressure, spectral_radius, NVAR};
+use crate::roe::roe_dissipation_flux;
+use crate::smooth::degrees_from_edges;
+use crate::timestep::radii_bfaces;
 
 /// Anything a solver level can time-step on: an edge list with dual-face
 /// coefficients, tagged boundary faces, and control volumes. Implemented
-/// by [`TetMesh`] and by agglomerated coarse levels
-/// ([`crate::agglo::AggloLevel`]), which have no tetrahedra at all.
+/// by [`TetMesh`], by agglomerated coarse levels
+/// ([`crate::agglo::AggloLevel`]), and by the per-rank local meshes of
+/// the distributed path ([`RankMesh`]).
 pub trait SolverGrid {
     fn grid_edges(&self) -> &[[u32; 2]];
     fn grid_edge_coef(&self) -> &[Vec3];
     fn grid_bfaces(&self) -> &[BoundaryFace];
+    /// Control volumes of the vertices this participant *owns* (updates).
     fn grid_vol(&self) -> &[f64];
+    /// Total per-vertex array length — owned plus ghost slots. Equal to
+    /// `grid_vol().len()` except on rank-local meshes.
     fn grid_nverts(&self) -> usize {
         self.grid_vol().len()
     }
@@ -44,11 +59,31 @@ impl SolverGrid for TetMesh {
     }
 }
 
+impl SolverGrid for RankMesh {
+    fn grid_edges(&self) -> &[[u32; 2]] {
+        &self.edges
+    }
+    fn grid_edge_coef(&self) -> &[Vec3] {
+        &self.edge_coef
+    }
+    fn grid_bfaces(&self) -> &[BoundaryFace] {
+        &self.bfaces
+    }
+    fn grid_vol(&self) -> &[f64] {
+        &self.vol
+    }
+    fn grid_nverts(&self) -> usize {
+        self.n_local()
+    }
+}
+
 /// All per-vertex working arrays of one solver level, flat with stride
-/// [`NVAR`] where stated.
+/// [`NVAR`] where stated. Sized by [`SolverGrid::grid_nverts`], so on the
+/// distributed path every array carries ghost slots after the owned
+/// prefix.
 #[derive(Debug, Clone)]
 pub struct LevelState {
-    /// Vertex count of this level.
+    /// Per-vertex slot count of this level (owned + ghost).
     pub n: usize,
     /// Conserved variables (n×5).
     pub w: Vec<f64>,
@@ -68,13 +103,17 @@ pub struct LevelState {
     pub q: Vec<f64>,
     /// Total (smoothed) residual `R = Q − D + P` (n×5).
     pub res: Vec<f64>,
+    /// Unsmoothed residual baseline for the Jacobi sweeps (n×5).
+    pub r0: Vec<f64>,
     /// Smoothing scratch (n×5).
     pub acc: Vec<f64>,
     /// Spectral-radius sums Λ (n).
     pub lam: Vec<f64>,
     /// Local time steps (n).
     pub dt: Vec<f64>,
-    /// Vertex degrees for residual averaging (n).
+    /// Vertex degrees for residual averaging (n). Built from the local
+    /// edge list, so rank-local states hold *partial* degrees until the
+    /// one-time setup scatter-add.
     pub deg: Vec<f64>,
     /// Multigrid forcing function `P` (n×5); zero on the finest level.
     pub forcing: Vec<f64>,
@@ -104,6 +143,7 @@ impl LevelState {
             diss: vec![0.0; n * NVAR],
             q: vec![0.0; n * NVAR],
             res: vec![0.0; n * NVAR],
+            r0: vec![0.0; n * NVAR],
             acc: vec![0.0; n * NVAR],
             lam: vec![0.0; n],
             dt: vec![0.0; n],
@@ -116,159 +156,491 @@ impl LevelState {
 
     /// RMS of the density residual normalized by dual volume — the
     /// "average residual throughout the flow field" the paper monitors.
-    #[allow(clippy::needless_range_loop)] // parallel arrays indexed in lockstep
+    /// Covers the `vol.len()` owned vertices.
     pub fn density_residual_norm(&self, vol: &[f64]) -> f64 {
+        let (sum, count) = self.residual_norm_parts(vol);
+        (sum / count.max(1.0)).sqrt()
+    }
+
+    /// Squared density-residual sum and owned-vertex count, the two
+    /// pieces a distributed norm reduces before taking the square root.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed in lockstep
+    pub fn residual_norm_parts(&self, vol: &[f64]) -> (f64, f64) {
+        let n = vol.len().min(self.n);
         let mut sum = 0.0;
-        for i in 0..self.n {
+        for i in 0..n {
             let r = self.res[i * NVAR] / vol[i];
             sum += r * r;
         }
-        (sum / self.n as f64).sqrt()
+        (sum, n as f64)
     }
 }
 
-/// Evaluate the dissipation operator into `st.diss` (fresh).
-pub fn eval_dissipation<G: SolverGrid + ?Sized>(
+/// Per-vertex pressures for every local slot (ghost pressures are
+/// recomputed redundantly rather than exchanged — they are cheaper to
+/// evaluate than to communicate). Only the owned work is charged, so the
+/// rank-summed count matches the serial count exactly.
+pub fn compute_pressures_exec<E: Executor + ?Sized>(
+    gamma: f64,
+    st: &mut LevelState,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    let owned = exec.owned(st.n);
+    let w = &st.w;
+    exec.for_vertices(&mut st.p, 1, |i, row| row[0] = pressure(gamma, &get5(w, i)));
+    count_vertex_loop(counters, Phase::Pressure, owned, FLOPS_PRESSURE_VERT);
+}
+
+/// Evaluate the dissipation operator into `st.diss` (fresh). Assumes
+/// ghost `w` is current unless the executor is configured to refetch.
+pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     mesh: &G,
     st: &mut LevelState,
     cfg: &SolverConfig,
     is_coarse: bool,
-    counter: &mut FlopCounter,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
 ) {
+    exec.refetch(&mut st.w, counters);
     st.diss.iter_mut().for_each(|x| *x = 0.0);
+    let edges = mesh.grid_edges();
+    let coef = mesh.grid_edge_coef();
+    let gamma = cfg.gamma;
+
     if cfg.scheme == crate::config::Scheme::RoeUpwind {
-        crate::roe::roe_dissipation_edges(
-            mesh.grid_edges(),
-            mesh.grid_edge_coef(),
-            &st.w,
-            &st.p,
-            cfg.gamma,
+        // One pass, no sensor: the Laplacian/ν ghost exchanges of the
+        // JST path disappear entirely.
+        {
+            let (w, p) = (&st.w, &st.p);
+            exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
+                let [a, b] = edges[e];
+                let (a, b) = (a as usize, b as usize);
+                let d = roe_dissipation_flux(gamma, &get5(w, a), &get5(w, b), p[a], p[b], coef[e]);
+                // SAFETY: writes touch only edge e's endpoints (executor
+                // conflict contract).
+                unsafe {
+                    for (c, &dc) in d.iter().enumerate() {
+                        s.add(0, a * NVAR + c, dc);
+                        s.add(0, b * NVAR + c, -dc);
+                    }
+                }
+            });
+        }
+        count_edge_loop(
+            counters,
+            Phase::Dissipation,
+            exec,
+            edges.len(),
+            FLOPS_DISS_ROE_EDGE,
+        );
+        exec.exchange_halo(
+            Phase::Dissipation,
+            HaloOp::ScatterAdd,
             &mut st.diss,
-            counter,
+            NVAR,
+            counters,
         );
         return;
     }
+
     if is_coarse && cfg.coarse_first_order {
-        dissipation_first_order(
-            mesh.grid_edges(),
-            mesh.grid_edge_coef(),
-            &st.w,
-            &st.p,
-            cfg.gamma,
-            cfg.coarse_k2,
-            &mut st.diss,
-            counter,
+        let k = cfg.coarse_k2;
+        {
+            let (w, p) = (&st.w, &st.p);
+            exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
+                let [a, b] = edges[e];
+                let (a, b) = (a as usize, b as usize);
+                let lam = 0.5
+                    * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
+                        + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
+                let kl = k * lam;
+                // SAFETY: endpoint-only writes (executor conflict contract).
+                unsafe {
+                    for c in 0..NVAR {
+                        let d = kl * (w[b * NVAR + c] - w[a * NVAR + c]);
+                        s.add(0, a * NVAR + c, d);
+                        s.add(0, b * NVAR + c, -d);
+                    }
+                }
+            });
+        }
+        count_edge_loop(
+            counters,
+            Phase::Dissipation,
+            exec,
+            edges.len(),
+            FLOPS_DISS_FO_EDGE,
         );
-    } else {
-        st.lapl.iter_mut().for_each(|x| *x = 0.0);
-        st.sens.iter_mut().for_each(|x| *x = 0.0);
-        laplacian_pass(mesh.grid_edges(), &st.w, &st.p, &mut st.lapl, &mut st.sens, counter);
-        sensor_from_accumulators(&st.sens, &mut st.nu);
-        dissipation_pass(
-            mesh.grid_edges(),
-            mesh.grid_edge_coef(),
-            &st.w,
-            &st.p,
-            &st.lapl,
-            &st.nu,
-            cfg.gamma,
-            cfg.k2,
-            cfg.k4,
+        exec.exchange_halo(
+            Phase::Dissipation,
+            HaloOp::ScatterAdd,
             &mut st.diss,
-            counter,
+            NVAR,
+            counters,
+        );
+        return;
+    }
+
+    // JST pass 1: undivided Laplacian + pressure-sensor accumulators.
+    st.lapl.iter_mut().for_each(|x| *x = 0.0);
+    st.sens.iter_mut().for_each(|x| *x = 0.0);
+    {
+        let (w, p) = (&st.w, &st.p);
+        exec.for_edges_scatter(
+            edges.len(),
+            &mut [&mut st.lapl[..], &mut st.sens[..]],
+            |e, s| {
+                let [a, b] = edges[e];
+                let (a, b) = (a as usize, b as usize);
+                // SAFETY: endpoint-only writes (executor conflict contract).
+                unsafe {
+                    for c in 0..NVAR {
+                        let d = w[b * NVAR + c] - w[a * NVAR + c];
+                        s.add(0, a * NVAR + c, d);
+                        s.add(0, b * NVAR + c, -d);
+                    }
+                    let dp = p[b] - p[a];
+                    let sp = p[b] + p[a];
+                    s.add(1, a * 2, dp);
+                    s.add(1, a * 2 + 1, sp);
+                    s.add(1, b * 2, -dp);
+                    s.add(1, b * 2 + 1, sp);
+                }
+            },
         );
     }
+    count_edge_loop(
+        counters,
+        Phase::Dissipation,
+        exec,
+        edges.len(),
+        FLOPS_DISS_P1_EDGE,
+    );
+    exec.exchange_halo(
+        Phase::Dissipation,
+        HaloOp::ScatterAdd,
+        &mut st.lapl,
+        NVAR,
+        counters,
+    );
+    exec.exchange_halo(
+        Phase::Dissipation,
+        HaloOp::ScatterAdd,
+        &mut st.sens,
+        2,
+        counters,
+    );
+
+    // ν for owned vertices (uncounted, matching the sequential
+    // reference), then ghost copies of L and ν for pass 2.
+    {
+        let owned = exec.owned(st.n);
+        let sens = &st.sens;
+        exec.for_vertices(&mut st.nu[..owned], 1, |i, row| {
+            row[0] = sens[i * 2].abs() / sens[i * 2 + 1].abs().max(1e-300);
+        });
+    }
+    exec.exchange_halo(
+        Phase::Dissipation,
+        HaloOp::Gather,
+        &mut st.lapl,
+        NVAR,
+        counters,
+    );
+    exec.exchange_halo(Phase::Dissipation, HaloOp::Gather, &mut st.nu, 1, counters);
+
+    // JST pass 2: switched Laplacian/biharmonic blend.
+    exec.refetch(&mut st.w, counters);
+    {
+        let (w, p, lapl, nu) = (&st.w, &st.p, &st.lapl, &st.nu);
+        let (k2, k4) = (cfg.k2, cfg.k4);
+        exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
+            let [a, b] = edges[e];
+            let (a, b) = (a as usize, b as usize);
+            let lam = 0.5
+                * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
+                    + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
+            let eps2 = k2 * nu[a].max(nu[b]);
+            let eps4 = (k4 - eps2).max(0.0);
+            // SAFETY: endpoint-only writes (executor conflict contract).
+            unsafe {
+                for c in 0..NVAR {
+                    let d2 = w[b * NVAR + c] - w[a * NVAR + c];
+                    let d4 = lapl[b * NVAR + c] - lapl[a * NVAR + c];
+                    let d = lam * (eps2 * d2 - eps4 * d4);
+                    s.add(0, a * NVAR + c, d);
+                    s.add(0, b * NVAR + c, -d);
+                }
+            }
+        });
+    }
+    count_edge_loop(
+        counters,
+        Phase::Dissipation,
+        exec,
+        edges.len(),
+        FLOPS_DISS_P2_EDGE,
+    );
+    exec.exchange_halo(
+        Phase::Dissipation,
+        HaloOp::ScatterAdd,
+        &mut st.diss,
+        NVAR,
+        counters,
+    );
 }
 
 /// Evaluate the convective operator into `st.q` (fresh), including
-/// boundary fluxes.
-pub fn eval_convection<G: SolverGrid + ?Sized>(
+/// boundary fluxes. Boundary faces run sequentially within each
+/// participant: each face is computed by exactly one rank, so the
+/// rank-summed face counts still match the serial reference.
+pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     mesh: &G,
     st: &mut LevelState,
     cfg: &SolverConfig,
-    counter: &mut FlopCounter,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
 ) {
+    exec.refetch(&mut st.w, counters);
     st.q.iter_mut().for_each(|x| *x = 0.0);
-    conv_residual_edges(mesh.grid_edges(), mesh.grid_edge_coef(), &st.w, &st.p, &mut st.q, counter);
+    let edges = mesh.grid_edges();
+    let coef = mesh.grid_edge_coef();
+    {
+        let (w, p) = (&st.w, &st.p);
+        exec.for_edges_scatter(edges.len(), &mut [&mut st.q[..]], |e, s| {
+            let [a, b] = edges[e];
+            let (a, b) = (a as usize, b as usize);
+            let f = conv_edge_flux(&get5(w, a), &get5(w, b), p[a], p[b], coef[e]);
+            // SAFETY: endpoint-only writes (executor conflict contract).
+            unsafe {
+                for (c, &fc) in f.iter().enumerate() {
+                    s.add(0, a * NVAR + c, fc);
+                    s.add(0, b * NVAR + c, -fc);
+                }
+            }
+        });
+    }
+    count_edge_loop(
+        counters,
+        Phase::Convection,
+        exec,
+        edges.len(),
+        FLOPS_CONV_EDGE,
+    );
+
     let fs = cfg.freestream();
-    boundary_residual(mesh.grid_bfaces(), &st.w, &st.p, &fs, cfg.gamma, &mut st.q, counter);
+    let mut scratch = FlopCounter::default();
+    boundary_residual(
+        mesh.grid_bfaces(),
+        &st.w,
+        &st.p,
+        &fs,
+        cfg.gamma,
+        &mut st.q,
+        &mut scratch,
+    );
+    counters.phase(Phase::Boundary).merge(&scratch);
+
+    exec.exchange_halo(
+        Phase::Convection,
+        HaloOp::ScatterAdd,
+        &mut st.q,
+        NVAR,
+        counters,
+    );
 }
 
-/// Assemble `res = Q − D + P`.
-pub fn assemble_residual(st: &mut LevelState, counter: &mut FlopCounter) {
-    for i in 0..st.n * NVAR {
-        st.res[i] = st.q[i] - st.diss[i] + st.forcing[i];
+/// Assemble `res = Q − D + P` on owned vertices.
+pub fn assemble_residual<E: Executor + ?Sized>(
+    st: &mut LevelState,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    let n = exec.owned(st.n);
+    let (q, diss, forcing) = (&st.q, &st.diss, &st.forcing);
+    exec.for_vertices(&mut st.res[..n * NVAR], NVAR, |i, row| {
+        for (c, r) in row.iter_mut().enumerate() {
+            *r = q[i * NVAR + c] - diss[i * NVAR + c] + forcing[i * NVAR + c];
+        }
+    });
+    count_vertex_loop(counters, Phase::Assemble, n, FLOPS_ASSEMBLE_VERT);
+}
+
+/// Implicit residual averaging: `passes` Jacobi sweeps of
+/// `(I − εΔ) R̄ = R` in place over the owned prefix of `st.res`.
+pub fn smooth_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
+    mesh: &G,
+    st: &mut LevelState,
+    cfg: &SolverConfig,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    if cfg.smooth_passes == 0 || cfg.smooth_eps == 0.0 {
+        return;
     }
-    counter.add(st.n, FLOPS_ASSEMBLE_VERT);
+    let n = exec.owned(st.n);
+    st.r0[..n * NVAR].copy_from_slice(&st.res[..n * NVAR]);
+    let edges = mesh.grid_edges();
+    let eps = cfg.smooth_eps;
+    for _ in 0..cfg.smooth_passes {
+        exec.exchange_halo(Phase::Smooth, HaloOp::Gather, &mut st.res, NVAR, counters);
+        st.acc.iter_mut().for_each(|x| *x = 0.0);
+        {
+            let res = &st.res;
+            exec.for_edges_scatter(edges.len(), &mut [&mut st.acc[..]], |e, s| {
+                let [a, b] = edges[e];
+                let (a, b) = (a as usize, b as usize);
+                // SAFETY: endpoint-only writes (executor conflict contract).
+                unsafe {
+                    for c in 0..NVAR {
+                        s.add(0, a * NVAR + c, res[b * NVAR + c]);
+                        s.add(0, b * NVAR + c, res[a * NVAR + c]);
+                    }
+                }
+            });
+        }
+        count_edge_loop(
+            counters,
+            Phase::Smooth,
+            exec,
+            edges.len(),
+            FLOPS_SMOOTH_EDGE,
+        );
+        exec.exchange_halo(
+            Phase::Smooth,
+            HaloOp::ScatterAdd,
+            &mut st.acc,
+            NVAR,
+            counters,
+        );
+        {
+            let (r0, acc, deg) = (&st.r0, &st.acc, &st.deg);
+            exec.for_vertices(&mut st.res[..n * NVAR], NVAR, |i, row| {
+                let inv = 1.0 / (1.0 + eps * deg[i]);
+                for (c, r) in row.iter_mut().enumerate() {
+                    *r = (r0[i * NVAR + c] + eps * acc[i * NVAR + c]) * inv;
+                }
+            });
+        }
+        count_vertex_loop(counters, Phase::Smooth, n, FLOPS_SMOOTH_VERT);
+    }
 }
 
 /// Full fresh residual evaluation (used for multigrid transfers and
-/// monitoring): pressures → dissipation → convection → assembly.
-pub fn eval_total_residual<G: SolverGrid + ?Sized>(
+/// monitoring): exchange → pressures → dissipation → convection →
+/// assembly.
+pub fn eval_total_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     mesh: &G,
     st: &mut LevelState,
     cfg: &SolverConfig,
     is_coarse: bool,
-    counter: &mut FlopCounter,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
 ) {
-    compute_pressures(cfg.gamma, &st.w, &mut st.p, counter);
-    eval_dissipation(mesh, st, cfg, is_coarse, counter);
-    eval_convection(mesh, st, cfg, counter);
-    assemble_residual(st, counter);
+    exec.exchange_halo(Phase::Exchange, HaloOp::Gather, &mut st.w, NVAR, counters);
+    compute_pressures_exec(cfg.gamma, st, exec, counters);
+    eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
+    eval_convection(mesh, st, cfg, exec, counters);
+    assemble_residual(st, exec, counters);
 }
 
 /// One five-stage Runge–Kutta time step on a level (eq. (1)):
 /// `w^(q) = w^(0) − α_q Δt/V [Q(w^(q−1)) − D(w^(≤1)) + P]`, with local
 /// time steps and implicit residual averaging. Leaves the last stage's
 /// smoothed residual in `st.res` for monitoring.
-pub fn time_step<G: SolverGrid + ?Sized>(
+///
+/// This is the single stage loop every backend executes; only the
+/// [`Executor`] differs.
+pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     mesh: &G,
     st: &mut LevelState,
     cfg: &SolverConfig,
     is_coarse: bool,
-    counter: &mut FlopCounter,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
 ) {
-    st.w0.copy_from_slice(&st.w);
+    let n = exec.owned(st.n);
+    debug_assert_eq!(n, mesh.grid_vol().len());
+    st.w0[..n * NVAR].copy_from_slice(&st.w[..n * NVAR]);
     let nstages = cfg.nstages();
     for (stage, &alpha) in cfg.rk_alpha.iter().enumerate().take(nstages) {
-        compute_pressures(cfg.gamma, &st.w, &mut st.p, counter);
+        // One gather of the flow variables per stage (§4.3), reused by
+        // every edge loop unless the executor is set to refetch.
+        exec.exchange_halo(Phase::Exchange, HaloOp::Gather, &mut st.w, NVAR, counters);
+        compute_pressures_exec(cfg.gamma, st, exec, counters);
 
         if stage == 0 {
             // Local time steps from the stage-0 state, held for the step.
             st.lam.iter_mut().for_each(|x| *x = 0.0);
-            radii_edges(mesh.grid_edges(), mesh.grid_edge_coef(), &st.w, &st.p, cfg.gamma, &mut st.lam, counter);
-            radii_bfaces(mesh.grid_bfaces(), &st.w, &st.p, cfg.gamma, &mut st.lam, counter);
-            local_dt(cfg.cfl, mesh.grid_vol(), &st.lam, &mut st.dt, counter);
+            let edges = mesh.grid_edges();
+            let coef = mesh.grid_edge_coef();
+            let gamma = cfg.gamma;
+            {
+                let (w, p) = (&st.w, &st.p);
+                exec.for_edges_scatter(edges.len(), &mut [&mut st.lam[..]], |e, s| {
+                    let [a, b] = edges[e];
+                    let (a, b) = (a as usize, b as usize);
+                    let l = 0.5
+                        * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
+                            + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
+                    // SAFETY: endpoint-only writes (executor conflict
+                    // contract).
+                    unsafe {
+                        s.add(0, a, l);
+                        s.add(0, b, l);
+                    }
+                });
+            }
+            count_edge_loop(counters, Phase::Radii, exec, edges.len(), FLOPS_RADII_EDGE);
+            {
+                let mut scratch = FlopCounter::default();
+                radii_bfaces(
+                    mesh.grid_bfaces(),
+                    &st.w,
+                    &st.p,
+                    gamma,
+                    &mut st.lam,
+                    &mut scratch,
+                );
+                counters.phase(Phase::Radii).merge(&scratch);
+            }
+            exec.exchange_halo(Phase::Radii, HaloOp::ScatterAdd, &mut st.lam, 1, counters);
+            {
+                let vol = mesh.grid_vol();
+                let lam = &st.lam;
+                let cfl = cfg.cfl;
+                exec.for_vertices(&mut st.dt[..n], 1, |i, row| {
+                    row[0] = cfl * vol[i] / lam[i].max(1e-300);
+                });
+            }
+            count_vertex_loop(counters, Phase::Radii, n, FLOPS_DT_VERT);
         }
         if stage <= 1 {
-            eval_dissipation(mesh, st, cfg, is_coarse, counter);
+            eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
         }
-        eval_convection(mesh, st, cfg, counter);
-        assemble_residual(st, counter);
-        smooth_residual_serial(
-            mesh.grid_edges(),
-            st.n,
-            &st.deg,
-            cfg.smooth_eps,
-            cfg.smooth_passes,
-            &mut st.res,
-            &mut st.acc,
-            counter,
-        );
+        eval_convection(mesh, st, cfg, exec, counters);
+        assemble_residual(st, exec, counters);
+        smooth_residual(mesh, st, cfg, exec, counters);
 
-        for i in 0..st.n {
-            let scale = alpha * st.dt[i] / mesh.grid_vol()[i];
-            for c in 0..NVAR {
-                st.w[i * NVAR + c] = st.w0[i * NVAR + c] - scale * st.res[i * NVAR + c];
-            }
+        {
+            let vol = mesh.grid_vol();
+            let (w0, res, dt) = (&st.w0, &st.res, &st.dt);
+            exec.for_vertices(&mut st.w[..n * NVAR], NVAR, |i, row| {
+                let scale = alpha * dt[i] / vol[i];
+                for (c, wv) in row.iter_mut().enumerate() {
+                    *wv = w0[i * NVAR + c] - scale * res[i * NVAR + c];
+                }
+            });
         }
-        counter.add(st.n, FLOPS_UPDATE_VERT);
+        count_vertex_loop(counters, Phase::Update, n, FLOPS_UPDATE_VERT);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::SerialExecutor;
     use eul3d_mesh::gen::unit_box;
 
     #[test]
@@ -277,19 +649,34 @@ mod tests {
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&mesh, &cfg);
         let before = st.w.clone();
-        let mut counter = FlopCounter::default();
-        time_step(&mesh, &mut st, &cfg, false, &mut counter);
+        let mut counters = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st,
+            &cfg,
+            false,
+            &mut SerialExecutor,
+            &mut counters,
+        );
         for (a, b) in st.w.iter().zip(&before) {
-            assert!((a - b).abs() < 1e-11, "freestream must not drift: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-11,
+                "freestream must not drift: {a} vs {b}"
+            );
         }
         assert!(st.density_residual_norm(mesh.grid_vol()) < 1e-12);
-        assert!(counter.flops > 0.0);
+        assert!(counters.flops() > 0.0);
+        // Serial execution exchanges nothing.
+        assert_eq!(counters.messages(), 0);
     }
 
     #[test]
     fn perturbation_decays_under_time_stepping() {
         let mesh = unit_box(5, 0.15, 4);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut st = LevelState::new(&mesh, &cfg);
         // Small density/energy bump in the middle of the box.
         for (i, c) in mesh.coords.iter().enumerate() {
@@ -298,12 +685,13 @@ mod tests {
             st.w[i * NVAR] += bump;
             st.w[i * NVAR + 4] += bump * 2.0;
         }
-        let mut counter = FlopCounter::default();
-        eval_total_residual(&mesh, &mut st, &cfg, false, &mut counter);
+        let mut counters = PhaseCounters::default();
+        let mut exec = SerialExecutor;
+        eval_total_residual(&mesh, &mut st, &cfg, false, &mut exec, &mut counters);
         let r0 = st.density_residual_norm(mesh.grid_vol());
         assert!(r0 > 1e-6, "perturbed state must have a residual");
         for _ in 0..30 {
-            time_step(&mesh, &mut st, &cfg, false, &mut counter);
+            time_step(&mesh, &mut st, &cfg, false, &mut exec, &mut counters);
         }
         let r1 = st.density_residual_norm(mesh.grid_vol());
         assert!(
@@ -328,14 +716,20 @@ mod tests {
             st.forcing[i * NVAR] = 1e-4 * mesh.grid_vol()[i];
         }
         let before = st.w.clone();
-        let mut counter = FlopCounter::default();
-        time_step(&mesh, &mut st, &cfg, false, &mut counter);
-        let moved = st
-            .w
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let mut counters = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st,
+            &cfg,
+            false,
+            &mut SerialExecutor,
+            &mut counters,
+        );
+        let moved =
+            st.w.iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
         assert!(moved > 1e-9, "forcing must drive the state");
     }
 
@@ -344,9 +738,52 @@ mod tests {
         let mesh = unit_box(3, 0.1, 6);
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&mesh, &cfg);
-        let mut counter = FlopCounter::default();
-        time_step(&mesh, &mut st, &cfg, true, &mut counter);
+        let mut counters = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st,
+            &cfg,
+            true,
+            &mut SerialExecutor,
+            &mut counters,
+        );
         // Freestream preserved on the coarse path too.
         assert!(st.density_residual_norm(mesh.grid_vol()) < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdown_covers_the_expected_phases() {
+        let mesh = unit_box(3, 0.1, 7);
+        let cfg = SolverConfig::default();
+        let mut st = LevelState::new(&mesh, &cfg);
+        let mut counters = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st,
+            &cfg,
+            false,
+            &mut SerialExecutor,
+            &mut counters,
+        );
+        let labels: Vec<&str> = counters.rows().iter().map(|r| r.0).collect();
+        for want in [
+            "pressure",
+            "radii/dt",
+            "dissipation",
+            "convection",
+            "boundary",
+            "assemble",
+            "smooth",
+            "update",
+        ] {
+            assert!(labels.contains(&want), "missing phase {want} in {labels:?}");
+        }
+        // A fixed per-phase identity: the convective edge loop runs once
+        // per stage.
+        let conv = counters.phase(Phase::Convection).flops;
+        assert_eq!(
+            conv,
+            (mesh.edges.len() * cfg.nstages()) as f64 * FLOPS_CONV_EDGE
+        );
     }
 }

@@ -36,6 +36,7 @@ pub mod config;
 pub mod counters;
 pub mod dissipation;
 pub mod dist;
+pub mod executor;
 pub mod flux;
 pub mod gas;
 pub mod history;
@@ -48,10 +49,11 @@ pub mod smooth;
 pub mod solver;
 pub mod timestep;
 
-pub use config::{Scheme, SolverConfig};
 pub use checkpoint::Checkpoint;
-pub use counters::FlopCounter;
-pub use history::ConvergenceHistory;
+pub use config::{Scheme, SolverConfig};
+pub use counters::{FlopCounter, PhaseCounters};
+pub use executor::{Executor, Phase, SerialExecutor};
 pub use gas::{Freestream, NVAR};
+pub use history::ConvergenceHistory;
 pub use multigrid::{MultigridSolver, Strategy};
 pub use solver::SingleGridSolver;

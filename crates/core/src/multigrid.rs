@@ -6,10 +6,11 @@
 use eul3d_mesh::MeshSequence;
 
 use crate::config::SolverConfig;
-use crate::counters::{FlopCounter, FLOPS_TRANSFER_VERT};
+use crate::counters::{PhaseCounters, FLOPS_TRANSFER_VERT};
+use crate::executor::{count_vertex_loop, Phase, SerialExecutor};
 use crate::gas::NVAR;
 use crate::level::{eval_total_residual, time_step, LevelState};
-use crate::shared::{time_step_shared_level, SharedExecutor};
+use crate::shared::SharedExecutor;
 
 /// Solution strategy, as compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +59,7 @@ pub struct MultigridSolver {
     pub cfg: SolverConfig,
     pub strategy: Strategy,
     pub levels: Vec<LevelState>,
-    pub counter: FlopCounter,
+    pub counter: PhaseCounters,
     /// When set, every cycle appends its event schedule here.
     pub record_events: bool,
     pub events: Vec<CycleEvent>,
@@ -72,13 +73,17 @@ pub struct MultigridSolver {
 
 impl MultigridSolver {
     pub fn new(seq: MeshSequence, cfg: SolverConfig, strategy: Strategy) -> MultigridSolver {
-        let levels = seq.meshes.iter().map(|m| LevelState::new(m, &cfg)).collect();
+        let levels = seq
+            .meshes
+            .iter()
+            .map(|m| LevelState::new(m, &cfg))
+            .collect();
         MultigridSolver {
             seq,
             cfg,
             strategy,
             levels,
-            counter: FlopCounter::default(),
+            counter: PhaseCounters::default(),
             record_events: false,
             events: Vec::new(),
             shared: None,
@@ -86,17 +91,22 @@ impl MultigridSolver {
     }
 
     /// Multigrid with every level's edge loops executed through the
-    /// coloured shared-memory path on `ncpus` workers.
+    /// coloured shared-memory path on `ncpus` workers. Fails if any
+    /// level's edge colouring does not validate.
     pub fn new_shared(
         seq: MeshSequence,
         cfg: SolverConfig,
         strategy: Strategy,
         ncpus: usize,
-    ) -> MultigridSolver {
-        let execs = seq.meshes.iter().map(|m| SharedExecutor::new(m, ncpus)).collect();
+    ) -> Result<MultigridSolver, String> {
+        let execs = seq
+            .meshes
+            .iter()
+            .map(|m| SharedExecutor::new(m, ncpus))
+            .collect::<Result<Vec<_>, _>>()?;
         let mut mg = MultigridSolver::new(seq, cfg, strategy);
         mg.shared = Some(execs);
-        mg
+        Ok(mg)
     }
 
     /// Number of mesh levels.
@@ -147,7 +157,12 @@ impl MultigridSolver {
             // Prolong the full state (not a correction) onto level l.
             let (fine, coarse) = self.levels.split_at_mut(l + 1);
             self.seq.to_fine[l].interpolate(&coarse[0].w, &mut fine[l].w, NVAR);
-            self.counter.add(fine[l].n, FLOPS_TRANSFER_VERT);
+            count_vertex_loop(
+                &mut self.counter,
+                Phase::Transfer,
+                fine[l].n,
+                FLOPS_TRANSFER_VERT,
+            );
             // Level l now drives its own sub-hierarchy.
             self.levels[l].forcing.iter_mut().for_each(|x| *x = 0.0);
             let gamma = self.strategy.gamma();
@@ -164,13 +179,13 @@ impl MultigridSolver {
         if self.record_events {
             self.events.push(CycleEvent::Step(l));
         }
-        match &self.shared {
-            Some(execs) => time_step_shared_level(
+        match &mut self.shared {
+            Some(execs) => time_step(
                 &self.seq.meshes[l],
                 &mut self.levels[l],
                 &self.cfg,
                 l > 0,
-                &execs[l],
+                &mut execs[l],
                 &mut self.counter,
             ),
             None => time_step(
@@ -178,6 +193,30 @@ impl MultigridSolver {
                 &mut self.levels[l],
                 &self.cfg,
                 l > 0,
+                &mut SerialExecutor,
+                &mut self.counter,
+            ),
+        }
+    }
+
+    /// Fresh residual evaluation on level `l` through that level's
+    /// executor.
+    fn eval_resid(&mut self, l: usize) {
+        match &mut self.shared {
+            Some(execs) => eval_total_residual(
+                &self.seq.meshes[l],
+                &mut self.levels[l],
+                &self.cfg,
+                l > 0,
+                &mut execs[l],
+                &mut self.counter,
+            ),
+            None => eval_total_residual(
+                &self.seq.meshes[l],
+                &mut self.levels[l],
+                &self.cfg,
+                l > 0,
+                &mut SerialExecutor,
                 &mut self.counter,
             ),
         }
@@ -220,13 +259,7 @@ impl MultigridSolver {
             self.events.push(CycleEvent::Restrict(l));
         }
         // Fresh fine-level residual (includes the fine forcing).
-        eval_total_residual(
-            &self.seq.meshes[l],
-            &mut self.levels[l],
-            &self.cfg,
-            l > 0,
-            &mut self.counter,
-        );
+        self.eval_resid(l);
 
         let (fine, coarse) = self.levels.split_at_mut(l + 1);
         let fine = &mut fine[l];
@@ -235,23 +268,44 @@ impl MultigridSolver {
         // State moves down by direct interpolation onto coarse vertices.
         self.seq.to_coarse[l].interpolate(&fine.w, &mut coarse.w, NVAR);
         coarse.w_ref.copy_from_slice(&coarse.w);
-        self.counter.add(coarse.n, FLOPS_TRANSFER_VERT);
+        count_vertex_loop(
+            &mut self.counter,
+            Phase::Transfer,
+            coarse.n,
+            FLOPS_TRANSFER_VERT,
+        );
 
         // Residuals move down conservatively: transpose of prolongation.
         coarse.corr.iter_mut().for_each(|x| *x = 0.0);
         self.seq.to_fine[l].restrict_transpose(&fine.res, &mut coarse.corr, NVAR);
-        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+        count_vertex_loop(
+            &mut self.counter,
+            Phase::Transfer,
+            fine.n,
+            FLOPS_TRANSFER_VERT,
+        );
 
         // Forcing: P = R' − R(w') with R evaluated at the restricted
         // state *without* any forcing.
         coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
-        eval_total_residual(
-            &self.seq.meshes[l + 1],
-            coarse,
-            &self.cfg,
-            true,
-            &mut self.counter,
-        );
+        match &mut self.shared {
+            Some(execs) => eval_total_residual(
+                &self.seq.meshes[l + 1],
+                coarse,
+                &self.cfg,
+                true,
+                &mut execs[l + 1],
+                &mut self.counter,
+            ),
+            None => eval_total_residual(
+                &self.seq.meshes[l + 1],
+                coarse,
+                &self.cfg,
+                true,
+                &mut SerialExecutor,
+                &mut self.counter,
+            ),
+        }
         for i in 0..coarse.n * NVAR {
             coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
         }
@@ -272,7 +326,12 @@ impl MultigridSolver {
         for i in 0..fine.n * NVAR {
             fine.w[i] += fine.corr[i];
         }
-        self.counter.add(fine.n, FLOPS_TRANSFER_VERT);
+        count_vertex_loop(
+            &mut self.counter,
+            Phase::Transfer,
+            fine.n,
+            FLOPS_TRANSFER_VERT,
+        );
     }
 }
 
@@ -282,7 +341,13 @@ mod tests {
     use eul3d_mesh::gen::BumpSpec;
 
     fn bump_seq(levels: usize) -> MeshSequence {
-        let spec = BumpSpec { nx: 16, ny: 6, nz: 4, jitter: 0.12, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            nx: 16,
+            ny: 6,
+            nz: 4,
+            jitter: 0.12,
+            ..BumpSpec::default()
+        };
         MeshSequence::bump_sequence(&spec, levels)
     }
 
@@ -307,7 +372,10 @@ mod tests {
         let cycles = 25;
         let run = |strategy: Strategy| -> Vec<f64> {
             let seq = bump_seq(3);
-            let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+            let cfg = SolverConfig {
+                mach: 0.5,
+                ..SolverConfig::default()
+            };
             let mut mg = MultigridSolver::new(seq, cfg, strategy);
             mg.solve(cycles)
         };
@@ -384,10 +452,10 @@ mod tests {
         mg_v.cycle();
         mg_w.cycle();
         assert!(
-            mg_w.counter.flops > mg_v.counter.flops,
+            mg_w.counter.flops() > mg_v.counter.flops(),
             "W ({}) must cost more than V ({})",
-            mg_w.counter.flops,
-            mg_v.counter.flops
+            mg_w.counter.flops(),
+            mg_v.counter.flops()
         );
     }
 
@@ -396,10 +464,14 @@ mod tests {
         // The paper's C90 configuration: the whole W-cycle under the
         // coloured executor. Must agree with the serial recursion to
         // accumulation-order round-off.
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut serial = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
         let hs = serial.solve(4);
-        let mut shared = MultigridSolver::new_shared(bump_seq(3), cfg, Strategy::WCycle, 3);
+        let mut shared =
+            MultigridSolver::new_shared(bump_seq(3), cfg, Strategy::WCycle, 3).unwrap();
         let hp = shared.solve(4);
         for (a, b) in hs.iter().zip(&hp) {
             assert!(
@@ -412,13 +484,16 @@ mod tests {
             max = max.max((x - y).abs());
         }
         assert!(max < 1e-9, "states diverge: {max:.3e}");
-        // Same flop accounting within the per-kernel constants.
-        assert!((serial.counter.flops - shared.counter.flops).abs() < 0.02 * serial.counter.flops);
+        // Flop accounting is backend-independent: identical, not close.
+        assert_eq!(serial.counter.flops(), shared.counter.flops());
     }
 
     #[test]
     fn fmg_startup_removes_the_impulsive_transient() {
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let cold_start = {
             let mut mg = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
             mg.cycle()
@@ -436,7 +511,10 @@ mod tests {
 
     #[test]
     fn fmg_then_cycles_converges_with_less_total_work() {
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut cold = MultigridSolver::new(bump_seq(3), cfg, Strategy::WCycle);
         let cold_hist = cold.solve(25);
 
@@ -447,11 +525,11 @@ mod tests {
             warm_hist.last().unwrap() <= &(cold_hist.last().unwrap() * 3.0),
             "FMG ({:.2e} after {:.2e} flops) should compete with cold start ({:.2e} after {:.2e} flops)",
             warm_hist.last().unwrap(),
-            warm.counter.flops,
+            warm.counter.flops(),
             cold_hist.last().unwrap(),
-            cold.counter.flops
+            cold.counter.flops()
         );
-        assert!(warm.counter.flops < cold.counter.flops);
+        assert!(warm.counter.flops() < cold.counter.flops());
     }
 
     #[test]
@@ -459,9 +537,18 @@ mod tests {
         // The paper's unrelated meshes vs refinement-nested meshes: both
         // must drive the fine grid.
         use eul3d_mesh::gen::BumpSpec;
-        let spec = BumpSpec { nx: 8, ny: 4, nz: 3, jitter: 0.1, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            nx: 8,
+            ny: 4,
+            nz: 3,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
         let seq = MeshSequence::nested_bump_sequence(&spec, 3);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
         let hist = mg.solve(40);
         assert!(
@@ -474,7 +561,10 @@ mod tests {
     #[test]
     fn multigrid_solution_stays_physical() {
         let seq = bump_seq(3);
-        let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.675,
+            ..SolverConfig::default()
+        };
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
         let hist = mg.solve(20);
         assert!(hist.iter().all(|r| r.is_finite()));

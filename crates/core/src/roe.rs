@@ -215,7 +215,15 @@ mod tests {
         let mut counter = FlopCounter::default();
         crate::flux::compute_pressures(GAMMA, &w, &mut p, &mut counter);
         let mut diss = vec![0.0; n * NVAR];
-        roe_dissipation_edges(&m.edges, &m.edge_coef, &w, &p, GAMMA, &mut diss, &mut counter);
+        roe_dissipation_edges(
+            &m.edges,
+            &m.edge_coef,
+            &w,
+            &p,
+            GAMMA,
+            &mut diss,
+            &mut counter,
+        );
         for c in 0..NVAR {
             let total: f64 = (0..n).map(|i| diss[i * NVAR + c]).sum();
             assert!(total.abs() < 1e-10, "component {c}: {total}");

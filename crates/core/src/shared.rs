@@ -4,51 +4,19 @@
 //! autotasking decomposition, with rayon playing the autotasking
 //! compiler. Groups run one after another (each `install` is a barrier),
 //! so no two concurrently-processed edges ever touch the same vertex.
-
-use std::marker::PhantomData;
+//!
+//! This module only provides the [`Executor`] backend; the solver kernels
+//! themselves live in [`crate::level`] and are shared verbatim with the
+//! sequential and distributed paths.
 
 use eul3d_mesh::TetMesh;
-use eul3d_partition::{color_edges, EdgeColoring};
+use eul3d_partition::{color_edges, validate_coloring, EdgeColoring};
 use rayon::prelude::*;
 
-use crate::boundary::boundary_residual;
 use crate::config::SolverConfig;
-use crate::counters::{
-    FlopCounter, FLOPS_ASSEMBLE_VERT, FLOPS_CONV_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE,
-    FLOPS_DT_VERT, FLOPS_PRESSURE_VERT, FLOPS_RADII_EDGE, FLOPS_SMOOTH_EDGE, FLOPS_SMOOTH_VERT,
-    FLOPS_UPDATE_VERT,
-};
-use crate::flux::conv_edge_flux;
-use crate::gas::{get5, pressure, spectral_radius, NVAR};
-use crate::level::LevelState;
-use crate::timestep::radii_bfaces;
-
-/// A raw shared mutable view used for colour-parallel scatter.
-///
-/// # Safety contract
-/// Within one colour group no two edges share a vertex (validated
-/// colouring), so concurrent `add` calls target disjoint indices; groups
-/// are separated by joins. All indices must be in bounds.
-struct ScatterSlice<'a> {
-    ptr: *mut f64,
-    len: usize,
-    _marker: PhantomData<&'a mut [f64]>,
-}
-
-unsafe impl Sync for ScatterSlice<'_> {}
-
-impl<'a> ScatterSlice<'a> {
-    fn new(data: &'a mut [f64]) -> Self {
-        ScatterSlice { ptr: data.as_mut_ptr(), len: data.len(), _marker: PhantomData }
-    }
-
-    /// Add `v` at index `i`. Caller must uphold the colouring contract.
-    #[inline(always)]
-    unsafe fn add(&self, i: usize, v: f64) {
-        debug_assert!(i < self.len);
-        unsafe { *self.ptr.add(i) += v }
-    }
-}
+use crate::counters::PhaseCounters;
+use crate::executor::{Executor, HaloOp, Phase, ScatterAccess};
+use crate::level::{time_step, LevelState};
 
 /// The shared-memory execution context: a validated edge colouring plus
 /// a dedicated thread pool of `ncpus` workers.
@@ -59,14 +27,29 @@ pub struct SharedExecutor {
 }
 
 impl SharedExecutor {
-    pub fn new(mesh: &TetMesh, ncpus: usize) -> SharedExecutor {
-        let coloring = color_edges(mesh);
-        debug_assert!(eul3d_partition::validate_coloring(mesh, &coloring).is_ok());
+    /// Colour `mesh`'s edges and build the worker pool. The colouring is
+    /// validated unconditionally — an invalid grouping would make the
+    /// scatter loops racy, which is not a debug-only concern.
+    pub fn new(mesh: &TetMesh, ncpus: usize) -> Result<SharedExecutor, String> {
+        Self::with_coloring(mesh, color_edges(mesh), ncpus)
+    }
+
+    /// Build from a caller-supplied colouring (validated against `mesh`).
+    pub fn with_coloring(
+        mesh: &TetMesh,
+        coloring: EdgeColoring,
+        ncpus: usize,
+    ) -> Result<SharedExecutor, String> {
+        validate_coloring(mesh, &coloring).map_err(|e| format!("invalid edge colouring: {e}"))?;
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(ncpus)
             .build()
-            .expect("failed to build thread pool");
-        SharedExecutor { coloring, ncpus, pool }
+            .map_err(|e| format!("failed to build thread pool: {e}"))?;
+        Ok(SharedExecutor {
+            coloring,
+            ncpus,
+            pool,
+        })
     }
 
     /// Subgroup length: each colour group divided over the CPUs, as in
@@ -74,342 +57,71 @@ impl SharedExecutor {
     fn subgroup_len(&self, group_len: usize) -> usize {
         group_len.div_ceil(self.ncpus).max(1)
     }
+}
 
-    /// Run `f(edge)` for every edge, colour group by colour group, with
-    /// subgroups of each group in parallel. `f` must write only to data
-    /// of the edge's two endpoints (through a [`ScatterSlice`]).
-    fn for_edges<F: Fn(usize) + Sync>(&self, f: F) {
+impl Executor for SharedExecutor {
+    fn edge_launches(&self) -> u64 {
+        self.coloring.ncolors() as u64
+    }
+
+    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(usize, &ScatterAccess) + Sync,
+    {
+        assert_eq!(
+            nedges,
+            self.coloring.nedges(),
+            "edge loop does not match the colouring's edge list"
+        );
+        let access = ScatterAccess::new(targets);
         for group in &self.coloring.groups {
             let sub = self.subgroup_len(group.len());
             self.pool.install(|| {
                 group.par_chunks(sub).for_each(|chunk| {
                     for &e in chunk {
-                        f(e as usize);
+                        f(e as usize, &access);
                     }
                 });
             });
         }
     }
 
-    /// Parallel map over vertex blocks of a strided array.
-    fn for_vertex_blocks<F: Fn(usize, &mut [f64]) + Sync>(
-        &self,
-        data: &mut [f64],
-        stride: usize,
-        f: F,
-    ) {
+    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    where
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
         let n = data.len() / stride;
         let sub = self.subgroup_len(n) * stride;
         self.pool.install(|| {
-            data.par_chunks_mut(sub).enumerate().for_each(|(blk, chunk)| {
-                let base = blk * sub / stride;
-                for (k, row) in chunk.chunks_mut(stride).enumerate() {
-                    f(base + k, row);
-                }
-            });
-        });
-    }
-
-    fn count_edges(&self, counter: &mut FlopCounter, per_edge: f64) {
-        counter.flops += self.coloring.nedges() as f64 * per_edge;
-        counter.launches += self.coloring.ncolors() as u64;
-    }
-}
-
-/// One five-stage time step with every vectorizable loop executed through
-/// the coloured shared-memory path. Numerically equivalent to
-/// [`crate::level::time_step`] up to floating-point associativity (the
-/// accumulation order within a vertex differs).
-pub fn time_step_shared(
-    mesh: &TetMesh,
-    st: &mut LevelState,
-    cfg: &SolverConfig,
-    exec: &SharedExecutor,
-    counter: &mut FlopCounter,
-) {
-    time_step_shared_level(mesh, st, cfg, false, exec, counter)
-}
-
-/// [`time_step_shared`] with the coarse-level flag (selects the cheap
-/// first-order dissipation when `cfg.coarse_first_order` is set, matching
-/// the serial multigrid path).
-pub fn time_step_shared_level(
-    mesh: &TetMesh,
-    st: &mut LevelState,
-    cfg: &SolverConfig,
-    is_coarse: bool,
-    exec: &SharedExecutor,
-    counter: &mut FlopCounter,
-) {
-    let gamma = cfg.gamma;
-    let fs = cfg.freestream();
-    st.w0.copy_from_slice(&st.w);
-
-    for (stage, &alpha) in cfg.rk_alpha.iter().enumerate() {
-        // Pressures (parallel vertex loop).
-        {
-            let w = &st.w;
-            exec.for_vertex_blocks(&mut st.p, 1, |i, out| {
-                out[0] = pressure(gamma, &get5(w, i));
-            });
-            counter.add(st.n, FLOPS_PRESSURE_VERT);
-        }
-
-        if stage == 0 {
-            st.lam.iter_mut().for_each(|x| *x = 0.0);
-            {
-                let lam = ScatterSlice::new(&mut st.lam);
-                let (w, p) = (&st.w, &st.p);
-                let (edges, coef) = (&mesh.edges, &mesh.edge_coef);
-                exec.for_edges(|e| {
-                    let [a, b] = edges[e];
-                    let (a, b) = (a as usize, b as usize);
-                    let l = 0.5
-                        * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
-                            + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
-                    // SAFETY: colour groups give disjoint endpoints.
-                    unsafe {
-                        lam.add(a, l);
-                        lam.add(b, l);
+            data.par_chunks_mut(sub)
+                .enumerate()
+                .for_each(|(blk, chunk)| {
+                    let base = blk * sub / stride;
+                    for (k, row) in chunk.chunks_mut(stride).enumerate() {
+                        f(base + k, row);
                     }
                 });
-            }
-            exec.count_edges(counter, FLOPS_RADII_EDGE);
-            // Boundary contribution (small, serial) and local dt.
-            radii_bfaces(&mesh.bfaces, &st.w, &st.p, gamma, &mut st.lam, counter);
-            let (lam, vol, cfl) = (&st.lam, &mesh.vol, cfg.cfl);
-            exec.for_vertex_blocks(&mut st.dt, 1, |i, out| {
-                out[0] = cfl * vol[i] / lam[i].max(1e-300);
-            });
-            counter.add(st.n, FLOPS_DT_VERT);
-        }
-
-        if stage <= 1 {
-            eval_dissipation_shared(mesh, st, cfg, is_coarse, exec, counter);
-        }
-
-        // Convective residual.
-        st.q.iter_mut().for_each(|x| *x = 0.0);
-        {
-            let q = ScatterSlice::new(&mut st.q);
-            let (w, p) = (&st.w, &st.p);
-            let (edges, coef) = (&mesh.edges, &mesh.edge_coef);
-            exec.for_edges(|e| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                let f = conv_edge_flux(&get5(w, a), &get5(w, b), p[a], p[b], coef[e]);
-                // SAFETY: colouring contract.
-                unsafe {
-                    for (c, &fc) in f.iter().enumerate() {
-                        q.add(a * NVAR + c, fc);
-                        q.add(b * NVAR + c, -fc);
-                    }
-                }
-            });
-        }
-        exec.count_edges(counter, FLOPS_CONV_EDGE);
-        // Boundary faces: a small, serial loop (the paper's edge-loop
-        // colouring does not cover them either).
-        boundary_residual(&mesh.bfaces, &st.w, &st.p, &fs, gamma, &mut st.q, counter);
-
-        // Assemble and smooth.
-        {
-            let (q, diss, forcing) = (&st.q, &st.diss, &st.forcing);
-            exec.for_vertex_blocks(&mut st.res, NVAR, |i, row| {
-                for (c, r) in row.iter_mut().enumerate() {
-                    *r = q[i * NVAR + c] - diss[i * NVAR + c] + forcing[i * NVAR + c];
-                }
-            });
-            counter.add(st.n, FLOPS_ASSEMBLE_VERT);
-        }
-        smooth_shared(mesh, st, cfg, exec, counter);
-
-        // Stage update.
-        {
-            let (w0, res, dt, vol) = (&st.w0, &st.res, &st.dt, &mesh.vol);
-            exec.for_vertex_blocks(&mut st.w, NVAR, |i, row| {
-                let scale = alpha * dt[i] / vol[i];
-                for (c, x) in row.iter_mut().enumerate() {
-                    *x = w0[i * NVAR + c] - scale * res[i * NVAR + c];
-                }
-            });
-            counter.add(st.n, FLOPS_UPDATE_VERT);
-        }
-    }
-}
-
-/// Coloured two-pass JST dissipation (or the first-order coarse variant).
-fn eval_dissipation_shared(
-    mesh: &TetMesh,
-    st: &mut LevelState,
-    cfg: &SolverConfig,
-    is_coarse: bool,
-    exec: &SharedExecutor,
-    counter: &mut FlopCounter,
-) {
-    let gamma = cfg.gamma;
-    st.diss.iter_mut().for_each(|x| *x = 0.0);
-    if cfg.scheme == crate::config::Scheme::RoeUpwind {
-        let diss = ScatterSlice::new(&mut st.diss);
-        let (w, p) = (&st.w, &st.p);
-        let (edges, coef) = (&mesh.edges, &mesh.edge_coef);
-        exec.for_edges(|e| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            let d = crate::roe::roe_dissipation_flux(
-                gamma,
-                &get5(w, a),
-                &get5(w, b),
-                p[a],
-                p[b],
-                coef[e],
-            );
-            // SAFETY: colouring contract.
-            unsafe {
-                for (c, &dc) in d.iter().enumerate() {
-                    diss.add(a * NVAR + c, dc);
-                    diss.add(b * NVAR + c, -dc);
-                }
-            }
-        });
-        exec.count_edges(counter, crate::counters::FLOPS_DISS_ROE_EDGE);
-        return;
-    }
-    if is_coarse && cfg.coarse_first_order {
-        // First-order scalar-Laplacian dissipation, coloured.
-        let diss = ScatterSlice::new(&mut st.diss);
-        let (w, p) = (&st.w, &st.p);
-        let (edges, coef) = (&mesh.edges, &mesh.edge_coef);
-        let k = cfg.coarse_k2;
-        exec.for_edges(|e| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            let wa = get5(w, a);
-            let wb = get5(w, b);
-            let lam = 0.5
-                * (spectral_radius(gamma, &wa, p[a], coef[e])
-                    + spectral_radius(gamma, &wb, p[b], coef[e]));
-            let kl = k * lam;
-            // SAFETY: colouring contract.
-            unsafe {
-                for c in 0..NVAR {
-                    let d = kl * (w[b * NVAR + c] - w[a * NVAR + c]);
-                    diss.add(a * NVAR + c, d);
-                    diss.add(b * NVAR + c, -d);
-                }
-            }
-        });
-        exec.count_edges(counter, crate::counters::FLOPS_DISS_FO_EDGE);
-        return;
-    }
-    st.lapl.iter_mut().for_each(|x| *x = 0.0);
-    st.sens.iter_mut().for_each(|x| *x = 0.0);
-
-    // Pass 1: Laplacian + sensor accumulators.
-    {
-        let lapl = ScatterSlice::new(&mut st.lapl);
-        let sens = ScatterSlice::new(&mut st.sens);
-        let (w, p, edges) = (&st.w, &st.p, &mesh.edges);
-        exec.for_edges(|e| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            // SAFETY: colouring contract.
-            unsafe {
-                for c in 0..NVAR {
-                    let d = w[b * NVAR + c] - w[a * NVAR + c];
-                    lapl.add(a * NVAR + c, d);
-                    lapl.add(b * NVAR + c, -d);
-                }
-                let dp = p[b] - p[a];
-                let sp = p[b] + p[a];
-                sens.add(a * 2, dp);
-                sens.add(a * 2 + 1, sp);
-                sens.add(b * 2, -dp);
-                sens.add(b * 2 + 1, sp);
-            }
-        });
-    }
-    exec.count_edges(counter, FLOPS_DISS_P1_EDGE);
-
-    {
-        let sens = &st.sens;
-        exec.for_vertex_blocks(&mut st.nu, 1, |i, out| {
-            out[0] = sens[i * 2].abs() / sens[i * 2 + 1].abs().max(1e-300);
         });
     }
 
-    // Pass 2: switched blend.
-    {
-        let diss = ScatterSlice::new(&mut st.diss);
-        let (w, p, lapl, nu) = (&st.w, &st.p, &st.lapl, &st.nu);
-        let (edges, coef) = (&mesh.edges, &mesh.edge_coef);
-        let (k2, k4) = (cfg.k2, cfg.k4);
-        exec.for_edges(|e| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            let wa = get5(w, a);
-            let wb = get5(w, b);
-            let lam = 0.5
-                * (spectral_radius(gamma, &wa, p[a], coef[e])
-                    + spectral_radius(gamma, &wb, p[b], coef[e]));
-            let eps2 = k2 * nu[a].max(nu[b]);
-            let eps4 = (k4 - eps2).max(0.0);
-            // SAFETY: colouring contract.
-            unsafe {
-                for c in 0..NVAR {
-                    let d2 = w[b * NVAR + c] - w[a * NVAR + c];
-                    let d4 = lapl[b * NVAR + c] - lapl[a * NVAR + c];
-                    let d = lam * (eps2 * d2 - eps4 * d4);
-                    diss.add(a * NVAR + c, d);
-                    diss.add(b * NVAR + c, -d);
-                }
-            }
-        });
+    fn exchange_halo(
+        &mut self,
+        _phase: Phase,
+        _op: HaloOp,
+        _data: &mut [f64],
+        _stride: usize,
+        _counters: &mut PhaseCounters,
+    ) {
+        // Single address space: nothing to exchange.
     }
-    exec.count_edges(counter, FLOPS_DISS_P2_EDGE);
-}
 
-/// Coloured residual averaging.
-fn smooth_shared(
-    mesh: &TetMesh,
-    st: &mut LevelState,
-    cfg: &SolverConfig,
-    exec: &SharedExecutor,
-    counter: &mut FlopCounter,
-) {
-    if cfg.smooth_passes == 0 || cfg.smooth_eps == 0.0 {
-        return;
-    }
-    let eps = cfg.smooth_eps;
-    let r0 = st.res.clone();
-    for _ in 0..cfg.smooth_passes {
-        st.acc.iter_mut().for_each(|x| *x = 0.0);
-        {
-            let acc = ScatterSlice::new(&mut st.acc);
-            let (res, edges) = (&st.res, &mesh.edges);
-            exec.for_edges(|e| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                // SAFETY: colouring contract.
-                unsafe {
-                    for c in 0..NVAR {
-                        acc.add(a * NVAR + c, res[b * NVAR + c]);
-                        acc.add(b * NVAR + c, res[a * NVAR + c]);
-                    }
-                }
-            });
-        }
-        exec.count_edges(counter, FLOPS_SMOOTH_EDGE);
-        {
-            let (acc, deg) = (&st.acc, &st.deg);
-            exec.for_vertex_blocks(&mut st.res, NVAR, |i, row| {
-                let inv = 1.0 / (1.0 + eps * deg[i]);
-                for (c, r) in row.iter_mut().enumerate() {
-                    *r = (r0[i * NVAR + c] + eps * acc[i * NVAR + c]) * inv;
-                }
-            });
-            counter.add(st.n, FLOPS_SMOOTH_VERT);
-        }
+    fn reduce_sum(
+        &mut self,
+        _phase: Phase,
+        vals: &[f64],
+        _counters: &mut PhaseCounters,
+    ) -> Vec<f64> {
+        vals.to_vec()
     }
 }
 
@@ -420,18 +132,35 @@ pub struct SharedSingleGridSolver {
     pub cfg: SolverConfig,
     pub st: LevelState,
     pub exec: SharedExecutor,
-    pub counter: FlopCounter,
+    pub counter: PhaseCounters,
 }
 
 impl SharedSingleGridSolver {
-    pub fn new(mesh: TetMesh, cfg: SolverConfig, ncpus: usize) -> SharedSingleGridSolver {
-        let exec = SharedExecutor::new(&mesh, ncpus);
+    pub fn new(
+        mesh: TetMesh,
+        cfg: SolverConfig,
+        ncpus: usize,
+    ) -> Result<SharedSingleGridSolver, String> {
+        let exec = SharedExecutor::new(&mesh, ncpus)?;
         let st = LevelState::new(&mesh, &cfg);
-        SharedSingleGridSolver { mesh, cfg, st, exec, counter: FlopCounter::default() }
+        Ok(SharedSingleGridSolver {
+            mesh,
+            cfg,
+            st,
+            exec,
+            counter: PhaseCounters::default(),
+        })
     }
 
     pub fn cycle(&mut self) -> f64 {
-        time_step_shared(&self.mesh, &mut self.st, &self.cfg, &self.exec, &mut self.counter);
+        time_step(
+            &self.mesh,
+            &mut self.st,
+            &self.cfg,
+            false,
+            &mut self.exec,
+            &mut self.counter,
+        );
         self.st.density_residual_norm(&self.mesh.vol)
     }
 
@@ -443,7 +172,8 @@ impl SharedSingleGridSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::level::{time_step, LevelState};
+    use crate::executor::SerialExecutor;
+    use crate::gas::NVAR;
     use eul3d_mesh::gen::{bump_channel, unit_box, BumpSpec};
 
     fn perturbed_state(mesh: &TetMesh, cfg: &SolverConfig) -> LevelState {
@@ -459,14 +189,24 @@ mod tests {
     #[test]
     fn shared_matches_serial_one_step() {
         let mesh = unit_box(5, 0.15, 13);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut st_serial = perturbed_state(&mesh, &cfg);
         let mut st_shared = st_serial.clone();
-        let mut c1 = FlopCounter::default();
-        let mut c2 = FlopCounter::default();
-        time_step(&mesh, &mut st_serial, &cfg, false, &mut c1);
-        let exec = SharedExecutor::new(&mesh, 4);
-        time_step_shared(&mesh, &mut st_shared, &cfg, &exec, &mut c2);
+        let mut c1 = PhaseCounters::default();
+        let mut c2 = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st_serial,
+            &cfg,
+            false,
+            &mut SerialExecutor,
+            &mut c1,
+        );
+        let mut exec = SharedExecutor::new(&mesh, 4).unwrap();
+        time_step(&mesh, &mut st_shared, &cfg, false, &mut exec, &mut c2);
         let mut max = 0.0f64;
         for (a, b) in st_serial.w.iter().zip(&st_shared.w) {
             max = max.max((a - b).abs());
@@ -475,18 +215,29 @@ mod tests {
             max < 1e-11,
             "shared and serial must agree to accumulation-order round-off: {max:.3e}"
         );
-        // Flop accounting agrees on the edge kernels.
-        assert!((c1.flops - c2.flops).abs() < 0.02 * c1.flops, "{} vs {}", c1.flops, c2.flops);
+        // Flop accounting is backend-independent — identical, not close.
+        assert_eq!(c1.flops(), c2.flops());
+        // Only the launch structure differs (one launch per colour group).
+        assert!(c2.launches() > c1.launches());
     }
 
     #[test]
     fn shared_matches_serial_many_steps_residual() {
-        let spec = BumpSpec { nx: 12, ny: 5, nz: 4, jitter: 0.1, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            nx: 12,
+            ny: 5,
+            nz: 4,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
         let mesh = bump_channel(&spec);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
 
         let mut serial = crate::SingleGridSolver::new(mesh.clone(), cfg);
-        let mut shared = SharedSingleGridSolver::new(mesh, cfg, 3);
+        let mut shared = SharedSingleGridSolver::new(mesh, cfg, 3).unwrap();
         let hs = serial.solve(10);
         let hp = shared.solve(10);
         for (a, b) in hs.iter().zip(&hp) {
@@ -503,11 +254,11 @@ mod tests {
         let cfg = SolverConfig::default();
         let mut st1 = perturbed_state(&mesh, &cfg);
         let mut st4 = st1.clone();
-        let e1 = SharedExecutor::new(&mesh, 1);
-        let e4 = SharedExecutor::new(&mesh, 4);
-        let mut c = FlopCounter::default();
-        time_step_shared(&mesh, &mut st1, &cfg, &e1, &mut c);
-        time_step_shared(&mesh, &mut st4, &cfg, &e4, &mut c);
+        let mut e1 = SharedExecutor::new(&mesh, 1).unwrap();
+        let mut e4 = SharedExecutor::new(&mesh, 4).unwrap();
+        let mut c = PhaseCounters::default();
+        time_step(&mesh, &mut st1, &cfg, false, &mut e1, &mut c);
+        time_step(&mesh, &mut st4, &cfg, false, &mut e4, &mut c);
         for (a, b) in st1.w.iter().zip(&st4.w) {
             assert!((a - b).abs() < 1e-11);
         }
@@ -516,27 +267,38 @@ mod tests {
     #[test]
     fn launch_count_reflects_color_groups() {
         let mesh = unit_box(3, 0.1, 2);
-        let exec = SharedExecutor::new(&mesh, 2);
+        let mut exec = SharedExecutor::new(&mesh, 2).unwrap();
         let ncolors = exec.coloring.ncolors() as u64;
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&mesh, &cfg);
-        let mut counter = FlopCounter::default();
-        time_step_shared(&mesh, &mut st, &cfg, &exec, &mut counter);
+        let mut counter = PhaseCounters::default();
+        time_step(&mesh, &mut st, &cfg, false, &mut exec, &mut counter);
         // Per stage ≥ 1 coloured edge loop; 5 stages => ≥ 5·ncolors.
-        assert!(counter.launches >= 5 * ncolors);
+        assert!(counter.launches() >= 5 * ncolors);
     }
 
     #[test]
     fn roe_scheme_shared_matches_serial() {
         use crate::config::Scheme;
         let mesh = unit_box(4, 0.15, 31);
-        let cfg = SolverConfig { mach: 0.6, scheme: Scheme::RoeUpwind, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.6,
+            scheme: Scheme::RoeUpwind,
+            ..SolverConfig::default()
+        };
         let mut st_serial = perturbed_state(&mesh, &cfg);
         let mut st_shared = st_serial.clone();
-        let mut c = FlopCounter::default();
-        time_step(&mesh, &mut st_serial, &cfg, false, &mut c);
-        let exec = SharedExecutor::new(&mesh, 3);
-        time_step_shared(&mesh, &mut st_shared, &cfg, &exec, &mut c);
+        let mut c = PhaseCounters::default();
+        time_step(
+            &mesh,
+            &mut st_serial,
+            &cfg,
+            false,
+            &mut SerialExecutor,
+            &mut c,
+        );
+        let mut exec = SharedExecutor::new(&mesh, 3).unwrap();
+        time_step(&mesh, &mut st_shared, &cfg, false, &mut exec, &mut c);
         for (a, b) in st_serial.w.iter().zip(&st_shared.w) {
             assert!((a - b).abs() < 1e-11);
         }
@@ -548,11 +310,25 @@ mod tests {
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&mesh, &cfg);
         let before = st.w.clone();
-        let exec = SharedExecutor::new(&mesh, 4);
-        let mut c = FlopCounter::default();
-        time_step_shared(&mesh, &mut st, &cfg, &exec, &mut c);
+        let mut exec = SharedExecutor::new(&mesh, 4).unwrap();
+        let mut c = PhaseCounters::default();
+        time_step(&mesh, &mut st, &cfg, false, &mut exec, &mut c);
         for (a, b) in st.w.iter().zip(&before) {
             assert!((a - b).abs() < 1e-11);
         }
+    }
+
+    #[test]
+    fn invalid_coloring_is_rejected_not_debug_asserted() {
+        let mesh = unit_box(2, 0.0, 0);
+        // Merge every edge into one group: guaranteed endpoint conflicts.
+        let all: Vec<u32> = (0..mesh.nedges() as u32).collect();
+        let bad = EdgeColoring { groups: vec![all] };
+        let err = SharedExecutor::with_coloring(&mesh, bad, 2).err();
+        assert!(
+            err.as_deref()
+                .is_some_and(|e| e.contains("invalid edge colouring")),
+            "conflicting colouring must be refused: {err:?}"
+        );
     }
 }

@@ -5,7 +5,8 @@
 use eul3d_mesh::TetMesh;
 
 use crate::config::SolverConfig;
-use crate::counters::FlopCounter;
+use crate::counters::PhaseCounters;
+use crate::executor::SerialExecutor;
 use crate::level::{time_step, LevelState};
 
 /// Single-grid EUL3D: five-stage RK with local time steps and residual
@@ -14,19 +15,31 @@ pub struct SingleGridSolver {
     pub mesh: TetMesh,
     pub cfg: SolverConfig,
     pub st: LevelState,
-    pub counter: FlopCounter,
+    pub counter: PhaseCounters,
 }
 
 impl SingleGridSolver {
     pub fn new(mesh: TetMesh, cfg: SolverConfig) -> SingleGridSolver {
         let st = LevelState::new(&mesh, &cfg);
-        SingleGridSolver { mesh, cfg, st, counter: FlopCounter::default() }
+        SingleGridSolver {
+            mesh,
+            cfg,
+            st,
+            counter: PhaseCounters::default(),
+        }
     }
 
     /// Advance one multistage cycle; returns the density-residual norm
     /// (from the final stage's smoothed residual).
     pub fn cycle(&mut self) -> f64 {
-        time_step(&self.mesh, &mut self.st, &self.cfg, false, &mut self.counter);
+        time_step(
+            &self.mesh,
+            &mut self.st,
+            &self.cfg,
+            false,
+            &mut SerialExecutor,
+            &mut self.counter,
+        );
         self.st.density_residual_norm(&self.mesh.vol)
     }
 
@@ -49,9 +62,18 @@ mod tests {
 
     #[test]
     fn single_grid_converges_on_subsonic_bump() {
-        let spec = BumpSpec { nx: 16, ny: 6, nz: 4, jitter: 0.12, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            nx: 16,
+            ny: 6,
+            nz: 4,
+            jitter: 0.12,
+            ..BumpSpec::default()
+        };
         let mesh = bump_channel(&spec);
-        let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
         let mut solver = SingleGridSolver::new(mesh, cfg);
         let hist = solver.solve(120);
         let start = hist[..3].iter().cloned().fold(0.0f64, f64::max);
@@ -69,7 +91,10 @@ mod tests {
     #[test]
     fn residual_history_is_finite_and_decreasing_overall() {
         let mesh = unit_box(4, 0.15, 7);
-        let cfg = SolverConfig { mach: 0.4, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            mach: 0.4,
+            ..SolverConfig::default()
+        };
         let mut solver = SingleGridSolver::new(mesh, cfg);
         // Disturb the initial state so there is something to converge.
         for i in 0..solver.st.n {
@@ -85,9 +110,9 @@ mod tests {
         let mesh = unit_box(3, 0.1, 1);
         let mut solver = SingleGridSolver::new(mesh, SolverConfig::default());
         solver.cycle();
-        let one = solver.counter.flops;
+        let one = solver.counter.flops();
         solver.cycle();
-        let two = solver.counter.flops;
+        let two = solver.counter.flops();
         assert!((two - 2.0 * one).abs() < 1e-6 * one);
     }
 }

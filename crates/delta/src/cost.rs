@@ -50,7 +50,10 @@ impl CostModel {
     /// reports the reordering "alone improved the single node
     /// computational rate by a factor of two".
     pub fn delta_i860_unordered() -> CostModel {
-        CostModel { mflops_per_rank: 1.5, ..CostModel::delta_i860() }
+        CostModel {
+            mflops_per_rank: 1.5,
+            ..CostModel::delta_i860()
+        }
     }
 
     /// Seconds of computation a single rank's flops take.
@@ -142,23 +145,41 @@ mod tests {
 
     #[test]
     fn comp_seconds_scale_with_rate() {
-        let m = CostModel { mflops_per_rank: 2.0, latency_s: 0.0, bandwidth_bytes_per_s: 1.0, hop_latency_s: 0.0 };
+        let m = CostModel {
+            mflops_per_rank: 2.0,
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+            hop_latency_s: 0.0,
+        };
         assert!((m.comp_seconds(4e6) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn comm_seconds_latency_plus_bandwidth() {
-        let m = CostModel { mflops_per_rank: 1.0, latency_s: 0.1, bandwidth_bytes_per_s: 100.0, hop_latency_s: 0.0 };
+        let m = CostModel {
+            mflops_per_rank: 1.0,
+            latency_s: 0.1,
+            bandwidth_bytes_per_s: 100.0,
+            hop_latency_s: 0.0,
+        };
         // 3 messages, 50 bytes: 0.3 + 0.5
         assert!((m.comm_seconds(3, 50) - 0.8).abs() < 1e-12);
     }
 
     #[test]
     fn evaluate_takes_slowest_rank() {
-        let m = CostModel { mflops_per_rank: 1.0, latency_s: 0.0, bandwidth_bytes_per_s: 1e9, hop_latency_s: 0.0 };
+        let m = CostModel {
+            mflops_per_rank: 1.0,
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1e9,
+            hop_latency_s: 0.0,
+        };
         let cs = vec![counters(1e6, 0, 0), counters(3e6, 0, 0)];
         let b = m.evaluate(&cs);
-        assert!((b.comp_seconds - 3.0).abs() < 1e-12, "imbalance must cost time");
+        assert!(
+            (b.comp_seconds - 3.0).abs() < 1e-12,
+            "imbalance must cost time"
+        );
         assert!((b.total_flops - 4e6).abs() < 1.0);
     }
 
@@ -175,7 +196,12 @@ mod tests {
 
     #[test]
     fn mflops_consistency() {
-        let m = CostModel { mflops_per_rank: 1.0, latency_s: 0.0, bandwidth_bytes_per_s: 1e9, hop_latency_s: 0.0 };
+        let m = CostModel {
+            mflops_per_rank: 1.0,
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1e9,
+            hop_latency_s: 0.0,
+        };
         let cs = vec![counters(1e6, 0, 0); 4];
         let b = m.evaluate(&cs);
         // 4 Mflop in 1 second (perfectly balanced) = 4 MFlops.
@@ -185,7 +211,12 @@ mod tests {
 
     #[test]
     fn class_breakdown_separates_traffic() {
-        let m = CostModel { mflops_per_rank: 1.0, latency_s: 1.0, bandwidth_bytes_per_s: 1e9, hop_latency_s: 0.0 };
+        let m = CostModel {
+            mflops_per_rank: 1.0,
+            latency_s: 1.0,
+            bandwidth_bytes_per_s: 1e9,
+            hop_latency_s: 0.0,
+        };
         let mut c = RankCounters::default();
         c.record_send(CommClass::Halo, 0);
         c.record_send(CommClass::Halo, 0);

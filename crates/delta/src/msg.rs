@@ -117,7 +117,10 @@ impl RankCounters {
     /// later measurement). Used to separate setup/inspector cost from the
     /// per-cycle cost in the Table-2 harness.
     pub fn delta_since(&self, earlier: &RankCounters) -> RankCounters {
-        let mut out = RankCounters { flops: self.flops - earlier.flops, ..Default::default() };
+        let mut out = RankCounters {
+            flops: self.flops - earlier.flops,
+            ..Default::default()
+        };
         for k in 0..N_COMM_CLASSES {
             out.sent[k] = CommStats {
                 messages: self.sent[k].messages - earlier.sent[k].messages,

@@ -71,23 +71,36 @@ impl Rank {
 
     fn send_payload(&mut self, dst: usize, tag: u32, payload: Payload, class: CommClass) {
         assert!(dst < self.nranks, "send to rank {dst} out of range");
-        assert_ne!(dst, self.id, "self-sends are a bug in schedule construction");
+        assert_ne!(
+            dst, self.id,
+            "self-sends are a bug in schedule construction"
+        );
         self.counters.record_send(class, payload.nbytes());
         self.counters.record_hops(self.hops_to(dst));
         self.txs[dst]
-            .send(Message { src: self.id, tag, payload })
+            .send(Message {
+                src: self.id,
+                tag,
+                payload,
+            })
             .expect("receiver hung up");
     }
 
     /// Send a float buffer to `dst` under `tag`.
     pub fn send_f64(&mut self, dst: usize, tag: u32, data: Vec<f64>, class: CommClass) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag collides with collective space");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag collides with collective space"
+        );
         self.send_payload(dst, tag, Payload::F64(data), class);
     }
 
     /// Send an index buffer to `dst` under `tag`.
     pub fn send_u32(&mut self, dst: usize, tag: u32, data: Vec<u32>, class: CommClass) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag collides with collective space");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag collides with collective space"
+        );
         self.send_payload(dst, tag, Payload::U32(data), class);
     }
 
@@ -102,7 +115,10 @@ impl Rank {
             if m.src == src && m.tag == tag {
                 return m.payload;
             }
-            self.stash.entry((m.src, m.tag)).or_default().push_back(m.payload);
+            self.stash
+                .entry((m.src, m.tag))
+                .or_default()
+                .push_back(m.payload);
         }
     }
 
@@ -184,7 +200,12 @@ impl Rank {
             }
             out
         } else {
-            self.send_payload(root, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+            self.send_payload(
+                root,
+                tag,
+                Payload::F64(vals.to_vec()),
+                CommClass::Collective,
+            );
             Vec::new()
         }
     }

@@ -35,11 +35,7 @@ use crate::vec3::{tet_volume, tri_area_vec, Vec3};
 /// `edges` must be the sorted unique list from
 /// [`crate::topology::extract_edges`]; all tets must be positively
 /// oriented.
-pub fn edge_coefficients(
-    coords: &[Vec3],
-    tets: &[[u32; 4]],
-    edges: &[[u32; 2]],
-) -> Vec<Vec3> {
+pub fn edge_coefficients(coords: &[Vec3], tets: &[[u32; 4]], edges: &[[u32; 2]]) -> Vec<Vec3> {
     let mut coef = vec![Vec3::ZERO; edges.len()];
     for t in tets {
         let p = [

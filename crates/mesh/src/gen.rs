@@ -59,9 +59,7 @@ struct Lattice {
 #[allow(clippy::needless_range_loop)] // 3-D index arithmetic is clearest explicit
 fn lattice(xs: &[f64], ys: &[f64], zs: &[f64]) -> Lattice {
     let (nx, ny, nz) = (xs.len() - 1, ys.len() - 1, zs.len() - 1);
-    let idx = |i: usize, j: usize, k: usize| -> u32 {
-        (i + (nx + 1) * (j + (ny + 1) * k)) as u32
-    };
+    let idx = |i: usize, j: usize, k: usize| -> u32 { (i + (nx + 1) * (j + (ny + 1) * k)) as u32 };
     let mut coords = Vec::with_capacity((nx + 1) * (ny + 1) * (nz + 1));
     for k in 0..=nz {
         for j in 0..=ny {
@@ -88,7 +86,13 @@ fn lattice(xs: &[f64], ys: &[f64], zs: &[f64]) -> Lattice {
             }
         }
     }
-    Lattice { coords, tets, nx, ny, nz }
+    Lattice {
+        coords,
+        tets,
+        nx,
+        ny,
+        nz,
+    }
 }
 
 /// Displace interior lattice vertices by a random fraction of the local
@@ -159,7 +163,16 @@ fn initial_sign(original: &[Vec3], t: &[u32; 4]) -> f64 {
 /// A jittered box mesh with every boundary face tagged far-field: the
 /// canonical domain for freestream-preservation and solver unit tests.
 pub fn unit_box(n: usize, jitter: f64, seed: u64) -> TetMesh {
-    box_mesh(n, n, n, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), jitter, seed, |_, _| BcKind::FarField)
+    box_mesh(
+        n,
+        n,
+        n,
+        Vec3::ZERO,
+        Vec3::new(1.0, 1.0, 1.0),
+        jitter,
+        seed,
+        |_, _| BcKind::FarField,
+    )
 }
 
 /// General jittered box mesh on `[lo, hi]` with a caller-supplied boundary
@@ -203,7 +216,15 @@ pub struct BumpSpec {
 
 impl Default for BumpSpec {
     fn default() -> Self {
-        BumpSpec { nx: 24, ny: 8, nz: 8, bump_height: 0.10, taper: 0.0, jitter: 0.15, seed: 42 }
+        BumpSpec {
+            nx: 24,
+            ny: 8,
+            nz: 8,
+            bump_height: 0.10,
+            taper: 0.0,
+            jitter: 0.15,
+            seed: 42,
+        }
     }
 }
 
@@ -275,7 +296,14 @@ pub struct WedgeSpec {
 
 impl Default for WedgeSpec {
     fn default() -> Self {
-        WedgeSpec { nx: 30, ny: 12, nz: 4, angle_deg: 10.0, jitter: 0.1, seed: 11 }
+        WedgeSpec {
+            nx: 30,
+            ny: 12,
+            nz: 4,
+            angle_deg: 10.0,
+            jitter: 0.1,
+            seed: 11,
+        }
     }
 }
 
@@ -352,7 +380,10 @@ mod tests {
         let xs = cluster1d(32, 0.0, 1.0, 0.5, 0.6);
         let mid = xs[17] - xs[16];
         let end = xs[1] - xs[0];
-        assert!(mid < end, "spacing at the focus should be finer than at the ends");
+        assert!(
+            mid < end,
+            "spacing at the focus should be finer than at the ends"
+        );
     }
 
     #[test]
@@ -368,7 +399,10 @@ mod tests {
     #[test]
     fn jittered_box_still_closes_and_fills() {
         let m = unit_box(5, 0.2, 7);
-        assert!((m.total_volume() - 1.0).abs() < 1e-12, "jitter must preserve total volume");
+        assert!(
+            (m.total_volume() - 1.0).abs() < 1e-12,
+            "jitter must preserve total volume"
+        );
         let bf: Vec<_> = m.bfaces.iter().map(|f| (f.normal, f.v)).collect();
         let res = closure_residual(m.nverts(), &m.edges, &m.edge_coef, &bf);
         for r in res {
@@ -429,7 +463,10 @@ mod tests {
 
     #[test]
     fn wedge_ramp_rises_at_given_angle() {
-        let spec = WedgeSpec { jitter: 0.0, ..WedgeSpec::default() };
+        let spec = WedgeSpec {
+            jitter: 0.0,
+            ..WedgeSpec::default()
+        };
         let m = wedge_channel(&spec);
         // Floor height at x = 1 should be ~ tan(10 deg).
         let floor_y = m
@@ -449,15 +486,26 @@ mod tests {
     fn bump_channel_has_all_bc_kinds() {
         let m = bump_channel(&BumpSpec::default());
         let walls = m.bfaces.iter().filter(|f| f.kind == BcKind::Wall).count();
-        let far = m.bfaces.iter().filter(|f| f.kind == BcKind::FarField).count();
-        let sym = m.bfaces.iter().filter(|f| f.kind == BcKind::Symmetry).count();
+        let far = m
+            .bfaces
+            .iter()
+            .filter(|f| f.kind == BcKind::FarField)
+            .count();
+        let sym = m
+            .bfaces
+            .iter()
+            .filter(|f| f.kind == BcKind::Symmetry)
+            .count();
         assert!(walls > 0 && far > 0 && sym > 0);
         assert_eq!(walls + far + sym, m.bfaces.len());
     }
 
     #[test]
     fn bump_raises_the_floor() {
-        let spec = BumpSpec { jitter: 0.0, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            jitter: 0.0,
+            ..BumpSpec::default()
+        };
         let m = bump_channel(&spec);
         let max_floor_y = m
             .coords
@@ -465,12 +513,19 @@ mod tests {
             .filter(|p| p.y < 0.3)
             .map(|p| p.y)
             .fold(0.0f64, f64::max);
-        assert!(max_floor_y > 0.5 * spec.bump_height, "bump must lift floor vertices");
+        assert!(
+            max_floor_y > 0.5 * spec.bump_height,
+            "bump must lift floor vertices"
+        );
     }
 
     #[test]
     fn tapered_bump_is_three_dimensional() {
-        let spec = BumpSpec { taper: 0.6, jitter: 0.0, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            taper: 0.6,
+            jitter: 0.0,
+            ..BumpSpec::default()
+        };
         let m = bump_channel(&spec);
         // Floor height at z=0 should exceed floor height at z=depth near mid-chord.
         let probe = |ztarget: f64| -> f64 {

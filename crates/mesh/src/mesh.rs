@@ -68,11 +68,23 @@ impl TetMesh {
                 let normal = tri_area_vec(a, b, c);
                 let centroid = (a + b + c) / 3.0;
                 let unit = normal.normalized().unwrap_or(Vec3::ZERO);
-                BoundaryFace { v: f, normal, kind: classify(centroid, unit) }
+                BoundaryFace {
+                    v: f,
+                    normal,
+                    kind: classify(centroid, unit),
+                }
             })
             .collect();
 
-        TetMesh { coords, tets, edges, edge_coef, bfaces, vol, v2e }
+        TetMesh {
+            coords,
+            tets,
+            edges,
+            edge_coef,
+            bfaces,
+            vol,
+            v2e,
+        }
     }
 
     /// Number of vertices.
@@ -123,7 +135,10 @@ impl TetMesh {
 
     /// The maximum vertex degree (number of incident edges).
     pub fn max_degree(&self) -> usize {
-        (0..self.nverts()).map(|i| self.v2e.degree(i)).max().unwrap_or(0)
+        (0..self.nverts())
+            .map(|i| self.v2e.degree(i))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -201,7 +216,10 @@ mod tests {
                 + mesh.coords[f.v[1] as usize]
                 + mesh.coords[f.v[2] as usize])
                 / 3.0;
-            assert!(f.normal.dot(fc - centroid) > 0.0, "normal must point outward");
+            assert!(
+                f.normal.dot(fc - centroid) > 0.0,
+                "normal must point outward"
+            );
         }
     }
 }

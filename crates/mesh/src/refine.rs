@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn refined_mesh_is_valid() {
-        let m = bump_channel(&BumpSpec { nx: 8, ny: 4, nz: 3, ..BumpSpec::default() });
+        let m = bump_channel(&BumpSpec {
+            nx: 8,
+            ny: 4,
+            nz: 3,
+            ..BumpSpec::default()
+        });
         let r = refine_uniform(&m);
         let s = MeshStats::compute(&r);
         assert!(s.is_valid(), "{}", s.summary());
@@ -134,7 +139,12 @@ mod tests {
 
     #[test]
     fn bc_kinds_are_inherited_by_area() {
-        let m = bump_channel(&BumpSpec { nx: 6, ny: 3, nz: 2, ..BumpSpec::default() });
+        let m = bump_channel(&BumpSpec {
+            nx: 6,
+            ny: 3,
+            nz: 2,
+            ..BumpSpec::default()
+        });
         let r = refine_uniform(&m);
         let area = |mesh: &TetMesh, kind: BcKind| -> f64 {
             mesh.bfaces

@@ -60,7 +60,11 @@ impl<'m> Locator<'m> {
                     / 4.0
             })
             .collect();
-        Locator { mesh, nbrs, centroids }
+        Locator {
+            mesh,
+            nbrs,
+            centroids,
+        }
     }
 
     /// Walk from `seed` toward `p`: while some barycentric coordinate is
@@ -81,7 +85,11 @@ impl<'m> Locator<'m> {
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .unwrap();
             if min >= EPS {
-                return Located { tet: t, bary: clamp_bary(bary), inside: min >= 0.0 };
+                return Located {
+                    tet: t,
+                    bary: clamp_bary(bary),
+                    inside: min >= 0.0,
+                };
             }
             // The face opposite local vertex `worst` leads toward p.
             let next = self.nbrs[t][worst];
@@ -103,7 +111,11 @@ impl<'m> Locator<'m> {
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("mesh has no tets");
         let bary = barycentric(self.mesh, best, p);
-        Located { tet: best, bary: clamp_bary(bary), inside: false }
+        Located {
+            tet: best,
+            bary: clamp_bary(bary),
+            inside: false,
+        }
     }
 }
 

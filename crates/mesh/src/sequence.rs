@@ -39,7 +39,11 @@ impl MeshSequence {
             to_coarse.push(InterpOps::build(&meshes[l], &meshes[l + 1]));
             to_fine.push(InterpOps::build(&meshes[l + 1], &meshes[l]));
         }
-        MeshSequence { meshes, to_coarse, to_fine }
+        MeshSequence {
+            meshes,
+            to_coarse,
+            to_fine,
+        }
     }
 
     /// A bump-channel sequence with `levels` meshes, finest resolution
@@ -133,7 +137,13 @@ mod tests {
     #[test]
     fn nested_sequence_is_nested() {
         use crate::gen::BumpSpec;
-        let spec = BumpSpec { nx: 6, ny: 3, nz: 2, jitter: 0.1, ..BumpSpec::default() };
+        let spec = BumpSpec {
+            nx: 6,
+            ny: 3,
+            nz: 2,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
         let seq = MeshSequence::nested_bump_sequence(&spec, 3);
         assert_eq!(seq.levels(), 3);
         // Refinement: each finer level has 8x the tets.

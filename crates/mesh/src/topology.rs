@@ -120,10 +120,7 @@ mod tests {
     fn edges_of_single_tet() {
         let edges = extract_edges(&[[0, 1, 2, 3]]);
         assert_eq!(edges.len(), 6);
-        assert_eq!(
-            edges,
-            vec![[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]]
-        );
+        assert_eq!(edges, vec![[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]]);
     }
 
     #[test]
@@ -149,7 +146,7 @@ mod tests {
         assert_eq!(adj.degree(0), 3); // 0 connects to 1,2,3
         assert_eq!(adj.degree(1), 4); // 1 connects to 0,2,3,4
         assert_eq!(adj.degree(4), 3); // 4 connects to 1,2,3
-        // every edge appears exactly twice across all rows
+                                      // every edge appears exactly twice across all rows
         assert_eq!(adj.items.len(), edges.len() * 2);
     }
 

@@ -43,7 +43,11 @@ impl InterpOps {
             addr.push(src.tets[r.tet]);
             w.push(r.bary);
         }
-        InterpOps { addr, w, nsrc: src.nverts() }
+        InterpOps {
+            addr,
+            w,
+            nsrc: src.nverts(),
+        }
     }
 
     /// Number of destination vertices.
@@ -170,7 +174,10 @@ mod tests {
         let mut out = vec![0.0; coarse.nverts() * 2];
         ops.restrict_state(&dstv, &mut out, 2, &[4.25, 4.25]);
         for &x in &out {
-            assert!((x - 4.25).abs() < 1e-9, "constant state must restrict to itself");
+            assert!(
+                (x - 4.25).abs() < 1e-9,
+                "constant state must restrict to itself"
+            );
         }
     }
 

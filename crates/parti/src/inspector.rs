@@ -85,7 +85,12 @@ pub fn localize(
         .filter(|(p, s)| *p != me && !s.is_empty())
         .collect();
 
-    Schedule { tag, class, sends, recvs }
+    Schedule {
+        tag,
+        class,
+        sends,
+        recvs,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +127,11 @@ mod tests {
             let trans = block_translation();
             // Duplicate references to the same global: only one ghost
             // entry should be scheduled.
-            let required: Vec<u32> = if r.id == 0 { vec![4, 4, 4] } else { vec![0, 0, 0] };
+            let required: Vec<u32> = if r.id == 0 {
+                vec![4, 4, 4]
+            } else {
+                vec![0, 0, 0]
+            };
             let sched = localize(r, &trans, &required, &[4, 4, 4], 100, CommClass::Halo);
             (sched.nghosts(), sched.nexports())
         });
@@ -199,8 +208,7 @@ mod tests {
             data[3..].to_vec()
         });
         for (id, ghosts) in run.results.iter().enumerate() {
-            let expected: Vec<f64> =
-                (0..4).filter(|&p| p != id).map(|p| p as f64).collect();
+            let expected: Vec<f64> = (0..4).filter(|&p| p != id).map(|p| p as f64).collect();
             assert_eq!(ghosts, &expected);
         }
     }

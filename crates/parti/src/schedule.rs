@@ -25,7 +25,12 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule (single-rank runs, or nothing off-processor).
     pub fn empty(tag: u32, class: CommClass) -> Schedule {
-        Schedule { tag, class, sends: Vec::new(), recvs: Vec::new() }
+        Schedule {
+            tag,
+            class,
+            sends: Vec::new(),
+            recvs: Vec::new(),
+        }
     }
 
     /// Number of ghost entries this schedule fills.
@@ -104,7 +109,11 @@ impl Schedule {
         }
         for (peer, slots) in &self.recvs {
             let buf = rank.recv_f64(*peer, self.tag);
-            assert_eq!(buf.len(), slots.len() * nc, "gather_into buffer size mismatch");
+            assert_eq!(
+                buf.len(),
+                slots.len() * nc,
+                "gather_into buffer size mismatch"
+            );
             for (k, &s) in slots.iter().enumerate() {
                 let base = s as usize * nc;
                 dst[base..base + nc].copy_from_slice(&buf[k * nc..k * nc + nc]);

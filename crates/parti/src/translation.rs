@@ -30,7 +30,10 @@ impl Translation {
             local[g] = counters[p as usize];
             counters[p as usize] += 1;
         }
-        Translation { owner: parts.to_vec(), local }
+        Translation {
+            owner: parts.to_vec(),
+            local,
+        }
     }
 
     pub fn len(&self) -> usize {

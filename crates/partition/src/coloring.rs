@@ -126,7 +126,11 @@ mod tests {
             c.ncolors() >= m.max_degree(),
             "needs at least max-degree colours"
         );
-        assert!(c.ncolors() < 64, "greedy colour count {} unexpectedly high", c.ncolors());
+        assert!(
+            c.ncolors() < 64,
+            "greedy colour count {} unexpectedly high",
+            c.ncolors()
+        );
     }
 
     #[test]

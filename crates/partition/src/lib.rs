@@ -51,7 +51,9 @@ use rand::{RngExt, SeedableRng};
 /// Uniform-random partition baseline: decent balance, terrible locality.
 pub fn random_partition(nverts: usize, nparts: usize, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..nverts).map(|_| rng.random_range(0..nparts as u32)).collect()
+    (0..nverts)
+        .map(|_| rng.random_range(0..nparts as u32))
+        .collect()
 }
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ const MEDIAN_ITERS: usize = 40;
 /// distributed RCB over `nranks` simulated ranks. Returns the part label
 /// of every vertex (assembled from the ranks' blocks).
 pub fn parallel_rcb(coords: &[Vec3], nparts: usize, nranks: usize) -> Vec<u32> {
-    assert!(nparts.is_power_of_two(), "parallel RCB needs a power-of-two part count");
+    assert!(
+        nparts.is_power_of_two(),
+        "parallel RCB needs a power-of-two part count"
+    );
     assert!(nranks >= 1);
     let n = coords.len();
     let depth = nparts.trailing_zeros() as usize;
@@ -67,9 +70,14 @@ fn split_round(rank: &mut Rank, mine: &[Vec3], labels: &mut [u32], ngroups: usiz
     let mut axis = vec![0usize; ngroups];
     let mut lo = vec![0.0f64; ngroups];
     let mut hi = vec![0.0f64; ngroups];
+    let mut ext0 = vec![0.0f64; ngroups];
     for g in 0..ngroups {
         let b = g * 6;
-        let ext = [bbox[b] + bbox[b + 3], bbox[b + 1] + bbox[b + 4], bbox[b + 2] + bbox[b + 5]];
+        let ext = [
+            bbox[b] + bbox[b + 3],
+            bbox[b + 1] + bbox[b + 4],
+            bbox[b + 2] + bbox[b + 5],
+        ];
         let a = if ext[0] >= ext[1] && ext[0] >= ext[2] {
             0
         } else if ext[1] >= ext[2] {
@@ -80,6 +88,7 @@ fn split_round(rank: &mut Rank, mine: &[Vec3], labels: &mut [u32], ngroups: usiz
         axis[g] = a;
         lo[g] = -bbox[b + 3 + a];
         hi[g] = bbox[b + a];
+        ext0[g] = hi[g] - lo[g];
     }
 
     // Group populations (for the median target).
@@ -111,10 +120,56 @@ fn split_round(rank: &mut Rank, mine: &[Vec3], labels: &mut [u32], ngroups: usiz
         }
     }
 
+    // Lattice-aligned meshes put whole planes of vertices at one
+    // coordinate; a pure threshold split would dump each such tie-plane
+    // entirely on one side of the median, unbalancing the halves. Count
+    // strict-belows and ties around the converged median, then send just
+    // enough ties left (in global vertex order, so the result is
+    // independent of the rank count) to hit the half-population target.
+    let mut tol = vec![0.0f64; ngroups];
+    for g in 0..ngroups {
+        tol[g] = ext0[g].abs().max(1e-300) * 1e-9;
+    }
+    // One reduction carries the strict-below totals and the per-rank tie
+    // layout (for the global-order prefix offsets).
+    let mut payload = vec![0.0f64; ngroups * (1 + rank.nranks)];
+    for (p, &g) in mine.iter().zip(labels.iter()) {
+        let grp = g as usize;
+        let c = p.axis(axis[grp]);
+        if c < mid[grp] - tol[grp] {
+            payload[grp] += 1.0;
+        } else if c <= mid[grp] + tol[grp] {
+            payload[ngroups * (1 + rank.id) + grp] += 1.0;
+        }
+    }
+    let red = rank.all_reduce_sum(&payload);
+
+    // How many of MY ties go left: the global tie take-count, minus the
+    // ties held by lower-numbered ranks.
+    let mut my_take = vec![0.0f64; ngroups];
+    for g in 0..ngroups {
+        let below_strict = red[g];
+        let target = (totals[g] / 2.0).floor();
+        let ties_total: f64 = (0..rank.nranks).map(|r| red[ngroups * (1 + r) + g]).sum();
+        let take = (target - below_strict).clamp(0.0, ties_total);
+        let my_offset: f64 = (0..rank.id).map(|r| red[ngroups * (1 + r) + g]).sum();
+        let ties_mine = red[ngroups * (1 + rank.id) + g];
+        my_take[g] = (take - my_offset).clamp(0.0, ties_mine);
+    }
+
     // Refine labels: left half keeps 2g, right half becomes 2g+1.
+    let mut taken = vec![0.0f64; ngroups];
     for (p, g) in mine.iter().zip(labels.iter_mut()) {
         let grp = *g as usize;
-        let side = (p.axis(axis[grp]) >= mid[grp]) as u32;
+        let c = p.axis(axis[grp]);
+        let side = if c < mid[grp] - tol[grp] {
+            0
+        } else if c <= mid[grp] + tol[grp] && taken[grp] < my_take[grp] {
+            taken[grp] += 1.0;
+            0
+        } else {
+            1
+        };
         *g = (*g << 1) | side;
     }
 }
@@ -157,7 +212,10 @@ mod tests {
         let m = unit_box(5, 0.2, 9);
         let a = parallel_rcb(&m.coords, 4, 1);
         let b = parallel_rcb(&m.coords, 4, 7);
-        assert_eq!(a, b, "the algorithm is deterministic in the data, not the ranks");
+        assert_eq!(
+            a, b,
+            "the algorithm is deterministic in the data, not the ranks"
+        );
     }
 
     #[test]
@@ -184,12 +242,15 @@ mod tests {
         });
         for c in &run.counters {
             assert_eq!(
-                c.sent[eul3d_delta::CommClass::Halo as usize].messages, 0,
+                c.sent[eul3d_delta::CommClass::Halo as usize].messages,
+                0,
                 "no halo traffic"
             );
         }
-        // Collective rounds: 3 depths × (1 bbox + 1 counts + 40 medians).
-        let collectives = run.counters[1].sent[eul3d_delta::CommClass::Collective as usize].messages;
-        assert!(collectives <= 3 * (MEDIAN_ITERS as u64 + 2));
+        // Collective rounds: 3 depths × (1 bbox + 1 counts + 40 medians
+        // + 1 tie-resolution).
+        let collectives =
+            run.counters[1].sent[eul3d_delta::CommClass::Collective as usize].messages;
+        assert!(collectives <= 3 * (MEDIAN_ITERS as u64 + 3));
     }
 }

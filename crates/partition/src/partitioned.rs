@@ -127,10 +127,16 @@ impl PartitionedMesh {
                 .iter()
                 .map(|&f| {
                     let face = mesh.bfaces[f];
-                    BoundaryFace { v: face.v.map(&local_of), ..face }
+                    BoundaryFace {
+                        v: face.v.map(&local_of),
+                        ..face
+                    }
                 })
                 .collect();
-            let vol = owned_globals[r].iter().map(|&v| mesh.vol[v as usize]).collect();
+            let vol = owned_globals[r]
+                .iter()
+                .map(|&v| mesh.vol[v as usize])
+                .collect();
 
             ranks.push(RankMesh {
                 rank: r,
@@ -143,7 +149,12 @@ impl PartitionedMesh {
             });
         }
 
-        PartitionedMesh { ranks, owner: parts.to_vec(), owner_local, nparts }
+        PartitionedMesh {
+            ranks,
+            owner: parts.to_vec(),
+            owner_local,
+            nparts,
+        }
     }
 
     /// Total ghost slots across ranks — the replicated-data overhead.

@@ -169,7 +169,12 @@ mod tests {
 
     #[test]
     fn reordered_mesh_is_equivalent() {
-        let m = bump_channel(&BumpSpec { nx: 10, ny: 4, nz: 4, ..BumpSpec::default() });
+        let m = bump_channel(&BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 4,
+            ..BumpSpec::default()
+        });
         let r = shuffle_vertices(&m, 7);
         let sm = MeshStats::compute(&m);
         let sr = MeshStats::compute(&r);

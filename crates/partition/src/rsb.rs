@@ -35,7 +35,8 @@ pub fn rsb_partition(
         }
         let np_left = np / 2;
         let np_right = np - np_left;
-        let (left, right, le, re) = bisect(&verts, &sub_edges, np_left, np_right, lanczos_iters, seed);
+        let (left, right, le, re) =
+            bisect(&verts, &sub_edges, np_left, np_right, lanczos_iters, seed);
         stack.push((left, le, base, np_left));
         stack.push((right, re, base + np_left as u32, np_right));
     }
@@ -152,6 +153,9 @@ mod tests {
             pts.iter().fold(eul3d_mesh::Vec3::ZERO, |a, &b| a + b) / pts.len() as f64
         };
         let d = centroid(0).dist(centroid(1));
-        assert!(d > 0.25, "halves should be spatially separated, centroid dist {d}");
+        assert!(
+            d > 0.25,
+            "halves should be spatially separated, centroid dist {d}"
+        );
     }
 }

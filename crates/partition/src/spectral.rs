@@ -160,7 +160,9 @@ pub fn fiedler_vector(g: &Graph, iters: usize, seed: u64) -> Vec<f64> {
     let nv = norm(&v);
     if nv < 1e-30 {
         // Astronomically unlikely; fall back to a deterministic pattern.
-        v = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        v = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         orthogonalize(&mut v, &ones);
     }
     let nv = norm(&v);
@@ -278,7 +280,10 @@ mod tests {
         let f = fiedler_vector(&g, 30, 7);
         let increasing = f.windows(2).all(|w| w[1] > w[0]);
         let decreasing = f.windows(2).all(|w| w[1] < w[0]);
-        assert!(increasing || decreasing, "path Fiedler vector must be monotone: {f:?}");
+        assert!(
+            increasing || decreasing,
+            "path Fiedler vector must be monotone: {f:?}"
+        );
     }
 
     #[test]

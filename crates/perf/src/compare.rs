@@ -74,7 +74,12 @@ mod tests {
 
     #[test]
     fn advantage_definition() {
-        let c = Comparison { c90_wall_s: 100.0, delta_wall_s: 200.0, c90_mflops: 1.0, delta_mflops: 1.0 };
+        let c = Comparison {
+            c90_wall_s: 100.0,
+            delta_wall_s: 200.0,
+            c90_mflops: 1.0,
+            delta_mflops: 1.0,
+        };
         assert_eq!(c.c90_advantage(), 2.0);
         assert_eq!(c.delta_in_c90_cpus(), 8.0);
     }

@@ -60,12 +60,20 @@ impl CrayC90Model {
         let launch_wall = launches as f64 * self.launch_overhead_s * (cpus > 1) as u8 as f64;
         let cpu_s = serial + parallel + launch_wall * cpus as f64;
         let wall = serial + parallel / cpus as f64 + launch_wall;
-        C90Row { cpus, wall_clock_s: wall, cpu_s, mflops: flops / wall / 1e6 }
+        C90Row {
+            cpus,
+            wall_clock_s: wall,
+            cpu_s,
+            mflops: flops / wall / 1e6,
+        }
     }
 
     /// The standard CPU sweep of Table 1.
     pub fn sweep(&self, flops: f64, launches: u64) -> Vec<C90Row> {
-        [1, 2, 4, 8, 16].iter().map(|&p| self.evaluate(flops, launches, p)).collect()
+        [1, 2, 4, 8, 16]
+            .iter()
+            .map(|&p| self.evaluate(flops, launches, p))
+            .collect()
     }
 
     /// Parallel fraction implied by the model (Amdahl), for the ">99%
@@ -102,7 +110,11 @@ mod tests {
         let speedup = r1.wall_clock_s / r16.wall_clock_s;
         assert!((11.0..14.0).contains(&speedup), "speedup {speedup}");
         // Aggregate rate ~3 GFlops (paper: 3252 for the single grid).
-        assert!((2800.0..3600.0).contains(&r16.mflops), "mflops {}", r16.mflops);
+        assert!(
+            (2800.0..3600.0).contains(&r16.mflops),
+            "mflops {}",
+            r16.mflops
+        );
     }
 
     #[test]

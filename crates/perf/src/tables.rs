@@ -9,7 +9,10 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new(header: &[&str]) -> TextTable {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) -> &mut Self {

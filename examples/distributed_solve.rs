@@ -19,7 +19,13 @@ fn main() {
     let cycles = 20;
 
     // Sequential preprocessing: meshes + RSB partitions of every level.
-    let spec = BumpSpec { nx: 24, ny: 9, nz: 7, jitter: 0.12, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 24,
+        ny: 9,
+        nz: 7,
+        jitter: 0.12,
+        ..BumpSpec::default()
+    };
     let seq = MeshSequence::bump_sequence(&spec, 3);
     println!(
         "levels: {:?} vertices over {nranks} ranks",
@@ -27,7 +33,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let setup = DistSetup::new(seq, nranks, 40, 7);
-    println!("RSB partitioning: {:.2}s (the §2.4 bottleneck)", t0.elapsed().as_secs_f64());
+    println!(
+        "RSB partitioning: {:.2}s (the §2.4 bottleneck)",
+        t0.elapsed().as_secs_f64()
+    );
     for (l, pm) in setup.pms.iter().enumerate() {
         let q = PartitionQuality::compute(&pm.owner, nranks, &setup.seq.meshes[l].edges);
         println!(
@@ -39,9 +48,18 @@ fn main() {
     }
 
     // SPMD solve on the simulated machine.
-    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.675,
+        ..SolverConfig::default()
+    };
     let t1 = std::time::Instant::now();
-    let result = run_distributed(&setup, cfg, Strategy::VCycle, cycles, DistOptions::default());
+    let result = run_distributed(
+        &setup,
+        cfg,
+        Strategy::VCycle,
+        cycles,
+        DistOptions::default(),
+    );
     println!(
         "\n{cycles} V-cycles on {nranks} simulated ranks in {:.2}s host time",
         t1.elapsed().as_secs_f64()
@@ -56,8 +74,15 @@ fn main() {
     let model = CostModel::delta_i860();
     let b = model.evaluate(&result.cycle_counters());
     println!("\nmodeled Delta cost (per {} cycles):", cycles);
-    println!("  communication {:.2}s  computation {:.2}s  total {:.2}s", b.comm_seconds, b.comp_seconds, b.total_seconds);
-    println!("  machine rate {:.1} MFlops, comm/comp {:.2}", b.mflops, b.comm_to_comp());
+    println!(
+        "  communication {:.2}s  computation {:.2}s  total {:.2}s",
+        b.comm_seconds, b.comp_seconds, b.total_seconds
+    );
+    println!(
+        "  machine rate {:.1} MFlops, comm/comp {:.2}",
+        b.mflops,
+        b.comm_to_comp()
+    );
     println!(
         "  inter-grid transfer share of communication: {:.1}%",
         100.0 * b.class(CommClass::Transfer) / b.comm_seconds

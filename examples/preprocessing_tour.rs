@@ -16,7 +16,13 @@ use eul3d::partition::{color_edges, rsb_partition, validate_coloring, PartitionQ
 
 fn main() {
     // 1. Mesh generation (stand-in for the advancing-front generator).
-    let spec = BumpSpec { nx: 20, ny: 8, nz: 6, jitter: 0.15, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 20,
+        ny: 8,
+        nz: 6,
+        jitter: 0.15,
+        ..BumpSpec::default()
+    };
     let mesh = bump_channel(&spec);
     let stats = MeshStats::compute(&mesh);
     println!("1. mesh: {}", stats.summary());

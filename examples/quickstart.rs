@@ -12,7 +12,13 @@ use eul3d::solver::{SingleGridSolver, SolverConfig};
 fn main() {
     // 1. Generate an unstructured tetrahedral mesh (a jittered split-hex
     //    channel with a 10%-chord bump on the floor).
-    let spec = BumpSpec { nx: 20, ny: 8, nz: 6, jitter: 0.12, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 20,
+        ny: 8,
+        nz: 6,
+        jitter: 0.12,
+        ..BumpSpec::default()
+    };
     let mesh = bump_channel(&spec);
     println!(
         "mesh: {} vertices, {} edges, {} tets, {} boundary faces",
@@ -23,7 +29,10 @@ fn main() {
     );
 
     // 2. Configure the flow: Mach 0.5, zero incidence.
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
 
     // 3. Time-march to steady state with the five-stage scheme.
     let mut solver = SingleGridSolver::new(mesh, cfg);
@@ -39,6 +48,9 @@ fn main() {
     // 4. Post-process: peak Mach number over the bump.
     let mach = mach_field(cfg.gamma, solver.state(), solver.st.n);
     let peak = mach.iter().cloned().fold(0.0f64, f64::max);
-    println!("peak local Mach number: {peak:.3} (freestream {})", cfg.mach);
-    println!("flops counted: {:.3e}", solver.counter.flops);
+    println!(
+        "peak local Mach number: {peak:.3} (freestream {})",
+        cfg.mach
+    );
+    println!("flops counted: {:.3e}", solver.counter.flops());
 }

@@ -13,9 +13,18 @@ use eul3d::solver::shared::SharedSingleGridSolver;
 use eul3d::solver::{SingleGridSolver, SolverConfig};
 
 fn main() {
-    let spec = BumpSpec { nx: 24, ny: 9, nz: 7, jitter: 0.12, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 24,
+        ny: 9,
+        nz: 7,
+        jitter: 0.12,
+        ..BumpSpec::default()
+    };
     let mesh = bump_channel(&spec);
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
 
     // The §3.1 decomposition: colour groups with no data recurrences.
     let coloring = color_edges(&mesh);
@@ -36,10 +45,14 @@ fn main() {
     let hs = serial.solve(20);
 
     // Coloured/rayon executor.
-    let mut shared = SharedSingleGridSolver::new(mesh, cfg, ncpus);
+    let mut shared =
+        SharedSingleGridSolver::new(mesh, cfg, ncpus).expect("edge colouring must validate");
     let t0 = std::time::Instant::now();
     let hp = shared.solve(20);
-    println!("20 shared-memory cycles on {ncpus} threads: {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "20 shared-memory cycles on {ncpus} threads: {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // "The solution and convergence rates obtained were, of course,
     // identical" — up to accumulation-order round-off.

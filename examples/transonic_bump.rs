@@ -16,7 +16,13 @@ fn main() {
     // Preprocessing (§2.4): generate the fine mesh and three
     // independently generated coarser meshes, and build the
     // 4-address/4-weight inter-grid operators by graph-traversal search.
-    let spec = BumpSpec { nx: 32, ny: 12, nz: 9, jitter: 0.12, ..BumpSpec::default() };
+    let spec = BumpSpec {
+        nx: 32,
+        ny: 12,
+        nz: 9,
+        jitter: 0.12,
+        ..BumpSpec::default()
+    };
     let t0 = std::time::Instant::now();
     let seq = MeshSequence::bump_sequence(&spec, 4);
     println!(
@@ -31,7 +37,10 @@ fn main() {
 
     // Transonic conditions (the paper runs M∞ = 0.768 over an aircraft;
     // the channel bump develops its supersonic pocket around 0.675).
-    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.675,
+        ..SolverConfig::default()
+    };
     let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
 
     let t1 = std::time::Instant::now();
@@ -47,10 +56,16 @@ fn main() {
     let mesh = &mg.seq.meshes[0];
     let mach = mach_field(cfg.gamma, mg.state(), mesh.nverts());
     let peak = mach.iter().cloned().fold(0.0f64, f64::max);
-    println!("peak Mach {peak:.3}; supersonic pocket: {}", crosses(&mach, 1.0));
+    println!(
+        "peak Mach {peak:.3}; supersonic pocket: {}",
+        crosses(&mach, 1.0)
+    );
 
     // Integrated pressure force on the walls (x-component = wave drag
     // contribution of the bump).
     let force = wall_pressure_force(mesh, cfg.gamma, mg.state());
-    println!("wall pressure force: ({:+.4}, {:+.4}, {:+.4})", force.x, force.y, force.z);
+    println!(
+        "wall pressure force: ({:+.4}, {:+.4}, {:+.4})",
+        force.x, force.y, force.z
+    );
 }

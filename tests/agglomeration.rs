@@ -1,22 +1,35 @@
 //! Cross-crate checks of agglomeration multigrid: same steady state as
 //! the mesh-sequence solver, physical through the transient.
 
+use eul3d::mesh::gen::{bump_channel, BumpSpec};
+use eul3d::mesh::MeshSequence;
 use eul3d::solver::agglo::AggloMultigrid;
 use eul3d::solver::gas::NVAR;
 use eul3d::solver::postproc::wall_pressure_force;
 use eul3d::solver::{MultigridSolver, SolverConfig, Strategy};
-use eul3d::mesh::gen::{bump_channel, BumpSpec};
-use eul3d::mesh::MeshSequence;
 
 fn spec() -> BumpSpec {
-    BumpSpec { nx: 14, ny: 6, nz: 4, jitter: 0.1, ..BumpSpec::default() }
+    BumpSpec {
+        nx: 14,
+        ny: 6,
+        nz: 4,
+        jitter: 0.1,
+        ..BumpSpec::default()
+    }
 }
 
 #[test]
 fn agglomeration_mg_reaches_the_same_steady_state() {
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
 
-    let mut mesh_mg = MultigridSolver::new(MeshSequence::bump_sequence(&spec(), 3), cfg, Strategy::WCycle);
+    let mut mesh_mg = MultigridSolver::new(
+        MeshSequence::bump_sequence(&spec(), 3),
+        cfg,
+        Strategy::WCycle,
+    );
     mesh_mg.solve(150);
 
     let mut agglo_mg = AggloMultigrid::new(bump_channel(&spec()), cfg, Strategy::WCycle, 3);
@@ -34,12 +47,18 @@ fn agglomeration_mg_reaches_the_same_steady_state() {
 
     let fa = wall_pressure_force(&mesh_mg.seq.meshes[0], cfg.gamma, mesh_mg.state());
     let fb = wall_pressure_force(&agglo_mg.mesh, cfg.gamma, agglo_mg.state());
-    assert!((fa - fb).norm() < 5e-3, "wall forces disagree: {fa:?} vs {fb:?}");
+    assert!(
+        (fa - fb).norm() < 5e-3,
+        "wall forces disagree: {fa:?} vs {fb:?}"
+    );
 }
 
 #[test]
 fn agglomeration_mg_transient_stays_physical() {
-    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.675,
+        ..SolverConfig::default()
+    };
     let mut mg = AggloMultigrid::new(bump_channel(&spec()), cfg, Strategy::WCycle, 3);
     for _ in 0..30 {
         let r = mg.cycle();

@@ -10,12 +10,21 @@ use eul3d::solver::postproc::{mach_field, wall_pressure_force};
 use eul3d::solver::{MultigridSolver, SingleGridSolver, SolverConfig, Strategy};
 
 fn spec() -> BumpSpec {
-    BumpSpec { nx: 14, ny: 6, nz: 4, jitter: 0.1, ..BumpSpec::default() }
+    BumpSpec {
+        nx: 14,
+        ny: 6,
+        nz: 4,
+        jitter: 0.1,
+        ..BumpSpec::default()
+    }
 }
 
 #[test]
 fn multigrid_and_single_grid_agree_at_convergence() {
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
 
     let mut sg = SingleGridSolver::new(bump_channel(&spec()), cfg);
     sg.solve(500);
@@ -44,7 +53,10 @@ fn multigrid_and_single_grid_agree_at_convergence() {
 
 #[test]
 fn transonic_case_develops_and_keeps_a_shock() {
-    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.675,
+        ..SolverConfig::default()
+    };
     let seq = MeshSequence::bump_sequence(&spec(), 3);
     let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
     let hist = mg.solve(120);
@@ -62,7 +74,10 @@ fn transonic_case_develops_and_keeps_a_shock() {
 
 #[test]
 fn deeper_sequences_converge_faster_per_cycle() {
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
     let run = |levels: usize| {
         let seq = MeshSequence::bump_sequence(&spec(), levels);
         let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
@@ -81,7 +96,10 @@ fn deeper_sequences_converge_faster_per_cycle() {
 fn solution_is_independent_of_strategy_order_of_magnitude() {
     // All three strategies, run long enough, give the same lift-ish
     // force within discretization noise.
-    let cfg = SolverConfig { mach: 0.5, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
     let mut forces = Vec::new();
     for (strategy, cycles) in [
         (Strategy::SingleGrid, 400),
@@ -91,7 +109,11 @@ fn solution_is_independent_of_strategy_order_of_magnitude() {
         let seq = MeshSequence::bump_sequence(&spec(), 3);
         let mut mg = MultigridSolver::new(seq, cfg, strategy);
         mg.solve(cycles);
-        forces.push(wall_pressure_force(&mg.seq.meshes[0], cfg.gamma, mg.state()));
+        forces.push(wall_pressure_force(
+            &mg.seq.meshes[0],
+            cfg.gamma,
+            mg.state(),
+        ));
     }
     for f in &forces[1..] {
         assert!(
@@ -103,14 +125,20 @@ fn solution_is_independent_of_strategy_order_of_magnitude() {
 
 #[test]
 fn state_stays_physical_through_the_transient() {
-    let cfg = SolverConfig { mach: 0.675, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        mach: 0.675,
+        ..SolverConfig::default()
+    };
     let seq = MeshSequence::bump_sequence(&spec(), 3);
     let mut mg = MultigridSolver::new(seq, cfg, Strategy::WCycle);
     for _ in 0..30 {
         mg.cycle();
         for i in 0..mg.levels[0].n {
             let rho = mg.state()[i * NVAR];
-            assert!(rho > 0.05 && rho < 5.0, "density {rho} out of range mid-transient");
+            assert!(
+                rho > 0.05 && rho < 5.0,
+                "density {rho} out of range mid-transient"
+            );
         }
     }
 }

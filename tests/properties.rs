@@ -9,10 +9,10 @@ use eul3d::mesh::search::Locator;
 use eul3d::mesh::stats::MeshStats;
 use eul3d::mesh::InterpOps;
 use eul3d::partition::{color_edges, rsb_partition, validate_coloring, PartitionQuality};
-use eul3d::solver::counters::FlopCounter;
 use eul3d::solver::gas::NVAR;
 use eul3d::solver::level::{time_step, LevelState};
 use eul3d::solver::SolverConfig;
+use eul3d::solver::{PhaseCounters, SerialExecutor};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
@@ -51,8 +51,8 @@ proptest! {
         let cfg = SolverConfig { mach, alpha_deg: alpha, ..SolverConfig::default() };
         let mut st = LevelState::new(&mesh, &cfg);
         let before = st.w.clone();
-        let mut counter = FlopCounter::default();
-        time_step(&mesh, &mut st, &cfg, false, &mut counter);
+        let mut counter = PhaseCounters::default();
+        time_step(&mesh, &mut st, &cfg, false, &mut SerialExecutor, &mut counter);
         for (a, b) in st.w.iter().zip(&before) {
             prop_assert!((a - b).abs() < 1e-10, "freestream drift {a} vs {b}");
         }
@@ -153,9 +153,9 @@ proptest! {
             st.w[i * NVAR] *= 1.0 + amp * r;
             st.w[i * NVAR + 4] *= 1.0 + amp * r;
         }
-        let mut counter = FlopCounter::default();
+        let mut counter = PhaseCounters::default();
         for _ in 0..5 {
-            time_step(&mesh, &mut st, &cfg, false, &mut counter);
+            time_step(&mesh, &mut st, &cfg, false, &mut SerialExecutor, &mut counter);
         }
         for i in 0..st.n {
             prop_assert!(st.w[i * NVAR].is_finite());

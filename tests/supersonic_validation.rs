@@ -21,8 +21,17 @@ fn nearest(mesh: &eul3d::mesh::TetMesh, pt: Vec3) -> usize {
 
 #[test]
 fn oblique_shock_pressure_ratio_matches_theory() {
-    let cfg = SolverConfig { mach: 2.0, cfl: 2.0, ..SolverConfig::default() };
-    let spec = WedgeSpec { nx: 24, ny: 10, nz: 3, ..WedgeSpec::default() };
+    let cfg = SolverConfig {
+        mach: 2.0,
+        cfl: 2.0,
+        ..SolverConfig::default()
+    };
+    let spec = WedgeSpec {
+        nx: 24,
+        ny: 10,
+        nz: 3,
+        ..WedgeSpec::default()
+    };
     let mesh = wedge_channel(&spec);
     let mut s = SingleGridSolver::new(mesh, cfg);
     let hist = s.solve(250);
@@ -58,10 +67,23 @@ fn supersonic_outflow_is_one_sided() {
     // At M=2 the far-field outlet must not reflect: the characteristic
     // BC copies the interior state for supersonic outflow, so a
     // converged uniform-duct flow at M=2 stays exactly uniform.
-    let cfg = SolverConfig { mach: 2.0, cfl: 2.0, ..SolverConfig::default() };
-    let spec = WedgeSpec { nx: 16, ny: 8, nz: 3, angle_deg: 0.0, ..WedgeSpec::default() };
+    let cfg = SolverConfig {
+        mach: 2.0,
+        cfl: 2.0,
+        ..SolverConfig::default()
+    };
+    let spec = WedgeSpec {
+        nx: 16,
+        ny: 8,
+        nz: 3,
+        angle_deg: 0.0,
+        ..WedgeSpec::default()
+    };
     let mesh = wedge_channel(&spec); // 0° ramp = straight duct
     let mut s = SingleGridSolver::new(mesh, cfg);
     let r = s.cycle();
-    assert!(r < 1e-12, "uniform supersonic duct flow must be preserved: {r:.3e}");
+    assert!(
+        r < 1e-12,
+        "uniform supersonic duct flow must be preserved: {r:.3e}"
+    );
 }

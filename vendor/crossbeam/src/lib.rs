@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! This workspace vendors source-compatible subsets of its external
+//! dependencies so the build is hermetic (no registry access). Only the
+//! API surface EUL3D actually uses is provided: `channel::unbounded` with
+//! cloneable senders, built on `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver hung up.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender hung up.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half of an unbounded FIFO channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`; never blocks.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of an unbounded FIFO channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_preserved() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || tx.send(1u32).unwrap());
+                s.spawn(move || tx2.send(2u32).unwrap());
+            });
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn recv_after_hangup_errors() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for `rayon` (the subset EUL3D's shared-memory
+//! executor uses).
+//!
+//! This workspace vendors source-compatible subsets of its external
+//! dependencies so the build is hermetic (no registry access). Work is
+//! executed with real OS threads (`std::thread::scope`) pulling chunks
+//! from a shared queue, so data races in caller code remain observable
+//! under tools like Miri/TSan — important because the edge-colouring
+//! machinery this backs is exactly a race-avoidance scheme. There is no
+//! work stealing and threads are spawned per parallel region rather than
+//! pooled; for the solver's coarse-grained colour groups that overhead
+//! is acceptable.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Threads the innermost `ThreadPool::install` scope asked for.
+    static CURRENT_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(1) };
+}
+
+/// Degree of parallelism of the innermost active [`ThreadPool::install`]
+/// scope (1 outside any pool).
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get())
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in cannot fail to
+/// build, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// 0 means "pick a default" (available parallelism).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { nthreads: n })
+    }
+}
+
+/// A handle carrying a requested degree of parallelism. Threads are
+/// spawned per parallel region (see module docs), so this holds no OS
+/// resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    nthreads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's parallelism active for any parallel
+    /// iterators it invokes. Returns when `op` (and every parallel
+    /// region inside it) completes — a full barrier, like rayon.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.nthreads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.nthreads
+    }
+}
+
+/// Run `f` over `items` on up to [`current_num_threads`] scoped threads
+/// pulling from a shared queue. Blocks until all items are processed.
+fn drive<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let nthreads = current_num_threads().min(items.len()).max(1);
+    if nthreads == 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue: Mutex<VecDeque<I>> = Mutex::new(items.into());
+    std::thread::scope(|s| {
+        for _ in 0..nthreads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().pop_front();
+                match next {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+pub mod iter {
+    /// An eager "parallel iterator": the work list is materialised up
+    /// front and drained by scoped threads on `for_each`.
+    pub struct ParIter<I> {
+        pub(crate) items: Vec<I>,
+    }
+
+    impl<I: Send> ParIter<I> {
+        pub fn enumerate(self) -> ParEnumerate<I> {
+            ParEnumerate { items: self.items }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(I) + Sync,
+        {
+            crate::drive(self.items, f);
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// Indexed variant produced by [`ParIter::enumerate`].
+    pub struct ParEnumerate<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParEnumerate<I> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, I)) + Sync,
+        {
+            crate::drive(self.items.into_iter().enumerate().collect(), f);
+        }
+    }
+}
+
+pub mod slice {
+    use crate::iter::ParIter;
+
+    /// `par_chunks` over shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParIter {
+                items: self.chunks(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// `par_chunks_mut` over exclusive slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParIter {
+                items: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_visits_every_element() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        pool.install(|| {
+            data.par_chunks(7).for_each(|chunk| {
+                sum.fetch_add(chunk.iter().sum::<u64>() as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint_blocks() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = vec![0usize; 20];
+        pool.install(|| {
+            data.par_chunks_mut(6).enumerate().for_each(|(blk, chunk)| {
+                for x in chunk {
+                    *x = blk + 1;
+                }
+            });
+        });
+        let expect: Vec<usize> = (0..20).map(|i| i / 6 + 1).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn install_scopes_parallelism() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 5));
+        assert_eq!(current_num_threads(), 1);
+    }
+
+    #[test]
+    fn install_actually_uses_multiple_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            let data = [0u8; 64];
+            data.par_chunks(1).for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Hold the slot briefly so several workers participate.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work on more than one thread"
+        );
+    }
+}
