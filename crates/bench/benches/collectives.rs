@@ -1,0 +1,71 @@
+//! Collective costs on the simulated Delta: the root-based reductions,
+//! broadcast, and gather used for residual monitoring and partitioning,
+//! all in their pooled in-place forms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eul3d_delta::run_spmd;
+
+const NRANKS: usize = 8;
+const LEN: usize = 256;
+const ROUNDS: usize = 100;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+
+    group.bench_function("all_reduce_sum_100_rounds", |b| {
+        b.iter(|| {
+            run_spmd(NRANKS, |r| {
+                let mut vals = vec![1.0 + r.id as f64; LEN];
+                for _ in 0..ROUNDS {
+                    r.all_reduce_sum_in_place(&mut vals);
+                    // Keep magnitudes bounded across rounds.
+                    vals.iter_mut().for_each(|x| *x /= NRANKS as f64);
+                }
+                black_box(vals[0])
+            })
+        });
+    });
+
+    group.bench_function("all_reduce_max_100_rounds", |b| {
+        b.iter(|| {
+            run_spmd(NRANKS, |r| {
+                let mut vals = vec![1.0 + r.id as f64; LEN];
+                for _ in 0..ROUNDS {
+                    r.all_reduce_max_in_place(&mut vals);
+                }
+                black_box(vals[0])
+            })
+        });
+    });
+
+    group.bench_function("broadcast_100_rounds", |b| {
+        b.iter(|| {
+            run_spmd(NRANKS, |r| {
+                let mut vals = vec![r.id as f64; LEN];
+                for i in 0..ROUNDS {
+                    r.broadcast_in_place(i % NRANKS, &mut vals);
+                }
+                black_box(vals[0])
+            })
+        });
+    });
+
+    group.bench_function("gather_to_root_100_rounds", |b| {
+        b.iter(|| {
+            run_spmd(NRANKS, |r| {
+                let vals = vec![r.id as f64; LEN];
+                let mut out = Vec::new();
+                for i in 0..ROUNDS {
+                    r.gather_to_root_into(i % NRANKS, &vals, &mut out);
+                }
+                black_box(out.first().copied())
+            })
+        });
+    });
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

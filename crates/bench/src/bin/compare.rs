@@ -77,14 +77,15 @@ fn main() {
     println!("{}", table.render());
 
     println!("\nW-cycle per-phase breakdown (distributed, summed over ranks):");
-    let mut pt = TextTable::new(&["phase", "flops", "launches", "messages", "bytes"]);
-    for (label, flops, launches, msgs, bytes) in w_phases.unwrap().rows() {
+    let mut pt = TextTable::new(&["phase", "flops", "launches", "messages", "bytes", "allocs"]);
+    for r in w_phases.unwrap().rows() {
         pt.row(&[
-            label.to_string(),
-            format!("{flops:.3e}"),
-            launches.to_string(),
-            msgs.to_string(),
-            bytes.to_string(),
+            r.label.to_string(),
+            format!("{:.3e}", r.flops),
+            r.launches.to_string(),
+            r.msgs.to_string(),
+            r.bytes.to_string(),
+            r.allocs.to_string(),
         ]);
     }
     println!("{}", pt.render());

@@ -106,11 +106,11 @@ fn main() {
 
         // Per-phase computation breakdown from the executor layer.
         let mut phases = TextTable::new(&["phase", "flops", "launches"]);
-        for (label, flops, launches, _msgs, _bytes) in mg.counter.rows() {
+        for r in mg.counter.rows() {
             phases.row(&[
-                label.to_string(),
-                format!("{flops:.3e}"),
-                launches.to_string(),
+                r.label.to_string(),
+                format!("{:.3e}", r.flops),
+                r.launches.to_string(),
             ]);
         }
         println!("{}", phases.render());

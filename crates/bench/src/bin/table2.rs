@@ -143,14 +143,16 @@ fn main() {
                 for p in result.phase_counters() {
                     total.merge(&p);
                 }
-                let mut pt = TextTable::new(&["phase", "flops", "launches", "messages", "bytes"]);
-                for (plabel, flops, launches, msgs, bytes) in total.rows() {
+                let mut pt =
+                    TextTable::new(&["phase", "flops", "launches", "messages", "bytes", "allocs"]);
+                for r in total.rows() {
                     pt.row(&[
-                        plabel.to_string(),
-                        format!("{flops:.3e}"),
-                        launches.to_string(),
-                        msgs.to_string(),
-                        bytes.to_string(),
+                        r.label.to_string(),
+                        format!("{:.3e}", r.flops),
+                        r.launches.to_string(),
+                        r.msgs.to_string(),
+                        r.bytes.to_string(),
+                        r.allocs.to_string(),
                     ]);
                 }
                 println!("  per-phase breakdown at {nranks} nodes (summed over ranks):");

@@ -132,6 +132,9 @@ pub fn solve(a: &Args) -> Result<(), String> {
     let spec = bump_spec(a)?;
     let levels: usize = a.get("levels", 4)?;
     let cycles: usize = a.get("cycles", 100)?;
+    if cycles == 0 {
+        return Err("--cycles must be at least 1".into());
+    }
     let strategy = strategy_of(a)?;
     let cfg = config_of(a)?;
     let fmg = a.has("fmg");
@@ -173,12 +176,17 @@ pub fn solve(a: &Args) -> Result<(), String> {
         println!("agglomerated levels: {:?} cells", mg.level_sizes());
         let hist = mg.solve(cycles);
         let h = ConvergenceHistory::from_residuals(hist);
+        let last = h
+            .residuals
+            .last()
+            .copied()
+            .ok_or("empty residual history")?;
         println!(
             "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders)",
             cycles,
             t0.elapsed().as_secs_f64(),
             h.residuals[0],
-            h.residuals.last().unwrap(),
+            last,
             h.orders_reduced()
         );
         if let Some(path) = checkpoint {
@@ -205,13 +213,18 @@ pub fn solve(a: &Args) -> Result<(), String> {
     );
 
     let (hist, w, nverts, flops, mesh0) = if threads > 0 {
-        let mesh = seq.meshes.into_iter().next().unwrap();
+        let mesh = seq
+            .meshes
+            .into_iter()
+            .next()
+            .ok_or("mesh sequence is empty")?;
         let mut s = SharedSingleGridSolver::new(mesh, cfg, threads)
             .map_err(|e| format!("shared executor: {e}"))?;
         if let Some(path) = &restart {
             let ck = Checkpoint::load(PathBuf::from(path).as_path())
                 .map_err(|e| format!("restart: {e}"))?;
-            ck.restore_into(&mut s.st.w);
+            ck.restore_into(&mut s.st.w)
+                .map_err(|e| format!("restart: {e}"))?;
             println!("restarted from {path} ({} cycles done)", ck.cycles_done);
         }
         let hist = s.solve(cycles);
@@ -222,7 +235,8 @@ pub fn solve(a: &Args) -> Result<(), String> {
         if let Some(path) = &restart {
             let ck = Checkpoint::load(PathBuf::from(path).as_path())
                 .map_err(|e| format!("restart: {e}"))?;
-            ck.restore_into(&mut mg.levels[0].w);
+            ck.restore_into(&mut mg.levels[0].w)
+                .map_err(|e| format!("restart: {e}"))?;
             println!("restarted from {path} ({} cycles done)", ck.cycles_done);
         } else if fmg {
             mg.fmg_init(cycles.min(20));
@@ -230,17 +244,27 @@ pub fn solve(a: &Args) -> Result<(), String> {
         let hist = mg.solve(cycles);
         let n = mg.levels[0].n;
         let w = mg.levels[0].w.clone();
-        let mesh0 = mg.seq.meshes.into_iter().next().unwrap();
+        let mesh0 = mg
+            .seq
+            .meshes
+            .into_iter()
+            .next()
+            .ok_or("mesh sequence is empty")?;
         (hist, w, n, mg.counter.flops(), mesh0)
     };
 
     let h = ConvergenceHistory::from_residuals(hist);
+    let last = h
+        .residuals
+        .last()
+        .copied()
+        .ok_or("empty residual history")?;
     println!(
         "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders, rate {:.4}/cycle, {:.2e} flops)",
         cycles,
         t0.elapsed().as_secs_f64(),
         h.residuals[0],
-        h.residuals.last().unwrap(),
+        last,
         h.orders_reduced(),
         h.asymptotic_rate(10),
         flops
@@ -278,6 +302,9 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let spec = bump_spec(a)?;
     let levels: usize = a.get("levels", 3)?;
     let cycles: usize = a.get("cycles", 25)?;
+    if cycles == 0 {
+        return Err("--cycles must be at least 1".into());
+    }
     let nranks: usize = a.get("ranks", 32)?;
     let strategy = strategy_of(a)?;
     let cfg = config_of(a)?;
@@ -304,12 +331,17 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let t1 = std::time::Instant::now();
     let r = run_distributed(&setup, cfg, strategy, cycles, opts);
     let h = ConvergenceHistory::from_residuals(r.history().to_vec());
+    let last = h
+        .residuals
+        .last()
+        .copied()
+        .ok_or("empty residual history")?;
     println!(
         "{} cycles in {:.2}s host: residual {:.3e} -> {:.3e} ({:.2} orders)",
         cycles,
         t1.elapsed().as_secs_f64(),
         h.residuals[0],
-        h.residuals.last().unwrap(),
+        last,
         h.orders_reduced()
     );
 

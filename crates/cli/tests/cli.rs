@@ -98,6 +98,33 @@ fn distributed_command_runs() {
 }
 
 #[test]
+fn missing_restart_file_is_a_clean_error() {
+    let bogus = std::env::temp_dir().join("eul3d_no_such_checkpoint.ck");
+    std::fs::remove_file(&bogus).ok();
+    let (ok, _, stderr) = eul3d(&[
+        "solve",
+        "--nx",
+        "8",
+        "--levels",
+        "1",
+        "--cycles",
+        "1",
+        "--restart",
+        bogus.to_str().unwrap(),
+    ]);
+    assert!(!ok, "missing restart file must fail");
+    assert!(stderr.contains("error: restart:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn zero_cycles_is_rejected() {
+    let (ok, _, stderr) = eul3d(&["solve", "--nx", "8", "--levels", "1", "--cycles", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cycles must be at least 1"), "{stderr}");
+}
+
+#[test]
 fn unknown_flag_is_rejected() {
     let (ok, _, stderr) = eul3d(&["solve", "--nonsense", "1", "--cycles", "1"]);
     assert!(!ok);

@@ -4,12 +4,43 @@
 //! incidence conditions") can resume, and converged states can seed
 //! nearby conditions.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::gas::NVAR;
 
 const MAGIC: &[u8; 8] = b"EUL3DCK1";
+
+/// A checkpoint could not be applied to the target solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The stored state vector and the target slice have different
+    /// lengths — the checkpoint belongs to a different mesh.
+    SizeMismatch {
+        /// `f64` entries stored in the checkpoint.
+        checkpoint: usize,
+        /// `f64` entries in the restore target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::SizeMismatch { checkpoint, target } => write!(
+                f,
+                "checkpoint holds {} state entries ({} vertices) but the target mesh needs {} ({} vertices)",
+                checkpoint,
+                checkpoint / NVAR,
+                target,
+                target / NVAR
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// A saved flow state.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,10 +126,18 @@ impl Checkpoint {
         Checkpoint::read_from(&mut f)
     }
 
-    /// Install the state into a solver-level array (lengths must match).
-    pub fn restore_into(&self, w: &mut [f64]) {
-        assert_eq!(w.len(), self.w.len(), "checkpoint size mismatch");
+    /// Install the state into a solver-level array. Fails with a typed
+    /// error if the checkpoint belongs to a different-sized mesh instead
+    /// of truncating or panicking.
+    pub fn restore_into(&self, w: &mut [f64]) -> Result<(), CheckpointError> {
+        if w.len() != self.w.len() {
+            return Err(CheckpointError::SizeMismatch {
+                checkpoint: self.w.len(),
+                target: w.len(),
+            });
+        }
         w.copy_from_slice(&self.w);
+        Ok(())
     }
 }
 
@@ -151,12 +190,36 @@ mod tests {
 
         let restored = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
         let mut c = SingleGridSolver::new(mesh, cfg);
-        restored.restore_into(&mut c.st.w);
+        restored.restore_into(&mut c.st.w).unwrap();
         c.solve(5);
 
         for (x, y) in a.state().iter().zip(c.state()) {
             assert_eq!(x, y, "restart must be bit-exact");
         }
+    }
+
+    #[test]
+    fn restore_into_wrong_sized_mesh_is_a_typed_error() {
+        // Checkpoint from a 4-refinement box, target solver on a finer
+        // mesh: the round-tripped checkpoint must refuse to restore.
+        let cfg = SolverConfig::default();
+        let small = SingleGridSolver::new(unit_box(3, 0.15, 3), cfg);
+        let ck = Checkpoint::new(&small.st.w, 3, cfg.mach, cfg.alpha_deg);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+
+        let mut big = SingleGridSolver::new(unit_box(5, 0.15, 3), cfg);
+        let before = big.st.w.clone();
+        let err = back.restore_into(&mut big.st.w).unwrap_err();
+        match err {
+            CheckpointError::SizeMismatch { checkpoint, target } => {
+                assert_eq!(checkpoint, small.st.w.len());
+                assert_eq!(target, big.st.w.len());
+            }
+        }
+        assert_eq!(big.st.w, before, "failed restore must not touch state");
+        assert!(err.to_string().contains("vertices"));
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct PhaseCounters {
     pub comp: [FlopCounter; crate::executor::NPHASES],
     pub comm_msgs: [u64; crate::executor::NPHASES],
     pub comm_bytes: [u64; crate::executor::NPHASES],
+    /// Fresh communication-buffer allocations (pool misses) charged to
+    /// each phase. Non-zero only while pools warm up; a steady-state
+    /// cycle must report zero.
+    pub comm_allocs: [u64; crate::executor::NPHASES],
 }
 
 impl Default for PhaseCounters {
@@ -85,8 +89,20 @@ impl Default for PhaseCounters {
             comp: [FlopCounter::default(); crate::executor::NPHASES],
             comm_msgs: [0; crate::executor::NPHASES],
             comm_bytes: [0; crate::executor::NPHASES],
+            comm_allocs: [0; crate::executor::NPHASES],
         }
     }
+}
+
+/// One reporting row of [`PhaseCounters::rows`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRow {
+    pub label: &'static str,
+    pub flops: f64,
+    pub launches: u64,
+    pub msgs: u64,
+    pub bytes: u64,
+    pub allocs: u64,
 }
 
 impl PhaseCounters {
@@ -96,11 +112,13 @@ impl PhaseCounters {
         &mut self.comp[p.index()]
     }
 
-    /// Record `msgs` messages totalling `bytes` charged to `p`.
+    /// Record `msgs` messages totalling `bytes` (and `allocs` fresh
+    /// pack-buffer allocations) charged to `p`.
     #[inline]
-    pub fn add_comm(&mut self, p: crate::executor::Phase, msgs: u64, bytes: u64) {
+    pub fn add_comm(&mut self, p: crate::executor::Phase, msgs: u64, bytes: u64, allocs: u64) {
         self.comm_msgs[p.index()] += msgs;
         self.comm_bytes[p.index()] += bytes;
+        self.comm_allocs[p.index()] += allocs;
     }
 
     /// Total flops across all phases.
@@ -123,6 +141,11 @@ impl PhaseCounters {
         self.comm_bytes.iter().sum()
     }
 
+    /// Total fresh communication-buffer allocations across all phases.
+    pub fn allocs(&self) -> u64 {
+        self.comm_allocs.iter().sum()
+    }
+
     /// Collapse into a single [`FlopCounter`] (legacy consumers).
     pub fn total(&self) -> FlopCounter {
         FlopCounter {
@@ -141,28 +164,34 @@ impl PhaseCounters {
         for (a, b) in self.comm_bytes.iter_mut().zip(&o.comm_bytes) {
             *a += b;
         }
+        for (a, b) in self.comm_allocs.iter_mut().zip(&o.comm_allocs) {
+            *a += b;
+        }
     }
 
     pub fn reset(&mut self) {
         *self = PhaseCounters::default();
     }
 
-    /// `(label, flops, launches, msgs, bytes)` rows for every phase that
-    /// did any work, in reporting order.
-    pub fn rows(&self) -> Vec<(&'static str, f64, u64, u64, u64)> {
+    /// One [`PhaseRow`] for every phase that did any work, in reporting
+    /// order.
+    pub fn rows(&self) -> Vec<PhaseRow> {
         crate::executor::Phase::ALL
             .iter()
             .filter_map(|&p| {
                 let i = p.index();
                 let c = &self.comp[i];
-                let (m, b) = (self.comm_msgs[i], self.comm_bytes[i]);
-                (c.flops != 0.0 || c.launches != 0 || m != 0 || b != 0).then_some((
-                    p.label(),
-                    c.flops,
-                    c.launches,
-                    m,
-                    b,
-                ))
+                let (m, b, a) = (self.comm_msgs[i], self.comm_bytes[i], self.comm_allocs[i]);
+                (c.flops != 0.0 || c.launches != 0 || m != 0 || b != 0 || a != 0).then_some(
+                    PhaseRow {
+                        label: p.label(),
+                        flops: c.flops,
+                        launches: c.launches,
+                        msgs: m,
+                        bytes: b,
+                        allocs: a,
+                    },
+                )
             })
             .collect()
     }
@@ -178,7 +207,7 @@ mod tests {
         let mut c = PhaseCounters::default();
         c.phase(Phase::Convection).add(100, FLOPS_CONV_EDGE);
         c.phase(Phase::Pressure).add(10, FLOPS_PRESSURE_VERT);
-        c.add_comm(Phase::Exchange, 4, 320);
+        c.add_comm(Phase::Exchange, 4, 320, 2);
         assert_eq!(
             c.flops(),
             100.0 * FLOPS_CONV_EDGE + 10.0 * FLOPS_PRESSURE_VERT
@@ -186,16 +215,19 @@ mod tests {
         assert_eq!(c.launches(), 2);
         assert_eq!(c.messages(), 4);
         assert_eq!(c.bytes(), 320);
+        assert_eq!(c.allocs(), 2);
 
         let mut d = PhaseCounters::default();
         d.merge(&c);
         assert_eq!(d.flops(), c.flops());
         assert_eq!(d.total().launches, 2);
+        assert_eq!(d.allocs(), 2);
 
         let rows = d.rows();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0].0, "exchange");
-        assert_eq!(rows[0].4, 320);
+        assert_eq!(rows[0].label, "exchange");
+        assert_eq!(rows[0].bytes, 320);
+        assert_eq!(rows[0].allocs, 2);
 
         d.reset();
         assert_eq!(d.flops(), 0.0);

@@ -33,24 +33,26 @@ pub struct DistExecutor<'a> {
 }
 
 impl DistExecutor<'_> {
-    /// Run `f` against the rank and charge the message/byte delta it
-    /// produced to `phase`.
+    /// Run `f` against the rank and charge the message/byte/allocation
+    /// delta it produced to `phase`.
     fn charged<R>(
         &mut self,
         phase: Phase,
         counters: &mut PhaseCounters,
         f: impl FnOnce(&mut Rank) -> R,
     ) -> R {
-        let (m0, b0) = (
+        let (m0, b0, a0) = (
             self.rank.counters.total_messages(),
             self.rank.counters.total_bytes(),
+            self.rank.counters.comm_allocs,
         );
         let out = f(self.rank);
-        let (m1, b1) = (
+        let (m1, b1, a1) = (
             self.rank.counters.total_messages(),
             self.rank.counters.total_bytes(),
+            self.rank.counters.comm_allocs,
         );
-        counters.add_comm(phase, m1 - m0, b1 - b0);
+        counters.add_comm(phase, m1 - m0, b1 - b0, a1 - a0);
         out
     }
 }
@@ -101,8 +103,8 @@ impl Executor for DistExecutor<'_> {
         });
     }
 
-    fn reduce_sum(&mut self, phase: Phase, vals: &[f64], counters: &mut PhaseCounters) -> Vec<f64> {
-        self.charged(phase, counters, |rank| rank.all_reduce_sum(vals))
+    fn reduce_sum(&mut self, phase: Phase, vals: &mut [f64], counters: &mut PhaseCounters) {
+        self.charged(phase, counters, |rank| rank.all_reduce_sum_in_place(vals));
     }
 }
 

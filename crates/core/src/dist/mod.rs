@@ -16,7 +16,7 @@ mod transfer;
 
 pub use level::{DistExecOptions, DistExecutor, DistLevel};
 pub use setup::DistSetup;
-pub use solver::{run_distributed, DistOptions, DistRunResult, RankOutput};
+pub use solver::{run_distributed, DistOptions, DistRunResult, DistSolver, RankOutput};
 pub use transfer::TransferLink;
 
 #[cfg(test)]

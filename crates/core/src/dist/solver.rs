@@ -2,6 +2,7 @@
 //! multigrid recursion, and the top-level [`run_distributed`] entry.
 
 use eul3d_delta::{run_spmd, MachineRun, Rank, RankCounters};
+use eul3d_parti::TagAllocator;
 
 use crate::config::SolverConfig;
 use crate::counters::PhaseCounters;
@@ -128,8 +129,16 @@ impl DistSolver {
             Strategy::SingleGrid => 1,
             _ => setup.levels(),
         };
+        // Disjoint tag ranges for every schedule: 2 tags per level halo,
+        // 4 per transfer link (two schedules each). Identical allocation
+        // sequence on every rank, so tags agree machine-wide.
+        let mut tags = TagAllocator::new(100);
+        let level_tags: Vec<u32> = (0..nlevels).map(|_| tags.range(2)).collect();
         let levels: Vec<DistLevel> = (0..nlevels)
-            .map(|l| DistLevel::build(rank, &setup.pms[l], &cfg, 100 + 10 * l as u32))
+            .map(|l| DistLevel::build(rank, &setup.pms[l], &cfg, level_tags[l]))
+            .collect();
+        let link_tags: Vec<u32> = (0..nlevels.saturating_sub(1))
+            .map(|_| tags.range(4))
             .collect();
         let links: Vec<TransferLink> = (0..nlevels.saturating_sub(1))
             .map(|l| {
@@ -139,7 +148,7 @@ impl DistSolver {
                     &setup.seq.to_fine[l],
                     &setup.pms[l],
                     &setup.pms[l + 1],
-                    1000 + 10 * l as u32,
+                    link_tags[l],
                 )
             })
             .collect();
@@ -194,7 +203,11 @@ impl DistSolver {
         let coarse = &mut coarse[0];
         let link = &self.links[l];
         let nc_owned = coarse.n_owned();
-        let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        let (m0, b0, a0) = (
+            rank.counters.total_messages(),
+            rank.counters.total_bytes(),
+            rank.counters.comm_allocs,
+        );
         let xfer = self.counter.phase(Phase::Transfer);
 
         // State down (owned coarse entries set directly).
@@ -212,8 +225,13 @@ impl DistSolver {
             link.restrict_residual(rank, fine_res, &mut tmp, NVAR, xfer);
             coarse.st.corr = tmp;
         }
-        let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
-        self.counter.add_comm(Phase::Transfer, m1 - m0, b1 - b0);
+        let (m1, b1, a1) = (
+            rank.counters.total_messages(),
+            rank.counters.total_bytes(),
+            rank.counters.comm_allocs,
+        );
+        self.counter
+            .add_comm(Phase::Transfer, m1 - m0, b1 - b0, a1 - a0);
 
         // Forcing P = R' − R(w').
         coarse.st.forcing.iter_mut().for_each(|x| *x = 0.0);
@@ -232,11 +250,20 @@ impl DistSolver {
         for i in 0..nc_owned * NVAR {
             coarse.st.corr[i] = coarse.st.w[i] - coarse.st.w_ref[i];
         }
-        let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
+        let (m0, b0, a0) = (
+            rank.counters.total_messages(),
+            rank.counters.total_bytes(),
+            rank.counters.comm_allocs,
+        );
         let xfer = self.counter.phase(Phase::Transfer);
         link.prolong(rank, &coarse.st.corr, &mut fine.st.corr, NVAR, xfer);
-        let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
-        self.counter.add_comm(Phase::Transfer, m1 - m0, b1 - b0);
+        let (m1, b1, a1) = (
+            rank.counters.total_messages(),
+            rank.counters.total_bytes(),
+            rank.counters.comm_allocs,
+        );
+        self.counter
+            .add_comm(Phase::Transfer, m1 - m0, b1 - b0, a1 - a0);
         let nf_owned = fine.n_owned();
         for i in 0..nf_owned * NVAR {
             fine.st.w[i] += fine.st.corr[i];
@@ -259,10 +286,21 @@ pub fn run_distributed(
         for _ in 0..cycles {
             let (sum, n) = solver.cycle(rank);
             if opts.monitor_residual {
-                let (m0, b0) = (rank.counters.total_messages(), rank.counters.total_bytes());
-                let parts = rank.all_reduce_sum(&[sum, n]);
-                let (m1, b1) = (rank.counters.total_messages(), rank.counters.total_bytes());
-                solver.counter.add_comm(Phase::Monitor, m1 - m0, b1 - b0);
+                let (m0, b0, a0) = (
+                    rank.counters.total_messages(),
+                    rank.counters.total_bytes(),
+                    rank.counters.comm_allocs,
+                );
+                let mut parts = [sum, n];
+                rank.all_reduce_sum_in_place(&mut parts);
+                let (m1, b1, a1) = (
+                    rank.counters.total_messages(),
+                    rank.counters.total_bytes(),
+                    rank.counters.comm_allocs,
+                );
+                solver
+                    .counter
+                    .add_comm(Phase::Monitor, m1 - m0, b1 - b0, a1 - a0);
                 history.push((parts[0] / parts[1]).sqrt());
             } else {
                 history.push(f64::NAN);

@@ -221,6 +221,56 @@ fn roe_scheme_distributed_matches_serial_and_cuts_messages() {
 }
 
 #[test]
+fn steady_state_cycles_are_allocation_free() {
+    // The tentpole property: after warm-up cycles populate every rank's
+    // buffer pool, the entire multigrid cycle — halo gathers/scatters,
+    // inter-grid transfers, monitoring collectives — must perform zero
+    // fresh communication-buffer allocations.
+    use crate::dist::DistSolver;
+    use eul3d_delta::run_spmd;
+
+    let seq = small_seq(2);
+    let cfg = SolverConfig {
+        mach: 0.5,
+        ..SolverConfig::default()
+    };
+    let setup = DistSetup::new(seq, 4, 20, 7);
+    let run = run_spmd(setup.nranks, |rank| {
+        let mut solver =
+            DistSolver::build(rank, &setup, cfg, Strategy::VCycle, DistOptions::default());
+        for _ in 0..2 {
+            let (sum, n) = solver.cycle(rank);
+            let mut parts = [sum, n];
+            rank.all_reduce_sum_in_place(&mut parts);
+        }
+        let warm = rank.counters.comm_allocs;
+        let warm_phase = solver.counter.allocs();
+        for _ in 0..5 {
+            let (sum, n) = solver.cycle(rank);
+            let mut parts = [sum, n];
+            rank.all_reduce_sum_in_place(&mut parts);
+        }
+        (
+            warm,
+            rank.counters.comm_allocs,
+            warm_phase,
+            solver.counter.allocs(),
+        )
+    });
+    for (id, &(warm, steady, warm_phase, steady_phase)) in run.results.iter().enumerate() {
+        assert!(warm > 0, "rank {id}: warm-up must populate the pool");
+        assert_eq!(
+            steady,
+            warm,
+            "rank {id}: steady-state cycles allocated {} fresh comm buffers",
+            steady - warm
+        );
+        // The executor layer's per-phase accounting sees the same thing.
+        assert_eq!(steady_phase, warm_phase, "rank {id}: phase accounting");
+    }
+}
+
+#[test]
 fn distributed_freestream_preservation() {
     // Uniform flow on an all-far-field box, distributed: residual must
     // be round-off and state unchanged.

@@ -146,7 +146,8 @@ impl TransferLink {
         nc: usize,
         counter: &mut FlopCounter,
     ) {
-        let mut buf = vec![0.0; self.fine_buf_len * nc];
+        let mut buf = rank.take_f64(self.fine_buf_len * nc);
+        buf.resize(self.fine_buf_len * nc, 0.0);
         for &(b, l) in &self.fine_local {
             let (b, l) = (b as usize * nc, l as usize * nc);
             buf[b..b + nc].copy_from_slice(&fine[l..l + nc]);
@@ -162,6 +163,7 @@ impl TransferLink {
                 coarse_out[base + c] = acc;
             }
         }
+        rank.recycle_f64(buf);
         counter.add(self.state_terms.len(), FLOPS_TRANSFER_VERT);
     }
 
@@ -176,7 +178,8 @@ impl TransferLink {
         nc: usize,
         counter: &mut FlopCounter,
     ) {
-        let mut buf = vec![0.0; self.coarse_buf_len * nc];
+        let mut buf = rank.take_f64(self.coarse_buf_len * nc);
+        buf.resize(self.coarse_buf_len * nc, 0.0);
         for &(fv, idxs, w) in &self.resid_terms {
             let base = fv as usize * nc;
             for k in 0..4 {
@@ -194,6 +197,7 @@ impl TransferLink {
         }
         self.coarse_sched
             .scatter_add_into(rank, &mut buf, coarse_out, nc);
+        rank.recycle_f64(buf);
         counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
     }
 
@@ -207,7 +211,8 @@ impl TransferLink {
         nc: usize,
         counter: &mut FlopCounter,
     ) {
-        let mut buf = vec![0.0; self.coarse_buf_len * nc];
+        let mut buf = rank.take_f64(self.coarse_buf_len * nc);
+        buf.resize(self.coarse_buf_len * nc, 0.0);
         for &(b, l) in &self.coarse_local {
             let (b, l) = (b as usize * nc, l as usize * nc);
             buf[b..b + nc].copy_from_slice(&coarse[l..l + nc]);
@@ -223,6 +228,7 @@ impl TransferLink {
                 fine_out[base + c] = acc;
             }
         }
+        rank.recycle_f64(buf);
         counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
     }
 }

@@ -227,8 +227,9 @@ pub trait Executor {
     );
 
     /// Sum `vals` element-wise across every participant of this
-    /// execution (identity for single-address-space backends).
-    fn reduce_sum(&mut self, phase: Phase, vals: &[f64], counters: &mut PhaseCounters) -> Vec<f64>;
+    /// execution, in place (a no-op for single-address-space backends, an
+    /// allocation-free pooled all-reduce on the distributed path).
+    fn reduce_sum(&mut self, phase: Phase, vals: &mut [f64], counters: &mut PhaseCounters);
 }
 
 /// The sequential reference backend: plain loops, nothing to exchange.
@@ -265,14 +266,7 @@ impl Executor for SerialExecutor {
     ) {
     }
 
-    fn reduce_sum(
-        &mut self,
-        _phase: Phase,
-        vals: &[f64],
-        _counters: &mut PhaseCounters,
-    ) -> Vec<f64> {
-        vals.to_vec()
-    }
+    fn reduce_sum(&mut self, _phase: Phase, _vals: &mut [f64], _counters: &mut PhaseCounters) {}
 }
 
 /// Charge an edge loop of `nedges` edges to `phase`: uniform flop count
@@ -338,7 +332,8 @@ mod tests {
     #[test]
     fn reduce_sum_is_identity_serially() {
         let mut c = PhaseCounters::default();
-        let out = SerialExecutor.reduce_sum(Phase::Monitor, &[1.0, 2.0], &mut c);
-        assert_eq!(out, vec![1.0, 2.0]);
+        let mut vals = [1.0, 2.0];
+        SerialExecutor.reduce_sum(Phase::Monitor, &mut vals, &mut c);
+        assert_eq!(vals, [1.0, 2.0]);
     }
 }

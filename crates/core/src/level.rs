@@ -765,7 +765,7 @@ mod tests {
             &mut SerialExecutor,
             &mut counters,
         );
-        let labels: Vec<&str> = counters.rows().iter().map(|r| r.0).collect();
+        let labels: Vec<&str> = counters.rows().iter().map(|r| r.label).collect();
         for want in [
             "pressure",
             "radii/dt",

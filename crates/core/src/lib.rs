@@ -49,7 +49,7 @@ pub mod smooth;
 pub mod solver;
 pub mod timestep;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{Scheme, SolverConfig};
 pub use counters::{FlopCounter, PhaseCounters};
 pub use executor::{Executor, Phase, SerialExecutor};

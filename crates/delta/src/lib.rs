@@ -35,9 +35,11 @@
 pub mod cost;
 pub mod machine;
 pub mod msg;
+pub mod pool;
 pub mod rank;
 
 pub use cost::{CostBreakdown, CostModel};
 pub use machine::{run_spmd, MachineRun};
 pub use msg::{CommClass, CommStats, Payload, RankCounters};
-pub use rank::Rank;
+pub use pool::CommBuffers;
+pub use rank::{Rank, COLLECTIVE_TAG_BASE};

@@ -1,6 +1,7 @@
 //! The SPMD driver: spawns one thread per rank, wires the mailboxes, runs
 //! the rank body, and collects results and counters.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::unbounded;
@@ -49,19 +50,52 @@ where
                 .stack_size(4 << 20)
                 .spawn_scoped(scope, move || {
                     let mut rank = Rank::new(id, nranks, rx, txs, barrier);
-                    let out = body(&mut rank);
-                    (out, rank.counters)
+                    // A panicking rank poisons its peers so ranks blocked
+                    // in a receive abort instead of deadlocking the scope
+                    // join; the original panic is then re-raised.
+                    match catch_unwind(AssertUnwindSafe(|| body(&mut rank))) {
+                        Ok(out) => (out, rank.counters),
+                        Err(e) => {
+                            rank.poison_peers();
+                            resume_unwind(e);
+                        }
+                    }
                 })
                 .expect("failed to spawn rank thread");
             handles.push(h);
         }
+        let mut panics = Vec::new();
         for (id, h) in handles.into_iter().enumerate() {
-            slots[id] = Some(h.join().expect("rank panicked"));
+            match h.join() {
+                Ok(v) => slots[id] = Some(v),
+                // Join every thread before re-raising, so no rank outlives
+                // the scope.
+                Err(e) => panics.push(e),
+            }
+        }
+        if !panics.is_empty() {
+            // Re-raise the originating panic, not a poison casualty —
+            // casualties only say "some peer died".
+            let k = panics
+                .iter()
+                .position(|e| !is_poison_casualty(e.as_ref()))
+                .unwrap_or(0);
+            resume_unwind(panics.swap_remove(k));
         }
     });
 
     let (results, counters) = slots.into_iter().map(Option::unwrap).unzip();
     MachineRun { results, counters }
+}
+
+/// True if a thread's panic payload is the secondary "peer died" panic
+/// raised by [`Rank`]'s poison handling rather than an original failure.
+fn is_poison_casualty(e: &(dyn std::any::Any + Send)) -> bool {
+    let msg = e
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&'static str>().copied());
+    msg.is_some_and(|m| m.contains("aborting blocked receive"))
 }
 
 #[cfg(test)]
@@ -215,5 +249,92 @@ mod tests {
             assert_eq!(b, 8.0);
             assert_eq!(c, 3.0);
         }
+    }
+
+    #[test]
+    fn collectives_are_allocation_free_after_warm_up() {
+        let run = run_spmd(8, |r| {
+            let mut v = [r.id as f64, 1.0, 2.0];
+            let mut g = Vec::new();
+            // Warm the pools (and g's capacity).
+            for _ in 0..3 {
+                r.all_reduce_sum_in_place(&mut v);
+                r.all_reduce_max_in_place(&mut v);
+                r.broadcast_in_place(0, &mut v);
+                r.gather_to_root_into(0, &v, &mut g);
+            }
+            let warm = r.counters.comm_allocs;
+            for _ in 0..10 {
+                r.all_reduce_sum_in_place(&mut v);
+                r.all_reduce_max_in_place(&mut v);
+                r.broadcast_in_place(0, &mut v);
+                r.gather_to_root_into(0, &v, &mut g);
+            }
+            (warm, r.counters.comm_allocs)
+        });
+        for &(warm, steady) in &run.results {
+            assert_eq!(
+                steady, warm,
+                "steady-state collectives must not allocate (warm-up: {warm})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all_reduce_max length mismatch")]
+    fn all_reduce_max_rejects_mismatched_lengths() {
+        run_spmd(3, |r| {
+            // Rank 2 contributes a short vector; zip would silently drop
+            // the longer ranks' trailing entries without the assert.
+            if r.id == 2 {
+                r.all_reduce_max(&[1.0])
+            } else {
+                r.all_reduce_max(&[1.0, 2.0])
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "all_reduce length mismatch")]
+    fn all_reduce_sum_rejects_mismatched_lengths() {
+        run_spmd(3, |r| {
+            if r.id == 1 {
+                r.all_reduce_sum(&[1.0, 2.0, 3.0])
+            } else {
+                r.all_reduce_sum(&[1.0])
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with reserved")]
+    fn overlapping_tag_ranges_are_rejected() {
+        run_spmd(2, |r| {
+            r.reserve_tags(100, 102);
+            r.reserve_tags(101, 103); // adjacent tags: overlap at 101
+        });
+    }
+
+    #[test]
+    fn disjoint_tag_ranges_are_accepted() {
+        let run = run_spmd(2, |r| {
+            r.reserve_tags(100, 102);
+            r.reserve_tags(102, 104);
+            r.reserve_tags(0, 2);
+            true
+        });
+        assert!(run.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate failure on rank 1")]
+    fn rank_panic_poisons_blocked_peers_instead_of_deadlocking() {
+        run_spmd(4, |r| {
+            if r.id == 1 {
+                panic!("deliberate failure on rank {}", r.id);
+            }
+            // Every other rank blocks on a message that will never come.
+            r.recv_f64(1, 77)
+        });
     }
 }

@@ -1,11 +1,14 @@
 //! Message payloads and per-rank accounting counters.
 
 /// Typed message payload. The solver and the PARTI runtime only ever move
-/// index lists (`U32`) and field data (`F64`).
+/// index lists (`U32`) and field data (`F64`); `Poison` is injected by
+/// the SPMD driver when a rank panics, so peers blocked in a receive fail
+/// fast instead of deadlocking.
 #[derive(Debug, Clone)]
 pub enum Payload {
     F64(Vec<f64>),
     U32(Vec<u32>),
+    Poison,
 }
 
 impl Payload {
@@ -14,20 +17,29 @@ impl Payload {
         match self {
             Payload::F64(v) => 8 * v.len() as u64,
             Payload::U32(v) => 4 * v.len() as u64,
+            Payload::Poison => 0,
         }
     }
 
     pub fn into_f64(self) -> Vec<f64> {
         match self {
             Payload::F64(v) => v,
-            Payload::U32(_) => panic!("expected F64 payload, got U32"),
+            other => panic!("expected F64 payload, got {}", other.kind()),
         }
     }
 
     pub fn into_u32(self) -> Vec<u32> {
         match self {
             Payload::U32(v) => v,
-            Payload::F64(_) => panic!("expected U32 payload, got F64"),
+            other => panic!("expected U32 payload, got {}", other.kind()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U32(_) => "U32",
+            Payload::Poison => "Poison",
         }
     }
 }
@@ -88,6 +100,11 @@ pub struct RankCounters {
     /// destination (the Delta was a 16x32 wormhole-routed mesh; hop
     /// counts let the cost model price placement quality).
     pub hops: u64,
+    /// Fresh communication-buffer allocations (pool misses). A warmed-up
+    /// exchange pattern must not grow this.
+    pub comm_allocs: u64,
+    /// Bytes freshly allocated for communication buffers.
+    pub comm_alloc_bytes: u64,
 }
 
 impl RankCounters {
@@ -129,6 +146,8 @@ impl RankCounters {
         }
         out.syncs = self.syncs - earlier.syncs;
         out.hops = self.hops - earlier.hops;
+        out.comm_allocs = self.comm_allocs - earlier.comm_allocs;
+        out.comm_alloc_bytes = self.comm_alloc_bytes - earlier.comm_alloc_bytes;
         out
     }
 }

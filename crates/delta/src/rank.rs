@@ -1,15 +1,21 @@
 //! The per-rank SPMD context: typed sends/receives, barriers, and
 //! deterministic collectives.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::msg::{CommClass, Message, Payload, RankCounters};
+use crate::pool::CommBuffers;
 
 /// Reserved tag space for collectives; user tags must stay below this.
 pub const COLLECTIVE_TAG_BASE: u32 = 0xF000_0000;
+
+/// Tag of the poison message a panicking rank broadcasts so peers blocked
+/// in a receive abort instead of deadlocking. Collective tags are masked
+/// to never reach it.
+pub(crate) const POISON_TAG: u32 = u32::MAX;
 
 /// One rank's handle onto the simulated machine. Passed by the SPMD
 /// driver to the rank body; all communication goes through it.
@@ -29,6 +35,14 @@ pub struct Rank {
     /// Columns of the (nearly square) 2-D mesh the ranks are mapped
     /// onto, row-major — used only for hop accounting.
     mesh_cols: usize,
+    /// Reusable communication pack buffers (see [`crate::pool`]).
+    pool: CommBuffers,
+    /// Tag ranges claimed by schedules on this rank, for collision
+    /// detection at build time.
+    reserved_tags: Vec<(u32, u32)>,
+    /// Streams `(dst, tag)` with a lent pack buffer awaiting return
+    /// (see [`Rank::take_pack_f64`]).
+    outstanding: HashSet<(usize, u32)>,
 }
 
 impl Rank {
@@ -53,7 +67,102 @@ impl Rank {
             counters: RankCounters::default(),
             collective_seq: 0,
             mesh_cols: cols,
+            pool: CommBuffers::new(),
+            reserved_tags: Vec::new(),
+            outstanding: HashSet::new(),
         }
+    }
+
+    /// Take a pack buffer for a *repeating* point-to-point stream
+    /// `(dst, tag)` — the schedule-executor protocol. If a buffer lent on
+    /// this stream is still outstanding, block until the receiver returns
+    /// it (it does so right after unpacking, so per-pair FIFO order makes
+    /// data and returned buffers alternate strictly on the stream) and
+    /// recycle it; then take from the pool. After the first execution the
+    /// same buffer ping-pongs forever: zero steady-state allocation even
+    /// for one-directional streams. Models PARTI's persistent send
+    /// buffers; pair with [`Rank::send_packed_f64`] /
+    /// [`Rank::return_packed_f64`].
+    pub fn take_pack_f64(&mut self, dst: usize, tag: u32, cap: usize) -> Vec<f64> {
+        if self.outstanding.remove(&(dst, tag)) {
+            let returned = self.recv_payload(dst, tag).into_f64();
+            self.pool.recycle_f64(returned);
+        }
+        self.take_f64(cap)
+    }
+
+    /// Send a buffer obtained from [`Rank::take_pack_f64`] on its stream,
+    /// marking it lent until the receiver returns it.
+    pub fn send_packed_f64(&mut self, dst: usize, tag: u32, data: Vec<f64>, class: CommClass) {
+        self.outstanding.insert((dst, tag));
+        self.send_f64(dst, tag, data, class);
+    }
+
+    /// Return a consumed packed buffer to the rank that sent it, on the
+    /// same stream. Pure pool bookkeeping (the real machine reuses a
+    /// persistent send buffer): not charged as traffic.
+    pub fn return_packed_f64(&mut self, src: usize, tag: u32, mut buf: Vec<f64>) {
+        buf.clear();
+        let _ = self.txs[src].send(Message {
+            src: self.id,
+            tag,
+            payload: Payload::F64(buf),
+        });
+    }
+
+    /// Take an empty pooled `f64` pack buffer with capacity ≥ `cap`. A
+    /// pool miss allocates fresh storage and is charged to the rank's
+    /// allocation counters; a warmed-up exchange pattern never misses.
+    pub fn take_f64(&mut self, cap: usize) -> Vec<f64> {
+        let (buf, fresh) = self.pool.take_f64(cap);
+        self.note_alloc(fresh);
+        buf
+    }
+
+    /// Recycle a consumed `f64` buffer (typically a received payload)
+    /// back into this rank's pool.
+    pub fn recycle_f64(&mut self, v: Vec<f64>) {
+        self.pool.recycle_f64(v);
+    }
+
+    /// Take an empty pooled `u32` pack buffer with capacity ≥ `cap`.
+    pub fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        let (buf, fresh) = self.pool.take_u32(cap);
+        self.note_alloc(fresh);
+        buf
+    }
+
+    /// Recycle a consumed `u32` buffer back into this rank's pool.
+    pub fn recycle_u32(&mut self, v: Vec<u32>) {
+        self.pool.recycle_u32(v);
+    }
+
+    fn note_alloc(&mut self, fresh_bytes: u64) {
+        if fresh_bytes > 0 {
+            self.counters.comm_allocs += 1;
+            self.counters.comm_alloc_bytes += fresh_bytes;
+        }
+    }
+
+    /// Claim the half-open tag range `[lo, hi)` for a schedule. Panics if
+    /// it overlaps a range already reserved on this rank — gather and
+    /// scatter streams of one schedule use `tag` and `tag + 1`, so two
+    /// schedules whose tags are less than 2 apart would silently corrupt
+    /// each other's traffic.
+    pub fn reserve_tags(&mut self, lo: u32, hi: u32) {
+        assert!(lo < hi, "empty tag range [{lo}, {hi})");
+        assert!(
+            hi <= COLLECTIVE_TAG_BASE,
+            "tag range [{lo}, {hi}) collides with collective space"
+        );
+        for &(l, h) in &self.reserved_tags {
+            assert!(
+                hi <= l || h <= lo,
+                "tag range [{lo}, {hi}) collides with reserved [{l}, {h}): \
+                 schedules sharing a rank need tags at least 2 apart"
+            );
+        }
+        self.reserved_tags.push((lo, hi));
     }
 
     /// Manhattan hop distance to `dst` on the 2-D rank mesh.
@@ -112,6 +221,12 @@ impl Rank {
         }
         loop {
             let m = self.rx.recv().expect("all senders hung up while receiving");
+            if m.tag == POISON_TAG {
+                panic!(
+                    "rank {} panicked; rank {} aborting blocked receive",
+                    m.src, self.id
+                );
+            }
             if m.src == src && m.tag == tag {
                 return m.payload;
             }
@@ -119,6 +234,21 @@ impl Rank {
                 .entry((m.src, m.tag))
                 .or_default()
                 .push_back(m.payload);
+        }
+    }
+
+    /// Notify every peer that this rank is going down (called by the SPMD
+    /// driver while unwinding a panic). Best-effort: peers that already
+    /// exited are skipped.
+    pub(crate) fn poison_peers(&mut self) {
+        for dst in 0..self.nranks {
+            if dst != self.id {
+                let _ = self.txs[dst].send(Message {
+                    src: self.id,
+                    tag: POISON_TAG,
+                    payload: Payload::Poison,
+                });
+            }
         }
     }
 
@@ -139,95 +269,135 @@ impl Rank {
     }
 
     fn next_collective_tag(&mut self) -> u32 {
-        // Wraps within the reserved space; fine because tags are consumed
-        // in program order on every rank (deterministic network).
-        let t = COLLECTIVE_TAG_BASE + (self.collective_seq & 0x0FFF_FFFF);
+        // Wraps within the reserved space (modulo keeps the tag strictly
+        // below POISON_TAG); fine because tags are consumed in program
+        // order on every rank (deterministic network).
+        let t = COLLECTIVE_TAG_BASE + (self.collective_seq % 0x0FFF_FFFF);
         self.collective_seq = self.collective_seq.wrapping_add(1);
         t
     }
 
-    /// Deterministic element-wise sum across ranks: gather to rank 0 in
-    /// rank order, reduce there, broadcast back. Mirrors the paper's
-    /// residual-monitoring global sums.
-    pub fn all_reduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+    /// Pack `vals` into a pooled buffer and send it as collective traffic.
+    fn send_collective(&mut self, dst: usize, tag: u32, vals: &[f64]) {
+        let mut buf = self.take_f64(vals.len());
+        buf.extend_from_slice(vals);
+        self.send_payload(dst, tag, Payload::F64(buf), CommClass::Collective);
+    }
+
+    /// Deterministic element-wise sum across ranks, in place: gather to
+    /// rank 0 in rank order, reduce there, broadcast back. Mirrors the
+    /// paper's residual-monitoring global sums. Allocation-free once the
+    /// rank's buffer pool is warm.
+    pub fn all_reduce_sum_in_place(&mut self, vals: &mut [f64]) {
         let tag = self.next_collective_tag();
         if self.id == 0 {
-            let mut acc = vals.to_vec();
             for src in 1..self.nranks {
                 let part = self.recv_payload(src, tag).into_f64();
-                assert_eq!(part.len(), acc.len(), "all_reduce length mismatch");
-                for (a, p) in acc.iter_mut().zip(&part) {
+                assert_eq!(part.len(), vals.len(), "all_reduce length mismatch");
+                for (a, p) in vals.iter_mut().zip(&part) {
                     *a += p;
                 }
+                self.recycle_f64(part);
             }
             for dst in 1..self.nranks {
-                self.send_payload(dst, tag, Payload::F64(acc.clone()), CommClass::Collective);
+                self.send_collective(dst, tag, vals);
             }
-            acc
         } else {
-            self.send_payload(0, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
-            self.recv_payload(0, tag).into_f64()
+            self.send_collective(0, tag, vals);
+            let acc = self.recv_payload(0, tag).into_f64();
+            vals.copy_from_slice(&acc);
+            self.recycle_f64(acc);
         }
     }
 
-    /// Broadcast from `root` to all ranks; returns the payload everywhere.
-    pub fn broadcast(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+    /// Allocating convenience wrapper over [`Rank::all_reduce_sum_in_place`].
+    pub fn all_reduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        let mut out = vals.to_vec();
+        self.all_reduce_sum_in_place(&mut out);
+        out
+    }
+
+    /// Broadcast from `root` into `vals` on every rank, in place.
+    /// Allocation-free once the rank's buffer pool is warm.
+    pub fn broadcast_in_place(&mut self, root: usize, vals: &mut [f64]) {
         let tag = self.next_collective_tag();
         if self.id == root {
             for dst in 0..self.nranks {
                 if dst != root {
-                    self.send_payload(dst, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
+                    self.send_collective(dst, tag, vals);
                 }
             }
-            vals.to_vec()
         } else {
-            self.recv_payload(root, tag).into_f64()
+            let got = self.recv_payload(root, tag).into_f64();
+            assert_eq!(got.len(), vals.len(), "broadcast length mismatch");
+            vals.copy_from_slice(&got);
+            self.recycle_f64(got);
         }
     }
 
-    /// Gather every rank's buffer to `root`, concatenated in rank order;
-    /// non-root ranks get an empty vector.
-    pub fn gather_to_root(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+    /// Allocating convenience wrapper over [`Rank::broadcast_in_place`].
+    pub fn broadcast(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+        let mut out = vals.to_vec();
+        self.broadcast_in_place(root, &mut out);
+        out
+    }
+
+    /// Gather every rank's buffer to `root`, concatenated in rank order
+    /// into `out` (cleared first; non-root ranks get it back empty).
+    /// Allocation-free once pools and `out`'s capacity are warm.
+    pub fn gather_to_root_into(&mut self, root: usize, vals: &[f64], out: &mut Vec<f64>) {
         let tag = self.next_collective_tag();
+        out.clear();
         if self.id == root {
-            let mut out = Vec::new();
             for src in 0..self.nranks {
                 if src == root {
                     out.extend_from_slice(vals);
                 } else {
-                    out.extend(self.recv_payload(src, tag).into_f64());
+                    let part = self.recv_payload(src, tag).into_f64();
+                    out.extend_from_slice(&part);
+                    self.recycle_f64(part);
                 }
             }
-            out
         } else {
-            self.send_payload(
-                root,
-                tag,
-                Payload::F64(vals.to_vec()),
-                CommClass::Collective,
-            );
-            Vec::new()
+            self.send_collective(root, tag, vals);
         }
     }
 
-    /// Deterministic element-wise max across ranks (same pattern).
-    pub fn all_reduce_max(&mut self, vals: &[f64]) -> Vec<f64> {
+    /// Allocating convenience wrapper over [`Rank::gather_to_root_into`].
+    pub fn gather_to_root(&mut self, root: usize, vals: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.gather_to_root_into(root, vals, &mut out);
+        out
+    }
+
+    /// Deterministic element-wise max across ranks, in place (same
+    /// pattern as [`Rank::all_reduce_sum_in_place`]).
+    pub fn all_reduce_max_in_place(&mut self, vals: &mut [f64]) {
         let tag = self.next_collective_tag();
         if self.id == 0 {
-            let mut acc = vals.to_vec();
             for src in 1..self.nranks {
                 let part = self.recv_payload(src, tag).into_f64();
-                for (a, p) in acc.iter_mut().zip(&part) {
+                assert_eq!(part.len(), vals.len(), "all_reduce_max length mismatch");
+                for (a, p) in vals.iter_mut().zip(&part) {
                     *a = a.max(*p);
                 }
+                self.recycle_f64(part);
             }
             for dst in 1..self.nranks {
-                self.send_payload(dst, tag, Payload::F64(acc.clone()), CommClass::Collective);
+                self.send_collective(dst, tag, vals);
             }
-            acc
         } else {
-            self.send_payload(0, tag, Payload::F64(vals.to_vec()), CommClass::Collective);
-            self.recv_payload(0, tag).into_f64()
+            self.send_collective(0, tag, vals);
+            let acc = self.recv_payload(0, tag).into_f64();
+            vals.copy_from_slice(&acc);
+            self.recycle_f64(acc);
         }
+    }
+
+    /// Allocating convenience wrapper over [`Rank::all_reduce_max_in_place`].
+    pub fn all_reduce_max(&mut self, vals: &[f64]) -> Vec<f64> {
+        let mut out = vals.to_vec();
+        self.all_reduce_max_in_place(&mut out);
+        out
     }
 }

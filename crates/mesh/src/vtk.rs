@@ -31,7 +31,16 @@ pub fn write_vtk<W: Write>(
     if !fields.is_empty() {
         writeln!(out, "POINT_DATA {}", mesh.nverts())?;
         for (name, data) in fields {
-            assert_eq!(data.len(), mesh.nverts(), "field `{name}` has wrong length");
+            if data.len() != mesh.nverts() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "field `{name}` has wrong length: {} values for {} vertices",
+                        data.len(),
+                        mesh.nverts()
+                    ),
+                ));
+            }
             writeln!(out, "SCALARS {name} double 1")?;
             writeln!(out, "LOOKUP_TABLE default")?;
             for v in *data {
@@ -75,11 +84,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wrong length")]
     fn vtk_rejects_bad_field_length() {
         let m = unit_box(2, 0.0, 0);
         let field = vec![0.0; 3];
         let mut buf = Vec::new();
-        write_vtk(&mut buf, &m, &[("bad", &field)]).unwrap();
+        let err = write_vtk(&mut buf, &m, &[("bad", &field)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("field `bad` has wrong length"));
     }
 }

@@ -22,6 +22,8 @@ use crate::translation::Translation;
 /// * `slots` — the local (ghost) slot for each entry of `required`;
 /// * `tag` — base tag for the schedule's executors. **Schedules sharing a
 ///   machine must use tags at least 2 apart** (scatter uses `tag + 1`);
+///   `localize` *enforces* this by reserving `[tag, tag + 2)` on the rank
+///   and panicking on overlap with any schedule built earlier;
 /// * `class` — traffic class its *executors* will be charged to.
 ///
 /// Duplicate `required` entries are deduplicated (first slot wins), the
@@ -36,6 +38,7 @@ pub fn localize(
     class: CommClass,
 ) -> Schedule {
     assert_eq!(required.len(), slots.len());
+    rank.reserve_tags(tag, tag + 2);
     let me = rank.id;
 
     // Hash-table dedup of off-processor references (§4.3).
@@ -58,7 +61,9 @@ pub fn localize(
     // once per schedule construction, amortized over many executions.
     for (peer, req) in want.iter().enumerate() {
         if peer != me {
-            rank.send_u32(peer, tag, req.clone(), CommClass::Inspector);
+            let mut buf = rank.take_u32(req.len());
+            buf.extend_from_slice(req);
+            rank.send_u32(peer, tag, buf, CommClass::Inspector);
         }
     }
     let mut sends: Vec<(usize, Vec<u32>)> = Vec::new();
@@ -77,6 +82,7 @@ pub fn localize(
                 .collect();
             sends.push((peer, locals));
         }
+        rank.recycle_u32(req);
     }
 
     let recvs: Vec<(usize, Vec<u32>)> = want_slots
@@ -182,6 +188,19 @@ mod tests {
             assert!(c.sent[CommClass::Inspector as usize].messages > 0);
             assert_eq!(c.sent[CommClass::Halo as usize].messages, 0);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with reserved")]
+    fn adjacent_schedule_tags_are_rejected() {
+        run_spmd(2, |r| {
+            let trans = block_translation();
+            let required: Vec<u32> = if r.id == 0 { vec![4] } else { vec![0] };
+            localize(r, &trans, &required, &[4], 100, CommClass::Halo);
+            // Tag 101 is the first schedule's scatter stream (tag + 1):
+            // without enforcement this silently corrupts data.
+            localize(r, &trans, &required, &[4], 101, CommClass::Halo);
+        });
     }
 
     #[test]

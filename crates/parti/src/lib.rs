@@ -39,9 +39,11 @@
 pub mod inspector;
 pub mod registry;
 pub mod schedule;
+pub mod tags;
 pub mod translation;
 
 pub use inspector::localize;
 pub use registry::GhostRegistry;
 pub use schedule::Schedule;
+pub use tags::TagAllocator;
 pub use translation::Translation;

@@ -46,14 +46,27 @@ impl Schedule {
     /// **Gather executor**: fetch off-processor data into ghost slots.
     /// `data` is a flat per-vertex array with `nc` components per entry;
     /// both owned and ghost slots live in the same array.
+    ///
+    /// Pack buffers come from the rank's [`CommBuffers`] pool via the
+    /// persistent-send-buffer protocol: the receiver hands each consumed
+    /// buffer straight back to its sender on the same stream
+    /// ([`Rank::return_packed_f64`]), and the sender reclaims it before
+    /// packing the next execution ([`Rank::take_pack_f64`]). After the
+    /// first execution the same buffers ping-pong forever — zero
+    /// steady-state allocation even for one-directional schedules
+    /// (`eul3d_delta::RankCounters::comm_allocs` proves it). This is why
+    /// schedules sharing a rank must reserve disjoint tags: the protocol
+    /// relies on strict data/return alternation per `(peer, tag)` stream.
+    ///
+    /// [`CommBuffers`]: eul3d_delta::CommBuffers
     pub fn gather(&self, rank: &mut Rank, data: &mut [f64], nc: usize) {
         for (peer, idxs) in &self.sends {
-            let mut buf = Vec::with_capacity(idxs.len() * nc);
+            let mut buf = rank.take_pack_f64(*peer, self.tag, idxs.len() * nc);
             for &i in idxs {
                 let base = i as usize * nc;
                 buf.extend_from_slice(&data[base..base + nc]);
             }
-            rank.send_f64(*peer, self.tag, buf, self.class);
+            rank.send_packed_f64(*peer, self.tag, buf, self.class);
         }
         for (peer, slots) in &self.recvs {
             let buf = rank.recv_f64(*peer, self.tag);
@@ -62,6 +75,7 @@ impl Schedule {
                 let base = s as usize * nc;
                 data[base..base + nc].copy_from_slice(&buf[k * nc..k * nc + nc]);
             }
+            rank.return_packed_f64(*peer, self.tag, buf);
         }
     }
 
@@ -73,13 +87,13 @@ impl Schedule {
         // owners; owners (sends side) receive and accumulate.
         let tag = self.tag + 1;
         for (peer, slots) in &self.recvs {
-            let mut buf = Vec::with_capacity(slots.len() * nc);
+            let mut buf = rank.take_pack_f64(*peer, tag, slots.len() * nc);
             for &s in slots {
                 let base = s as usize * nc;
                 buf.extend_from_slice(&data[base..base + nc]);
                 data[base..base + nc].iter_mut().for_each(|x| *x = 0.0);
             }
-            rank.send_f64(*peer, tag, buf, self.class);
+            rank.send_packed_f64(*peer, tag, buf, self.class);
         }
         for (peer, idxs) in &self.sends {
             let buf = rank.recv_f64(*peer, tag);
@@ -90,6 +104,7 @@ impl Schedule {
                     data[base + c] += buf[k * nc + c];
                 }
             }
+            rank.return_packed_f64(*peer, tag, buf);
         }
     }
 
@@ -100,12 +115,12 @@ impl Schedule {
     /// instead of ghost slots of the same array.
     pub fn gather_into(&self, rank: &mut Rank, src: &[f64], dst: &mut [f64], nc: usize) {
         for (peer, idxs) in &self.sends {
-            let mut buf = Vec::with_capacity(idxs.len() * nc);
+            let mut buf = rank.take_pack_f64(*peer, self.tag, idxs.len() * nc);
             for &i in idxs {
                 let base = i as usize * nc;
                 buf.extend_from_slice(&src[base..base + nc]);
             }
-            rank.send_f64(*peer, self.tag, buf, self.class);
+            rank.send_packed_f64(*peer, self.tag, buf, self.class);
         }
         for (peer, slots) in &self.recvs {
             let buf = rank.recv_f64(*peer, self.tag);
@@ -118,6 +133,7 @@ impl Schedule {
                 let base = s as usize * nc;
                 dst[base..base + nc].copy_from_slice(&buf[k * nc..k * nc + nc]);
             }
+            rank.return_packed_f64(*peer, self.tag, buf);
         }
     }
 
@@ -134,13 +150,13 @@ impl Schedule {
     ) {
         let tag = self.tag + 1;
         for (peer, slots) in &self.recvs {
-            let mut buf = Vec::with_capacity(slots.len() * nc);
+            let mut buf = rank.take_pack_f64(*peer, tag, slots.len() * nc);
             for &s in slots {
                 let base = s as usize * nc;
                 buf.extend_from_slice(&ghost_src[base..base + nc]);
                 ghost_src[base..base + nc].iter_mut().for_each(|x| *x = 0.0);
             }
-            rank.send_f64(*peer, tag, buf, self.class);
+            rank.send_packed_f64(*peer, tag, buf, self.class);
         }
         for (peer, idxs) in &self.sends {
             let buf = rank.recv_f64(*peer, tag);
@@ -151,6 +167,7 @@ impl Schedule {
                     dst[base + c] += buf[k * nc + c];
                 }
             }
+            rank.return_packed_f64(*peer, tag, buf);
         }
     }
 
@@ -321,6 +338,37 @@ mod tests {
         assert_eq!(run.results[0].1, vec![100.0, 108.0]);
         assert_eq!(run.results[1].1, vec![100.0, 107.0]);
         assert_eq!(run.results[0].0[2], 0.0);
+    }
+
+    #[test]
+    fn executors_are_allocation_free_after_warm_up() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let mut data = vec![1.0, 2.0, 0.0];
+            let src = vec![4.0, 5.0];
+            let mut into = vec![0.0; 3];
+            let mut staged = vec![0.0, 0.0, 3.0];
+            let mut dst = vec![0.0, 0.0];
+            // One round warms the pool: each executor's send buffer comes
+            // back as the peer's recycled receive buffer.
+            sched.gather(r, &mut data, 1);
+            sched.scatter_add(r, &mut data, 1);
+            sched.gather_into(r, &src, &mut into, 1);
+            sched.scatter_add_into(r, &mut staged, &mut dst, 1);
+            let warm = r.counters.comm_allocs;
+            for _ in 0..20 {
+                sched.gather(r, &mut data, 1);
+                sched.scatter_add(r, &mut data, 1);
+                sched.gather_into(r, &src, &mut into, 1);
+                staged[2] = 3.0;
+                sched.scatter_add_into(r, &mut staged, &mut dst, 1);
+            }
+            (warm, r.counters.comm_allocs)
+        });
+        for &(warm, steady) in &run.results {
+            assert!(warm > 0, "warm-up must populate the pool");
+            assert_eq!(steady, warm, "steady-state executors must not allocate");
+        }
     }
 
     #[test]

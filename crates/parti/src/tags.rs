@@ -1,0 +1,71 @@
+//! Deterministic tag allocation for schedule construction.
+//!
+//! Every [`Schedule`](crate::Schedule) consumes two message tags — `tag`
+//! for gathers, `tag + 1` for scatters — and [`localize`](crate::localize)
+//! hard-reserves that range on the rank. Hand-picking "magic" base tags
+//! per level/link invites collisions as the solver grows; a
+//! [`TagAllocator`] hands out disjoint ranges instead. It is pure local
+//! arithmetic, so as long as every SPMD rank performs the same sequence
+//! of `range` calls (the same discipline `localize` already demands), all
+//! ranks agree on every tag without communicating.
+
+use eul3d_delta::COLLECTIVE_TAG_BASE;
+
+/// Hands out disjoint, monotonically increasing tag ranges.
+#[derive(Debug, Clone)]
+pub struct TagAllocator {
+    next: u32,
+}
+
+impl TagAllocator {
+    /// Start allocating at `base` (tags below `base` stay free for
+    /// hand-assigned use).
+    pub fn new(base: u32) -> TagAllocator {
+        assert!(base < COLLECTIVE_TAG_BASE, "base inside collective space");
+        TagAllocator { next: base }
+    }
+
+    /// Claim the next `width` consecutive tags and return the first.
+    /// `width` must be ≥ 2 — a schedule's gather and scatter streams —
+    /// and the range must fit below the collective tag space.
+    pub fn range(&mut self, width: u32) -> u32 {
+        assert!(width >= 2, "a schedule needs at least 2 tags");
+        let lo = self.next;
+        let hi = lo.checked_add(width).expect("tag allocator overflowed u32");
+        assert!(
+            hi <= COLLECTIVE_TAG_BASE,
+            "tag allocator ran into collective space"
+        );
+        self.next = hi;
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_disjoint_and_ordered() {
+        let mut t = TagAllocator::new(100);
+        let a = t.range(2);
+        let b = t.range(4);
+        let c = t.range(2);
+        assert_eq!(a, 100);
+        assert_eq!(b, 102);
+        assert_eq!(c, 106);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 tags")]
+    fn width_one_is_rejected() {
+        TagAllocator::new(0).range(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective space")]
+    fn cannot_reach_collective_tags() {
+        let mut t = TagAllocator::new(COLLECTIVE_TAG_BASE - 1);
+        t.range(2);
+    }
+}
