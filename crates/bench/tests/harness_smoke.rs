@@ -78,6 +78,15 @@ fn table2_partitioner_env_is_honoured() {
 }
 
 #[test]
+fn faults_sweep_is_bit_identical_everywhere() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_faults"), &[("EUL3D_CYCLES", "6")]);
+    assert!(ok, "{out}");
+    assert!(out.contains("kill+corrupt+drop"), "{out}");
+    assert!(out.contains("faults_sweep.csv"), "{out}");
+    assert!(!out.contains("NO"), "a scenario diverged:\n{out}");
+}
+
+#[test]
 fn scaling_emits_the_ladder() {
     let (ok, out) = run(env!("CARGO_BIN_EXE_scaling"), &[]);
     assert!(ok, "{out}");

@@ -298,7 +298,10 @@ pub fn solve(a: &Args) -> Result<(), String> {
 }
 
 pub fn distributed(a: &Args) -> Result<(), String> {
-    use eul3d_core::dist::{run_distributed, DistOptions, DistSetup};
+    use eul3d_core::dist::{
+        run_distributed, run_distributed_with_faults, DistOptions, DistSetup, FaultOptions,
+        RankFate,
+    };
     let spec = bump_spec(a)?;
     let levels: usize = a.get("levels", 3)?;
     let cycles: usize = a.get("cycles", 25)?;
@@ -309,7 +312,22 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let strategy = strategy_of(a)?;
     let cfg = config_of(a)?;
     let no_incr = a.has("no-incremental");
+    let fault_spec = a.get_str("faults");
+    let checkpoint_every: usize = a.get("checkpoint-every", 0)?;
+    let fault_timeout_ms: u64 = a.get("fault-timeout-ms", 1500)?;
     a.check_unknown()?;
+    let fopts = match &fault_spec {
+        Some(spec) => Some(FaultOptions {
+            plan: std::sync::Arc::new(
+                eul3d_delta::FaultPlan::parse(spec, nranks)
+                    .map_err(|e| format!("--faults: {e}"))?,
+            ),
+            checkpoint_every,
+            recv_timeout_ms: fault_timeout_ms,
+            ..FaultOptions::default()
+        }),
+        None => None,
+    };
 
     println!(
         "distributed: nx={} levels={levels} {} cycles={cycles} on {nranks} simulated ranks",
@@ -318,7 +336,7 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     );
     let seq = MeshSequence::bump_sequence(&spec, levels);
     let t0 = std::time::Instant::now();
-    let setup = DistSetup::new(seq, nranks, 40, 7);
+    let setup = DistSetup::new(seq, nranks, 40, eul3d_core::env_seed(7));
     println!(
         "RSB partitioning of all levels: {:.2}s",
         t0.elapsed().as_secs_f64()
@@ -329,7 +347,32 @@ pub fn distributed(a: &Args) -> Result<(), String> {
         ..DistOptions::default()
     };
     let t1 = std::time::Instant::now();
-    let r = run_distributed(&setup, cfg, strategy, cycles, opts);
+    let r = match &fopts {
+        Some(f) => run_distributed_with_faults(&setup, cfg, strategy, cycles, opts, f),
+        None => run_distributed(&setup, cfg, strategy, cycles, opts),
+    };
+    if fopts.is_some() {
+        let epochs: u64 = r
+            .run
+            .counters
+            .iter()
+            .map(|c| c.recoveries)
+            .max()
+            .unwrap_or(0);
+        println!("fault injection: {epochs} recovery epoch(s)");
+        for (vid, out) in r.run.results.iter().enumerate() {
+            if let RankFate::Died { cycle } = out.fate {
+                let host = r
+                    .run
+                    .results
+                    .iter()
+                    .position(|o| o.adopted.iter().any(|ad| ad.vid == vid))
+                    .map(|h| format!("rank {h}"))
+                    .unwrap_or_else(|| "nobody".into());
+                println!("  rank {vid} died in cycle {cycle}; partition adopted by {host}");
+            }
+        }
+    }
     let h = ConvergenceHistory::from_residuals(r.history().to_vec());
     let last = h
         .residuals

@@ -8,7 +8,14 @@
 //!                  [--restart ck] [--checkpoint ck] [--vtk out.vtk]
 //! eul3d distributed --nx 24 --levels 3 --ranks 32 [--strategy sg|v|w]
 //!                  [--cycles 25] [--no-incremental]
+//!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
 //! ```
+//!
+//! `--faults` takes a comma-separated fault plan (e.g.
+//! `kill:1@3+5,corrupt:0>2#0@2`) injected deterministically into the
+//! simulated machine; survivors roll back to the last `--checkpoint-every`
+//! checkpoint, rebuild their schedules, and finish with bit-identical
+//! residuals. `EUL3D_SEED` overrides the partitioner seed.
 
 mod args;
 mod commands;

@@ -98,6 +98,48 @@ fn distributed_command_runs() {
 }
 
 #[test]
+fn distributed_with_faults_recovers_and_reports() {
+    let (ok, stdout, stderr) = eul3d(&[
+        "distributed",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--ranks",
+        "4",
+        "--cycles",
+        "6",
+        "--faults",
+        "kill:1@2+5",
+        "--checkpoint-every",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("recovery epoch"), "{stdout}");
+    assert!(
+        stdout.contains("rank 1 died") && stdout.contains("adopted by rank 2"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("modeled Delta cost"), "{stdout}");
+}
+
+#[test]
+fn malformed_fault_spec_is_a_clean_error() {
+    let (ok, _, stderr) = eul3d(&[
+        "distributed",
+        "--nx",
+        "8",
+        "--ranks",
+        "4",
+        "--faults",
+        "explode:everything",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error: --faults:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
 fn missing_restart_file_is_a_clean_error() {
     let bogus = std::env::temp_dir().join("eul3d_no_such_checkpoint.ck");
     std::fs::remove_file(&bogus).ok();

@@ -12,7 +12,7 @@ use crate::gas::NVAR;
 
 const MAGIC: &[u8; 8] = b"EUL3DCK1";
 
-/// A checkpoint could not be applied to the target solver.
+/// A checkpoint could not be read or applied to the target solver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The stored state vector and the target slice have different
@@ -23,6 +23,19 @@ pub enum CheckpointError {
         /// `f64` entries in the restore target.
         target: usize,
     },
+    /// The stream does not start with the checkpoint magic.
+    BadMagic,
+    /// The stream ended before the payload its header declares.
+    Truncated,
+    /// A stored state entry is NaN or infinite — the checkpoint was
+    /// corrupted or written from a diverged run; restoring it would
+    /// poison the solver.
+    NonFinite {
+        /// Index of the first offending entry in `w`.
+        index: usize,
+    },
+    /// Underlying I/O failure (other than a clean truncation).
+    Io(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -36,11 +49,30 @@ impl fmt::Display for CheckpointError {
                 target,
                 target / NVAR
             ),
+            CheckpointError::BadMagic => write!(f, "not an EUL3D checkpoint (bad magic)"),
+            CheckpointError::Truncated => {
+                write!(f, "checkpoint stream ends before its declared payload")
+            }
+            CheckpointError::NonFinite { index } => write!(
+                f,
+                "checkpoint state entry {index} is not finite (corrupted or diverged)"
+            ),
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e.to_string())
+        }
+    }
+}
 
 /// A saved flow state.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,18 +113,19 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Deserialize from any reader; validates magic and length.
-    pub fn read_from<R: Read>(inp: &mut R) -> io::Result<Checkpoint> {
+    /// Deserialize from any reader. Returns a typed error on a bad
+    /// magic, a truncated stream, or non-finite state entries — never a
+    /// garbage state. The state is read incrementally, so a corrupted
+    /// header declaring an absurd vertex count fails with `Truncated`
+    /// instead of exhausting memory up front.
+    pub fn read_from<R: Read>(inp: &mut R) -> Result<Checkpoint, CheckpointError> {
         let mut magic = [0u8; 8];
         inp.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an EUL3D checkpoint",
-            ));
+            return Err(CheckpointError::BadMagic);
         }
         let mut b8 = [0u8; 8];
-        let mut read_u64 = |inp: &mut R| -> io::Result<u64> {
+        let mut read_u64 = |inp: &mut R| -> Result<u64, CheckpointError> {
             inp.read_exact(&mut b8)?;
             Ok(u64::from_le_bytes(b8))
         };
@@ -100,11 +133,17 @@ impl Checkpoint {
         let cycles_done = read_u64(inp)?;
         let mach = f64::from_bits(read_u64(inp)?);
         let alpha_deg = f64::from_bits(read_u64(inp)?);
-        let mut w = vec![0.0; nverts * NVAR];
+        let total = (nverts as u64).saturating_mul(NVAR as u64);
+        let mut w = Vec::new();
+        w.reserve_exact(total.min(1 << 20) as usize);
         let mut buf = [0u8; 8];
-        for x in &mut w {
+        for i in 0..total {
             inp.read_exact(&mut buf)?;
-            *x = f64::from_le_bytes(buf);
+            let x = f64::from_le_bytes(buf);
+            if !x.is_finite() {
+                return Err(CheckpointError::NonFinite { index: i as usize });
+            }
+            w.push(x);
         }
         Ok(Checkpoint {
             nverts,
@@ -121,7 +160,7 @@ impl Checkpoint {
         f.flush()
     }
 
-    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
         let mut f = io::BufReader::new(std::fs::File::open(path)?);
         Checkpoint::read_from(&mut f)
     }
@@ -217,9 +256,76 @@ mod tests {
                 assert_eq!(checkpoint, small.st.w.len());
                 assert_eq!(target, big.st.w.len());
             }
+            other => panic!("expected SizeMismatch, got {other:?}"),
         }
         assert_eq!(big.st.w, before, "failed restore must not touch state");
         assert!(err.to_string().contains("vertices"));
+    }
+
+    #[test]
+    fn wrong_magic_is_a_typed_error() {
+        let mut buf = Vec::new();
+        Checkpoint::new(&[1.0; NVAR], 1, 0.5, 0.0)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[..8].copy_from_slice(b"EUL3DCK2"); // future format version
+        assert_eq!(
+            Checkpoint::read_from(&mut buf.as_slice()).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let mut full = Vec::new();
+        Checkpoint::new(&[1.0; 4 * NVAR], 9, 0.675, 1.1)
+            .write_to(&mut full)
+            .unwrap();
+        // Cut the stream inside the magic, the header, and the payload.
+        for cut in [3, 20, full.len() - 5] {
+            assert_eq!(
+                Checkpoint::read_from(&mut &full[..cut]).unwrap_err(),
+                CheckpointError::Truncated,
+                "cut at byte {cut}"
+            );
+        }
+        assert!(Checkpoint::read_from(&mut full.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn absurd_header_size_fails_without_allocating() {
+        // A corrupted header declaring ~10^18 vertices must report
+        // truncation, not abort on an out-of-memory allocation.
+        let mut buf = Vec::new();
+        Checkpoint::new(&[1.0; NVAR], 0, 0.5, 0.0)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Checkpoint::read_from(&mut buf.as_slice()).unwrap_err(),
+            CheckpointError::Truncated
+        );
+    }
+
+    #[test]
+    fn nan_and_inf_payloads_are_typed_errors() {
+        for (bad, at) in [(f64::NAN, 2), (f64::INFINITY, 7), (f64::NEG_INFINITY, 0)] {
+            let mut w = vec![1.0; 2 * NVAR];
+            w[at] = bad;
+            let mut buf = Vec::new();
+            Checkpoint::new(&w, 0, 0.5, 0.0).write_to(&mut buf).unwrap();
+            assert_eq!(
+                Checkpoint::read_from(&mut buf.as_slice()).unwrap_err(),
+                CheckpointError::NonFinite { index: at }
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/euler.ck")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err:?}");
+        assert!(err.to_string().contains("I/O"));
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //! accumulate in ghost slots and are flushed by `scatter_add`.
 
 mod level;
+mod recover;
 mod setup;
 mod solver;
 mod transfer;
 
 pub use level::{DistExecOptions, DistExecutor, DistLevel};
+pub use recover::{run_distributed_with_faults, FaultOptions};
 pub use setup::DistSetup;
-pub use solver::{run_distributed, DistOptions, DistRunResult, DistSolver, RankOutput};
+pub use solver::{
+    run_distributed, AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput,
+};
 pub use transfer::TransferLink;
 
 #[cfg(test)]

@@ -1,0 +1,583 @@
+//! Fault-tolerant distributed driver: deterministic fault injection,
+//! failure detection, and checkpoint/rollback recovery on the simulated
+//! Delta.
+//!
+//! The fault model and protocol (see `DESIGN.md` §6):
+//!
+//! * Every rank installs the same [`FaultPlan`]; each evaluates only the
+//!   events it originates. Faults surface as [`FaultSignal`] unwinds out
+//!   of the communication layer — `Killed` on the doomed rank,
+//!   `Recover { epoch, .. }` on survivors when they detect loss,
+//!   corruption, a death notice, a peer's abort, or a bounded-receive
+//!   timeout.
+//! * Survivors **roll back** to the newest checkpoint *every* live
+//!   instance still holds (agreed by an `all_reduce_max` over negated
+//!   checkpoint cycles), **rebuild** all PARTI schedules in a fresh,
+//!   epoch-shifted tag space, and **resume** the cycle loop.
+//! * A dead rank's partition is **adopted** by a deterministically
+//!   chosen buddy (the first live virtual id after it): the buddy clones
+//!   the dead rank's mailbox receiver and hosts a replica thread running
+//!   this same loop. The computation graph — who owns which vertices,
+//!   the order of every collective reduction — is unchanged, so a
+//!   recovered run reproduces the fault-free residual history **bit for
+//!   bit**; only the cost model sees the load imbalance.
+//!
+//! Checkpoints are in-memory and replicated: every `checkpoint_every`
+//! cycles the owned fine-grid state is gathered to virtual rank 0,
+//! reassembled into global layout, and broadcast back, so any survivor
+//! can serve a restore. Two generations are kept (double-buffered), the
+//! writer always overwriting the older slot, and rollback discards
+//! checkpoints from beyond the rollback point — together this guarantees
+//! the agreed rollback target is restorable everywhere even when a fault
+//! lands in the middle of a checkpoint.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+use std::time::Duration;
+
+use eul3d_delta::{run_spmd, CommClass, FaultPlan, FaultSignal, Rank, RankCounters};
+
+use crate::config::SolverConfig;
+use crate::counters::PhaseCounters;
+use crate::executor::Phase;
+use crate::gas::NVAR;
+use crate::multigrid::Strategy;
+
+use super::setup::DistSetup;
+use super::solver::{AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput};
+
+/// Fault-injection and recovery options of a distributed run. The
+/// default is fault-free: empty plan, no checkpoints, and the
+/// communication layer stays on its blocking (timeout-free) fast path.
+#[derive(Debug, Clone)]
+pub struct FaultOptions {
+    /// The machine-wide fault plan (shared; each rank evaluates only the
+    /// events it originates).
+    pub plan: Arc<FaultPlan>,
+    /// Checkpoint cadence in cycles (0 = never). A cadence of `k` also
+    /// snapshots the initial state before cycle 1, so there is always a
+    /// rollback target once the first commit lands.
+    pub checkpoint_every: usize,
+    /// Bounded-receive window used to detect silently lost messages.
+    /// Simulation wall-clock, not cost-model time; only armed when the
+    /// plan is non-empty.
+    pub recv_timeout_ms: u64,
+    /// Abort the run (loud panic) if any rank enters more than this many
+    /// recovery epochs — a backstop against livelock on a hostile plan.
+    pub max_recoveries: u32,
+}
+
+impl Default for FaultOptions {
+    fn default() -> FaultOptions {
+        FaultOptions {
+            plan: Arc::new(FaultPlan::none()),
+            checkpoint_every: 0,
+            recv_timeout_ms: 1500,
+            max_recoveries: 8,
+        }
+    }
+}
+
+/// Everything the SPMD body needs, bundled so replicas can share it.
+struct Ctx<'a> {
+    setup: &'a DistSetup,
+    cfg: SolverConfig,
+    strategy: Strategy,
+    cycles: usize,
+    opts: DistOptions,
+    fopts: &'a FaultOptions,
+}
+
+/// One in-memory checkpoint generation: the global fine-grid state at
+/// the end of `cycle` cycles (`cycle == None` marks the slot invalid,
+/// including mid-write).
+#[derive(Default)]
+struct CkSnap {
+    cycle: Option<usize>,
+    w: Vec<f64>,
+}
+
+/// Double-buffered checkpoint store. The writer invalidates and
+/// overwrites the slot holding the *older* checkpoint, so the newest
+/// committed generation survives a fault that lands mid-checkpoint.
+#[derive(Default)]
+struct CkStore {
+    slots: [CkSnap; 2],
+}
+
+impl CkStore {
+    /// Cycle of the newest committed checkpoint.
+    fn latest(&self) -> Option<usize> {
+        self.slots.iter().filter_map(|s| s.cycle).max()
+    }
+
+    fn get(&self, cycle: usize) -> Option<&[f64]> {
+        self.slots
+            .iter()
+            .find(|s| s.cycle == Some(cycle))
+            .map(|s| s.w.as_slice())
+    }
+
+    /// Invalidate every checkpoint from beyond the rollback point
+    /// (`None` = all of them). Replayed cycles recommit the same
+    /// (deterministic) snapshots; discarding keeps the divergence
+    /// between any two instances' stores to at most one generation,
+    /// which is what makes the agreed rollback target restorable
+    /// everywhere.
+    fn rollback_to(&mut self, keep_up_to: Option<usize>) {
+        for s in &mut self.slots {
+            if let Some(c) = s.cycle {
+                if keep_up_to.is_none_or(|k| c > k) {
+                    s.cycle = None;
+                }
+            }
+        }
+    }
+
+    /// Start writing a new generation: pick the invalid or older slot,
+    /// mark it invalid (commit happens by setting `cycle` afterwards),
+    /// and hand it out. Never touches the newest committed slot.
+    fn begin_write(&mut self) -> &mut CkSnap {
+        let i = match (self.slots[0].cycle, self.slots[1].cycle) {
+            (None, _) => 0,
+            (_, None) => 1,
+            (Some(a), Some(b)) => usize::from(a > b),
+        };
+        self.slots[i].cycle = None;
+        &mut self.slots[i]
+    }
+
+    /// Install a received (shipped) checkpoint as a committed slot.
+    fn install(&mut self, cycle: usize, w: Vec<f64>) {
+        let s = self.begin_write();
+        s.w = w;
+        s.cycle = Some(cycle);
+    }
+}
+
+/// Mutable state of one virtual rank's cycle loop.
+struct LoopState {
+    solver: Option<DistSolver>,
+    /// Cycles completed (== `history.len()`).
+    cycle: usize,
+    history: Vec<f64>,
+    /// Cumulative `comm_allocs` after each cycle, truncated on rollback
+    /// in lockstep with `history`.
+    cycle_allocs: Vec<u64>,
+    cks: CkStore,
+    /// Phase counters of solvers retired by recovery rebuilds.
+    retired: PhaseCounters,
+    setup_counters: Option<RankCounters>,
+    /// Dead ranks whose adoption this instance has already resolved.
+    handled: Vec<bool>,
+}
+
+fn comm_snap(rank: &Rank) -> (u64, u64, u64) {
+    (
+        rank.counters.total_messages(),
+        rank.counters.total_bytes(),
+        rank.counters.comm_allocs,
+    )
+}
+
+/// The adopting buddy of dead rank `d`: the first live virtual id after
+/// it, scanning cyclically. Every instance computes the same answer from
+/// the (epoch-consistent) dead set, so no negotiation is needed.
+fn buddy(rank: &Rank, d: usize) -> usize {
+    (1..rank.nranks)
+        .map(|k| (d + k) % rank.nranks)
+        .find(|&v| rank.live(v))
+        .expect("every rank is dead; nobody left to adopt")
+}
+
+/// Copy this rank's owned fine-grid entries out of a global snapshot.
+/// Ghost slots stay stale; every stage re-gathers them before use.
+fn restore_from(s: &mut DistSolver, w_global: &[f64]) {
+    let fine = &mut s.levels[0];
+    let n = fine.n_owned();
+    for k in 0..n {
+        let g = fine.rm.owned_globals[k] as usize * NVAR;
+        fine.st.w[k * NVAR..(k + 1) * NVAR].copy_from_slice(&w_global[g..g + NVAR]);
+    }
+}
+
+/// Collective checkpoint: gather owned fine-grid state to virtual rank
+/// 0, reassemble the global layout there, broadcast it back, and commit
+/// it into the double-buffered store on every instance. Charged to
+/// [`Phase::Checkpoint`]. Runs over the persistent ping-pong pack-buffer
+/// streams (`ck_tag` up to root, `ck_tag + 1` back down) rather than the
+/// collective primitives: collectives migrate buffer ownership from
+/// sender pool to receiver pool, which slowly churns fresh allocations
+/// when the two directions move different sizes; pack streams return
+/// every buffer to its owner, so steady-state checkpoints allocate
+/// nothing.
+fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize) {
+    let LoopState { solver, cks, .. } = st;
+    let s = solver.as_mut().expect("checkpoint without a solver");
+    let (m0, b0, a0) = comm_snap(rank);
+    let nglob = ctx.setup.seq.meshes[0].nverts() * NVAR;
+    let slot = cks.begin_write();
+    slot.w.resize(nglob, 0.0);
+    let fine = &s.levels[0];
+    let own = &fine.st.w[..fine.n_owned() * NVAR];
+    if rank.id == 0 {
+        for (k, &g) in fine.rm.owned_globals.iter().enumerate() {
+            let dst = g as usize * NVAR;
+            slot.w[dst..dst + NVAR].copy_from_slice(&own[k * NVAR..(k + 1) * NVAR]);
+        }
+        for src in 1..ctx.setup.nranks {
+            let part = rank.recv_f64(src, s.ck_tag);
+            for (k, &g) in ctx.setup.pms[0].ranks[src].owned_globals.iter().enumerate() {
+                let dst = g as usize * NVAR;
+                slot.w[dst..dst + NVAR].copy_from_slice(&part[k * NVAR..(k + 1) * NVAR]);
+            }
+            rank.return_packed_f64(src, s.ck_tag, part);
+        }
+        for dst in 1..ctx.setup.nranks {
+            let mut buf = rank.take_pack_f64(dst, s.ck_tag + 1, nglob);
+            buf.extend_from_slice(&slot.w);
+            rank.send_packed_f64(dst, s.ck_tag + 1, buf, CommClass::Recovery);
+        }
+    } else {
+        let mut buf = rank.take_pack_f64(0, s.ck_tag, own.len());
+        buf.extend_from_slice(own);
+        rank.send_packed_f64(0, s.ck_tag, buf, CommClass::Recovery);
+        let got = rank.recv_f64(0, s.ck_tag + 1);
+        slot.w.copy_from_slice(&got);
+        rank.return_packed_f64(0, s.ck_tag + 1, got);
+    }
+    slot.cycle = Some(cycle);
+    let (m1, b1, a1) = comm_snap(rank);
+    s.counter
+        .add_comm(Phase::Checkpoint, m1 - m0, b1 - b0, a1 - a0);
+}
+
+/// One solver cycle, preceded by its due checkpoint, followed by the
+/// residual-monitoring reduction.
+fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) {
+    let c = st.cycle;
+    // Everything in this iteration — including the leading checkpoint —
+    // belongs to (1-based) fault cycle c + 1.
+    rank.set_fault_cycle((c + 1) as u64);
+    let k = ctx.fopts.checkpoint_every;
+    if k > 0 && c.is_multiple_of(k) {
+        take_checkpoint(rank, ctx, st, c);
+    }
+    let LoopState {
+        solver, history, ..
+    } = st;
+    let s = solver.as_mut().expect("cycle without a solver");
+    let (sum, n) = s.cycle(rank);
+    if ctx.opts.monitor_residual {
+        let (m0, b0, a0) = comm_snap(rank);
+        let mut parts = [sum, n];
+        rank.all_reduce_sum_in_place(&mut parts);
+        let (m1, b1, a1) = comm_snap(rank);
+        s.counter
+            .add_comm(Phase::Monitor, m1 - m0, b1 - b0, a1 - a0);
+        history.push((parts[0] / parts[1]).sqrt());
+    } else {
+        history.push(f64::NAN);
+    }
+    st.cycle_allocs.push(rank.counters.comm_allocs);
+    st.cycle += 1;
+}
+
+/// Hand dead rank `d`'s partition to a replica thread on this node. The
+/// replica enters [`virtual_loop`] in joining mode and its output lands
+/// in `collector` when the run completes.
+fn spawn_replica<'scope, 'env>(
+    rank: &Rank,
+    ctx: &'scope Ctx<'scope>,
+    d: usize,
+    scope: &'scope Scope<'scope, 'env>,
+    collector: &'scope Mutex<Vec<AdoptedOutput>>,
+) {
+    let mut vrank = rank.adopt(d);
+    let host = rank.id;
+    std::thread::Builder::new()
+        .name(format!("delta-virt-{d}"))
+        .stack_size(4 << 20)
+        .spawn_scoped(scope, move || {
+            let out = virtual_loop(&mut vrank, ctx, scope, collector, Some(host));
+            let counters = vrank.counters.clone();
+            collector.lock().unwrap().push(AdoptedOutput {
+                vid: d,
+                out,
+                counters,
+            });
+        })
+        .expect("spawn adopted-rank thread");
+}
+
+/// Enter recovery epoch `e`: abort peers, adopt newly dead partitions
+/// this instance is buddy for, rebuild every schedule in the epoch's tag
+/// space, agree on the rollback target, restore, and ship the agreed
+/// checkpoint (plus residual history) to replicas spawned here.
+fn do_recover<'scope, 'env>(
+    rank: &mut Rank,
+    ctx: &'scope Ctx<'scope>,
+    st: &mut LoopState,
+    e: u32,
+    scope: &'scope Scope<'scope, 'env>,
+    collector: &'scope Mutex<Vec<AdoptedOutput>>,
+) {
+    let (m0, b0, a0) = comm_snap(rank);
+    rank.begin_recovery(e);
+    if let Some(s) = st.solver.take() {
+        st.retired.merge(&s.counter);
+    }
+    let mut shipped: Vec<usize> = Vec::new();
+    for d in 0..ctx.setup.nranks {
+        if !rank.live(d) && !st.handled[d] {
+            st.handled[d] = true;
+            if buddy(rank, d) == rank.id {
+                spawn_replica(rank, ctx, d, scope, collector);
+                shipped.push(d);
+            }
+        }
+    }
+    let mut s = DistSolver::build_epoch(
+        rank,
+        ctx.setup,
+        ctx.cfg,
+        ctx.strategy,
+        ctx.opts,
+        rank.epoch(),
+    );
+    // Agree on the newest checkpoint every instance can restore:
+    // min over instances of their newest commit, via a max of negated
+    // cycles. An instance with nothing to offer forces a restart from
+    // initial conditions (+inf -> agreed = -inf); replicas spawned this
+    // epoch contribute -inf (unconstraining) and get the result shipped.
+    let mut v = [match st.cks.latest() {
+        Some(c) => -(c as f64),
+        None => f64::INFINITY,
+    }];
+    rank.all_reduce_max_in_place(&mut v);
+    let agreed = -v[0];
+    if agreed.is_finite() {
+        let c = agreed as usize;
+        restore_from(
+            &mut s,
+            st.cks
+                .get(c)
+                .expect("agreed rollback target missing from this instance's store"),
+        );
+        st.cycle = c;
+        st.history.truncate(c);
+        st.cycle_allocs.truncate(c);
+        st.cks.rollback_to(Some(c));
+        for &d in &shipped {
+            let w = st.cks.get(c).expect("just restored from it");
+            let mut buf = rank.take_f64(w.len());
+            buf.extend_from_slice(w);
+            rank.send_f64(d, s.ck_tag, buf, CommClass::Recovery);
+            let mut h = rank.take_f64(st.history.len());
+            h.extend_from_slice(&st.history);
+            rank.send_f64(d, s.ck_tag + 1, h, CommClass::Recovery);
+        }
+    } else {
+        // Nobody has a usable checkpoint: restart the (deterministic)
+        // run from the freshly built initial state.
+        st.cycle = 0;
+        st.history.clear();
+        st.cycle_allocs.clear();
+        st.cks.rollback_to(None);
+    }
+    let (m1, b1, a1) = comm_snap(rank);
+    s.counter
+        .add_comm(Phase::Recovery, m1 - m0, b1 - b0, a1 - a0);
+    st.solver = Some(s);
+}
+
+/// A freshly adopted replica joins the recovery epoch in progress:
+/// rebuild (same collective sequence as the survivors' rebuild), take
+/// part in the rollback agreement without constraining it, and receive
+/// the agreed checkpoint and history from the hosting buddy.
+fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
+    let (m0, b0, a0) = comm_snap(rank);
+    let mut s = DistSolver::build_epoch(
+        rank,
+        ctx.setup,
+        ctx.cfg,
+        ctx.strategy,
+        ctx.opts,
+        rank.epoch(),
+    );
+    let mut v = [f64::NEG_INFINITY];
+    rank.all_reduce_max_in_place(&mut v);
+    let agreed = -v[0];
+    if agreed.is_finite() {
+        let c = agreed as usize;
+        let w = rank.recv_f64(host, s.ck_tag);
+        let h = rank.recv_f64(host, s.ck_tag + 1);
+        st.history.clear();
+        st.history.extend_from_slice(&h);
+        rank.recycle_f64(h);
+        st.cks.install(c, w);
+        restore_from(&mut s, st.cks.get(c).expect("just installed"));
+        st.cycle = c;
+    } else {
+        st.cycle = 0;
+        st.history.clear();
+    }
+    // The replica has no alloc record of the cycles it skipped past;
+    // pad with the current counter so tail deltas stay meaningful.
+    st.cycle_allocs.clear();
+    st.cycle_allocs.resize(st.cycle, rank.counters.comm_allocs);
+    st.setup_counters = Some(rank.counters.clone());
+    let (m1, b1, a1) = comm_snap(rank);
+    s.counter
+        .add_comm(Phase::Recovery, m1 - m0, b1 - b0, a1 - a0);
+    st.solver = Some(s);
+}
+
+/// The cycle loop of one virtual rank, primary or adopted replica: a
+/// state machine of `build | join | recover | step` actions, each run
+/// under `catch_unwind` so [`FaultSignal`] unwinds from the
+/// communication layer become state transitions instead of crashes.
+fn virtual_loop<'scope, 'env>(
+    rank: &mut Rank,
+    ctx: &'scope Ctx<'scope>,
+    scope: &'scope Scope<'scope, 'env>,
+    collector: &'scope Mutex<Vec<AdoptedOutput>>,
+    join_from: Option<usize>,
+) -> RankOutput {
+    let nranks = ctx.setup.nranks;
+    let mut st = LoopState {
+        solver: None,
+        cycle: 0,
+        history: Vec::new(),
+        cycle_allocs: Vec::new(),
+        cks: CkStore::default(),
+        retired: PhaseCounters::default(),
+        setup_counters: None,
+        handled: vec![false; nranks],
+    };
+    if join_from.is_some() {
+        // Ranks already dead when this replica was spawned were adopted
+        // by others (or are this replica itself); never re-adopt them.
+        for d in 0..nranks {
+            st.handled[d] = !rank.live(d);
+        }
+    }
+    let mut pending: Option<u32> = None;
+    let mut join = join_from;
+    loop {
+        if pending.is_some() && rank.counters.recoveries >= u64::from(ctx.fopts.max_recoveries) {
+            panic!(
+                "virtual rank {} exceeded max_recoveries ({}): fault plan livelocks",
+                rank.id, ctx.fopts.max_recoveries
+            );
+        }
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(e) = pending.take() {
+                do_recover(rank, ctx, &mut st, e, scope, collector);
+            } else if let Some(host) = join.take() {
+                do_join(rank, ctx, &mut st, host);
+            } else if st.solver.is_none() {
+                st.solver = Some(DistSolver::build(
+                    rank,
+                    ctx.setup,
+                    ctx.cfg,
+                    ctx.strategy,
+                    ctx.opts,
+                ));
+                st.setup_counters = Some(rank.counters.clone());
+            } else if st.cycle < ctx.cycles {
+                do_step(rank, ctx, &mut st);
+            } else {
+                return true;
+            }
+            false
+        }));
+        match res {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(payload) => match payload.downcast::<FaultSignal>() {
+                Ok(sig) => match *sig {
+                    FaultSignal::Killed => {
+                        rank.announce_death();
+                        let mut phases = st.retired;
+                        if let Some(s) = &st.solver {
+                            phases.merge(&s.counter);
+                        }
+                        rank.add_flops(phases.flops());
+                        return RankOutput {
+                            history: st.history,
+                            cycle_allocs: st.cycle_allocs,
+                            w_owned: Vec::new(),
+                            owned_globals: Vec::new(),
+                            setup_counters: st
+                                .setup_counters
+                                .unwrap_or_else(|| rank.counters.clone()),
+                            phases,
+                            fate: RankFate::Died { cycle: st.cycle },
+                            adopted: Vec::new(),
+                        };
+                    }
+                    FaultSignal::Recover { epoch, .. } => {
+                        pending = Some(epoch.max(rank.epoch() + 1));
+                    }
+                },
+                Err(other) => resume_unwind(other),
+            },
+        }
+    }
+    let solver = st.solver.take().expect("completed without a solver");
+    let mut phases = st.retired;
+    phases.merge(&solver.counter);
+    rank.add_flops(phases.flops());
+    let fine = &solver.levels[0];
+    RankOutput {
+        history: st.history,
+        cycle_allocs: st.cycle_allocs,
+        w_owned: fine.st.w[..fine.n_owned() * NVAR].to_vec(),
+        owned_globals: fine.rm.owned_globals.clone(),
+        setup_counters: st.setup_counters.unwrap_or_default(),
+        phases,
+        fate: RankFate::Completed,
+        adopted: Vec::new(),
+    }
+}
+
+/// Run a distributed solve under a fault plan. With the default
+/// (fault-free) options this reduces to the plain cycle loop of
+/// [`super::solver::run_distributed`]; with faults, ranks detect
+/// failures, roll back to the last replicated checkpoint, rebuild their
+/// schedules, and converge to the bit-identical residual history of the
+/// fault-free run.
+pub fn run_distributed_with_faults(
+    setup: &DistSetup,
+    cfg: SolverConfig,
+    strategy: Strategy,
+    cycles: usize,
+    opts: DistOptions,
+    fopts: &FaultOptions,
+) -> DistRunResult {
+    let ctx = Ctx {
+        setup,
+        cfg,
+        strategy,
+        cycles,
+        opts,
+        fopts,
+    };
+    let run = run_spmd(setup.nranks, |rank| {
+        rank.install_faults(
+            fopts.plan.clone(),
+            Some(Duration::from_millis(fopts.recv_timeout_ms)),
+        );
+        let collector = Mutex::new(Vec::new());
+        let mut out = std::thread::scope(|scope| virtual_loop(rank, &ctx, scope, &collector, None));
+        for a in collector.into_inner().expect("replica thread poisoned") {
+            // The physical node pays for the replicas it hosts.
+            rank.counters.merge(&a.counters);
+            out.adopted.push(a);
+        }
+        out
+    });
+    DistRunResult { run }
+}

@@ -1,7 +1,7 @@
 //! The distributed solve driver: SPMD body construction, the distributed
 //! multigrid recursion, and the top-level [`run_distributed`] entry.
 
-use eul3d_delta::{run_spmd, MachineRun, Rank, RankCounters};
+use eul3d_delta::{MachineRun, Rank, RankCounters};
 use eul3d_parti::TagAllocator;
 
 use crate::config::SolverConfig;
@@ -33,6 +33,28 @@ impl Default for DistOptions {
     }
 }
 
+/// How a virtual rank's run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankFate {
+    /// Ran to the final cycle.
+    Completed,
+    /// Killed by the fault plan with `cycle` cycles completed; its
+    /// partition finished on an adopting node.
+    Died { cycle: usize },
+}
+
+/// Output of a virtual rank a node hosted after adopting a dead rank's
+/// partition during fault recovery.
+#[derive(Debug, Clone)]
+pub struct AdoptedOutput {
+    /// Virtual rank id (the dead rank whose partition this instance ran).
+    pub vid: usize,
+    pub out: RankOutput,
+    /// Machine counters of the adopted instance (also merged into the
+    /// hosting node's counters — the physical node pays for both).
+    pub counters: RankCounters,
+}
+
 /// What each rank returns from the SPMD body.
 #[derive(Debug, Clone)]
 pub struct RankOutput {
@@ -48,6 +70,15 @@ pub struct RankOutput {
     pub setup_counters: RankCounters,
     /// Per-phase flop/launch/message accounting from the executor layer.
     pub phases: PhaseCounters,
+    /// Cumulative fresh communication-buffer allocations of this
+    /// instance at the end of each cycle, rollback-truncated like
+    /// `history`: the tail deltas prove steady-state cycles allocate
+    /// nothing even after a recovery.
+    pub cycle_allocs: Vec<u64>,
+    /// How this virtual rank ended.
+    pub fate: RankFate,
+    /// Virtual ranks this node adopted and ran to completion.
+    pub adopted: Vec<AdoptedOutput>,
 }
 
 /// Result of a distributed run.
@@ -56,21 +87,42 @@ pub struct DistRunResult {
 }
 
 impl DistRunResult {
-    /// Residual history (from rank 0; empty if the run produced no
-    /// rank outputs).
+    /// Every virtual-rank instance in the run: primaries plus any
+    /// adopted replicas, tagged with their virtual id.
+    pub fn instances(&self) -> Vec<(usize, &RankOutput)> {
+        let mut all = Vec::new();
+        for (vid, out) in self.run.results.iter().enumerate() {
+            all.push((vid, out));
+            for a in &out.adopted {
+                all.push((a.vid, &a.out));
+            }
+        }
+        all
+    }
+
+    /// The completed instance of virtual rank `vid` — the primary if it
+    /// survived, its adopted replica otherwise.
+    pub fn instance(&self, vid: usize) -> Option<&RankOutput> {
+        self.instances()
+            .into_iter()
+            .find(|(v, o)| *v == vid && o.fate == RankFate::Completed)
+            .map(|(_, o)| o)
+    }
+
+    /// Residual history (from virtual rank 0, wherever it finished;
+    /// empty if the run produced no completed rank-0 instance).
     pub fn history(&self) -> &[f64] {
-        self.run
-            .results
-            .first()
+        self.instance(0)
             .map(|r| r.history.as_slice())
             .unwrap_or(&[])
     }
 
     /// Reassemble the global fine-grid state from the rank pieces.
-    /// Vertices not owned by any reporting rank stay zero.
+    /// Vertices not owned by any reporting rank stay zero. Dead
+    /// primaries report empty pieces; their adopted replicas fill in.
     pub fn global_state(&self, nverts: usize) -> Vec<f64> {
         let mut w = vec![0.0; nverts * NVAR];
-        for out in &self.run.results {
+        for (_, out) in self.instances() {
             for (k, &g) in out.owned_globals.iter().enumerate() {
                 let (src, dst) = (k * NVAR, g as usize * NVAR);
                 w[dst..dst + NVAR].copy_from_slice(&out.w_owned[src..src + NVAR]);
@@ -99,9 +151,15 @@ impl DistRunResult {
             .collect()
     }
 
-    /// Per-rank per-phase executor counters for the cycle work.
+    /// Per-instance per-phase executor counters for the cycle work
+    /// (one entry per virtual-rank instance, adopted replicas included,
+    /// so the list can be longer than the machine when a run recovered
+    /// from rank deaths).
     pub fn phase_counters(&self) -> Vec<PhaseCounters> {
-        self.run.results.iter().map(|o| o.phases).collect()
+        self.instances()
+            .into_iter()
+            .map(|(_, o)| o.phases)
+            .collect()
     }
 }
 
@@ -113,6 +171,9 @@ pub struct DistSolver {
     pub strategy: Strategy,
     pub opts: DistExecOptions,
     pub counter: PhaseCounters,
+    /// Reserved tag pair for recovery traffic (checkpoint shipping to
+    /// adopted ranks); epoch-shifted like every schedule tag.
+    pub ck_tag: u32,
 }
 
 impl DistSolver {
@@ -125,6 +186,21 @@ impl DistSolver {
         strategy: Strategy,
         opts: DistOptions,
     ) -> DistSolver {
+        DistSolver::build_epoch(rank, setup, cfg, strategy, opts, 0)
+    }
+
+    /// [`DistSolver::build`] for a recovery epoch: the whole tag sequence
+    /// shifts into `epoch`'s disjoint stride, so schedules rebuilt after
+    /// a fault never collide with ranges still reserved on survivors from
+    /// before the failure.
+    pub fn build_epoch(
+        rank: &mut Rank,
+        setup: &DistSetup,
+        cfg: SolverConfig,
+        strategy: Strategy,
+        opts: DistOptions,
+        epoch: u32,
+    ) -> DistSolver {
         let nlevels = match strategy {
             Strategy::SingleGrid => 1,
             _ => setup.levels(),
@@ -132,7 +208,7 @@ impl DistSolver {
         // Disjoint tag ranges for every schedule: 2 tags per level halo,
         // 4 per transfer link (two schedules each). Identical allocation
         // sequence on every rank, so tags agree machine-wide.
-        let mut tags = TagAllocator::new(100);
+        let mut tags = TagAllocator::for_epoch(100, epoch);
         let level_tags: Vec<u32> = (0..nlevels).map(|_| tags.range(2)).collect();
         let levels: Vec<DistLevel> = (0..nlevels)
             .map(|l| DistLevel::build(rank, &setup.pms[l], &cfg, level_tags[l]))
@@ -152,6 +228,8 @@ impl DistSolver {
                 )
             })
             .collect();
+        let ck_tag = tags.range(2);
+        rank.reserve_tags(ck_tag, ck_tag + 2);
         DistSolver {
             levels,
             links,
@@ -161,6 +239,7 @@ impl DistSolver {
                 refetch_per_loop: opts.refetch_per_loop,
             },
             counter: PhaseCounters::default(),
+            ck_tag,
         }
     }
 
@@ -271,7 +350,9 @@ impl DistSolver {
     }
 }
 
-/// Run a full distributed solve on the simulated machine.
+/// Run a full distributed solve on the simulated machine. Fault-free:
+/// delegates to the recovery-capable driver with an empty fault plan,
+/// which reduces to the plain cycle loop.
 pub fn run_distributed(
     setup: &DistSetup,
     cfg: SolverConfig,
@@ -279,42 +360,12 @@ pub fn run_distributed(
     cycles: usize,
     opts: DistOptions,
 ) -> DistRunResult {
-    let run = run_spmd(setup.nranks, |rank| {
-        let mut solver = DistSolver::build(rank, setup, cfg, strategy, opts);
-        let setup_counters = rank.counters.clone();
-        let mut history = Vec::with_capacity(cycles);
-        for _ in 0..cycles {
-            let (sum, n) = solver.cycle(rank);
-            if opts.monitor_residual {
-                let (m0, b0, a0) = (
-                    rank.counters.total_messages(),
-                    rank.counters.total_bytes(),
-                    rank.counters.comm_allocs,
-                );
-                let mut parts = [sum, n];
-                rank.all_reduce_sum_in_place(&mut parts);
-                let (m1, b1, a1) = (
-                    rank.counters.total_messages(),
-                    rank.counters.total_bytes(),
-                    rank.counters.comm_allocs,
-                );
-                solver
-                    .counter
-                    .add_comm(Phase::Monitor, m1 - m0, b1 - b0, a1 - a0);
-                history.push((parts[0] / parts[1]).sqrt());
-            } else {
-                history.push(f64::NAN);
-            }
-        }
-        rank.add_flops(solver.counter.flops());
-        let fine = &solver.levels[0];
-        RankOutput {
-            history,
-            w_owned: fine.st.w[..fine.n_owned() * NVAR].to_vec(),
-            owned_globals: fine.rm.owned_globals.clone(),
-            setup_counters,
-            phases: solver.counter,
-        }
-    });
-    DistRunResult { run }
+    super::recover::run_distributed_with_faults(
+        setup,
+        cfg,
+        strategy,
+        cycles,
+        opts,
+        &super::recover::FaultOptions::default(),
+    )
 }

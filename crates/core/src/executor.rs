@@ -53,10 +53,14 @@ pub enum Phase {
     Transfer,
     /// Convergence monitoring (residual-norm reductions).
     Monitor,
+    /// Periodic distributed state snapshots (gather + replicate).
+    Checkpoint,
+    /// Fault recovery: abort propagation, schedule rebuild, rollback.
+    Recovery,
 }
 
 /// Number of [`Phase`] variants.
-pub const NPHASES: usize = 11;
+pub const NPHASES: usize = 13;
 
 impl Phase {
     /// All phases, in reporting order.
@@ -72,6 +76,8 @@ impl Phase {
         Phase::Update,
         Phase::Transfer,
         Phase::Monitor,
+        Phase::Checkpoint,
+        Phase::Recovery,
     ];
 
     /// Dense index for table layouts.
@@ -88,6 +94,8 @@ impl Phase {
             Phase::Update => 8,
             Phase::Transfer => 9,
             Phase::Monitor => 10,
+            Phase::Checkpoint => 11,
+            Phase::Recovery => 12,
         }
     }
 
@@ -105,6 +113,8 @@ impl Phase {
             Phase::Update => "update",
             Phase::Transfer => "transfer",
             Phase::Monitor => "monitor",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
         }
     }
 }

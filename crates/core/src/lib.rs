@@ -57,3 +57,14 @@ pub use gas::{Freestream, NVAR};
 pub use history::ConvergenceHistory;
 pub use multigrid::{MultigridSolver, Strategy};
 pub use solver::SingleGridSolver;
+
+/// Deterministic seed for randomized setup (mesh jitter, partitioner
+/// starts): the `EUL3D_SEED` environment variable when set to a valid
+/// integer, `default` otherwise. CI sweeps a small seed matrix through
+/// this to keep tests honest about seed sensitivity.
+pub fn env_seed(default: u64) -> u64 {
+    std::env::var("EUL3D_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}

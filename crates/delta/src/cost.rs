@@ -81,7 +81,12 @@ impl CostModel {
             .fold(0.0, f64::max);
         let comm = counters
             .iter()
-            .map(|c| self.comm_seconds_with_hops(c.total_messages(), c.total_bytes(), c.hops))
+            .map(|c| {
+                // Injected delivery delays are priced as extra latency
+                // quanta on the sending rank.
+                self.comm_seconds_with_hops(c.total_messages(), c.total_bytes(), c.hops)
+                    + c.fault_ticks as f64 * self.latency_s
+            })
             .fold(0.0, f64::max);
         let total_flops: f64 = counters.iter().map(|c| c.flops).sum();
         let mut class_seconds = [0.0f64; crate::msg::N_COMM_CLASSES];

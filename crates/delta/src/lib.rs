@@ -33,13 +33,15 @@
 //! ```
 
 pub mod cost;
+pub mod fault;
 pub mod machine;
 pub mod msg;
 pub mod pool;
 pub mod rank;
 
 pub use cost::{CostBreakdown, CostModel};
+pub use fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState, KillSpec, MsgFault};
 pub use machine::{run_spmd, MachineRun};
-pub use msg::{CommClass, CommStats, Payload, RankCounters};
+pub use msg::{checksum, CommClass, CommStats, Payload, RankCounters};
 pub use pool::CommBuffers;
 pub use rank::{Rank, COLLECTIVE_TAG_BASE};

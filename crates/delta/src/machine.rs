@@ -37,6 +37,10 @@ where
     assert!(nranks >= 1);
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..nranks).map(|_| unbounded()).unzip();
     let barrier = Arc::new(Barrier::new(nranks));
+    // Every rank gets a handle on every mailbox (receivers clone), so a
+    // survivor can adopt a dead rank's channel during fault recovery —
+    // and channels stay connected even after a rank's thread exits.
+    let rxs_all = Arc::new(rxs.clone());
     let body = &body;
 
     let mut slots: Vec<Option<(T, RankCounters)>> = (0..nranks).map(|_| None).collect();
@@ -45,11 +49,12 @@ where
         for (id, rx) in rxs.into_iter().enumerate() {
             let txs = txs.clone();
             let barrier = barrier.clone();
+            let rxs_all = rxs_all.clone();
             let h = std::thread::Builder::new()
                 .name(format!("delta-rank-{id}"))
                 .stack_size(4 << 20)
                 .spawn_scoped(scope, move || {
-                    let mut rank = Rank::new(id, nranks, rx, txs, barrier);
+                    let mut rank = Rank::new(id, nranks, rx, txs, barrier, rxs_all);
                     // A panicking rank poisons its peers so ranks blocked
                     // in a receive abort instead of deadlocking the scope
                     // join; the original panic is then re-raised.
@@ -336,5 +341,206 @@ mod tests {
             // Every other rank blocks on a message that will never come.
             r.recv_f64(1, 77)
         });
+    }
+
+    mod faults {
+        use super::*;
+        use crate::cost::CostModel;
+        use crate::fault::{FaultCause, FaultPlan, FaultSignal};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        const WINDOW: Duration = Duration::from_secs(5);
+
+        /// Run `f`, returning the [`FaultSignal`] it unwound with.
+        fn caught<R>(f: impl FnOnce() -> R) -> FaultSignal {
+            let e = match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(_) => panic!("expected a fault"),
+                Err(e) => e,
+            };
+            match e.downcast::<FaultSignal>() {
+                Ok(s) => *s,
+                Err(e) => resume_unwind(e),
+            }
+        }
+
+        #[test]
+        fn duplicated_message_is_discarded_by_seq_filter() {
+            let plan = Arc::new(FaultPlan::parse("dup:0>1#0", 2).unwrap());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(WINDOW));
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![1.0], CommClass::Halo);
+                    r.send_f64(1, 5, vec![2.0], CommClass::Halo);
+                    0.0
+                } else {
+                    // Without the sequence filter the duplicate of the
+                    // first message would shadow the second.
+                    r.recv_f64(0, 5)[0] + r.recv_f64(0, 5)[0]
+                }
+            });
+            assert_eq!(run.results[1], 3.0);
+            assert_eq!(run.counters[1].dup_discards, 1);
+        }
+
+        #[test]
+        fn delay_fault_is_priced_as_latency() {
+            let plan = Arc::new(FaultPlan::parse("delay:0>1#0=500", 2).unwrap());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(WINDOW));
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![1.0], CommClass::Halo);
+                }
+                if r.id == 1 {
+                    r.recv_f64(0, 5);
+                }
+            });
+            assert_eq!(run.counters[0].fault_ticks, 500);
+            let m = CostModel::delta_i860();
+            let with = m.evaluate(&run.counters).comm_seconds;
+            let mut clean = run.counters.clone();
+            clean[0].fault_ticks = 0;
+            let without = m.evaluate(&clean).comm_seconds;
+            assert!((with - without - 500.0 * m.latency_s).abs() < 1e-12);
+        }
+
+        #[test]
+        fn dropped_message_raises_lost_on_the_gap() {
+            let plan = Arc::new(FaultPlan::parse("drop:0>1#0", 2).unwrap());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(WINDOW));
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![1.0], CommClass::Halo);
+                    r.send_f64(1, 5, vec![2.0], CommClass::Halo);
+                    true
+                } else {
+                    // The second message arrives with seq 1 while seq 0
+                    // was never seen: a detectable gap.
+                    match caught(|| r.recv_f64(0, 5)) {
+                        FaultSignal::Recover {
+                            epoch: 1,
+                            cause: FaultCause::Lost,
+                            ..
+                        } => true,
+                        other => panic!("unexpected signal {other:?}"),
+                    }
+                }
+            });
+            assert!(run.results.iter().all(|&ok| ok));
+        }
+
+        #[test]
+        fn silently_lost_message_hits_the_timeout() {
+            // Drop the only message on the stream: no gap ever shows, so
+            // the bounded receive is the detector of last resort.
+            let plan = Arc::new(FaultPlan::parse("drop:0>1#0", 2).unwrap());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(Duration::from_millis(50)));
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![1.0], CommClass::Halo);
+                    true
+                } else {
+                    matches!(
+                        caught(|| r.recv_f64(0, 5)),
+                        FaultSignal::Recover {
+                            epoch: 1,
+                            cause: FaultCause::Timeout,
+                            ..
+                        }
+                    )
+                }
+            });
+            assert!(run.results.iter().all(|&ok| ok));
+        }
+
+        #[test]
+        fn corrupted_message_fails_its_checksum() {
+            let plan = Arc::new(FaultPlan::parse("corrupt:0>1#0", 2).unwrap());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(WINDOW));
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![1.0, 2.0], CommClass::Halo);
+                    true
+                } else {
+                    matches!(
+                        caught(|| r.recv_f64(0, 5)),
+                        FaultSignal::Recover {
+                            epoch: 1,
+                            cause: FaultCause::Corrupt,
+                            ..
+                        }
+                    )
+                }
+            });
+            assert!(run.results.iter().all(|&ok| ok));
+        }
+
+        #[test]
+        fn stale_epoch_traffic_is_discarded_after_recovery() {
+            let run = run_spmd(2, |r| {
+                if r.id == 0 {
+                    r.send_f64(1, 5, vec![7.0], CommClass::Halo); // epoch 0
+                    r.begin_recovery(1);
+                    r.send_f64(1, 5, vec![8.0], CommClass::Halo); // epoch 1
+                    (0.0, 0)
+                } else {
+                    // This rank detected the (hypothetical) failure first
+                    // and entered epoch 1 before consuming anything.
+                    r.begin_recovery(1);
+                    let got = r.recv_f64(0, 5)[0];
+                    (got, r.counters.stale_discards)
+                }
+            });
+            assert_eq!(run.results[1], (8.0, 1), "epoch-0 payload must be dropped");
+        }
+
+        #[test]
+        fn killed_rank_announces_death_and_its_mailbox_is_adoptable() {
+            let plan = Arc::new(FaultPlan::parse("kill:1@0", 3).unwrap());
+            let run = run_spmd(3, |r| {
+                r.install_faults(plan.clone(), Some(WINDOW));
+                r.set_fault_cycle(0);
+                match r.id {
+                    1 => {
+                        // The kill fires on this rank's first comm op.
+                        assert!(matches!(
+                            caught(|| r.send_f64(0, 5, vec![1.0], CommClass::Halo)),
+                            FaultSignal::Killed
+                        ));
+                        r.announce_death();
+                        -1.0
+                    }
+                    0 => {
+                        // Blocked on the dead rank; the death notice (or a
+                        // peer's abort relaying it) unwinds the receive.
+                        match caught(|| r.recv_f64(1, 5)) {
+                            FaultSignal::Recover { epoch: 1, dead, .. } => {
+                                assert_eq!(dead, vec![1]);
+                            }
+                            other => panic!("unexpected signal {other:?}"),
+                        }
+                        r.begin_recovery(1);
+                        // Adopt the dead rank's partition: its mailbox
+                        // lives on, and epoch-1 traffic addressed to rank
+                        // 1 arrives at the adopted instance.
+                        let mut v = r.adopt(1);
+                        v.recv_f64(2, 9)[0]
+                    }
+                    _ => {
+                        match caught(|| r.recv_f64(1, 5)) {
+                            FaultSignal::Recover { epoch: 1, dead, .. } => {
+                                assert_eq!(dead, vec![1]);
+                            }
+                            other => panic!("unexpected signal {other:?}"),
+                        }
+                        r.begin_recovery(1);
+                        r.send_f64(1, 9, vec![42.0], CommClass::Recovery);
+                        0.0
+                    }
+                }
+            });
+            assert_eq!(run.results[0], 42.0, "adopted mailbox must deliver");
+            assert!(run.counters[0].recoveries >= 1);
+        }
     }
 }

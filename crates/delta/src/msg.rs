@@ -3,12 +3,26 @@
 /// Typed message payload. The solver and the PARTI runtime only ever move
 /// index lists (`U32`) and field data (`F64`); `Poison` is injected by
 /// the SPMD driver when a rank panics, so peers blocked in a receive fail
-/// fast instead of deadlocking.
+/// fast instead of deadlocking. `Dead` and `Abort` are the recoverable
+/// counterparts: a rank killed by the fault plan announces `Dead`, and a
+/// rank entering a recovery epoch announces `Abort` so peers join it
+/// instead of timing out one by one.
 #[derive(Debug, Clone)]
 pub enum Payload {
     F64(Vec<f64>),
     U32(Vec<u32>),
     Poison,
+    /// The sender was killed by the fault plan and will never speak
+    /// again; survivors should recover into epoch `epoch`.
+    Dead {
+        epoch: u32,
+    },
+    /// The sender detected a failure and entered recovery epoch `epoch`;
+    /// `dead` is its view of the dead rank set.
+    Abort {
+        epoch: u32,
+        dead: Vec<u32>,
+    },
 }
 
 impl Payload {
@@ -18,6 +32,8 @@ impl Payload {
             Payload::F64(v) => 8 * v.len() as u64,
             Payload::U32(v) => 4 * v.len() as u64,
             Payload::Poison => 0,
+            Payload::Dead { .. } => 4,
+            Payload::Abort { dead, .. } => 4 + 4 * dead.len() as u64,
         }
     }
 
@@ -40,15 +56,55 @@ impl Payload {
             Payload::F64(_) => "F64",
             Payload::U32(_) => "U32",
             Payload::Poison => "Poison",
+            Payload::Dead { .. } => "Dead",
+            Payload::Abort { .. } => "Abort",
         }
     }
 }
 
-/// An in-flight message.
+/// FNV-1a checksum over the payload bits; 0 for control payloads (they
+/// are never corrupted — corruption models data-plane bit errors).
+pub fn checksum(payload: &Payload) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    match payload {
+        Payload::F64(v) => {
+            for x in v {
+                for b in x.to_bits().to_le_bytes() {
+                    eat(b);
+                }
+            }
+        }
+        Payload::U32(v) => {
+            for x in v {
+                for b in x.to_le_bytes() {
+                    eat(b);
+                }
+            }
+        }
+        _ => return 0,
+    }
+    h
+}
+
+/// An in-flight message. Data messages carry a recovery `epoch`, a
+/// per-`(src, tag)` stream sequence number, and a payload checksum so the
+/// receiver can detect stale, duplicated, lost, or corrupted traffic.
 #[derive(Debug)]
 pub struct Message {
     pub src: usize,
     pub tag: u32,
+    /// Recovery epoch the sender was in; receivers discard older epochs.
+    pub epoch: u32,
+    /// Position on the directed `(src, tag)` stream within this epoch.
+    pub seq: u64,
+    /// [`checksum`] of the payload at send time (0 for control payloads).
+    pub crc: u64,
     pub payload: Payload,
 }
 
@@ -62,9 +118,12 @@ pub enum CommClass {
     Transfer = 1,
     Inspector = 2,
     Collective = 3,
+    /// Fault-recovery traffic: abort announcements, checkpoint
+    /// redistribution to an adopting node.
+    Recovery = 4,
 }
 
-pub const N_COMM_CLASSES: usize = 4;
+pub const N_COMM_CLASSES: usize = 5;
 
 /// Message/byte counts for one class.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -105,6 +164,15 @@ pub struct RankCounters {
     pub comm_allocs: u64,
     /// Bytes freshly allocated for communication buffers.
     pub comm_alloc_bytes: u64,
+    /// Injected delivery-delay ticks charged to this rank's sends; the
+    /// cost model prices each tick as one network latency.
+    pub fault_ticks: u64,
+    /// Duplicated messages discarded by sequence-number filtering.
+    pub dup_discards: u64,
+    /// Stale messages (previous recovery epoch) discarded on receive.
+    pub stale_discards: u64,
+    /// Recovery epochs this rank entered.
+    pub recoveries: u64,
 }
 
 impl RankCounters {
@@ -148,7 +216,29 @@ impl RankCounters {
         out.hops = self.hops - earlier.hops;
         out.comm_allocs = self.comm_allocs - earlier.comm_allocs;
         out.comm_alloc_bytes = self.comm_alloc_bytes - earlier.comm_alloc_bytes;
+        out.fault_ticks = self.fault_ticks - earlier.fault_ticks;
+        out.dup_discards = self.dup_discards - earlier.dup_discards;
+        out.stale_discards = self.stale_discards - earlier.stale_discards;
+        out.recoveries = self.recoveries - earlier.recoveries;
         out
+    }
+
+    /// Fold another rank's counters into this one. Used when a node hosts
+    /// an adopted virtual rank: the machine-level cost of both instances
+    /// is paid by the one physical node.
+    pub fn merge(&mut self, o: &RankCounters) {
+        self.flops += o.flops;
+        for k in 0..N_COMM_CLASSES {
+            self.sent[k].merge(&o.sent[k]);
+        }
+        self.syncs += o.syncs;
+        self.hops += o.hops;
+        self.comm_allocs += o.comm_allocs;
+        self.comm_alloc_bytes += o.comm_alloc_bytes;
+        self.fault_ticks += o.fault_ticks;
+        self.dup_discards += o.dup_discards;
+        self.stale_discards += o.stale_discards;
+        self.recoveries += o.recoveries;
     }
 }
 
@@ -160,6 +250,26 @@ mod tests {
     fn payload_sizes() {
         assert_eq!(Payload::F64(vec![0.0; 10]).nbytes(), 80);
         assert_eq!(Payload::U32(vec![0; 10]).nbytes(), 40);
+        assert_eq!(Payload::Dead { epoch: 1 }.nbytes(), 4);
+        assert_eq!(
+            Payload::Abort {
+                epoch: 1,
+                dead: vec![2, 3]
+            }
+            .nbytes(),
+            12
+        );
+    }
+
+    #[test]
+    fn checksum_detects_bit_flips_and_ignores_control() {
+        let a = Payload::F64(vec![1.0, 2.0, 3.0]);
+        let mut flipped = vec![1.0f64, 2.0, 3.0];
+        flipped[1] = f64::from_bits(flipped[1].to_bits() ^ 1);
+        let b = Payload::F64(flipped);
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_eq!(checksum(&a), checksum(&Payload::F64(vec![1.0, 2.0, 3.0])));
+        assert_eq!(checksum(&Payload::Dead { epoch: 7 }), 0);
     }
 
     #[test]

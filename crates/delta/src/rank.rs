@@ -2,11 +2,14 @@
 //! deterministic collectives.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::panic_any;
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-use crate::msg::{CommClass, Message, Payload, RankCounters};
+use crate::fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState};
+use crate::msg::{checksum, CommClass, Message, Payload, RankCounters};
 use crate::pool::CommBuffers;
 
 /// Reserved tag space for collectives; user tags must stay below this.
@@ -43,6 +46,28 @@ pub struct Rank {
     /// Streams `(dst, tag)` with a lent pack buffer awaiting return
     /// (see [`Rank::take_pack_f64`]).
     outstanding: HashSet<(usize, u32)>,
+    /// Every rank's receive endpoint (crossbeam receivers are cloneable),
+    /// so a surviving node can adopt a dead rank's mailbox during
+    /// recovery. Also keeps channels connected after a rank thread exits.
+    rxs_all: Arc<Vec<Receiver<Message>>>,
+    /// Current recovery epoch; 0 until the first failure. Stamped on
+    /// every outgoing data message; older epochs are discarded on
+    /// receive.
+    epoch: u32,
+    /// Next sequence number per outgoing directed stream `(dst, tag)`,
+    /// reset each epoch. Collective tags share one stream per peer.
+    send_seq: HashMap<(usize, u32), u64>,
+    /// Next expected sequence number per incoming stream `(src, tag)`.
+    recv_seq: HashMap<(usize, u32), u64>,
+    /// Ranks known to have died (physically — their partitions live on
+    /// as adopted virtual ranks after recovery).
+    dead: Vec<bool>,
+    /// Fault-plan evaluation state; `None` on fault-free runs.
+    faults: Option<FaultState>,
+    /// Bounded-receive window; armed only when a fault plan is
+    /// installed, so fault-free runs keep the zero-overhead blocking
+    /// receive.
+    recv_timeout: Option<Duration>,
 }
 
 impl Rank {
@@ -52,6 +77,7 @@ impl Rank {
         rx: Receiver<Message>,
         txs: Vec<Sender<Message>>,
         barrier: Arc<Barrier>,
+        rxs_all: Arc<Vec<Receiver<Message>>>,
     ) -> Rank {
         // Nearly-square 2-D mesh factorization (the Delta itself was a
         // 16x32 mesh of i860s).
@@ -70,7 +96,53 @@ impl Rank {
             pool: CommBuffers::new(),
             reserved_tags: Vec::new(),
             outstanding: HashSet::new(),
+            rxs_all,
+            epoch: 0,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
+            dead: vec![false; nranks],
+            faults: None,
+            recv_timeout: None,
         }
+    }
+
+    /// Install a fault plan on this rank (SPMD: every rank installs the
+    /// same shared plan and evaluates only the entries it originates).
+    /// `timeout` arms the bounded receive used to detect silent message
+    /// loss; it is ignored for an empty plan so fault-free runs stay on
+    /// the blocking fast path.
+    pub fn install_faults(&mut self, plan: Arc<FaultPlan>, timeout: Option<Duration>) {
+        if plan.is_empty() {
+            return;
+        }
+        silence_fault_signal_panics();
+        self.recv_timeout = timeout;
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Announce the solver cycle to the fault layer (kills and
+    /// cycle-gated message faults key off it).
+    pub fn set_fault_cycle(&mut self, cycle: u64) {
+        if let Some(f) = self.faults.as_mut() {
+            f.set_cycle(cycle);
+        }
+    }
+
+    /// Current recovery epoch (0 = no failure yet).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Ranks known dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<u32> {
+        (0..self.nranks as u32)
+            .filter(|&r| self.dead[r as usize])
+            .collect()
+    }
+
+    /// Is rank `r` still alive (as a physical node)?
+    pub fn live(&self, r: usize) -> bool {
+        !self.dead[r]
     }
 
     /// Take a pack buffer for a *repeating* point-to-point stream
@@ -100,14 +172,13 @@ impl Rank {
 
     /// Return a consumed packed buffer to the rank that sent it, on the
     /// same stream. Pure pool bookkeeping (the real machine reuses a
-    /// persistent send buffer): not charged as traffic.
+    /// persistent send buffer): not charged as traffic, but still
+    /// sequence-stamped — it travels the same wire, so the fault layer
+    /// can target it and the receiver's gap detection must account
+    /// for it.
     pub fn return_packed_f64(&mut self, src: usize, tag: u32, mut buf: Vec<f64>) {
         buf.clear();
-        let _ = self.txs[src].send(Message {
-            src: self.id,
-            tag,
-            payload: Payload::F64(buf),
-        });
+        self.post(src, tag, Payload::F64(buf));
     }
 
     /// Take an empty pooled `f64` pack buffer with capacity ≥ `cap`. A
@@ -178,21 +249,95 @@ impl Rank {
         self.counters.add_flops(n);
     }
 
+    /// Directed streams share one sequence counter per `(peer, tag)`;
+    /// collective tags are rotated per operation but consumed in program
+    /// order per peer pair, so they fold onto a single per-peer stream —
+    /// keeping the sequence maps bounded by the communication pattern,
+    /// not the cycle count.
+    fn stream_key(peer: usize, tag: u32) -> (usize, u32) {
+        if tag >= COLLECTIVE_TAG_BASE {
+            (peer, COLLECTIVE_TAG_BASE)
+        } else {
+            (peer, tag)
+        }
+    }
+
+    /// The single exit point for every message this rank originates
+    /// (charged sends, uncharged buffer returns, collectives): stamps the
+    /// recovery epoch, the stream sequence number, and the payload
+    /// checksum, then consults the fault plan — which may drop,
+    /// duplicate, corrupt, or delay the message on the wire.
+    fn post(&mut self, dst: usize, tag: u32, payload: Payload) {
+        let seq = {
+            let s = self.send_seq.entry(Self::stream_key(dst, tag)).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
+        let crc = checksum(&payload);
+        let action = match self.faults.as_mut() {
+            Some(f) => f.action_for(self.id, dst, tag),
+            None => None,
+        };
+        let mut payload = payload;
+        match action {
+            Some(FaultAction::Drop) => return, // seq consumed: receiver sees the gap
+            Some(FaultAction::Duplicate) => {
+                let dup = Message {
+                    src: self.id,
+                    tag,
+                    epoch: self.epoch,
+                    seq,
+                    crc,
+                    payload: payload.clone(),
+                };
+                self.txs[dst].send(dup).expect("receiver hung up");
+            }
+            Some(FaultAction::Corrupt) => {
+                // Flip one payload bit *after* the checksum was taken.
+                match &mut payload {
+                    Payload::F64(v) if !v.is_empty() => {
+                        v[0] = f64::from_bits(v[0].to_bits() ^ 1);
+                    }
+                    Payload::U32(v) if !v.is_empty() => v[0] ^= 1,
+                    _ => {} // nothing to corrupt: the fault misses
+                }
+            }
+            Some(FaultAction::Delay { ticks }) => self.counters.fault_ticks += ticks,
+            None => {}
+        }
+        self.txs[dst]
+            .send(Message {
+                src: self.id,
+                tag,
+                epoch: self.epoch,
+                seq,
+                crc,
+                payload,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Count one communication operation against the fault plan; dies on
+    /// the spot (unwinding with [`FaultSignal::Killed`]) if a kill fires.
+    fn tick_fault_op(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            if f.tick_op(self.id) {
+                panic_any(FaultSignal::Killed);
+            }
+        }
+    }
+
     fn send_payload(&mut self, dst: usize, tag: u32, payload: Payload, class: CommClass) {
         assert!(dst < self.nranks, "send to rank {dst} out of range");
         assert_ne!(
             dst, self.id,
             "self-sends are a bug in schedule construction"
         );
+        self.tick_fault_op();
         self.counters.record_send(class, payload.nbytes());
         self.counters.record_hops(self.hops_to(dst));
-        self.txs[dst]
-            .send(Message {
-                src: self.id,
-                tag,
-                payload,
-            })
-            .expect("receiver hung up");
+        self.post(dst, tag, payload);
     }
 
     /// Send a float buffer to `dst` under `tag`.
@@ -213,27 +358,131 @@ impl Rank {
         self.send_payload(dst, tag, Payload::U32(data), class);
     }
 
+    /// Unwind into recovery: epoch `target`, current dead-rank view.
+    fn raise_recovery(&mut self, target: u32, cause: FaultCause) -> ! {
+        panic_any(FaultSignal::Recover {
+            epoch: target,
+            dead: self.dead_ranks(),
+            cause,
+        })
+    }
+
+    /// Recycle a received payload's storage into this rank's pool
+    /// (control payloads carry no buffers).
+    fn recycle_payload(&mut self, p: Payload) {
+        match p {
+            Payload::F64(v) => self.pool.recycle_f64(v),
+            Payload::U32(v) => self.pool.recycle_u32(v),
+            _ => {}
+        }
+    }
+
+    /// Inspect one message off the wire. Returns the accepted
+    /// `(src, tag, payload)` or `None` if the message was absorbed
+    /// (stale epoch, duplicate, redundant control). Unwinds with a
+    /// [`FaultSignal`] when the message reveals a failure: a peer's death
+    /// or abort announcement, a sequence gap (lost message), or a
+    /// checksum mismatch (corrupted message).
+    fn sieve(&mut self, m: Message) -> Option<(usize, u32, Payload)> {
+        if m.tag == POISON_TAG {
+            panic!(
+                "rank {} panicked; rank {} aborting blocked receive",
+                m.src, self.id
+            );
+        }
+        match m.payload {
+            Payload::Dead { epoch: e } => {
+                if !self.dead[m.src] {
+                    self.dead[m.src] = true;
+                    self.raise_recovery(e.max(self.epoch + 1), FaultCause::PeerDeath);
+                }
+                None
+            }
+            Payload::Abort { epoch: e, dead } => {
+                // Merge the peer's dead-rank view; if it taught us
+                // anything the agreed epoch must move past ours so every
+                // rank rebuilds against the same survivor set.
+                let mut news = false;
+                for d in dead {
+                    if !self.dead[d as usize] {
+                        self.dead[d as usize] = true;
+                        news = true;
+                    }
+                }
+                let target = if news { (self.epoch + 1).max(e) } else { e };
+                if target > self.epoch {
+                    self.raise_recovery(target, FaultCause::PeerAbort);
+                }
+                None
+            }
+            payload => {
+                if m.epoch < self.epoch {
+                    // Pre-recovery traffic still in flight: drop it,
+                    // keeping its buffer.
+                    self.counters.stale_discards += 1;
+                    self.recycle_payload(payload);
+                    return None;
+                }
+                assert!(
+                    m.epoch == self.epoch,
+                    "rank {}: epoch {} data from rank {} before its abort \
+                     announcement (have epoch {})",
+                    self.id,
+                    m.epoch,
+                    m.src,
+                    self.epoch
+                );
+                let key = Self::stream_key(m.src, m.tag);
+                let want = *self.recv_seq.entry(key).or_insert(0);
+                if m.seq < want {
+                    // A duplicated message we already consumed.
+                    self.counters.dup_discards += 1;
+                    self.recycle_payload(payload);
+                    return None;
+                }
+                if m.seq > want {
+                    // A message on this stream was lost in flight.
+                    self.raise_recovery(self.epoch + 1, FaultCause::Lost);
+                }
+                self.recv_seq.insert(key, want + 1);
+                if checksum(&payload) != m.crc {
+                    self.raise_recovery(self.epoch + 1, FaultCause::Corrupt);
+                }
+                Some((m.src, m.tag, payload))
+            }
+        }
+    }
+
     fn recv_payload(&mut self, src: usize, tag: u32) -> Payload {
+        self.tick_fault_op();
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(p) = q.pop_front() {
                 return p;
             }
         }
         loop {
-            let m = self.rx.recv().expect("all senders hung up while receiving");
-            if m.tag == POISON_TAG {
-                panic!(
-                    "rank {} panicked; rank {} aborting blocked receive",
-                    m.src, self.id
-                );
+            let m = match self.recv_timeout {
+                None => self.rx.recv().expect("all senders hung up while receiving"),
+                Some(window) => match self.rx.recv_timeout(window) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Silent loss (or a quiesced network): nothing
+                        // arrived within the detection window. Value-safe
+                        // even if spurious — recovery rolls back to a
+                        // checkpoint either way.
+                        self.raise_recovery(self.epoch + 1, FaultCause::Timeout)
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("all senders hung up while receiving")
+                    }
+                },
+            };
+            if let Some((s, t, p)) = self.sieve(m) {
+                if s == src && t == tag {
+                    return p;
+                }
+                self.stash.entry((s, t)).or_default().push_back(p);
             }
-            if m.src == src && m.tag == tag {
-                return m.payload;
-            }
-            self.stash
-                .entry((m.src, m.tag))
-                .or_default()
-                .push_back(m.payload);
         }
     }
 
@@ -246,10 +495,111 @@ impl Rank {
                 let _ = self.txs[dst].send(Message {
                     src: self.id,
                     tag: POISON_TAG,
+                    epoch: self.epoch,
+                    seq: 0,
+                    crc: 0,
                     payload: Payload::Poison,
                 });
             }
         }
+    }
+
+    /// Announce this rank's (fault-injected) death to every peer. Called
+    /// by a recovery-aware driver when the body unwinds with
+    /// [`FaultSignal::Killed`]; survivors recover into `epoch() + 1`.
+    /// Un-sequenced control traffic: the wire-level death notice of the
+    /// machine, not a message the dead program "sends".
+    pub fn announce_death(&mut self) {
+        self.dead[self.id] = true;
+        let e = self.epoch + 1;
+        for dst in 0..self.nranks {
+            if dst != self.id {
+                let _ = self.txs[dst].send(Message {
+                    src: self.id,
+                    tag: 0,
+                    epoch: e,
+                    seq: 0,
+                    crc: 0,
+                    payload: Payload::Dead { epoch: e },
+                });
+            }
+        }
+    }
+
+    /// Enter recovery epoch `epoch`: discard all buffered pre-recovery
+    /// traffic (recycling its storage), reset every stream's sequence
+    /// numbers and the collective counter, forget lent pack buffers, and
+    /// broadcast an `Abort` so peers still computing join the epoch
+    /// instead of timing out one by one. The caller then rebuilds
+    /// schedules and restores state collectively.
+    pub fn begin_recovery(&mut self, epoch: u32) {
+        assert!(
+            epoch > self.epoch,
+            "recovery epoch must advance: {} -> {epoch}",
+            self.epoch
+        );
+        self.epoch = epoch;
+        self.counters.recoveries += 1;
+        let stash = std::mem::take(&mut self.stash);
+        for (_, q) in stash {
+            for p in q {
+                self.recycle_payload(p);
+            }
+        }
+        self.send_seq.clear();
+        self.recv_seq.clear();
+        self.outstanding.clear();
+        self.collective_seq = 0;
+        let dead = self.dead_ranks();
+        for dst in 0..self.nranks {
+            if dst != self.id {
+                let abort = Payload::Abort {
+                    epoch,
+                    dead: dead.clone(),
+                };
+                self.counters
+                    .record_send(CommClass::Recovery, abort.nbytes());
+                self.counters.record_hops(self.hops_to(dst));
+                let _ = self.txs[dst].send(Message {
+                    src: self.id,
+                    tag: 0,
+                    epoch,
+                    seq: 0,
+                    crc: 0,
+                    payload: abort,
+                });
+            }
+        }
+    }
+
+    /// Build a fresh [`Rank`] handle that takes over dead rank `vid`'s
+    /// mailbox (receivers are cloneable, so the channel survives its
+    /// thread). The instance starts in the current epoch with the current
+    /// dead-rank view and a fault state that treats everything targeting
+    /// `vid` as already consumed — those events happened to the node that
+    /// died, not to its replacement. Pool, tag reservations, and stream
+    /// counters start empty; the hosting node re-runs schedule
+    /// construction for it. Hop accounting keeps `vid`'s mesh position
+    /// (the adopted partition's traffic pattern, not the host's).
+    pub fn adopt(&self, vid: usize) -> Rank {
+        assert!(self.dead[vid], "adopting a live rank");
+        assert_ne!(vid, self.id, "a rank cannot adopt itself");
+        let mut r = Rank::new(
+            vid,
+            self.nranks,
+            self.rxs_all[vid].clone(),
+            self.txs.clone(),
+            self.barrier.clone(),
+            self.rxs_all.clone(),
+        );
+        r.epoch = self.epoch;
+        r.dead = self.dead.clone();
+        r.recv_timeout = self.recv_timeout;
+        r.faults = self
+            .faults
+            .as_ref()
+            .map(|f| FaultState::adopted(f.plan(), vid));
+        r
     }
 
     /// Blocking receive of a float buffer from `src` under `tag`.
@@ -400,4 +750,21 @@ impl Rank {
         self.all_reduce_max_in_place(&mut out);
         out
     }
+}
+
+/// [`FaultSignal`] unwinds are expected control flow (the recovery driver
+/// catches them), not crashes: install a process-wide panic hook — once —
+/// that stays silent for them and defers every real panic to the
+/// previous hook.
+fn silence_fault_signal_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use eul3d_delta::{run_spmd, CommClass};
+use eul3d_delta::{run_spmd, CommBuffers, CommClass};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
@@ -78,6 +78,61 @@ proptest! {
         prop_assert_eq!(run.counters[0].total_bytes(), expected);
         prop_assert_eq!(run.counters[0].total_messages(), lens.len() as u64);
         prop_assert_eq!(run.counters[1].total_messages(), 0);
+    }
+
+    /// The buffer pool against a reference best-fit model, over random
+    /// take/recycle traffic: a take returns the smallest adequate pooled
+    /// buffer (never undersized, never a looser fit than the model's),
+    /// fresh-allocation byte accounting matches the model exactly, and
+    /// no buffer is ever lost — after returning everything, the pool
+    /// holds precisely one buffer per fresh allocation it ever made.
+    #[test]
+    fn comm_buffers_match_best_fit_reference_model(
+        ops in proptest::collection::vec((0u8..4, 1usize..64), 1..200),
+    ) {
+        let mut pool = CommBuffers::new();
+        let mut model: Vec<usize> = Vec::new(); // pooled capacities
+        let mut held: Vec<Vec<f64>> = Vec::new();
+        let mut created = 0usize;
+        for &(op, size) in &ops {
+            if op < 3 {
+                // take (biased 3:1 so pools see pressure)
+                let pick = model
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c >= size)
+                    .min_by_key(|&(_, &c)| c)
+                    .map(|(k, _)| k);
+                let (buf, fresh) = pool.take_f64(size);
+                prop_assert!(buf.is_empty(), "taken buffer must be empty");
+                prop_assert!(buf.capacity() >= size, "undersized buffer handed out");
+                match pick {
+                    Some(k) => {
+                        let cap = model.swap_remove(k);
+                        prop_assert_eq!(fresh, 0, "pool hit must not allocate");
+                        prop_assert_eq!(
+                            buf.capacity(),
+                            cap,
+                            "best fit must hand out the smallest adequate capacity"
+                        );
+                    }
+                    None => {
+                        prop_assert_eq!(fresh, size as u64 * 8, "fresh bytes mis-accounted");
+                        created += 1;
+                    }
+                }
+                held.push(buf);
+            } else if !held.is_empty() {
+                let b = held.swap_remove(size % held.len());
+                model.push(b.capacity());
+                pool.recycle_f64(b);
+            }
+            prop_assert_eq!(pool.pooled(), model.len());
+        }
+        for b in held {
+            pool.recycle_f64(b);
+        }
+        prop_assert_eq!(pool.pooled(), created, "buffers were lost or duplicated");
     }
 
     /// Broadcast delivers the root's payload to everyone for any root.

@@ -45,5 +45,5 @@ pub mod translation;
 pub use inspector::localize;
 pub use registry::GhostRegistry;
 pub use schedule::Schedule;
-pub use tags::TagAllocator;
+pub use tags::{TagAllocator, EPOCH_STRIDE};
 pub use translation::Translation;

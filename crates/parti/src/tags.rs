@@ -11,6 +11,13 @@
 
 use eul3d_delta::COLLECTIVE_TAG_BASE;
 
+/// Disjoint tag space per recovery epoch: epoch `e` allocates from
+/// `base + e * EPOCH_STRIDE`, so schedules rebuilt after a fault can
+/// never collide with ranges still reserved from before the failure.
+/// 2^22 tags per epoch leaves room for ~900 epochs below the collective
+/// space — recovery epochs are rare events.
+pub const EPOCH_STRIDE: u32 = 1 << 22;
+
 /// Hands out disjoint, monotonically increasing tag ranges.
 #[derive(Debug, Clone)]
 pub struct TagAllocator {
@@ -23,6 +30,18 @@ impl TagAllocator {
     pub fn new(base: u32) -> TagAllocator {
         assert!(base < COLLECTIVE_TAG_BASE, "base inside collective space");
         TagAllocator { next: base }
+    }
+
+    /// Allocator for recovery epoch `epoch`: same `base`, shifted into
+    /// that epoch's stride of the tag space. Epoch 0 is the initial
+    /// build, so `for_epoch(b, 0)` ≡ `new(b)` and all ranks agree on
+    /// every tag of every epoch without communicating.
+    pub fn for_epoch(base: u32, epoch: u32) -> TagAllocator {
+        let shifted = epoch
+            .checked_mul(EPOCH_STRIDE)
+            .and_then(|off| off.checked_add(base))
+            .expect("recovery epoch tag space overflowed u32");
+        TagAllocator::new(shifted)
     }
 
     /// Claim the next `width` consecutive tags and return the first.
@@ -67,5 +86,45 @@ mod tests {
     fn cannot_reach_collective_tags() {
         let mut t = TagAllocator::new(COLLECTIVE_TAG_BASE - 1);
         t.range(2);
+    }
+
+    #[test]
+    fn epoch_zero_matches_initial_build() {
+        let mut a = TagAllocator::new(100);
+        let mut b = TagAllocator::for_epoch(100, 0);
+        assert_eq!(a.range(4), b.range(4));
+    }
+
+    #[test]
+    fn epoch_ranges_never_overlap_previous_epochs() {
+        // Simulate three recovery epochs each rebuilding the same set of
+        // schedules: every claimed range must be globally disjoint.
+        let mut claimed: Vec<(u32, u32)> = Vec::new();
+        for epoch in 0..3 {
+            let mut t = TagAllocator::for_epoch(100, epoch);
+            for width in [2, 4, 2, 6] {
+                let lo = t.range(width);
+                let hi = lo + width;
+                for &(l, h) in &claimed {
+                    assert!(hi <= l || h <= lo, "[{lo},{hi}) overlaps [{l},{h})");
+                }
+                claimed.push((lo, hi));
+            }
+        }
+        assert_eq!(claimed.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective space")]
+    fn epoch_stride_cannot_reach_collective_tags() {
+        // 0xF000_0000 / 2^22 = 960: epoch 960 would start inside the
+        // collective tag space.
+        TagAllocator::for_epoch(100, 960);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn absurd_epoch_overflows_loudly() {
+        TagAllocator::for_epoch(100, u32::MAX);
     }
 }

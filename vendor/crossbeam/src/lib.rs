@@ -3,10 +3,14 @@
 //! This workspace vendors source-compatible subsets of its external
 //! dependencies so the build is hermetic (no registry access). Only the
 //! API surface EUL3D actually uses is provided: `channel::unbounded` with
-//! cloneable senders, built on `std::sync::mpsc`.
+//! cloneable senders *and* cloneable receivers (real crossbeam channels
+//! are MPMC; the fault-recovery layer relies on a surviving rank adopting
+//! a dead rank's receive endpoint), plus bounded-timeout receives.
 
 pub mod channel {
     use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver hung up.
     #[derive(Debug, PartialEq, Eq)]
@@ -46,25 +50,69 @@ pub mod channel {
         }
     }
 
-    /// Receiving half of an unbounded FIFO channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the window.
+        Timeout,
+        /// Every sender hung up and the queue is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Receiving half of an unbounded FIFO channel. Cloneable like real
+    /// crossbeam's MPMC receivers: clones share one queue, and each
+    /// message is delivered to exactly one of them.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // A panic can never happen while the lock is held (recv does
+            // no user work), but stay robust to poisoning anyway.
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
         /// Block until a message arrives.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            self.inner().recv().map_err(|_| RecvError)
+        }
+
+        /// Block until a message arrives or `window` elapses.
+        pub fn recv_timeout(&self, window: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(window).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+            self.inner().try_recv()
         }
     }
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
     }
 
     #[cfg(test)]
