@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use eul3d_core::checkpoint::Checkpoint;
+use eul3d_core::health::{GuardConfig, GuardOutcome};
 use eul3d_core::postproc::{cp_field, mach_field, pressure_field};
 use eul3d_core::shared::SharedSingleGridSolver;
 use eul3d_core::{ConvergenceHistory, MultigridSolver, Scheme, SolverConfig, Strategy};
@@ -53,6 +54,47 @@ fn config_of(a: &Args) -> Result<SolverConfig, String> {
         scheme,
         ..SolverConfig::default()
     })
+}
+
+/// Parse the health-guard flags. The guard engages when `--guard` is
+/// given or any guard parameter is set explicitly; the parameters are
+/// validated through the same [`GuardConfig::validate`] the library
+/// drivers use, so the CLI rejects exactly what they would.
+fn guard_of(a: &Args) -> Result<Option<GuardConfig>, String> {
+    let d = GuardConfig::default();
+    let enabled = a.has("guard")
+        || a.get_str("max-retries").is_some()
+        || a.get_str("cfl-backoff").is_some()
+        || a.get_str("health-window").is_some();
+    if !enabled {
+        return Ok(None);
+    }
+    let g = GuardConfig {
+        max_retries: a.get("max-retries", d.max_retries)?,
+        cfl_backoff: a.get("cfl-backoff", d.cfl_backoff)?,
+        window: a.get("health-window", d.window)?,
+        ..d
+    };
+    g.validate().map_err(|e| e.to_string())?;
+    Ok(Some(g))
+}
+
+fn print_guard_summary(o: &GuardOutcome) {
+    println!("health guard:");
+    println!("  backoff epochs {}", o.transcript.len());
+    for e in &o.transcript {
+        println!("    {e}");
+    }
+    println!(
+        "  final CFL      {:.3} (target {:.3}{})",
+        o.final_cfl,
+        o.target_cfl,
+        if o.final_cfl < o.target_cfl {
+            ", still re-ramping"
+        } else {
+            ""
+        }
+    );
 }
 
 pub fn mesh(a: &Args) -> Result<(), String> {
@@ -143,14 +185,19 @@ pub fn solve(a: &Args) -> Result<(), String> {
     let restart = a.get_str("restart");
     let checkpoint = a.get_str("checkpoint");
     let vtk = a.get_str("vtk");
+    let guard = guard_of(a)?;
     a.check_unknown()?;
 
-    if threads > 0 && strategy != Strategy::SingleGrid {
+    if threads > 0 && strategy != Strategy::SingleGrid && guard.is_none() {
         return Err(
             "--threads (shared-memory executor) currently drives the single-grid strategy; \
-                    use --strategy sg with --threads"
+                    use --strategy sg with --threads, or add --guard for the \
+                    guarded multigrid path"
                 .into(),
         );
+    }
+    if guard.is_some() && (agglo || restart.is_some() || fmg) {
+        return Err("the health guard is incompatible with --coarse agglo/--restart/--fmg".into());
     }
 
     println!(
@@ -212,7 +259,25 @@ pub fn solve(a: &Args) -> Result<(), String> {
         t0.elapsed().as_secs_f64()
     );
 
-    let (hist, w, nverts, flops, mesh0) = if threads > 0 {
+    let (hist, w, nverts, flops, mesh0) = if let Some(g) = &guard {
+        let mut mg = if threads > 0 {
+            MultigridSolver::new_shared(seq, cfg, strategy, threads)
+                .map_err(|e| format!("shared executor: {e}"))?
+        } else {
+            MultigridSolver::new(seq, cfg, strategy)
+        };
+        let (hist, outcome) = mg.solve_guarded(cycles, g).map_err(|e| e.to_string())?;
+        print_guard_summary(&outcome);
+        let n = mg.levels[0].n;
+        let w = mg.levels[0].w.clone();
+        let mesh0 = mg
+            .seq
+            .meshes
+            .into_iter()
+            .next()
+            .ok_or("mesh sequence is empty")?;
+        (hist, w, n, mg.counter.flops(), mesh0)
+    } else if threads > 0 {
         let mesh = seq
             .meshes
             .into_iter()
@@ -299,8 +364,8 @@ pub fn solve(a: &Args) -> Result<(), String> {
 
 pub fn distributed(a: &Args) -> Result<(), String> {
     use eul3d_core::dist::{
-        run_distributed, run_distributed_with_faults, DistOptions, DistSetup, FaultOptions,
-        RankFate,
+        run_distributed, run_distributed_guarded, run_distributed_with_faults, DistOptions,
+        DistSetup, FaultOptions, RankFate,
     };
     let spec = bump_spec(a)?;
     let levels: usize = a.get("levels", 3)?;
@@ -315,6 +380,7 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let fault_spec = a.get_str("faults");
     let checkpoint_every: usize = a.get("checkpoint-every", 0)?;
     let fault_timeout_ms: u64 = a.get("fault-timeout-ms", 1500)?;
+    let guard = guard_of(a)?;
     a.check_unknown()?;
     let fopts = match &fault_spec {
         Some(spec) => Some(FaultOptions {
@@ -322,6 +388,13 @@ pub fn distributed(a: &Args) -> Result<(), String> {
                 eul3d_delta::FaultPlan::parse(spec, nranks)
                     .map_err(|e| format!("--faults: {e}"))?,
             ),
+            checkpoint_every,
+            recv_timeout_ms: fault_timeout_ms,
+            ..FaultOptions::default()
+        }),
+        // The guarded driver needs a fault context for its rollback
+        // checkpoints even when nothing is killed.
+        None if guard.is_some() => Some(FaultOptions {
             checkpoint_every,
             recv_timeout_ms: fault_timeout_ms,
             ..FaultOptions::default()
@@ -347,11 +420,16 @@ pub fn distributed(a: &Args) -> Result<(), String> {
         ..DistOptions::default()
     };
     let t1 = std::time::Instant::now();
-    let r = match &fopts {
-        Some(f) => run_distributed_with_faults(&setup, cfg, strategy, cycles, opts, f),
-        None => run_distributed(&setup, cfg, strategy, cycles, opts),
+    let r = match (&guard, &fopts) {
+        (Some(g), Some(f)) => run_distributed_guarded(&setup, cfg, strategy, cycles, opts, f, g)
+            .map_err(|e| e.to_string())?,
+        (None, Some(f)) => run_distributed_with_faults(&setup, cfg, strategy, cycles, opts, f),
+        _ => run_distributed(&setup, cfg, strategy, cycles, opts),
     };
-    if fopts.is_some() {
+    if let Some(o) = r.guard_outcome() {
+        print_guard_summary(o);
+    }
+    if fault_spec.is_some() {
         let epochs: u64 = r
             .run
             .counters

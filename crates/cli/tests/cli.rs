@@ -186,3 +186,119 @@ fn help_prints_usage() {
     assert!(ok);
     assert!(stderr.contains("commands:"));
 }
+
+const STRETCHED: &[&str] = &[
+    "--nx",
+    "10",
+    "--ny",
+    "4",
+    "--nz",
+    "3",
+    "--taper",
+    "0.6",
+    "--jitter",
+    "0.1",
+    "--levels",
+    "2",
+    "--cycles",
+    "12",
+    "--strategy",
+    "v",
+    "--cfl",
+    "30",
+    "--mach",
+    "0.5",
+];
+
+#[test]
+fn guard_recovers_a_run_that_diverges_unguarded() {
+    let (ok, _, stderr) = eul3d(&[&["solve"], STRETCHED].concat());
+    assert!(!ok, "CFL 30 on the stretched mesh must diverge unguarded");
+    assert!(stderr.contains("run diverged"), "{stderr}");
+
+    let (ok, stdout, stderr) =
+        eul3d(&[&["solve"], STRETCHED, &["--guard", "--cfl-backoff", "0.25"]].concat());
+    assert!(ok, "the guard must save the same run: {stderr}");
+    assert!(stdout.contains("health guard:"), "{stdout}");
+    assert!(stdout.contains("backoff epochs 1"), "{stdout}");
+    assert!(
+        stdout.contains("cfl 30.000 -> 7.500"),
+        "one quarter backoff from the target: {stdout}"
+    );
+}
+
+#[test]
+fn guard_exhaustion_is_a_clean_typed_error() {
+    let (ok, _, stderr) = eul3d(
+        &[
+            &["solve"],
+            STRETCHED,
+            &["--guard", "--cfl-backoff", "0.95", "--max-retries", "2"],
+        ]
+        .concat(),
+    );
+    assert!(!ok, "a 5% backoff cannot save CFL 30");
+    assert!(stderr.contains("guard exhausted 2 retries"), "{stderr}");
+    assert_eq!(
+        stderr.matches("retry: cycle").count(),
+        2,
+        "the transcript lists both spent retries: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn guard_flags_are_validated() {
+    let (ok, _, stderr) = eul3d(&[
+        "solve",
+        "--nx",
+        "8",
+        "--cycles",
+        "2",
+        "--cfl-backoff",
+        "1.5",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--cfl-backoff must be in (0, 1)"),
+        "{stderr}"
+    );
+
+    let (ok, _, stderr) = eul3d(&[
+        "solve",
+        "--nx",
+        "8",
+        "--cycles",
+        "2",
+        "--guard",
+        "--max-retries",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-retries must be >= 1"), "{stderr}");
+}
+
+#[test]
+fn distributed_guard_reports_the_same_recovery() {
+    let (ok, stdout, stderr) = eul3d(
+        &[
+            &["distributed"],
+            STRETCHED,
+            &[
+                "--ranks",
+                "4",
+                "--guard",
+                "--cfl-backoff",
+                "0.25",
+                "--fault-timeout-ms",
+                "60000",
+            ],
+        ]
+        .concat(),
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("health guard:"), "{stdout}");
+    assert!(stdout.contains("backoff epochs 1"), "{stdout}");
+    assert!(stdout.contains("cfl 30.000 -> 7.500"), "{stdout}");
+    assert!(stdout.contains("modeled Delta cost"), "{stdout}");
+}

@@ -186,11 +186,10 @@ impl AggloMultigrid {
     ) -> AggloMultigrid {
         assert!(levels >= 1);
         let mut coarse: Vec<AggloLevel> = Vec::new();
-        for l in 1..levels {
-            let lvl = if l == 1 {
-                agglomerate(&mesh)
-            } else {
-                agglomerate(coarse.last().unwrap())
+        for _ in 1..levels {
+            let lvl = match coarse.last() {
+                None => agglomerate(&mesh),
+                Some(prev) => agglomerate(prev),
             };
             // Stop coarsening once the level is too small to help or no
             // longer shrinks meaningfully: a handful of giant cells has a

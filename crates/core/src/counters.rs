@@ -37,6 +37,9 @@ pub const FLOPS_DT_VERT: f64 = 3.0;
 pub const FLOPS_TRANSFER_VERT: f64 = 40.0;
 /// Flops per vertex of assembling `R = Q - D + P` (5 comps).
 pub const FLOPS_ASSEMBLE_VERT: f64 = 10.0;
+/// Flops per vertex of one solver-health scan (finiteness of 5
+/// conserved components + density sign + one pressure recomputation).
+pub const FLOPS_GUARD_VERT: f64 = 12.0;
 
 /// Accumulates flops and parallel-loop launches for one executor.
 ///

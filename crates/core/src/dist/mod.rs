@@ -16,7 +16,7 @@ mod solver;
 mod transfer;
 
 pub use level::{DistExecOptions, DistExecutor, DistLevel};
-pub use recover::{run_distributed_with_faults, FaultOptions};
+pub use recover::{run_distributed_guarded, run_distributed_with_faults, FaultOptions};
 pub use setup::DistSetup;
 pub use solver::{
     run_distributed, AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput,

@@ -30,18 +30,36 @@
 //! checkpoints from beyond the rollback point — together this guarantees
 //! the agreed rollback target is restorable everywhere even when a fault
 //! lands in the middle of a checkpoint.
+//!
+//! The same rollback path doubles as the **numeric** recovery of the
+//! solver-health guard (`DESIGN.md` §7): after every cycle each rank
+//! scans its owned state, merges in the residual-divergence diagnosis,
+//! and the machine agrees on the worst verdict with one pooled
+//! `all_reduce_max` over [`HealthVerdict::encode`]. A bad verdict drives
+//! the very same recovery state machine — epoch bump, schedule rebuild
+//! in a shifted tag space, checkpoint rollback — with one deliberate
+//! difference in what happens to the guard state itself: a *fault*
+//! recovery restores [`GuardState`] from the checkpoint (so the replay
+//! re-derives the identical CFL schedule, keeping bit-for-bit
+//! composition with fault injection), while a *numeric* rollback keeps
+//! the freshly backed-off state (so repeated failures compound the
+//! backoff instead of livelocking on an identical replay).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::Scope;
 use std::time::Duration;
 
 use eul3d_delta::{run_spmd, CommClass, FaultPlan, FaultSignal, Rank, RankCounters};
 
 use crate::config::SolverConfig;
-use crate::counters::PhaseCounters;
-use crate::executor::Phase;
+use crate::counters::{PhaseCounters, FLOPS_GUARD_VERT};
+use crate::error::SolverError;
+use crate::executor::{count_vertex_loop, Phase};
 use crate::gas::NVAR;
+use crate::health::{
+    check_state, GuardConfig, GuardOutcome, GuardState, HealthMonitor, HealthVerdict, RetryEvent,
+};
 use crate::multigrid::Strategy;
 
 use super::setup::DistSetup;
@@ -87,15 +105,20 @@ struct Ctx<'a> {
     cycles: usize,
     opts: DistOptions,
     fopts: &'a FaultOptions,
+    /// Solver-health guard configuration (`None` = unguarded run).
+    guard: Option<GuardConfig>,
 }
 
 /// One in-memory checkpoint generation: the global fine-grid state at
 /// the end of `cycle` cycles (`cycle == None` marks the slot invalid,
-/// including mid-write).
+/// including mid-write), plus — on guarded runs — the wire-encoded
+/// [`GuardState`] as of the same cycle, so a fault recovery resumes the
+/// guard exactly where the checkpoint left it.
 #[derive(Default)]
 struct CkSnap {
     cycle: Option<usize>,
     w: Vec<f64>,
+    guard: Vec<f64>,
 }
 
 /// Double-buffered checkpoint store. The writer invalidates and
@@ -117,6 +140,28 @@ impl CkStore {
             .iter()
             .find(|s| s.cycle == Some(cycle))
             .map(|s| s.w.as_slice())
+    }
+
+    /// Wire-encoded guard state committed with checkpoint `cycle`
+    /// (empty on unguarded runs).
+    fn get_guard(&self, cycle: usize) -> Option<&[f64]> {
+        self.slots
+            .iter()
+            .find(|s| s.cycle == Some(cycle))
+            .map(|s| s.guard.as_slice())
+    }
+
+    /// Drop any committed generation at exactly `cycle`. A numeric
+    /// rollback replays the rollback cycle, which re-commits a
+    /// checkpoint at the same cycle number but with an *updated* guard
+    /// transcript; invalidating the stale twin first keeps `get`
+    /// unambiguous.
+    fn invalidate(&mut self, cycle: usize) {
+        for s in &mut self.slots {
+            if s.cycle == Some(cycle) {
+                s.cycle = None;
+            }
+        }
     }
 
     /// Invalidate every checkpoint from beyond the rollback point
@@ -149,11 +194,85 @@ impl CkStore {
     }
 
     /// Install a received (shipped) checkpoint as a committed slot.
-    fn install(&mut self, cycle: usize, w: Vec<f64>) {
+    fn install(&mut self, cycle: usize, w: Vec<f64>, guard: Vec<f64>) {
+        self.invalidate(cycle);
         let s = self.begin_write();
         s.w = w;
+        s.guard = guard;
         s.cycle = Some(cycle);
     }
+}
+
+/// Per-instance guard runtime: the replicated controller + transcript
+/// and the (never-snapshotted, always rebuilt) divergence monitor.
+struct GuardLoop {
+    gs: GuardState,
+    monitor: HealthMonitor,
+}
+
+impl GuardLoop {
+    fn new(target_cfl: f64, cfg: &GuardConfig) -> GuardLoop {
+        GuardLoop {
+            gs: GuardState::new(target_cfl, cfg),
+            monitor: HealthMonitor::new(cfg),
+        }
+    }
+}
+
+/// What one `virtual_loop` iteration decided.
+enum StepAction {
+    /// Keep cycling.
+    Continue,
+    /// The guard agreed on a bad verdict at this cycle: enter a
+    /// numeric-rollback recovery epoch. The backoff itself is applied
+    /// inside the epoch's rollback agreement (see [`rebuild_guard`]), so
+    /// the detection cycle and verdict travel with the transition.
+    Numeric(usize, HealthVerdict),
+    /// Done — the run completed, or the guard exhausted its retries
+    /// (recorded in `LoopState::exhausted`; every rank agrees).
+    Stop,
+}
+
+/// Rebuild the guard's control state after a rollback agreement: decode
+/// the checkpoint-time state, replay the `on_clean` progression of the
+/// clean cycles between the checkpoint and the detection point, and —
+/// when the epoch carries an agreed bad verdict — apply the backoff and
+/// record the retry event. Every instance runs this identically no
+/// matter how it entered the epoch (its own verdict, a peer's abort
+/// arriving first, or a fresh adoption), which is what keeps the CFL
+/// schedule machine-wide uniform under any interleaving of numeric and
+/// fault recoveries.
+fn rebuild_guard(
+    gl: &mut GuardLoop,
+    gcfg: &GuardConfig,
+    target_cfl: f64,
+    blob: Option<&[f64]>,
+    rollback: Option<usize>,
+    verdict: Option<(usize, HealthVerdict)>,
+    history: &[f64],
+) {
+    gl.gs = blob
+        .and_then(|b| GuardState::decode(b, gcfg))
+        .unwrap_or_else(|| GuardState::new(target_cfl, gcfg));
+    if let Some((detect, vd)) = verdict {
+        // The checkpoint predates the detection by `detect - rollback`
+        // clean cycles; replaying their `on_clean` steps reproduces the
+        // exact controller state (re-ramp progress included) the serial
+        // guard backs off from.
+        for _ in rollback.unwrap_or(0)..detect {
+            gl.gs.ctl.on_clean();
+        }
+        let cfl_before = gl.gs.ctl.current;
+        gl.gs.ctl.back_off();
+        gl.gs.transcript.push(RetryEvent {
+            cycle: detect,
+            rollback_to: rollback,
+            verdict: vd,
+            cfl_before,
+            cfl_after: gl.gs.ctl.current,
+        });
+    }
+    gl.monitor.rebuild(history);
 }
 
 /// Mutable state of one virtual rank's cycle loop.
@@ -171,6 +290,10 @@ struct LoopState {
     setup_counters: Option<RankCounters>,
     /// Dead ranks whose adoption this instance has already resolved.
     handled: Vec<bool>,
+    /// Guard runtime (`None` = unguarded run).
+    guard: Option<GuardLoop>,
+    /// Cycle and verdict of the failure the guard gave up on.
+    exhausted: Option<(usize, HealthVerdict)>,
 }
 
 fn comm_snap(rank: &Rank) -> (u64, u64, u64) {
@@ -185,10 +308,13 @@ fn comm_snap(rank: &Rank) -> (u64, u64, u64) {
 /// it, scanning cyclically. Every instance computes the same answer from
 /// the (epoch-consistent) dead set, so no negotiation is needed.
 fn buddy(rank: &Rank, d: usize) -> usize {
-    (1..rank.nranks)
+    let Some(b) = (1..rank.nranks)
         .map(|k| (d + k) % rank.nranks)
         .find(|&v| rank.live(v))
-        .expect("every rank is dead; nobody left to adopt")
+    else {
+        unreachable!("every rank is dead; nobody left to adopt")
+    };
+    b
 }
 
 /// Copy this rank's owned fine-grid entries out of a global snapshot.
@@ -213,12 +339,21 @@ fn restore_from(s: &mut DistSolver, w_global: &[f64]) {
 /// every buffer to its owner, so steady-state checkpoints allocate
 /// nothing.
 fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize) {
-    let LoopState { solver, cks, .. } = st;
-    let s = solver.as_mut().expect("checkpoint without a solver");
+    let LoopState {
+        solver, cks, guard, ..
+    } = st;
+    let Some(s) = solver.as_mut() else {
+        unreachable!("checkpoint without a solver")
+    };
     let (m0, b0, a0) = comm_snap(rank);
     let nglob = ctx.setup.seq.meshes[0].nverts() * NVAR;
+    cks.invalidate(cycle);
     let slot = cks.begin_write();
     slot.w.resize(nglob, 0.0);
+    slot.guard.clear();
+    if let Some(gl) = guard {
+        gl.gs.encode_into(&mut slot.guard);
+    }
     let fine = &s.levels[0];
     let own = &fine.st.w[..fine.n_owned() * NVAR];
     if rank.id == 0 {
@@ -254,8 +389,9 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
 }
 
 /// One solver cycle, preceded by its due checkpoint, followed by the
-/// residual-monitoring reduction.
-fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) {
+/// residual-monitoring reduction and — on guarded runs — the health
+/// check and its single pooled verdict agreement.
+fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) -> StepAction {
     let c = st.cycle;
     // Everything in this iteration — including the leading checkpoint —
     // belongs to (1-based) fault cycle c + 1.
@@ -265,23 +401,71 @@ fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) {
         take_checkpoint(rank, ctx, st, c);
     }
     let LoopState {
-        solver, history, ..
+        solver,
+        cycle,
+        history,
+        cycle_allocs,
+        guard,
+        exhausted,
+        ..
     } = st;
-    let s = solver.as_mut().expect("cycle without a solver");
+    let Some(s) = solver.as_mut() else {
+        unreachable!("cycle without a solver")
+    };
+    if let Some(gl) = guard.as_ref() {
+        s.cfg.cfl = gl.gs.ctl.current;
+    }
     let (sum, n) = s.cycle(rank);
-    if ctx.opts.monitor_residual {
+    let r = if ctx.opts.monitor_residual {
         let (m0, b0, a0) = comm_snap(rank);
         let mut parts = [sum, n];
         rank.all_reduce_sum_in_place(&mut parts);
         let (m1, b1, a1) = comm_snap(rank);
         s.counter
             .add_comm(Phase::Monitor, m1 - m0, b1 - b0, a1 - a0);
-        history.push((parts[0] / parts[1]).sqrt());
+        (parts[0] / parts[1]).sqrt()
     } else {
-        history.push(f64::NAN);
+        f64::NAN
+    };
+    if let (Some(gcfg), Some(gl)) = (&ctx.guard, guard.as_mut()) {
+        let fine = &s.levels[0];
+        let local =
+            check_state(ctx.cfg.gamma, &fine.st.w, fine.n_owned()).worse(gl.monitor.check(r));
+        count_vertex_loop(
+            &mut s.counter,
+            Phase::Guard,
+            fine.n_owned(),
+            FLOPS_GUARD_VERT,
+        );
+        // One pooled reduction agrees on the machine-wide worst verdict:
+        // an element-wise max over the encodings is the encoding of the
+        // worst (severity-major) verdict.
+        let (m0, b0, a0) = comm_snap(rank);
+        let mut enc = local.encode();
+        rank.all_reduce_max_in_place(&mut enc);
+        let (m1, b1, a1) = comm_snap(rank);
+        s.counter.add_comm(Phase::Guard, m1 - m0, b1 - b0, a1 - a0);
+        let agreed = HealthVerdict::decode(enc);
+        if agreed.is_bad() {
+            // The failed cycle is discarded: neither its residual nor its
+            // alloc snapshot is recorded, and `cycle` does not advance.
+            // The backoff is NOT applied here: a peer that entered the
+            // epoch through an abort instead of this return value must
+            // end up with the identical guard state, so the application
+            // is deferred to the epoch's rollback agreement.
+            if gl.gs.retries_used() >= gcfg.max_retries {
+                *exhausted = Some((c, agreed));
+                return StepAction::Stop;
+            }
+            return StepAction::Numeric(c, agreed);
+        }
+        gl.monitor.push(r);
+        gl.gs.ctl.on_clean();
     }
-    st.cycle_allocs.push(rank.counters.comm_allocs);
-    st.cycle += 1;
+    history.push(r);
+    cycle_allocs.push(rank.counters.comm_allocs);
+    *cycle += 1;
+    StepAction::Continue
 }
 
 /// Hand dead rank `d`'s partition to a replica thread on this node. The
@@ -296,30 +480,45 @@ fn spawn_replica<'scope, 'env>(
 ) {
     let mut vrank = rank.adopt(d);
     let host = rank.id;
-    std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name(format!("delta-virt-{d}"))
         .stack_size(4 << 20)
         .spawn_scoped(scope, move || {
             let out = virtual_loop(&mut vrank, ctx, scope, collector, Some(host));
             let counters = vrank.counters.clone();
-            collector.lock().unwrap().push(AdoptedOutput {
-                vid: d,
-                out,
-                counters,
-            });
-        })
-        .expect("spawn adopted-rank thread");
+            collector
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(AdoptedOutput {
+                    vid: d,
+                    out,
+                    counters,
+                });
+        });
+    if let Err(e) = spawned {
+        unreachable!("spawn adopted-rank thread: {e}")
+    }
 }
 
 /// Enter recovery epoch `e`: abort peers, adopt newly dead partitions
 /// this instance is buddy for, rebuild every schedule in the epoch's tag
 /// space, agree on the rollback target, restore, and ship the agreed
-/// checkpoint (plus residual history) to replicas spawned here.
+/// checkpoint (plus residual history and guard state) to replicas
+/// spawned here.
+///
+/// `verdict` is set when this instance entered the epoch through its
+/// own guard agreement (a numeric rollback). It is folded into the
+/// rollback-agreement reduction so that instances swept into the same
+/// epoch by a peer's abort — which never saw the verdict — apply the
+/// identical backoff: the guard state is always rebuilt from the
+/// checkpoint blob plus the *agreed* event, never from whichever
+/// in-memory state a given entry path happened to hold.
 fn do_recover<'scope, 'env>(
     rank: &mut Rank,
     ctx: &'scope Ctx<'scope>,
     st: &mut LoopState,
     e: u32,
+    verdict: Option<(usize, HealthVerdict)>,
     scope: &'scope Scope<'scope, 'env>,
     collector: &'scope Mutex<Vec<AdoptedOutput>>,
 ) {
@@ -351,32 +550,64 @@ fn do_recover<'scope, 'env>(
     // cycles. An instance with nothing to offer forces a restart from
     // initial conditions (+inf -> agreed = -inf); replicas spawned this
     // epoch contribute -inf (unconstraining) and get the result shipped.
-    let mut v = [match st.cks.latest() {
+    // Elements 1..5 piggyback the numeric verdict (flag, detection
+    // cycle, encoded verdict): the max over ranks recovers it on every
+    // instance, whichever way each one entered the epoch.
+    let mut v = [f64::NEG_INFINITY; 5];
+    v[0] = match st.cks.latest() {
         Some(c) => -(c as f64),
         None => f64::INFINITY,
-    }];
+    };
+    if let Some((c, vd)) = verdict {
+        let enc = vd.encode();
+        v[1] = 1.0;
+        v[2] = c as f64;
+        v[3] = enc[0];
+        v[4] = enc[1];
+    }
     rank.all_reduce_max_in_place(&mut v);
     let agreed = -v[0];
+    let numeric = (v[1] > 0.0).then(|| (v[2] as usize, HealthVerdict::decode([v[3], v[4]])));
     if agreed.is_finite() {
         let c = agreed as usize;
-        restore_from(
-            &mut s,
-            st.cks
-                .get(c)
-                .expect("agreed rollback target missing from this instance's store"),
-        );
+        let Some(w0) = st.cks.get(c) else {
+            unreachable!("agreed rollback target missing from this instance's store")
+        };
+        restore_from(&mut s, w0);
         st.cycle = c;
         st.history.truncate(c);
         st.cycle_allocs.truncate(c);
         st.cks.rollback_to(Some(c));
+        if let (Some(gcfg), Some(gl)) = (&ctx.guard, st.guard.as_mut()) {
+            rebuild_guard(
+                gl,
+                gcfg,
+                ctx.cfg.cfl,
+                st.cks.get_guard(c),
+                Some(c),
+                numeric,
+                &st.history,
+            );
+        }
         for &d in &shipped {
-            let w = st.cks.get(c).expect("just restored from it");
+            let Some(w) = st.cks.get(c) else {
+                unreachable!("just restored from it")
+            };
             let mut buf = rank.take_f64(w.len());
             buf.extend_from_slice(w);
             rank.send_f64(d, s.ck_tag, buf, CommClass::Recovery);
             let mut h = rank.take_f64(st.history.len());
             h.extend_from_slice(&st.history);
             rank.send_f64(d, s.ck_tag + 1, h, CommClass::Recovery);
+            if st.guard.is_some() {
+                // Second message on the ck_tag stream (FIFO after `w`):
+                // the checkpoint's guard state, so the replica replays
+                // the identical CFL schedule.
+                let blob = st.cks.get_guard(c).unwrap_or(&[]);
+                let mut g = rank.take_f64(blob.len());
+                g.extend_from_slice(blob);
+                rank.send_f64(d, s.ck_tag, g, CommClass::Recovery);
+            }
         }
     } else {
         // Nobody has a usable checkpoint: restart the (deterministic)
@@ -385,6 +616,12 @@ fn do_recover<'scope, 'env>(
         st.history.clear();
         st.cycle_allocs.clear();
         st.cks.rollback_to(None);
+        if let (Some(gcfg), Some(gl)) = (&ctx.guard, st.guard.as_mut()) {
+            rebuild_guard(gl, gcfg, ctx.cfg.cfl, None, None, numeric, &[]);
+        }
+    }
+    if let Some(gl) = st.guard.as_ref() {
+        s.cfg.cfl = gl.gs.ctl.current;
     }
     let (m1, b1, a1) = comm_snap(rank);
     s.counter
@@ -406,9 +643,10 @@ fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
         ctx.opts,
         rank.epoch(),
     );
-    let mut v = [f64::NEG_INFINITY];
+    let mut v = [f64::NEG_INFINITY; 5];
     rank.all_reduce_max_in_place(&mut v);
     let agreed = -v[0];
+    let numeric = (v[1] > 0.0).then(|| (v[2] as usize, HealthVerdict::decode([v[3], v[4]])));
     if agreed.is_finite() {
         let c = agreed as usize;
         let w = rank.recv_f64(host, s.ck_tag);
@@ -416,18 +654,43 @@ fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
         st.history.clear();
         st.history.extend_from_slice(&h);
         rank.recycle_f64(h);
-        st.cks.install(c, w);
-        restore_from(&mut s, st.cks.get(c).expect("just installed"));
+        let gblob = if st.guard.is_some() {
+            rank.recv_f64(host, s.ck_tag)
+        } else {
+            Vec::new()
+        };
+        if let (Some(gcfg), Some(gl)) = (&ctx.guard, st.guard.as_mut()) {
+            rebuild_guard(
+                gl,
+                gcfg,
+                ctx.cfg.cfl,
+                Some(&gblob),
+                Some(c),
+                numeric,
+                &st.history,
+            );
+        }
+        st.cks.install(c, w, gblob);
+        let Some(w0) = st.cks.get(c) else {
+            unreachable!("just installed")
+        };
+        restore_from(&mut s, w0);
         st.cycle = c;
     } else {
         st.cycle = 0;
         st.history.clear();
+        if let (Some(gcfg), Some(gl)) = (&ctx.guard, st.guard.as_mut()) {
+            rebuild_guard(gl, gcfg, ctx.cfg.cfl, None, None, numeric, &[]);
+        }
     }
     // The replica has no alloc record of the cycles it skipped past;
     // pad with the current counter so tail deltas stay meaningful.
     st.cycle_allocs.clear();
     st.cycle_allocs.resize(st.cycle, rank.counters.comm_allocs);
     st.setup_counters = Some(rank.counters.clone());
+    if let Some(gl) = st.guard.as_ref() {
+        s.cfg.cfl = gl.gs.ctl.current;
+    }
     let (m1, b1, a1) = comm_snap(rank);
     s.counter
         .add_comm(Phase::Recovery, m1 - m0, b1 - b0, a1 - a0);
@@ -455,6 +718,8 @@ fn virtual_loop<'scope, 'env>(
         retired: PhaseCounters::default(),
         setup_counters: None,
         handled: vec![false; nranks],
+        guard: ctx.guard.as_ref().map(|g| GuardLoop::new(ctx.cfg.cfl, g)),
+        exhausted: None,
     };
     if join_from.is_some() {
         // Ranks already dead when this replica was spawned were adopted
@@ -463,7 +728,9 @@ fn virtual_loop<'scope, 'env>(
             st.handled[d] = !rank.live(d);
         }
     }
-    let mut pending: Option<u32> = None;
+    // A pending recovery epoch, carrying the agreed verdict when it is
+    // a numeric (guard-initiated) rollback rather than a fault recovery.
+    let mut pending: Option<(u32, Option<(usize, HealthVerdict)>)> = None;
     let mut join = join_from;
     loop {
         if pending.is_some() && rank.counters.recoveries >= u64::from(ctx.fopts.max_recoveries) {
@@ -473,8 +740,8 @@ fn virtual_loop<'scope, 'env>(
             );
         }
         let res = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(e) = pending.take() {
-                do_recover(rank, ctx, &mut st, e, scope, collector);
+            if let Some((e, verdict)) = pending.take() {
+                do_recover(rank, ctx, &mut st, e, verdict, scope, collector);
             } else if let Some(host) = join.take() {
                 do_join(rank, ctx, &mut st, host);
             } else if st.solver.is_none() {
@@ -487,15 +754,24 @@ fn virtual_loop<'scope, 'env>(
                 ));
                 st.setup_counters = Some(rank.counters.clone());
             } else if st.cycle < ctx.cycles {
-                do_step(rank, ctx, &mut st);
+                return do_step(rank, ctx, &mut st);
             } else {
-                return true;
+                return StepAction::Stop;
             }
-            false
+            StepAction::Continue
         }));
         match res {
-            Ok(true) => break,
-            Ok(false) => {}
+            Ok(StepAction::Stop) => break,
+            Ok(StepAction::Continue) => {}
+            Ok(StepAction::Numeric(c, vd)) => {
+                // Every rank agreed on the bad verdict through the
+                // pooled reduction; ranks that process the result before
+                // a peer's abort reaches them land here, the rest are
+                // swept in by the abort — the rollback agreement then
+                // redistributes the verdict so both entry paths apply
+                // the identical backoff.
+                pending = Some((rank.epoch() + 1, Some((c, vd))));
+            }
             Err(payload) => match payload.downcast::<FaultSignal>() {
                 Ok(sig) => match *sig {
                     FaultSignal::Killed => {
@@ -515,22 +791,31 @@ fn virtual_loop<'scope, 'env>(
                                 .unwrap_or_else(|| rank.counters.clone()),
                             phases,
                             fate: RankFate::Died { cycle: st.cycle },
+                            guard: None,
                             adopted: Vec::new(),
                         };
                     }
                     FaultSignal::Recover { epoch, .. } => {
-                        pending = Some(epoch.max(rank.epoch() + 1));
+                        pending = Some((epoch.max(rank.epoch() + 1), None));
                     }
                 },
                 Err(other) => resume_unwind(other),
             },
         }
     }
-    let solver = st.solver.take().expect("completed without a solver");
+    let Some(solver) = st.solver.take() else {
+        unreachable!("completed without a solver")
+    };
     let mut phases = st.retired;
     phases.merge(&solver.counter);
     rank.add_flops(phases.flops());
     let fine = &solver.levels[0];
+    let guard = st.guard.take().map(|gl| GuardOutcome {
+        final_cfl: gl.gs.ctl.current,
+        target_cfl: ctx.cfg.cfl,
+        exhausted: st.exhausted,
+        transcript: gl.gs.transcript,
+    });
     RankOutput {
         history: st.history,
         cycle_allocs: st.cycle_allocs,
@@ -539,6 +824,7 @@ fn virtual_loop<'scope, 'env>(
         setup_counters: st.setup_counters.unwrap_or_default(),
         phases,
         fate: RankFate::Completed,
+        guard,
         adopted: Vec::new(),
     }
 }
@@ -557,6 +843,68 @@ pub fn run_distributed_with_faults(
     opts: DistOptions,
     fopts: &FaultOptions,
 ) -> DistRunResult {
+    run_with_ctx(setup, cfg, strategy, cycles, opts, fopts, None)
+}
+
+/// Run a distributed solve under the solver-health guard (and,
+/// optionally, a fault plan): every cycle ends with a state/residual
+/// health check and one pooled verdict agreement; a bad verdict backs
+/// the CFL off and rolls every rank back through the same epoch-shifted
+/// recovery path faults use. Exhausted retries surface as
+/// [`SolverError::RetriesExhausted`] carrying the full transcript.
+///
+/// The guard needs the per-cycle residual, so `opts.monitor_residual`
+/// must be on; a `checkpoint_every` of 0 is promoted to the guard's
+/// snapshot cadence so there is always a rollback target.
+pub fn run_distributed_guarded(
+    setup: &DistSetup,
+    cfg: SolverConfig,
+    strategy: Strategy,
+    cycles: usize,
+    opts: DistOptions,
+    fopts: &FaultOptions,
+    guard: &GuardConfig,
+) -> Result<DistRunResult, SolverError> {
+    guard.validate()?;
+    if !opts.monitor_residual {
+        return Err(SolverError::GuardRequiresMonitoring);
+    }
+    let mut fopts = fopts.clone();
+    if fopts.checkpoint_every == 0 {
+        fopts.checkpoint_every = guard.snapshot_every;
+    }
+    // Numeric rollbacks consume recovery epochs too; keep the livelock
+    // backstop above the guard's own retry budget.
+    fopts.max_recoveries = fopts.max_recoveries.max(
+        u32::try_from(guard.max_retries)
+            .unwrap_or(u32::MAX)
+            .saturating_add(8),
+    );
+    let res = run_with_ctx(setup, cfg, strategy, cycles, opts, &fopts, Some(*guard));
+    if let Some((cycle, verdict)) = res.guard_outcome().and_then(|g| g.exhausted) {
+        let transcript = res
+            .guard_outcome()
+            .map(|g| g.transcript.clone())
+            .unwrap_or_default();
+        return Err(SolverError::RetriesExhausted {
+            cycle,
+            verdict,
+            transcript,
+            max_retries: guard.max_retries,
+        });
+    }
+    Ok(res)
+}
+
+fn run_with_ctx(
+    setup: &DistSetup,
+    cfg: SolverConfig,
+    strategy: Strategy,
+    cycles: usize,
+    opts: DistOptions,
+    fopts: &FaultOptions,
+    guard: Option<GuardConfig>,
+) -> DistRunResult {
     let ctx = Ctx {
         setup,
         cfg,
@@ -564,6 +912,7 @@ pub fn run_distributed_with_faults(
         cycles,
         opts,
         fopts,
+        guard,
     };
     let run = run_spmd(setup.nranks, |rank| {
         rank.install_faults(
@@ -572,7 +921,10 @@ pub fn run_distributed_with_faults(
         );
         let collector = Mutex::new(Vec::new());
         let mut out = std::thread::scope(|scope| virtual_loop(rank, &ctx, scope, &collector, None));
-        for a in collector.into_inner().expect("replica thread poisoned") {
+        for a in collector
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             // The physical node pays for the replicas it hosts.
             rank.counters.merge(&a.counters);
             out.adopted.push(a);

@@ -8,6 +8,7 @@ use crate::config::SolverConfig;
 use crate::counters::PhaseCounters;
 use crate::executor::Phase;
 use crate::gas::NVAR;
+use crate::health::GuardOutcome;
 use crate::multigrid::Strategy;
 
 use super::level::{DistExecOptions, DistLevel};
@@ -77,6 +78,9 @@ pub struct RankOutput {
     pub cycle_allocs: Vec<u64>,
     /// How this virtual rank ended.
     pub fate: RankFate,
+    /// Guard outcome of a guarded run (`None` when the guard is off or
+    /// the instance died before completing).
+    pub guard: Option<GuardOutcome>,
     /// Virtual ranks this node adopted and ran to completion.
     pub adopted: Vec<AdoptedOutput>,
 }
@@ -115,6 +119,12 @@ impl DistRunResult {
         self.instance(0)
             .map(|r| r.history.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Guard outcome of a guarded run (from virtual rank 0's completed
+    /// instance; `None` for unguarded runs).
+    pub fn guard_outcome(&self) -> Option<&GuardOutcome> {
+        self.instance(0).and_then(|r| r.guard.as_ref())
     }
 
     /// Reassemble the global fine-grid state from the rank pieces.

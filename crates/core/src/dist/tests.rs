@@ -518,3 +518,359 @@ fn distributed_freestream_preservation() {
         }
     }
 }
+
+mod guard {
+    //! Solver-health guard on the distributed backend: the backoff +
+    //! rollback decisions must match the serial guard event-for-event
+    //! (same cycles, same rollback targets, bit-identical CFL schedule),
+    //! the guard must compose with fault recovery bit-identically, and
+    //! exhausted retries must surface as the same typed error.
+
+    use std::sync::Arc;
+
+    use eul3d_delta::FaultPlan;
+
+    use super::*;
+    use crate::dist::{run_distributed_guarded, FaultOptions, RankFate};
+    use crate::error::SolverError;
+    use crate::health::GuardConfig;
+
+    /// The issue's seeded diverging case: a stretched (tapered) bump
+    /// mesh on which CFL 30 blows up within a handful of cycles while
+    /// CFL 7.5 converges cleanly.
+    fn stretched_seq() -> MeshSequence {
+        let spec = BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 3,
+            taper: 0.6,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
+        MeshSequence::bump_sequence(&spec, 2)
+    }
+
+    fn aggressive_cfg() -> SolverConfig {
+        SolverConfig {
+            mach: 0.5,
+            cfl: 30.0,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// One decisive backoff (30 → 7.5) and no re-ramp inside the run, so
+    /// the schedule stays easy to reason about across backends.
+    fn guard_cfg() -> GuardConfig {
+        GuardConfig {
+            cfl_backoff: 0.25,
+            reramp_after: 100,
+            ..GuardConfig::default()
+        }
+    }
+
+    /// Fault-free fault options with a receive window large enough that
+    /// detection rests purely on death notices — no timeout epochs.
+    fn quiet_faults() -> FaultOptions {
+        FaultOptions {
+            recv_timeout_ms: 60_000,
+            ..FaultOptions::default()
+        }
+    }
+
+    fn killing_faults(spec: &str, nranks: usize) -> FaultOptions {
+        FaultOptions {
+            plan: Arc::new(FaultPlan::parse(spec, nranks).expect("valid fault spec")),
+            recv_timeout_ms: 60_000,
+            ..FaultOptions::default()
+        }
+    }
+
+    #[test]
+    fn distributed_guard_agrees_with_serial_decisions() {
+        let cfg = aggressive_cfg();
+        let guard = guard_cfg();
+        let cycles = 12;
+
+        let mut serial = MultigridSolver::new(stretched_seq(), cfg, Strategy::VCycle);
+        let (hs, os) = serial
+            .solve_guarded(cycles, &guard)
+            .expect("serial guarded run completes");
+        assert!(
+            !os.transcript.is_empty(),
+            "the CFL-30 case must trigger at least one backoff epoch"
+        );
+
+        let setup = DistSetup::new(stretched_seq(), 4, 20, pseed());
+        let r = run_distributed_guarded(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            cycles,
+            DistOptions::default(),
+            &quiet_faults(),
+            &guard,
+        )
+        .expect("distributed guarded run completes");
+        let od = r.guard_outcome().expect("guarded run records an outcome");
+
+        // Decision-for-decision agreement: same retry cycles, same
+        // rollback targets, same verdict severities (the distributed
+        // verdict is pooled, so per-vertex detail is canonicalised
+        // away), and a bit-identical CFL schedule.
+        assert_eq!(os.transcript.len(), od.transcript.len(), "retry count");
+        for (a, b) in os.transcript.iter().zip(&od.transcript) {
+            assert_eq!(a.cycle, b.cycle, "retry cycle");
+            assert_eq!(a.rollback_to, b.rollback_to, "rollback target");
+            assert_eq!(
+                a.verdict.canonical(),
+                b.verdict.canonical(),
+                "verdict severity"
+            );
+            assert_eq!(a.cfl_before.to_bits(), b.cfl_before.to_bits());
+            assert_eq!(a.cfl_after.to_bits(), b.cfl_after.to_bits());
+        }
+        assert_eq!(os.final_cfl.to_bits(), od.final_cfl.to_bits());
+        assert_eq!(os.target_cfl.to_bits(), od.target_cfl.to_bits());
+        assert!(od.exhausted.is_none());
+
+        // Every rank reaches the same outcome — the agreement protocol
+        // leaves no room for divergent transcripts.
+        for (vid, out) in r.instances() {
+            let g = out
+                .guard
+                .as_ref()
+                .expect("every instance carries the outcome");
+            assert_eq!(g.transcript.len(), od.transcript.len(), "vid {vid}");
+            assert_eq!(g.final_cfl.to_bits(), od.final_cfl.to_bits(), "vid {vid}");
+        }
+
+        // The post-recovery residual history tracks the serial one to
+        // accumulation-order round-off.
+        let hd = r.history();
+        assert_eq!(hs.len(), hd.len());
+        for (i, (a, b)) in hs.iter().zip(hd).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-8 * a.max(1e-30),
+                "cycle {i}: residual histories diverge ({a:e} vs {b:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_composes_with_fault_recovery_bit_identically() {
+        // Two orderings of the two recovery kinds, each of which must
+        // reproduce the guarded fault-free run bit-for-bit:
+        //  * kill at cycle 2, before the guard trips at cycle 4 — fault
+        //    rollback first, then the numeric backoff is re-detected
+        //    during the replay;
+        //  * kill at cycle 7, after the backoff epoch — the cycle-5
+        //    checkpoint's guard blob (carrying the retry event and the
+        //    backed-off CFL) must survive the fault rollback.
+        let cfg = aggressive_cfg();
+        let guard = guard_cfg();
+        let cycles = 12;
+        let seq = stretched_seq();
+        let nverts = seq.meshes[0].nverts();
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+
+        let clean = run_distributed_guarded(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            cycles,
+            DistOptions::default(),
+            &quiet_faults(),
+            &guard,
+        )
+        .expect("guarded fault-free run completes");
+        let oc = clean.guard_outcome().expect("outcome");
+        assert_eq!(oc.transcript.len(), 1, "exactly one backoff epoch");
+        for c in &clean.run.counters {
+            assert_eq!(c.recoveries, 1, "the numeric rollback is one epoch");
+        }
+
+        // `host_epochs` is the adopting buddy's merged recovery count:
+        // its own two epochs plus, when the kill lands *before* the
+        // guard trips, the adopted replica's re-detected numeric epoch.
+        for (spec, victim, host_epochs, order) in [
+            ("kill:2@2+9", 2usize, 3u64, "kill before the guard trips"),
+            ("kill:1@7+9", 1usize, 2u64, "kill after the backoff epoch"),
+        ] {
+            let faulted = run_distributed_guarded(
+                &setup,
+                cfg,
+                Strategy::VCycle,
+                cycles,
+                DistOptions::default(),
+                &killing_faults(spec, 4),
+                &guard,
+            )
+            .unwrap_or_else(|e| panic!("{order}: guarded faulted run fails: {e}"));
+
+            assert!(
+                matches!(faulted.run.results[victim].fate, RankFate::Died { .. }),
+                "{order}: rank {victim} must die"
+            );
+            let replica = faulted
+                .instance(victim)
+                .expect("victim partition finishes on its buddy");
+            assert_eq!(replica.fate, RankFate::Completed);
+
+            // Bitwise identity of the physics.
+            let (hc, hf) = (clean.history(), faulted.history());
+            assert_eq!(hc.len(), hf.len(), "{order}: history length");
+            for (i, (a, b)) in hc.iter().zip(hf).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{order}: cycle {i} residuals diverge ({a:e} vs {b:e})"
+                );
+            }
+            let (wc, wf) = (clean.global_state(nverts), faulted.global_state(nverts));
+            for (i, (a, b)) in wc.iter().zip(&wf).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{order}: state entry {i}");
+            }
+
+            // ... and of the guard's view of the run, on every instance
+            // including the adopted replica of the dead rank.
+            for (vid, out) in faulted.instances() {
+                if out.fate != RankFate::Completed {
+                    continue;
+                }
+                let g = out.guard.as_ref().expect("outcome");
+                assert_eq!(g.transcript.len(), oc.transcript.len(), "{order} vid {vid}");
+                for (a, b) in oc.transcript.iter().zip(&g.transcript) {
+                    assert_eq!(a.cycle, b.cycle, "{order} vid {vid}");
+                    assert_eq!(a.rollback_to, b.rollback_to, "{order} vid {vid}");
+                    assert_eq!(a.cfl_after.to_bits(), b.cfl_after.to_bits());
+                }
+                assert_eq!(g.final_cfl.to_bits(), oc.final_cfl.to_bits());
+            }
+
+            // Survivors see both epochs: the numeric rollback and the
+            // fault recovery. The buddy hosting the replica (first live
+            // vid after the victim) additionally merges the replica's
+            // own epoch count.
+            let host = victim + 1;
+            for (vid, c) in faulted.run.counters.iter().enumerate() {
+                if vid == victim {
+                    continue;
+                }
+                let want = if vid == host { host_epochs } else { 2 };
+                assert_eq!(c.recoveries, want, "{order}: rank {vid} epochs");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_recovery_keeps_cycles_allocation_free() {
+        // The zero-steady-state-allocation invariant survives both
+        // recovery kinds: after the numeric rollback (clean run) and
+        // after numeric + fault recovery (killed run), the per-cycle
+        // allocation trace is flat over the tail of the run.
+        let cfg = aggressive_cfg();
+        let guard = guard_cfg();
+        let cycles = 12;
+        let setup = DistSetup::new(stretched_seq(), 4, 20, pseed());
+
+        for (fopts, label) in [
+            (quiet_faults(), "numeric rollback only"),
+            (killing_faults("kill:1@7+9", 4), "numeric + fault recovery"),
+        ] {
+            let r = run_distributed_guarded(
+                &setup,
+                cfg,
+                Strategy::VCycle,
+                cycles,
+                DistOptions::default(),
+                &fopts,
+                &guard,
+            )
+            .unwrap_or_else(|e| panic!("{label}: run fails: {e}"));
+            let mut completed = 0;
+            for (vid, out) in r.instances() {
+                if out.fate != RankFate::Completed {
+                    continue;
+                }
+                completed += 1;
+                let a = &out.cycle_allocs;
+                assert_eq!(a.len(), cycles, "{label} vid {vid}: one entry per cycle");
+                for i in cycles - 3..cycles {
+                    assert_eq!(
+                        a[i],
+                        a[i - 1],
+                        "{label} vid {vid}: steady-state cycle {i} allocated {} fresh buffers",
+                        a[i] - a[i - 1]
+                    );
+                }
+            }
+            assert_eq!(completed, 4, "{label}: all partitions must finish");
+        }
+    }
+
+    #[test]
+    fn distributed_retry_exhaustion_is_a_typed_error() {
+        // A backoff too timid to matter (0.95) exhausts its two retries
+        // and every rank stops deterministically; the driver converts
+        // the agreed exhaustion into the same typed error the serial
+        // guard returns, transcript included.
+        let cfg = aggressive_cfg();
+        let guard = GuardConfig {
+            cfl_backoff: 0.95,
+            max_retries: 2,
+            reramp_after: 100,
+            ..GuardConfig::default()
+        };
+        let setup = DistSetup::new(stretched_seq(), 4, 20, pseed());
+        let res = run_distributed_guarded(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            12,
+            DistOptions::default(),
+            &quiet_faults(),
+            &guard,
+        );
+        let Err(err) = res else {
+            panic!("a 0.95 backoff cannot save CFL 30")
+        };
+        match err {
+            SolverError::RetriesExhausted {
+                cycle,
+                transcript,
+                max_retries,
+                ..
+            } => {
+                assert_eq!(max_retries, 2);
+                assert_eq!(transcript.len(), 2, "one event per spent retry");
+                assert!(
+                    transcript[1].cfl_after < transcript[0].cfl_after,
+                    "the schedule must still be strictly decreasing"
+                );
+                assert!(cycle >= transcript[1].cycle, "final failure comes last");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn guard_refuses_to_run_blind() {
+        // The guard's divergence detector needs the monitored residual;
+        // asking for a guarded run without it is a typed setup error.
+        let setup = DistSetup::new(stretched_seq(), 2, 20, pseed());
+        let opts = DistOptions {
+            monitor_residual: false,
+            ..DistOptions::default()
+        };
+        let err = run_distributed_guarded(
+            &setup,
+            aggressive_cfg(),
+            Strategy::VCycle,
+            2,
+            opts,
+            &quiet_faults(),
+            &guard_cfg(),
+        );
+        assert!(matches!(err, Err(SolverError::GuardRequiresMonitoring)));
+    }
+}

@@ -1,0 +1,196 @@
+//! The workspace error taxonomy. Every crash path that used to be an
+//! `assert!`/`panic!` on user-reachable input (bad meshes, bad guard
+//! configuration, diverging runs, malformed fault specs) now surfaces as
+//! a typed error that converts into the umbrella [`Eul3dError`], so the
+//! CLI and library callers handle failures without unwinding.
+//!
+//! Invariant violations that indicate a *bug* (not bad input) remain
+//! `unreachable!`/`debug_assert!` — the taxonomy is for recoverable
+//! conditions.
+
+use std::fmt;
+
+use crate::checkpoint::CheckpointError;
+use crate::health::{HealthVerdict, RetryEvent};
+use eul3d_delta::DeltaError;
+use eul3d_mesh::MeshError;
+use eul3d_parti::PartiError;
+
+/// Errors raised by solver setup and the health-guarded drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// Edge-colouring validation failed on the shared-memory path.
+    Coloring(String),
+    /// A mesh sequence with no levels was supplied.
+    EmptyMeshSequence,
+    /// `--cfl-backoff` outside `(0, 1)`.
+    GuardBackoffOutOfRange { value: f64 },
+    /// `--max-retries 0` with the guard enabled.
+    GuardZeroRetries,
+    /// Zero-length health window, snapshot cadence, or re-ramp count.
+    GuardZeroWindow,
+    /// Divergence ratio must exceed 1.
+    GuardBadRatio { value: f64 },
+    /// The guarded distributed driver needs residual monitoring on.
+    GuardRequiresMonitoring,
+    /// The guard backed off `max_retries` times and the run still went
+    /// bad: the full retry transcript plus the final verdict.
+    RetriesExhausted {
+        /// Cycle (0-based) whose verdict exhausted the budget.
+        cycle: usize,
+        /// The verdict that could not be retried.
+        verdict: HealthVerdict,
+        /// Every backoff epoch that was attempted, in order.
+        transcript: Vec<RetryEvent>,
+        /// The configured retry budget.
+        max_retries: usize,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Coloring(msg) => write!(f, "edge colouring invalid: {msg}"),
+            SolverError::EmptyMeshSequence => write!(f, "mesh sequence has no levels"),
+            SolverError::GuardBackoffOutOfRange { value } => write!(
+                f,
+                "--cfl-backoff must be in (0, 1), got {value} (a factor >= 1 never reduces the CFL)"
+            ),
+            SolverError::GuardZeroRetries => {
+                write!(f, "--max-retries must be >= 1 when the guard is enabled")
+            }
+            SolverError::GuardZeroWindow => write!(
+                f,
+                "guard window, snapshot cadence, and re-ramp count must be >= 1"
+            ),
+            SolverError::GuardBadRatio { value } => {
+                write!(f, "divergence ratio must exceed 1, got {value}")
+            }
+            SolverError::GuardRequiresMonitoring => write!(
+                f,
+                "the guarded distributed driver requires residual monitoring (monitor_residual)"
+            ),
+            SolverError::RetriesExhausted {
+                cycle,
+                verdict,
+                transcript,
+                max_retries,
+            } => {
+                write!(
+                    f,
+                    "guard exhausted {max_retries} retries: {verdict} at cycle {}",
+                    cycle + 1
+                )?;
+                for e in transcript {
+                    write!(f, "\n  retry: {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// The workspace-wide umbrella: anything a driver or the CLI can fail
+/// with, from mesh construction through solver setup to a guarded run
+/// that exhausted its retries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Eul3dError {
+    Mesh(MeshError),
+    Parti(PartiError),
+    Delta(DeltaError),
+    Solver(SolverError),
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for Eul3dError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Eul3dError::Mesh(e) => write!(f, "mesh: {e}"),
+            Eul3dError::Parti(e) => write!(f, "parti: {e}"),
+            Eul3dError::Delta(e) => write!(f, "delta: {e}"),
+            Eul3dError::Solver(e) => write!(f, "solver: {e}"),
+            Eul3dError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Eul3dError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Eul3dError::Mesh(e) => Some(e),
+            Eul3dError::Parti(e) => Some(e),
+            Eul3dError::Delta(e) => Some(e),
+            Eul3dError::Solver(e) => Some(e),
+            Eul3dError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<MeshError> for Eul3dError {
+    fn from(e: MeshError) -> Eul3dError {
+        Eul3dError::Mesh(e)
+    }
+}
+
+impl From<PartiError> for Eul3dError {
+    fn from(e: PartiError) -> Eul3dError {
+        Eul3dError::Parti(e)
+    }
+}
+
+impl From<DeltaError> for Eul3dError {
+    fn from(e: DeltaError) -> Eul3dError {
+        Eul3dError::Delta(e)
+    }
+}
+
+impl From<SolverError> for Eul3dError {
+    fn from(e: SolverError) -> Eul3dError {
+        Eul3dError::Solver(e)
+    }
+}
+
+impl From<CheckpointError> for Eul3dError {
+    fn from(e: CheckpointError) -> Eul3dError {
+        Eul3dError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umbrella_wraps_and_displays_every_source() {
+        let m: Eul3dError = MeshError::DegenerateTet { tet: [0, 1, 2, 3] }.into();
+        assert!(m.to_string().contains("mesh:"));
+        let s: Eul3dError = SolverError::GuardZeroRetries.into();
+        assert!(s.to_string().contains("--max-retries"));
+        let c: Eul3dError = CheckpointError::BadMagic.into();
+        assert!(c.to_string().contains("checkpoint:"));
+        assert!(std::error::Error::source(&s).is_some());
+    }
+
+    #[test]
+    fn retries_exhausted_carries_the_transcript() {
+        use crate::health::HealthVerdict;
+        let e = SolverError::RetriesExhausted {
+            cycle: 9,
+            verdict: HealthVerdict::Diverging { ratio: 60.0 },
+            transcript: vec![RetryEvent {
+                cycle: 4,
+                rollback_to: Some(0),
+                verdict: HealthVerdict::NonFinite { vertex: 2 },
+                cfl_before: 30.0,
+                cfl_after: 15.0,
+            }],
+            max_retries: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("exhausted 1 retries"));
+        assert!(msg.contains("retry: cycle 5"));
+        assert!(msg.contains("non-finite state at vertex 2"));
+    }
+}

@@ -57,10 +57,13 @@ pub enum Phase {
     Checkpoint,
     /// Fault recovery: abort propagation, schedule rebuild, rollback.
     Recovery,
+    /// Solver-health guard: finite/positivity scans, divergence checks,
+    /// verdict agreement, and numeric rollback/backoff bookkeeping.
+    Guard,
 }
 
 /// Number of [`Phase`] variants.
-pub const NPHASES: usize = 13;
+pub const NPHASES: usize = 14;
 
 impl Phase {
     /// All phases, in reporting order.
@@ -78,6 +81,7 @@ impl Phase {
         Phase::Monitor,
         Phase::Checkpoint,
         Phase::Recovery,
+        Phase::Guard,
     ];
 
     /// Dense index for table layouts.
@@ -96,6 +100,7 @@ impl Phase {
             Phase::Monitor => 10,
             Phase::Checkpoint => 11,
             Phase::Recovery => 12,
+            Phase::Guard => 13,
         }
     }
 
@@ -115,6 +120,7 @@ impl Phase {
             Phase::Monitor => "monitor",
             Phase::Checkpoint => "checkpoint",
             Phase::Recovery => "recovery",
+            Phase::Guard => "guard",
         }
     }
 }

@@ -29,6 +29,8 @@
 //! assert!(history.iter().all(|r| r.is_finite()));
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod agglo;
 pub mod boundary;
 pub mod checkpoint;
@@ -36,9 +38,11 @@ pub mod config;
 pub mod counters;
 pub mod dissipation;
 pub mod dist;
+pub mod error;
 pub mod executor;
 pub mod flux;
 pub mod gas;
+pub mod health;
 pub mod history;
 pub mod level;
 pub mod multigrid;
@@ -52,8 +56,10 @@ pub mod timestep;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{Scheme, SolverConfig};
 pub use counters::{FlopCounter, PhaseCounters};
+pub use error::{Eul3dError, SolverError};
 pub use executor::{Executor, Phase, SerialExecutor};
 pub use gas::{Freestream, NVAR};
+pub use health::{GuardConfig, GuardOutcome, HealthVerdict, RetryEvent};
 pub use history::ConvergenceHistory;
 pub use multigrid::{MultigridSolver, Strategy};
 pub use solver::SingleGridSolver;

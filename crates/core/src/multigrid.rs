@@ -6,9 +6,13 @@
 use eul3d_mesh::MeshSequence;
 
 use crate::config::SolverConfig;
-use crate::counters::{PhaseCounters, FLOPS_TRANSFER_VERT};
+use crate::counters::{PhaseCounters, FLOPS_GUARD_VERT, FLOPS_TRANSFER_VERT};
+use crate::error::SolverError;
 use crate::executor::{count_vertex_loop, Phase, SerialExecutor};
 use crate::gas::NVAR;
+use crate::health::{
+    check_state, GuardConfig, GuardOutcome, GuardState, HealthMonitor, RetryEvent,
+};
 use crate::level::{eval_total_residual, time_step, LevelState};
 use crate::shared::SharedExecutor;
 
@@ -130,6 +134,87 @@ impl MultigridSolver {
     /// Run `n` cycles, returning the residual history.
     pub fn solve(&mut self, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.cycle()).collect()
+    }
+
+    /// Run `n` cycles under the solver-health guard: after every cycle
+    /// the fine-grid state is scanned for non-finite / non-physical
+    /// entries and the monitored residual is checked for divergence. On
+    /// a bad verdict the fine state rolls back to the last snapshot, the
+    /// CFL backs off by `guard.cfl_backoff`, and the run retries — up to
+    /// `guard.max_retries` times, after which the typed error carries
+    /// the full retry transcript. After `guard.reramp_after` consecutive
+    /// clean cycles the CFL steps back toward the configured target.
+    ///
+    /// The fine-level `w` is the only state that persists between
+    /// cycles (every coarse level is rebuilt from it by restriction), so
+    /// one snapshot of it makes rollback exact.
+    pub fn solve_guarded(
+        &mut self,
+        n: usize,
+        guard: &GuardConfig,
+    ) -> Result<(Vec<f64>, GuardOutcome), SolverError> {
+        guard.validate()?;
+        let target_cfl = self.cfg.cfl;
+        let mut gs = GuardState::new(target_cfl, guard);
+        let mut monitor = HealthMonitor::new(guard);
+        let mut history: Vec<f64> = Vec::with_capacity(n);
+        let mut snap_w = self.levels[0].w.clone();
+        let mut snap_cycle = 0usize;
+        while history.len() < n {
+            let c = history.len();
+            if c.is_multiple_of(guard.snapshot_every) {
+                snap_w.copy_from_slice(&self.levels[0].w);
+                snap_cycle = c;
+            }
+            self.cfg.cfl = gs.ctl.current;
+            let r = self.cycle();
+            let verdict = check_state(self.cfg.gamma, &self.levels[0].w, self.levels[0].n)
+                .worse(monitor.check(r));
+            count_vertex_loop(
+                &mut self.counter,
+                Phase::Guard,
+                self.levels[0].n,
+                FLOPS_GUARD_VERT,
+            );
+            if verdict.is_bad() {
+                if gs.retries_used() >= guard.max_retries {
+                    self.cfg.cfl = target_cfl;
+                    return Err(SolverError::RetriesExhausted {
+                        cycle: c,
+                        verdict,
+                        transcript: gs.transcript,
+                        max_retries: guard.max_retries,
+                    });
+                }
+                let cfl_before = gs.ctl.current;
+                gs.ctl.back_off();
+                gs.transcript.push(RetryEvent {
+                    cycle: c,
+                    rollback_to: Some(snap_cycle),
+                    verdict,
+                    cfl_before,
+                    cfl_after: gs.ctl.current,
+                });
+                self.levels[0].w.copy_from_slice(&snap_w);
+                history.truncate(snap_cycle);
+                monitor.rebuild(&history);
+                continue;
+            }
+            history.push(r);
+            monitor.push(r);
+            gs.ctl.on_clean();
+        }
+        let final_cfl = gs.ctl.current;
+        self.cfg.cfl = target_cfl;
+        Ok((
+            history,
+            GuardOutcome {
+                transcript: gs.transcript,
+                final_cfl,
+                target_cfl,
+                exhausted: None,
+            },
+        ))
     }
 
     /// Fine-grid conserved state.
@@ -572,5 +657,185 @@ mod tests {
             assert!(mg.state()[i * NVAR] > 0.05, "density positive at {i}");
         }
         assert!(hist.last().unwrap() < &(hist[0] * 0.8));
+    }
+
+    /// The issue's seeded diverging case: a tapered (stretched) bump at
+    /// an over-aggressive CFL. The unguarded driver goes non-finite in a
+    /// handful of cycles; the guard must back off, roll back, and finish.
+    fn stretched_seq() -> MeshSequence {
+        let spec = BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 3,
+            taper: 0.6,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
+        MeshSequence::bump_sequence(&spec, 2)
+    }
+
+    fn aggressive_cfg() -> SolverConfig {
+        SolverConfig {
+            mach: 0.5,
+            cfl: 30.0,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn guard_recovers_where_the_unguarded_run_diverges() {
+        let cycles = 12;
+        let mut bare = MultigridSolver::new(stretched_seq(), aggressive_cfg(), Strategy::VCycle);
+        let h = bare.solve(cycles);
+        assert!(
+            h.iter().any(|x| !x.is_finite()),
+            "seed case must actually diverge unguarded: {h:?}"
+        );
+
+        let guard = GuardConfig {
+            cfl_backoff: 0.25,
+            // Keep the CFL parked at the backoff floor so the outcome
+            // shows the reduction (re-ramp behavior has its own test).
+            reramp_after: 100,
+            ..GuardConfig::default()
+        };
+        let mut mg = MultigridSolver::new(stretched_seq(), aggressive_cfg(), Strategy::VCycle);
+        let (hist, outcome) = mg
+            .solve_guarded(cycles, &guard)
+            .expect("guard must recover");
+        assert_eq!(hist.len(), cycles);
+        assert!(hist.iter().all(|x| x.is_finite()), "{hist:?}");
+        assert!(
+            !outcome.transcript.is_empty(),
+            "recovery must go through at least one backoff epoch"
+        );
+        assert!(outcome.final_cfl < outcome.target_cfl);
+        assert_eq!(outcome.target_cfl, 30.0);
+        assert_eq!(outcome.exhausted, None);
+        assert_eq!(
+            check_state(aggressive_cfg().gamma, &mg.levels[0].w, mg.levels[0].n),
+            crate::health::HealthVerdict::Healthy
+        );
+        // The user-visible config is restored to the requested target.
+        assert_eq!(mg.cfg.cfl, 30.0);
+        // Guard work is visible in the per-phase accounting.
+        assert!(mg.counter.comp[Phase::Guard.index()].flops > 0.0);
+    }
+
+    #[test]
+    fn guard_exhausts_retries_into_a_typed_error() {
+        // A backoff factor this timid cannot rescue CFL 30 in two tries
+        // (30 -> 28.5 -> 27.1, all far beyond the stability limit).
+        let guard = GuardConfig {
+            max_retries: 2,
+            cfl_backoff: 0.95,
+            ..GuardConfig::default()
+        };
+        let mut mg = MultigridSolver::new(stretched_seq(), aggressive_cfg(), Strategy::VCycle);
+        let err = mg.solve_guarded(20, &guard).expect_err("must exhaust");
+        match err {
+            SolverError::RetriesExhausted {
+                verdict,
+                transcript,
+                max_retries,
+                ..
+            } => {
+                assert!(verdict.is_bad());
+                assert_eq!(transcript.len(), 2);
+                assert_eq!(max_retries, 2);
+                // Each retry recorded a strictly decreasing CFL.
+                assert!(transcript[0].cfl_after > transcript[1].cfl_after);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert_eq!(mg.cfg.cfl, 30.0, "target CFL restored even on failure");
+    }
+
+    #[test]
+    fn guarded_serial_and_shared_agree_on_every_decision() {
+        // The CFL schedule is pure configuration arithmetic, so serial
+        // and shared must take bit-identical backoff decisions even
+        // though their residuals differ in the last bits.
+        let guard = GuardConfig {
+            cfl_backoff: 0.25,
+            ..GuardConfig::default()
+        };
+        let cycles = 12;
+        let mut serial = MultigridSolver::new(stretched_seq(), aggressive_cfg(), Strategy::VCycle);
+        let (hs, os) = serial
+            .solve_guarded(cycles, &guard)
+            .expect("serial recovers");
+        let mut shared =
+            MultigridSolver::new_shared(stretched_seq(), aggressive_cfg(), Strategy::VCycle, 3)
+                .expect("colouring validates");
+        let (hp, op) = shared
+            .solve_guarded(cycles, &guard)
+            .expect("shared recovers");
+
+        assert_eq!(os.transcript.len(), op.transcript.len());
+        for (a, b) in os.transcript.iter().zip(&op.transcript) {
+            assert_eq!(a.cycle, b.cycle);
+            assert_eq!(a.rollback_to, b.rollback_to);
+            assert_eq!(
+                a.verdict.canonical().severity(),
+                b.verdict.canonical().severity()
+            );
+            assert_eq!(a.cfl_before.to_bits(), b.cfl_before.to_bits());
+            assert_eq!(a.cfl_after.to_bits(), b.cfl_after.to_bits());
+        }
+        assert_eq!(os.final_cfl.to_bits(), op.final_cfl.to_bits());
+        for (a, b) in hs.iter().zip(&hp) {
+            assert!(
+                (a - b).abs() < 1e-9 * a.abs().max(1e-30),
+                "histories diverge after recovery: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_is_a_no_op_on_a_healthy_run() {
+        // Same cycles, same answer, empty transcript, CFL untouched.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let mut bare = MultigridSolver::new(bump_seq(2), cfg, Strategy::VCycle);
+        let hb = bare.solve(6);
+        let mut guarded = MultigridSolver::new(bump_seq(2), cfg, Strategy::VCycle);
+        let (hg, outcome) = guarded
+            .solve_guarded(6, &GuardConfig::default())
+            .expect("healthy run");
+        assert!(outcome.transcript.is_empty());
+        assert_eq!(outcome.final_cfl.to_bits(), outcome.target_cfl.to_bits());
+        for (a, b) in hb.iter().zip(&hg) {
+            assert_eq!(a.to_bits(), b.to_bits(), "guard must not perturb the solve");
+        }
+    }
+
+    #[test]
+    fn guard_reramps_cfl_back_to_target_after_clean_cycles() {
+        let guard = GuardConfig {
+            cfl_backoff: 0.25,
+            reramp_after: 3,
+            ..GuardConfig::default()
+        };
+        // Diverges at CFL 30, recovers at 7.5; with re-ramp every 3 clean
+        // cycles the controller climbs 7.5 -> 30 (capped) well within 30
+        // cycles... and promptly diverges again at 30, backing off anew.
+        // Run long enough to see at least one re-ramp step in the final
+        // CFL trajectory: final CFL must sit strictly above the first
+        // backoff floor.
+        let mut mg = MultigridSolver::new(stretched_seq(), aggressive_cfg(), Strategy::VCycle);
+        let (_, outcome) = mg.solve_guarded(10, &guard).expect("recovers");
+        let floor = outcome
+            .transcript
+            .iter()
+            .map(|e| e.cfl_after)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            outcome.final_cfl > floor,
+            "re-ramp must lift the CFL above the deepest backoff ({floor}) by the end: {}",
+            outcome.final_cfl
+        );
     }
 }

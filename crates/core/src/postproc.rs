@@ -103,13 +103,13 @@ pub fn probe_line(
         .map(|k| {
             let t = k as f64 / (samples - 1).max(1) as f64;
             let pt = from + (to - from) * t;
-            let (best, _) = mesh
+            let best = mesh
                 .coords
                 .iter()
                 .enumerate()
                 .map(|(i, &c)| (i, (c - pt).norm_sq()))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(i, _)| i);
             (t, field[best])
         })
         .collect()

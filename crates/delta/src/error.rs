@@ -1,0 +1,27 @@
+//! Typed errors for the simulated machine: conditions a caller can
+//! provoke with bad input (as opposed to protocol violations inside the
+//! simulator, which stay hard panics so they are never papered over).
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A `--faults` specification failed to parse or referenced an
+    /// impossible rank/stream.
+    BadFaultSpec { spec: String, reason: String },
+    /// A machine with zero ranks was requested.
+    NoRanks,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BadFaultSpec { spec, reason } => {
+                write!(f, "bad fault spec '{spec}': {reason}")
+            }
+            DeltaError::NoRanks => write!(f, "machine needs at least one rank"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}

@@ -17,6 +17,8 @@
 
 use std::sync::Arc;
 
+use crate::error::DeltaError;
+
 /// What to do to a matched message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -95,7 +97,14 @@ impl FaultPlan {
     /// ...#N@C         count only messages sent during cycle C
     /// seeded:SEED#N@C N pseudo-random message faults in cycles [1, C]
     /// ```
-    pub fn parse(spec: &str, nranks: usize) -> Result<FaultPlan, String> {
+    pub fn parse(spec: &str, nranks: usize) -> Result<FaultPlan, DeltaError> {
+        FaultPlan::parse_inner(spec, nranks).map_err(|reason| DeltaError::BadFaultSpec {
+            spec: spec.to_string(),
+            reason,
+        })
+    }
+
+    fn parse_inner(spec: &str, nranks: usize) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for ev in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (kind, rest) = ev

@@ -32,7 +32,10 @@
 //! assert!(table2_row.total_seconds > 0.0);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cost;
+pub mod error;
 pub mod fault;
 pub mod machine;
 pub mod msg;
@@ -40,6 +43,7 @@ pub mod pool;
 pub mod rank;
 
 pub use cost::{CostBreakdown, CostModel};
+pub use error::DeltaError;
 pub use fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState, KillSpec, MsgFault};
 pub use machine::{run_spmd, MachineRun};
 pub use msg::{checksum, CommClass, CommStats, Payload, RankCounters};

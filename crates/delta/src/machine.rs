@@ -66,7 +66,7 @@ where
                         }
                     }
                 })
-                .expect("failed to spawn rank thread");
+                .unwrap_or_else(|e| unreachable!("spawn rank thread: {e}"));
             handles.push(h);
         }
         let mut panics = Vec::new();

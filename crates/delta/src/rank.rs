@@ -291,7 +291,9 @@ impl Rank {
                     crc,
                     payload: payload.clone(),
                 };
-                self.txs[dst].send(dup).expect("receiver hung up");
+                if self.txs[dst].send(dup).is_err() {
+                    unreachable!("receiver hung up");
+                }
             }
             Some(FaultAction::Corrupt) => {
                 // Flip one payload bit *after* the checksum was taken.
@@ -306,16 +308,17 @@ impl Rank {
             Some(FaultAction::Delay { ticks }) => self.counters.fault_ticks += ticks,
             None => {}
         }
-        self.txs[dst]
-            .send(Message {
-                src: self.id,
-                tag,
-                epoch: self.epoch,
-                seq,
-                crc,
-                payload,
-            })
-            .expect("receiver hung up");
+        let sent = self.txs[dst].send(Message {
+            src: self.id,
+            tag,
+            epoch: self.epoch,
+            seq,
+            crc,
+            payload,
+        });
+        if sent.is_err() {
+            unreachable!("receiver hung up");
+        }
     }
 
     /// Count one communication operation against the fault plan; dies on
@@ -462,7 +465,10 @@ impl Rank {
         }
         loop {
             let m = match self.recv_timeout {
-                None => self.rx.recv().expect("all senders hung up while receiving"),
+                None => match self.rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => unreachable!("all senders hung up while receiving"),
+                },
                 Some(window) => match self.rx.recv_timeout(window) {
                     Ok(m) => m,
                     Err(RecvTimeoutError::Timeout) => {

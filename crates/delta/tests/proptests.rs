@@ -1,6 +1,8 @@
 //! Property tests of the simulated machine: determinism, FIFO matching,
 //! and collective correctness over randomized traffic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use eul3d_delta::{run_spmd, CommBuffers, CommClass};

@@ -27,6 +27,7 @@
 //! holds to round-off — this is what guarantees exact freestream
 //! preservation in the solver, and it is what the property tests check.
 
+use crate::error::MeshError;
 use crate::topology::{find_edge, TET_EDGES};
 use crate::vec3::{tet_volume, tri_area_vec, Vec3};
 
@@ -34,8 +35,13 @@ use crate::vec3::{tet_volume, tri_area_vec, Vec3};
 ///
 /// `edges` must be the sorted unique list from
 /// [`crate::topology::extract_edges`]; all tets must be positively
-/// oriented.
-pub fn edge_coefficients(coords: &[Vec3], tets: &[[u32; 4]], edges: &[[u32; 2]]) -> Vec<Vec3> {
+/// oriented. A tet edge absent from `edges` is reported as
+/// [`MeshError::EdgeMissing`] instead of panicking.
+pub fn edge_coefficients(
+    coords: &[Vec3],
+    tets: &[[u32; 4]],
+    edges: &[[u32; 2]],
+) -> Result<Vec<Vec3>, MeshError> {
     let mut coef = vec![Vec3::ZERO; edges.len()];
     for t in tets {
         let p = [
@@ -53,7 +59,9 @@ pub fn edge_coefficients(coords: &[Vec3], tets: &[[u32; 4]], edges: &[[u32; 2]])
             let f2 = (pa + pb + pd) / 3.0;
             // Quad (m, f1, g, f2) split into triangles (m, f1, g), (m, g, f2).
             let piece = tri_area_vec(m, f1, g) + tri_area_vec(m, g, f2);
-            let e = find_edge(edges, a, b).expect("tet edge missing from edge list");
+            let Some(e) = find_edge(edges, a, b) else {
+                return Err(MeshError::EdgeMissing { a, b });
+            };
             // `piece` points a → b; flip when the stored edge is (b, a).
             if edges[e][0] == a {
                 coef[e] += piece;
@@ -62,7 +70,7 @@ pub fn edge_coefficients(coords: &[Vec3], tets: &[[u32; 4]], edges: &[[u32; 2]])
             }
         }
     }
-    coef
+    Ok(coef)
 }
 
 /// Median-dual control volume of every vertex: each tet contributes a
@@ -129,7 +137,7 @@ mod tests {
     fn unit_tet_edge_coefficient_orientation() {
         let (coords, tets) = unit_tet();
         let edges = extract_edges(&tets);
-        let coef = edge_coefficients(&coords, &tets, &edges);
+        let coef = edge_coefficients(&coords, &tets, &edges).expect("complete edge list");
         for (e, &[a, b]) in edges.iter().enumerate() {
             let dir = coords[b as usize] - coords[a as usize];
             assert!(
@@ -141,6 +149,17 @@ mod tests {
         let e01 = find_edge(&edges, 0, 1).unwrap();
         let expect = Vec3::new(1.0 / 12.0, 1.0 / 24.0, 1.0 / 24.0);
         assert!((coef[e01] - expect).norm() < 1e-14);
+    }
+
+    #[test]
+    fn missing_edge_is_a_typed_error() {
+        let (coords, tets) = unit_tet();
+        let mut edges = extract_edges(&tets);
+        edges.retain(|e| e != &[0, 1]);
+        assert_eq!(
+            edge_coefficients(&coords, &tets, &edges),
+            Err(MeshError::EdgeMissing { a: 0, b: 1 })
+        );
     }
 
     #[test]
@@ -156,7 +175,7 @@ mod tests {
     fn unit_tet_closure() {
         let (coords, tets) = unit_tet();
         let edges = extract_edges(&tets);
-        let coef = edge_coefficients(&coords, &tets, &edges);
+        let coef = edge_coefficients(&coords, &tets, &edges).expect("complete edge list");
         let bf: Vec<(Vec3, [u32; 3])> = boundary_faces(&tets)
             .into_iter()
             .map(|f| {

@@ -193,7 +193,10 @@ pub fn box_mesh(
     let zs = cluster1d(nz, lo.z, hi.z, 0.5, 0.0);
     let mut lat = lattice(&xs, &ys, &zs);
     jitter_interior(&mut lat, &xs, &ys, &zs, jitter, seed);
-    TetMesh::from_tets(lat.coords, lat.tets, classify)
+    match TetMesh::from_tets(lat.coords, lat.tets, classify) {
+        Ok(m) => m,
+        Err(e) => unreachable!("lattice generator produced an invalid mesh: {e}"),
+    }
 }
 
 /// Parameters of the transonic bump-channel family.
@@ -275,7 +278,10 @@ pub fn bump_channel(spec: &BumpSpec) -> TetMesh {
         let h = bump_profile(p.x, spec.bump_height) * (1.0 - spec.taper * p.z / CHANNEL_DEPTH);
         p.y += h * (1.0 - p.y / CHANNEL_HEIGHT);
     }
-    TetMesh::from_tets(lat.coords, lat.tets, classify_channel)
+    match TetMesh::from_tets(lat.coords, lat.tets, classify_channel) {
+        Ok(m) => m,
+        Err(e) => unreachable!("bump-channel generator produced an invalid mesh: {e}"),
+    }
 }
 
 /// Parameters of the supersonic wedge (compression-ramp) channel: flow
@@ -327,7 +333,10 @@ pub fn wedge_channel(spec: &WedgeSpec) -> TetMesh {
         let h = (p.x * slope).max(0.0);
         p.y += h * (1.0 - p.y / WEDGE_HEIGHT);
     }
-    TetMesh::from_tets(lat.coords, lat.tets, classify_wedge)
+    match TetMesh::from_tets(lat.coords, lat.tets, classify_wedge) {
+        Ok(m) => m,
+        Err(e) => unreachable!("wedge generator produced an invalid mesh: {e}"),
+    }
 }
 
 fn classify_wedge(_centroid: Vec3, unit_normal: Vec3) -> BcKind {

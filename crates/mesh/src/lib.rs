@@ -27,7 +27,10 @@
 //! assert_eq!(mesh.edges.len(), mesh.edge_coef.len());
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dual;
+pub mod error;
 pub mod gen;
 pub mod refine;
 pub mod search;
@@ -41,6 +44,7 @@ pub mod vtk;
 
 mod mesh;
 
+pub use error::MeshError;
 pub use mesh::TetMesh;
 pub use sequence::MeshSequence;
 pub use stats::MeshStats;

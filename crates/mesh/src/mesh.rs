@@ -1,7 +1,8 @@
 //! The [`TetMesh`] container: geometry, the edge-based data structure, and
 //! boundary faces, plus the derived-metric build pipeline.
 
-use crate::dual::{dual_volumes, edge_coefficients};
+use crate::dual::{closure_residual, dual_volumes, edge_coefficients};
+use crate::error::MeshError;
 use crate::topology::{boundary_faces, extract_edges, vertex_edge_adjacency};
 use crate::types::{BcKind, BoundaryFace, Csr};
 use crate::vec3::{tet_volume, tri_area_vec, Vec3};
@@ -32,32 +33,49 @@ impl TetMesh {
     /// Build a mesh (and all derived metrics) from raw vertices and tets.
     ///
     /// Tets with negative volume are repaired by swapping two vertices;
-    /// degenerate (zero-volume) tets are rejected. `classify` assigns a
-    /// boundary condition to each boundary face from its centroid and
-    /// outward unit normal.
+    /// degenerate (zero-volume) tets, out-of-range vertex references, and
+    /// orphan vertices (no incident tet) are rejected as typed
+    /// [`MeshError`]s instead of panicking. `classify` assigns a boundary
+    /// condition to each boundary face from its centroid and outward unit
+    /// normal.
     pub fn from_tets(
         coords: Vec<Vec3>,
         mut tets: Vec<[u32; 4]>,
         classify: impl Fn(Vec3, Vec3) -> BcKind,
-    ) -> TetMesh {
-        // Orient all tets positively.
+    ) -> Result<TetMesh, MeshError> {
+        // Validate indices, then orient all tets positively.
         for t in &mut tets {
+            for &vtx in t.iter() {
+                if vtx as usize >= coords.len() {
+                    return Err(MeshError::VertexOutOfRange {
+                        vertex: vtx,
+                        nverts: coords.len(),
+                    });
+                }
+            }
             let v = tet_volume(
                 coords[t[0] as usize],
                 coords[t[1] as usize],
                 coords[t[2] as usize],
                 coords[t[3] as usize],
             );
-            assert!(v != 0.0, "degenerate tetrahedron {t:?}");
+            if v == 0.0 {
+                return Err(MeshError::DegenerateTet { tet: *t });
+            }
             if v < 0.0 {
                 t.swap(2, 3);
             }
         }
 
         let edges = extract_edges(&tets);
-        let edge_coef = edge_coefficients(&coords, &tets, &edges);
+        let edge_coef = edge_coefficients(&coords, &tets, &edges)?;
         let vol = dual_volumes(&coords, &tets, coords.len());
         let v2e = vertex_edge_adjacency(coords.len(), &edges);
+        if !tets.is_empty() {
+            if let Some(orphan) = (0..coords.len()).find(|&i| v2e.degree(i) == 0) {
+                return Err(MeshError::OrphanVertex { vertex: orphan });
+            }
+        }
 
         let bfaces = boundary_faces(&tets)
             .into_iter()
@@ -76,7 +94,7 @@ impl TetMesh {
             })
             .collect();
 
-        TetMesh {
+        Ok(TetMesh {
             coords,
             tets,
             edges,
@@ -84,6 +102,26 @@ impl TetMesh {
             bfaces,
             vol,
             v2e,
+        })
+    }
+
+    /// Check that every vertex's median-dual surface closes: the
+    /// residual `Σ ±η + Σ S/3` must stay below `tol` in max norm
+    /// (round-off-small for any watertight mesh). Returns the worst
+    /// offender as a typed error.
+    pub fn validate_closure(&self, tol: f64) -> Result<(), MeshError> {
+        let bf: Vec<(Vec3, [u32; 3])> = self.bfaces.iter().map(|f| (f.normal, f.v)).collect();
+        let res = closure_residual(self.nverts(), &self.edges, &self.edge_coef, &bf);
+        let worst = res
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()));
+        match worst {
+            Some((vertex, r)) if r.norm() >= tol => Err(MeshError::OpenDualSurface {
+                vertex,
+                residual: r.norm(),
+            }),
+            _ => Ok(()),
         }
     }
 
@@ -159,7 +197,7 @@ mod tests {
             Vec3::new(0.0, 0.0, 1.0),
         ];
         // Negatively oriented input.
-        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 3, 2]], far);
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 3, 2]], far).expect("valid mesh");
         let t = mesh.tets[0];
         let v = tet_volume(
             mesh.coords[t[0] as usize],
@@ -175,15 +213,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "degenerate")]
-    fn degenerate_tet_rejected() {
+    fn degenerate_tet_is_a_typed_error_not_a_panic() {
+        // Four collinear points: zero volume, no orientation to repair.
         let coords = vec![
             Vec3::ZERO,
             Vec3::new(1.0, 0.0, 0.0),
             Vec3::new(2.0, 0.0, 0.0),
             Vec3::new(3.0, 0.0, 0.0),
         ];
-        TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        let err = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        assert_eq!(
+            err.err(),
+            Some(MeshError::DegenerateTet { tet: [0, 1, 2, 3] })
+        );
+    }
+
+    #[test]
+    fn coplanar_tet_is_a_typed_error_not_a_panic() {
+        // Four coplanar (z = 0) but non-collinear points — an "inverted
+        // flat" tet no vertex swap can repair.
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ];
+        let err = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        assert!(matches!(err, Err(MeshError::DegenerateTet { .. })));
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_a_typed_error() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
+        let err = TetMesh::from_tets(coords, vec![[0, 1, 2, 7]], far);
+        assert_eq!(
+            err.err(),
+            Some(MeshError::VertexOutOfRange {
+                vertex: 7,
+                nverts: 3
+            })
+        );
+    }
+
+    #[test]
+    fn orphan_vertex_is_a_typed_error() {
+        // Vertex 4 exists but no tet touches it.
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(9.0, 9.0, 9.0),
+        ];
+        let err = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        assert_eq!(err.err(), Some(MeshError::OrphanVertex { vertex: 4 }));
+    }
+
+    #[test]
+    fn closure_validation_passes_and_detects_tampering() {
+        let coords = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let mut mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far).expect("valid mesh");
+        assert_eq!(mesh.validate_closure(1e-12), Ok(()));
+        // Corrupt one edge coefficient: the dual surface opens.
+        mesh.edge_coef[0] += Vec3::new(0.5, 0.0, 0.0);
+        assert!(matches!(
+            mesh.validate_closure(1e-12),
+            Err(MeshError::OpenDualSurface { .. })
+        ));
     }
 
     #[test]
@@ -194,7 +299,7 @@ mod tests {
             Vec3::new(0.0, 1.0, 0.0),
             Vec3::new(0.0, 0.0, 1.0),
         ];
-        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far).expect("valid mesh");
         let mut nbrs: Vec<u32> = mesh.vertex_neighbors(0).collect();
         nbrs.sort_unstable();
         assert_eq!(nbrs, vec![1, 2, 3]);
@@ -209,7 +314,7 @@ mod tests {
             Vec3::new(0.0, 1.0, 0.0),
             Vec3::new(0.0, 0.0, 1.0),
         ];
-        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far);
+        let mesh = TetMesh::from_tets(coords, vec![[0, 1, 2, 3]], far).expect("valid mesh");
         let centroid = (mesh.coords[0] + mesh.coords[1] + mesh.coords[2] + mesh.coords[3]) / 4.0;
         for f in &mesh.bfaces {
             let fc = (mesh.coords[f.v[0] as usize]

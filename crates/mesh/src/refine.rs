@@ -29,7 +29,10 @@ pub fn refine_uniform(mesh: &TetMesh) -> TetMesh {
         coords.push((mesh.coords[a as usize] + mesh.coords[b as usize]) * 0.5);
     }
     let mid = |a: u32, b: u32| -> u32 {
-        (nold + find_edge(&mesh.edges, a, b).expect("edge missing")) as u32
+        match find_edge(&mesh.edges, a, b) {
+            Some(e) => (nold + e) as u32,
+            None => unreachable!("edge {a}-{b} missing from the extracted edge list"),
+        }
     };
 
     let mut tets: Vec<[u32; 4]> = Vec::with_capacity(mesh.ntets() * 8);
@@ -93,11 +96,17 @@ pub fn refine_uniform(mesh: &TetMesh) -> TetMesh {
         }
     }
 
-    let mut refined = TetMesh::from_tets(coords, tets, |_, _| BcKind::FarField);
+    let mut refined = match TetMesh::from_tets(coords, tets, |_, _| BcKind::FarField) {
+        Ok(m) => m,
+        Err(e) => unreachable!("uniform refinement produced an invalid mesh: {e}"),
+    };
     for f in &mut refined.bfaces {
         let mut k = f.v;
         k.sort_unstable();
-        f.kind = *kinds.get(&k).expect("child boundary face without a parent");
+        f.kind = match kinds.get(&k) {
+            Some(kind) => *kind,
+            None => unreachable!("child boundary face without a parent"),
+        };
     }
     refined
 }

@@ -79,11 +79,13 @@ impl<'m> Locator<'m> {
         let max_steps = self.mesh.ntets();
         loop {
             let bary = barycentric(self.mesh, t, p);
-            let (worst, &min) = bary
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap();
+            let mut worst = 0;
+            for k in 1..4 {
+                if bary[k] < bary[worst] {
+                    worst = k;
+                }
+            }
+            let min = bary[worst];
             if min >= EPS {
                 return Located {
                     tet: t,
@@ -103,13 +105,13 @@ impl<'m> Locator<'m> {
 
     /// Brute-force fallback: nearest centroid, clamped weights.
     fn fallback(&self, p: Vec3) -> Located {
-        let (best, _) = self
+        let best = self
             .centroids
             .iter()
             .enumerate()
             .map(|(i, &c)| (i, (c - p).norm_sq()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("mesh has no tets");
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or_else(|| unreachable!("mesh has no tets"), |(i, _)| i);
         let bary = barycentric(self.mesh, best, p);
         Located {
             tet: best,

@@ -52,8 +52,9 @@ impl MeshSequence {
     pub fn bump_sequence(spec: &BumpSpec, levels: usize) -> MeshSequence {
         assert!(levels >= 1);
         let mut specs = vec![spec.clone()];
-        for _ in 1..levels {
-            specs.push(specs.last().unwrap().coarsened());
+        for l in 1..levels {
+            let next = specs[l - 1].coarsened();
+            specs.push(next);
         }
         MeshSequence::from_meshes(specs.iter().map(bump_channel).collect())
     }

@@ -1,6 +1,8 @@
 //! Property tests of the mesh machinery across randomized generator
 //! parameters.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use eul3d_mesh::dual::closure_residual;

@@ -1,0 +1,31 @@
+//! Typed errors for the PARTI runtime: tag-space exhaustion and
+//! partition/translation inconsistencies a caller can provoke.
+
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartiError {
+    /// A `range` request would run past the collective tag space (or
+    /// the base already sits inside it).
+    TagSpaceExhausted { base: u32, width: u32 },
+    /// `base + epoch * EPOCH_STRIDE` overflowed u32: the recovery epoch
+    /// tag space is spent.
+    EpochTagOverflow { base: u32, epoch: u32 },
+}
+
+impl fmt::Display for PartiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartiError::TagSpaceExhausted { base, width } => write!(
+                f,
+                "tag range [{base}, {base}+{width}) ran into the collective space"
+            ),
+            PartiError::EpochTagOverflow { base, epoch } => write!(
+                f,
+                "recovery epoch tag space overflowed u32 (base {base}, epoch {epoch})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartiError {}

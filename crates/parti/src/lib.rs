@@ -36,12 +36,16 @@
 //! assert_eq!(run.results, vec![1.0, 0.0]); // each side sees the peer's value
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod inspector;
 pub mod registry;
 pub mod schedule;
 pub mod tags;
 pub mod translation;
 
+pub use error::PartiError;
 pub use inspector::localize;
 pub use registry::GhostRegistry;
 pub use schedule::Schedule;

@@ -9,6 +9,7 @@
 //! of `range` calls (the same discipline `localize` already demands), all
 //! ranks agree on every tag without communicating.
 
+use crate::error::PartiError;
 use eul3d_delta::COLLECTIVE_TAG_BASE;
 
 /// Disjoint tag space per recovery epoch: epoch `e` allocates from
@@ -36,27 +37,53 @@ impl TagAllocator {
     /// that epoch's stride of the tag space. Epoch 0 is the initial
     /// build, so `for_epoch(b, 0)` ≡ `new(b)` and all ranks agree on
     /// every tag of every epoch without communicating.
+    ///
+    /// Panics on exhaustion; [`TagAllocator::try_for_epoch`] is the
+    /// non-panicking form.
     pub fn for_epoch(base: u32, epoch: u32) -> TagAllocator {
+        match TagAllocator::try_for_epoch(base, epoch) {
+            Ok(t) => t,
+            Err(e) => unreachable!("{e}"),
+        }
+    }
+
+    /// Fallible [`TagAllocator::for_epoch`]: reports tag-space
+    /// exhaustion as a typed [`PartiError`] instead of panicking, so a
+    /// recovery driver can surface "too many recovery epochs" as an
+    /// error rather than poisoning every rank.
+    pub fn try_for_epoch(base: u32, epoch: u32) -> Result<TagAllocator, PartiError> {
         let shifted = epoch
             .checked_mul(EPOCH_STRIDE)
             .and_then(|off| off.checked_add(base))
-            .expect("recovery epoch tag space overflowed u32");
-        TagAllocator::new(shifted)
+            .ok_or(PartiError::EpochTagOverflow { base, epoch })?;
+        if shifted >= COLLECTIVE_TAG_BASE {
+            return Err(PartiError::EpochTagOverflow { base, epoch });
+        }
+        Ok(TagAllocator { next: shifted })
     }
 
     /// Claim the next `width` consecutive tags and return the first.
     /// `width` must be ≥ 2 — a schedule's gather and scatter streams —
     /// and the range must fit below the collective tag space.
     pub fn range(&mut self, width: u32) -> u32 {
+        match self.try_range(width) {
+            Ok(lo) => lo,
+            Err(e) => unreachable!("{e}"),
+        }
+    }
+
+    /// Fallible [`TagAllocator::range`].
+    pub fn try_range(&mut self, width: u32) -> Result<u32, PartiError> {
         assert!(width >= 2, "a schedule needs at least 2 tags");
         let lo = self.next;
-        let hi = lo.checked_add(width).expect("tag allocator overflowed u32");
-        assert!(
-            hi <= COLLECTIVE_TAG_BASE,
-            "tag allocator ran into collective space"
-        );
+        let hi = lo
+            .checked_add(width)
+            .ok_or(PartiError::TagSpaceExhausted { base: lo, width })?;
+        if hi > COLLECTIVE_TAG_BASE {
+            return Err(PartiError::TagSpaceExhausted { base: lo, width });
+        }
         self.next = hi;
-        lo
+        Ok(lo)
     }
 }
 
@@ -115,11 +142,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "collective space")]
+    #[should_panic(expected = "overflowed")]
     fn epoch_stride_cannot_reach_collective_tags() {
         // 0xF000_0000 / 2^22 = 960: epoch 960 would start inside the
         // collective tag space.
         TagAllocator::for_epoch(100, 960);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        assert!(matches!(
+            TagAllocator::try_for_epoch(100, 960),
+            Err(PartiError::EpochTagOverflow {
+                base: 100,
+                epoch: 960
+            })
+        ));
+        assert!(matches!(
+            TagAllocator::try_for_epoch(100, u32::MAX),
+            Err(PartiError::EpochTagOverflow { .. })
+        ));
+        let mut ok = TagAllocator::try_for_epoch(100, 3).expect("fits");
+        assert_eq!(ok.try_range(4), Ok(100 + 3 * EPOCH_STRIDE));
+        let mut edge = TagAllocator::new(COLLECTIVE_TAG_BASE - 1);
+        assert!(matches!(
+            edge.try_range(2),
+            Err(PartiError::TagSpaceExhausted { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests of the PARTI primitives over randomized distributions
 //! and reference patterns.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use eul3d_delta::{run_spmd, CommClass};

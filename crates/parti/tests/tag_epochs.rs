@@ -3,6 +3,8 @@
 //! machine so `Rank::reserve_tags` (not just allocator arithmetic) is
 //! what accepts or rejects each range.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use eul3d_delta::{run_spmd, CommClass, COLLECTIVE_TAG_BASE};
 use eul3d_parti::TagAllocator;
 
@@ -71,7 +73,7 @@ fn rank_rejects_reservations_in_collective_space() {
 /// space even when the starting epoch is valid: exhaustion inside an
 /// epoch fails loudly instead of wrapping into another epoch's stride.
 #[test]
-#[should_panic(expected = "ran into collective space")]
+#[should_panic(expected = "ran into the collective space")]
 fn exhaustion_inside_an_epoch_fails_loudly() {
     let mut t = TagAllocator::for_epoch(0, 900);
     loop {

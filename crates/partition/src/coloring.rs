@@ -154,6 +154,7 @@ mod tests {
                 vec![[0, 1, 2, 3]],
                 |_, _| BcKind::FarField,
             )
+            .expect("valid mesh")
         };
         let c = color_edges(&m);
         // K4 edge-chromatic number is 3.

@@ -97,7 +97,10 @@ pub fn apply_vertex_order(mesh: &TetMesh, order: &[u32]) -> TetMesh {
         key.sort_unstable();
         kinds.insert(key, f.kind);
     }
-    let mut rebuilt = TetMesh::from_tets(coords, tets, |_, _| BcKind::FarField);
+    let mut rebuilt = match TetMesh::from_tets(coords, tets, |_, _| BcKind::FarField) {
+        Ok(m) => m,
+        Err(e) => unreachable!("renumbering produced an invalid mesh: {e}"),
+    };
     for f in &mut rebuilt.bfaces {
         let mut key = f.v;
         key.sort_unstable();
