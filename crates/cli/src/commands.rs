@@ -3,15 +3,19 @@
 use std::path::PathBuf;
 
 use eul3d_core::checkpoint::Checkpoint;
-use eul3d_core::health::{GuardConfig, GuardOutcome};
+use eul3d_core::health::GuardOutcome;
 use eul3d_core::postproc::{cp_field, mach_field, pressure_field};
+use eul3d_core::runconfig::{parse_scheme, parse_strategy};
 use eul3d_core::shared::SharedSingleGridSolver;
-use eul3d_core::{ConvergenceHistory, MultigridSolver, Scheme, SolverConfig, Strategy};
+use eul3d_core::{
+    ConvergenceHistory, Eul3dError, MultigridSolver, Phase, RunConfig, Strategy, TraceConfig,
+};
 use eul3d_delta::CostModel;
 use eul3d_mesh::gen::BumpSpec;
 use eul3d_mesh::stats::MeshStats;
 use eul3d_mesh::vtk::write_vtk_file;
 use eul3d_mesh::MeshSequence;
+use eul3d_obs as obs;
 use eul3d_partition::{
     kl_refine, parallel_rcb, random_partition, rcb_partition, rsb_partition, PartitionQuality,
 };
@@ -32,51 +36,158 @@ fn bump_spec(a: &Args) -> Result<BumpSpec, String> {
     })
 }
 
-fn strategy_of(a: &Args) -> Result<Strategy, String> {
-    match a.get_str("strategy").as_deref().unwrap_or("w") {
-        "sg" | "single" => Ok(Strategy::SingleGrid),
-        "v" => Ok(Strategy::VCycle),
-        "w" => Ok(Strategy::WCycle),
-        other => Err(format!("--strategy must be sg|v|w, got '{other}'")),
+/// Override `slot` from `--key` when the flag was passed (and note the
+/// flag as seen either way, for unknown-flag reporting).
+fn over<T: std::str::FromStr>(a: &Args, key: &str, slot: &mut T) -> Result<(), String> {
+    if let Some(v) = a.get_str(key) {
+        *slot = v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'"))?;
     }
+    Ok(())
 }
 
-fn config_of(a: &Args) -> Result<SolverConfig, String> {
-    let scheme = match a.get_str("scheme").as_deref().unwrap_or("jst") {
-        "jst" => Scheme::CentralJst,
-        "roe" => Scheme::RoeUpwind,
-        other => return Err(format!("--scheme must be jst|roe, got '{other}'")),
+/// Assemble the consolidated [`RunConfig`] for a solve: a `--config
+/// run.toml` file (when given) supplies the base, individual CLI flags
+/// override file values, and the result passes through the same
+/// [`RunConfig::validate`] as library callers — so every entry point
+/// rejects exactly the same inputs. `dist` gates the distributed-only
+/// flags, keeping `solve --ranks N` an unknown-flag error as before.
+fn run_config_of(a: &Args, levels: usize, cycles: usize, dist: bool) -> Result<RunConfig, String> {
+    let config_path = a.get_str("config");
+    let mut rc = match &config_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;
+            RunConfig::from_toml(&text).map_err(|e| format!("--config {path}: {e}"))?
+        }
+        None => RunConfig {
+            levels,
+            cycles,
+            mesh: bump_spec(a)?,
+            ..RunConfig::default()
+        },
     };
-    Ok(SolverConfig {
-        mach: a.get("mach", 0.675)?,
-        alpha_deg: a.get("alpha", 0.0)?,
-        cfl: a.get("cfl", 2.8)?,
-        scheme,
-        ..SolverConfig::default()
-    })
-}
+    if config_path.is_some() {
+        // With a file base, mesh flags override field-by-field (the
+        // flag-only path above derives ny/nz from nx in `bump_spec`).
+        over(a, "nx", &mut rc.mesh.nx)?;
+        over(a, "ny", &mut rc.mesh.ny)?;
+        over(a, "nz", &mut rc.mesh.nz)?;
+        over(a, "bump", &mut rc.mesh.bump_height)?;
+        over(a, "taper", &mut rc.mesh.taper)?;
+        over(a, "jitter", &mut rc.mesh.jitter)?;
+        over(a, "seed", &mut rc.mesh.seed)?;
+    }
+    over(a, "levels", &mut rc.levels)?;
+    over(a, "cycles", &mut rc.cycles)?;
+    if let Some(s) = a.get_str("strategy") {
+        rc.strategy =
+            parse_strategy(&s).ok_or_else(|| format!("--strategy must be sg|v|w, got '{s}'"))?;
+    }
+    if let Some(s) = a.get_str("scheme") {
+        rc.solver.scheme =
+            parse_scheme(&s).ok_or_else(|| format!("--scheme must be jst|roe, got '{s}'"))?;
+    }
+    over(a, "mach", &mut rc.solver.mach)?;
+    over(a, "alpha", &mut rc.solver.alpha_deg)?;
+    over(a, "cfl", &mut rc.solver.cfl)?;
 
-/// Parse the health-guard flags. The guard engages when `--guard` is
-/// given or any guard parameter is set explicitly; the parameters are
-/// validated through the same [`GuardConfig::validate`] the library
-/// drivers use, so the CLI rejects exactly what they would.
-fn guard_of(a: &Args) -> Result<Option<GuardConfig>, String> {
-    let d = GuardConfig::default();
-    let enabled = a.has("guard")
+    // Health guard: a file `[guard]` section arms it, as does `--guard`
+    // or any explicit guard parameter; flags override file values.
+    let armed = rc.guard.is_some()
+        || a.has("guard")
         || a.get_str("max-retries").is_some()
         || a.get_str("cfl-backoff").is_some()
         || a.get_str("health-window").is_some();
-    if !enabled {
-        return Ok(None);
+    let mut g = rc.guard.take().unwrap_or_default();
+    over(a, "max-retries", &mut g.max_retries)?;
+    over(a, "cfl-backoff", &mut g.cfl_backoff)?;
+    over(a, "health-window", &mut g.window)?;
+    rc.guard = armed.then_some(g);
+
+    if dist {
+        over(a, "ranks", &mut rc.nranks)?;
+        over(a, "checkpoint-every", &mut rc.checkpoint_every)?;
+        over(a, "fault-timeout-ms", &mut rc.fault_timeout_ms)?;
+        if let Some(spec) = a.get_str("faults") {
+            rc.faults = Some(spec);
+        }
     }
-    let g = GuardConfig {
-        max_retries: a.get("max-retries", d.max_retries)?,
-        cfl_backoff: a.get("cfl-backoff", d.cfl_backoff)?,
-        window: a.get("health-window", d.window)?,
-        ..d
+
+    // Tracing: `--trace out.json` writes the Chrome trace there,
+    // `--trace-summary` prints the human table; either arms the ring.
+    if let Some(path) = a.get_str("trace") {
+        rc.trace.enabled = true;
+        rc.trace.out = Some(path);
+    } else if a.has("trace") {
+        rc.trace.enabled = true;
+    }
+    if a.has("trace-summary") {
+        rc.trace.enabled = true;
+        rc.trace.summary = true;
+    }
+    over(a, "trace-capacity", &mut rc.trace.capacity)?;
+    over(a, "trace-top", &mut rc.trace.top_n)?;
+
+    if rc.cycles == 0 {
+        return Err("--cycles must be at least 1".into());
+    }
+    rc.validate().map_err(|e| match e {
+        // The only Delta error `validate` raises is the fault plan's.
+        Eul3dError::Delta(d) => format!("--faults: {d}"),
+        other => other.to_string(),
+    })?;
+    Ok(rc)
+}
+
+fn phase_labels() -> Vec<&'static str> {
+    Phase::ALL.iter().map(|p| p.label()).collect()
+}
+
+/// Arm the driver thread with a ring tracer when tracing is enabled
+/// (the distributed path instead arms each simulated rank's thread).
+fn arm_driver_trace(t: &TraceConfig) {
+    if t.enabled {
+        obs::install(Box::new(obs::RingTracer::new(t.capacity)));
+    }
+}
+
+/// Collect the driver-thread lane armed by [`arm_driver_trace`] and
+/// export it.
+fn finish_driver_trace(t: &TraceConfig) -> Result<(), String> {
+    if !t.enabled {
+        return Ok(());
+    }
+    let Some(tr) = obs::take() else {
+        return Ok(());
     };
-    g.validate().map_err(|e| e.to_string())?;
-    Ok(Some(g))
+    let lane = obs::Lane {
+        id: 0,
+        name: "driver".to_string(),
+        events: tr.snapshot(),
+        dropped: tr.dropped(),
+    };
+    export_trace(&[lane], t)
+}
+
+/// Write the Chrome `trace_event` JSON and/or print the summary table,
+/// per the trace configuration.
+fn export_trace(lanes: &[obs::Lane], t: &TraceConfig) -> Result<(), String> {
+    let labels = phase_labels();
+    if let Some(path) = &t.out {
+        std::fs::write(path, obs::chrome_trace(lanes, &labels))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        println!(
+            "wrote trace {path} ({} lane(s), {} event(s))",
+            lanes.len(),
+            lanes.iter().map(|l| l.events.len()).sum::<usize>()
+        );
+    }
+    if t.summary {
+        print!("{}", obs::summary_table(lanes, &labels, t.top_n));
+    }
+    Ok(())
 }
 
 fn print_guard_summary(o: &GuardOutcome) {
@@ -171,22 +282,16 @@ pub fn partition(a: &Args) -> Result<(), String> {
 }
 
 pub fn solve(a: &Args) -> Result<(), String> {
-    let spec = bump_spec(a)?;
-    let levels: usize = a.get("levels", 4)?;
-    let cycles: usize = a.get("cycles", 100)?;
-    if cycles == 0 {
-        return Err("--cycles must be at least 1".into());
-    }
-    let strategy = strategy_of(a)?;
-    let cfg = config_of(a)?;
+    let rc = run_config_of(a, 4, 100, false)?;
     let fmg = a.has("fmg");
     let agglo = a.get_str("coarse").as_deref() == Some("agglo");
     let threads: usize = a.get("threads", 0)?;
     let restart = a.get_str("restart");
     let checkpoint = a.get_str("checkpoint");
     let vtk = a.get_str("vtk");
-    let guard = guard_of(a)?;
     a.check_unknown()?;
+    let (spec, levels, cycles) = (rc.mesh.clone(), rc.levels, rc.cycles);
+    let (strategy, cfg, guard) = (rc.strategy, rc.solver, rc.guard);
 
     if threads > 0 && strategy != Strategy::SingleGrid && guard.is_none() {
         return Err(
@@ -214,6 +319,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         }
     );
     let t0 = std::time::Instant::now();
+    arm_driver_trace(&rc.trace);
     if agglo {
         if threads > 0 || restart.is_some() || fmg {
             return Err("--coarse agglo is incompatible with --threads/--restart/--fmg".into());
@@ -249,7 +355,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
                 .map_err(|e| format!("vtk export: {e}"))?;
             println!("wrote {path}");
         }
-        return Ok(());
+        return finish_driver_trace(&rc.trace);
     }
 
     let seq = MeshSequence::bump_sequence(&spec, levels);
@@ -317,6 +423,9 @@ pub fn solve(a: &Args) -> Result<(), String> {
             .ok_or("mesh sequence is empty")?;
         (hist, w, n, mg.counter.flops(), mesh0)
     };
+    // Export before the divergence check so a failing run still leaves
+    // its trace behind for inspection.
+    finish_driver_trace(&rc.trace)?;
 
     let h = ConvergenceHistory::from_residuals(hist);
     let last = h
@@ -367,36 +476,26 @@ pub fn distributed(a: &Args) -> Result<(), String> {
         run_distributed, run_distributed_guarded, run_distributed_with_faults, DistOptions,
         DistSetup, FaultOptions, RankFate,
     };
-    let spec = bump_spec(a)?;
-    let levels: usize = a.get("levels", 3)?;
-    let cycles: usize = a.get("cycles", 25)?;
-    if cycles == 0 {
-        return Err("--cycles must be at least 1".into());
-    }
-    let nranks: usize = a.get("ranks", 32)?;
-    let strategy = strategy_of(a)?;
-    let cfg = config_of(a)?;
+    let rc = run_config_of(a, 3, 25, true)?;
     let no_incr = a.has("no-incremental");
-    let fault_spec = a.get_str("faults");
-    let checkpoint_every: usize = a.get("checkpoint-every", 0)?;
-    let fault_timeout_ms: u64 = a.get("fault-timeout-ms", 1500)?;
-    let guard = guard_of(a)?;
     a.check_unknown()?;
-    let fopts = match &fault_spec {
+    let (spec, levels, cycles, nranks) = (rc.mesh.clone(), rc.levels, rc.cycles, rc.nranks);
+    let (strategy, cfg, guard) = (rc.strategy, rc.solver, rc.guard);
+    let fopts = match &rc.faults {
         Some(spec) => Some(FaultOptions {
             plan: std::sync::Arc::new(
                 eul3d_delta::FaultPlan::parse(spec, nranks)
                     .map_err(|e| format!("--faults: {e}"))?,
             ),
-            checkpoint_every,
-            recv_timeout_ms: fault_timeout_ms,
+            checkpoint_every: rc.checkpoint_every,
+            recv_timeout_ms: rc.fault_timeout_ms,
             ..FaultOptions::default()
         }),
         // The guarded driver needs a fault context for its rollback
         // checkpoints even when nothing is killed.
         None if guard.is_some() => Some(FaultOptions {
-            checkpoint_every,
-            recv_timeout_ms: fault_timeout_ms,
+            checkpoint_every: rc.checkpoint_every,
+            recv_timeout_ms: rc.fault_timeout_ms,
             ..FaultOptions::default()
         }),
         None => None,
@@ -417,6 +516,7 @@ pub fn distributed(a: &Args) -> Result<(), String> {
 
     let opts = DistOptions {
         refetch_per_loop: no_incr,
+        trace_capacity: rc.trace.enabled.then_some(rc.trace.capacity),
         ..DistOptions::default()
     };
     let t1 = std::time::Instant::now();
@@ -429,7 +529,7 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     if let Some(o) = r.guard_outcome() {
         print_guard_summary(o);
     }
-    if fault_spec.is_some() {
+    if rc.faults.is_some() {
         let epochs: u64 = r
             .run
             .counters
@@ -476,5 +576,8 @@ pub fn distributed(a: &Args) -> Result<(), String> {
         b.mflops,
         b.comm_to_comp()
     );
+    if rc.trace.enabled {
+        export_trace(&r.lanes(), &rc.trace)?;
+    }
     Ok(())
 }

@@ -11,6 +11,14 @@
 //!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
 //! ```
 //!
+//! `solve` and `distributed` additionally take the consolidated
+//! run-configuration flags: `--config run.toml` loads a config file
+//! (individual flags override its values; see `examples/run.toml`), and
+//! the tracing flags `--trace out.json` (Chrome `trace_event` JSON, one
+//! lane per rank — open in Perfetto or `chrome://tracing`),
+//! `--trace-summary` (human table), `--trace-capacity N` (ring events
+//! per lane), and `--trace-top N` (summary rows).
+//!
 //! `--faults` takes a comma-separated fault plan (e.g.
 //! `kill:1@3+5,corrupt:0>2#0@2`) injected deterministically into the
 //! simulated machine; survivors roll back to the last `--checkpoint-every`

@@ -279,6 +279,115 @@ fn guard_flags_are_validated() {
 }
 
 #[test]
+fn trace_flag_writes_chrome_trace_json() {
+    let dir = std::env::temp_dir().join("eul3d_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serial.json");
+    let path_s = path.to_str().unwrap();
+    let (ok, stdout, stderr) = eul3d(&[
+        "solve",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--cycles",
+        "4",
+        "--trace",
+        path_s,
+        "--trace-summary",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote trace"), "{stdout}");
+    assert!(
+        stdout.contains("slowest spans"),
+        "--trace-summary must print the table: {stdout}"
+    );
+    let trace = std::fs::read_to_string(&path).unwrap();
+    assert!(trace.starts_with("{\"traceEvents\": ["), "{trace}");
+    assert!(trace.contains("\"thread_name\""), "lane metadata: {trace}");
+    assert!(
+        trace.contains("\"ph\": \"B\"") && trace.contains("\"ph\": \"E\""),
+        "phase spans present"
+    );
+    assert!(trace.trim_end().ends_with('}'), "JSON must be closed");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fault_recovery_traces_are_byte_identical_across_reruns() {
+    let dir = std::env::temp_dir().join("eul3d_cli_trace_det");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut traces = Vec::new();
+    for n in 0..2 {
+        let path = dir.join(format!("fault_{n}.json"));
+        let path_s = path.to_str().unwrap();
+        let (ok, stdout, stderr) = eul3d(
+            &[
+                &["distributed"],
+                STRETCHED,
+                &[
+                    "--ranks",
+                    "4",
+                    "--guard",
+                    "--cfl-backoff",
+                    "0.25",
+                    "--faults",
+                    "kill:1@6",
+                    "--checkpoint-every",
+                    "2",
+                    "--fault-timeout-ms",
+                    "60000",
+                    "--trace",
+                    path_s,
+                ],
+            ]
+            .concat(),
+        );
+        assert!(ok, "{stderr}");
+        assert!(stdout.contains("recovery epoch"), "{stdout}");
+        traces.push(std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "guarded fault-injected runs must export byte-identical traces"
+    );
+    assert!(traces[0].contains("\"recovery\""), "recovery epoch lane");
+    assert!(traces[0].contains("\"cfl-change\""), "CFL backoff marker");
+    assert!(traces[0].contains("(adopted by"), "replica lane present");
+}
+
+#[test]
+fn config_file_loads_and_flags_override_it() {
+    let dir = std::env::temp_dir().join("eul3d_cli_config_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.toml");
+    std::fs::write(
+        &path,
+        "[mesh]\nnx = 8\nny = 4\nnz = 3\n\n[run]\ncycles = 4\nlevels = 2\n\n[solver]\ncfl = 4.0\n",
+    )
+    .unwrap();
+    let path_s = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = eul3d(&["solve", "--config", path_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("cycles"), "{stdout}");
+
+    // A flag overrides the file: forcing zero cycles must now fail.
+    let (ok, _, stderr) = eul3d(&["solve", "--config", path_s, "--cycles", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cycles must be at least 1"), "{stderr}");
+
+    // A malformed file is a clean, line-numbered error.
+    std::fs::write(&path, "[mesh]\nnx = what\n").unwrap();
+    let (ok, _, stderr) = eul3d(&["solve", "--config", path_s]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn distributed_guard_reports_the_same_recovery() {
     let (ok, stdout, stderr) = eul3d(
         &[

@@ -15,7 +15,7 @@ pub enum Scheme {
 
 /// All tunables of the EUL3D scheme, with defaults matching the usual
 /// JST/multistage practice of the paper's era.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Ratio of specific heats.
     pub gamma: f64,

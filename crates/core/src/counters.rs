@@ -176,6 +176,29 @@ impl PhaseCounters {
         *self = PhaseCounters::default();
     }
 
+    /// Export into a [`eul3d_obs::MetricsRegistry`] — the registry view
+    /// of this struct, one metric family per phase. Everything lands as
+    /// additive counters (flops are integral — every per-item constant
+    /// is a whole number — so the cast is exact), which makes
+    /// [`eul3d_obs::MetricsRegistry::merge`] aggregate ranks correctly.
+    pub fn to_metrics(&self, reg: &mut eul3d_obs::MetricsRegistry) {
+        for row in self.rows() {
+            let l = row.label;
+            for (suffix, v) in [
+                ("flops", row.flops as u64),
+                ("launches", row.launches),
+                ("msgs", row.msgs),
+                ("bytes", row.bytes),
+                ("allocs", row.allocs),
+            ] {
+                if v != 0 {
+                    let id = reg.counter(&format!("phase.{l}.{suffix}"));
+                    reg.inc(id, v);
+                }
+            }
+        }
+    }
+
     /// One [`PhaseRow`] for every phase that did any work, in reporting
     /// order.
     pub fn rows(&self) -> Vec<PhaseRow> {

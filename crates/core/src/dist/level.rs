@@ -3,6 +3,7 @@
 //! generic kernels of [`crate::level`] SPMD over the simulated machine.
 
 use eul3d_delta::{CommClass, Rank};
+use eul3d_obs as obs;
 use eul3d_parti::{localize, Schedule, Translation};
 use eul3d_partition::{PartitionedMesh, RankMesh};
 
@@ -34,7 +35,9 @@ pub struct DistExecutor<'a> {
 
 impl DistExecutor<'_> {
     /// Run `f` against the rank and charge the message/byte/allocation
-    /// delta it produced to `phase`.
+    /// delta it produced to `phase`, wrapped in an observability phase
+    /// span (the enclosed sends advance the lane clock, giving the span
+    /// its modeled wire duration).
     fn charged<R>(
         &mut self,
         phase: Phase,
@@ -46,7 +49,13 @@ impl DistExecutor<'_> {
             self.rank.counters.total_bytes(),
             self.rank.counters.comm_allocs,
         );
+        obs::emit(obs::Event::PhaseBegin {
+            phase: phase.index() as u8,
+        });
         let out = f(self.rank);
+        obs::emit(obs::Event::PhaseEnd {
+            phase: phase.index() as u8,
+        });
         let (m1, b1, a1) = (
             self.rank.counters.total_messages(),
             self.rank.counters.total_bytes(),

@@ -51,6 +51,7 @@ use std::thread::Scope;
 use std::time::Duration;
 
 use eul3d_delta::{run_spmd, CommClass, FaultPlan, FaultSignal, Rank, RankCounters};
+use eul3d_obs as obs;
 
 use crate::config::SolverConfig;
 use crate::counters::{PhaseCounters, FLOPS_GUARD_VERT};
@@ -119,6 +120,10 @@ struct CkSnap {
     cycle: Option<usize>,
     w: Vec<f64>,
     guard: Vec<f64>,
+    /// Trace position at the instant this snapshot was taken. Recovery
+    /// rewinds the lane's trace here in lockstep with the state restore,
+    /// so exports carry only the committed timeline.
+    mark: obs::TraceMark,
 }
 
 /// Double-buffered checkpoint store. The writer invalidates and
@@ -200,6 +205,28 @@ impl CkStore {
         s.w = w;
         s.guard = guard;
         s.cycle = Some(cycle);
+    }
+
+    /// Trace mark of the committed checkpoint at `cycle` (the lane
+    /// origin when the slot is unknown — restart-from-initial rewinds to
+    /// an empty trace).
+    fn mark_of(&self, cycle: usize) -> obs::TraceMark {
+        self.slots
+            .iter()
+            .find(|s| s.cycle == Some(cycle))
+            .map(|s| s.mark)
+            .unwrap_or_default()
+    }
+
+    /// Update the trace mark of the committed checkpoint at `cycle` —
+    /// recovery moves it past the epoch markers it just emitted, so a
+    /// later rollback to the same slot keeps earlier epochs' markers.
+    fn set_mark(&mut self, cycle: usize, mark: obs::TraceMark) {
+        for s in &mut self.slots {
+            if s.cycle == Some(cycle) {
+                s.mark = mark;
+            }
+        }
     }
 }
 
@@ -296,6 +323,25 @@ struct LoopState {
     exhausted: Option<(usize, HealthVerdict)>,
 }
 
+/// Arm this instance's thread with a fresh ring tracer when the run is
+/// traced. Each virtual rank (primary or replica) records on its own
+/// thread, so the thread-local context yields one complete lane per
+/// instance.
+fn arm_trace(opts: &DistOptions) {
+    if let Some(cap) = opts.trace_capacity {
+        obs::install(Box::new(obs::RingTracer::new(cap)));
+    }
+}
+
+/// Disarm this instance's tracer and attach what it recorded to the
+/// instance's output (no-op on untraced runs).
+fn collect_trace(out: &mut RankOutput) {
+    if let Some(t) = obs::take() {
+        out.trace = t.snapshot();
+        out.trace_dropped = t.dropped();
+    }
+}
+
 fn comm_snap(rank: &Rank) -> (u64, u64, u64) {
     (
         rank.counters.total_messages(),
@@ -346,9 +392,17 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
         unreachable!("checkpoint without a solver")
     };
     let (m0, b0, a0) = comm_snap(rank);
+    // Mark the lane *before* the checkpoint span: a rollback to this
+    // snapshot rewinds the trace here and the replay re-records the
+    // (re-taken) checkpoint.
+    let tmark = obs::mark();
+    obs::emit(obs::Event::CheckpointBegin {
+        cycle: cycle as u64,
+    });
     let nglob = ctx.setup.seq.meshes[0].nverts() * NVAR;
     cks.invalidate(cycle);
     let slot = cks.begin_write();
+    slot.mark = tmark;
     slot.w.resize(nglob, 0.0);
     slot.guard.clear();
     if let Some(gl) = guard {
@@ -383,6 +437,9 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
         rank.return_packed_f64(0, s.ck_tag + 1, got);
     }
     slot.cycle = Some(cycle);
+    obs::emit(obs::Event::CheckpointEnd {
+        cycle: cycle as u64,
+    });
     let (m1, b1, a1) = comm_snap(rank);
     s.counter
         .add_comm(Phase::Checkpoint, m1 - m0, b1 - b0, a1 - a0);
@@ -447,6 +504,10 @@ fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) -> StepAction {
         s.counter.add_comm(Phase::Guard, m1 - m0, b1 - b0, a1 - a0);
         let agreed = HealthVerdict::decode(enc);
         if agreed.is_bad() {
+            obs::emit(obs::Event::GuardVerdict {
+                cycle: c as u64,
+                severity: agreed.severity(),
+            });
             // The failed cycle is discarded: neither its residual nor its
             // alloc snapshot is recorded, and `cycle` does not advance.
             // The backoff is NOT applied here: a peer that entered the
@@ -484,7 +545,9 @@ fn spawn_replica<'scope, 'env>(
         .name(format!("delta-virt-{d}"))
         .stack_size(4 << 20)
         .spawn_scoped(scope, move || {
-            let out = virtual_loop(&mut vrank, ctx, scope, collector, Some(host));
+            arm_trace(&ctx.opts);
+            let mut out = virtual_loop(&mut vrank, ctx, scope, collector, Some(host));
+            collect_trace(&mut out);
             let counters = vrank.counters.clone();
             collector
                 .lock()
@@ -523,6 +586,14 @@ fn do_recover<'scope, 'env>(
     collector: &'scope Mutex<Vec<AdoptedOutput>>,
 ) {
     let (m0, b0, a0) = comm_snap(rank);
+    // Recording pauses for the whole protocol: this instance's clock and
+    // event stream diverged at a thread-timing-dependent point (a peer's
+    // abort lands wherever this rank happened to be), so nothing between
+    // here and the rollback agreement is reproducible. Once the epoch's
+    // outcome is agreed, the lane is rewound to the restored checkpoint's
+    // mark and the epoch's markers are re-emitted on the committed
+    // timeline.
+    obs::pause();
     rank.begin_recovery(e);
     if let Some(s) = st.solver.take() {
         st.retired.merge(&s.counter);
@@ -568,8 +639,10 @@ fn do_recover<'scope, 'env>(
     rank.all_reduce_max_in_place(&mut v);
     let agreed = -v[0];
     let numeric = (v[1] > 0.0).then(|| (v[2] as usize, HealthVerdict::decode([v[3], v[4]])));
+    let mut rewind_to = obs::TraceMark::default();
     if agreed.is_finite() {
         let c = agreed as usize;
+        rewind_to = st.cks.mark_of(c);
         let Some(w0) = st.cks.get(c) else {
             unreachable!("agreed rollback target missing from this instance's store")
         };
@@ -623,10 +696,36 @@ fn do_recover<'scope, 'env>(
     if let Some(gl) = st.guard.as_ref() {
         s.cfg.cfl = gl.gs.ctl.current;
     }
+    obs::rewind(rewind_to);
+    obs::resume();
+    obs::emit(obs::Event::RecoveryBegin { epoch: e });
+    emit_guard_markers(st, numeric);
+    obs::emit(obs::Event::RecoveryEnd { epoch: e });
+    if agreed.is_finite() {
+        st.cks.set_mark(agreed as usize, obs::mark());
+    }
     let (m1, b1, a1) = comm_snap(rank);
     s.counter
         .add_comm(Phase::Recovery, m1 - m0, b1 - b0, a1 - a0);
     st.solver = Some(s);
+}
+
+/// Re-emit the guard markers a numeric epoch carries — the agreed
+/// verdict and the backoff's CFL change. Their original emissions sat in
+/// rewound (discarded) work or happened while recording was paused, so
+/// the committed timeline re-records them inside the recovery span.
+fn emit_guard_markers(st: &LoopState, numeric: Option<(usize, HealthVerdict)>) {
+    let Some((c, vd)) = numeric else { return };
+    obs::emit(obs::Event::GuardVerdict {
+        cycle: c as u64,
+        severity: vd.severity(),
+    });
+    if let Some(ev) = st.guard.as_ref().and_then(|gl| gl.gs.transcript.last()) {
+        obs::emit(obs::Event::CflChange {
+            from_bits: ev.cfl_before.to_bits(),
+            to_bits: ev.cfl_after.to_bits(),
+        });
+    }
 }
 
 /// A freshly adopted replica joins the recovery epoch in progress:
@@ -635,6 +734,11 @@ fn do_recover<'scope, 'env>(
 /// the agreed checkpoint and history from the hosting buddy.
 fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
     let (m0, b0, a0) = comm_snap(rank);
+    // Same pause discipline as `do_recover`: the join protocol runs on a
+    // clock base that depends on when this replica was spawned, so the
+    // lane starts recording from its origin only once the agreed state
+    // is installed.
+    obs::pause();
     let mut s = DistSolver::build_epoch(
         rank,
         ctx.setup,
@@ -690,6 +794,18 @@ fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
     st.setup_counters = Some(rank.counters.clone());
     if let Some(gl) = st.guard.as_ref() {
         s.cfg.cfl = gl.gs.ctl.current;
+    }
+    obs::rewind(obs::TraceMark::default());
+    obs::resume();
+    obs::emit(obs::Event::RecoveryBegin {
+        epoch: rank.epoch(),
+    });
+    emit_guard_markers(st, numeric);
+    obs::emit(obs::Event::RecoveryEnd {
+        epoch: rank.epoch(),
+    });
+    if agreed.is_finite() {
+        st.cks.set_mark(agreed as usize, obs::mark());
     }
     let (m1, b1, a1) = comm_snap(rank);
     s.counter
@@ -792,6 +908,8 @@ fn virtual_loop<'scope, 'env>(
                             phases,
                             fate: RankFate::Died { cycle: st.cycle },
                             guard: None,
+                            trace: Vec::new(),
+                            trace_dropped: 0,
                             adopted: Vec::new(),
                         };
                     }
@@ -825,6 +943,8 @@ fn virtual_loop<'scope, 'env>(
         phases,
         fate: RankFate::Completed,
         guard,
+        trace: Vec::new(),
+        trace_dropped: 0,
         adopted: Vec::new(),
     }
 }
@@ -919,8 +1039,10 @@ fn run_with_ctx(
             fopts.plan.clone(),
             Some(Duration::from_millis(fopts.recv_timeout_ms)),
         );
+        arm_trace(&opts);
         let collector = Mutex::new(Vec::new());
         let mut out = std::thread::scope(|scope| virtual_loop(rank, &ctx, scope, &collector, None));
+        collect_trace(&mut out);
         for a in collector
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)

@@ -2,6 +2,7 @@
 //! multigrid recursion, and the top-level [`run_distributed`] entry.
 
 use eul3d_delta::{MachineRun, Rank, RankCounters};
+use eul3d_obs as obs;
 use eul3d_parti::TagAllocator;
 
 use crate::config::SolverConfig;
@@ -23,6 +24,11 @@ pub struct DistOptions {
     /// All-reduce the residual norm every cycle (the paper's convergence
     /// monitoring, included in its timings).
     pub monitor_residual: bool,
+    /// Arm every virtual-rank instance (primaries and adopted replicas)
+    /// with a [`eul3d_obs::RingTracer`] of this capacity; the per-lane
+    /// streams come back in [`RankOutput::trace`]. `None` leaves tracing
+    /// off (the default).
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for DistOptions {
@@ -30,6 +36,7 @@ impl Default for DistOptions {
         DistOptions {
             refetch_per_loop: false,
             monitor_residual: true,
+            trace_capacity: None,
         }
     }
 }
@@ -81,6 +88,12 @@ pub struct RankOutput {
     /// Guard outcome of a guarded run (`None` when the guard is off or
     /// the instance died before completing).
     pub guard: Option<GuardOutcome>,
+    /// This instance's stamped event stream (empty unless
+    /// [`DistOptions::trace_capacity`] armed a tracer). A killed
+    /// primary's stream covers everything up to its death.
+    pub trace: Vec<obs::Stamped>,
+    /// Events this instance's ring dropped (drop-oldest overflow).
+    pub trace_dropped: u64,
     /// Virtual ranks this node adopted and ran to completion.
     pub adopted: Vec<AdoptedOutput>,
 }
@@ -170,6 +183,35 @@ impl DistRunResult {
             .into_iter()
             .map(|(_, o)| o.phases)
             .collect()
+    }
+
+    /// The run's trace lanes for export: one per virtual-rank instance
+    /// (a primary that died and the replica that finished its partition
+    /// appear as separate lanes), labelled by fate. Empty streams unless
+    /// the run was traced via [`DistOptions::trace_capacity`].
+    pub fn lanes(&self) -> Vec<obs::Lane> {
+        let mut lanes = Vec::new();
+        for (host, out) in self.run.results.iter().enumerate() {
+            let name = match out.fate {
+                RankFate::Completed => format!("rank {host}"),
+                RankFate::Died { cycle } => format!("rank {host} (died@{cycle})"),
+            };
+            lanes.push(obs::Lane {
+                id: lanes.len() as u32,
+                name,
+                events: out.trace.clone(),
+                dropped: out.trace_dropped,
+            });
+            for a in &out.adopted {
+                lanes.push(obs::Lane {
+                    id: lanes.len() as u32,
+                    name: format!("rank {} (adopted by {host})", a.vid),
+                    events: a.out.trace.clone(),
+                    dropped: a.out.trace_dropped,
+                });
+            }
+        }
+        lanes
     }
 }
 

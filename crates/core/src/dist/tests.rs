@@ -874,3 +874,176 @@ mod guard {
         assert!(matches!(err, Err(SolverError::GuardRequiresMonitoring)));
     }
 }
+
+mod trace {
+    //! Observability on the distributed backend: arming a per-rank ring
+    //! tracer must not change results or break the zero-allocation
+    //! steady state, and identical runs must export byte-identical
+    //! Chrome traces — including through fault recovery.
+
+    use eul3d_obs as obs;
+
+    use super::*;
+    use crate::dist::{run_distributed_guarded, DistSolver, RankFate};
+    use crate::executor::Phase;
+
+    fn traced(cap: usize) -> DistOptions {
+        DistOptions {
+            trace_capacity: Some(cap),
+            ..DistOptions::default()
+        }
+    }
+
+    fn labels() -> Vec<&'static str> {
+        Phase::ALL.iter().map(|p| p.label()).collect()
+    }
+
+    #[test]
+    fn armed_steady_state_stays_allocation_free() {
+        // The zero-allocation tentpole holds with a RingTracer armed:
+        // recording goes into the pre-allocated ring, so warm vs steady
+        // comm-buffer allocation counts stay equal, and the ring itself
+        // retained events without growing past its capacity.
+        use eul3d_delta::run_spmd;
+
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let setup = DistSetup::new(small_seq(2), 4, 20, pseed());
+        let cap = 1 << 14;
+        let run = run_spmd(setup.nranks, |rank| {
+            obs::install(Box::new(obs::RingTracer::new(cap)));
+            let mut solver =
+                DistSolver::build(rank, &setup, cfg, Strategy::VCycle, DistOptions::default());
+            for _ in 0..2 {
+                let (sum, n) = solver.cycle(rank);
+                let mut parts = [sum, n];
+                rank.all_reduce_sum_in_place(&mut parts);
+            }
+            let warm = rank.counters.comm_allocs;
+            for _ in 0..5 {
+                let (sum, n) = solver.cycle(rank);
+                let mut parts = [sum, n];
+                rank.all_reduce_sum_in_place(&mut parts);
+            }
+            let t = obs::take().expect("tracer was armed");
+            (warm, rank.counters.comm_allocs, t.snapshot().len())
+        });
+        for (id, &(warm, steady, nevents)) in run.results.iter().enumerate() {
+            assert!(warm > 0, "rank {id}: warm-up must populate the pool");
+            assert_eq!(
+                steady, warm,
+                "rank {id}: tracing must not cost fresh comm buffers"
+            );
+            assert!(nevents > 0, "rank {id}: the ring must have recorded");
+            assert!(nevents <= cap, "rank {id}: ring overflowed its capacity");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_with_one_lane_per_rank() {
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let setup = DistSetup::new(small_seq(2), 4, 20, pseed());
+
+        let clean = run_distributed(&setup, cfg, Strategy::VCycle, 4, DistOptions::default());
+        let a = run_distributed(&setup, cfg, Strategy::VCycle, 4, traced(1 << 15));
+        let b = run_distributed(&setup, cfg, Strategy::VCycle, 4, traced(1 << 15));
+
+        // Arming never changes the modeled run.
+        assert_eq!(clean.history(), a.history(), "tracing changed residuals");
+
+        let (la, lb) = (a.lanes(), b.lanes());
+        assert_eq!(la.len(), setup.nranks, "one lane per rank");
+        for (x, y) in la.iter().zip(&lb) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.events, y.events, "lane {}: events diverge", x.name);
+            assert!(!x.events.is_empty(), "lane {}: no events", x.name);
+        }
+        // And so the exported artifact is byte-identical.
+        assert_eq!(
+            obs::chrome_trace(&la, &labels()),
+            obs::chrome_trace(&lb, &labels())
+        );
+    }
+
+    #[test]
+    fn fault_recovery_trace_is_deterministic_with_epoch_markers() {
+        // A guarded, fault-injected run on the diverging stretched case:
+        // the trace must carry the recovery epoch (begin/end, own lane
+        // for the adopted partition) and the guard's CFL-backoff marker,
+        // and two identical runs must export byte-identical traces.
+        let spec = BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 3,
+            taper: 0.6,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
+        let setup = DistSetup::new(MeshSequence::bump_sequence(&spec, 2), 4, 20, pseed());
+        let cfg = SolverConfig {
+            mach: 0.5,
+            cfl: 30.0,
+            ..SolverConfig::default()
+        };
+        let guard = crate::health::GuardConfig {
+            cfl_backoff: 0.25,
+            reramp_after: 100,
+            ..crate::health::GuardConfig::default()
+        };
+        let fopts = crate::dist::FaultOptions {
+            plan: std::sync::Arc::new(
+                eul3d_delta::FaultPlan::parse("kill:1@6+9", 4).expect("valid fault spec"),
+            ),
+            checkpoint_every: 2,
+            recv_timeout_ms: 60_000,
+            ..crate::dist::FaultOptions::default()
+        };
+        let run = |cap| {
+            run_distributed_guarded(
+                &setup,
+                cfg,
+                Strategy::VCycle,
+                12,
+                traced(cap),
+                &fopts,
+                &guard,
+            )
+            .expect("guarded fault run completes")
+        };
+        let a = run(1 << 15);
+        let b = run(1 << 15);
+
+        assert!(matches!(a.run.results[1].fate, RankFate::Died { .. }));
+        let la = a.lanes();
+        assert_eq!(
+            la.len(),
+            setup.nranks + 1,
+            "the adopted partition gets its own lane"
+        );
+        let all =
+            |ev: fn(&obs::Event) -> bool| la.iter().flat_map(|l| &l.events).any(|s| ev(&s.ev));
+        assert!(
+            all(|e| matches!(e, obs::Event::RecoveryBegin { epoch } if *epoch > 0)),
+            "recovery epoch missing from the trace"
+        );
+        assert!(
+            all(|e| matches!(e, obs::Event::CflChange { .. })),
+            "CFL-backoff marker missing from the trace"
+        );
+        assert!(
+            all(|e| matches!(e, obs::Event::CheckpointBegin { .. })),
+            "checkpoint spans missing from the trace"
+        );
+
+        let (ta, tb) = (
+            obs::chrome_trace(&la, &labels()),
+            obs::chrome_trace(&b.lanes(), &labels()),
+        );
+        assert_eq!(ta, tb, "fault-recovery traces must be byte-identical");
+    }
+}

@@ -33,6 +33,22 @@ pub enum SolverError {
     GuardBadRatio { value: f64 },
     /// The guarded distributed driver needs residual monitoring on.
     GuardRequiresMonitoring,
+    /// A [`crate::runconfig::RunConfig`] field failed range validation.
+    ConfigOutOfRange {
+        /// Dotted field path (e.g. `"solver.mach"`).
+        field: &'static str,
+        /// The rejected value (integer fields are cast).
+        value: f64,
+        /// Human description of the accepted range.
+        expected: &'static str,
+    },
+    /// A `run.toml` config file failed to parse.
+    ConfigParse {
+        /// 1-based line of the offending entry (0 = whole file).
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
     /// The guard backed off `max_retries` times and the run still went
     /// bad: the full retry transcript plus the final verdict.
     RetriesExhausted {
@@ -70,6 +86,18 @@ impl fmt::Display for SolverError {
                 f,
                 "the guarded distributed driver requires residual monitoring (monitor_residual)"
             ),
+            SolverError::ConfigOutOfRange {
+                field,
+                value,
+                expected,
+            } => write!(f, "config: {field} = {value} out of range ({expected})"),
+            SolverError::ConfigParse { line, msg } => {
+                if *line > 0 {
+                    write!(f, "config: parse error at line {line}: {msg}")
+                } else {
+                    write!(f, "config: parse error: {msg}")
+                }
+            }
             SolverError::RetriesExhausted {
                 cycle,
                 verdict,

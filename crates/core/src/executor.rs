@@ -24,6 +24,8 @@
 
 use std::marker::PhantomData;
 
+use eul3d_obs as obs;
+
 use crate::counters::{FlopCounter, PhaseCounters};
 
 /// Solver phases, the rows of the uniform per-phase comp/comm breakdown
@@ -287,7 +289,9 @@ impl Executor for SerialExecutor {
 
 /// Charge an edge loop of `nedges` edges to `phase`: uniform flop count
 /// (`nedges × per_edge` — identical across backends for the same global
-/// mesh), backend-specific launch count.
+/// mesh), backend-specific launch count. Also emits one observability
+/// phase span whose modeled duration is the charged flops at the Delta
+/// node rate, advancing the lane's deterministic clock.
 pub fn count_edge_loop<E: Executor + ?Sized>(
     counters: &mut PhaseCounters,
     phase: Phase,
@@ -295,16 +299,27 @@ pub fn count_edge_loop<E: Executor + ?Sized>(
     nedges: usize,
     per_edge: f64,
 ) {
+    let flops = nedges as f64 * per_edge;
     let c: &mut FlopCounter = counters.phase(phase);
-    c.flops += nedges as f64 * per_edge;
+    c.flops += flops;
     c.launches += exec.edge_launches();
+    obs::span_ns(
+        phase.index() as u8,
+        eul3d_delta::cost::CostModel::delta_i860().comp_ns(flops),
+    );
 }
 
-/// Charge a vertex loop of `items` vertices to `phase`.
+/// Charge a vertex loop of `items` vertices to `phase` (with the same
+/// observability span as [`count_edge_loop`]).
 pub fn count_vertex_loop(counters: &mut PhaseCounters, phase: Phase, items: usize, per_vert: f64) {
+    let flops = items as f64 * per_vert;
     let c = counters.phase(phase);
-    c.flops += items as f64 * per_vert;
+    c.flops += flops;
     c.launches += 1;
+    obs::span_ns(
+        phase.index() as u8,
+        eul3d_delta::cost::CostModel::delta_i860().comp_ns(flops),
+    );
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@
 //! for the serial/shared backends and
 //! [`crate::dist::run_distributed_guarded`] for the distributed one.
 
+use eul3d_obs as obs;
+
 use crate::error::SolverError;
 
 /// Sentinel vertex index meaning "not attributable to a local vertex"
@@ -154,7 +156,7 @@ impl std::fmt::Display for HealthVerdict {
 }
 
 /// Guard configuration, shared verbatim by all three backends.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GuardConfig {
     /// Rollback/backoff attempts before giving up.
     pub max_retries: usize,
@@ -323,23 +325,35 @@ impl CflController {
         }
     }
 
-    /// Apply one backoff step (after a bad verdict).
+    /// Apply one backoff step (after a bad verdict). Emits a
+    /// [`eul3d_obs::Event::CflChange`] marker on the lane's trace.
     pub fn back_off(&mut self) {
+        let from = self.current;
         self.current *= self.backoff;
         self.clean = 0;
+        obs::emit(obs::Event::CflChange {
+            from_bits: from.to_bits(),
+            to_bits: self.current.to_bits(),
+        });
     }
 
     /// Record one clean cycle; after `reramp_after` consecutive clean
     /// cycles, step the CFL back up by the inverse backoff factor
-    /// (capped at the target). Returns `true` if the CFL changed.
+    /// (capped at the target). Returns `true` if the CFL changed (also
+    /// emitting a [`eul3d_obs::Event::CflChange`] marker).
     pub fn on_clean(&mut self) -> bool {
         if self.current >= self.target {
             return false;
         }
         self.clean += 1;
         if self.clean >= self.reramp_after {
+            let from = self.current;
             self.current = (self.current / self.backoff).min(self.target);
             self.clean = 0;
+            obs::emit(obs::Event::CflChange {
+                from_bits: from.to_bits(),
+                to_bits: self.current.to_bits(),
+            });
             return true;
         }
         false

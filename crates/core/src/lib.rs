@@ -47,7 +47,9 @@ pub mod history;
 pub mod level;
 pub mod multigrid;
 pub mod postproc;
+pub mod prelude;
 pub mod roe;
+pub mod runconfig;
 pub mod shared;
 pub mod smooth;
 pub mod solver;
@@ -62,6 +64,7 @@ pub use gas::{Freestream, NVAR};
 pub use health::{GuardConfig, GuardOutcome, HealthVerdict, RetryEvent};
 pub use history::ConvergenceHistory;
 pub use multigrid::{MultigridSolver, Strategy};
+pub use runconfig::{RunConfig, RunConfigBuilder, TraceConfig};
 pub use solver::SingleGridSolver;
 
 /// Deterministic seed for randomized setup (mesh jitter, partitioner

@@ -4,6 +4,7 @@
 //! `P = R' − R(w')`, and correction prolongation — in V or W cycles.
 
 use eul3d_mesh::MeshSequence;
+use eul3d_obs as obs;
 
 use crate::config::SolverConfig;
 use crate::counters::{PhaseCounters, FLOPS_GUARD_VERT, FLOPS_TRANSFER_VERT};
@@ -177,6 +178,10 @@ impl MultigridSolver {
                 FLOPS_GUARD_VERT,
             );
             if verdict.is_bad() {
+                obs::emit(obs::Event::GuardVerdict {
+                    cycle: c as u64,
+                    severity: verdict.severity(),
+                });
                 if gs.retries_used() >= guard.max_retries {
                     self.cfg.cfl = target_cfl;
                     return Err(SolverError::RetriesExhausted {

@@ -1,0 +1,733 @@
+//! The consolidated run configuration: everything a full EUL3D run needs
+//! — scheme tunables, multigrid strategy, mesh family, machine size,
+//! health guard, fault plan, checkpoint cadence, and tracing — behind
+//! one validating builder, plus a dependency-free TOML codec for
+//! `--config run.toml` files.
+//!
+//! The builder validates on [`RunConfigBuilder::build`], returning typed
+//! [`Eul3dError`]s, so every entry point (CLI flags, config files,
+//! library callers) rejects exactly the same inputs:
+//!
+//! ```
+//! use eul3d_core::runconfig::RunConfig;
+//! use eul3d_core::health::GuardConfig;
+//!
+//! let rc = RunConfig::builder()
+//!     .mach(0.675)
+//!     .cycles(12)
+//!     .guard(GuardConfig::default())
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(rc.solver.mach, 0.675);
+//! ```
+//!
+//! The TOML subset is exactly what [`RunConfig::to_toml`] emits:
+//! `[section]` headers, `key = value` entries with integer, float,
+//! boolean, quoted-string, and float-array values, and `#` comments.
+//! Floats are written with Rust's shortest-round-trip formatting, so
+//! `RunConfig → TOML → RunConfig` is lossless.
+
+use eul3d_mesh::gen::BumpSpec;
+use eul3d_obs::DEFAULT_RING_CAPACITY;
+
+use crate::config::{Scheme, SolverConfig};
+use crate::error::{Eul3dError, SolverError};
+use crate::health::GuardConfig;
+use crate::multigrid::Strategy;
+
+/// Observability configuration of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Arm a [`eul3d_obs::RingTracer`] on every lane.
+    pub enabled: bool,
+    /// Ring capacity in events per lane.
+    pub capacity: usize,
+    /// Write the Chrome `trace_event` JSON here after the run.
+    pub out: Option<String>,
+    /// Print the human trace summary table after the run.
+    pub summary: bool,
+    /// Rows in the slowest-spans section of the summary.
+    pub top_n: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            capacity: DEFAULT_RING_CAPACITY,
+            out: None,
+            summary: false,
+            top_n: 10,
+        }
+    }
+}
+
+/// The full description of one EUL3D run. Construct through
+/// [`RunConfig::builder`] (validating) or deserialize with
+/// [`RunConfig::from_toml`]; field access is public so drivers read it
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Scheme tunables (Mach, CFL, dissipation, RK stages).
+    pub solver: SolverConfig,
+    /// Multigrid cycling strategy.
+    pub strategy: Strategy,
+    /// Mesh levels in the multigrid hierarchy.
+    pub levels: usize,
+    /// Solver cycles to run.
+    pub cycles: usize,
+    /// The bump-channel mesh family.
+    pub mesh: BumpSpec,
+    /// Simulated ranks for the distributed path.
+    pub nranks: usize,
+    /// Solver-health guard (`None` = unguarded).
+    pub guard: Option<GuardConfig>,
+    /// Distributed checkpoint cadence in cycles (0 = never).
+    pub checkpoint_every: usize,
+    /// Fault plan spec (the `--faults` grammar), `None` = fault-free.
+    pub faults: Option<String>,
+    /// Bounded-receive window for fault detection, in milliseconds.
+    pub fault_timeout_ms: u64,
+    /// Observability configuration.
+    pub trace: TraceConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            solver: SolverConfig::default(),
+            strategy: Strategy::WCycle,
+            levels: 4,
+            cycles: 100,
+            mesh: BumpSpec::default(),
+            nranks: 32,
+            guard: None,
+            checkpoint_every: 0,
+            faults: None,
+            fault_timeout_ms: 1500,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+fn range_err(field: &'static str, value: f64, expected: &'static str) -> Eul3dError {
+    Eul3dError::Solver(SolverError::ConfigOutOfRange {
+        field,
+        value,
+        expected,
+    })
+}
+
+impl RunConfig {
+    /// Start a builder from the defaults.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig::default(),
+        }
+    }
+
+    /// Validate every field (the builder calls this; config-file and
+    /// flag paths reuse it so all entry points reject the same inputs).
+    pub fn validate(&self) -> Result<(), Eul3dError> {
+        let s = &self.solver;
+        // `is_finite` first so NaN (and ±inf) always fails validation.
+        if !s.gamma.is_finite() || s.gamma <= 1.0 {
+            return Err(range_err("solver.gamma", s.gamma, "must exceed 1"));
+        }
+        if !s.mach.is_finite() || s.mach <= 0.0 {
+            return Err(range_err("solver.mach", s.mach, "must be positive"));
+        }
+        if !s.cfl.is_finite() || s.cfl <= 0.0 {
+            return Err(range_err("solver.cfl", s.cfl, "must be positive"));
+        }
+        if !(s.k2 >= 0.0 && s.k4 >= 0.0 && s.coarse_k2 >= 0.0) {
+            return Err(range_err(
+                "solver.k2/k4",
+                s.k2.min(s.k4).min(s.coarse_k2),
+                "dissipation constants must be non-negative",
+            ));
+        }
+        if self.levels == 0 {
+            return Err(range_err("levels", 0.0, "need at least one mesh level"));
+        }
+        if self.cycles == 0 {
+            return Err(range_err("cycles", 0.0, "need at least one cycle"));
+        }
+        if self.nranks == 0 {
+            return Err(range_err("nranks", 0.0, "need at least one rank"));
+        }
+        if self.mesh.nx < 2 || self.mesh.ny < 2 || self.mesh.nz < 2 {
+            return Err(range_err(
+                "mesh.nx/ny/nz",
+                self.mesh.nx.min(self.mesh.ny).min(self.mesh.nz) as f64,
+                "each mesh dimension needs at least 2 cells",
+            ));
+        }
+        if self.trace.enabled && self.trace.capacity == 0 {
+            return Err(range_err(
+                "trace.capacity",
+                0.0,
+                "the ring needs room for at least one event",
+            ));
+        }
+        if let Some(g) = &self.guard {
+            g.validate()?;
+        }
+        if let Some(spec) = &self.faults {
+            eul3d_delta::FaultPlan::parse(spec, self.nranks).map_err(Eul3dError::Delta)?;
+        }
+        Ok(())
+    }
+
+    /// Deprecated pre-builder constructor, kept so downstream callers
+    /// that assembled configurations positionally keep compiling.
+    #[deprecated(note = "use `RunConfig::builder()` and `build()` for validation")]
+    pub fn from_parts(
+        solver: SolverConfig,
+        strategy: Strategy,
+        levels: usize,
+        cycles: usize,
+    ) -> RunConfig {
+        RunConfig {
+            solver,
+            strategy,
+            levels,
+            cycles,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Deprecated free-function constructor mirroring the old CLI path that
+/// built a [`SolverConfig`] field-by-field; forwards to the builder's
+/// defaults without validation.
+#[deprecated(note = "use `RunConfig::builder().solver(..)` instead")]
+pub fn run_config(solver: SolverConfig, strategy: Strategy) -> RunConfig {
+    RunConfig {
+        solver,
+        strategy,
+        ..RunConfig::default()
+    }
+}
+
+/// Validating builder for [`RunConfig`]. Every setter is chainable;
+/// [`RunConfigBuilder::build`] runs [`RunConfig::validate`].
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Replace the whole solver-scheme block.
+    pub fn solver(mut self, s: SolverConfig) -> Self {
+        self.cfg.solver = s;
+        self
+    }
+
+    /// Freestream Mach number.
+    pub fn mach(mut self, m: f64) -> Self {
+        self.cfg.solver.mach = m;
+        self
+    }
+
+    /// Angle of attack in degrees.
+    pub fn alpha_deg(mut self, a: f64) -> Self {
+        self.cfg.solver.alpha_deg = a;
+        self
+    }
+
+    /// CFL number.
+    pub fn cfl(mut self, c: f64) -> Self {
+        self.cfg.solver.cfl = c;
+        self
+    }
+
+    /// Dissipation scheme.
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.cfg.solver.scheme = s;
+        self
+    }
+
+    /// Multigrid strategy.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.cfg.strategy = s;
+        self
+    }
+
+    /// Mesh levels.
+    pub fn levels(mut self, n: usize) -> Self {
+        self.cfg.levels = n;
+        self
+    }
+
+    /// Cycles to run.
+    pub fn cycles(mut self, n: usize) -> Self {
+        self.cfg.cycles = n;
+        self
+    }
+
+    /// The mesh family.
+    pub fn mesh(mut self, m: BumpSpec) -> Self {
+        self.cfg.mesh = m;
+        self
+    }
+
+    /// Simulated ranks (distributed path).
+    pub fn nranks(mut self, n: usize) -> Self {
+        self.cfg.nranks = n;
+        self
+    }
+
+    /// Arm the solver-health guard.
+    pub fn guard(mut self, g: GuardConfig) -> Self {
+        self.cfg.guard = Some(g);
+        self
+    }
+
+    /// Distributed checkpoint cadence (cycles, 0 = never).
+    pub fn checkpoint_every(mut self, k: usize) -> Self {
+        self.cfg.checkpoint_every = k;
+        self
+    }
+
+    /// Install a fault plan (the `--faults` grammar; validated against
+    /// `nranks` at build time).
+    pub fn faults(mut self, spec: impl Into<String>) -> Self {
+        self.cfg.faults = Some(spec.into());
+        self
+    }
+
+    /// Bounded-receive fault-detection window in milliseconds.
+    pub fn fault_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.fault_timeout_ms = ms;
+        self
+    }
+
+    /// Observability configuration.
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.cfg.trace = t;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<RunConfig, Eul3dError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML codec (hand-rolled: the workspace vendors no serde).
+// ---------------------------------------------------------------------
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::SingleGrid => "sg",
+        Strategy::VCycle => "v",
+        Strategy::WCycle => "w",
+    }
+}
+
+/// Parse a strategy name (the CLI's `--strategy` grammar).
+pub fn parse_strategy(s: &str) -> Option<Strategy> {
+    match s {
+        "sg" | "single" => Some(Strategy::SingleGrid),
+        "v" => Some(Strategy::VCycle),
+        "w" => Some(Strategy::WCycle),
+        _ => None,
+    }
+}
+
+fn scheme_name(s: Scheme) -> &'static str {
+    match s {
+        Scheme::CentralJst => "jst",
+        Scheme::RoeUpwind => "roe",
+    }
+}
+
+/// Parse a scheme name (the CLI's `--scheme` grammar).
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "jst" => Some(Scheme::CentralJst),
+        "roe" => Some(Scheme::RoeUpwind),
+        _ => None,
+    }
+}
+
+/// Shortest-round-trip float literal (always with a decimal point or
+/// exponent so it reads back as a float).
+fn toml_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl RunConfig {
+    /// Serialize as a `run.toml` document. [`RunConfig::from_toml`]
+    /// reads this back losslessly.
+    pub fn to_toml(&self) -> String {
+        let s = &self.solver;
+        let mut out = String::from("# EUL3D run configuration (see `eul3d --help` for the flags\n");
+        out.push_str("# each key mirrors; CLI flags override file values).\n\n[solver]\n");
+        out.push_str(&format!("gamma = {}\n", toml_f64(s.gamma)));
+        out.push_str(&format!("mach = {}\n", toml_f64(s.mach)));
+        out.push_str(&format!("alpha_deg = {}\n", toml_f64(s.alpha_deg)));
+        out.push_str(&format!("cfl = {}\n", toml_f64(s.cfl)));
+        out.push_str(&format!("k2 = {}\n", toml_f64(s.k2)));
+        out.push_str(&format!("k4 = {}\n", toml_f64(s.k4)));
+        out.push_str(&format!("smooth_eps = {}\n", toml_f64(s.smooth_eps)));
+        out.push_str(&format!("smooth_passes = {}\n", s.smooth_passes));
+        out.push_str(&format!("coarse_first_order = {}\n", s.coarse_first_order));
+        out.push_str(&format!("coarse_k2 = {}\n", toml_f64(s.coarse_k2)));
+        out.push_str(&format!("scheme = \"{}\"\n", scheme_name(s.scheme)));
+        let rk: Vec<String> = s.rk_alpha.iter().map(|&a| toml_f64(a)).collect();
+        out.push_str(&format!("rk_alpha = [{}]\n", rk.join(", ")));
+
+        out.push_str("\n[run]\n");
+        out.push_str(&format!(
+            "strategy = \"{}\"\n",
+            strategy_name(self.strategy)
+        ));
+        out.push_str(&format!("levels = {}\n", self.levels));
+        out.push_str(&format!("cycles = {}\n", self.cycles));
+        out.push_str(&format!("nranks = {}\n", self.nranks));
+        out.push_str(&format!("checkpoint_every = {}\n", self.checkpoint_every));
+        out.push_str(&format!("fault_timeout_ms = {}\n", self.fault_timeout_ms));
+        if let Some(fp) = &self.faults {
+            out.push_str(&format!("faults = \"{fp}\"\n"));
+        }
+
+        let m = &self.mesh;
+        out.push_str("\n[mesh]\n");
+        out.push_str(&format!("nx = {}\n", m.nx));
+        out.push_str(&format!("ny = {}\n", m.ny));
+        out.push_str(&format!("nz = {}\n", m.nz));
+        out.push_str(&format!("bump_height = {}\n", toml_f64(m.bump_height)));
+        out.push_str(&format!("taper = {}\n", toml_f64(m.taper)));
+        out.push_str(&format!("jitter = {}\n", toml_f64(m.jitter)));
+        out.push_str(&format!("seed = {}\n", m.seed));
+
+        if let Some(g) = &self.guard {
+            out.push_str("\n[guard]\n");
+            out.push_str(&format!("max_retries = {}\n", g.max_retries));
+            out.push_str(&format!("cfl_backoff = {}\n", toml_f64(g.cfl_backoff)));
+            out.push_str(&format!("window = {}\n", g.window));
+            out.push_str(&format!(
+                "divergence_ratio = {}\n",
+                toml_f64(g.divergence_ratio)
+            ));
+            out.push_str(&format!("reramp_after = {}\n", g.reramp_after));
+            out.push_str(&format!("snapshot_every = {}\n", g.snapshot_every));
+        }
+
+        let t = &self.trace;
+        out.push_str("\n[trace]\n");
+        out.push_str(&format!("enabled = {}\n", t.enabled));
+        out.push_str(&format!("capacity = {}\n", t.capacity));
+        if let Some(p) = &t.out {
+            out.push_str(&format!("out = \"{p}\"\n"));
+        }
+        out.push_str(&format!("summary = {}\n", t.summary));
+        out.push_str(&format!("top_n = {}\n", t.top_n));
+        out
+    }
+
+    /// Deserialize the TOML subset [`RunConfig::to_toml`] emits (plus
+    /// comments and any key order). Unknown sections or keys are typed
+    /// parse errors, as are malformed values. Fields absent from the
+    /// file keep their defaults; a `[guard]` header (even empty) arms
+    /// the guard with defaults for unset keys. The result is validated.
+    pub fn from_toml(text: &str) -> Result<RunConfig, Eul3dError> {
+        let mut rc = RunConfig::default();
+        let mut guard = GuardConfig::default();
+        let mut has_guard = false;
+        let mut section = String::new();
+
+        for (k, raw_line) in text.lines().enumerate() {
+            let lineno = k + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| parse_err(lineno, "unterminated section header"))?
+                    .trim();
+                match name {
+                    "solver" | "run" | "mesh" | "trace" => section = name.to_string(),
+                    "guard" => {
+                        section = name.to_string();
+                        has_guard = true;
+                    }
+                    other => {
+                        return Err(parse_err(lineno, &format!("unknown section [{other}]")));
+                    }
+                }
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| parse_err(lineno, "expected `key = value`"))?;
+            let key = key.trim();
+            // Strip a trailing comment from unquoted values.
+            let val = val.trim();
+            let val = if val.starts_with('"') || val.starts_with('[') {
+                val
+            } else {
+                val.split('#').next().unwrap_or("").trim()
+            };
+            apply_entry(&mut rc, &mut guard, &section, key, val, lineno)?;
+        }
+        if has_guard {
+            rc.guard = Some(guard);
+        }
+        rc.validate()?;
+        Ok(rc)
+    }
+}
+
+fn parse_err(line: usize, msg: &str) -> Eul3dError {
+    Eul3dError::Solver(SolverError::ConfigParse {
+        line,
+        msg: msg.to_string(),
+    })
+}
+
+fn toml_str(val: &str, line: usize) -> Result<String, Eul3dError> {
+    let body = val
+        .strip_prefix('"')
+        .ok_or_else(|| parse_err(line, "expected a double-quoted string"))?;
+    let Some((inner, rest)) = body.split_once('"') else {
+        return Err(parse_err(line, "unterminated string"));
+    };
+    let rest = rest.trim();
+    if !rest.is_empty() && !rest.starts_with('#') {
+        return Err(parse_err(line, "trailing content after string value"));
+    }
+    Ok(inner.to_string())
+}
+
+fn toml_num<T: std::str::FromStr>(val: &str, line: usize) -> Result<T, Eul3dError> {
+    val.parse()
+        .map_err(|_| parse_err(line, &format!("cannot parse '{val}' as a number")))
+}
+
+fn toml_bool(val: &str, line: usize) -> Result<bool, Eul3dError> {
+    match val {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(parse_err(
+            line,
+            &format!("expected true/false, got '{val}'"),
+        )),
+    }
+}
+
+fn toml_f64_array<const N: usize>(val: &str, line: usize) -> Result<[f64; N], Eul3dError> {
+    let inner = val
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| parse_err(line, "expected a [..] array"))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.len() != N {
+        return Err(parse_err(
+            line,
+            &format!("expected {N} elements, got {}", parts.len()),
+        ));
+    }
+    let mut out = [0.0; N];
+    for (slot, p) in out.iter_mut().zip(&parts) {
+        *slot = toml_num(p, line)?;
+    }
+    Ok(out)
+}
+
+fn apply_entry(
+    rc: &mut RunConfig,
+    guard: &mut GuardConfig,
+    section: &str,
+    key: &str,
+    val: &str,
+    line: usize,
+) -> Result<(), Eul3dError> {
+    match (section, key) {
+        ("solver", "gamma") => rc.solver.gamma = toml_num(val, line)?,
+        ("solver", "mach") => rc.solver.mach = toml_num(val, line)?,
+        ("solver", "alpha_deg") => rc.solver.alpha_deg = toml_num(val, line)?,
+        ("solver", "cfl") => rc.solver.cfl = toml_num(val, line)?,
+        ("solver", "k2") => rc.solver.k2 = toml_num(val, line)?,
+        ("solver", "k4") => rc.solver.k4 = toml_num(val, line)?,
+        ("solver", "smooth_eps") => rc.solver.smooth_eps = toml_num(val, line)?,
+        ("solver", "smooth_passes") => rc.solver.smooth_passes = toml_num(val, line)?,
+        ("solver", "coarse_first_order") => rc.solver.coarse_first_order = toml_bool(val, line)?,
+        ("solver", "coarse_k2") => rc.solver.coarse_k2 = toml_num(val, line)?,
+        ("solver", "scheme") => {
+            let name = toml_str(val, line)?;
+            rc.solver.scheme = parse_scheme(&name)
+                .ok_or_else(|| parse_err(line, &format!("scheme must be jst|roe, got '{name}'")))?;
+        }
+        ("solver", "rk_alpha") => rc.solver.rk_alpha = toml_f64_array(val, line)?,
+        ("run", "strategy") => {
+            let name = toml_str(val, line)?;
+            rc.strategy = parse_strategy(&name).ok_or_else(|| {
+                parse_err(line, &format!("strategy must be sg|v|w, got '{name}'"))
+            })?;
+        }
+        ("run", "levels") => rc.levels = toml_num(val, line)?,
+        ("run", "cycles") => rc.cycles = toml_num(val, line)?,
+        ("run", "nranks") => rc.nranks = toml_num(val, line)?,
+        ("run", "checkpoint_every") => rc.checkpoint_every = toml_num(val, line)?,
+        ("run", "fault_timeout_ms") => rc.fault_timeout_ms = toml_num(val, line)?,
+        ("run", "faults") => rc.faults = Some(toml_str(val, line)?),
+        ("mesh", "nx") => rc.mesh.nx = toml_num(val, line)?,
+        ("mesh", "ny") => rc.mesh.ny = toml_num(val, line)?,
+        ("mesh", "nz") => rc.mesh.nz = toml_num(val, line)?,
+        ("mesh", "bump_height") => rc.mesh.bump_height = toml_num(val, line)?,
+        ("mesh", "taper") => rc.mesh.taper = toml_num(val, line)?,
+        ("mesh", "jitter") => rc.mesh.jitter = toml_num(val, line)?,
+        ("mesh", "seed") => rc.mesh.seed = toml_num(val, line)?,
+        ("guard", "max_retries") => guard.max_retries = toml_num(val, line)?,
+        ("guard", "cfl_backoff") => guard.cfl_backoff = toml_num(val, line)?,
+        ("guard", "window") => guard.window = toml_num(val, line)?,
+        ("guard", "divergence_ratio") => guard.divergence_ratio = toml_num(val, line)?,
+        ("guard", "reramp_after") => guard.reramp_after = toml_num(val, line)?,
+        ("guard", "snapshot_every") => guard.snapshot_every = toml_num(val, line)?,
+        ("trace", "enabled") => rc.trace.enabled = toml_bool(val, line)?,
+        ("trace", "capacity") => rc.trace.capacity = toml_num(val, line)?,
+        ("trace", "out") => rc.trace.out = Some(toml_str(val, line)?),
+        ("trace", "summary") => rc.trace.summary = toml_bool(val, line)?,
+        ("trace", "top_n") => rc.trace.top_n = toml_num(val, line)?,
+        ("", _) => {
+            return Err(parse_err(line, "entry before the first [section] header"));
+        }
+        (sec, key) => {
+            return Err(parse_err(line, &format!("unknown key '{key}' in [{sec}]")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        let rc = RunConfig::builder()
+            .mach(0.675)
+            .cfl(3.0)
+            .guard(GuardConfig::default())
+            .trace(TraceConfig {
+                enabled: true,
+                ..TraceConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(rc.solver.cfl, 3.0);
+        assert!(rc.guard.is_some());
+        assert!(rc.trace.enabled);
+
+        let err = RunConfig::builder().mach(-1.0).build().unwrap_err();
+        assert!(err.to_string().contains("solver.mach"), "{err}");
+        let err = RunConfig::builder().cycles(0).build().unwrap_err();
+        assert!(err.to_string().contains("cycles"), "{err}");
+        let err = RunConfig::builder()
+            .guard(GuardConfig {
+                cfl_backoff: 1.5,
+                ..GuardConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cfl-backoff"), "{err}");
+    }
+
+    #[test]
+    fn builder_validates_fault_plan_against_nranks() {
+        let err = RunConfig::builder()
+            .nranks(2)
+            .faults("kill:7@3")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Eul3dError::Delta(_)), "{err}");
+        assert!(RunConfig::builder()
+            .nranks(8)
+            .faults("kill:7@3")
+            .checkpoint_every(2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn toml_round_trips_exactly() {
+        let rc = RunConfig::builder()
+            .mach(0.768)
+            .alpha_deg(1.116)
+            .cfl(2.8)
+            .strategy(Strategy::VCycle)
+            .levels(3)
+            .cycles(12)
+            .nranks(4)
+            .guard(GuardConfig {
+                cfl_backoff: 0.25,
+                ..GuardConfig::default()
+            })
+            .checkpoint_every(2)
+            .faults("kill:1@2+5")
+            .trace(TraceConfig {
+                enabled: true,
+                capacity: 4096,
+                out: Some("trace.json".to_string()),
+                summary: true,
+                top_n: 5,
+            })
+            .build()
+            .unwrap();
+        let text = rc.to_toml();
+        let back = RunConfig::from_toml(&text).unwrap();
+        assert_eq!(rc, back, "RunConfig -> TOML -> RunConfig must be lossless");
+        // And the serialization itself is a fixed point.
+        assert_eq!(text, back.to_toml());
+    }
+
+    #[test]
+    fn toml_defaults_round_trip() {
+        let rc = RunConfig::default();
+        let back = RunConfig::from_toml(&rc.to_toml()).unwrap();
+        assert_eq!(rc, back);
+        assert!(back.guard.is_none(), "no [guard] section, no guard");
+    }
+
+    #[test]
+    fn toml_rejects_unknowns_with_line_numbers() {
+        let err = RunConfig::from_toml("[solver]\nwarp = 9\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("warp"), "{msg}");
+        let err = RunConfig::from_toml("[hyperdrive]\n").unwrap_err();
+        assert!(err.to_string().contains("hyperdrive"));
+        let err = RunConfig::from_toml("mach = 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("before the first"));
+    }
+
+    #[test]
+    fn toml_partial_file_keeps_defaults_and_comments_parse() {
+        let text = "# comment\n[run]\ncycles = 7 # inline comment\n\n[guard]\n";
+        let rc = RunConfig::from_toml(text).unwrap();
+        assert_eq!(rc.cycles, 7);
+        assert_eq!(rc.levels, RunConfig::default().levels);
+        assert_eq!(rc.guard, Some(GuardConfig::default()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward() {
+        let rc = RunConfig::from_parts(SolverConfig::paper_case(), Strategy::VCycle, 2, 9);
+        assert_eq!(rc.levels, 2);
+        assert_eq!(rc.cycles, 9);
+        let rc2 = run_config(SolverConfig::default(), Strategy::SingleGrid);
+        assert_eq!(rc2.strategy, Strategy::SingleGrid);
+    }
+}

@@ -73,6 +73,20 @@ impl CostModel {
             + hops as f64 * self.hop_latency_s
     }
 
+    /// Modeled nanoseconds a kernel of `flops` floating-point operations
+    /// takes on one rank — the quantum the observability clock advances
+    /// by on compute charges (see `eul3d-obs`). Pure arithmetic on
+    /// deterministic inputs: bit-identical across reruns.
+    pub fn comp_ns(&self, flops: f64) -> u64 {
+        (self.comp_seconds(flops) * 1e9) as u64
+    }
+
+    /// Modeled nanoseconds one message of `bytes` over `hops` mesh hops
+    /// occupies the sender — the observability clock's send quantum.
+    pub fn send_ns(&self, bytes: u64, hops: u64) -> u64 {
+        (self.comm_seconds_with_hops(1, bytes, hops) * 1e9) as u64
+    }
+
     /// Evaluate a full run.
     pub fn evaluate(&self, counters: &[RankCounters]) -> CostBreakdown {
         let comp = counters

@@ -8,6 +8,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
+use eul3d_obs as obs;
+
+use crate::cost::CostModel;
 use crate::fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState};
 use crate::msg::{checksum, CommClass, Message, Payload, RankCounters};
 use crate::pool::CommBuffers;
@@ -212,6 +215,15 @@ impl Rank {
         if fresh_bytes > 0 {
             self.counters.comm_allocs += 1;
             self.counters.comm_alloc_bytes += fresh_bytes;
+            // Traced only before the first recovery epoch: after a
+            // rollback, which buffers the pool recycles depends on the
+            // set of messages in flight at the (thread-timing-dependent)
+            // abort point, so post-recovery pool misses would break the
+            // bit-identical-trace guarantee. The counters above always
+            // accumulate regardless.
+            if self.epoch() == 0 {
+                obs::emit(obs::Event::PoolAlloc { bytes: fresh_bytes });
+            }
         }
     }
 
@@ -338,8 +350,20 @@ impl Rank {
             "self-sends are a bug in schedule construction"
         );
         self.tick_fault_op();
-        self.counters.record_send(class, payload.nbytes());
-        self.counters.record_hops(self.hops_to(dst));
+        let bytes = payload.nbytes();
+        let hops = self.hops_to(dst);
+        self.counters.record_send(class, bytes);
+        self.counters.record_hops(hops);
+        // The sender pays the modeled wire time (latency + bytes/bw +
+        // hops), mirroring the cost model, and the event is stamped
+        // before the clock advances so the instant sits at the send's
+        // start.
+        obs::emit(obs::Event::MsgSend {
+            peer: dst as u32,
+            tag,
+            bytes,
+        });
+        obs::advance_ns(CostModel::delta_i860().send_ns(bytes, hops));
         self.post(dst, tag, payload);
     }
 
@@ -460,6 +484,11 @@ impl Rank {
         self.tick_fault_op();
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(p) = q.pop_front() {
+                obs::emit(obs::Event::MsgRecv {
+                    peer: src as u32,
+                    tag,
+                    bytes: p.nbytes(),
+                });
                 return p;
             }
         }
@@ -485,6 +514,13 @@ impl Rank {
             };
             if let Some((s, t, p)) = self.sieve(m) {
                 if s == src && t == tag {
+                    // Receives are sender-priced in the cost model, so
+                    // the event is recorded without advancing the clock.
+                    obs::emit(obs::Event::MsgRecv {
+                        peer: src as u32,
+                        tag,
+                        bytes: p.nbytes(),
+                    });
                     return p;
                 }
                 self.stash.entry((s, t)).or_default().push_back(p);
@@ -566,6 +602,12 @@ impl Rank {
                 self.counters
                     .record_send(CommClass::Recovery, abort.nbytes());
                 self.counters.record_hops(self.hops_to(dst));
+                obs::emit(obs::Event::MsgSend {
+                    peer: dst as u32,
+                    tag: 0,
+                    bytes: abort.nbytes(),
+                });
+                obs::advance_ns(CostModel::delta_i860().send_ns(abort.nbytes(), self.hops_to(dst)));
                 let _ = self.txs[dst].send(Message {
                     src: self.id,
                     tag: 0,

@@ -200,7 +200,7 @@ pub fn box_mesh(
 }
 
 /// Parameters of the transonic bump-channel family.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BumpSpec {
     /// Cells along the channel (x), the height (y), and the span (z).
     pub nx: usize,

@@ -1,0 +1,227 @@
+//! Per-thread dispatch: one tracer and one deterministic clock per lane.
+//!
+//! Every emitting layer of the stack runs its instrumented work on the
+//! lane's own thread — the SPMD driver gives each simulated rank a
+//! dedicated thread, and the serial/shared solvers charge all phase
+//! accounting from the driver thread (rayon workers never charge). A
+//! thread-local context therefore captures a complete per-lane event
+//! stream with no synchronization, no signature churn through the kernel
+//! layers, and no cross-lane ordering ambiguity.
+//!
+//! **The clock.** `clock_ns` is a plain monotonic counter advanced only
+//! by instrumentation sites, with modeled — never measured — durations:
+//! compute charges add kernel nanoseconds from the Delta cost model's
+//! flop rate, and message sends add wire nanoseconds (latency + bytes /
+//! bandwidth + hop cost). Distributed lanes thus read as simulated Delta
+//! time; serial/shared lanes read as a monotonic cycle clock. Because no
+//! wall time is ever consulted, two runs of the same configuration and
+//! seed produce **bit-identical** stamped streams.
+
+use std::cell::RefCell;
+
+use crate::tracer::{Event, Tracer};
+
+struct Ctx {
+    tracer: Option<Box<dyn Tracer>>,
+    clock_ns: u64,
+    /// While paused, events are suppressed (the clock still runs). The
+    /// distributed recovery protocol pauses its lane: its sends and
+    /// receipts execute on clocks that diverged at a thread-timing-
+    /// dependent abort point, so recording them would break trace
+    /// reproducibility. The lane is rewound and resumed once the ranks
+    /// agree on the rollback point.
+    paused: bool,
+}
+
+thread_local! {
+    static CTX: RefCell<Ctx> = const {
+        RefCell::new(Ctx {
+            tracer: None,
+            clock_ns: 0,
+            paused: false,
+        })
+    };
+}
+
+/// A resumable position in a lane's recording: the number of events
+/// written so far plus the lane clock. Distributed checkpoints store one
+/// per snapshot so recovery can [`rewind`] the trace to exactly the
+/// state it restores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceMark {
+    /// Events written at the mark (see `Tracer::written`).
+    pub written: u64,
+    /// Lane clock at the mark, in nanoseconds.
+    pub clock_ns: u64,
+}
+
+/// Arm this thread with `tracer` and reset the lane clock to zero.
+/// Replaces (and drops) any previously installed tracer.
+pub fn install(tracer: Box<dyn Tracer>) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        c.tracer = Some(tracer);
+        c.clock_ns = 0;
+        c.paused = false;
+    });
+}
+
+/// Disarm this thread, returning the installed tracer (with everything
+/// it recorded) if one was armed.
+pub fn take() -> Option<Box<dyn Tracer>> {
+    CTX.with(|c| c.borrow_mut().tracer.take())
+}
+
+/// Whether an enabled tracer is armed on this thread.
+pub fn armed() -> bool {
+    CTX.with(|c| c.borrow().tracer.as_ref().is_some_and(|t| t.enabled()))
+}
+
+/// This lane's deterministic clock, in nanoseconds.
+pub fn now_ns() -> u64 {
+    CTX.with(|c| c.borrow().clock_ns)
+}
+
+/// Advance this lane's clock by `dns` modeled nanoseconds.
+pub fn advance_ns(dns: u64) {
+    CTX.with(|c| c.borrow_mut().clock_ns += dns);
+}
+
+/// This lane's current [`TraceMark`] (events written so far + clock).
+pub fn mark() -> TraceMark {
+    CTX.with(|c| {
+        let c = c.borrow();
+        TraceMark {
+            written: c.tracer.as_ref().map_or(0, |t| t.written()),
+            clock_ns: c.clock_ns,
+        }
+    })
+}
+
+/// Roll this lane back to `m`: discard events recorded after the mark
+/// and restore the lane clock. The clock restore happens whether or not
+/// a tracer is armed, so arming never changes modeled timelines.
+pub fn rewind(m: TraceMark) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(t) = c.tracer.as_mut() {
+            t.rewind(m.written);
+        }
+        c.clock_ns = m.clock_ns;
+    });
+}
+
+/// Suppress event recording on this lane until [`resume`]. The clock
+/// still advances (and is typically [`rewind`]-restored afterwards).
+pub fn pause() {
+    CTX.with(|c| c.borrow_mut().paused = true);
+}
+
+/// Re-enable event recording after a [`pause`].
+pub fn resume() {
+    CTX.with(|c| c.borrow_mut().paused = false);
+}
+
+/// Record `ev` at the current clock, if an enabled tracer is armed.
+pub fn emit(ev: Event) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.paused {
+            return;
+        }
+        let ts = c.clock_ns;
+        if let Some(t) = c.tracer.as_mut() {
+            if t.enabled() {
+                t.record(ts, ev);
+            }
+        }
+    });
+}
+
+/// Record a complete phase span of modeled duration `dns`: begin at the
+/// current clock, advance by `dns`, end. The clock advances whether or
+/// not a tracer is armed, so arming never changes modeled timelines.
+pub fn span_ns(phase: u8, dns: u64) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        let begin = c.clock_ns;
+        c.clock_ns += dns;
+        let end = c.clock_ns;
+        if c.paused {
+            return;
+        }
+        if let Some(t) = c.tracer.as_mut() {
+            if t.enabled() {
+                t.record(begin, Event::PhaseBegin { phase });
+                t.record(end, Event::PhaseEnd { phase });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::RingTracer;
+
+    #[test]
+    fn install_take_round_trips_with_clock_reset() {
+        install(Box::new(RingTracer::new(16)));
+        assert!(armed());
+        assert_eq!(now_ns(), 0);
+        advance_ns(5);
+        emit(Event::PoolAlloc { bytes: 8 });
+        span_ns(3, 10);
+        let t = take().expect("tracer was armed");
+        assert!(!armed());
+        let s = t.snapshot();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].ts_ns, 5);
+        assert_eq!(s[1].ev, Event::PhaseBegin { phase: 3 });
+        assert_eq!(s[1].ts_ns, 5);
+        assert_eq!(s[2].ev, Event::PhaseEnd { phase: 3 });
+        assert_eq!(s[2].ts_ns, 15);
+    }
+
+    #[test]
+    fn pause_suppresses_events_and_rewind_restores_the_mark() {
+        install(Box::new(RingTracer::new(16)));
+        span_ns(0, 10);
+        let m = mark();
+        assert_eq!(m.clock_ns, 10);
+        assert_eq!(m.written, 2);
+        // Aborted work: recorded, then rolled back.
+        span_ns(1, 5);
+        emit(Event::GuardVerdict {
+            cycle: 1,
+            severity: 2,
+        });
+        // Recovery protocol: clock runs, nothing is recorded.
+        pause();
+        emit(Event::MsgSend {
+            peer: 1,
+            tag: 9,
+            bytes: 64,
+        });
+        span_ns(2, 100);
+        assert_eq!(now_ns(), 115);
+        rewind(m);
+        resume();
+        assert_eq!(now_ns(), 10);
+        emit(Event::RecoveryBegin { epoch: 1 });
+        let t = take().expect("tracer was armed");
+        let s = t.snapshot();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2].ev, Event::RecoveryBegin { epoch: 1 });
+        assert_eq!(s[2].ts_ns, 10);
+    }
+
+    #[test]
+    fn unarmed_emits_are_noops_but_clock_still_runs() {
+        assert!(take().is_none());
+        let t0 = now_ns();
+        emit(Event::PoolAlloc { bytes: 1 });
+        span_ns(0, 7);
+        assert_eq!(now_ns(), t0 + 7);
+    }
+}

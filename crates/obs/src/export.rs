@@ -1,0 +1,380 @@
+//! Exporters: Chrome `trace_event` JSON and the human summary table.
+//!
+//! Both run strictly after the traced run, on snapshots — allocation and
+//! float formatting are fine here. All output is a pure function of the
+//! recorded events, so identical runs export byte-identical artifacts.
+
+use crate::metrics::{json_f64, json_string};
+use crate::tracer::{Event, Stamped};
+
+/// One trace lane: a rank (distributed) or the driver thread
+/// (serial/shared), with the events its tracer retained.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Lane id — the Chrome `tid` (virtual rank id, or 0 for a serial
+    /// driver).
+    pub id: u32,
+    /// Human lane name shown by the viewer (e.g. `"rank 3"`).
+    pub name: String,
+    /// The retained events, in recording order.
+    pub events: Vec<Stamped>,
+    /// Events the lane's ring dropped (drop-oldest overflow).
+    pub dropped: u64,
+}
+
+/// Microsecond timestamp with fixed 3-digit nanosecond fraction —
+/// integer formatting only, so exports never depend on float printing.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_event(out: &mut String, tid: u32, s: &Stamped, phase_names: &[&str]) {
+    let ts = ts_us(s.ts_ns);
+    let line = match s.ev {
+        Event::PhaseBegin { phase } => format!(
+            "{{\"name\": {}, \"cat\": \"phase\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}}}",
+            json_string(phase_name(phase, phase_names)),
+        ),
+        Event::PhaseEnd { phase } => format!(
+            "{{\"name\": {}, \"cat\": \"phase\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}}}",
+            json_string(phase_name(phase, phase_names)),
+        ),
+        Event::MsgSend { peer, tag, bytes } => format!(
+            "{{\"name\": \"send\", \"cat\": \"msg\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"peer\": {peer}, \"tag\": {tag}, \"bytes\": {bytes}}}}}",
+        ),
+        Event::MsgRecv { peer, tag, bytes } => format!(
+            "{{\"name\": \"recv\", \"cat\": \"msg\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"peer\": {peer}, \"tag\": {tag}, \"bytes\": {bytes}}}}}",
+        ),
+        Event::PoolAlloc { bytes } => format!(
+            "{{\"name\": \"pool-alloc\", \"cat\": \"alloc\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"bytes\": {bytes}}}}}",
+        ),
+        Event::CheckpointBegin { cycle } => format!(
+            "{{\"name\": \"checkpoint\", \"cat\": \"ckpt\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}}}}}",
+        ),
+        Event::CheckpointEnd { cycle } => format!(
+            "{{\"name\": \"checkpoint\", \"cat\": \"ckpt\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}}}}}",
+        ),
+        Event::RecoveryBegin { epoch } => format!(
+            "{{\"name\": \"recovery\", \"cat\": \"recovery\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"epoch\": {epoch}}}}}",
+        ),
+        Event::RecoveryEnd { epoch } => format!(
+            "{{\"name\": \"recovery\", \"cat\": \"recovery\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"epoch\": {epoch}}}}}",
+        ),
+        Event::GuardVerdict { cycle, severity } => format!(
+            "{{\"name\": \"guard-verdict\", \"cat\": \"guard\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}, \"severity\": {severity}}}}}",
+        ),
+        Event::CflChange { from_bits, to_bits } => format!(
+            "{{\"name\": \"cfl-change\", \"cat\": \"guard\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"from\": {}, \"to\": {}}}}}",
+            json_f64(f64::from_bits(from_bits)),
+            json_f64(f64::from_bits(to_bits)),
+        ),
+    };
+    out.push_str(&line);
+}
+
+fn phase_name<'a>(phase: u8, phase_names: &[&'a str]) -> &'a str {
+    phase_names.get(phase as usize).copied().unwrap_or("phase?")
+}
+
+/// Render `lanes` as Chrome `trace_event` JSON (object form), one
+/// `tid` per lane under `pid` 0, openable in Perfetto /
+/// `chrome://tracing`. `phase_names` maps dense phase indices to span
+/// names (pass the core `Phase::ALL` labels).
+pub fn chrome_trace(lanes: &[Lane], phase_names: &[&str]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for lane in lanes {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"args\": {{\"name\": {}}}}}",
+            lane.id,
+            json_string(&lane.name)
+        ));
+        out.push_str(&format!(
+            ",\n{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"args\": {{\"sort_index\": {}}}}}",
+            lane.id, lane.id
+        ));
+        for s in &lane.events {
+            out.push_str(",\n");
+            push_event(&mut out, lane.id, s, phase_names);
+        }
+        if lane.dropped > 0 {
+            let last_ts = lane.events.last().map_or(0, |s| s.ts_ns);
+            out.push_str(&format!(
+                ",\n{{\"name\": \"dropped-events\", \"cat\": \"meta\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {}, \"ts\": {}, \"args\": {{\"count\": {}}}}}",
+                lane.id,
+                ts_us(last_ts),
+                lane.dropped
+            ));
+        }
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// One completed span, for ranking.
+struct SpanRec {
+    lane: usize,
+    name: &'static str,
+    phase: Option<u8>,
+    begin_ns: u64,
+    dur_ns: u64,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render the human `--trace-summary` table: top-`top_n` slowest spans,
+/// per-lane busy time and imbalance, and sent bytes by tag.
+pub fn summary_table(lanes: &[Lane], phase_names: &[&str], top_n: usize) -> String {
+    let mut spans: Vec<SpanRec> = Vec::new();
+    // (tag, bytes, msgs) for sends, aggregated across lanes.
+    let mut by_tag: Vec<(u32, u64, u64)> = Vec::new();
+    let mut busy_ns: Vec<u64> = vec![0; lanes.len()];
+    let nevents: usize = lanes.iter().map(|l| l.events.len()).sum();
+    let ndropped: u64 = lanes.iter().map(|l| l.dropped).sum();
+
+    for (li, lane) in lanes.iter().enumerate() {
+        // Open-span stacks: one per phase index, plus checkpoint/recovery.
+        let mut open: Vec<Vec<u64>> = vec![Vec::new(); phase_names.len().max(16) + 2];
+        let ck = open.len() - 2;
+        let rec = open.len() - 1;
+        for s in &lane.events {
+            match s.ev {
+                Event::PhaseBegin { phase } => open[phase as usize].push(s.ts_ns),
+                Event::PhaseEnd { phase } => {
+                    if let Some(b) = open[phase as usize].pop() {
+                        spans.push(SpanRec {
+                            lane: li,
+                            name: "",
+                            phase: Some(phase),
+                            begin_ns: b,
+                            dur_ns: s.ts_ns - b,
+                        });
+                        busy_ns[li] += s.ts_ns - b;
+                    }
+                }
+                Event::CheckpointBegin { .. } => open[ck].push(s.ts_ns),
+                Event::CheckpointEnd { .. } => {
+                    if let Some(b) = open[ck].pop() {
+                        spans.push(SpanRec {
+                            lane: li,
+                            name: "checkpoint",
+                            phase: None,
+                            begin_ns: b,
+                            dur_ns: s.ts_ns - b,
+                        });
+                    }
+                }
+                Event::RecoveryBegin { .. } => open[rec].push(s.ts_ns),
+                Event::RecoveryEnd { .. } => {
+                    if let Some(b) = open[rec].pop() {
+                        spans.push(SpanRec {
+                            lane: li,
+                            name: "recovery",
+                            phase: None,
+                            begin_ns: b,
+                            dur_ns: s.ts_ns - b,
+                        });
+                    }
+                }
+                Event::MsgSend { tag, bytes, .. } => {
+                    match by_tag.iter_mut().find(|(t, _, _)| *t == tag) {
+                        Some(e) => {
+                            e.1 += bytes;
+                            e.2 += 1;
+                        }
+                        None => by_tag.push((tag, bytes, 1)),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = format!(
+        "trace summary: {} lane(s), {} event(s), {} dropped\n",
+        lanes.len(),
+        nevents,
+        ndropped
+    );
+
+    spans.sort_by(|a, b| {
+        b.dur_ns
+            .cmp(&a.dur_ns)
+            .then(a.begin_ns.cmp(&b.begin_ns))
+            .then(a.lane.cmp(&b.lane))
+    });
+    out.push_str(&format!(
+        "  top {} slowest spans:\n",
+        top_n.min(spans.len())
+    ));
+    for s in spans.iter().take(top_n) {
+        let name = match s.phase {
+            Some(p) => phase_name(p, phase_names),
+            None => s.name,
+        };
+        out.push_str(&format!(
+            "    {:<10} {:<12} {:>12.3} ms  @ {:.3} ms\n",
+            lanes[s.lane].name,
+            name,
+            ms(s.dur_ns),
+            ms(s.begin_ns)
+        ));
+    }
+
+    if !lanes.is_empty() {
+        let total: u64 = busy_ns.iter().sum();
+        let mean = total as f64 / lanes.len() as f64;
+        out.push_str("  per-lane busy time (phase spans):\n");
+        for (li, lane) in lanes.iter().enumerate() {
+            let rel = if mean > 0.0 {
+                busy_ns[li] as f64 / mean
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "    {:<10} {:>12.3} ms  ({:.2}x mean)\n",
+                lane.name,
+                ms(busy_ns[li]),
+                rel
+            ));
+        }
+    }
+
+    if !by_tag.is_empty() {
+        by_tag.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.push_str("  sent bytes by tag:\n");
+        for (tag, bytes, msgs) in by_tag.iter().take(top_n.max(8)) {
+            out.push_str(&format!(
+                "    tag {:<10} {:>12} B in {} msg(s)\n",
+                tag, bytes, msgs
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(events: Vec<Stamped>) -> Lane {
+        Lane {
+            id: 0,
+            name: "rank 0".to_string(),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_emits_lanes_and_span_pairs() {
+        let l = lane(vec![
+            Stamped {
+                ts_ns: 1000,
+                ev: Event::PhaseBegin { phase: 0 },
+            },
+            Stamped {
+                ts_ns: 2500,
+                ev: Event::PhaseEnd { phase: 0 },
+            },
+            Stamped {
+                ts_ns: 2500,
+                ev: Event::MsgSend {
+                    peer: 1,
+                    tag: 100,
+                    bytes: 64,
+                },
+            },
+        ]);
+        let json = chrome_trace(&[l], &["exchange"]);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\": \"exchange\", \"cat\": \"phase\", \"ph\": \"B\""));
+        assert!(json.contains("\"ts\": 1.000"));
+        assert!(json.contains("\"ph\": \"E\""));
+        assert!(json.contains("\"ts\": 2.500"));
+        assert!(json.contains("\"tag\": 100, \"bytes\": 64"));
+    }
+
+    #[test]
+    fn chrome_trace_reports_drops_and_unknown_phases() {
+        let mut l = lane(vec![Stamped {
+            ts_ns: 10,
+            ev: Event::PhaseBegin { phase: 9 },
+        }]);
+        l.dropped = 42;
+        let json = chrome_trace(&[l], &["only-one"]);
+        assert!(json.contains("\"phase?\""));
+        assert!(json.contains("\"dropped-events\""));
+        assert!(json.contains("\"count\": 42"));
+    }
+
+    #[test]
+    fn cfl_change_formats_bits_as_numbers() {
+        let l = lane(vec![Stamped {
+            ts_ns: 0,
+            ev: Event::CflChange {
+                from_bits: 30.0f64.to_bits(),
+                to_bits: 7.5f64.to_bits(),
+            },
+        }]);
+        let json = chrome_trace(&[l], &[]);
+        assert!(json.contains("\"from\": 30.0, \"to\": 7.5"), "{json}");
+    }
+
+    #[test]
+    fn summary_ranks_spans_and_aggregates_tags() {
+        let l0 = lane(vec![
+            Stamped {
+                ts_ns: 0,
+                ev: Event::PhaseBegin { phase: 0 },
+            },
+            Stamped {
+                ts_ns: 5_000_000,
+                ev: Event::PhaseEnd { phase: 0 },
+            },
+            Stamped {
+                ts_ns: 5_000_000,
+                ev: Event::MsgSend {
+                    peer: 1,
+                    tag: 7,
+                    bytes: 100,
+                },
+            },
+            Stamped {
+                ts_ns: 6_000_000,
+                ev: Event::MsgSend {
+                    peer: 1,
+                    tag: 7,
+                    bytes: 50,
+                },
+            },
+        ]);
+        let mut l1 = lane(vec![
+            Stamped {
+                ts_ns: 0,
+                ev: Event::RecoveryBegin { epoch: 1 },
+            },
+            Stamped {
+                ts_ns: 9_000_000,
+                ev: Event::RecoveryEnd { epoch: 1 },
+            },
+        ]);
+        l1.id = 1;
+        l1.name = "rank 1".to_string();
+        let table = summary_table(&[l0, l1], &["exchange"], 2);
+        assert!(table.contains("2 lane(s)"));
+        let recovery_pos = table.find("recovery").expect("recovery span listed");
+        let exchange_pos = table.find("exchange").expect("exchange span listed");
+        assert!(recovery_pos < exchange_pos, "slowest span first:\n{table}");
+        assert!(table.contains("tag 7"));
+        assert!(table.contains("150 B in 2 msg(s)"));
+        assert!(table.contains("per-lane busy time"));
+    }
+}
