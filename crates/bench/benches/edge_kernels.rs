@@ -3,6 +3,10 @@
 //! mesh", §3.1): convective flux, the two dissipation passes, spectral
 //! radii, and residual-averaging accumulation.
 
+// Benchmarks the deprecated AoS entry points on purpose: they are the
+// baseline the SoA kernels are compared against.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 

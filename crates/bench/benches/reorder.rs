@@ -3,6 +3,10 @@
 //! rate by a factor of two" on the i860's small cache; modern caches are
 //! kinder, but the ordered variant must still win measurably.
 
+// Benchmarks the deprecated AoS entry points on purpose: they are the
+// baseline the SoA kernels are compared against.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 

@@ -1,0 +1,497 @@
+//! `kernels` — SoA edge-kernel benchmark emitting `BENCH_kernels.json`.
+//!
+//! Times every vectorized plane-major edge kernel against the retained
+//! interleaved-AoS baseline on the same mesh and state, asserts the two
+//! layouts produce **bit-identical** accumulations before timing them,
+//! and reports per-kernel GFLOP/s, modeled bandwidth, and the aggregate
+//! (time-weighted) speedup through [`eul3d_perf::kernels`].
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `EUL3D_BENCH_ROUNDS` | timed rounds per kernel | 60 |
+//! | `EUL3D_BENCH_OUT` | output path | `BENCH_kernels.json` |
+//!
+//! `--smoke` shrinks the mesh and caps the rounds for CI; `--gate R`
+//! exits nonzero unless the aggregate SoA speedup is at least `R`
+//! (CI runs `--gate 1.2`).
+
+#![allow(deprecated)] // the AoS baselines are the deprecated shims, on purpose
+
+use std::time::Instant;
+
+use eul3d_core::counters::{
+    FlopCounter, FLOPS_CONV_EDGE, FLOPS_DISS_FO_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE,
+    FLOPS_DISS_ROE_EDGE, FLOPS_RADII_EDGE, FLOPS_SMOOTH_EDGE,
+};
+use eul3d_core::dissipation::{dissipation_first_order, dissipation_pass, laplacian_pass};
+use eul3d_core::flux::{compute_pressures, conv_residual_edges};
+use eul3d_core::gas::{GAMMA, NVAR};
+use eul3d_core::roe::roe_dissipation_edges;
+use eul3d_core::smooth::smooth_accumulate;
+use eul3d_core::timestep::radii_edges;
+use eul3d_core::{SoaState, SolverConfig};
+use eul3d_kernels::{EdgeSpan, ScatterAccess};
+use eul3d_mesh::gen::{bump_channel, BumpSpec};
+use eul3d_mesh::TetMesh;
+use eul3d_perf::kernels::{aggregate_speedup, kernels_report_json, KernelSample};
+
+/// The benchmark state: mesh plus a smoothly perturbed flow in both
+/// layouts, with derived pressures/Laplacians/sensors so pass-2 kernels
+/// run on realistic operands.
+struct Workload {
+    mesh: TetMesh,
+    w_aos: Vec<f64>,
+    w_soa: SoaState,
+    p: Vec<f64>,
+    lapl_aos: Vec<f64>,
+    lapl_soa: SoaState,
+    nu: Vec<f64>,
+    k2: f64,
+    k4: f64,
+    coarse_k2: f64,
+}
+
+fn workload(smoke: bool) -> Workload {
+    let spec = if smoke {
+        BumpSpec {
+            nx: 14,
+            ny: 6,
+            nz: 5,
+            jitter: 0.15,
+            ..Default::default()
+        }
+    } else {
+        BumpSpec {
+            nx: 28,
+            ny: 12,
+            nz: 10,
+            jitter: 0.15,
+            ..Default::default()
+        }
+    };
+    let mesh = bump_channel(&spec);
+    let cfg = SolverConfig::default();
+    let fs = cfg.freestream();
+    let n = mesh.nverts();
+    let mut w_aos = vec![0.0; n * NVAR];
+    for (i, c) in mesh.coords.iter().enumerate() {
+        let s = 1.0 + 0.05 * (c.x * 3.0).sin() * (c.y * 5.0).cos() + 0.02 * (c.z * 7.0).sin();
+        for k in 0..NVAR {
+            w_aos[i * NVAR + k] = fs.w[k] * s;
+        }
+    }
+    let w_soa = SoaState::from_aos(&w_aos, NVAR);
+    let mut p = vec![0.0; n];
+    let mut counter = FlopCounter::default();
+    compute_pressures(GAMMA, &w_aos, &mut p, &mut counter);
+
+    // Pass-1 accumulators feed the pass-2 kernels.
+    let mut lapl_aos = vec![0.0; n * NVAR];
+    let mut sens = vec![0.0; n * 2];
+    laplacian_pass(
+        &mesh.edges,
+        &w_aos,
+        &p,
+        &mut lapl_aos,
+        &mut sens,
+        &mut counter,
+    );
+    let lapl_soa = SoaState::from_aos(&lapl_aos, NVAR);
+    let mut nu = vec![0.0; n];
+    eul3d_core::dissipation::sensor_from_accumulators(&sens, &mut nu);
+
+    Workload {
+        mesh,
+        w_aos,
+        w_soa,
+        p,
+        lapl_aos,
+        lapl_soa,
+        nu,
+        k2: cfg.k2,
+        k4: cfg.k4,
+        coarse_k2: cfg.coarse_k2,
+    }
+}
+
+/// Time one kernel in both layouts. `aos` and `soa` must accumulate the
+/// same edge loop into their (zeroed) target buffers; the outputs are
+/// asserted bit-identical before the timed rounds, so a fast-but-wrong
+/// kernel can't pass the gate.
+#[allow(clippy::too_many_arguments)]
+fn sample<A, S>(
+    name: &str,
+    nedges: usize,
+    rounds: usize,
+    // One (vertices, components) pair per scatter target; the AoS
+    // baseline writes interleaved rows, the SoA kernel planes.
+    targets: &[(usize, usize)],
+    aos: A,
+    soa: S,
+    flops_per_item: f64,
+    f64s_per_item: f64,
+) -> KernelSample
+where
+    A: Fn(&mut [Vec<f64>]),
+    S: Fn(&mut [Vec<f64>]),
+{
+    let mut bufs_aos: Vec<Vec<f64>> = targets.iter().map(|&(n, nc)| vec![0.0; n * nc]).collect();
+    let mut bufs_soa: Vec<Vec<f64>> = targets.iter().map(|&(n, nc)| vec![0.0; n * nc]).collect();
+
+    // Bit-identity check: one zero-initialized application of each, with
+    // the interleaved baseline transposed into planes for the compare.
+    aos(&mut bufs_aos);
+    soa(&mut bufs_soa);
+    for (t, ((a, s), &(_, nc))) in bufs_aos.iter().zip(&bufs_soa).zip(targets).enumerate() {
+        let a_planes = SoaState::from_aos(a, nc);
+        assert_eq!(
+            a_planes.flat(),
+            &s[..],
+            "{name}: SoA target {t} is not bit-identical to the AoS baseline"
+        );
+    }
+
+    // Report min-of-rounds × rounds: on a single-core host any OS
+    // preemption lands inside some round, so the per-round minimum is
+    // the jitter-robust estimate of true kernel time. Target zeroing is
+    // outside the timed region — it is identical for both layouts.
+    let warm = (rounds / 10).max(2);
+    let time = |f: &dyn Fn(&mut [Vec<f64>]), bufs: &mut [Vec<f64>]| -> f64 {
+        for _ in 0..warm {
+            for b in bufs.iter_mut() {
+                b.iter_mut().for_each(|x| *x = 0.0);
+            }
+            f(bufs);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            for b in bufs.iter_mut() {
+                b.iter_mut().for_each(|x| *x = 0.0);
+            }
+            let t0 = Instant::now();
+            f(bufs);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * rounds as f64
+    };
+    let aos_seconds = time(&aos, &mut bufs_aos);
+    let soa_seconds = time(&soa, &mut bufs_soa);
+
+    KernelSample {
+        name: name.to_string(),
+        items: nedges as u64,
+        rounds: rounds as u64,
+        aos_seconds,
+        soa_seconds,
+        flops_per_item,
+        f64s_per_item,
+    }
+}
+
+/// Run a SoA kernel body against a freshly-built [`ScatterAccess`] over
+/// `bufs` (one target per buffer).
+fn with_access(bufs: &mut [Vec<f64>], f: impl Fn(&ScatterAccess)) {
+    let mut refs: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+    let access = ScatterAccess::new(&mut refs);
+    f(&access);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| args[i + 1].parse().expect("--gate takes a ratio"));
+    let mut rounds: usize = std::env::var("EUL3D_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    if smoke {
+        rounds = rounds.min(20);
+    }
+    let out_path =
+        std::env::var("EUL3D_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+
+    let wl = workload(smoke);
+    let n = wl.mesh.nverts();
+    let ne = wl.mesh.nedges();
+    let lanes = SolverConfig::default().lanes;
+    let span = EdgeSpan::Range(0..ne);
+    let sink = FlopCounter::default();
+    println!(
+        "kernel benchmark: {} vertices, {} edges, lane width {}, {} rounds{}",
+        n,
+        ne,
+        lanes,
+        rounds,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Per-edge f64 traffic models (reads + 2× scatter slots), documented
+    // in eul3d_perf::kernels. AoS and SoA touch the same slot count —
+    // the layouts differ in locality, not volume.
+    let samples = vec![
+        sample(
+            "conv_flux",
+            ne,
+            rounds,
+            &[(n, NVAR)],
+            |b| {
+                conv_residual_edges(
+                    &wl.mesh.edges,
+                    &wl.mesh.edge_coef,
+                    &wl.w_aos,
+                    &wl.p,
+                    &mut b[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::conv_flux_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        &wl.mesh.edge_coef,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_CONV_EDGE,
+            35.0,
+        ),
+        sample(
+            "jst_pass1",
+            ne,
+            rounds,
+            &[(n, NVAR), (n, 2)],
+            |b| {
+                let (lapl, sens) = b.split_at_mut(1);
+                laplacian_pass(
+                    &wl.mesh.edges,
+                    &wl.w_aos,
+                    &wl.p,
+                    &mut lapl[0],
+                    &mut sens[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::jst_pass1_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_DISS_P1_EDGE,
+            40.0,
+        ),
+        sample(
+            "jst_pass2",
+            ne,
+            rounds,
+            &[(n, NVAR)],
+            |b| {
+                dissipation_pass(
+                    &wl.mesh.edges,
+                    &wl.mesh.edge_coef,
+                    &wl.w_aos,
+                    &wl.p,
+                    &wl.lapl_aos,
+                    &wl.nu,
+                    GAMMA,
+                    wl.k2,
+                    wl.k4,
+                    &mut b[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::jst_pass2_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        &wl.mesh.edge_coef,
+                        GAMMA,
+                        wl.k2,
+                        wl.k4,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        wl.lapl_soa.flat(),
+                        &wl.nu,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_DISS_P2_EDGE,
+            47.0,
+        ),
+        sample(
+            "first_order_diss",
+            ne,
+            rounds,
+            &[(n, NVAR)],
+            |b| {
+                dissipation_first_order(
+                    &wl.mesh.edges,
+                    &wl.mesh.edge_coef,
+                    &wl.w_aos,
+                    &wl.p,
+                    GAMMA,
+                    wl.coarse_k2,
+                    &mut b[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::first_order_diss_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        &wl.mesh.edge_coef,
+                        GAMMA,
+                        wl.coarse_k2,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_DISS_FO_EDGE,
+            35.0,
+        ),
+        sample(
+            "roe_diss",
+            ne,
+            rounds,
+            &[(n, NVAR)],
+            |b| {
+                roe_dissipation_edges(
+                    &wl.mesh.edges,
+                    &wl.mesh.edge_coef,
+                    &wl.w_aos,
+                    &wl.p,
+                    GAMMA,
+                    &mut b[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::roe_diss_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        &wl.mesh.edge_coef,
+                        GAMMA,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_DISS_ROE_EDGE,
+            35.0,
+        ),
+        sample(
+            "radii",
+            ne,
+            rounds,
+            &[(n, 1)],
+            |b| {
+                radii_edges(
+                    &wl.mesh.edges,
+                    &wl.mesh.edge_coef,
+                    &wl.w_aos,
+                    &wl.p,
+                    GAMMA,
+                    &mut b[0],
+                    &mut sink.clone(),
+                )
+            },
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::radii_edges_soa(
+                        &span,
+                        &wl.mesh.edges,
+                        &wl.mesh.edge_coef,
+                        GAMMA,
+                        wl.w_soa.flat(),
+                        &wl.p,
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_RADII_EDGE,
+            19.0,
+        ),
+        sample(
+            "smooth_accumulate",
+            ne,
+            rounds,
+            &[(n, NVAR)],
+            |b| smooth_accumulate(&wl.mesh.edges, &wl.w_aos, &mut b[0], &mut sink.clone()),
+            |b| {
+                with_access(b, |s| unsafe {
+                    eul3d_kernels::smooth_accumulate_edges(
+                        &span,
+                        &wl.mesh.edges,
+                        wl.w_soa.flat(),
+                        n,
+                        s,
+                        lanes,
+                    )
+                })
+            },
+            FLOPS_SMOOTH_EDGE,
+            30.0,
+        ),
+    ];
+
+    for s in &samples {
+        println!(
+            "{:<18} {:>9} edges  aos {:>9.3e} s  soa {:>9.3e} s  speedup {:>5.2}x  {:>7.3} GFLOP/s  {:>7.3} GB/s",
+            s.name,
+            s.items,
+            s.aos_seconds / s.rounds as f64,
+            s.soa_seconds / s.rounds as f64,
+            s.speedup(),
+            s.soa_gflops(),
+            s.soa_bandwidth_gbs(),
+        );
+    }
+    let agg = aggregate_speedup(&samples);
+    println!("aggregate speedup (time-weighted): {agg:.3}x");
+
+    let config = format!(
+        "{{\"nverts\": {n}, \"nedges\": {ne}, \"lanes\": {lanes}, \"rounds\": {rounds}, \"smoke\": {smoke}}}"
+    );
+    std::fs::write(&out_path, kernels_report_json(&config, &samples))
+        .expect("write BENCH_kernels.json");
+    println!("wrote {out_path}");
+
+    if let Some(g) = gate {
+        assert!(
+            agg >= g,
+            "aggregate SoA speedup {agg:.3}x is below the required {g}x gate"
+        );
+        println!("gate {g}x passed");
+    }
+}

@@ -343,7 +343,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
             h.orders_reduced()
         );
         if let Some(path) = checkpoint {
-            Checkpoint::new(mg.state(), cycles as u64, cfg.mach, cfg.alpha_deg)
+            Checkpoint::from_state(mg.state(), cycles as u64, cfg.mach, cfg.alpha_deg)
                 .save(PathBuf::from(&path).as_path())
                 .map_err(|e| format!("checkpoint: {e}"))?;
             println!("checkpointed to {path}");
@@ -394,7 +394,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         if let Some(path) = &restart {
             let ck = Checkpoint::load(PathBuf::from(path).as_path())
                 .map_err(|e| format!("restart: {e}"))?;
-            ck.restore_into(&mut s.st.w)
+            ck.restore_into_state(&mut s.st.w)
                 .map_err(|e| format!("restart: {e}"))?;
             println!("restarted from {path} ({} cycles done)", ck.cycles_done);
         }
@@ -406,7 +406,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         if let Some(path) = &restart {
             let ck = Checkpoint::load(PathBuf::from(path).as_path())
                 .map_err(|e| format!("restart: {e}"))?;
-            ck.restore_into(&mut mg.levels[0].w)
+            ck.restore_into_state(&mut mg.levels[0].w)
                 .map_err(|e| format!("restart: {e}"))?;
             println!("restarted from {path} ({} cycles done)", ck.cycles_done);
         } else if fmg {
@@ -451,7 +451,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = checkpoint {
-        Checkpoint::new(&w, cycles as u64, cfg.mach, cfg.alpha_deg)
+        Checkpoint::from_state(&w, cycles as u64, cfg.mach, cfg.alpha_deg)
             .save(PathBuf::from(&path).as_path())
             .map_err(|e| format!("checkpoint: {e}"))?;
         println!("checkpointed to {path}");

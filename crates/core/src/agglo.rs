@@ -30,7 +30,8 @@ use crate::executor::{count_vertex_loop, Phase, SerialExecutor};
 use crate::gas::NVAR;
 use crate::level::{eval_total_residual, time_step, LevelState, SolverGrid};
 use crate::multigrid::Strategy;
-use crate::smooth::smooth_residual_serial;
+use crate::smooth::smooth_residual_serial_soa;
+use crate::soa::SoaState;
 
 /// One agglomerated coarse level.
 #[derive(Debug, Clone)]
@@ -223,7 +224,7 @@ impl AggloMultigrid {
             .collect()
     }
 
-    pub fn state(&self) -> &[f64] {
+    pub fn state(&self) -> &SoaState {
         &self.states[0].w
     }
 
@@ -300,7 +301,7 @@ impl AggloMultigrid {
         let coarse = &mut coarse_states[0];
 
         // State: volume-weighted average over members.
-        coarse.w.iter_mut().for_each(|x| *x = 0.0);
+        coarse.w.fill(0.0);
         let fine_vol: &[f64] = if l == 0 {
             &self.mesh.vol
         } else {
@@ -309,15 +310,16 @@ impl AggloMultigrid {
         for (v, &c) in agg.assign.iter().enumerate() {
             let wgt = fine_vol[v];
             for k in 0..NVAR {
-                coarse.w[c as usize * NVAR + k] += wgt * fine.w[v * NVAR + k];
+                coarse.w.add(c as usize, k, wgt * fine.w.get(v, k));
             }
         }
         for (c, &cv) in agg.vol.iter().enumerate() {
             for k in 0..NVAR {
-                coarse.w[c * NVAR + k] /= cv;
+                let x = coarse.w.get(c, k);
+                coarse.w.set(c, k, x / cv);
             }
         }
-        coarse.w_ref.copy_from_slice(&coarse.w);
+        coarse.w_ref.copy_from(&coarse.w);
         count_vertex_loop(
             &mut self.counter,
             Phase::Transfer,
@@ -326,15 +328,15 @@ impl AggloMultigrid {
         );
 
         // Residuals: conservative member sum.
-        coarse.corr.iter_mut().for_each(|x| *x = 0.0);
+        coarse.corr.fill(0.0);
         for (v, &c) in agg.assign.iter().enumerate() {
             for k in 0..NVAR {
-                coarse.corr[c as usize * NVAR + k] += fine.res[v * NVAR + k];
+                coarse.corr.add(c as usize, k, fine.res.get(v, k));
             }
         }
 
         // Forcing P = R' − R(w').
-        coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
+        coarse.forcing.fill(0.0);
         eval_total_residual(
             agg,
             coarse,
@@ -343,8 +345,14 @@ impl AggloMultigrid {
             &mut SerialExecutor,
             &mut self.counter,
         );
-        for i in 0..coarse.n * NVAR {
-            coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
+        for ((f, &c), &r) in coarse
+            .forcing
+            .flat_mut()
+            .iter_mut()
+            .zip(coarse.corr.flat())
+            .zip(coarse.res.flat())
+        {
+            *f = c - r;
         }
     }
 
@@ -353,13 +361,19 @@ impl AggloMultigrid {
         let (fine_states, coarse_states) = self.states.split_at_mut(l + 1);
         let fine = &mut fine_states[l];
         let coarse = &mut coarse_states[0];
-        for i in 0..coarse.n * NVAR {
-            coarse.corr[i] = coarse.w[i] - coarse.w_ref[i];
+        for ((d, &a), &b) in coarse
+            .corr
+            .flat_mut()
+            .iter_mut()
+            .zip(coarse.w.flat())
+            .zip(coarse.w_ref.flat())
+        {
+            *d = a - b;
         }
         // Piecewise-constant injection...
         for (v, &c) in agg.assign.iter().enumerate() {
             for k in 0..NVAR {
-                fine.corr[v * NVAR + k] = coarse.corr[c as usize * NVAR + k];
+                fine.corr.set(v, k, coarse.corr.get(c as usize, k));
             }
         }
         // ...then smooth the correction on the receiving level.
@@ -369,22 +383,19 @@ impl AggloMultigrid {
             } else {
                 &self.coarse[l - 1].edges
             };
-            // Borrow split: take the correction out of the state.
-            let mut corr = std::mem::take(&mut fine.corr);
-            smooth_residual_serial(
+            smooth_residual_serial_soa(
                 fine_edges,
                 fine.n,
                 &fine.deg,
                 0.5,
                 self.correction_smoothing,
-                &mut corr,
+                &mut fine.corr,
                 &mut fine.acc,
                 self.counter.phase(Phase::Transfer),
             );
-            fine.corr = corr;
         }
-        for i in 0..fine.n * NVAR {
-            fine.w[i] += fine.corr[i];
+        for (w, &c) in fine.w.flat_mut().iter_mut().zip(fine.corr.flat()) {
+            *w += c;
         }
         count_vertex_loop(
             &mut self.counter,
@@ -452,7 +463,7 @@ mod tests {
         let before = st.w.clone();
         let mut counter = PhaseCounters::default();
         time_step(&a, &mut st, &cfg, true, &mut SerialExecutor, &mut counter);
-        for (x, y) in st.w.iter().zip(&before) {
+        for (x, y) in st.w.flat().iter().zip(before.flat()) {
             assert!(
                 (x - y).abs() < 1e-11,
                 "freestream drift on agglomerated level"

@@ -4,7 +4,10 @@
 use eul3d_mesh::{BcKind, BoundaryFace, Vec3};
 
 use crate::counters::{FlopCounter, FLOPS_FARFIELD_FACE, FLOPS_WALL_FACE};
-use crate::gas::{flux_dot, get5, sound_speed, Freestream, NVAR};
+#[allow(deprecated)]
+use crate::gas::get5;
+use crate::gas::{flux_dot, sound_speed, Freestream, NVAR};
+use crate::soa::SoaState;
 
 /// Characteristic far-field state for an interior state `wi` against the
 /// freestream, through the outward unit normal `n` (1-D Riemann-invariant
@@ -55,12 +58,76 @@ pub fn farfield_state(gamma: f64, wi: &[f64; 5], pi: f64, fs: &Freestream, n: Ve
     ]
 }
 
-/// Accumulate boundary-face fluxes into the convective residual `q`.
+/// Accumulate boundary-face fluxes into the plane-major convective
+/// residual `q`.
 ///
 /// Slip walls and symmetry planes contribute pure pressure flux using
 /// each vertex's own pressure through its third of the face normal;
 /// far-field faces solve the characteristic state from the face-averaged
 /// interior state and push the resulting flux through `S/3` per vertex.
+/// Faces are processed in array order, so per-vertex accumulation order
+/// — and therefore every bit of the result — matches the deprecated AoS
+/// loop.
+pub fn boundary_residual_soa(
+    bfaces: &[BoundaryFace],
+    w: &SoaState,
+    p: &[f64],
+    fs: &Freestream,
+    gamma: f64,
+    q: &mut SoaState,
+    counter: &mut FlopCounter,
+) {
+    let mut nwall = 0usize;
+    let mut nfar = 0usize;
+    for face in bfaces {
+        match face.kind {
+            BcKind::Wall | BcKind::Symmetry => {
+                nwall += 1;
+                let third = face.normal / 3.0;
+                for &v in &face.v {
+                    let v = v as usize;
+                    q.add(v, 1, p[v] * third.x);
+                    q.add(v, 2, p[v] * third.y);
+                    q.add(v, 3, p[v] * third.z);
+                }
+            }
+            BcKind::FarField => {
+                nfar += 1;
+                // Face-averaged interior state.
+                let mut wf = [0.0; NVAR];
+                for &v in &face.v {
+                    let wv = w.get5(v as usize);
+                    for c in 0..NVAR {
+                        wf[c] += wv[c] / 3.0;
+                    }
+                }
+                let pf = crate::gas::pressure(gamma, &wf);
+                let n_unit = match face.normal.normalized() {
+                    Some(n) => n,
+                    None => continue, // degenerate sliver face: no area, no flux
+                };
+                let wb = farfield_state(gamma, &wf, pf, fs, n_unit);
+                let pb = crate::gas::pressure(gamma, &wb);
+                let f = flux_dot(&wb, pb, face.normal / 3.0);
+                for &v in &face.v {
+                    for (c, &fc) in f.iter().enumerate() {
+                        q.add(v as usize, c, fc);
+                    }
+                }
+            }
+        }
+    }
+    if nwall > 0 {
+        counter.add(nwall, FLOPS_WALL_FACE);
+    }
+    if nfar > 0 {
+        counter.add(nfar, FLOPS_FARFIELD_FACE);
+    }
+}
+
+/// Interleaved-AoS twin of [`boundary_residual_soa`].
+#[deprecated(note = "use boundary_residual_soa on plane-major state")]
+#[allow(deprecated)]
 pub fn boundary_residual(
     bfaces: &[BoundaryFace],
     w: &[f64],
@@ -119,6 +186,7 @@ pub fn boundary_residual(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::flux::{compute_pressures, conv_residual_edges};

@@ -100,6 +100,25 @@ impl Checkpoint {
         }
     }
 
+    /// Snapshot a plane-major solver state. The on-disk layout stays the
+    /// historical interleaved one, so files written before the SoA
+    /// migration restore bit-for-bit and vice versa.
+    pub fn from_state(
+        w: &crate::soa::SoaState,
+        cycles_done: u64,
+        mach: f64,
+        alpha_deg: f64,
+    ) -> Checkpoint {
+        assert_eq!(w.nc(), NVAR);
+        Checkpoint {
+            nverts: w.n(),
+            cycles_done,
+            mach,
+            alpha_deg,
+            w: w.to_aos(),
+        }
+    }
+
     /// Serialize to any writer (little-endian, fixed layout).
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
         out.write_all(MAGIC)?;
@@ -178,6 +197,22 @@ impl Checkpoint {
         w.copy_from_slice(&self.w);
         Ok(())
     }
+
+    /// Install the state into a plane-major solver field, converting from
+    /// the interleaved file layout. Same typed size check as
+    /// [`Checkpoint::restore_into`].
+    pub fn restore_into_state(&self, w: &mut crate::soa::SoaState) -> Result<(), CheckpointError> {
+        if w.n() * w.nc() != self.w.len() || w.nc() != NVAR {
+            return Err(CheckpointError::SizeMismatch {
+                checkpoint: self.w.len(),
+                target: w.n() * w.nc(),
+            });
+        }
+        for i in 0..w.n() {
+            w.set_row(i, &self.w[i * NVAR..(i + 1) * NVAR]);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -214,25 +249,29 @@ mod tests {
         let mut a = SingleGridSolver::new(mesh.clone(), cfg);
         // Perturb so there is an actual transient to track.
         for i in 0..a.st.n {
-            a.st.w[i * NVAR] *= 1.0 + 0.01 * ((i % 5) as f64 - 2.0);
+            a.st.w.set(
+                i,
+                0,
+                a.st.w.get(i, 0) * (1.0 + 0.01 * ((i % 5) as f64 - 2.0)),
+            );
         }
         let w_init = a.st.w.clone();
         a.solve(10);
 
         // Checkpointed: 5 cycles, save, restore into a fresh solver, 5 more.
         let mut b = SingleGridSolver::new(mesh.clone(), cfg);
-        b.st.w.copy_from_slice(&w_init);
+        b.st.w.copy_from(&w_init);
         b.solve(5);
-        let ck = Checkpoint::new(&b.st.w, 5, cfg.mach, cfg.alpha_deg);
+        let ck = Checkpoint::from_state(&b.st.w, 5, cfg.mach, cfg.alpha_deg);
         let mut buf = Vec::new();
         ck.write_to(&mut buf).unwrap();
 
         let restored = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
         let mut c = SingleGridSolver::new(mesh, cfg);
-        restored.restore_into(&mut c.st.w).unwrap();
+        restored.restore_into_state(&mut c.st.w).unwrap();
         c.solve(5);
 
-        for (x, y) in a.state().iter().zip(c.state()) {
+        for (x, y) in a.state().flat().iter().zip(c.state().flat()) {
             assert_eq!(x, y, "restart must be bit-exact");
         }
     }
@@ -243,18 +282,18 @@ mod tests {
         // mesh: the round-tripped checkpoint must refuse to restore.
         let cfg = SolverConfig::default();
         let small = SingleGridSolver::new(unit_box(3, 0.15, 3), cfg);
-        let ck = Checkpoint::new(&small.st.w, 3, cfg.mach, cfg.alpha_deg);
+        let ck = Checkpoint::from_state(&small.st.w, 3, cfg.mach, cfg.alpha_deg);
         let mut buf = Vec::new();
         ck.write_to(&mut buf).unwrap();
         let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
 
         let mut big = SingleGridSolver::new(unit_box(5, 0.15, 3), cfg);
         let before = big.st.w.clone();
-        let err = back.restore_into(&mut big.st.w).unwrap_err();
+        let err = back.restore_into_state(&mut big.st.w).unwrap_err();
         match err {
             CheckpointError::SizeMismatch { checkpoint, target } => {
-                assert_eq!(checkpoint, small.st.w.len());
-                assert_eq!(target, big.st.w.len());
+                assert_eq!(checkpoint, small.st.w.flat().len());
+                assert_eq!(target, big.st.w.flat().len());
             }
             other => panic!("expected SizeMismatch, got {other:?}"),
         }

@@ -8,13 +8,17 @@
 use eul3d_mesh::Vec3;
 
 use crate::counters::{FlopCounter, FLOPS_DISS_FO_EDGE, FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE};
-use crate::gas::{get5, spectral_radius, NVAR};
+#[allow(deprecated)]
+use crate::gas::get5;
+use crate::gas::{spectral_radius, NVAR};
 
 /// Pass 1: undivided Laplacian of the conserved variables and the
 /// pressure-sensor numerator/denominator, accumulated over edges.
 ///
 /// `lapl` (n×5), `sens` (n×2 = [Σ(p_j−p_i), Σ(p_j+p_i)]) must be zeroed
 /// by the caller (the distributed path zeroes ghosts separately).
+#[deprecated(note = "use eul3d_kernels::jst_pass1_edges on plane-major state")]
+#[allow(deprecated)]
 pub fn laplacian_pass(
     edges: &[[u32; 2]],
     w: &[f64],
@@ -42,6 +46,7 @@ pub fn laplacian_pass(
 
 /// Shock sensor `ν_i = |Σ(p_j − p_i)| / Σ(p_j + p_i)` from the pass-1
 /// accumulators, for `n` vertices.
+#[deprecated(note = "use eul3d_kernels::sensor_verts on plane-major accumulators")]
 pub fn sensor_from_accumulators(sens: &[f64], nu: &mut [f64]) {
     for (i, nu_i) in nu.iter_mut().enumerate() {
         let num = sens[i * 2].abs();
@@ -53,6 +58,8 @@ pub fn sensor_from_accumulators(sens: &[f64], nu: &mut [f64]) {
 /// Pass 2: assemble the switched Laplacian/biharmonic dissipation,
 /// accumulating `d_ij = λ_ij [ ε₂ (w_j − w_i) − ε₄ (L_j − L_i) ]` into
 /// `diss` (+ at `a`, − at `b`). `diss` must be zeroed by the caller.
+#[deprecated(note = "use eul3d_kernels::jst_pass2_edges on plane-major state")]
+#[allow(deprecated)]
 #[allow(clippy::too_many_arguments)]
 pub fn dissipation_pass(
     edges: &[[u32; 2]],
@@ -91,6 +98,8 @@ pub fn dissipation_pass(
 /// constant-coefficient scalar Laplacian `d_ij = k λ_ij (w_j − w_i)`.
 /// Cheap and very robust — the usual choice on coarse grids, whose only
 /// job is to smooth.
+#[deprecated(note = "use eul3d_kernels::first_order_diss_edges on plane-major state")]
+#[allow(deprecated)]
 #[allow(clippy::too_many_arguments)]
 pub fn dissipation_first_order(
     edges: &[[u32; 2]],
@@ -120,6 +129,7 @@ pub fn dissipation_first_order(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::gas::{Freestream, GAMMA};

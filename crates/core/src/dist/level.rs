@@ -7,11 +7,14 @@ use eul3d_obs as obs;
 use eul3d_parti::{localize, Schedule, Translation};
 use eul3d_partition::{PartitionedMesh, RankMesh};
 
+use std::ops::Range;
+
 use crate::config::SolverConfig;
 use crate::counters::PhaseCounters;
-use crate::executor::{Executor, HaloOp, Phase, ScatterAccess};
+use crate::executor::{EdgeSpan, Executor, HaloOp, Phase, ScatterAccess};
 use crate::gas::NVAR;
 use crate::level::LevelState;
+use crate::soa::SoaState;
 
 /// Execution options for the distributed path.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,30 +74,29 @@ impl Executor for DistExecutor<'_> {
         self.n_owned
     }
 
-    fn refetch(&mut self, w: &mut [f64], counters: &mut PhaseCounters) {
+    fn refetch(&mut self, w: &mut SoaState, counters: &mut PhaseCounters) {
         if self.refetch_per_loop {
             let halo = self.halo;
-            self.charged(Phase::Exchange, counters, |rank| halo.gather(rank, w, NVAR));
+            self.charged(Phase::Exchange, counters, |rank| {
+                halo.gather_planes(rank, w.flat_mut(), NVAR)
+            });
         }
     }
 
-    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    fn for_edge_spans<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &ScatterAccess) + Sync,
+        F: Fn(&EdgeSpan<'_>, &ScatterAccess) + Sync,
     {
         let access = ScatterAccess::new(targets);
-        for e in 0..nedges {
-            f(e, &access);
-        }
+        f(&EdgeSpan::Range(0..nedges), &access);
     }
 
-    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    fn for_vertex_spans<F>(&mut self, nverts: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &mut [f64]) + Sync,
+        F: Fn(Range<usize>, &ScatterAccess) + Sync,
     {
-        for (i, row) in data.chunks_mut(stride).enumerate() {
-            f(i, row);
-        }
+        let access = ScatterAccess::new(targets);
+        f(0..nverts, &access);
     }
 
     fn exchange_halo(
@@ -107,8 +109,8 @@ impl Executor for DistExecutor<'_> {
     ) {
         let halo = self.halo;
         self.charged(phase, counters, |rank| match op {
-            HaloOp::Gather => halo.gather(rank, data, stride),
-            HaloOp::ScatterAdd => halo.scatter_add(rank, data, stride),
+            HaloOp::Gather => halo.gather_planes(rank, data, stride),
+            HaloOp::ScatterAdd => halo.scatter_add_planes(rank, data, stride),
         });
     }
 
@@ -174,7 +176,7 @@ impl DistLevel {
 
     /// Gather ghost copies of the flow variables.
     pub fn fetch_w(&mut self, rank: &mut Rank) {
-        self.halo.gather(rank, &mut self.st.w, NVAR);
+        self.halo.gather_planes(rank, self.st.w.flat_mut(), NVAR);
     }
 
     /// One distributed five-stage time step — the *same* stage loop as

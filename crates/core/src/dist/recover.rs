@@ -363,6 +363,16 @@ fn buddy(rank: &Rank, d: usize) -> usize {
     b
 }
 
+/// Owned prefix of a plane-major field as interleaved rows — the global
+/// reassembly layout of [`RankOutput::w_owned`].
+fn owned_rows_aos(w: &crate::soa::SoaState, n_owned: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n_owned * NVAR);
+    for k in 0..n_owned {
+        out.extend_from_slice(&w.get5(k));
+    }
+    out
+}
+
 /// Copy this rank's owned fine-grid entries out of a global snapshot.
 /// Ghost slots stay stale; every stage re-gathers them before use.
 fn restore_from(s: &mut DistSolver, w_global: &[f64]) {
@@ -370,7 +380,7 @@ fn restore_from(s: &mut DistSolver, w_global: &[f64]) {
     let n = fine.n_owned();
     for k in 0..n {
         let g = fine.rm.owned_globals[k] as usize * NVAR;
-        fine.st.w[k * NVAR..(k + 1) * NVAR].copy_from_slice(&w_global[g..g + NVAR]);
+        fine.st.w.set_row(k, &w_global[g..g + NVAR]);
     }
 }
 
@@ -409,11 +419,10 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
         gl.gs.encode_into(&mut slot.guard);
     }
     let fine = &s.levels[0];
-    let own = &fine.st.w[..fine.n_owned() * NVAR];
     if rank.id == 0 {
         for (k, &g) in fine.rm.owned_globals.iter().enumerate() {
             let dst = g as usize * NVAR;
-            slot.w[dst..dst + NVAR].copy_from_slice(&own[k * NVAR..(k + 1) * NVAR]);
+            slot.w[dst..dst + NVAR].copy_from_slice(&fine.st.w.get5(k));
         }
         for src in 1..ctx.setup.nranks {
             let part = rank.recv_f64(src, s.ck_tag);
@@ -429,8 +438,11 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
             rank.send_packed_f64(dst, s.ck_tag + 1, buf, CommClass::Recovery);
         }
     } else {
-        let mut buf = rank.take_pack_f64(0, s.ck_tag, own.len());
-        buf.extend_from_slice(own);
+        let n_owned = fine.n_owned();
+        let mut buf = rank.take_pack_f64(0, s.ck_tag, n_owned * NVAR);
+        for k in 0..n_owned {
+            buf.extend_from_slice(&fine.st.w.get5(k));
+        }
         rank.send_packed_f64(0, s.ck_tag, buf, CommClass::Recovery);
         let got = rank.recv_f64(0, s.ck_tag + 1);
         slot.w.copy_from_slice(&got);
@@ -937,7 +949,7 @@ fn virtual_loop<'scope, 'env>(
     RankOutput {
         history: st.history,
         cycle_allocs: st.cycle_allocs,
-        w_owned: fine.st.w[..fine.n_owned() * NVAR].to_vec(),
+        w_owned: owned_rows_aos(&fine.st.w, fine.n_owned()),
         owned_globals: fine.rm.owned_globals.clone(),
         setup_counters: st.setup_counters.unwrap_or_default(),
         phases,

@@ -342,20 +342,23 @@ impl DistSolver {
         let xfer = self.counter.phase(Phase::Transfer);
 
         // State down (owned coarse entries set directly).
-        link.restrict_state(rank, &fine.st.w, &mut coarse.st.w, NVAR, xfer);
-        coarse.st.w_ref[..nc_owned * NVAR].copy_from_slice(&coarse.st.w[..nc_owned * NVAR]);
+        link.restrict_state_planes(rank, fine.st.w.flat(), coarse.st.w.flat_mut(), NVAR, xfer);
+        coarse.st.w_ref.copy_owned_from(&coarse.st.w, nc_owned);
 
         // Residuals down, conservatively, into coarse.st.corr (owned).
-        coarse.st.corr[..nc_owned * NVAR]
-            .iter_mut()
-            .for_each(|x| *x = 0.0);
-        // restrict_residual reads owned fine residuals only.
-        {
-            let fine_res = &fine.st.res;
-            let mut tmp = std::mem::take(&mut coarse.st.corr);
-            link.restrict_residual(rank, fine_res, &mut tmp, NVAR, xfer);
-            coarse.st.corr = tmp;
+        for c in 0..NVAR {
+            coarse.st.corr.plane_mut(c)[..nc_owned]
+                .iter_mut()
+                .for_each(|x| *x = 0.0);
         }
+        // restrict_residual reads owned fine residuals only.
+        link.restrict_residual_planes(
+            rank,
+            fine.st.res.flat(),
+            coarse.st.corr.flat_mut(),
+            NVAR,
+            xfer,
+        );
         let (m1, b1, a1) = (
             rank.counters.total_messages(),
             rank.counters.total_bytes(),
@@ -365,10 +368,16 @@ impl DistSolver {
             .add_comm(Phase::Transfer, m1 - m0, b1 - b0, a1 - a0);
 
         // Forcing P = R' − R(w').
-        coarse.st.forcing.iter_mut().for_each(|x| *x = 0.0);
+        coarse.st.forcing.fill(0.0);
         coarse.eval_total_residual(rank, &cfg, true, &opts, &mut self.counter);
-        for i in 0..nc_owned * NVAR {
-            coarse.st.forcing[i] = coarse.st.corr[i] - coarse.st.res[i];
+        for c in 0..NVAR {
+            for ((f, &cr), &r) in coarse.st.forcing.plane_mut(c)[..nc_owned]
+                .iter_mut()
+                .zip(&coarse.st.corr.plane(c)[..nc_owned])
+                .zip(&coarse.st.res.plane(c)[..nc_owned])
+            {
+                *f = cr - r;
+            }
         }
     }
 
@@ -378,8 +387,14 @@ impl DistSolver {
         let coarse = &mut coarse[0];
         let link = &self.links[l];
         let nc_owned = coarse.n_owned();
-        for i in 0..nc_owned * NVAR {
-            coarse.st.corr[i] = coarse.st.w[i] - coarse.st.w_ref[i];
+        for c in 0..NVAR {
+            for ((d, &a), &b) in coarse.st.corr.plane_mut(c)[..nc_owned]
+                .iter_mut()
+                .zip(&coarse.st.w.plane(c)[..nc_owned])
+                .zip(&coarse.st.w_ref.plane(c)[..nc_owned])
+            {
+                *d = a - b;
+            }
         }
         let (m0, b0, a0) = (
             rank.counters.total_messages(),
@@ -387,7 +402,13 @@ impl DistSolver {
             rank.counters.comm_allocs,
         );
         let xfer = self.counter.phase(Phase::Transfer);
-        link.prolong(rank, &coarse.st.corr, &mut fine.st.corr, NVAR, xfer);
+        link.prolong_planes(
+            rank,
+            coarse.st.corr.flat(),
+            fine.st.corr.flat_mut(),
+            NVAR,
+            xfer,
+        );
         let (m1, b1, a1) = (
             rank.counters.total_messages(),
             rank.counters.total_bytes(),
@@ -396,8 +417,13 @@ impl DistSolver {
         self.counter
             .add_comm(Phase::Transfer, m1 - m0, b1 - b0, a1 - a0);
         let nf_owned = fine.n_owned();
-        for i in 0..nf_owned * NVAR {
-            fine.st.w[i] += fine.st.corr[i];
+        for c in 0..NVAR {
+            for (w, &d) in fine.st.w.plane_mut(c)[..nf_owned]
+                .iter_mut()
+                .zip(&fine.st.corr.plane(c)[..nf_owned])
+            {
+                *w += d;
+            }
         }
     }
 }

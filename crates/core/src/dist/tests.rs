@@ -62,7 +62,7 @@ fn distributed_single_grid_matches_serial() {
         );
     }
     let wd = result.global_state(setup.seq.meshes[0].nverts());
-    compare_states(serial.state(), &wd, 1e-9, "single grid state");
+    compare_states(&serial.state().to_aos(), &wd, 1e-9, "single grid state");
 }
 
 #[test]
@@ -87,7 +87,7 @@ fn distributed_multigrid_matches_serial() {
             );
         }
         let wd = result.global_state(nverts);
-        compare_states(serial.state(), &wd, 1e-8, strategy.label());
+        compare_states(&serial.state().to_aos(), &wd, 1e-8, strategy.label());
     }
 }
 
@@ -209,7 +209,7 @@ fn roe_scheme_distributed_matches_serial_and_cuts_messages() {
             );
         }
         let wd = r.global_state(setup.seq.meshes[0].nverts());
-        compare_states(serial.state(), &wd, 1e-9, "roe dist");
+        compare_states(&serial.state().to_aos(), &wd, 1e-9, "roe dist");
         let msgs: u64 = r
             .cycle_counters()
             .iter()

@@ -231,4 +231,114 @@ impl TransferLink {
         rank.recycle_f64(buf);
         counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
     }
+
+    /// Plane-major twin of [`TransferLink::restrict_state`]: `fine` and
+    /// `coarse_out` hold `nc` contiguous planes. The staging buffer and
+    /// every message keep the historical vertex-major layout, so bytes on
+    /// the wire are unchanged.
+    pub fn restrict_state_planes(
+        &self,
+        rank: &mut Rank,
+        fine: &[f64],
+        coarse_out: &mut [f64],
+        nc: usize,
+        counter: &mut FlopCounter,
+    ) {
+        debug_assert!(fine.len().is_multiple_of(nc) && coarse_out.len().is_multiple_of(nc));
+        let fplane = fine.len() / nc;
+        let cplane = coarse_out.len() / nc;
+        let mut buf = rank.take_f64(self.fine_buf_len * nc);
+        buf.resize(self.fine_buf_len * nc, 0.0);
+        for &(b, l) in &self.fine_local {
+            let (b, l) = (b as usize * nc, l as usize);
+            for c in 0..nc {
+                buf[b + c] = fine[c * fplane + l];
+            }
+        }
+        self.fine_sched.gather_planes_into(rank, fine, &mut buf, nc);
+        for &(cv, idxs, w) in &self.state_terms {
+            for c in 0..nc {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += w[k] * buf[idxs[k] as usize * nc + c];
+                }
+                coarse_out[c * cplane + cv as usize] = acc;
+            }
+        }
+        rank.recycle_f64(buf);
+        counter.add(self.state_terms.len(), FLOPS_TRANSFER_VERT);
+    }
+
+    /// Plane-major twin of [`TransferLink::restrict_residual`]; per-slot
+    /// accumulation order (terms, then local pairs, then remote flush)
+    /// is unchanged.
+    pub fn restrict_residual_planes(
+        &self,
+        rank: &mut Rank,
+        fine: &[f64],
+        coarse_out: &mut [f64],
+        nc: usize,
+        counter: &mut FlopCounter,
+    ) {
+        debug_assert!(fine.len().is_multiple_of(nc) && coarse_out.len().is_multiple_of(nc));
+        let fplane = fine.len() / nc;
+        let cplane = coarse_out.len() / nc;
+        let mut buf = rank.take_f64(self.coarse_buf_len * nc);
+        buf.resize(self.coarse_buf_len * nc, 0.0);
+        for &(fv, idxs, w) in &self.resid_terms {
+            let fv = fv as usize;
+            for k in 0..4 {
+                let bb = idxs[k] as usize * nc;
+                for c in 0..nc {
+                    buf[bb + c] += w[k] * fine[c * fplane + fv];
+                }
+            }
+        }
+        for &(b, l) in &self.coarse_local {
+            let (b, l) = (b as usize * nc, l as usize);
+            for c in 0..nc {
+                coarse_out[c * cplane + l] += buf[b + c];
+            }
+        }
+        self.coarse_sched
+            .scatter_add_planes_into(rank, &mut buf, coarse_out, nc);
+        rank.recycle_f64(buf);
+        counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
+    }
+
+    /// Plane-major twin of [`TransferLink::prolong`].
+    pub fn prolong_planes(
+        &self,
+        rank: &mut Rank,
+        coarse: &[f64],
+        fine_out: &mut [f64],
+        nc: usize,
+        counter: &mut FlopCounter,
+    ) {
+        debug_assert!(coarse.len().is_multiple_of(nc) && fine_out.len().is_multiple_of(nc));
+        let cplane = coarse.len() / nc;
+        let fplane = fine_out.len() / nc;
+        let mut buf = rank.take_f64(self.coarse_buf_len * nc);
+        buf.resize(self.coarse_buf_len * nc, 0.0);
+        for &(b, l) in &self.coarse_local {
+            let (b, l) = (b as usize * nc, l as usize);
+            for c in 0..nc {
+                buf[b + c] = coarse[c * cplane + l];
+            }
+        }
+        self.coarse_sched
+            .gather_planes_into(rank, coarse, &mut buf, nc);
+        for &(fv, idxs, w) in &self.resid_terms {
+            let fv = fv as usize;
+            for c in 0..nc {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += w[k] * buf[idxs[k] as usize * nc + c];
+                }
+                fine_out[c * fplane + fv] = acc;
+            }
+        }
+        rank.recycle_f64(buf);
+        counter.add(self.resid_terms.len(), FLOPS_TRANSFER_VERT);
+    }
 }

@@ -8,12 +8,18 @@
 //! generic over an [`Executor`] that provides the four capabilities the
 //! kernels actually need:
 //!
-//! * [`Executor::for_edges_scatter`] — a conflict-managed edge loop with
-//!   scatter-add accumulation into per-vertex arrays;
-//! * [`Executor::for_vertices`] — a strided per-vertex map;
+//! * [`Executor::for_edge_spans`] — a conflict-managed edge loop handing
+//!   each kernel invocation an [`EdgeSpan`] (a contiguous range, or one
+//!   colour-group slice) plus scatter-add access to per-vertex planes;
+//! * [`Executor::for_vertex_spans`] — an owned-index-range vertex map
+//!   over plane-major targets;
 //! * [`Executor::exchange_halo`] — ghost coherence (a no-op in a single
 //!   address space, a PARTI gather/scatter-add on the distributed path);
 //! * [`Executor::reduce_sum`] — a global reduction for monitoring.
+//!
+//! The pre-SoA per-edge entry points ([`Executor::for_edges_scatter`],
+//! [`Executor::for_vertices`]) survive as thin deprecated shims routed
+//! through the span methods.
 //!
 //! Backends:
 //! * [`SerialExecutor`] — plain loops (the sequential reference);
@@ -22,11 +28,14 @@
 //! * [`crate::dist::DistExecutor`] — §4 PARTI schedules over the
 //!   simulated Delta, one instance per rank.
 
-use std::marker::PhantomData;
+use std::ops::Range;
 
 use eul3d_obs as obs;
 
+pub use eul3d_kernels::{EdgeSpan, ScatterAccess, MAX_SCATTER_TARGETS};
+
 use crate::counters::{FlopCounter, PhaseCounters};
+use crate::soa::SoaState;
 
 /// Solver phases, the rows of the uniform per-phase comp/comm breakdown
 /// every backend reports through [`PhaseCounters`].
@@ -138,60 +147,6 @@ pub enum HaloOp {
     ScatterAdd,
 }
 
-/// Maximum number of target arrays one edge loop may scatter into
-/// (the JST Laplacian pass writes two: `lapl` and `sens`).
-pub const MAX_SCATTER_TARGETS: usize = 2;
-
-/// A raw shared view of the scatter-target arrays of one edge loop.
-///
-/// # Safety contract
-/// [`ScatterAccess::add`] performs an unsynchronized read-modify-write.
-/// It is sound because every backend arranges that no two concurrently
-/// executing edge kernels touch the same vertex: the serial and
-/// distributed backends run one edge at a time, and the shared-memory
-/// backend only runs edges of one *colour group* concurrently (a
-/// validated colouring guarantees disjoint endpoints within a group, and
-/// groups are separated by joins). Indices must be in bounds.
-pub struct ScatterAccess<'a> {
-    ptrs: [(*mut f64, usize); MAX_SCATTER_TARGETS],
-    ntargets: usize,
-    _marker: PhantomData<&'a mut [f64]>,
-}
-
-unsafe impl Sync for ScatterAccess<'_> {}
-
-impl<'a> ScatterAccess<'a> {
-    /// Wrap the target arrays of one edge loop.
-    pub fn new(targets: &mut [&'a mut [f64]]) -> ScatterAccess<'a> {
-        assert!(
-            targets.len() <= MAX_SCATTER_TARGETS,
-            "too many scatter targets"
-        );
-        let mut ptrs = [(std::ptr::null_mut(), 0); MAX_SCATTER_TARGETS];
-        for (slot, t) in ptrs.iter_mut().zip(targets.iter_mut()) {
-            *slot = (t.as_mut_ptr(), t.len());
-        }
-        ScatterAccess {
-            ptrs,
-            ntargets: targets.len(),
-            _marker: PhantomData,
-        }
-    }
-
-    /// Add `v` at flat index `i` of target `t`.
-    ///
-    /// # Safety
-    /// Caller must uphold the conflict contract documented on
-    /// [`ScatterAccess`]: within one parallel region no other edge kernel
-    /// writes index `i` of target `t`.
-    #[inline(always)]
-    pub unsafe fn add(&self, t: usize, i: usize, v: f64) {
-        debug_assert!(t < self.ntargets);
-        debug_assert!(i < self.ptrs[t].1);
-        unsafe { *self.ptrs[t].0.add(i) += v }
-    }
-}
-
 /// One execution strategy for the EUL3D kernels. See the module docs.
 ///
 /// Backends that need mutable state (the distributed backend drives a
@@ -216,25 +171,60 @@ pub trait Executor {
 
     /// Re-gather the flow variables if this backend is configured to
     /// refetch before every loop (the §4.3 ablation). Default: no-op.
-    fn refetch(&mut self, _w: &mut [f64], _counters: &mut PhaseCounters) {}
+    fn refetch(&mut self, _w: &mut SoaState, _counters: &mut PhaseCounters) {}
 
-    /// Conflict-managed edge loop: run `f(e, scatter)` for every edge
-    /// `e` in `0..nedges`, where `f` accumulates into the `targets`
-    /// through the [`ScatterAccess`] (and may read any captured shared
-    /// state). `f` must write only endpoint data of edge `e`.
+    /// Conflict-managed edge loop over [`EdgeSpan`]s: call
+    /// `f(span, scatter)` for one or more spans that together cover
+    /// `0..nedges` exactly once. The serial and distributed backends
+    /// hand `f` a single contiguous [`EdgeSpan::Range`]; the coloured
+    /// shared backend hands one [`EdgeSpan::Ids`] sub-slice per worker
+    /// per colour group (disjoint endpoints within a group). `f`
+    /// accumulates into `targets` through the [`ScatterAccess`] and must
+    /// write only endpoint data of the edges in its span.
+    fn for_edge_spans<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(&EdgeSpan<'_>, &ScatterAccess) + Sync;
+
+    /// Vertex map over owned index ranges: call `f(range, scatter)` for
+    /// one or more disjoint sub-ranges that together cover `0..nverts`
+    /// exactly once. `f` writes per-vertex results into the plane-major
+    /// `targets` through [`ScatterAccess::set`] and may read any
+    /// captured shared state.
+    fn for_vertex_spans<F>(&mut self, nverts: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(Range<usize>, &ScatterAccess) + Sync;
+
+    /// Pre-SoA edge loop: `f(e, scatter)` per edge index.
+    #[deprecated(note = "use for_edge_spans with the SoA lane kernels")]
     fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &ScatterAccess) + Sync;
+        F: Fn(usize, &ScatterAccess) + Sync,
+    {
+        self.for_edge_spans(nedges, targets, |span, s| span.for_each(|e| f(e, s)));
+    }
 
-    /// Strided vertex map: `f(i, row)` for every `stride`-wide row of
-    /// `data`. `f` may read captured shared state but writes only `row`.
+    /// Pre-SoA strided vertex map: `f(i, row)` for every `stride`-wide
+    /// interleaved row of `data`.
+    #[deprecated(note = "use for_vertex_spans with plane-major targets")]
     fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
     where
-        F: Fn(usize, &mut [f64]) + Sync;
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
+        let nverts = data.len() / stride;
+        self.for_vertex_spans(nverts, &mut [data], |range, s| {
+            for i in range {
+                // SAFETY: ranges are disjoint, so rows are too.
+                let row = unsafe { s.row_mut(0, i * stride, stride) };
+                f(i, row);
+            }
+        });
+    }
 
-    /// Ghost exchange on a strided per-vertex array. No-op in a single
-    /// address space; PARTI gather / scatter-add on the distributed
-    /// path, with the traffic charged to `phase`.
+    /// Ghost exchange on a plane-major per-vertex array (`stride`
+    /// planes of `data.len() / stride` values each; `stride == 1` for
+    /// scalars). No-op in a single address space; PARTI gather /
+    /// scatter-add on the distributed path, with the traffic charged to
+    /// `phase`.
     fn exchange_halo(
         &mut self,
         phase: Phase,
@@ -255,23 +245,20 @@ pub trait Executor {
 pub struct SerialExecutor;
 
 impl Executor for SerialExecutor {
-    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    fn for_edge_spans<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &ScatterAccess) + Sync,
+        F: Fn(&EdgeSpan<'_>, &ScatterAccess) + Sync,
     {
         let access = ScatterAccess::new(targets);
-        for e in 0..nedges {
-            f(e, &access);
-        }
+        f(&EdgeSpan::Range(0..nedges), &access);
     }
 
-    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    fn for_vertex_spans<F>(&mut self, nverts: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &mut [f64]) + Sync,
+        F: Fn(Range<usize>, &ScatterAccess) + Sync,
     {
-        for (i, row) in data.chunks_mut(stride).enumerate() {
-            f(i, row);
-        }
+        let access = ScatterAccess::new(targets);
+        f(0..nverts, &access);
     }
 
     fn exchange_halo(
@@ -327,7 +314,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn serial_executor_edge_scatter_accumulates() {
+    fn serial_executor_edge_spans_accumulate() {
+        let edges = [[0u32, 1], [1, 2], [0, 2]];
+        let mut acc = vec![0.0; 3];
+        let mut exec = SerialExecutor;
+        exec.for_edge_spans(edges.len(), &mut [&mut acc], |span, s| {
+            span.for_each(|e| {
+                let [a, b] = edges[e];
+                // SAFETY: single-threaded execution.
+                unsafe {
+                    s.add(0, a as usize, 1.0);
+                    s.add(0, b as usize, 1.0);
+                }
+            });
+        });
+        assert_eq!(acc, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_edge_shim_matches_span_loop() {
         let edges = [[0u32, 1], [1, 2], [0, 2]];
         let mut acc = vec![0.0; 3];
         let mut exec = SerialExecutor;
@@ -343,7 +349,20 @@ mod tests {
     }
 
     #[test]
-    fn serial_executor_vertex_map_is_indexed() {
+    fn serial_executor_vertex_spans_cover_range() {
+        let mut plane = vec![0.0; 3];
+        SerialExecutor.for_vertex_spans(3, &mut [&mut plane], |range, s| {
+            for i in range {
+                // SAFETY: single-threaded execution.
+                unsafe { s.set(0, i, i as f64) };
+            }
+        });
+        assert_eq!(plane, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vertex_shim_hands_out_interleaved_rows() {
         let mut data = vec![0.0; 6];
         SerialExecutor.for_vertices(&mut data, 2, |i, row| {
             row[0] = i as f64;

@@ -6,9 +6,13 @@
 use eul3d_mesh::Vec3;
 
 use crate::counters::{FlopCounter, FLOPS_CONV_EDGE, FLOPS_PRESSURE_VERT};
-use crate::gas::{flux_dot, get5, pressure, NVAR};
+#[allow(deprecated)]
+use crate::gas::get5;
+use crate::gas::{flux_dot, pressure, NVAR};
 
-/// Per-vertex pressures for `n` entries of a conserved-variable array.
+/// Per-vertex pressures for `n` entries of an interleaved AoS array.
+#[deprecated(note = "use eul3d_kernels::pressure_verts on plane-major state")]
+#[allow(deprecated)]
 pub fn compute_pressures(gamma: f64, w: &[f64], p: &mut [f64], counter: &mut FlopCounter) {
     let n = p.len();
     assert!(w.len() >= n * NVAR);
@@ -33,8 +37,11 @@ pub fn conv_edge_flux(wa: &[f64; 5], wb: &[f64; 5], pa: f64, pb: f64, eta: Vec3)
     ]
 }
 
-/// Serial edge loop accumulating the interior convective residual into
-/// `q` (not zeroed here; callers compose boundary terms separately).
+/// Serial AoS edge loop accumulating the interior convective residual
+/// into `q` (not zeroed here; callers compose boundary terms
+/// separately). Retained as the AoS baseline of the kernel benchmarks.
+#[deprecated(note = "use eul3d_kernels::conv_flux_edges on plane-major state")]
+#[allow(deprecated)]
 pub fn conv_residual_edges(
     edges: &[[u32; 2]],
     coef: &[Vec3],
@@ -55,6 +62,7 @@ pub fn conv_residual_edges(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::gas::{Freestream, GAMMA};

@@ -1,7 +1,13 @@
 //! Perfect-gas thermodynamics and the Euler flux function on conserved
 //! variables `w = [ρ, ρu, ρv, ρw, ρE]`.
+//!
+//! The scalar state functions live in [`eul3d_kernels::gas`] — the single
+//! source of truth shared with the lane kernels — and are re-exported
+//! here so existing `crate::gas::pressure(..)` call sites keep working.
 
 use eul3d_mesh::Vec3;
+
+pub use eul3d_kernels::gas::{flux_dot, pressure, sound_speed, spectral_radius};
 
 /// Number of conserved variables per vertex.
 pub const NVAR: usize = 5;
@@ -9,53 +15,13 @@ pub const NVAR: usize = 5;
 /// Ratio of specific heats for air.
 pub const GAMMA: f64 = 1.4;
 
-/// Copy the 5 conserved variables of vertex `i` out of a flat array.
+/// Copy the 5 conserved variables of vertex `i` out of an interleaved
+/// AoS array.
+#[deprecated(note = "hot state is plane-major now; use SoaState::get5")]
 #[inline(always)]
 pub fn get5(w: &[f64], i: usize) -> [f64; 5] {
     let b = i * NVAR;
     [w[b], w[b + 1], w[b + 2], w[b + 3], w[b + 4]]
-}
-
-/// Static pressure from conserved variables.
-#[inline(always)]
-pub fn pressure(gamma: f64, w: &[f64; 5]) -> f64 {
-    let rho = w[0];
-    let ke = 0.5 * (w[1] * w[1] + w[2] * w[2] + w[3] * w[3]) / rho;
-    (gamma - 1.0) * (w[4] - ke)
-}
-
-/// Speed of sound.
-#[inline(always)]
-pub fn sound_speed(gamma: f64, rho: f64, p: f64) -> f64 {
-    (gamma * p / rho).sqrt()
-}
-
-/// Convective flux dotted with a (non-unit) area vector `eta`, given the
-/// precomputed pressure: `F(w) · η`.
-#[inline(always)]
-pub fn flux_dot(w: &[f64; 5], p: f64, eta: Vec3) -> [f64; 5] {
-    let rho = w[0];
-    let u = w[1] / rho;
-    let v = w[2] / rho;
-    let ww = w[3] / rho;
-    // Volume flux through the face.
-    let qn = u * eta.x + v * eta.y + ww * eta.z;
-    [
-        rho * qn,
-        w[1] * qn + p * eta.x,
-        w[2] * qn + p * eta.y,
-        w[3] * qn + p * eta.z,
-        (w[4] + p) * qn,
-    ]
-}
-
-/// Convective spectral radius on a face with area vector `eta`:
-/// `|q·η| + c·|η|`.
-#[inline(always)]
-pub fn spectral_radius(gamma: f64, w: &[f64; 5], p: f64, eta: Vec3) -> f64 {
-    let rho = w[0];
-    let qn = (w[1] * eta.x + w[2] * eta.y + w[3] * eta.z) / rho;
-    qn.abs() + sound_speed(gamma, rho, p) * eta.norm()
 }
 
 /// Freestream definition: Mach number and angle of attack (degrees, in
@@ -230,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn get5_reads_strided() {
         let w: Vec<f64> = (0..10).map(|x| x as f64).collect();
         assert_eq!(get5(&w, 1), [5.0, 6.0, 7.0, 8.0, 9.0]);

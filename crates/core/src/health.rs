@@ -210,14 +210,16 @@ impl GuardConfig {
     }
 }
 
-/// Scan the owned prefix of a strided conserved-variable array for
+/// Scan the owned prefix of a plane-major conserved-variable field for
 /// non-finite entries, non-positive density, and non-positive pressure.
 /// Returns the worst verdict, attributed to the lowest offending vertex
-/// index of that severity.
-pub fn check_state(gamma: f64, w: &[f64], nverts: usize) -> HealthVerdict {
+/// index of that severity. Vertices are visited in ascending order so
+/// the verdict (and its blamed vertex) is identical to the historical
+/// interleaved scan.
+pub fn check_state(gamma: f64, w: &crate::soa::SoaState, nverts: usize) -> HealthVerdict {
     let mut worst = HealthVerdict::Healthy;
     for i in 0..nverts {
-        let row = &w[5 * i..5 * i + 5];
+        let row = w.get5(i);
         let v = if !row.iter().all(|c| c.is_finite()) {
             HealthVerdict::NonFinite { vertex: i }
         } else if row[0] <= 0.0 {
@@ -538,28 +540,26 @@ mod tests {
     fn state_scan_catches_each_class() {
         // rho, mx, my, mz, E — healthy row: p = 0.4*(2.5 - 0.5) > 0.
         let healthy = [1.0, 1.0, 0.0, 0.0, 2.5];
-        let mut w = Vec::new();
-        for _ in 0..4 {
-            w.extend_from_slice(&healthy);
-        }
+        let mut w = crate::soa::SoaState::new(4, 5);
+        w.fill_rows(&healthy);
         assert_eq!(check_state(1.4, &w, 4), HealthVerdict::Healthy);
 
         let mut nan = w.clone();
-        nan[5 * 2 + 4] = f64::NAN;
+        nan.set(2, 4, f64::NAN);
         assert_eq!(
             check_state(1.4, &nan, 4),
             HealthVerdict::NonFinite { vertex: 2 }
         );
 
         let mut neg_rho = w.clone();
-        neg_rho[5] = -0.1;
+        neg_rho.set(1, 0, -0.1);
         assert_eq!(
             check_state(1.4, &neg_rho, 4),
             HealthVerdict::NegativeDensity { vertex: 1 }
         );
 
         let mut neg_p = w.clone();
-        neg_p[5 * 3 + 4] = 0.1; // E < kinetic energy => p < 0
+        neg_p.set(3, 4, 0.1); // E < kinetic energy => p < 0
         assert_eq!(
             check_state(1.4, &neg_p, 4),
             HealthVerdict::NegativePressure { vertex: 3 }

@@ -8,11 +8,17 @@
 //! this exact code, differing only in how the edge loops are scheduled
 //! and how ghost data is kept coherent. This is the paper's central
 //! architectural claim, made literal.
+//!
+//! The hot per-vertex fields live in plane-major [`SoaState`] arrays and
+//! the loops call the lane-chunked kernels of [`eul3d_kernels`] — see
+//! that crate's docs for the bit-equivalence contract that keeps all
+//! three backends producing the exact bits of the old interleaved path.
 
+use eul3d_kernels as kn;
 use eul3d_mesh::{BoundaryFace, TetMesh, Vec3};
 use eul3d_partition::RankMesh;
 
-use crate::boundary::boundary_residual;
+use crate::boundary::boundary_residual_soa;
 use crate::config::SolverConfig;
 use crate::counters::{
     FlopCounter, PhaseCounters, FLOPS_ASSEMBLE_VERT, FLOPS_CONV_EDGE, FLOPS_DISS_FO_EDGE,
@@ -20,11 +26,10 @@ use crate::counters::{
     FLOPS_PRESSURE_VERT, FLOPS_RADII_EDGE, FLOPS_SMOOTH_EDGE, FLOPS_SMOOTH_VERT, FLOPS_UPDATE_VERT,
 };
 use crate::executor::{count_edge_loop, count_vertex_loop, Executor, HaloOp, Phase};
-use crate::flux::conv_edge_flux;
-use crate::gas::{get5, pressure, spectral_radius, NVAR};
-use crate::roe::roe_dissipation_flux;
+use crate::gas::NVAR;
 use crate::smooth::degrees_from_edges;
-use crate::timestep::radii_bfaces;
+use crate::soa::SoaState;
+use crate::timestep::radii_bfaces_soa;
 
 /// Anything a solver level can time-step on: an edge list with dual-face
 /// coefficients, tagged boundary faces, and control volumes. Implemented
@@ -77,36 +82,36 @@ impl SolverGrid for RankMesh {
     }
 }
 
-/// All per-vertex working arrays of one solver level, flat with stride
-/// [`NVAR`] where stated. Sized by [`SolverGrid::grid_nverts`], so on the
-/// distributed path every array carries ghost slots after the owned
-/// prefix.
+/// All per-vertex working arrays of one solver level. Vector fields are
+/// plane-major [`SoaState`]s; scalars are plain `Vec<f64>`. Sized by
+/// [`SolverGrid::grid_nverts`], so on the distributed path every array
+/// carries ghost slots after the owned prefix.
 #[derive(Debug, Clone)]
 pub struct LevelState {
     /// Per-vertex slot count of this level (owned + ghost).
     pub n: usize,
-    /// Conserved variables (n×5).
-    pub w: Vec<f64>,
-    /// Stage-reference state `w^(0)` (n×5).
-    pub w0: Vec<f64>,
+    /// Conserved variables (5 planes).
+    pub w: SoaState,
+    /// Stage-reference state `w^(0)` (5 planes).
+    pub w0: SoaState,
     /// Pressures (n).
     pub p: Vec<f64>,
-    /// Undivided Laplacian of `w` (n×5).
-    pub lapl: Vec<f64>,
-    /// Pressure-sensor accumulators (n×2).
-    pub sens: Vec<f64>,
+    /// Undivided Laplacian of `w` (5 planes).
+    pub lapl: SoaState,
+    /// Pressure-sensor accumulators (2 planes: Σ(p_j−p_i), Σ(p_j+p_i)).
+    pub sens: SoaState,
     /// Shock sensor ν (n).
     pub nu: Vec<f64>,
-    /// Frozen dissipation `D` (n×5).
-    pub diss: Vec<f64>,
-    /// Convective residual `Q` (n×5).
-    pub q: Vec<f64>,
-    /// Total (smoothed) residual `R = Q − D + P` (n×5).
-    pub res: Vec<f64>,
-    /// Unsmoothed residual baseline for the Jacobi sweeps (n×5).
-    pub r0: Vec<f64>,
-    /// Smoothing scratch (n×5).
-    pub acc: Vec<f64>,
+    /// Frozen dissipation `D` (5 planes).
+    pub diss: SoaState,
+    /// Convective residual `Q` (5 planes).
+    pub q: SoaState,
+    /// Total (smoothed) residual `R = Q − D + P` (5 planes).
+    pub res: SoaState,
+    /// Unsmoothed residual baseline for the Jacobi sweeps (5 planes).
+    pub r0: SoaState,
+    /// Smoothing scratch (5 planes).
+    pub acc: SoaState,
     /// Spectral-radius sums Λ (n).
     pub lam: Vec<f64>,
     /// Local time steps (n).
@@ -115,12 +120,13 @@ pub struct LevelState {
     /// edge list, so rank-local states hold *partial* degrees until the
     /// one-time setup scatter-add.
     pub deg: Vec<f64>,
-    /// Multigrid forcing function `P` (n×5); zero on the finest level.
-    pub forcing: Vec<f64>,
-    /// Restricted state `w'` (n×5), the correction baseline.
-    pub w_ref: Vec<f64>,
-    /// Transfer scratch (n×5).
-    pub corr: Vec<f64>,
+    /// Multigrid forcing function `P` (5 planes); zero on the finest
+    /// level.
+    pub forcing: SoaState,
+    /// Restricted state `w'` (5 planes), the correction baseline.
+    pub w_ref: SoaState,
+    /// Transfer scratch (5 planes).
+    pub corr: SoaState,
 }
 
 impl LevelState {
@@ -128,29 +134,27 @@ impl LevelState {
     pub fn new<G: SolverGrid + ?Sized>(mesh: &G, cfg: &SolverConfig) -> LevelState {
         let n = mesh.grid_nverts();
         let fs = cfg.freestream();
-        let mut w = vec![0.0; n * NVAR];
-        for i in 0..n {
-            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
-        }
+        let mut w = SoaState::new(n, NVAR);
+        w.fill_rows(&fs.w);
         LevelState {
             n,
             w0: w.clone(),
             w,
             p: vec![0.0; n],
-            lapl: vec![0.0; n * NVAR],
-            sens: vec![0.0; n * 2],
+            lapl: SoaState::new(n, NVAR),
+            sens: SoaState::new(n, 2),
             nu: vec![0.0; n],
-            diss: vec![0.0; n * NVAR],
-            q: vec![0.0; n * NVAR],
-            res: vec![0.0; n * NVAR],
-            r0: vec![0.0; n * NVAR],
-            acc: vec![0.0; n * NVAR],
+            diss: SoaState::new(n, NVAR),
+            q: SoaState::new(n, NVAR),
+            res: SoaState::new(n, NVAR),
+            r0: SoaState::new(n, NVAR),
+            acc: SoaState::new(n, NVAR),
             lam: vec![0.0; n],
             dt: vec![0.0; n],
             deg: degrees_from_edges(mesh.grid_edges(), n),
-            forcing: vec![0.0; n * NVAR],
-            w_ref: vec![0.0; n * NVAR],
-            corr: vec![0.0; n * NVAR],
+            forcing: SoaState::new(n, NVAR),
+            w_ref: SoaState::new(n, NVAR),
+            corr: SoaState::new(n, NVAR),
         }
     }
 
@@ -164,12 +168,12 @@ impl LevelState {
 
     /// Squared density-residual sum and owned-vertex count, the two
     /// pieces a distributed norm reduces before taking the square root.
-    #[allow(clippy::needless_range_loop)] // parallel arrays indexed in lockstep
     pub fn residual_norm_parts(&self, vol: &[f64]) -> (f64, f64) {
         let n = vol.len().min(self.n);
+        let rho_res = self.res.plane(0);
         let mut sum = 0.0;
         for i in 0..n {
-            let r = self.res[i * NVAR] / vol[i];
+            let r = rho_res[i] / vol[i];
             sum += r * r;
         }
         (sum, n as f64)
@@ -187,8 +191,12 @@ pub fn compute_pressures_exec<E: Executor + ?Sized>(
     counters: &mut PhaseCounters,
 ) {
     let owned = exec.owned(st.n);
-    let w = &st.w;
-    exec.for_vertices(&mut st.p, 1, |i, row| row[0] = pressure(gamma, &get5(w, i)));
+    let (n, w) = (st.n, &st.w);
+    exec.for_vertex_spans(st.n, &mut [&mut st.p[..]], |range, s| {
+        // SAFETY: plane sizes match, ranges are disjoint (executor
+        // contract).
+        unsafe { kn::pressure_verts(range, gamma, w.flat(), n, s) }
+    });
     count_vertex_loop(counters, Phase::Pressure, owned, FLOPS_PRESSURE_VERT);
 }
 
@@ -203,28 +211,21 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     counters: &mut PhaseCounters,
 ) {
     exec.refetch(&mut st.w, counters);
-    st.diss.iter_mut().for_each(|x| *x = 0.0);
+    st.diss.fill(0.0);
     let edges = mesh.grid_edges();
     let coef = mesh.grid_edge_coef();
     let gamma = cfg.gamma;
+    let (n, lanes) = (st.n, cfg.lanes);
 
     if cfg.scheme == crate::config::Scheme::RoeUpwind {
         // One pass, no sensor: the Laplacian/ν ghost exchanges of the
         // JST path disappear entirely.
         {
             let (w, p) = (&st.w, &st.p);
-            exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                let d = roe_dissipation_flux(gamma, &get5(w, a), &get5(w, b), p[a], p[b], coef[e]);
-                // SAFETY: writes touch only edge e's endpoints (executor
-                // conflict contract).
-                unsafe {
-                    for (c, &dc) in d.iter().enumerate() {
-                        s.add(0, a * NVAR + c, dc);
-                        s.add(0, b * NVAR + c, -dc);
-                    }
-                }
+            exec.for_edge_spans(edges.len(), &mut [st.diss.flat_mut()], |span, s| {
+                // SAFETY: endpoint-only writes (executor conflict
+                // contract); array sizes checked by the level layout.
+                unsafe { kn::roe_diss_edges(span, edges, coef, gamma, w.flat(), p, n, s, lanes) }
             });
         }
         count_edge_loop(
@@ -237,7 +238,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         exec.exchange_halo(
             Phase::Dissipation,
             HaloOp::ScatterAdd,
-            &mut st.diss,
+            st.diss.flat_mut(),
             NVAR,
             counters,
         );
@@ -248,20 +249,22 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         let k = cfg.coarse_k2;
         {
             let (w, p) = (&st.w, &st.p);
-            exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                let lam = 0.5
-                    * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
-                        + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
-                let kl = k * lam;
-                // SAFETY: endpoint-only writes (executor conflict contract).
+            exec.for_edge_spans(edges.len(), &mut [st.diss.flat_mut()], |span, s| {
+                // SAFETY: endpoint-only writes (executor conflict
+                // contract).
                 unsafe {
-                    for c in 0..NVAR {
-                        let d = kl * (w[b * NVAR + c] - w[a * NVAR + c]);
-                        s.add(0, a * NVAR + c, d);
-                        s.add(0, b * NVAR + c, -d);
-                    }
+                    kn::first_order_diss_edges(
+                        span,
+                        edges,
+                        coef,
+                        gamma,
+                        k,
+                        w.flat(),
+                        p,
+                        n,
+                        s,
+                        lanes,
+                    )
                 }
             });
         }
@@ -275,7 +278,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         exec.exchange_halo(
             Phase::Dissipation,
             HaloOp::ScatterAdd,
-            &mut st.diss,
+            st.diss.flat_mut(),
             NVAR,
             counters,
         );
@@ -283,30 +286,18 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     }
 
     // JST pass 1: undivided Laplacian + pressure-sensor accumulators.
-    st.lapl.iter_mut().for_each(|x| *x = 0.0);
-    st.sens.iter_mut().for_each(|x| *x = 0.0);
+    st.lapl.fill(0.0);
+    st.sens.fill(0.0);
     {
         let (w, p) = (&st.w, &st.p);
-        exec.for_edges_scatter(
+        let (lapl, sens) = (&mut st.lapl, &mut st.sens);
+        exec.for_edge_spans(
             edges.len(),
-            &mut [&mut st.lapl[..], &mut st.sens[..]],
-            |e, s| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                // SAFETY: endpoint-only writes (executor conflict contract).
-                unsafe {
-                    for c in 0..NVAR {
-                        let d = w[b * NVAR + c] - w[a * NVAR + c];
-                        s.add(0, a * NVAR + c, d);
-                        s.add(0, b * NVAR + c, -d);
-                    }
-                    let dp = p[b] - p[a];
-                    let sp = p[b] + p[a];
-                    s.add(1, a * 2, dp);
-                    s.add(1, a * 2 + 1, sp);
-                    s.add(1, b * 2, -dp);
-                    s.add(1, b * 2 + 1, sp);
-                }
+            &mut [lapl.flat_mut(), sens.flat_mut()],
+            |span, s| {
+                // SAFETY: endpoint-only writes (executor conflict
+                // contract).
+                unsafe { kn::jst_pass1_edges(span, edges, w.flat(), p, n, s, lanes) }
             },
         );
     }
@@ -320,14 +311,14 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec.exchange_halo(
         Phase::Dissipation,
         HaloOp::ScatterAdd,
-        &mut st.lapl,
+        st.lapl.flat_mut(),
         NVAR,
         counters,
     );
     exec.exchange_halo(
         Phase::Dissipation,
         HaloOp::ScatterAdd,
-        &mut st.sens,
+        st.sens.flat_mut(),
         2,
         counters,
     );
@@ -337,14 +328,15 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     {
         let owned = exec.owned(st.n);
         let sens = &st.sens;
-        exec.for_vertices(&mut st.nu[..owned], 1, |i, row| {
-            row[0] = sens[i * 2].abs() / sens[i * 2 + 1].abs().max(1e-300);
+        exec.for_vertex_spans(owned, &mut [&mut st.nu[..]], |range, s| {
+            // SAFETY: disjoint ranges (executor contract).
+            unsafe { kn::sensor_verts(range, sens.flat(), n, s) }
         });
     }
     exec.exchange_halo(
         Phase::Dissipation,
         HaloOp::Gather,
-        &mut st.lapl,
+        st.lapl.flat_mut(),
         NVAR,
         counters,
     );
@@ -355,23 +347,24 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     {
         let (w, p, lapl, nu) = (&st.w, &st.p, &st.lapl, &st.nu);
         let (k2, k4) = (cfg.k2, cfg.k4);
-        exec.for_edges_scatter(edges.len(), &mut [&mut st.diss[..]], |e, s| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            let lam = 0.5
-                * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
-                    + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
-            let eps2 = k2 * nu[a].max(nu[b]);
-            let eps4 = (k4 - eps2).max(0.0);
+        exec.for_edge_spans(edges.len(), &mut [st.diss.flat_mut()], |span, s| {
             // SAFETY: endpoint-only writes (executor conflict contract).
             unsafe {
-                for c in 0..NVAR {
-                    let d2 = w[b * NVAR + c] - w[a * NVAR + c];
-                    let d4 = lapl[b * NVAR + c] - lapl[a * NVAR + c];
-                    let d = lam * (eps2 * d2 - eps4 * d4);
-                    s.add(0, a * NVAR + c, d);
-                    s.add(0, b * NVAR + c, -d);
-                }
+                kn::jst_pass2_edges(
+                    span,
+                    edges,
+                    coef,
+                    gamma,
+                    k2,
+                    k4,
+                    w.flat(),
+                    p,
+                    lapl.flat(),
+                    nu,
+                    n,
+                    s,
+                    lanes,
+                )
             }
         });
     }
@@ -385,7 +378,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec.exchange_halo(
         Phase::Dissipation,
         HaloOp::ScatterAdd,
-        &mut st.diss,
+        st.diss.flat_mut(),
         NVAR,
         counters,
     );
@@ -403,22 +396,15 @@ pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     counters: &mut PhaseCounters,
 ) {
     exec.refetch(&mut st.w, counters);
-    st.q.iter_mut().for_each(|x| *x = 0.0);
+    st.q.fill(0.0);
     let edges = mesh.grid_edges();
     let coef = mesh.grid_edge_coef();
+    let (n, lanes) = (st.n, cfg.lanes);
     {
         let (w, p) = (&st.w, &st.p);
-        exec.for_edges_scatter(edges.len(), &mut [&mut st.q[..]], |e, s| {
-            let [a, b] = edges[e];
-            let (a, b) = (a as usize, b as usize);
-            let f = conv_edge_flux(&get5(w, a), &get5(w, b), p[a], p[b], coef[e]);
+        exec.for_edge_spans(edges.len(), &mut [st.q.flat_mut()], |span, s| {
             // SAFETY: endpoint-only writes (executor conflict contract).
-            unsafe {
-                for (c, &fc) in f.iter().enumerate() {
-                    s.add(0, a * NVAR + c, fc);
-                    s.add(0, b * NVAR + c, -fc);
-                }
-            }
+            unsafe { kn::conv_flux_edges(span, edges, coef, w.flat(), p, n, s, lanes) }
         });
     }
     count_edge_loop(
@@ -431,7 +417,7 @@ pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
 
     let fs = cfg.freestream();
     let mut scratch = FlopCounter::default();
-    boundary_residual(
+    boundary_residual_soa(
         mesh.grid_bfaces(),
         &st.w,
         &st.p,
@@ -445,7 +431,7 @@ pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec.exchange_halo(
         Phase::Convection,
         HaloOp::ScatterAdd,
-        &mut st.q,
+        st.q.flat_mut(),
         NVAR,
         counters,
     );
@@ -457,14 +443,14 @@ pub fn assemble_residual<E: Executor + ?Sized>(
     exec: &mut E,
     counters: &mut PhaseCounters,
 ) {
-    let n = exec.owned(st.n);
+    let owned = exec.owned(st.n);
+    let n = st.n;
     let (q, diss, forcing) = (&st.q, &st.diss, &st.forcing);
-    exec.for_vertices(&mut st.res[..n * NVAR], NVAR, |i, row| {
-        for (c, r) in row.iter_mut().enumerate() {
-            *r = q[i * NVAR + c] - diss[i * NVAR + c] + forcing[i * NVAR + c];
-        }
+    exec.for_vertex_spans(owned, &mut [st.res.flat_mut()], |range, s| {
+        // SAFETY: disjoint ranges (executor contract).
+        unsafe { kn::assemble_verts(range, q.flat(), diss.flat(), forcing.flat(), n, s) }
     });
-    count_vertex_loop(counters, Phase::Assemble, n, FLOPS_ASSEMBLE_VERT);
+    count_vertex_loop(counters, Phase::Assemble, owned, FLOPS_ASSEMBLE_VERT);
 }
 
 /// Implicit residual averaging: `passes` Jacobi sweeps of
@@ -479,25 +465,26 @@ pub fn smooth_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     if cfg.smooth_passes == 0 || cfg.smooth_eps == 0.0 {
         return;
     }
-    let n = exec.owned(st.n);
-    st.r0[..n * NVAR].copy_from_slice(&st.res[..n * NVAR]);
+    let owned = exec.owned(st.n);
+    st.r0.copy_owned_from(&st.res, owned);
     let edges = mesh.grid_edges();
     let eps = cfg.smooth_eps;
+    let (n, lanes) = (st.n, cfg.lanes);
     for _ in 0..cfg.smooth_passes {
-        exec.exchange_halo(Phase::Smooth, HaloOp::Gather, &mut st.res, NVAR, counters);
-        st.acc.iter_mut().for_each(|x| *x = 0.0);
+        exec.exchange_halo(
+            Phase::Smooth,
+            HaloOp::Gather,
+            st.res.flat_mut(),
+            NVAR,
+            counters,
+        );
+        st.acc.fill(0.0);
         {
             let res = &st.res;
-            exec.for_edges_scatter(edges.len(), &mut [&mut st.acc[..]], |e, s| {
-                let [a, b] = edges[e];
-                let (a, b) = (a as usize, b as usize);
-                // SAFETY: endpoint-only writes (executor conflict contract).
-                unsafe {
-                    for c in 0..NVAR {
-                        s.add(0, a * NVAR + c, res[b * NVAR + c]);
-                        s.add(0, b * NVAR + c, res[a * NVAR + c]);
-                    }
-                }
+            exec.for_edge_spans(edges.len(), &mut [st.acc.flat_mut()], |span, s| {
+                // SAFETY: endpoint-only writes (executor conflict
+                // contract).
+                unsafe { kn::smooth_accumulate_edges(span, edges, res.flat(), n, s, lanes) }
             });
         }
         count_edge_loop(
@@ -510,20 +497,18 @@ pub fn smooth_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         exec.exchange_halo(
             Phase::Smooth,
             HaloOp::ScatterAdd,
-            &mut st.acc,
+            st.acc.flat_mut(),
             NVAR,
             counters,
         );
         {
             let (r0, acc, deg) = (&st.r0, &st.acc, &st.deg);
-            exec.for_vertices(&mut st.res[..n * NVAR], NVAR, |i, row| {
-                let inv = 1.0 / (1.0 + eps * deg[i]);
-                for (c, r) in row.iter_mut().enumerate() {
-                    *r = (r0[i * NVAR + c] + eps * acc[i * NVAR + c]) * inv;
-                }
+            exec.for_vertex_spans(owned, &mut [st.res.flat_mut()], |range, s| {
+                // SAFETY: disjoint ranges (executor contract).
+                unsafe { kn::smooth_update_verts(range, r0.flat(), acc.flat(), deg, eps, n, s) }
             });
         }
-        count_vertex_loop(counters, Phase::Smooth, n, FLOPS_SMOOTH_VERT);
+        count_vertex_loop(counters, Phase::Smooth, owned, FLOPS_SMOOTH_VERT);
     }
 }
 
@@ -538,7 +523,13 @@ pub fn eval_total_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec: &mut E,
     counters: &mut PhaseCounters,
 ) {
-    exec.exchange_halo(Phase::Exchange, HaloOp::Gather, &mut st.w, NVAR, counters);
+    exec.exchange_halo(
+        Phase::Exchange,
+        HaloOp::Gather,
+        st.w.flat_mut(),
+        NVAR,
+        counters,
+    );
     compute_pressures_exec(cfg.gamma, st, exec, counters);
     eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
     eval_convection(mesh, st, cfg, exec, counters);
@@ -560,14 +551,21 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec: &mut E,
     counters: &mut PhaseCounters,
 ) {
-    let n = exec.owned(st.n);
-    debug_assert_eq!(n, mesh.grid_vol().len());
-    st.w0[..n * NVAR].copy_from_slice(&st.w[..n * NVAR]);
+    let owned = exec.owned(st.n);
+    debug_assert_eq!(owned, mesh.grid_vol().len());
+    st.w0.copy_owned_from(&st.w, owned);
     let nstages = cfg.nstages();
+    let (n, lanes) = (st.n, cfg.lanes);
     for (stage, &alpha) in cfg.rk_alpha.iter().enumerate().take(nstages) {
         // One gather of the flow variables per stage (§4.3), reused by
         // every edge loop unless the executor is set to refetch.
-        exec.exchange_halo(Phase::Exchange, HaloOp::Gather, &mut st.w, NVAR, counters);
+        exec.exchange_halo(
+            Phase::Exchange,
+            HaloOp::Gather,
+            st.w.flat_mut(),
+            NVAR,
+            counters,
+        );
         compute_pressures_exec(cfg.gamma, st, exec, counters);
 
         if stage == 0 {
@@ -578,24 +576,18 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
             let gamma = cfg.gamma;
             {
                 let (w, p) = (&st.w, &st.p);
-                exec.for_edges_scatter(edges.len(), &mut [&mut st.lam[..]], |e, s| {
-                    let [a, b] = edges[e];
-                    let (a, b) = (a as usize, b as usize);
-                    let l = 0.5
-                        * (spectral_radius(gamma, &get5(w, a), p[a], coef[e])
-                            + spectral_radius(gamma, &get5(w, b), p[b], coef[e]));
+                exec.for_edge_spans(edges.len(), &mut [&mut st.lam[..]], |span, s| {
                     // SAFETY: endpoint-only writes (executor conflict
                     // contract).
                     unsafe {
-                        s.add(0, a, l);
-                        s.add(0, b, l);
+                        kn::radii_edges_soa(span, edges, coef, gamma, w.flat(), p, n, s, lanes)
                     }
                 });
             }
             count_edge_loop(counters, Phase::Radii, exec, edges.len(), FLOPS_RADII_EDGE);
             {
                 let mut scratch = FlopCounter::default();
-                radii_bfaces(
+                radii_bfaces_soa(
                     mesh.grid_bfaces(),
                     &st.w,
                     &st.p,
@@ -610,11 +602,12 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
                 let vol = mesh.grid_vol();
                 let lam = &st.lam;
                 let cfl = cfg.cfl;
-                exec.for_vertices(&mut st.dt[..n], 1, |i, row| {
-                    row[0] = cfl * vol[i] / lam[i].max(1e-300);
+                exec.for_vertex_spans(owned, &mut [&mut st.dt[..]], |range, s| {
+                    // SAFETY: disjoint ranges (executor contract).
+                    unsafe { kn::local_dt_verts(range, cfl, vol, lam, s) }
                 });
             }
-            count_vertex_loop(counters, Phase::Radii, n, FLOPS_DT_VERT);
+            count_vertex_loop(counters, Phase::Radii, owned, FLOPS_DT_VERT);
         }
         if stage <= 1 {
             eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
@@ -626,14 +619,12 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         {
             let vol = mesh.grid_vol();
             let (w0, res, dt) = (&st.w0, &st.res, &st.dt);
-            exec.for_vertices(&mut st.w[..n * NVAR], NVAR, |i, row| {
-                let scale = alpha * dt[i] / vol[i];
-                for (c, wv) in row.iter_mut().enumerate() {
-                    *wv = w0[i * NVAR + c] - scale * res[i * NVAR + c];
-                }
+            exec.for_vertex_spans(owned, &mut [st.w.flat_mut()], |range, s| {
+                // SAFETY: disjoint ranges (executor contract).
+                unsafe { kn::rk_update_verts(range, alpha, w0.flat(), res.flat(), dt, vol, n, s) }
             });
         }
-        count_vertex_loop(counters, Phase::Update, n, FLOPS_UPDATE_VERT);
+        count_vertex_loop(counters, Phase::Update, owned, FLOPS_UPDATE_VERT);
     }
 }
 
@@ -658,7 +649,7 @@ mod tests {
             &mut SerialExecutor,
             &mut counters,
         );
-        for (a, b) in st.w.iter().zip(&before) {
+        for (a, b) in st.w.flat().iter().zip(before.flat()) {
             assert!(
                 (a - b).abs() < 1e-11,
                 "freestream must not drift: {a} vs {b}"
@@ -682,8 +673,8 @@ mod tests {
         for (i, c) in mesh.coords.iter().enumerate() {
             let r2 = (*c - eul3d_mesh::Vec3::new(0.5, 0.5, 0.5)).norm_sq();
             let bump = 0.05 * (-20.0 * r2).exp();
-            st.w[i * NVAR] += bump;
-            st.w[i * NVAR + 4] += bump * 2.0;
+            st.w.add(i, 0, bump);
+            st.w.add(i, 4, bump * 2.0);
         }
         let mut counters = PhaseCounters::default();
         let mut exec = SerialExecutor;
@@ -700,7 +691,7 @@ mod tests {
         );
         // State must remain physical.
         for i in 0..st.n {
-            assert!(st.w[i * NVAR] > 0.0, "positive density");
+            assert!(st.w.get(i, 0) > 0.0, "positive density");
             assert!(st.p[i] > 0.0, "positive pressure");
         }
     }
@@ -713,7 +704,7 @@ mod tests {
         let cfg = SolverConfig::default();
         let mut st = LevelState::new(&mesh, &cfg);
         for i in 0..st.n {
-            st.forcing[i * NVAR] = 1e-4 * mesh.grid_vol()[i];
+            st.forcing.set(i, 0, 1e-4 * mesh.grid_vol()[i]);
         }
         let before = st.w.clone();
         let mut counters = PhaseCounters::default();
@@ -726,8 +717,9 @@ mod tests {
             &mut counters,
         );
         let moved =
-            st.w.iter()
-                .zip(&before)
+            st.w.flat()
+                .iter()
+                .zip(before.flat())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
         assert!(moved > 1e-9, "forcing must drive the state");
@@ -749,6 +741,50 @@ mod tests {
         );
         // Freestream preserved on the coarse path too.
         assert!(st.density_residual_norm(mesh.grid_vol()) < 1e-12);
+    }
+
+    #[test]
+    fn lane_width_cannot_change_a_single_bit() {
+        // The chunk width only affects gather staging, never expression
+        // trees or accumulation order — any lanes value must be
+        // bit-identical (the SoA contract of eul3d-kernels).
+        let mesh = unit_box(4, 0.2, 11);
+        let run = |lanes: usize| -> LevelState {
+            let cfg = SolverConfig {
+                mach: 0.6,
+                lanes,
+                ..SolverConfig::default()
+            };
+            let mut st = LevelState::new(&mesh, &cfg);
+            for (i, c) in mesh.coords.iter().enumerate() {
+                let bump =
+                    0.04 * (-10.0 * (*c - eul3d_mesh::Vec3::new(0.5, 0.5, 0.5)).norm_sq()).exp();
+                st.w.add(i, 0, bump);
+                st.w.add(i, 4, 2.0 * bump);
+            }
+            let mut counters = PhaseCounters::default();
+            for _ in 0..3 {
+                time_step(
+                    &mesh,
+                    &mut st,
+                    &cfg,
+                    false,
+                    &mut SerialExecutor,
+                    &mut counters,
+                );
+            }
+            st
+        };
+        let base = run(1);
+        for lanes in [2, 5, 8, 16] {
+            let other = run(lanes);
+            assert_eq!(
+                base.w.flat(),
+                other.w.flat(),
+                "lanes={lanes} diverged from lanes=1"
+            );
+            assert_eq!(base.res.flat(), other.res.flat());
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod roe;
 pub mod runconfig;
 pub mod shared;
 pub mod smooth;
+pub mod soa;
 pub mod solver;
 pub mod timestep;
 
@@ -65,6 +66,7 @@ pub use health::{GuardConfig, GuardOutcome, HealthVerdict, RetryEvent};
 pub use history::ConvergenceHistory;
 pub use multigrid::{MultigridSolver, Strategy};
 pub use runconfig::{RunConfig, RunConfigBuilder, TraceConfig};
+pub use soa::SoaState;
 pub use solver::SingleGridSolver;
 
 /// Deterministic seed for randomized setup (mesh jitter, partitioner

@@ -164,7 +164,7 @@ impl MultigridSolver {
         while history.len() < n {
             let c = history.len();
             if c.is_multiple_of(guard.snapshot_every) {
-                snap_w.copy_from_slice(&self.levels[0].w);
+                snap_w.copy_from(&self.levels[0].w);
                 snap_cycle = c;
             }
             self.cfg.cfl = gs.ctl.current;
@@ -200,7 +200,7 @@ impl MultigridSolver {
                     cfl_before,
                     cfl_after: gs.ctl.current,
                 });
-                self.levels[0].w.copy_from_slice(&snap_w);
+                self.levels[0].w.copy_from(&snap_w);
                 history.truncate(snap_cycle);
                 monitor.rebuild(&history);
                 continue;
@@ -222,8 +222,8 @@ impl MultigridSolver {
         ))
     }
 
-    /// Fine-grid conserved state.
-    pub fn state(&self) -> &[f64] {
+    /// Fine-grid conserved state (plane-major).
+    pub fn state(&self) -> &crate::soa::SoaState {
         &self.levels[0].w
     }
 
@@ -246,7 +246,9 @@ impl MultigridSolver {
         for l in (0..last).rev() {
             // Prolong the full state (not a correction) onto level l.
             let (fine, coarse) = self.levels.split_at_mut(l + 1);
-            self.seq.to_fine[l].interpolate(&coarse[0].w, &mut fine[l].w, NVAR);
+            for c in 0..NVAR {
+                self.seq.to_fine[l].interpolate(coarse[0].w.plane(c), fine[l].w.plane_mut(c), 1);
+            }
             count_vertex_loop(
                 &mut self.counter,
                 Phase::Transfer,
@@ -254,7 +256,7 @@ impl MultigridSolver {
                 FLOPS_TRANSFER_VERT,
             );
             // Level l now drives its own sub-hierarchy.
-            self.levels[l].forcing.iter_mut().for_each(|x| *x = 0.0);
+            self.levels[l].forcing.fill(0.0);
             let gamma = self.strategy.gamma();
             for _ in 0..cycles_per_level {
                 match self.strategy {
@@ -355,9 +357,13 @@ impl MultigridSolver {
         let fine = &mut fine[l];
         let coarse = &mut coarse[0];
 
-        // State moves down by direct interpolation onto coarse vertices.
-        self.seq.to_coarse[l].interpolate(&fine.w, &mut coarse.w, NVAR);
-        coarse.w_ref.copy_from_slice(&coarse.w);
+        // State moves down by direct interpolation onto coarse vertices,
+        // one component plane at a time (per-slot arithmetic identical to
+        // the interleaved pass; components are independent).
+        for c in 0..NVAR {
+            self.seq.to_coarse[l].interpolate(fine.w.plane(c), coarse.w.plane_mut(c), 1);
+        }
+        coarse.w_ref.copy_from(&coarse.w);
         count_vertex_loop(
             &mut self.counter,
             Phase::Transfer,
@@ -366,8 +372,10 @@ impl MultigridSolver {
         );
 
         // Residuals move down conservatively: transpose of prolongation.
-        coarse.corr.iter_mut().for_each(|x| *x = 0.0);
-        self.seq.to_fine[l].restrict_transpose(&fine.res, &mut coarse.corr, NVAR);
+        coarse.corr.fill(0.0);
+        for c in 0..NVAR {
+            self.seq.to_fine[l].restrict_transpose(fine.res.plane(c), coarse.corr.plane_mut(c), 1);
+        }
         count_vertex_loop(
             &mut self.counter,
             Phase::Transfer,
@@ -377,7 +385,7 @@ impl MultigridSolver {
 
         // Forcing: P = R' − R(w') with R evaluated at the restricted
         // state *without* any forcing.
-        coarse.forcing.iter_mut().for_each(|x| *x = 0.0);
+        coarse.forcing.fill(0.0);
         match &mut self.shared {
             Some(execs) => eval_total_residual(
                 &self.seq.meshes[l + 1],
@@ -396,8 +404,14 @@ impl MultigridSolver {
                 &mut self.counter,
             ),
         }
-        for i in 0..coarse.n * NVAR {
-            coarse.forcing[i] = coarse.corr[i] - coarse.res[i];
+        for ((f, &c), &r) in coarse
+            .forcing
+            .flat_mut()
+            .iter_mut()
+            .zip(coarse.corr.flat())
+            .zip(coarse.res.flat())
+        {
+            *f = c - r;
         }
     }
 
@@ -409,12 +423,20 @@ impl MultigridSolver {
         let (fine, coarse) = self.levels.split_at_mut(l + 1);
         let fine = &mut fine[l];
         let coarse = &mut coarse[0];
-        for i in 0..coarse.n * NVAR {
-            coarse.corr[i] = coarse.w[i] - coarse.w_ref[i];
+        for ((d, &a), &b) in coarse
+            .corr
+            .flat_mut()
+            .iter_mut()
+            .zip(coarse.w.flat())
+            .zip(coarse.w_ref.flat())
+        {
+            *d = a - b;
         }
-        self.seq.to_fine[l].interpolate(&coarse.corr, &mut fine.corr, NVAR);
-        for i in 0..fine.n * NVAR {
-            fine.w[i] += fine.corr[i];
+        for c in 0..NVAR {
+            self.seq.to_fine[l].interpolate(coarse.corr.plane(c), fine.corr.plane_mut(c), 1);
+        }
+        for (w, &c) in fine.w.flat_mut().iter_mut().zip(fine.corr.flat()) {
+            *w += c;
         }
         count_vertex_loop(
             &mut self.counter,
@@ -452,7 +474,7 @@ mod tests {
         let before = mg.levels[0].w.clone();
         let r = mg.cycle();
         assert!(r < 1e-11, "freestream residual {r}");
-        for (a, b) in mg.levels[0].w.iter().zip(&before) {
+        for (a, b) in mg.levels[0].w.flat().iter().zip(before.flat()) {
             assert!((a - b).abs() < 1e-9, "no corrections at convergence");
         }
     }
@@ -570,7 +592,7 @@ mod tests {
             );
         }
         let mut max = 0.0f64;
-        for (x, y) in serial.state().iter().zip(shared.state()) {
+        for (x, y) in serial.state().flat().iter().zip(shared.state().flat()) {
             max = max.max((x - y).abs());
         }
         assert!(max < 1e-9, "states diverge: {max:.3e}");
@@ -659,7 +681,7 @@ mod tests {
         let hist = mg.solve(20);
         assert!(hist.iter().all(|r| r.is_finite()));
         for i in 0..mg.levels[0].n {
-            assert!(mg.state()[i * NVAR] > 0.05, "density positive at {i}");
+            assert!(mg.state().get(i, 0) > 0.05, "density positive at {i}");
         }
         assert!(hist.last().unwrap() < &(hist[0] * 0.8));
     }

@@ -3,24 +3,25 @@
 
 use eul3d_mesh::{BcKind, TetMesh};
 
-use crate::gas::{get5, mach_number, pressure};
+use crate::gas::{mach_number, pressure};
+use crate::soa::SoaState;
 
 /// Local Mach number at every vertex.
-pub fn mach_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
-    (0..n).map(|i| mach_number(gamma, &get5(w, i))).collect()
+pub fn mach_field(gamma: f64, w: &SoaState, n: usize) -> Vec<f64> {
+    (0..n).map(|i| mach_number(gamma, &w.get5(i))).collect()
 }
 
 /// Pressure at every vertex.
-pub fn pressure_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
-    (0..n).map(|i| pressure(gamma, &get5(w, i))).collect()
+pub fn pressure_field(gamma: f64, w: &SoaState, n: usize) -> Vec<f64> {
+    (0..n).map(|i| pressure(gamma, &w.get5(i))).collect()
 }
 
 /// Pressure coefficient `c_p = (p − p∞) / (½ ρ∞ |u∞|²)`.
-pub fn cp_field(gamma: f64, mach_inf: f64, w: &[f64], n: usize) -> Vec<f64> {
+pub fn cp_field(gamma: f64, mach_inf: f64, w: &SoaState, n: usize) -> Vec<f64> {
     let p_inf = 1.0 / gamma;
     let qinf = 0.5 * mach_inf * mach_inf;
     (0..n)
-        .map(|i| (pressure(gamma, &get5(w, i)) - p_inf) / qinf)
+        .map(|i| (pressure(gamma, &w.get5(i)) - p_inf) / qinf)
         .collect()
 }
 
@@ -49,12 +50,12 @@ pub fn crosses(field: &[f64], threshold: f64) -> bool {
 /// `(p/ρ^γ) / (p∞/ρ∞^γ) − 1` — exactly zero for smooth inviscid flow
 /// from a uniform freestream, so its norm measures pure discretization
 /// error (away from shocks, where physical entropy is produced).
-pub fn entropy_error_field(gamma: f64, w: &[f64], n: usize) -> Vec<f64> {
+pub fn entropy_error_field(gamma: f64, w: &SoaState, n: usize) -> Vec<f64> {
     let p_inf = 1.0 / gamma;
     let s_inf = p_inf; // ρ∞ = 1
     (0..n)
         .map(|i| {
-            let wi = get5(w, i);
+            let wi = w.get5(i);
             let p = pressure(gamma, &wi);
             p / wi[0].powf(gamma) / s_inf - 1.0
         })
@@ -75,7 +76,7 @@ pub fn l2_norm(field: &[f64], vol: &[f64]) -> f64 {
 /// Integrated pressure force over the wall boundary (per unit dynamic
 /// pressure this is drag/lift-like). Uses vertex pressures through each
 /// vertex's third of the face normal.
-pub fn wall_pressure_force(mesh: &TetMesh, gamma: f64, w: &[f64]) -> eul3d_mesh::Vec3 {
+pub fn wall_pressure_force(mesh: &TetMesh, gamma: f64, w: &SoaState) -> eul3d_mesh::Vec3 {
     let mut force = eul3d_mesh::Vec3::ZERO;
     for f in &mesh.bfaces {
         if f.kind != BcKind::Wall {
@@ -83,7 +84,7 @@ pub fn wall_pressure_force(mesh: &TetMesh, gamma: f64, w: &[f64]) -> eul3d_mesh:
         }
         let third = f.normal / 3.0;
         for &v in &f.v {
-            let p = pressure(gamma, &get5(w, v as usize));
+            let p = pressure(gamma, &w.get5(v as usize));
             force += third * p;
         }
     }
@@ -121,12 +122,10 @@ mod tests {
     use crate::gas::{Freestream, GAMMA, NVAR};
     use eul3d_mesh::gen::unit_box;
 
-    fn uniform(n: usize, mach: f64) -> Vec<f64> {
+    fn uniform(n: usize, mach: f64) -> SoaState {
         let fs = Freestream::new(GAMMA, mach, 0.0);
-        let mut w = vec![0.0; n * NVAR];
-        for i in 0..n {
-            w[i * NVAR..i * NVAR + NVAR].copy_from_slice(&fs.w);
-        }
+        let mut w = SoaState::new(n, NVAR);
+        w.fill_rows(&fs.w);
         w
     }
 
@@ -199,7 +198,8 @@ mod tests {
     #[test]
     fn entropy_error_detects_heated_gas() {
         let mut w = uniform(2, 0.5);
-        w[4] *= 1.5; // extra internal energy at vertex 0 => entropy rise
+        let e0 = w.get(0, 4);
+        w.set(0, 4, e0 * 1.5); // extra internal energy at vertex 0 => entropy rise
         let e = entropy_error_field(GAMMA, &w, 2);
         assert!(e[0] > 0.1);
         assert!(e[1].abs() < 1e-13);

@@ -14,101 +14,18 @@
 use eul3d_mesh::Vec3;
 
 use crate::counters::{FlopCounter, FLOPS_DISS_ROE_EDGE};
-use crate::gas::{get5, NVAR};
+#[allow(deprecated)]
+use crate::gas::get5;
+use crate::gas::NVAR;
 
-/// Fraction of the Roe-averaged sound speed below which eigenvalues are
-/// smoothed (Harten's entropy fix), preventing expansion shocks.
-const ENTROPY_FIX: f64 = 0.1;
+/// The per-edge wave decomposition lives in [`eul3d_kernels::gas`] —
+/// the single source of truth shared with the SoA lane kernel.
+pub use eul3d_kernels::gas::roe_dissipation_flux;
 
-/// `½ |Â(w_a, w_b)| (w_b − w_a)` through the (non-unit) face normal
-/// `eta`: the upwind dissipation of the Roe flux. Returns the vector to
-/// add at `a` and subtract at `b` under the `R = Q − D` convention.
-#[inline]
-pub fn roe_dissipation_flux(
-    gamma: f64,
-    wa: &[f64; 5],
-    wb: &[f64; 5],
-    pa: f64,
-    pb: f64,
-    eta: Vec3,
-) -> [f64; 5] {
-    let area = eta.norm();
-    if area < 1e-300 {
-        return [0.0; 5];
-    }
-    let n = eta / area;
-
-    // Primitive states.
-    let (ra, rb) = (wa[0], wb[0]);
-    let ua = Vec3::new(wa[1] / ra, wa[2] / ra, wa[3] / ra);
-    let ub = Vec3::new(wb[1] / rb, wb[2] / rb, wb[3] / rb);
-    let ha = (wa[4] + pa) / ra;
-    let hb = (wb[4] + pb) / rb;
-
-    // Roe averages.
-    let sra = ra.sqrt();
-    let srb = rb.sqrt();
-    let rho = sra * srb;
-    let f = sra / (sra + srb);
-    let u = ua * f + ub * (1.0 - f);
-    let h = ha * f + hb * (1.0 - f);
-    let q2 = u.norm_sq();
-    let c2 = (gamma - 1.0) * (h - 0.5 * q2);
-    // Roe average of physical states keeps c² > 0; guard anyway.
-    let c = c2.max(1e-12).sqrt();
-    let un = u.dot(n);
-
-    // Jumps.
-    let d_rho = rb - ra;
-    let d_p = pb - pa;
-    let d_u = ub - ua;
-    let d_un = d_u.dot(n);
-
-    // Wave strengths.
-    let a1 = (d_p - rho * c * d_un) / (2.0 * c2); // λ = un − c
-    let a5 = (d_p + rho * c * d_un) / (2.0 * c2); // λ = un + c
-    let a2 = d_rho - d_p / c2; // entropy wave, λ = un
-    let d_ut = d_u - n * d_un; // shear jump, λ = un
-
-    // Entropy-fixed absolute eigenvalues.
-    let fix = |lam: f64| -> f64 {
-        let delta = ENTROPY_FIX * c;
-        let al = lam.abs();
-        if al < delta {
-            0.5 * (al * al / delta + delta)
-        } else {
-            al
-        }
-    };
-    let l1 = fix(un - c);
-    let l2 = fix(un);
-    let l5 = fix(un + c);
-
-    // |A| Δw = Σ |λ_k| α_k r_k.
-    let mut d = [0.0f64; 5];
-    let mut add = |s: f64, r0: f64, rv: Vec3, re: f64| {
-        d[0] += s * r0;
-        d[1] += s * rv.x;
-        d[2] += s * rv.y;
-        d[3] += s * rv.z;
-        d[4] += s * re;
-    };
-    // Acoustic waves.
-    add(l1 * a1, 1.0, u - n * c, h - c * un);
-    add(l5 * a5, 1.0, u + n * c, h + c * un);
-    // Entropy wave.
-    add(l2 * a2, 1.0, u, 0.5 * q2);
-    // Shear waves.
-    add(l2 * rho, 0.0, d_ut, u.dot(d_ut));
-
-    for x in &mut d {
-        *x *= 0.5 * area;
-    }
-    d
-}
-
-/// Serial edge loop: accumulate the Roe dissipation into `diss` (+ at
-/// `a`, − at `b`; zeroed by the caller).
+/// Serial AoS edge loop: accumulate the Roe dissipation into `diss` (+
+/// at `a`, − at `b`; zeroed by the caller).
+#[deprecated(note = "use eul3d_kernels::roe_diss_edges on plane-major state")]
+#[allow(deprecated)]
 pub fn roe_dissipation_edges(
     edges: &[[u32; 2]],
     coef: &[Vec3],
@@ -130,6 +47,7 @@ pub fn roe_dissipation_edges(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::gas::{pressure, Freestream, GAMMA};

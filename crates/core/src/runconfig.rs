@@ -147,6 +147,13 @@ impl RunConfig {
                 "dissipation constants must be non-negative",
             ));
         }
+        if s.lanes == 0 || s.lanes > eul3d_kernels::MAX_LANES {
+            return Err(range_err(
+                "solver.lanes",
+                s.lanes as f64,
+                "lane width must be in 1..=16",
+            ));
+        }
         if self.levels == 0 {
             return Err(range_err("levels", 0.0, "need at least one mesh level"));
         }
@@ -245,6 +252,20 @@ impl RunConfigBuilder {
     /// Dissipation scheme.
     pub fn scheme(mut self, s: Scheme) -> Self {
         self.cfg.solver.scheme = s;
+        self
+    }
+
+    /// Lane width of the chunked SoA edge kernels (1..=16; validated at
+    /// build). Bit-identical for every width — a vectorization tunable.
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.cfg.solver.lanes = n;
+        self
+    }
+
+    /// Enable within-colour edge reordering for gather locality on the
+    /// shared-memory path (bit-identical; off by default).
+    pub fn edge_reorder(mut self, on: bool) -> Self {
+        self.cfg.solver.edge_reorder = on;
         self
     }
 
@@ -385,6 +406,8 @@ impl RunConfig {
         out.push_str(&format!("scheme = \"{}\"\n", scheme_name(s.scheme)));
         let rk: Vec<String> = s.rk_alpha.iter().map(|&a| toml_f64(a)).collect();
         out.push_str(&format!("rk_alpha = [{}]\n", rk.join(", ")));
+        out.push_str(&format!("lanes = {}\n", s.lanes));
+        out.push_str(&format!("edge_reorder = {}\n", s.edge_reorder));
 
         out.push_str("\n[run]\n");
         out.push_str(&format!(
@@ -571,6 +594,8 @@ fn apply_entry(
                 .ok_or_else(|| parse_err(line, &format!("scheme must be jst|roe, got '{name}'")))?;
         }
         ("solver", "rk_alpha") => rc.solver.rk_alpha = toml_f64_array(val, line)?,
+        ("solver", "lanes") => rc.solver.lanes = toml_num(val, line)?,
+        ("solver", "edge_reorder") => rc.solver.edge_reorder = toml_bool(val, line)?,
         ("run", "strategy") => {
             let name = toml_str(val, line)?;
             rc.strategy = parse_strategy(&name).ok_or_else(|| {
@@ -643,6 +668,37 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("cfl-backoff"), "{err}");
+    }
+
+    #[test]
+    fn builder_validates_lane_width() {
+        for bad in [0usize, eul3d_kernels::MAX_LANES + 1, 1000] {
+            let err = RunConfig::builder().lanes(bad).build().unwrap_err();
+            assert!(err.to_string().contains("solver.lanes"), "{bad}: {err}");
+        }
+        for good in [1usize, 4, eul3d_kernels::MAX_LANES] {
+            let rc = RunConfig::builder()
+                .lanes(good)
+                .edge_reorder(true)
+                .build()
+                .unwrap();
+            assert_eq!(rc.solver.lanes, good);
+            assert!(rc.solver.edge_reorder);
+        }
+    }
+
+    #[test]
+    fn lanes_and_reorder_survive_the_toml_codec() {
+        let rc = RunConfig::builder()
+            .lanes(4)
+            .edge_reorder(true)
+            .build()
+            .unwrap();
+        let back = RunConfig::from_toml(&rc.to_toml()).unwrap();
+        assert_eq!(back.solver.lanes, 4);
+        assert!(back.solver.edge_reorder);
+        let err = RunConfig::from_toml("[solver]\nlanes = 0\n").unwrap_err();
+        assert!(err.to_string().contains("solver.lanes"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rayon::prelude::*;
 
 use crate::config::SolverConfig;
 use crate::counters::PhaseCounters;
-use crate::executor::{Executor, HaloOp, Phase, ScatterAccess};
+use crate::executor::{EdgeSpan, Executor, HaloOp, Phase, ScatterAccess};
 use crate::level::{time_step, LevelState};
 
 /// The shared-memory execution context: a validated edge colouring plus
@@ -24,6 +24,9 @@ pub struct SharedExecutor {
     pub coloring: EdgeColoring,
     pub ncpus: usize,
     pool: rayon::ThreadPool,
+    /// Worker-block indices `0..ncpus`, prebuilt so vertex loops carve
+    /// their ranges without per-call allocation.
+    blocks: Vec<u32>,
 }
 
 impl SharedExecutor {
@@ -49,6 +52,7 @@ impl SharedExecutor {
             coloring,
             ncpus,
             pool,
+            blocks: (0..ncpus.max(1) as u32).collect(),
         })
     }
 
@@ -57,6 +61,17 @@ impl SharedExecutor {
     fn subgroup_len(&self, group_len: usize) -> usize {
         group_len.div_ceil(self.ncpus).max(1)
     }
+
+    /// Sort the edge ids inside every colour group for gather locality
+    /// (ascending endpoint order) — the within-colour reordering pass on
+    /// top of the mesh-level cache reordering. The mesh edge array is
+    /// untouched, so serial/distributed accumulation order — and the
+    /// blessed golden histories — cannot change; within a colour group
+    /// endpoints are disjoint, so the shared result is bit-identical
+    /// too.
+    pub fn reorder_within_colors(&mut self, edges: &[[u32; 2]]) {
+        eul3d_partition::reorder::sort_groups_for_locality(&mut self.coloring, edges);
+    }
 }
 
 impl Executor for SharedExecutor {
@@ -64,9 +79,9 @@ impl Executor for SharedExecutor {
         self.coloring.ncolors() as u64
     }
 
-    fn for_edges_scatter<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    fn for_edge_spans<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &ScatterAccess) + Sync,
+        F: Fn(&EdgeSpan<'_>, &ScatterAccess) + Sync,
     {
         assert_eq!(
             nedges,
@@ -78,29 +93,29 @@ impl Executor for SharedExecutor {
             let sub = self.subgroup_len(group.len());
             self.pool.install(|| {
                 group.par_chunks(sub).for_each(|chunk| {
-                    for &e in chunk {
-                        f(e as usize, &access);
-                    }
+                    f(&EdgeSpan::Ids(chunk), &access);
                 });
             });
         }
     }
 
-    fn for_vertices<F>(&mut self, data: &mut [f64], stride: usize, f: F)
+    fn for_vertex_spans<F>(&mut self, nverts: usize, targets: &mut [&mut [f64]], f: F)
     where
-        F: Fn(usize, &mut [f64]) + Sync,
+        F: Fn(std::ops::Range<usize>, &ScatterAccess) + Sync,
     {
-        let n = data.len() / stride;
-        let sub = self.subgroup_len(n) * stride;
+        if nverts == 0 {
+            return;
+        }
+        let access = ScatterAccess::new(targets);
+        let sub = self.subgroup_len(nverts);
+        // sub = ceil(nverts / ncpus), so at most ncpus blocks.
+        let nblocks = nverts.div_ceil(sub);
+        let blocks = &self.blocks[..nblocks];
         self.pool.install(|| {
-            data.par_chunks_mut(sub)
-                .enumerate()
-                .for_each(|(blk, chunk)| {
-                    let base = blk * sub / stride;
-                    for (k, row) in chunk.chunks_mut(stride).enumerate() {
-                        f(base + k, row);
-                    }
-                });
+            blocks.par_chunks(1).for_each(|blk| {
+                let lo = blk[0] as usize * sub;
+                f(lo..(lo + sub).min(nverts), &access);
+            });
         });
     }
 
@@ -136,7 +151,10 @@ impl SharedSingleGridSolver {
         cfg: SolverConfig,
         ncpus: usize,
     ) -> Result<SharedSingleGridSolver, String> {
-        let exec = SharedExecutor::new(&mesh, ncpus)?;
+        let mut exec = SharedExecutor::new(&mesh, ncpus)?;
+        if cfg.edge_reorder {
+            exec.reorder_within_colors(&mesh.edges);
+        }
         let st = LevelState::new(&mesh, &cfg);
         Ok(SharedSingleGridSolver {
             mesh,
@@ -168,15 +186,14 @@ impl SharedSingleGridSolver {
 mod tests {
     use super::*;
     use crate::executor::SerialExecutor;
-    use crate::gas::NVAR;
     use eul3d_mesh::gen::{bump_channel, unit_box, BumpSpec};
 
     fn perturbed_state(mesh: &TetMesh, cfg: &SolverConfig) -> LevelState {
         let mut st = LevelState::new(mesh, cfg);
         for (i, c) in mesh.coords.iter().enumerate() {
             let bump = 0.03 * (-10.0 * (c.x - 0.5).powi(2)).exp();
-            st.w[i * NVAR] += bump;
-            st.w[i * NVAR + 4] += 2.0 * bump;
+            st.w.add(i, 0, bump);
+            st.w.add(i, 4, 2.0 * bump);
         }
         st
     }
@@ -203,7 +220,7 @@ mod tests {
         let mut exec = SharedExecutor::new(&mesh, 4).unwrap();
         time_step(&mesh, &mut st_shared, &cfg, false, &mut exec, &mut c2);
         let mut max = 0.0f64;
-        for (a, b) in st_serial.w.iter().zip(&st_shared.w) {
+        for (a, b) in st_serial.w.flat().iter().zip(st_shared.w.flat()) {
             max = max.max((a - b).abs());
         }
         assert!(
@@ -254,7 +271,7 @@ mod tests {
         let mut c = PhaseCounters::default();
         time_step(&mesh, &mut st1, &cfg, false, &mut e1, &mut c);
         time_step(&mesh, &mut st4, &cfg, false, &mut e4, &mut c);
-        for (a, b) in st1.w.iter().zip(&st4.w) {
+        for (a, b) in st1.w.flat().iter().zip(st4.w.flat()) {
             assert!((a - b).abs() < 1e-11);
         }
     }
@@ -294,7 +311,7 @@ mod tests {
         );
         let mut exec = SharedExecutor::new(&mesh, 3).unwrap();
         time_step(&mesh, &mut st_shared, &cfg, false, &mut exec, &mut c);
-        for (a, b) in st_serial.w.iter().zip(&st_shared.w) {
+        for (a, b) in st_serial.w.flat().iter().zip(st_shared.w.flat()) {
             assert!((a - b).abs() < 1e-11);
         }
     }
@@ -308,7 +325,7 @@ mod tests {
         let mut exec = SharedExecutor::new(&mesh, 4).unwrap();
         let mut c = PhaseCounters::default();
         time_step(&mesh, &mut st, &cfg, false, &mut exec, &mut c);
-        for (a, b) in st.w.iter().zip(&before) {
+        for (a, b) in st.w.flat().iter().zip(before.flat()) {
             assert!((a - b).abs() < 1e-11);
         }
     }

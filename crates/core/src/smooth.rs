@@ -11,6 +11,8 @@
 
 use crate::counters::{FlopCounter, FLOPS_SMOOTH_EDGE, FLOPS_SMOOTH_VERT};
 use crate::gas::NVAR;
+use crate::soa::SoaState;
+use eul3d_kernels::{EdgeSpan, ScatterAccess, DEFAULT_LANES};
 
 /// Vertex degrees (incident-edge counts) as f64, accumulated from an
 /// edge list. For a rank-local edge list this yields *partial* degrees
@@ -26,6 +28,7 @@ pub fn degrees_from_edges(edges: &[[u32; 2]], n: usize) -> Vec<f64> {
 
 /// Edge-loop neighbour accumulation: `acc_a += r̄_b`, `acc_b += r̄_a`.
 /// `acc` must be zeroed by the caller.
+#[deprecated(note = "use eul3d_kernels::smooth_accumulate_edges on plane-major state")]
 pub fn smooth_accumulate(
     edges: &[[u32; 2]],
     rbar: &[f64],
@@ -43,6 +46,7 @@ pub fn smooth_accumulate(
 }
 
 /// Jacobi update for `n` owned vertices.
+#[deprecated(note = "use eul3d_kernels::smooth_update_verts on plane-major state")]
 pub fn smooth_update(
     n: usize,
     r0: &[f64],
@@ -63,6 +67,8 @@ pub fn smooth_update(
 
 /// Full sequential residual averaging: `passes` Jacobi sweeps in place
 /// over `res` (n×5), using `tmp`/`acc` as scratch.
+#[deprecated(note = "use the SoA smoothing path in crate::level")]
+#[allow(deprecated)]
 #[allow(clippy::too_many_arguments)]
 pub fn smooth_residual_serial(
     edges: &[[u32; 2]],
@@ -85,7 +91,66 @@ pub fn smooth_residual_serial(
     }
 }
 
+/// Sequential Jacobi sweeps over a plane-major field: `passes` in-place
+/// sweeps on the first `n_owned` rows of `res`, with `acc` as scratch.
+/// Same math and accumulation order as the executor-driven smoothing in
+/// [`crate::level`], used where no `Executor` is in play (agglomerated
+/// correction smoothing).
+#[allow(clippy::too_many_arguments)]
+pub fn smooth_residual_serial_soa(
+    edges: &[[u32; 2]],
+    n_owned: usize,
+    deg: &[f64],
+    eps: f64,
+    passes: usize,
+    res: &mut SoaState,
+    acc: &mut SoaState,
+    counter: &mut FlopCounter,
+) {
+    if passes == 0 || eps == 0.0 {
+        return;
+    }
+    let n = res.n();
+    let r0 = res.clone();
+    let span = EdgeSpan::Range(0..edges.len());
+    for _ in 0..passes {
+        acc.fill(0.0);
+        {
+            let mut targets = [acc.flat_mut()];
+            let s = ScatterAccess::new(&mut targets);
+            unsafe {
+                eul3d_kernels::smooth_accumulate_edges(
+                    &span,
+                    edges,
+                    res.flat(),
+                    n,
+                    &s,
+                    DEFAULT_LANES,
+                )
+            };
+        }
+        counter.add(edges.len(), FLOPS_SMOOTH_EDGE);
+        {
+            let mut targets = [res.flat_mut()];
+            let s = ScatterAccess::new(&mut targets);
+            unsafe {
+                eul3d_kernels::smooth_update_verts(
+                    0..n_owned,
+                    r0.flat(),
+                    acc.flat(),
+                    deg,
+                    eps,
+                    n,
+                    &s,
+                )
+            };
+        }
+        counter.add(n_owned, FLOPS_SMOOTH_VERT);
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use eul3d_mesh::gen::unit_box;
@@ -130,6 +195,29 @@ mod tests {
         smooth_residual_serial(&m.edges, n, &deg, 0.6, 2, &mut res, &mut acc, &mut counter);
         let amp1 = res.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
         assert!(amp1 < 0.7 * amp0, "oscillation {amp0} -> {amp1}");
+    }
+
+    #[test]
+    fn soa_serial_smoothing_matches_aos_bitwise() {
+        let m = unit_box(3, 0.1, 5);
+        let n = m.nverts();
+        let deg = degrees_from_edges(&m.edges, n);
+        let mut res = vec![0.0; n * NVAR];
+        for (i, x) in res.iter_mut().enumerate() {
+            *x = ((i * 37 % 19) as f64 - 9.0) * 0.1;
+        }
+        let mut soa = SoaState::from_aos(&res, NVAR);
+        let mut soa_acc = SoaState::new(n, NVAR);
+        let mut acc = vec![0.0; n * NVAR];
+        let (mut c1, mut c2) = (FlopCounter::default(), FlopCounter::default());
+        smooth_residual_serial(&m.edges, n, &deg, 0.6, 3, &mut res, &mut acc, &mut c1);
+        smooth_residual_serial_soa(&m.edges, n, &deg, 0.6, 3, &mut soa, &mut soa_acc, &mut c2);
+        assert_eq!(
+            soa.to_aos(),
+            res,
+            "plane-major sweeps must match AoS bitwise"
+        );
+        assert_eq!(c1.flops, c2.flops);
     }
 
     #[test]

@@ -48,8 +48,8 @@ impl SingleGridSolver {
         (0..n).map(|_| self.cycle()).collect()
     }
 
-    /// Conserved state accessor (n×5 flat).
-    pub fn state(&self) -> &[f64] {
+    /// Conserved state accessor (plane-major, 5 planes of n).
+    pub fn state(&self) -> &crate::soa::SoaState {
         &self.st.w
     }
 }
@@ -57,7 +57,6 @@ impl SingleGridSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gas::NVAR;
     use eul3d_mesh::gen::{bump_channel, unit_box, BumpSpec};
 
     #[test]
@@ -84,7 +83,7 @@ mod tests {
         );
         // Physicality of the converged-ish state.
         for i in 0..solver.st.n {
-            assert!(solver.state()[i * NVAR] > 0.1, "density stays positive");
+            assert!(solver.state().get(i, 0) > 0.1, "density stays positive");
         }
     }
 
@@ -98,7 +97,11 @@ mod tests {
         let mut solver = SingleGridSolver::new(mesh, cfg);
         // Disturb the initial state so there is something to converge.
         for i in 0..solver.st.n {
-            solver.st.w[i * NVAR] *= 1.0 + 0.01 * ((i % 7) as f64 - 3.0);
+            let rho = solver.st.w.get(i, 0);
+            solver
+                .st
+                .w
+                .set(i, 0, rho * (1.0 + 0.01 * ((i % 7) as f64 - 3.0)));
         }
         let hist = solver.solve(40);
         assert!(hist.iter().all(|r| r.is_finite()));

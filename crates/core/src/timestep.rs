@@ -5,10 +5,15 @@
 use eul3d_mesh::{BoundaryFace, Vec3};
 
 use crate::counters::{FlopCounter, FLOPS_DT_VERT, FLOPS_RADII_EDGE};
-use crate::gas::{get5, spectral_radius};
+#[allow(deprecated)]
+use crate::gas::get5;
+use crate::gas::spectral_radius;
+use crate::soa::SoaState;
 
 /// Accumulate spectral radii over edges into `lam` (zeroed by caller):
 /// `Λ_a += λ_ab`, `Λ_b += λ_ab`.
+#[deprecated(note = "use eul3d_kernels::radii_edges_soa on plane-major state")]
+#[allow(deprecated)]
 pub fn radii_edges(
     edges: &[[u32; 2]],
     coef: &[Vec3],
@@ -30,7 +35,28 @@ pub fn radii_edges(
 }
 
 /// Add the boundary-face contribution (each vertex gets the radius
-/// through its third of the face).
+/// through its third of the face), reading plane-major state.
+pub fn radii_bfaces_soa(
+    bfaces: &[BoundaryFace],
+    w: &SoaState,
+    p: &[f64],
+    gamma: f64,
+    lam: &mut [f64],
+    counter: &mut FlopCounter,
+) {
+    for face in bfaces {
+        let third = face.normal / 3.0;
+        for &v in &face.v {
+            let v = v as usize;
+            lam[v] += spectral_radius(gamma, &w.get5(v), p[v], third);
+        }
+    }
+    counter.add(bfaces.len(), FLOPS_RADII_EDGE);
+}
+
+/// Interleaved-AoS twin of [`radii_bfaces_soa`].
+#[deprecated(note = "use radii_bfaces_soa on plane-major state")]
+#[allow(deprecated)]
 pub fn radii_bfaces(
     bfaces: &[BoundaryFace],
     w: &[f64],
@@ -50,6 +76,7 @@ pub fn radii_bfaces(
 }
 
 /// `dt_i = CFL · V_i / Λ_i` for the `vol.len()` owned vertices.
+#[deprecated(note = "use eul3d_kernels::local_dt_verts")]
 pub fn local_dt(cfl: f64, vol: &[f64], lam: &[f64], dt: &mut [f64], counter: &mut FlopCounter) {
     for i in 0..vol.len() {
         dt[i] = cfl * vol[i] / lam[i].max(1e-300);
@@ -58,6 +85,7 @@ pub fn local_dt(cfl: f64, vol: &[f64], lam: &[f64], dt: &mut [f64], counter: &mu
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::gas::{Freestream, GAMMA, NVAR};

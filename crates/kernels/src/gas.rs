@@ -1,0 +1,161 @@
+//! Scalar perfect-gas thermodynamics and flux functions — the single
+//! source of truth for the per-edge arithmetic. `eul3d-core`'s `gas` and
+//! `roe` modules re-export these, and the lane-chunked kernels in this
+//! crate inline exactly the same expression trees, which is what makes
+//! the SoA path bit-identical to the AoS reference.
+
+use eul3d_mesh::Vec3;
+
+/// Static pressure from conserved variables.
+#[inline(always)]
+pub fn pressure(gamma: f64, w: &[f64; 5]) -> f64 {
+    let rho = w[0];
+    let ke = 0.5 * (w[1] * w[1] + w[2] * w[2] + w[3] * w[3]) / rho;
+    (gamma - 1.0) * (w[4] - ke)
+}
+
+/// Speed of sound.
+#[inline(always)]
+pub fn sound_speed(gamma: f64, rho: f64, p: f64) -> f64 {
+    (gamma * p / rho).sqrt()
+}
+
+/// Convective flux dotted with a (non-unit) area vector `eta`, given the
+/// precomputed pressure: `F(w) · η`.
+#[inline(always)]
+pub fn flux_dot(w: &[f64; 5], p: f64, eta: Vec3) -> [f64; 5] {
+    let rho = w[0];
+    let u = w[1] / rho;
+    let v = w[2] / rho;
+    let ww = w[3] / rho;
+    // Volume flux through the face.
+    let qn = u * eta.x + v * eta.y + ww * eta.z;
+    [
+        rho * qn,
+        w[1] * qn + p * eta.x,
+        w[2] * qn + p * eta.y,
+        w[3] * qn + p * eta.z,
+        (w[4] + p) * qn,
+    ]
+}
+
+/// Convective spectral radius on a face with area vector `eta`:
+/// `|q·η| + c·|η|`.
+#[inline(always)]
+pub fn spectral_radius(gamma: f64, w: &[f64; 5], p: f64, eta: Vec3) -> f64 {
+    let rho = w[0];
+    let qn = (w[1] * eta.x + w[2] * eta.y + w[3] * eta.z) / rho;
+    qn.abs() + sound_speed(gamma, rho, p) * eta.norm()
+}
+
+/// Fraction of the Roe-averaged sound speed below which eigenvalues are
+/// smoothed (Harten's entropy fix), preventing expansion shocks.
+pub const ENTROPY_FIX: f64 = 0.1;
+
+/// `½ |Â(w_a, w_b)| (w_b − w_a)` through the (non-unit) face normal
+/// `eta`: the upwind dissipation of the Roe flux. Returns the vector to
+/// add at `a` and subtract at `b` under the `R = Q − D` convention.
+#[inline]
+pub fn roe_dissipation_flux(
+    gamma: f64,
+    wa: &[f64; 5],
+    wb: &[f64; 5],
+    pa: f64,
+    pb: f64,
+    eta: Vec3,
+) -> [f64; 5] {
+    let area = eta.norm();
+    if area < 1e-300 {
+        return [0.0; 5];
+    }
+    let n = eta / area;
+
+    // Primitive states.
+    let (ra, rb) = (wa[0], wb[0]);
+    let ua = Vec3::new(wa[1] / ra, wa[2] / ra, wa[3] / ra);
+    let ub = Vec3::new(wb[1] / rb, wb[2] / rb, wb[3] / rb);
+    let ha = (wa[4] + pa) / ra;
+    let hb = (wb[4] + pb) / rb;
+
+    // Roe averages.
+    let sra = ra.sqrt();
+    let srb = rb.sqrt();
+    let rho = sra * srb;
+    let f = sra / (sra + srb);
+    let u = ua * f + ub * (1.0 - f);
+    let h = ha * f + hb * (1.0 - f);
+    let q2 = u.norm_sq();
+    let c2 = (gamma - 1.0) * (h - 0.5 * q2);
+    // Roe average of physical states keeps c² > 0; guard anyway.
+    let c = c2.max(1e-12).sqrt();
+    let un = u.dot(n);
+
+    // Jumps.
+    let d_rho = rb - ra;
+    let d_p = pb - pa;
+    let d_u = ub - ua;
+    let d_un = d_u.dot(n);
+
+    // Wave strengths.
+    let a1 = (d_p - rho * c * d_un) / (2.0 * c2); // λ = un − c
+    let a5 = (d_p + rho * c * d_un) / (2.0 * c2); // λ = un + c
+    let a2 = d_rho - d_p / c2; // entropy wave, λ = un
+    let d_ut = d_u - n * d_un; // shear jump, λ = un
+
+    // Entropy-fixed absolute eigenvalues.
+    let fix = |lam: f64| -> f64 {
+        let delta = ENTROPY_FIX * c;
+        let al = lam.abs();
+        if al < delta {
+            0.5 * (al * al / delta + delta)
+        } else {
+            al
+        }
+    };
+    let l1 = fix(un - c);
+    let l2 = fix(un);
+    let l5 = fix(un + c);
+
+    // |A| Δw = Σ |λ_k| α_k r_k.
+    let mut d = [0.0f64; 5];
+    let mut add = |s: f64, r0: f64, rv: Vec3, re: f64| {
+        d[0] += s * r0;
+        d[1] += s * rv.x;
+        d[2] += s * rv.y;
+        d[3] += s * rv.z;
+        d[4] += s * re;
+    };
+    // Acoustic waves.
+    add(l1 * a1, 1.0, u - n * c, h - c * un);
+    add(l5 * a5, 1.0, u + n * c, h + c * un);
+    // Entropy wave.
+    add(l2 * a2, 1.0, u, 0.5 * q2);
+    // Shear waves.
+    add(l2 * rho, 0.0, d_ut, u.dot(d_ut));
+
+    for x in &mut d {
+        *x *= 0.5 * area;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_and_sound_speed_consistency() {
+        let w = [1.0, 0.5, 0.0, 0.0, 2.0];
+        let p = pressure(1.4, &w);
+        assert!((p - 0.4 * (2.0 - 0.125)).abs() < 1e-15);
+        assert!((sound_speed(1.4, 1.0, p) - (1.4 * p).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roe_zero_jump_is_zero() {
+        let w = [1.0, 0.3, 0.1, 0.0, 2.2];
+        let p = pressure(1.4, &w);
+        let d = roe_dissipation_flux(1.4, &w, &w, p, p, Vec3::new(0.2, -0.1, 0.4));
+        assert!(d.iter().all(|x| x.abs() < 1e-14));
+    }
+}

@@ -1,0 +1,56 @@
+//! The hot numerical kernels of EUL3D on a **structure-of-arrays**
+//! state layout (§3 of the paper: edge colouring exists to expose vector
+//! parallelism — these kernels supply the data layout and loop shape
+//! that let it materialize on SIMD hardware).
+//!
+//! Per-vertex fields are stored *plane-major*: component `c` of vertex
+//! `i` of an `n`-vertex, `nc`-component field lives at flat index
+//! `c * n + i`. Edge loops are processed in **fixed-lane-width chunks**:
+//! gather the endpoint data of up to [`MAX_LANES`] edges into stack-local
+//! lane arrays, run the flux arithmetic as straight-line loops over the
+//! lanes (autovectorizer-friendly: no `[f64; 5]` strided loads, no
+//! bounds checks), then scatter the results in edge order.
+//!
+//! # Bit-equivalence contract
+//! Every kernel reproduces the scalar AoS reference arithmetic
+//! **bit for bit**: the per-edge expression trees are identical (IEEE
+//! f64, no reassociation, no FMA contraction), and results are scattered
+//! in ascending edge order within each span, so every memory slot sees
+//! the same accumulation order as the reference loop. Chunk width
+//! (`lanes`) therefore cannot change any result bit — only how many
+//! edges are staged per gather.
+//!
+//! # Crate hygiene
+//! This crate is kept free of panicking slice indexing on purpose: a
+//! codegen test (`tests/no_panic.rs`) objdumps the release rlib and
+//! asserts no `panic_bounds_check` is referenced. All inner-loop access
+//! is via `get_unchecked`, justified by the documented caller contracts.
+
+pub mod gas;
+
+mod edges;
+mod scatter;
+#[cfg(target_arch = "x86_64")]
+mod simd;
+mod verts;
+
+pub use edges::{
+    conv_flux_edges, first_order_diss_edges, jst_pass1_edges, jst_pass2_edges, radii_edges_soa,
+    roe_diss_edges, smooth_accumulate_edges,
+};
+pub use scatter::{EdgeSpan, ScatterAccess, MAX_SCATTER_TARGETS};
+pub use verts::{
+    assemble_verts, local_dt_verts, pressure_verts, rk_update_verts, sensor_verts,
+    smooth_update_verts,
+};
+
+/// Number of conserved variables per vertex.
+pub const NVAR: usize = 5;
+
+/// Hard upper bound on the chunk width of the lane-staged edge loops
+/// (the size of the stack-local gather arrays).
+pub const MAX_LANES: usize = 16;
+
+/// Default chunk width: wide enough to fill 512-bit SIMD with headroom,
+/// small enough to keep every lane array in L1.
+pub const DEFAULT_LANES: usize = 8;

@@ -1,0 +1,170 @@
+//! SoA vertex kernels: plane-contiguous maps over an owned index range.
+//! Writes go through [`ScatterAccess::set`] so the same kernel body runs
+//! serially, on disjoint rayon sub-ranges, and on rank-owned prefixes.
+//!
+//! All arithmetic reproduces the scalar AoS reference expression trees
+//! bit for bit (see the crate docs); every store is an overwrite, so
+//! iteration order cannot change results either.
+//!
+//! # Safety
+//! All kernels are `unsafe fn`: the caller must guarantee `range` and
+//! all read planes are in bounds (`nc * n` flats as documented), targets
+//! are sized as documented, and the [`ScatterAccess`] disjointness
+//! contract holds (no two concurrent invocations share an index).
+
+use std::ops::Range;
+
+use crate::scatter::ScatterAccess;
+use crate::NVAR;
+
+/// Per-vertex pressures: target 0 (`p`, scalar `n`) from the plane-major
+/// state `w` (`5n`).
+///
+/// # Safety
+/// See the module contract.
+pub unsafe fn pressure_verts(
+    range: Range<usize>,
+    gamma: f64,
+    w: &[f64],
+    n: usize,
+    s: &ScatterAccess,
+) {
+    debug_assert!(w.len() >= NVAR * n && range.end <= n && s.len_of(0) >= range.end);
+    let wp = w.as_ptr();
+    for i in range {
+        unsafe {
+            let rho = *wp.add(i);
+            let m1 = *wp.add(n + i);
+            let m2 = *wp.add(2 * n + i);
+            let m3 = *wp.add(3 * n + i);
+            let e = *wp.add(4 * n + i);
+            let ke = 0.5 * (m1 * m1 + m2 * m2 + m3 * m3) / rho;
+            s.set(0, i, (gamma - 1.0) * (e - ke));
+        }
+    }
+}
+
+/// Shock sensor `ν_i = |Σ(p_j−p_i)| / |Σ(p_j+p_i)|`: target 0 (`nu`,
+/// scalar) from the plane-major pass-1 accumulators `sens` (`2n`).
+///
+/// # Safety
+/// See the module contract.
+pub unsafe fn sensor_verts(range: Range<usize>, sens: &[f64], n: usize, s: &ScatterAccess) {
+    debug_assert!(sens.len() >= 2 * n && range.end <= n && s.len_of(0) >= range.end);
+    let sp = sens.as_ptr();
+    for i in range {
+        unsafe {
+            let num = (*sp.add(i)).abs();
+            let den = (*sp.add(n + i)).abs().max(1e-300);
+            s.set(0, i, num / den);
+        }
+    }
+}
+
+/// Residual assembly `res = Q − D + P`: target 0 (`res`, plane-major
+/// `5n`) from `q`, `diss`, `forcing` (each `5n`).
+///
+/// # Safety
+/// See the module contract.
+pub unsafe fn assemble_verts(
+    range: Range<usize>,
+    q: &[f64],
+    diss: &[f64],
+    forcing: &[f64],
+    n: usize,
+    s: &ScatterAccess,
+) {
+    debug_assert!(q.len() >= NVAR * n && diss.len() >= NVAR * n && forcing.len() >= NVAR * n);
+    debug_assert!(range.end <= n && s.len_of(0) >= NVAR * n);
+    let (qp, dp, fp) = (q.as_ptr(), diss.as_ptr(), forcing.as_ptr());
+    for c in 0..NVAR {
+        let base = c * n;
+        for i in range.clone() {
+            unsafe {
+                let j = base + i;
+                s.set(0, j, *qp.add(j) - *dp.add(j) + *fp.add(j));
+            }
+        }
+    }
+}
+
+/// Jacobi residual-averaging update
+/// `r̄ = (r0 + ε acc) / (1 + ε deg)`: target 0 (`res`, plane-major `5n`).
+///
+/// # Safety
+/// See the module contract (`r0`, `acc` `≥ 5n`; `deg` `≥ n`).
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn smooth_update_verts(
+    range: Range<usize>,
+    r0: &[f64],
+    acc: &[f64],
+    deg: &[f64],
+    eps: f64,
+    n: usize,
+    s: &ScatterAccess,
+) {
+    debug_assert!(r0.len() >= NVAR * n && acc.len() >= NVAR * n && deg.len() >= range.end);
+    debug_assert!(range.end <= n && s.len_of(0) >= NVAR * n);
+    let (rp, ap, gp) = (r0.as_ptr(), acc.as_ptr(), deg.as_ptr());
+    for i in range {
+        unsafe {
+            let inv = 1.0 / (1.0 + eps * *gp.add(i));
+            for c in 0..NVAR {
+                let j = c * n + i;
+                s.set(0, j, (*rp.add(j) + eps * *ap.add(j)) * inv);
+            }
+        }
+    }
+}
+
+/// Local time steps `Δt = CFL · V / Λ`: target 0 (`dt`, scalar).
+///
+/// # Safety
+/// See the module contract (`vol`, `lam` `≥ range.end`).
+pub unsafe fn local_dt_verts(
+    range: Range<usize>,
+    cfl: f64,
+    vol: &[f64],
+    lam: &[f64],
+    s: &ScatterAccess,
+) {
+    debug_assert!(vol.len() >= range.end && lam.len() >= range.end);
+    debug_assert!(s.len_of(0) >= range.end);
+    let (vp, lp) = (vol.as_ptr(), lam.as_ptr());
+    for i in range {
+        unsafe {
+            s.set(0, i, cfl * *vp.add(i) / (*lp.add(i)).max(1e-300));
+        }
+    }
+}
+
+/// Runge–Kutta stage update `w = w⁰ − α Δt/V · res`: target 0 (`w`,
+/// plane-major `5n`).
+///
+/// # Safety
+/// See the module contract (`w0`, `res` `≥ 5n`; `dt`, `vol` `≥ range.end`).
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn rk_update_verts(
+    range: Range<usize>,
+    alpha: f64,
+    w0: &[f64],
+    res: &[f64],
+    dt: &[f64],
+    vol: &[f64],
+    n: usize,
+    s: &ScatterAccess,
+) {
+    debug_assert!(w0.len() >= NVAR * n && res.len() >= NVAR * n);
+    debug_assert!(dt.len() >= range.end && vol.len() >= range.end);
+    debug_assert!(range.end <= n && s.len_of(0) >= NVAR * n);
+    let (wp, rp, tp, vp) = (w0.as_ptr(), res.as_ptr(), dt.as_ptr(), vol.as_ptr());
+    for i in range {
+        unsafe {
+            let scale = alpha * *tp.add(i) / *vp.add(i);
+            for c in 0..NVAR {
+                let j = c * n + i;
+                s.set(0, j, *wp.add(j) - scale * *rp.add(j));
+            }
+        }
+    }
+}

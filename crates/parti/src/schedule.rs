@@ -108,6 +108,75 @@ impl Schedule {
         }
     }
 
+    /// Plane-major twin of [`Schedule::gather`]: `data` holds `nplanes`
+    /// contiguous planes of `data.len() / nplanes` vertices each
+    /// (component `c` of vertex `i` at `c * plane_len + i`). Packing
+    /// strides across the planes per vertex, so the **wire format is
+    /// byte-identical** to the interleaved gather — same per-vertex
+    /// records, same message sizes, same pooled buffers — and recorded
+    /// traces do not change across the layout switch.
+    pub fn gather_planes(&self, rank: &mut Rank, data: &mut [f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        for (peer, idxs) in &self.sends {
+            let mut buf = rank.take_pack_f64(*peer, self.tag, idxs.len() * nplanes);
+            for &i in idxs {
+                for c in 0..nplanes {
+                    buf.push(data[c * plane + i as usize]);
+                }
+            }
+            rank.send_packed_f64(*peer, self.tag, buf, self.class);
+        }
+        for (peer, slots) in &self.recvs {
+            let buf = rank.recv_f64(*peer, self.tag);
+            assert_eq!(
+                buf.len(),
+                slots.len() * nplanes,
+                "gather buffer size mismatch"
+            );
+            for (k, &s) in slots.iter().enumerate() {
+                for c in 0..nplanes {
+                    data[c * plane + s as usize] = buf[k * nplanes + c];
+                }
+            }
+            rank.return_packed_f64(*peer, self.tag, buf);
+        }
+    }
+
+    /// Plane-major twin of [`Schedule::scatter_add`]: ghost accumulators
+    /// are packed per vertex across the planes (wire format identical to
+    /// the interleaved scatter), flushed to owners, and zeroed.
+    pub fn scatter_add_planes(&self, rank: &mut Rank, data: &mut [f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        let tag = self.tag + 1;
+        for (peer, slots) in &self.recvs {
+            let mut buf = rank.take_pack_f64(*peer, tag, slots.len() * nplanes);
+            for &s in slots {
+                for c in 0..nplanes {
+                    let j = c * plane + s as usize;
+                    buf.push(data[j]);
+                    data[j] = 0.0;
+                }
+            }
+            rank.send_packed_f64(*peer, tag, buf, self.class);
+        }
+        for (peer, idxs) in &self.sends {
+            let buf = rank.recv_f64(*peer, tag);
+            assert_eq!(
+                buf.len(),
+                idxs.len() * nplanes,
+                "scatter buffer size mismatch"
+            );
+            for (k, &i) in idxs.iter().enumerate() {
+                for c in 0..nplanes {
+                    data[c * plane + i as usize] += buf[k * nplanes + c];
+                }
+            }
+            rank.return_packed_f64(*peer, tag, buf);
+        }
+    }
+
     /// Like [`Schedule::gather`] but with distinct source and destination
     /// arrays: owners pack from `src` (owner-local indices), receivers
     /// fill `dst` (buffer slots). Used by the inter-grid transfer
@@ -165,6 +234,84 @@ impl Schedule {
                 let base = i as usize * nc;
                 for c in 0..nc {
                     dst[base + c] += buf[k * nc + c];
+                }
+            }
+            rank.return_packed_f64(*peer, tag, buf);
+        }
+    }
+
+    /// Plane-major-source twin of [`Schedule::gather_into`]: owners pack
+    /// from the plane-major `src`, receivers fill the **vertex-major**
+    /// staging buffer `dst` (the wire and staging layouts are unchanged —
+    /// only the local source layout differs).
+    pub fn gather_planes_into(
+        &self,
+        rank: &mut Rank,
+        src: &[f64],
+        dst: &mut [f64],
+        nplanes: usize,
+    ) {
+        debug_assert!(nplanes > 0 && src.len().is_multiple_of(nplanes));
+        let plane = src.len() / nplanes;
+        for (peer, idxs) in &self.sends {
+            let mut buf = rank.take_pack_f64(*peer, self.tag, idxs.len() * nplanes);
+            for &i in idxs {
+                for c in 0..nplanes {
+                    buf.push(src[c * plane + i as usize]);
+                }
+            }
+            rank.send_packed_f64(*peer, self.tag, buf, self.class);
+        }
+        for (peer, slots) in &self.recvs {
+            let buf = rank.recv_f64(*peer, self.tag);
+            assert_eq!(
+                buf.len(),
+                slots.len() * nplanes,
+                "gather_planes_into buffer size mismatch"
+            );
+            for (k, &s) in slots.iter().enumerate() {
+                let base = s as usize * nplanes;
+                dst[base..base + nplanes].copy_from_slice(&buf[k * nplanes..(k + 1) * nplanes]);
+            }
+            rank.return_packed_f64(*peer, self.tag, buf);
+        }
+    }
+
+    /// Plane-major-destination twin of [`Schedule::scatter_add_into`]:
+    /// staged partial sums in the **vertex-major** buffer `ghost_src`
+    /// (zeroed after sending) are flushed to owners, who accumulate into
+    /// the plane-major `dst`.
+    pub fn scatter_add_planes_into(
+        &self,
+        rank: &mut Rank,
+        ghost_src: &mut [f64],
+        dst: &mut [f64],
+        nplanes: usize,
+    ) {
+        debug_assert!(nplanes > 0 && dst.len().is_multiple_of(nplanes));
+        let plane = dst.len() / nplanes;
+        let tag = self.tag + 1;
+        for (peer, slots) in &self.recvs {
+            let mut buf = rank.take_pack_f64(*peer, tag, slots.len() * nplanes);
+            for &s in slots {
+                let base = s as usize * nplanes;
+                buf.extend_from_slice(&ghost_src[base..base + nplanes]);
+                ghost_src[base..base + nplanes]
+                    .iter_mut()
+                    .for_each(|x| *x = 0.0);
+            }
+            rank.send_packed_f64(*peer, tag, buf, self.class);
+        }
+        for (peer, idxs) in &self.sends {
+            let buf = rank.recv_f64(*peer, tag);
+            assert_eq!(
+                buf.len(),
+                idxs.len() * nplanes,
+                "scatter_add_planes_into size mismatch"
+            );
+            for (k, &i) in idxs.iter().enumerate() {
+                for c in 0..nplanes {
+                    dst[c * plane + i as usize] += buf[k * nplanes + c];
                 }
             }
             rank.return_packed_f64(*peer, tag, buf);
@@ -251,6 +398,77 @@ mod tests {
         });
         assert_eq!(&run.results[0][4..], &[110.0, 111.0]);
         assert_eq!(&run.results[1][4..], &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn plane_major_gather_matches_interleaved_wire_and_values() {
+        let interleaved = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let base = r.id as f64 * 100.0;
+            let mut data = vec![base, base + 1.0, base + 10.0, base + 11.0, 0.0, 0.0];
+            sched.gather(r, &mut data, 2);
+            data
+        });
+        let planar = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let base = r.id as f64 * 100.0;
+            // The same 3 vertices × 2 components, plane-major.
+            let mut data = vec![base, base + 10.0, 0.0, base + 1.0, base + 11.0, 0.0];
+            sched.gather_planes(r, &mut data, 2);
+            data
+        });
+        for rank in 0..2 {
+            // Ghost vertex 2: components at flat 4,5 (AoS) vs 2,5 (planes).
+            assert_eq!(planar.results[rank][2], interleaved.results[rank][4]);
+            assert_eq!(planar.results[rank][5], interleaved.results[rank][5]);
+            assert_eq!(
+                planar.counters[rank].total_bytes(),
+                interleaved.counters[rank].total_bytes(),
+                "wire format must not change with the layout"
+            );
+            assert_eq!(
+                planar.counters[rank].total_messages(),
+                interleaved.counters[rank].total_messages()
+            );
+        }
+    }
+
+    #[test]
+    fn plane_major_scatter_add_flushes_and_zeros() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            // 3 vertices × 2 planes; ghost accumulator at vertex 2.
+            let g = 5.0 + r.id as f64;
+            let mut data = vec![100.0, 100.0, g, 200.0, 200.0, g + 10.0];
+            sched.scatter_add_planes(r, &mut data, 2);
+            data
+        });
+        // Rank 0's owned vertex 1 += rank 1's ghost (6 / 16); ghosts zeroed.
+        assert_eq!(run.results[0], vec![100.0, 106.0, 0.0, 200.0, 216.0, 0.0]);
+        assert_eq!(run.results[1], vec![100.0, 105.0, 0.0, 200.0, 215.0, 0.0]);
+    }
+
+    #[test]
+    fn plane_executors_are_allocation_free_after_warm_up() {
+        let run = run_spmd(2, |r| {
+            let sched = mirror_schedule(r.id);
+            let mut data = vec![1.0, 2.0, 0.0, 4.0, 5.0, 0.0];
+            sched.gather_planes(r, &mut data, 2);
+            sched.scatter_add_planes(r, &mut data, 2);
+            let warm = r.counters.comm_allocs;
+            for _ in 0..20 {
+                sched.gather_planes(r, &mut data, 2);
+                sched.scatter_add_planes(r, &mut data, 2);
+            }
+            (warm, r.counters.comm_allocs)
+        });
+        for &(warm, steady) in &run.results {
+            assert!(warm > 0, "warm-up must populate the pool");
+            assert_eq!(
+                steady, warm,
+                "steady-state plane executors must not allocate"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Per-kernel throughput accounting for the SoA edge/vertex kernels:
+//! turns measured wall times and item counts into GFLOP/s and effective
+//! memory bandwidth, and renders the AoS-vs-SoA comparison the kernel
+//! benchmark (`BENCH_kernels.json`) emits.
+//!
+//! The flop weights are the solver's own per-kernel counting constants;
+//! the bytes model counts f64 traffic per item under a no-cache
+//! assumption — every gathered operand is read once, every scatter slot
+//! is a read-modify-write (two accesses) — so the reported bandwidth is
+//! an *upper bound* on the memory the kernel can have moved, and the
+//! derived arithmetic intensity a lower bound.
+
+/// One timed kernel: the same loop measured on the interleaved AoS
+/// baseline and on the plane-major SoA path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSample {
+    /// Kernel name (e.g. `"conv_flux"`).
+    pub name: String,
+    /// Items (edges or vertices) processed per round.
+    pub items: u64,
+    /// Timed rounds.
+    pub rounds: u64,
+    /// Total wall seconds over all rounds, AoS baseline.
+    pub aos_seconds: f64,
+    /// Total wall seconds over all rounds, SoA kernel.
+    pub soa_seconds: f64,
+    /// Flops per item (the solver's counting constant for this kernel).
+    pub flops_per_item: f64,
+    /// Modeled f64 slots touched per item (reads + 2× scatter slots).
+    pub f64s_per_item: f64,
+}
+
+impl KernelSample {
+    /// Total items over the timed rounds.
+    pub fn total_items(&self) -> u64 {
+        self.items * self.rounds
+    }
+
+    /// AoS-baseline-over-SoA wall-time ratio (> 1 means SoA is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.soa_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.aos_seconds / self.soa_seconds
+    }
+
+    /// SoA throughput in GFLOP/s.
+    pub fn soa_gflops(&self) -> f64 {
+        gflops(self.total_items(), self.flops_per_item, self.soa_seconds)
+    }
+
+    /// AoS-baseline throughput in GFLOP/s.
+    pub fn aos_gflops(&self) -> f64 {
+        gflops(self.total_items(), self.flops_per_item, self.aos_seconds)
+    }
+
+    /// Modeled SoA memory traffic in GB/s (8 bytes per touched f64).
+    pub fn soa_bandwidth_gbs(&self) -> f64 {
+        if self.soa_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_items() as f64 * self.f64s_per_item * 8.0 / self.soa_seconds / 1e9
+    }
+
+    /// Modeled flops per byte (layout-independent).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops_per_item / (self.f64s_per_item * 8.0)
+    }
+
+    /// This sample as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"items\": {}, \"rounds\": {}, \"aos_seconds\": {:.6e}, \"soa_seconds\": {:.6e}, \"speedup\": {:.4}, \"aos_gflops\": {:.4}, \"soa_gflops\": {:.4}, \"soa_bandwidth_gbs\": {:.4}, \"flops_per_item\": {}, \"f64s_per_item\": {}}}",
+            self.name,
+            self.items,
+            self.rounds,
+            self.aos_seconds,
+            self.soa_seconds,
+            self.speedup(),
+            self.aos_gflops(),
+            self.soa_gflops(),
+            self.soa_bandwidth_gbs(),
+            self.flops_per_item,
+            self.f64s_per_item,
+        )
+    }
+}
+
+fn gflops(items: u64, flops_per_item: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    items as f64 * flops_per_item / seconds / 1e9
+}
+
+/// Aggregate speedup over a set of samples: total AoS seconds over total
+/// SoA seconds, so long kernels dominate exactly as they do in a real
+/// residual evaluation.
+pub fn aggregate_speedup(samples: &[KernelSample]) -> f64 {
+    let aos: f64 = samples.iter().map(|s| s.aos_seconds).sum();
+    let soa: f64 = samples.iter().map(|s| s.soa_seconds).sum();
+    if soa <= 0.0 {
+        return f64::INFINITY;
+    }
+    aos / soa
+}
+
+/// Render the full `BENCH_kernels.json` document: a config header, one
+/// object per kernel, and the aggregate speedup.
+pub fn kernels_report_json(config_json: &str, samples: &[KernelSample]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"config\": {config_json},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (k, s) in samples.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&s.to_json());
+        out.push_str(if k + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"aggregate_speedup\": {:.4}\n}}\n",
+        aggregate_speedup(samples)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, aos: f64, soa: f64) -> KernelSample {
+        KernelSample {
+            name: name.to_string(),
+            items: 1000,
+            rounds: 10,
+            aos_seconds: aos,
+            soa_seconds: soa,
+            flops_per_item: 68.0,
+            f64s_per_item: 35.0,
+        }
+    }
+
+    #[test]
+    fn throughput_arithmetic() {
+        let s = sample("conv_flux", 2.0, 1.0);
+        assert!((s.speedup() - 2.0).abs() < 1e-12);
+        // 10_000 items × 68 flops / 1 s = 6.8e-4 GFLOP/s.
+        assert!((s.soa_gflops() - 6.8e-4).abs() < 1e-12);
+        assert!((s.aos_gflops() - 3.4e-4).abs() < 1e-12);
+        // 10_000 × 35 × 8 bytes / 1 s = 2.8e-3 GB/s.
+        assert!((s.soa_bandwidth_gbs() - 2.8e-3).abs() < 1e-12);
+        assert!((s.arithmetic_intensity() - 68.0 / 280.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_weighs_by_time_not_by_kernel() {
+        // A slow kernel at 1.0× and a fast one at 10×: the aggregate is
+        // dominated by the slow kernel, not the mean of the ratios.
+        let slow = sample("slow", 10.0, 10.0);
+        let fast = sample("fast", 1.0, 0.1);
+        let agg = aggregate_speedup(&[slow, fast]);
+        assert!((agg - 11.0 / 10.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_is_valid_jsonish() {
+        let samples = vec![sample("a", 2.0, 1.0), sample("b", 3.0, 1.5)];
+        let doc = kernels_report_json("{\"nedges\": 1000}", &samples);
+        assert!(doc.contains("\"aggregate_speedup\": 2.0000"));
+        assert!(doc.contains("\"name\": \"a\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn degenerate_times_do_not_divide_by_zero() {
+        let s = sample("z", 1.0, 0.0);
+        assert!(s.speedup().is_infinite());
+        assert_eq!(s.soa_bandwidth_gbs(), 0.0);
+        assert!(aggregate_speedup(&[]).is_infinite());
+    }
+}

@@ -4,7 +4,6 @@
 use eul3d::mesh::gen::{bump_channel, BumpSpec};
 use eul3d::mesh::MeshSequence;
 use eul3d::solver::agglo::AggloMultigrid;
-use eul3d::solver::gas::NVAR;
 use eul3d::solver::postproc::wall_pressure_force;
 use eul3d::solver::{MultigridSolver, SolverConfig, Strategy};
 
@@ -37,7 +36,7 @@ fn agglomeration_mg_reaches_the_same_steady_state() {
 
     // Same fine mesh (same spec/seed): states directly comparable.
     let mut max = 0.0f64;
-    for (a, b) in mesh_mg.state().iter().zip(agglo_mg.state()) {
+    for (a, b) in mesh_mg.state().flat().iter().zip(agglo_mg.state().flat()) {
         max = max.max((a - b).abs());
     }
     assert!(
@@ -64,7 +63,7 @@ fn agglomeration_mg_transient_stays_physical() {
         let r = mg.cycle();
         assert!(r.is_finite());
         for i in 0..mg.mesh.nverts() {
-            assert!(mg.state()[i * NVAR] > 0.05, "density positive");
+            assert!(mg.state().get(i, 0) > 0.05, "density positive");
         }
     }
 }

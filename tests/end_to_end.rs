@@ -5,7 +5,6 @@
 
 use eul3d::mesh::gen::{bump_channel, BumpSpec};
 use eul3d::mesh::MeshSequence;
-use eul3d::solver::gas::NVAR;
 use eul3d::solver::postproc::{mach_field, wall_pressure_force};
 use eul3d::solver::{MultigridSolver, SingleGridSolver, SolverConfig, Strategy};
 
@@ -37,7 +36,7 @@ fn multigrid_and_single_grid_agree_at_convergence() {
     let a = sg.state();
     let b = mg.state();
     let mut max = 0.0f64;
-    for (x, y) in a.iter().zip(b) {
+    for (x, y) in a.flat().iter().zip(b.flat()) {
         max = max.max((x - y).abs());
     }
     assert!(
@@ -134,7 +133,7 @@ fn state_stays_physical_through_the_transient() {
     for _ in 0..30 {
         mg.cycle();
         for i in 0..mg.levels[0].n {
-            let rho = mg.state()[i * NVAR];
+            let rho = mg.state().get(i, 0);
             assert!(
                 rho > 0.05 && rho < 5.0,
                 "density {rho} out of range mid-transient"

@@ -58,8 +58,8 @@ fn three_way_single_grid(scheme: Scheme) {
     );
     let wd = dist.global_state(setup.seq.meshes[0].nverts());
 
-    let d1 = max_dev(serial.state(), &shared.st.w);
-    let d2 = max_dev(serial.state(), &wd);
+    let d1 = max_dev(serial.state().flat(), shared.st.w.flat());
+    let d2 = max_dev(&serial.state().to_aos(), &wd);
     assert!(d1 < 1e-10, "{scheme:?} serial vs shared: {d1:.3e}");
     assert!(d2 < 1e-9, "{scheme:?} serial vs distributed: {d2:.3e}");
 
@@ -141,8 +141,8 @@ fn coarse_first_order_dissipation_matches_across_executors() {
         );
     }
     let wd = dist.global_state(setup.seq.meshes[0].nverts());
-    let ds = max_dev(serial.state(), shared.state());
-    let dd = max_dev(serial.state(), &wd);
+    let ds = max_dev(serial.state().flat(), shared.state().flat());
+    let dd = max_dev(&serial.state().to_aos(), &wd);
     assert!(ds < 1e-9, "FO coarse, serial vs shared state: {ds:.3e}");
     assert!(dd < 1e-8, "FO coarse, serial vs dist state: {dd:.3e}");
 
@@ -182,7 +182,7 @@ fn distributed_w_cycle_matches_serial_multigrid() {
         );
     }
     let wd = dist.global_state(setup.seq.meshes[0].nverts());
-    let d = max_dev(serial.state(), &wd);
+    let d = max_dev(&serial.state().to_aos(), &wd);
     assert!(d < 1e-8, "W-cycle states: {d:.3e}");
 }
 

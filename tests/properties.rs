@@ -9,7 +9,6 @@ use eul3d::mesh::search::Locator;
 use eul3d::mesh::stats::MeshStats;
 use eul3d::mesh::InterpOps;
 use eul3d::partition::{color_edges, rsb_partition, validate_coloring, PartitionQuality};
-use eul3d::solver::gas::NVAR;
 use eul3d::solver::level::{time_step, LevelState};
 use eul3d::solver::SolverConfig;
 use eul3d::solver::{PhaseCounters, SerialExecutor};
@@ -53,7 +52,7 @@ proptest! {
         let before = st.w.clone();
         let mut counter = PhaseCounters::default();
         time_step(&mesh, &mut st, &cfg, false, &mut SerialExecutor, &mut counter);
-        for (a, b) in st.w.iter().zip(&before) {
+        for (a, b) in st.w.flat().iter().zip(before.flat()) {
             prop_assert!((a - b).abs() < 1e-10, "freestream drift {a} vs {b}");
         }
     }
@@ -150,16 +149,16 @@ proptest! {
             let r = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) as f64
                 / (1u64 << 31) as f64
                 - 1.0;
-            st.w[i * NVAR] *= 1.0 + amp * r;
-            st.w[i * NVAR + 4] *= 1.0 + amp * r;
+            st.w.set(i, 0, st.w.get(i, 0) * (1.0 + amp * r));
+            st.w.set(i, 4, st.w.get(i, 4) * (1.0 + amp * r));
         }
         let mut counter = PhaseCounters::default();
         for _ in 0..5 {
             time_step(&mesh, &mut st, &cfg, false, &mut SerialExecutor, &mut counter);
         }
         for i in 0..st.n {
-            prop_assert!(st.w[i * NVAR].is_finite());
-            prop_assert!(st.w[i * NVAR] > 0.0, "density went non-positive");
+            prop_assert!(st.w.get(i, 0).is_finite());
+            prop_assert!(st.w.get(i, 0) > 0.0, "density went non-positive");
         }
     }
 }
