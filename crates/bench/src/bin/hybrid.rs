@@ -1,0 +1,166 @@
+//! `hybrid` — true-parallel HybridExecutor benchmark emitting
+//! `BENCH_hybrid.json`.
+//!
+//! Sweeps the same distributed V-cycle workload over 1/2/4 hybrid
+//! threads (ranks as OS threads, halos through shared-memory windows)
+//! and reports min-of-repeats wall time, parallel speedup over the
+//! 1-thread run, and the modeled Delta breakdown the simulated clock
+//! still produces on the same run. A bit-identity pre-check runs the
+//! channel (delta) backend at the same rank count and requires the
+//! residual history and final state to match bit-for-bit — the sweep is
+//! meaningless if the window transport changes the answer.
+//!
+//! Timings are min-of-repeats: the fastest repeat is the cleanest
+//! estimate of the true cost of each thread count.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `EUL3D_BENCH_REPEATS` | repeats per thread count | 5 |
+//! | `EUL3D_BENCH_OUT` | output path | `BENCH_hybrid.json` |
+//!
+//! `--smoke` shrinks the case for CI; `--gate X` exits nonzero when the
+//! 4-thread speedup falls below `X` — enforced only when the host has at
+//! least 4 cores (reported as `host_cores`), so single-core CI runners
+//! exercise the sweep without failing on physics they cannot express.
+
+use eul3d_bench::CaseSpec;
+use eul3d_core::dist::{run_distributed, DistBackend, DistOptions, DistRunResult, DistSetup};
+use eul3d_core::Strategy;
+use eul3d_delta::CostModel;
+
+fn opts(backend: DistBackend) -> DistOptions {
+    DistOptions {
+        backend,
+        ..DistOptions::default()
+    }
+}
+
+fn run_once(case: &CaseSpec, nranks: usize, backend: DistBackend) -> DistRunResult {
+    let setup = DistSetup::new(case.sequence(), nranks, 40, eul3d_core::env_seed(7));
+    run_distributed(
+        &setup,
+        case.config(),
+        Strategy::VCycle,
+        case.cycles,
+        opts(backend),
+    )
+}
+
+/// Min-of-repeats SPMD wall time (thread spawn to join) of one backend
+/// at one rank count, plus the last repeat's result for accounting.
+fn time_backend(
+    case: &CaseSpec,
+    nranks: usize,
+    backend: DistBackend,
+    repeats: usize,
+) -> (f64, DistRunResult) {
+    let mut best = f64::INFINITY;
+    let mut last = run_once(case, nranks, backend);
+    best = best.min(last.wall_seconds);
+    for _ in 1..repeats {
+        last = run_once(case, nranks, backend);
+        best = best.min(last.wall_seconds);
+    }
+    (best, last)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| args[i + 1].parse().expect("--gate takes a speedup factor"));
+    let repeats: usize = std::env::var("EUL3D_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let out_path =
+        std::env::var("EUL3D_BENCH_OUT").unwrap_or_else(|_| "BENCH_hybrid.json".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut case = CaseSpec::from_env(if smoke { 8 } else { 16 });
+    if smoke {
+        case.cycles = case.cycles.min(6);
+    }
+    println!(
+        "hybrid: bump channel nx={}, {} levels, {} cycles, V cycle, {} repeats, host has {} core(s)",
+        case.nx, case.levels, case.cycles, repeats, host_cores
+    );
+
+    // Bit-identity pre-check: windows vs channels at the same rank count.
+    let nverts = case.sequence().meshes[0].nverts();
+    let rh = run_once(&case, 2, DistBackend::Hybrid);
+    let rd = run_once(&case, 2, DistBackend::Delta);
+    let bit_identical = bits(rh.history()) == bits(rd.history())
+        && bits(&rh.global_state(nverts)) == bits(&rd.global_state(nverts));
+    assert!(
+        bit_identical,
+        "hybrid (windows) and delta (channels) backends must agree bit-for-bit"
+    );
+    println!("  bit-identity    hybrid == delta at 2 ranks (history + final state)");
+
+    let model = CostModel::delta_i860();
+    let threads = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    let mut wall_at = [0.0f64; 3];
+    for (k, &t) in threads.iter().enumerate() {
+        let (wall, r) = time_backend(&case, t, DistBackend::Hybrid, repeats);
+        let (wall_delta, _) = time_backend(&case, t, DistBackend::Delta, repeats);
+        wall_at[k] = wall;
+        let speedup = wall_at[0] / wall;
+        let b = model.evaluate(&r.cycle_counters());
+        println!(
+            "  {t} thread(s)     wall {wall:>9.4} s  (delta backend {wall_delta:>9.4} s)  \
+             speedup {speedup:>5.2}x  eff {:>5.1} %  modeled {:.2} s",
+            100.0 * speedup / t as f64,
+            b.total_seconds
+        );
+        rows.push(format!(
+            "{{\"threads\": {t}, \"hybrid_seconds\": {wall:.6e}, \"delta_seconds\": {wall_delta:.6e}, \
+             \"speedup\": {speedup:.4}, \"parallel_efficiency\": {:.4}, \
+             \"modeled\": {{\"comm_seconds\": {:.6e}, \"comp_seconds\": {:.6e}, \"total_seconds\": {:.6e}}}}}",
+            speedup / t as f64,
+            b.comm_seconds,
+            b.comp_seconds,
+            b.total_seconds
+        ));
+    }
+    let speedup4 = wall_at[0] / wall_at[2];
+
+    let json = format!(
+        "{{\n  \"config\": {{\"nx\": {}, \"levels\": {}, \"cycles\": {}, \"repeats\": {}, \"smoke\": {}}},\n  \"host_cores\": {},\n  \"bit_identical\": {},\n  \"speedup_at_4_threads\": {:.4},\n  \"sweep\": [\n    {}\n  ]\n}}\n",
+        case.nx,
+        case.levels,
+        case.cycles,
+        repeats,
+        smoke,
+        host_cores,
+        bit_identical,
+        speedup4,
+        rows.join(",\n    "),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_hybrid.json");
+    println!("wrote {out_path}");
+
+    if let Some(limit) = gate {
+        if host_cores >= 4 {
+            assert!(
+                speedup4 >= limit,
+                "4-thread hybrid speedup {speedup4:.2}x misses the {limit:.2}x gate"
+            );
+            println!("gate: 4-thread speedup {speedup4:.2}x >= {limit:.2}x — ok");
+        } else {
+            println!(
+                "gate: skipped — host has {host_cores} core(s), the {limit:.2}x speedup \
+                 gate needs at least 4"
+            );
+        }
+    }
+}

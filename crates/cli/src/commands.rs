@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use eul3d_core::checkpoint::Checkpoint;
 use eul3d_core::health::GuardOutcome;
 use eul3d_core::postproc::{cp_field, mach_field, pressure_field};
-use eul3d_core::runconfig::{parse_scheme, parse_strategy};
+use eul3d_core::runconfig::{parse_backend, parse_scheme, parse_strategy, BackendKind};
 use eul3d_core::shared::SharedSingleGridSolver;
 use eul3d_core::{
     ConvergenceHistory, Eul3dError, MultigridSolver, Phase, RunConfig, Strategy, TraceConfig,
@@ -108,6 +108,11 @@ fn run_config_of(a: &Args, levels: usize, cycles: usize, dist: bool) -> Result<R
 
     if dist {
         over(a, "ranks", &mut rc.nranks)?;
+        if let Some(s) = a.get_str("backend") {
+            rc.backend = parse_backend(&s)
+                .ok_or_else(|| format!("--backend must be delta|hybrid, got '{s}'"))?;
+        }
+        over(a, "threads", &mut rc.threads)?;
         over(a, "checkpoint-every", &mut rc.checkpoint_every)?;
         over(a, "fault-timeout-ms", &mut rc.fault_timeout_ms)?;
         if let Some(spec) = a.get_str("faults") {
@@ -473,13 +478,15 @@ pub fn solve(a: &Args) -> Result<(), String> {
 
 pub fn distributed(a: &Args) -> Result<(), String> {
     use eul3d_core::dist::{
-        run_distributed, run_distributed_guarded, run_distributed_with_faults, DistOptions,
-        DistSetup, FaultOptions, RankFate,
+        run_distributed, run_distributed_guarded, run_distributed_with_faults, DistBackend,
+        DistOptions, DistSetup, FaultOptions, RankFate,
     };
     let rc = run_config_of(a, 3, 25, true)?;
     let no_incr = a.has("no-incremental");
     a.check_unknown()?;
-    let (spec, levels, cycles, nranks) = (rc.mesh.clone(), rc.levels, rc.cycles, rc.nranks);
+    let hybrid = rc.backend == BackendKind::Hybrid;
+    let nranks = rc.effective_nranks();
+    let (spec, levels, cycles) = (rc.mesh.clone(), rc.levels, rc.cycles);
     let (strategy, cfg, guard) = (rc.strategy, rc.solver, rc.guard);
     let fopts = match &rc.faults {
         Some(spec) => Some(FaultOptions {
@@ -502,9 +509,14 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     };
 
     println!(
-        "distributed: nx={} levels={levels} {} cycles={cycles} on {nranks} simulated ranks",
+        "distributed: nx={} levels={levels} {} cycles={cycles} on {nranks} {}",
         spec.nx,
-        strategy.label()
+        strategy.label(),
+        if hybrid {
+            "hybrid threads (shared-memory windows)"
+        } else {
+            "simulated ranks"
+        }
     );
     let seq = MeshSequence::bump_sequence(&spec, levels);
     let t0 = std::time::Instant::now();
@@ -517,6 +529,12 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     let opts = DistOptions {
         refetch_per_loop: no_incr,
         trace_capacity: rc.trace.enabled.then_some(rc.trace.capacity),
+        backend: if hybrid {
+            DistBackend::Hybrid
+        } else {
+            DistBackend::Delta
+        },
+        real_time_lanes: hybrid && rc.trace.enabled,
         ..DistOptions::default()
     };
     let t1 = std::time::Instant::now();
@@ -576,6 +594,12 @@ pub fn distributed(a: &Args) -> Result<(), String> {
         b.mflops,
         b.comm_to_comp()
     );
+    if hybrid {
+        println!(
+            "hybrid wall time: {:.3}s on {nranks} threads (vs {:.2}s modeled Delta)",
+            r.wall_seconds, b.total_seconds
+        );
+    }
     if rc.trace.enabled {
         export_trace(&r.lanes(), &rc.trace)?;
     }

@@ -8,6 +8,7 @@
 //!                  [--restart ck] [--checkpoint ck] [--vtk out.vtk]
 //! eul3d distributed --nx 24 --levels 3 --ranks 32 [--strategy sg|v|w]
 //!                  [--cycles 25] [--no-incremental]
+//!                  [--backend delta|hybrid] [--threads N]
 //!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
 //! ```
 //!
@@ -18,6 +19,13 @@
 //! lane per rank — open in Perfetto or `chrome://tracing`),
 //! `--trace-summary` (human table), `--trace-capacity N` (ring events
 //! per lane), and `--trace-top N` (summary rows).
+//!
+//! `--backend hybrid` runs the distributed solve with ranks as real OS
+//! threads exchanging halos through shared-memory windows (`--threads N`
+//! sets the thread count, default one per `--ranks`); the modeled Delta
+//! clock still runs, so the report shows both wall and simulated time.
+//! A fault plan forces the channel transport (faults are injected there),
+//! and `--trace` lanes switch to the real-time clock under `hybrid`.
 //!
 //! `--faults` takes a comma-separated fault plan (e.g.
 //! `kill:1@3+5,corrupt:0>2#0@2`) injected deterministically into the

@@ -98,6 +98,36 @@ fn distributed_command_runs() {
 }
 
 #[test]
+fn distributed_hybrid_backend_reports_wall_and_modeled_time() {
+    let (ok, stdout, stderr) = eul3d(&[
+        "distributed",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--ranks",
+        "32",
+        "--threads",
+        "2",
+        "--backend",
+        "hybrid",
+        "--cycles",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("on 2 hybrid threads"),
+        "--threads must override --ranks under hybrid: {stdout}"
+    );
+    assert!(stdout.contains("modeled Delta cost"), "{stdout}");
+    assert!(stdout.contains("hybrid wall time"), "{stdout}");
+
+    let (ok, _, stderr) = eul3d(&["distributed", "--nx", "8", "--backend", "mpi"]);
+    assert!(!ok, "unknown backend must be rejected");
+    assert!(stderr.contains("delta|hybrid"), "{stderr}");
+}
+
+#[test]
 fn distributed_with_faults_recovers_and_reports() {
     let (ok, stdout, stderr) = eul3d(&[
         "distributed",

@@ -1,0 +1,176 @@
+//! The hybrid [`Executor`]: ranks are real OS threads and per-cycle halo
+//! traffic moves through shared-memory windows instead of channel
+//! copies.
+//!
+//! The compute side is identical to [`super::level::DistExecutor`] —
+//! scalar loops on the rank's thread, PARTI schedules deciding who reads
+//! what. The difference is the halo *transport* and what the split
+//! exchange hooks do:
+//!
+//! * [`Executor::exchange_begin`] packs this rank's send regions into
+//!   its outgoing windows ([`eul3d_delta::Window`]) and returns — no
+//!   copy to a mailbox, no blocking. For a scatter-add the ghost slots
+//!   are flushed into the windows and zeroed (exactly the channel
+//!   path's order).
+//! * [`Executor::exchange_finish`] consumes the peers' windows in
+//!   schedule order, spinning only if a peer has not published yet. The
+//!   interior kernels the caller ran between begin and finish are the
+//!   overlap the paper's §4.3 fetch-once optimization aims for, now
+//!   with real concurrency.
+//!
+//! Every publish charges the *modeled* wire cost exactly like a channel
+//! send (bytes, hops, lane-clock advance), so a hybrid run still reports
+//! the simulated-Delta clock alongside the real wall time measured by
+//! the driver: one run, both numbers.
+//!
+//! Setup traffic, collectives ([`Executor::reduce_sum`]), transfers and
+//! checkpoint shipping stay on the channels — windows carry only the
+//! steady-state halo streams the schedules pre-negotiated.
+
+use eul3d_delta::Rank;
+use eul3d_obs as obs;
+use eul3d_parti::Schedule;
+
+use std::ops::Range;
+
+use crate::counters::PhaseCounters;
+use crate::executor::{EdgeSpan, Executor, HaloOp, Phase, ScatterAccess};
+use crate::gas::NVAR;
+use crate::soa::SoaState;
+
+/// The hybrid backend: one instance per rank thread, borrowing the
+/// rank's endpoint (which must have a window registry installed — see
+/// [`Rank::install_windows`]) and the level's halo schedule.
+pub struct HybridExecutor<'a> {
+    pub rank: &'a mut Rank,
+    pub halo: &'a Schedule,
+    pub n_owned: usize,
+    pub refetch_per_loop: bool,
+}
+
+impl HybridExecutor<'_> {
+    /// Run `f` against the rank and charge the message/byte/allocation
+    /// delta it produced to `phase`, wrapped in an observability span
+    /// (same accounting discipline as the channel-backed executor).
+    fn charged<R>(
+        &mut self,
+        phase: Phase,
+        counters: &mut PhaseCounters,
+        f: impl FnOnce(&mut Rank) -> R,
+    ) -> R {
+        let (m0, b0, a0) = (
+            self.rank.counters.total_messages(),
+            self.rank.counters.total_bytes(),
+            self.rank.counters.comm_allocs,
+        );
+        obs::emit(obs::Event::PhaseBegin {
+            phase: phase.index() as u8,
+        });
+        let out = f(self.rank);
+        obs::emit(obs::Event::PhaseEnd {
+            phase: phase.index() as u8,
+        });
+        let (m1, b1, a1) = (
+            self.rank.counters.total_messages(),
+            self.rank.counters.total_bytes(),
+            self.rank.counters.comm_allocs,
+        );
+        counters.add_comm(phase, m1 - m0, b1 - b0, a1 - a0);
+        out
+    }
+}
+
+impl Executor for HybridExecutor<'_> {
+    fn owned(&self, _n_all: usize) -> usize {
+        self.n_owned
+    }
+
+    fn refetch(&mut self, w: &mut SoaState, counters: &mut PhaseCounters) {
+        if self.refetch_per_loop {
+            let halo = self.halo;
+            self.charged(Phase::Exchange, counters, |rank| {
+                halo.gather_planes_shm_begin(rank, w.flat(), NVAR);
+                halo.gather_planes_shm_finish(rank, w.flat_mut(), NVAR);
+            });
+        }
+    }
+
+    fn for_edge_spans<F>(&mut self, nedges: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(&EdgeSpan<'_>, &ScatterAccess) + Sync,
+    {
+        let access = ScatterAccess::new(targets);
+        f(&EdgeSpan::Range(0..nedges), &access);
+    }
+
+    fn for_vertex_spans<F>(&mut self, nverts: usize, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(Range<usize>, &ScatterAccess) + Sync,
+    {
+        let access = ScatterAccess::new(targets);
+        f(0..nverts, &access);
+    }
+
+    /// A full exchange is just begin + finish back to back: publish all
+    /// sends, then consume all receipts. Publishing everything before
+    /// waiting on anything is what keeps the machine deadlock-free (see
+    /// `eul3d_delta::shm`).
+    fn exchange_halo(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    ) {
+        let halo = self.halo;
+        self.charged(phase, counters, |rank| match op {
+            HaloOp::Gather => {
+                halo.gather_planes_shm_begin(rank, data, stride);
+                halo.gather_planes_shm_finish(rank, data, stride);
+            }
+            HaloOp::ScatterAdd => {
+                halo.scatter_add_planes_shm_begin(rank, data, stride);
+                halo.scatter_add_planes_shm_finish(rank, data, stride);
+            }
+        });
+    }
+
+    fn exchange_begin(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    ) {
+        let halo = self.halo;
+        self.charged(phase, counters, |rank| match op {
+            HaloOp::Gather => halo.gather_planes_shm_begin(rank, data, stride),
+            HaloOp::ScatterAdd => halo.scatter_add_planes_shm_begin(rank, data, stride),
+        });
+    }
+
+    fn exchange_finish(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    ) {
+        let halo = self.halo;
+        self.charged(phase, counters, |rank| match op {
+            HaloOp::Gather => halo.gather_planes_shm_finish(rank, data, stride),
+            HaloOp::ScatterAdd => halo.scatter_add_planes_shm_finish(rank, data, stride),
+        });
+    }
+
+    fn comm_cost(&self) -> eul3d_delta::CostModel {
+        self.rank.cost_model()
+    }
+
+    fn reduce_sum(&mut self, phase: Phase, vals: &mut [f64], counters: &mut PhaseCounters) {
+        self.charged(phase, counters, |rank| rank.all_reduce_sum_in_place(vals));
+    }
+}

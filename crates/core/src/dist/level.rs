@@ -16,6 +16,8 @@ use crate::gas::NVAR;
 use crate::level::LevelState;
 use crate::soa::SoaState;
 
+use super::hybrid::HybridExecutor;
+
 /// Execution options for the distributed path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DistExecOptions {
@@ -114,6 +116,10 @@ impl Executor for DistExecutor<'_> {
         });
     }
 
+    fn comm_cost(&self) -> eul3d_delta::CostModel {
+        self.rank.cost_model()
+    }
+
     fn reduce_sum(&mut self, phase: Phase, vals: &mut [f64], counters: &mut PhaseCounters) {
         self.charged(phase, counters, |rank| rank.all_reduce_sum_in_place(vals));
     }
@@ -180,7 +186,9 @@ impl DistLevel {
     }
 
     /// One distributed five-stage time step — the *same* stage loop as
-    /// every other backend, driven through [`DistExecutor`].
+    /// every other backend, driven through [`DistExecutor`] (or the
+    /// window-backed [`HybridExecutor`] when the rank carries a shared-
+    /// memory window registry).
     pub fn time_step(
         &mut self,
         rank: &mut Rank,
@@ -189,6 +197,16 @@ impl DistLevel {
         opts: &DistExecOptions,
         counters: &mut PhaseCounters,
     ) {
+        if rank.has_windows() {
+            let mut exec = HybridExecutor {
+                rank,
+                halo: &self.halo,
+                n_owned: self.rm.n_owned(),
+                refetch_per_loop: opts.refetch_per_loop,
+            };
+            crate::level::time_step(&self.rm, &mut self.st, cfg, is_coarse, &mut exec, counters);
+            return;
+        }
         let mut exec = DistExecutor {
             rank,
             halo: &self.halo,
@@ -207,6 +225,23 @@ impl DistLevel {
         opts: &DistExecOptions,
         counters: &mut PhaseCounters,
     ) {
+        if rank.has_windows() {
+            let mut exec = HybridExecutor {
+                rank,
+                halo: &self.halo,
+                n_owned: self.rm.n_owned(),
+                refetch_per_loop: opts.refetch_per_loop,
+            };
+            crate::level::eval_total_residual(
+                &self.rm,
+                &mut self.st,
+                cfg,
+                is_coarse,
+                &mut exec,
+                counters,
+            );
+            return;
+        }
         let mut exec = DistExecutor {
             rank,
             halo: &self.halo,

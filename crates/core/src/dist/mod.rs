@@ -9,17 +9,20 @@
 //! variant); edge-loop partial sums destined for off-rank vertices
 //! accumulate in ghost slots and are flushed by `scatter_add`.
 
+mod hybrid;
 mod level;
 mod recover;
 mod setup;
 mod solver;
 mod transfer;
 
+pub use hybrid::HybridExecutor;
 pub use level::{DistExecOptions, DistExecutor, DistLevel};
 pub use recover::{run_distributed_guarded, run_distributed_with_faults, FaultOptions};
 pub use setup::DistSetup;
 pub use solver::{
-    run_distributed, AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput,
+    run_distributed, AdoptedOutput, DistBackend, DistOptions, DistRunResult, DistSolver, RankFate,
+    RankOutput,
 };
 pub use transfer::TransferLink;
 

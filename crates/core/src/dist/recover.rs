@@ -330,6 +330,9 @@ struct LoopState {
 fn arm_trace(opts: &DistOptions) {
     if let Some(cap) = opts.trace_capacity {
         obs::install(Box::new(obs::RingTracer::new(cap)));
+        if opts.real_time_lanes {
+            obs::set_clock(obs::ClockSource::RealTime);
+        }
     }
 }
 
@@ -1046,11 +1049,25 @@ fn run_with_ctx(
         fopts,
         guard,
     };
+    // The hybrid backend's shared-memory windows carry only fault-free
+    // halo streams: fault injection lives in the channel transport, so a
+    // non-empty plan silently keeps everything on the channels (the
+    // recovery machinery then works unchanged).
+    let windows = match opts.backend {
+        super::solver::DistBackend::Hybrid if fopts.plan.is_empty() => {
+            Some(eul3d_delta::WindowRegistry::new(setup.nranks))
+        }
+        _ => None,
+    };
+    let t0 = std::time::Instant::now();
     let run = run_spmd(setup.nranks, |rank| {
         rank.install_faults(
             fopts.plan.clone(),
             Some(Duration::from_millis(fopts.recv_timeout_ms)),
         );
+        if let Some(reg) = &windows {
+            rank.install_windows(Arc::clone(reg));
+        }
         arm_trace(&opts);
         let collector = Mutex::new(Vec::new());
         let mut out = std::thread::scope(|scope| virtual_loop(rank, &ctx, scope, &collector, None));
@@ -1065,5 +1082,6 @@ fn run_with_ctx(
         }
         out
     });
-    DistRunResult { run }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    DistRunResult { run, wall_seconds }
 }

@@ -16,6 +16,23 @@ use super::level::{DistExecOptions, DistLevel};
 use super::setup::DistSetup;
 use super::transfer::TransferLink;
 
+/// Which transport carries the per-cycle halo streams of a distributed
+/// run. The SPMD structure, schedules, and numerics are identical either
+/// way — the backends are bit-equivalent by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistBackend {
+    /// The simulated Intel Delta: channel mailboxes, modeled wire time
+    /// (the default, and the only transport fault injection understands).
+    #[default]
+    Delta,
+    /// True-parallel shared memory: ranks are still one OS thread each,
+    /// but halo data moves through epoch-stamped shared-memory windows
+    /// with real overlap, and the driver reports wall time alongside the
+    /// modeled clock. Falls back to `Delta` when a fault plan is active
+    /// (injection intercepts the channel transport).
+    Hybrid,
+}
+
 /// Options of a distributed run.
 #[derive(Debug, Clone, Copy)]
 pub struct DistOptions {
@@ -29,6 +46,13 @@ pub struct DistOptions {
     /// streams come back in [`RankOutput::trace`]. `None` leaves tracing
     /// off (the default).
     pub trace_capacity: Option<usize>,
+    /// Halo transport (see [`DistBackend`]).
+    pub backend: DistBackend,
+    /// Stamp traced lanes with real wall time instead of the modeled
+    /// clock (hybrid runs only — shows measured overlap in the trace;
+    /// stamps are not reproducible across runs, so goldens keep this
+    /// off).
+    pub real_time_lanes: bool,
 }
 
 impl Default for DistOptions {
@@ -37,6 +61,8 @@ impl Default for DistOptions {
             refetch_per_loop: false,
             monitor_residual: true,
             trace_capacity: None,
+            backend: DistBackend::Delta,
+            real_time_lanes: false,
         }
     }
 }
@@ -101,6 +127,11 @@ pub struct RankOutput {
 /// Result of a distributed run.
 pub struct DistRunResult {
     pub run: MachineRun<RankOutput>,
+    /// Measured wall time of the SPMD region (thread spawn to join), in
+    /// seconds. Meaningful for comparing hybrid scaling against the
+    /// modeled Delta clock; on the channel backend it mostly measures
+    /// the simulator.
+    pub wall_seconds: f64,
 }
 
 impl DistRunResult {

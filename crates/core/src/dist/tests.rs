@@ -875,6 +875,283 @@ mod guard {
     }
 }
 
+mod hybrid {
+    //! The true-parallel hybrid backend: same schedules, same numerics,
+    //! different transport. Bit-identical to the channel backend — and
+    //! therefore transitively to the serial/shared solvers within their
+    //! established tolerances — plus the wall-clock and fallback
+    //! behaviours that distinguish it.
+
+    use std::sync::Arc;
+
+    use eul3d_delta::FaultPlan;
+
+    use super::*;
+    use crate::dist::{
+        run_distributed_guarded, run_distributed_with_faults, DistBackend, FaultOptions, RankFate,
+    };
+    use crate::health::GuardConfig;
+    use crate::shared::SharedSingleGridSolver;
+
+    fn hybrid_opts() -> DistOptions {
+        DistOptions {
+            backend: DistBackend::Hybrid,
+            ..DistOptions::default()
+        }
+    }
+
+    fn assert_runs_bit_identical(
+        a: &crate::dist::DistRunResult,
+        b: &crate::dist::DistRunResult,
+        nverts: usize,
+        what: &str,
+    ) {
+        let (ha, hb) = (a.history(), b.history());
+        assert_eq!(ha.len(), hb.len(), "{what}: history length");
+        for (i, (x, y)) in ha.iter().zip(hb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: cycle {i} residuals diverge ({x:e} vs {y:e})"
+            );
+        }
+        let (wa, wb) = (a.global_state(nverts), b.global_state(nverts));
+        for (i, (x, y)) in wa.iter().zip(&wb).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: state entry {i}");
+        }
+    }
+
+    #[test]
+    fn four_backends_one_answer_single_grid() {
+        // The 4-way equivalence: serial and shared agree to round-off;
+        // channel-distributed and hybrid agree *bitwise* (identical
+        // pack/zero/accumulate orders), and both sit within round-off of
+        // serial.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let cycles = 4;
+        let seq = small_seq(1);
+        let nverts = seq.meshes[0].nverts();
+
+        let mut serial = SingleGridSolver::new(seq.meshes[0].clone(), cfg);
+        let hs = serial.solve(cycles);
+
+        let mut shared = SharedSingleGridSolver::new(seq.meshes[0].clone(), cfg, 3)
+            .expect("shared solver builds");
+        let hsh = shared.solve(cycles);
+
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let delta = run_distributed(
+            &setup,
+            cfg,
+            Strategy::SingleGrid,
+            cycles,
+            DistOptions::default(),
+        );
+        let hybrid = run_distributed(&setup, cfg, Strategy::SingleGrid, cycles, hybrid_opts());
+
+        assert_runs_bit_identical(&delta, &hybrid, nverts, "hybrid vs delta");
+        for (i, (a, b)) in hs.iter().zip(hybrid.history()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * a.max(1e-30),
+                "cycle {i}: serial vs hybrid ({a:e} vs {b:e})"
+            );
+        }
+        for (i, (a, b)) in hs.iter().zip(&hsh).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * a.max(1e-30),
+                "cycle {i}: serial vs shared ({a:e} vs {b:e})"
+            );
+        }
+        compare_states(
+            &serial.state().to_aos(),
+            &hybrid.global_state(nverts),
+            1e-9,
+            "serial vs hybrid state",
+        );
+    }
+
+    #[test]
+    fn hybrid_multigrid_matches_delta_bitwise_with_equal_modeled_cost() {
+        // Multigrid stresses every stream kind (both halo tags per
+        // level, transfers, collectives). Besides bitwise physics, the
+        // *modeled* communication accounting must be identical: window
+        // publishes charge exactly what channel sends charge, so one
+        // hybrid run still reports the simulated-Delta cost.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let seq = small_seq(2);
+        let nverts = seq.meshes[0].nverts();
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let delta = run_distributed(&setup, cfg, Strategy::VCycle, 4, DistOptions::default());
+        let hybrid = run_distributed(&setup, cfg, Strategy::VCycle, 4, hybrid_opts());
+        assert_runs_bit_identical(&delta, &hybrid, nverts, "vcycle hybrid vs delta");
+        assert!(
+            hybrid.wall_seconds > 0.0,
+            "the driver must measure the SPMD region"
+        );
+
+        let (cd, ch) = (delta.cycle_counters(), hybrid.cycle_counters());
+        for (vid, (d, h)) in cd.iter().zip(&ch).enumerate() {
+            assert_eq!(
+                d.sent[CommClass::Halo as usize].messages,
+                h.sent[CommClass::Halo as usize].messages,
+                "rank {vid}: halo message parity"
+            );
+            assert_eq!(
+                d.sent[CommClass::Halo as usize].bytes,
+                h.sent[CommClass::Halo as usize].bytes,
+                "rank {vid}: halo byte parity"
+            );
+            assert_eq!(
+                d.total_messages(),
+                h.total_messages(),
+                "rank {vid}: total message parity"
+            );
+            assert_eq!(d.hops, h.hops, "rank {vid}: hop parity");
+        }
+        // Steady-state halo traffic rides the windows: no fresh channel
+        // buffers for it, so hybrid allocates strictly fewer comm
+        // buffers than the channel run.
+        let (ad, ah) = (
+            cd.iter().map(|c| c.comm_allocs).sum::<u64>(),
+            ch.iter().map(|c| c.comm_allocs).sum::<u64>(),
+        );
+        assert!(
+            ah < ad,
+            "windows must shed channel-buffer traffic ({ah} vs {ad})"
+        );
+    }
+
+    #[test]
+    fn hybrid_guard_composes_bit_identically() {
+        // Guard × hybrid (fault-free plan → windows stay on): the
+        // numeric rollback path must reproduce the channel backend's
+        // guarded run decision-for-decision and bit-for-bit.
+        let spec = BumpSpec {
+            nx: 10,
+            ny: 4,
+            nz: 3,
+            taper: 0.6,
+            jitter: 0.1,
+            ..BumpSpec::default()
+        };
+        let seq = MeshSequence::bump_sequence(&spec, 2);
+        let nverts = seq.meshes[0].nverts();
+        let cfg = SolverConfig {
+            mach: 0.5,
+            cfl: 30.0,
+            ..SolverConfig::default()
+        };
+        let guard = GuardConfig {
+            cfl_backoff: 0.25,
+            reramp_after: 100,
+            ..GuardConfig::default()
+        };
+        let fopts = FaultOptions {
+            recv_timeout_ms: 60_000,
+            ..FaultOptions::default()
+        };
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let run = |opts: DistOptions| {
+            run_distributed_guarded(&setup, cfg, Strategy::VCycle, 12, opts, &fopts, &guard)
+                .expect("guarded run completes")
+        };
+        let delta = run(DistOptions::default());
+        let hybrid = run(hybrid_opts());
+        assert_runs_bit_identical(&delta, &hybrid, nverts, "guarded hybrid vs delta");
+
+        let (od, oh) = (
+            delta.guard_outcome().expect("outcome"),
+            hybrid.guard_outcome().expect("outcome"),
+        );
+        assert!(!od.transcript.is_empty(), "the CFL-30 case must back off");
+        assert_eq!(od.transcript.len(), oh.transcript.len(), "retry count");
+        for (a, b) in od.transcript.iter().zip(&oh.transcript) {
+            assert_eq!(a.cycle, b.cycle);
+            assert_eq!(a.rollback_to, b.rollback_to);
+            assert_eq!(a.cfl_after.to_bits(), b.cfl_after.to_bits());
+        }
+        assert_eq!(od.final_cfl.to_bits(), oh.final_cfl.to_bits());
+    }
+
+    #[test]
+    fn hybrid_with_fault_plan_falls_back_to_channels_and_recovers() {
+        // Fault injection lives in the channel transport, so a hybrid
+        // run with a non-empty plan silently runs on channels — and must
+        // therefore reproduce the checkpoint/rollback/adoption story
+        // bit-for-bit, kill and checkpoint machinery included.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let seq = small_seq(2);
+        let nverts = seq.meshes[0].nverts();
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let cycles = 8;
+
+        let clean = run_distributed(&setup, cfg, Strategy::VCycle, cycles, hybrid_opts());
+        let fopts = FaultOptions {
+            plan: Arc::new(
+                FaultPlan::parse("corrupt:1>0#0@2,kill:2@5+7", 4).expect("valid fault spec"),
+            ),
+            checkpoint_every: 2,
+            ..FaultOptions::default()
+        };
+        let faulted = run_distributed_with_faults(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            cycles,
+            hybrid_opts(),
+            &fopts,
+        );
+        assert_runs_bit_identical(&clean, &faulted, nverts, "hybrid faulted vs clean");
+        assert!(matches!(faulted.run.results[2].fate, RankFate::Died { .. }));
+        assert!(
+            faulted.run.results[3].adopted.iter().any(|a| a.vid == 2),
+            "rank 3 must adopt rank 2"
+        );
+    }
+
+    #[test]
+    fn hybrid_refetch_ablation_and_roe_scheme_hold() {
+        // The §4.3 ablation and the Roe message-count economics carry
+        // over unchanged to the window transport.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let run = |refetch: bool| {
+            let setup = DistSetup::new(small_seq(1), 4, 20, pseed());
+            let opts = DistOptions {
+                refetch_per_loop: refetch,
+                ..hybrid_opts()
+            };
+            let r = run_distributed(&setup, cfg, Strategy::SingleGrid, 3, opts);
+            let halo_bytes: u64 = r
+                .cycle_counters()
+                .iter()
+                .map(|c| c.sent[CommClass::Halo as usize].bytes)
+                .sum();
+            (r.history().to_vec(), halo_bytes)
+        };
+        let (h0, b0) = run(false);
+        let (h1, b1) = run(true);
+        for (a, b) in h0.iter().zip(&h1) {
+            assert!((a - b).abs() < 1e-10 * a.max(1e-30), "answers must agree");
+        }
+        assert!(
+            b1 as f64 > b0 as f64 * 1.15,
+            "refetching every loop must move materially more data: {b0} vs {b1}"
+        );
+    }
+}
+
 mod trace {
     //! Observability on the distributed backend: arming a per-rank ring
     //! tracer must not change results or break the zero-allocation

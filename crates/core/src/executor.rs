@@ -234,6 +234,68 @@ pub trait Executor {
         counters: &mut PhaseCounters,
     );
 
+    /// Begin a split halo exchange: initiate the outgoing half so that
+    /// independent interior work can run before [`Executor::exchange_finish`]
+    /// completes it. The solver calls begin/finish around any compute it
+    /// can legally overlap; backends without split communication (the
+    /// default) simply perform the whole exchange here, making finish a
+    /// no-op — values, counters, and traces are then identical to a
+    /// plain [`Executor::exchange_halo`] call. The hybrid backend
+    /// overrides the pair to publish shared-memory windows in `begin`
+    /// and consume them in `finish`.
+    ///
+    /// For [`HaloOp::Gather`], `begin` must not modify owned entries and
+    /// `finish` fills ghost slots; for [`HaloOp::ScatterAdd`], `begin`
+    /// flushes-and-zeroes ghost accumulators and `finish` adds into
+    /// owned entries. Every begun exchange must be finished with the
+    /// same `(phase, op, data, stride)` before the next operation on the
+    /// same schedule stream.
+    fn exchange_begin(
+        &mut self,
+        phase: Phase,
+        op: HaloOp,
+        data: &mut [f64],
+        stride: usize,
+        counters: &mut PhaseCounters,
+    ) {
+        self.exchange_halo(phase, op, data, stride, counters);
+    }
+
+    /// Complete a split halo exchange begun with
+    /// [`Executor::exchange_begin`]. Default: no-op (the default begin
+    /// already did everything).
+    fn exchange_finish(
+        &mut self,
+        _phase: Phase,
+        _op: HaloOp,
+        _data: &mut [f64],
+        _stride: usize,
+        _counters: &mut PhaseCounters,
+    ) {
+    }
+
+    /// The cost model pricing this execution's modeled time (the
+    /// pluggable `CommCost` seam — see [`eul3d_delta::cost::CommCost`]).
+    /// The hybrid backend reports real wall time *alongside* the modeled
+    /// Delta clock this model keeps alive.
+    fn comm_cost(&self) -> eul3d_delta::CostModel {
+        eul3d_delta::CostModel::delta_i860()
+    }
+
+    /// Vertex map over an arbitrary sub-range `range` (not necessarily
+    /// starting at zero): call `f(r, scatter)` for disjoint sub-ranges
+    /// covering `range` exactly once. Used for loops split at the
+    /// owned/ghost boundary so ghost work can run after a gather
+    /// finishes while the owned part overlapped it. Default: one span;
+    /// the shared backend chunks it over its pool.
+    fn for_vertex_range<F>(&mut self, range: Range<usize>, targets: &mut [&mut [f64]], f: F)
+    where
+        F: Fn(Range<usize>, &ScatterAccess) + Sync,
+    {
+        let access = ScatterAccess::new(targets);
+        f(range, &access);
+    }
+
     /// Sum `vals` element-wise across every participant of this
     /// execution, in place (a no-op for single-address-space backends, an
     /// allocation-free pooled all-reduce on the distributed path).
@@ -290,23 +352,36 @@ pub fn count_edge_loop<E: Executor + ?Sized>(
     let c: &mut FlopCounter = counters.phase(phase);
     c.flops += flops;
     c.launches += exec.edge_launches();
-    obs::span_ns(
-        phase.index() as u8,
-        eul3d_delta::cost::CostModel::delta_i860().comp_ns(flops),
-    );
+    obs::span_ns(phase.index() as u8, exec.comm_cost().comp_ns(flops));
 }
 
 /// Charge a vertex loop of `items` vertices to `phase` (with the same
-/// observability span as [`count_edge_loop`]).
+/// observability span as [`count_edge_loop`]), priced by the default
+/// Delta cost model.
 pub fn count_vertex_loop(counters: &mut PhaseCounters, phase: Phase, items: usize, per_vert: f64) {
+    count_vertex_loop_with(
+        counters,
+        phase,
+        items,
+        per_vert,
+        &eul3d_delta::CostModel::delta_i860(),
+    );
+}
+
+/// [`count_vertex_loop`] priced by an explicit cost model (the executor
+/// seam: callers holding an [`Executor`] pass `&exec.comm_cost()`).
+pub fn count_vertex_loop_with(
+    counters: &mut PhaseCounters,
+    phase: Phase,
+    items: usize,
+    per_vert: f64,
+    cost: &eul3d_delta::CostModel,
+) {
     let flops = items as f64 * per_vert;
     let c = counters.phase(phase);
     c.flops += flops;
     c.launches += 1;
-    obs::span_ns(
-        phase.index() as u8,
-        eul3d_delta::cost::CostModel::delta_i860().comp_ns(flops),
-    );
+    obs::span_ns(phase.index() as u8, cost.comp_ns(flops));
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ use crate::counters::{
     FLOPS_DISS_P1_EDGE, FLOPS_DISS_P2_EDGE, FLOPS_DISS_ROE_EDGE, FLOPS_DT_VERT,
     FLOPS_PRESSURE_VERT, FLOPS_RADII_EDGE, FLOPS_SMOOTH_EDGE, FLOPS_SMOOTH_VERT, FLOPS_UPDATE_VERT,
 };
-use crate::executor::{count_edge_loop, count_vertex_loop, Executor, HaloOp, Phase};
+use crate::executor::{
+    count_edge_loop, count_vertex_loop, count_vertex_loop_with, Executor, HaloOp, Phase,
+};
 use crate::gas::NVAR;
 use crate::smooth::degrees_from_edges;
 use crate::soa::SoaState;
@@ -200,9 +202,96 @@ pub fn compute_pressures_exec<E: Executor + ?Sized>(
     count_vertex_loop(counters, Phase::Pressure, owned, FLOPS_PRESSURE_VERT);
 }
 
+/// The per-stage flow gather fused with the pressure loop: begin the
+/// ghost gather of `st.w`, price the owned pressures while the halo is
+/// in flight, finish the gather, then recompute ghost pressures from the
+/// freshly arrived flow state. Pressure is a pure per-vertex function,
+/// so splitting the loop at the owned/ghost boundary changes no value
+/// and no accumulation order — every backend produces bit-identical
+/// `st.p` to [`compute_pressures_exec`]. Ghost pressures stay uncounted
+/// (they are recomputed redundantly rather than exchanged), so the
+/// rank-summed count still matches the serial count exactly.
+fn gather_flow_and_pressures<E: Executor + ?Sized>(
+    gamma: f64,
+    st: &mut LevelState,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    let owned = exec.owned(st.n);
+    exec.exchange_begin(
+        Phase::Exchange,
+        HaloOp::Gather,
+        st.w.flat_mut(),
+        NVAR,
+        counters,
+    );
+    let cost = exec.comm_cost();
+    let n = st.n;
+    {
+        let w = &st.w;
+        exec.for_vertex_range(0..owned, &mut [&mut st.p[..]], |range, s| {
+            // SAFETY: plane sizes match, ranges are disjoint (executor
+            // contract).
+            unsafe { kn::pressure_verts(range, gamma, w.flat(), n, s) }
+        });
+    }
+    count_vertex_loop_with(counters, Phase::Pressure, owned, FLOPS_PRESSURE_VERT, &cost);
+    exec.exchange_finish(
+        Phase::Exchange,
+        HaloOp::Gather,
+        st.w.flat_mut(),
+        NVAR,
+        counters,
+    );
+    {
+        let w = &st.w;
+        exec.for_vertex_range(owned..n, &mut [&mut st.p[..]], |range, s| {
+            // SAFETY: plane sizes match, ranges are disjoint (executor
+            // contract).
+            unsafe { kn::pressure_verts(range, gamma, w.flat(), n, s) }
+        });
+    }
+}
+
+/// Complete the deferred scatter-add of `st.diss` begun by
+/// [`eval_dissipation_begin`]. Must run before anything reads the owned
+/// entries of `st.diss`, and — because the dissipation and convection
+/// scatters share one schedule stream — before the convection scatter
+/// is issued.
+fn finish_dissipation_scatter<E: Executor + ?Sized>(
+    st: &mut LevelState,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    exec.exchange_finish(
+        Phase::Dissipation,
+        HaloOp::ScatterAdd,
+        st.diss.flat_mut(),
+        NVAR,
+        counters,
+    );
+}
+
 /// Evaluate the dissipation operator into `st.diss` (fresh). Assumes
 /// ghost `w` is current unless the executor is configured to refetch.
 pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
+    mesh: &G,
+    st: &mut LevelState,
+    cfg: &SolverConfig,
+    is_coarse: bool,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+) {
+    eval_dissipation_begin(mesh, st, cfg, is_coarse, exec, counters);
+    finish_dissipation_scatter(st, exec, counters);
+}
+
+/// [`eval_dissipation`] with its *final* ghost scatter left in the begun
+/// state, so the convection edge loop can overlap the in-flight halo
+/// (the intermediate Laplacian/sensor/ν exchanges of the JST path are
+/// synchronous — their results feed pass 2 immediately). Pair with
+/// [`finish_dissipation_scatter`].
+fn eval_dissipation_begin<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     mesh: &G,
     st: &mut LevelState,
     cfg: &SolverConfig,
@@ -235,7 +324,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
             edges.len(),
             FLOPS_DISS_ROE_EDGE,
         );
-        exec.exchange_halo(
+        exec.exchange_begin(
             Phase::Dissipation,
             HaloOp::ScatterAdd,
             st.diss.flat_mut(),
@@ -275,7 +364,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
             edges.len(),
             FLOPS_DISS_FO_EDGE,
         );
-        exec.exchange_halo(
+        exec.exchange_begin(
             Phase::Dissipation,
             HaloOp::ScatterAdd,
             st.diss.flat_mut(),
@@ -375,7 +464,7 @@ pub fn eval_dissipation<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         edges.len(),
         FLOPS_DISS_P2_EDGE,
     );
-    exec.exchange_halo(
+    exec.exchange_begin(
         Phase::Dissipation,
         HaloOp::ScatterAdd,
         st.diss.flat_mut(),
@@ -394,6 +483,23 @@ pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     cfg: &SolverConfig,
     exec: &mut E,
     counters: &mut PhaseCounters,
+) {
+    eval_convection_inner(mesh, st, cfg, exec, counters, false);
+}
+
+/// [`eval_convection`] with an optional deferred-dissipation completion:
+/// when `finish_diss` is set, the dissipation scatter begun by
+/// [`eval_dissipation_begin`] is finished *after* the convection edge
+/// loop and boundary faces (maximizing overlap) but *before* the
+/// convection scatter is issued — both scatters ride the same schedule
+/// stream, so issuing convection's first would misorder their epochs.
+fn eval_convection_inner<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
+    mesh: &G,
+    st: &mut LevelState,
+    cfg: &SolverConfig,
+    exec: &mut E,
+    counters: &mut PhaseCounters,
+    finish_diss: bool,
 ) {
     exec.refetch(&mut st.w, counters);
     st.q.fill(0.0);
@@ -427,6 +533,10 @@ pub fn eval_convection<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
         &mut scratch,
     );
     counters.phase(Phase::Boundary).merge(&scratch);
+
+    if finish_diss {
+        finish_dissipation_scatter(st, exec, counters);
+    }
 
     exec.exchange_halo(
         Phase::Convection,
@@ -471,7 +581,7 @@ pub fn smooth_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     let eps = cfg.smooth_eps;
     let (n, lanes) = (st.n, cfg.lanes);
     for _ in 0..cfg.smooth_passes {
-        exec.exchange_halo(
+        exec.exchange_begin(
             Phase::Smooth,
             HaloOp::Gather,
             st.res.flat_mut(),
@@ -479,6 +589,13 @@ pub fn smooth_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
             counters,
         );
         st.acc.fill(0.0);
+        exec.exchange_finish(
+            Phase::Smooth,
+            HaloOp::Gather,
+            st.res.flat_mut(),
+            NVAR,
+            counters,
+        );
         {
             let res = &st.res;
             exec.for_edge_spans(edges.len(), &mut [st.acc.flat_mut()], |span, s| {
@@ -523,16 +640,9 @@ pub fn eval_total_residual<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     exec: &mut E,
     counters: &mut PhaseCounters,
 ) {
-    exec.exchange_halo(
-        Phase::Exchange,
-        HaloOp::Gather,
-        st.w.flat_mut(),
-        NVAR,
-        counters,
-    );
-    compute_pressures_exec(cfg.gamma, st, exec, counters);
-    eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
-    eval_convection(mesh, st, cfg, exec, counters);
+    gather_flow_and_pressures(cfg.gamma, st, exec, counters);
+    eval_dissipation_begin(mesh, st, cfg, is_coarse, exec, counters);
+    eval_convection_inner(mesh, st, cfg, exec, counters, true);
     assemble_residual(st, exec, counters);
 }
 
@@ -558,15 +668,9 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
     let (n, lanes) = (st.n, cfg.lanes);
     for (stage, &alpha) in cfg.rk_alpha.iter().enumerate().take(nstages) {
         // One gather of the flow variables per stage (§4.3), reused by
-        // every edge loop unless the executor is set to refetch.
-        exec.exchange_halo(
-            Phase::Exchange,
-            HaloOp::Gather,
-            st.w.flat_mut(),
-            NVAR,
-            counters,
-        );
-        compute_pressures_exec(cfg.gamma, st, exec, counters);
+        // every edge loop unless the executor is set to refetch; the
+        // owned pressure loop overlaps the in-flight halo.
+        gather_flow_and_pressures(cfg.gamma, st, exec, counters);
 
         if stage == 0 {
             // Local time steps from the stage-0 state, held for the step.
@@ -610,9 +714,9 @@ pub fn time_step<G: SolverGrid + ?Sized, E: Executor + ?Sized>(
             count_vertex_loop(counters, Phase::Radii, owned, FLOPS_DT_VERT);
         }
         if stage <= 1 {
-            eval_dissipation(mesh, st, cfg, is_coarse, exec, counters);
+            eval_dissipation_begin(mesh, st, cfg, is_coarse, exec, counters);
         }
-        eval_convection(mesh, st, cfg, exec, counters);
+        eval_convection_inner(mesh, st, cfg, exec, counters, stage <= 1);
         assemble_residual(st, exec, counters);
         smooth_residual(mesh, st, cfg, exec, counters);
 

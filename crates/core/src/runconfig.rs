@@ -62,6 +62,19 @@ impl Default for TraceConfig {
     }
 }
 
+/// Which transport backs the distributed path of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Modeled-clock Delta: SPMD ranks with channel halo exchange and
+    /// simulated wire time.
+    #[default]
+    Delta,
+    /// True-parallel hybrid: ranks are OS threads and halo exchange goes
+    /// through shared-memory windows; the modeled clock still runs so one
+    /// run reports both simulated and wall time.
+    Hybrid,
+}
+
 /// The full description of one EUL3D run. Construct through
 /// [`RunConfig::builder`] (validating) or deserialize with
 /// [`RunConfig::from_toml`]; field access is public so drivers read it
@@ -80,6 +93,12 @@ pub struct RunConfig {
     pub mesh: BumpSpec,
     /// Simulated ranks for the distributed path.
     pub nranks: usize,
+    /// Distributed transport backend.
+    pub backend: BackendKind,
+    /// Worker threads for the hybrid backend (0 = one per rank). The
+    /// hybrid path maps ranks onto OS threads one-to-one, so a nonzero
+    /// value overrides `nranks` when the backend is [`BackendKind::Hybrid`].
+    pub threads: usize,
     /// Solver-health guard (`None` = unguarded).
     pub guard: Option<GuardConfig>,
     /// Distributed checkpoint cadence in cycles (0 = never).
@@ -101,6 +120,8 @@ impl Default for RunConfig {
             cycles: 100,
             mesh: BumpSpec::default(),
             nranks: 32,
+            backend: BackendKind::Delta,
+            threads: 0,
             guard: None,
             checkpoint_every: 0,
             faults: None,
@@ -160,8 +181,9 @@ impl RunConfig {
         if self.cycles == 0 {
             return Err(range_err("cycles", 0.0, "need at least one cycle"));
         }
-        if self.nranks == 0 {
-            return Err(range_err("nranks", 0.0, "need at least one rank"));
+        eul3d_delta::check_nranks(self.nranks).map_err(Eul3dError::Delta)?;
+        if self.threads != 0 {
+            eul3d_delta::check_nranks(self.threads).map_err(Eul3dError::Delta)?;
         }
         if self.mesh.nx < 2 || self.mesh.ny < 2 || self.mesh.nz < 2 {
             return Err(range_err(
@@ -184,6 +206,17 @@ impl RunConfig {
             eul3d_delta::FaultPlan::parse(spec, self.nranks).map_err(Eul3dError::Delta)?;
         }
         Ok(())
+    }
+
+    /// The rank/thread count a distributed run of this configuration
+    /// actually uses: on the hybrid backend a nonzero `threads` overrides
+    /// `nranks` (one rank per OS thread).
+    pub fn effective_nranks(&self) -> usize {
+        if self.backend == BackendKind::Hybrid && self.threads != 0 {
+            self.threads
+        } else {
+            self.nranks
+        }
     }
 
     /// Deprecated pre-builder constructor, kept so downstream callers
@@ -299,6 +332,18 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Distributed transport backend.
+    pub fn backend(mut self, b: BackendKind) -> Self {
+        self.cfg.backend = b;
+        self
+    }
+
+    /// Hybrid worker threads (0 = one per rank).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
     /// Arm the solver-health guard.
     pub fn guard(mut self, g: GuardConfig) -> Self {
         self.cfg.guard = Some(g);
@@ -355,6 +400,22 @@ pub fn parse_strategy(s: &str) -> Option<Strategy> {
         "sg" | "single" => Some(Strategy::SingleGrid),
         "v" => Some(Strategy::VCycle),
         "w" => Some(Strategy::WCycle),
+        _ => None,
+    }
+}
+
+fn backend_name(b: BackendKind) -> &'static str {
+    match b {
+        BackendKind::Delta => "delta",
+        BackendKind::Hybrid => "hybrid",
+    }
+}
+
+/// Parse a backend name (the CLI's `--backend` grammar).
+pub fn parse_backend(s: &str) -> Option<BackendKind> {
+    match s {
+        "delta" | "sim" => Some(BackendKind::Delta),
+        "hybrid" => Some(BackendKind::Hybrid),
         _ => None,
     }
 }
@@ -417,6 +478,8 @@ impl RunConfig {
         out.push_str(&format!("levels = {}\n", self.levels));
         out.push_str(&format!("cycles = {}\n", self.cycles));
         out.push_str(&format!("nranks = {}\n", self.nranks));
+        out.push_str(&format!("backend = \"{}\"\n", backend_name(self.backend)));
+        out.push_str(&format!("threads = {}\n", self.threads));
         out.push_str(&format!("checkpoint_every = {}\n", self.checkpoint_every));
         out.push_str(&format!("fault_timeout_ms = {}\n", self.fault_timeout_ms));
         if let Some(fp) = &self.faults {
@@ -605,6 +668,13 @@ fn apply_entry(
         ("run", "levels") => rc.levels = toml_num(val, line)?,
         ("run", "cycles") => rc.cycles = toml_num(val, line)?,
         ("run", "nranks") => rc.nranks = toml_num(val, line)?,
+        ("run", "backend") => {
+            let name = toml_str(val, line)?;
+            rc.backend = parse_backend(&name).ok_or_else(|| {
+                parse_err(line, &format!("backend must be delta|hybrid, got '{name}'"))
+            })?;
+        }
+        ("run", "threads") => rc.threads = toml_num(val, line)?,
         ("run", "checkpoint_every") => rc.checkpoint_every = toml_num(val, line)?,
         ("run", "fault_timeout_ms") => rc.fault_timeout_ms = toml_num(val, line)?,
         ("run", "faults") => rc.faults = Some(toml_str(val, line)?),
@@ -715,6 +785,48 @@ mod tests {
             .checkpoint_every(2)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn backend_and_threads_validate_and_round_trip() {
+        let rc = RunConfig::builder()
+            .backend(BackendKind::Hybrid)
+            .threads(4)
+            .nranks(32)
+            .build()
+            .unwrap();
+        assert_eq!(
+            rc.effective_nranks(),
+            4,
+            "threads override nranks on hybrid"
+        );
+        let back = RunConfig::from_toml(&rc.to_toml()).unwrap();
+        assert_eq!(back.backend, BackendKind::Hybrid);
+        assert_eq!(back.threads, 4);
+
+        let delta = RunConfig::builder().threads(4).build().unwrap();
+        assert_eq!(
+            delta.effective_nranks(),
+            delta.nranks,
+            "threads are inert on the delta backend"
+        );
+
+        let err = RunConfig::from_toml("[run]\nbackend = \"mpi\"\n").unwrap_err();
+        assert!(err.to_string().contains("delta|hybrid"), "{err}");
+
+        // Rank/thread counts funnel through the machine-wide cap.
+        let err = RunConfig::builder()
+            .nranks(eul3d_delta::MAX_RANKS + 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Eul3dError::Delta(_)), "{err}");
+        let err = RunConfig::builder()
+            .threads(eul3d_delta::MAX_RANKS + 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Eul3dError::Delta(_)), "{err}");
+        let err = RunConfig::builder().nranks(0).build().unwrap_err();
+        assert!(matches!(err, Eul3dError::Delta(_)), "{err}");
     }
 
     #[test]

@@ -119,6 +119,31 @@ impl Executor for SharedExecutor {
         });
     }
 
+    fn for_vertex_range<F>(
+        &mut self,
+        range: std::ops::Range<usize>,
+        targets: &mut [&mut [f64]],
+        f: F,
+    ) where
+        F: Fn(std::ops::Range<usize>, &ScatterAccess) + Sync,
+    {
+        let n = range.len();
+        if n == 0 {
+            return;
+        }
+        let base = range.start;
+        let access = ScatterAccess::new(targets);
+        let sub = self.subgroup_len(n);
+        let nblocks = n.div_ceil(sub);
+        let blocks = &self.blocks[..nblocks];
+        self.pool.install(|| {
+            blocks.par_chunks(1).for_each(|blk| {
+                let lo = base + blk[0] as usize * sub;
+                f(lo..(lo + sub).min(range.end), &access);
+            });
+        });
+    }
+
     fn exchange_halo(
         &mut self,
         _phase: Phase,

@@ -14,6 +14,28 @@
 
 use crate::msg::{CommClass, RankCounters};
 
+/// The pluggable communication-cost seam: anything that can price a
+/// message on the wire and a kernel's flops in modeled nanoseconds.
+/// [`CostModel`] is the canonical implementation; executors carry one so
+/// a backend running on real threads (the hybrid backend) can keep
+/// charging the same modeled Delta clock that the channel backend
+/// charges — one run reports both simulated-Delta time and wall time.
+pub trait CommCost {
+    /// Modeled ns one message of `bytes` over `hops` occupies its sender.
+    fn send_ns(&self, bytes: u64, hops: u64) -> u64;
+    /// Modeled ns a kernel of `flops` operations takes on one rank.
+    fn comp_ns(&self, flops: f64) -> u64;
+}
+
+impl CommCost for CostModel {
+    fn send_ns(&self, bytes: u64, hops: u64) -> u64 {
+        CostModel::send_ns(self, bytes, hops)
+    }
+    fn comp_ns(&self, flops: f64) -> u64 {
+        CostModel::comp_ns(self, flops)
+    }
+}
+
 /// Calibrated machine constants. Defaults approximate a Touchstone Delta
 /// node: an i860 sustaining ~3 MFlops on irregular edge loops *after* the
 /// §4.2 reordering (the paper: 1496 MFlops / 512 nodes ≈ 2.9), NX-era

@@ -11,6 +11,10 @@ pub enum DeltaError {
     BadFaultSpec { spec: String, reason: String },
     /// A machine with zero ranks was requested.
     NoRanks,
+    /// More ranks (or hybrid threads) than the machine supports were
+    /// requested — rank ids are carried as `u32` in trace events and
+    /// messages, and the cap keeps every conversion provably lossless.
+    TooManyRanks { requested: usize, max: usize },
 }
 
 impl fmt::Display for DeltaError {
@@ -20,6 +24,9 @@ impl fmt::Display for DeltaError {
                 write!(f, "bad fault spec '{spec}': {reason}")
             }
             DeltaError::NoRanks => write!(f, "machine needs at least one rank"),
+            DeltaError::TooManyRanks { requested, max } => {
+                write!(f, "{requested} ranks requested; the machine caps at {max}")
+            }
         }
     }
 }

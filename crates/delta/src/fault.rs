@@ -84,6 +84,20 @@ impl FaultPlan {
         !self.msg_faults.is_empty()
     }
 
+    /// True if the plan can silently lose a message. Only [`FaultAction::Drop`]
+    /// can leave a receiver blocked forever with nothing on the wire:
+    /// duplication and corruption still deliver, delays only add modeled
+    /// ticks, and kills announce themselves with a `Dead` notice. The
+    /// bounded-receive silent-loss detector is armed only when this is
+    /// true — a wall-clock timeout is unsound against merely-slow peers
+    /// on real preemptible threads, so it must never be armed when no
+    /// fault can actually drop a message.
+    pub fn may_drop(&self) -> bool {
+        self.msg_faults
+            .iter()
+            .any(|f| f.action == FaultAction::Drop)
+    }
+
     /// Parse a comma-separated fault spec. Grammar (all indices decimal):
     ///
     /// ```text

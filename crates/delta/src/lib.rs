@@ -41,11 +41,13 @@ pub mod machine;
 pub mod msg;
 pub mod pool;
 pub mod rank;
+pub mod shm;
 
-pub use cost::{CostBreakdown, CostModel};
+pub use cost::{CommCost, CostBreakdown, CostModel};
 pub use error::DeltaError;
 pub use fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState, KillSpec, MsgFault};
-pub use machine::{run_spmd, MachineRun};
+pub use machine::{check_nranks, run_spmd, MachineRun, MAX_RANKS};
 pub use msg::{checksum, CommClass, CommStats, Payload, RankCounters};
 pub use pool::CommBuffers;
-pub use rank::{Rank, COLLECTIVE_TAG_BASE};
+pub use rank::{mesh_dims, Rank, COLLECTIVE_TAG_BASE};
+pub use shm::{Window, WindowRegistry};

@@ -6,8 +6,29 @@ use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::unbounded;
 
+use crate::error::DeltaError;
 use crate::msg::RankCounters;
 use crate::rank::Rank;
+
+/// Most ranks (or hybrid threads) one machine supports. Rank ids travel
+/// as `u32` in messages and trace events; capping well below `u32::MAX`
+/// keeps every narrowing conversion provably lossless, and 2^20 ranks is
+/// three orders of magnitude past the 512-node Delta.
+pub const MAX_RANKS: usize = 1 << 20;
+
+/// Validate a requested rank/thread count against the machine's limits.
+pub fn check_nranks(nranks: usize) -> Result<(), DeltaError> {
+    if nranks == 0 {
+        return Err(DeltaError::NoRanks);
+    }
+    if nranks > MAX_RANKS {
+        return Err(DeltaError::TooManyRanks {
+            requested: nranks,
+            max: MAX_RANKS,
+        });
+    }
+    Ok(())
+}
 
 /// Result of an SPMD run: per-rank return values and accounting.
 #[derive(Debug)]
@@ -34,7 +55,9 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
-    assert!(nranks >= 1);
+    if let Err(e) = check_nranks(nranks) {
+        panic!("run_spmd: {e}");
+    }
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..nranks).map(|_| unbounded()).unzip();
     let barrier = Arc::new(Barrier::new(nranks));
     // Every rank gets a handle on every mailbox (receivers clone), so a
@@ -239,6 +262,62 @@ mod tests {
         });
         assert_eq!(run.results[0], (6, 1));
         assert_eq!(run.counters[0].hops, 7);
+    }
+
+    #[test]
+    fn mesh_dims_is_an_exact_nearly_square_factorization() {
+        use crate::rank::mesh_dims;
+        // Property sweep: for every n the grid is exact (rows*cols == n,
+        // so every rank id has a valid coordinate — no holes), rows <=
+        // cols, and rows is the largest divisor not exceeding sqrt(n).
+        for n in 1..=1000usize {
+            let (rows, cols) = mesh_dims(n);
+            assert_eq!(rows * cols, n, "n={n}: grid must be exact");
+            assert!(rows <= cols, "n={n}: {rows}x{cols} not row-minor");
+            for f in rows + 1..=n {
+                if f * f > n {
+                    break;
+                }
+                assert_ne!(n % f, 0, "n={n}: {f} is a larger near-square divisor");
+            }
+        }
+        // The regression that motivated the fix: 8 ranks used to land on
+        // a ragged 3x3 grid with a hole; now it is an exact 2x4.
+        assert_eq!(mesh_dims(8), (2, 4));
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(512), (16, 32)); // the Delta itself
+    }
+
+    #[test]
+    fn hop_distances_are_symmetric_and_zero_on_self() {
+        for n in [2usize, 3, 5, 6, 8, 12, 17, 24] {
+            let run = run_spmd(n, |r| {
+                (0..r.nranks).map(|d| r.hops_to(d)).collect::<Vec<_>>()
+            });
+            for a in 0..n {
+                assert_eq!(run.results[a][a], 0, "n={n}: self-distance");
+                for b in 0..n {
+                    assert_eq!(
+                        run.results[a][b], run.results[b][a],
+                        "n={n}: hops({a},{b}) asymmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nranks_cap_is_enforced() {
+        assert_eq!(check_nranks(0), Err(crate::error::DeltaError::NoRanks));
+        assert!(check_nranks(1).is_ok());
+        assert!(check_nranks(MAX_RANKS).is_ok());
+        assert_eq!(
+            check_nranks(MAX_RANKS + 1),
+            Err(crate::error::DeltaError::TooManyRanks {
+                requested: MAX_RANKS + 1,
+                max: MAX_RANKS
+            })
+        );
     }
 
     #[test]
@@ -451,6 +530,37 @@ mod tests {
                 }
             });
             assert!(run.results.iter().all(|&ok| ok));
+        }
+
+        #[test]
+        fn slow_but_alive_peer_does_not_trip_the_silent_loss_detector() {
+            // Regression for the hybrid backend's real preemptible
+            // threads: a peer that is merely descheduled (here: sleeping
+            // far past the detection window) must not be mistaken for a
+            // dropped message. The plan carries faults — but none that
+            // can drop — so the bounded receive must stay disarmed even
+            // though a timeout was requested.
+            let plan = Arc::new(FaultPlan::parse("delay:0>1#5=10", 2).unwrap());
+            assert!(!plan.may_drop());
+            let run = run_spmd(2, |r| {
+                r.install_faults(plan.clone(), Some(Duration::from_millis(20)));
+                if r.id == 0 {
+                    std::thread::sleep(Duration::from_millis(200));
+                    r.send_f64(1, 5, vec![9.0], CommClass::Halo);
+                    9.0
+                } else {
+                    // Under the old wall-clock detector this unwound with
+                    // FaultCause::Timeout after 20 ms.
+                    r.recv_f64(0, 5)[0]
+                }
+            });
+            assert_eq!(run.results, vec![9.0, 9.0]);
+        }
+
+        #[test]
+        fn drop_capable_plan_still_arms_the_detector() {
+            let plan = Arc::new(FaultPlan::parse("drop:0>1#0", 2).unwrap());
+            assert!(plan.may_drop());
         }
 
         #[test]

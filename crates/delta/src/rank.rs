@@ -14,6 +14,35 @@ use crate::cost::CostModel;
 use crate::fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState};
 use crate::msg::{checksum, CommClass, Message, Payload, RankCounters};
 use crate::pool::CommBuffers;
+use crate::shm::{Window, WindowRegistry};
+
+/// Largest-factor-pair 2-D mesh factorization: returns `(rows, cols)`
+/// with `rows * cols == n`, `rows <= cols`, and `rows` the largest
+/// divisor of `n` not exceeding `sqrt(n)` — the most nearly square
+/// exact grid (the Delta itself was a 16×32 mesh of i860s). Every rank
+/// id in `0..n` maps to a valid coordinate `(id / cols, id % cols)`:
+/// unlike a `ceil(sqrt(n))` grid there are no holes, so hop distances
+/// are well defined and symmetric for every pair.
+pub fn mesh_dims(n: usize) -> (usize, usize) {
+    let n = n.max(1);
+    let mut rows = 1;
+    let mut f = 1;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            rows = f;
+        }
+        f += 1;
+    }
+    (rows, n / rows)
+}
+
+/// Checked rank-id narrowing for wire/trace fields. Infallible once
+/// [`crate::machine::check_nranks`] has admitted the run (the cap is far
+/// below `u32::MAX`); kept checked so a future cap change cannot
+/// silently truncate.
+pub(crate) fn rid(r: usize) -> u32 {
+    u32::try_from(r).unwrap_or_else(|_| unreachable!("rank id {r} exceeds u32"))
+}
 
 /// Reserved tag space for collectives; user tags must stay below this.
 pub const COLLECTIVE_TAG_BASE: u32 = 0xF000_0000;
@@ -71,6 +100,16 @@ pub struct Rank {
     /// installed, so fault-free runs keep the zero-overhead blocking
     /// receive.
     recv_timeout: Option<Duration>,
+    /// Machine constants used to price this rank's traffic on the
+    /// modeled clock (the pluggable `CommCost` seam — the hybrid backend
+    /// keeps charging this model while running on real threads).
+    cost: CostModel,
+    /// Shared-memory window registry for the hybrid backend; `None` on
+    /// channel-only runs.
+    windows: Option<Arc<WindowRegistry>>,
+    /// Per-rank cache of window streams so the steady state never takes
+    /// the registry lock.
+    window_cache: HashMap<(usize, usize, u32), Arc<Window>>,
 }
 
 impl Rank {
@@ -82,10 +121,7 @@ impl Rank {
         barrier: Arc<Barrier>,
         rxs_all: Arc<Vec<Receiver<Message>>>,
     ) -> Rank {
-        // Nearly-square 2-D mesh factorization (the Delta itself was a
-        // 16x32 mesh of i860s).
-        let mut cols = (nranks as f64).sqrt().ceil() as usize;
-        cols = cols.max(1);
+        let (_, cols) = mesh_dims(nranks);
         Rank {
             id,
             nranks,
@@ -106,20 +142,109 @@ impl Rank {
             dead: vec![false; nranks],
             faults: None,
             recv_timeout: None,
+            cost: CostModel::delta_i860(),
+            windows: None,
+            window_cache: HashMap::new(),
         }
+    }
+
+    /// Replace the cost model pricing this rank's modeled wire time.
+    pub fn set_cost_model(&mut self, m: CostModel) {
+        self.cost = m;
+    }
+
+    /// The cost model pricing this rank's modeled wire time.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Attach the shared-memory window registry (hybrid backend). Halo
+    /// schedules on a windowed rank move their per-cycle streams onto
+    /// in-place shared-memory publishes; everything else stays on the
+    /// channels.
+    pub fn install_windows(&mut self, reg: Arc<WindowRegistry>) {
+        assert_eq!(
+            reg.nranks(),
+            self.nranks,
+            "window registry sized for a different machine"
+        );
+        self.windows = Some(reg);
+    }
+
+    /// Does this rank exchange halos through shared-memory windows?
+    pub fn has_windows(&self) -> bool {
+        self.windows.is_some()
+    }
+
+    /// The cached window for directed stream `(src, dst, tag)`.
+    fn window(&mut self, src: usize, dst: usize, tag: u32) -> Arc<Window> {
+        let reg = match self.windows.as_ref() {
+            Some(r) => r,
+            None => panic!("rank {}: window traffic without a registry", self.id),
+        };
+        self.window_cache
+            .entry((src, dst, tag))
+            .or_insert_with(|| reg.stream(src, dst, tag))
+            .clone()
+    }
+
+    /// Publish a packed buffer to `dst` on this stream's shared-memory
+    /// window; `fill` packs into the window buffer in place (no message
+    /// copy). Charged exactly like the channel send path — same
+    /// counters, same trace events, same modeled wire time — so a hybrid
+    /// run reports the identical simulated-Delta cost.
+    pub fn window_publish_f64<F>(&mut self, dst: usize, tag: u32, class: CommClass, fill: F)
+    where
+        F: FnOnce(&mut Vec<f64>),
+    {
+        assert!(dst < self.nranks, "publish to rank {dst} out of range");
+        assert_ne!(dst, self.id, "self-publish is a schedule bug");
+        let win = self.window(self.id, dst, tag);
+        let len = win.publish_with(fill);
+        let bytes = 8 * len as u64; // Payload::F64 wire accounting
+        let hops = self.hops_to(dst);
+        self.counters.record_send(class, bytes);
+        self.counters.record_hops(hops);
+        obs::emit(obs::Event::MsgSend {
+            peer: rid(dst),
+            tag,
+            bytes,
+        });
+        obs::advance_ns(self.cost.send_ns(bytes, hops));
+    }
+
+    /// Consume the next epoch published by `src` on this stream's
+    /// window, reading it in place. Receives are sender-priced (as on
+    /// the channel path), so only the event is recorded.
+    pub fn window_consume_f64<R, F>(&mut self, src: usize, tag: u32, read: F) -> R
+    where
+        F: FnOnce(&[f64]) -> R,
+    {
+        assert!(src < self.nranks, "consume from rank {src} out of range");
+        let win = self.window(src, self.id, tag);
+        let (bytes, r) = win.consume_with(|buf| (8 * buf.len() as u64, read(buf)));
+        obs::emit(obs::Event::MsgRecv {
+            peer: rid(src),
+            tag,
+            bytes,
+        });
+        r
     }
 
     /// Install a fault plan on this rank (SPMD: every rank installs the
     /// same shared plan and evaluates only the entries it originates).
     /// `timeout` arms the bounded receive used to detect silent message
     /// loss; it is ignored for an empty plan so fault-free runs stay on
-    /// the blocking fast path.
+    /// the blocking fast path, and ignored unless the plan can actually
+    /// drop a message ([`FaultPlan::may_drop`]) — a wall-clock timeout
+    /// is only sound when armed against a modeled drop, never against a
+    /// merely-descheduled peer on real preemptible threads.
     pub fn install_faults(&mut self, plan: Arc<FaultPlan>, timeout: Option<Duration>) {
         if plan.is_empty() {
             return;
         }
         silence_fault_signal_panics();
-        self.recv_timeout = timeout;
+        self.recv_timeout = if plan.may_drop() { timeout } else { None };
         self.faults = Some(FaultState::new(plan));
     }
 
@@ -138,8 +263,9 @@ impl Rank {
 
     /// Ranks known dead, ascending.
     pub fn dead_ranks(&self) -> Vec<u32> {
-        (0..self.nranks as u32)
-            .filter(|&r| self.dead[r as usize])
+        (0..self.nranks)
+            .filter(|&r| self.dead[r])
+            .map(rid)
             .collect()
     }
 
@@ -359,11 +485,11 @@ impl Rank {
         // before the clock advances so the instant sits at the send's
         // start.
         obs::emit(obs::Event::MsgSend {
-            peer: dst as u32,
+            peer: rid(dst),
             tag,
             bytes,
         });
-        obs::advance_ns(CostModel::delta_i860().send_ns(bytes, hops));
+        obs::advance_ns(self.cost.send_ns(bytes, hops));
         self.post(dst, tag, payload);
     }
 
@@ -485,7 +611,7 @@ impl Rank {
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(p) = q.pop_front() {
                 obs::emit(obs::Event::MsgRecv {
-                    peer: src as u32,
+                    peer: rid(src),
                     tag,
                     bytes: p.nbytes(),
                 });
@@ -517,7 +643,7 @@ impl Rank {
                     // Receives are sender-priced in the cost model, so
                     // the event is recorded without advancing the clock.
                     obs::emit(obs::Event::MsgRecv {
-                        peer: src as u32,
+                        peer: rid(src),
                         tag,
                         bytes: p.nbytes(),
                     });
@@ -603,11 +729,11 @@ impl Rank {
                     .record_send(CommClass::Recovery, abort.nbytes());
                 self.counters.record_hops(self.hops_to(dst));
                 obs::emit(obs::Event::MsgSend {
-                    peer: dst as u32,
+                    peer: rid(dst),
                     tag: 0,
                     bytes: abort.nbytes(),
                 });
-                obs::advance_ns(CostModel::delta_i860().send_ns(abort.nbytes(), self.hops_to(dst)));
+                obs::advance_ns(self.cost.send_ns(abort.nbytes(), self.hops_to(dst)));
                 let _ = self.txs[dst].send(Message {
                     src: self.id,
                     tag: 0,
@@ -643,6 +769,10 @@ impl Rank {
         r.epoch = self.epoch;
         r.dead = self.dead.clone();
         r.recv_timeout = self.recv_timeout;
+        r.cost = self.cost;
+        // Windows are deliberately not inherited: adoption only happens
+        // under a fault plan, and fault-injected runs stay entirely on
+        // the modeled channels.
         r.faults = self
             .faults
             .as_ref()

@@ -18,8 +18,23 @@
 //! seed produce **bit-identical** stamped streams.
 
 use std::cell::RefCell;
+use std::time::Instant;
 
 use crate::tracer::{Event, Tracer};
+
+/// What a lane's clock reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockSource {
+    /// The deterministic modeled clock (default): advanced only by
+    /// instrumentation with modeled durations. Bit-identical streams.
+    #[default]
+    Modeled,
+    /// Real wall time since the source was installed. Used by the hybrid
+    /// backend's real-time lanes so a trace shows measured overlap
+    /// instead of modeled wire time. Stamps are *not* reproducible
+    /// across runs; `advance_ns` becomes a no-op (durations are real).
+    RealTime,
+}
 
 struct Ctx {
     tracer: Option<Box<dyn Tracer>>,
@@ -31,6 +46,24 @@ struct Ctx {
     /// reproducibility. The lane is rewound and resumed once the ranks
     /// agree on the rollback point.
     paused: bool,
+    /// `Some(origin)` when the lane reads real wall time instead of the
+    /// modeled clock; event stamps become nanoseconds since `origin` and
+    /// `clock_ns` mirrors the last stamp taken (so marks still work).
+    real_origin: Option<Instant>,
+}
+
+impl Ctx {
+    /// The lane's current instant: modeled counter, or elapsed wall time
+    /// (mirrored into `clock_ns` so span begins chain correctly).
+    fn tick(&mut self) -> u64 {
+        if let Some(origin) = self.real_origin {
+            let ns = u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.clock_ns = ns;
+            ns
+        } else {
+            self.clock_ns
+        }
+    }
 }
 
 thread_local! {
@@ -39,6 +72,7 @@ thread_local! {
             tracer: None,
             clock_ns: 0,
             paused: false,
+            real_origin: None,
         })
     };
 }
@@ -55,14 +89,30 @@ pub struct TraceMark {
     pub clock_ns: u64,
 }
 
-/// Arm this thread with `tracer` and reset the lane clock to zero.
-/// Replaces (and drops) any previously installed tracer.
+/// Arm this thread with `tracer` and reset the lane clock to zero (and
+/// back to the modeled source). Replaces (and drops) any previously
+/// installed tracer.
 pub fn install(tracer: Box<dyn Tracer>) {
     CTX.with(|c| {
         let mut c = c.borrow_mut();
         c.tracer = Some(tracer);
         c.clock_ns = 0;
         c.paused = false;
+        c.real_origin = None;
+    });
+}
+
+/// Switch this lane's clock source. `RealTime` starts a fresh wall-time
+/// origin at the call; `Modeled` resets the deterministic counter. The
+/// hybrid backend's real-time lanes call this right after [`install`].
+pub fn set_clock(src: ClockSource) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        c.clock_ns = 0;
+        c.real_origin = match src {
+            ClockSource::Modeled => None,
+            ClockSource::RealTime => Some(Instant::now()),
+        };
     });
 }
 
@@ -77,14 +127,21 @@ pub fn armed() -> bool {
     CTX.with(|c| c.borrow().tracer.as_ref().is_some_and(|t| t.enabled()))
 }
 
-/// This lane's deterministic clock, in nanoseconds.
+/// This lane's clock, in nanoseconds: the deterministic modeled counter,
+/// or elapsed wall time on a real-time lane.
 pub fn now_ns() -> u64 {
-    CTX.with(|c| c.borrow().clock_ns)
+    CTX.with(|c| c.borrow_mut().tick())
 }
 
-/// Advance this lane's clock by `dns` modeled nanoseconds.
+/// Advance this lane's clock by `dns` modeled nanoseconds. No-op on a
+/// real-time lane — real durations elapse on their own.
 pub fn advance_ns(dns: u64) {
-    CTX.with(|c| c.borrow_mut().clock_ns += dns);
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.real_origin.is_none() {
+            c.clock_ns += dns;
+        }
+    });
 }
 
 /// This lane's current [`TraceMark`] (events written so far + clock).
@@ -129,7 +186,7 @@ pub fn emit(ev: Event) {
         if c.paused {
             return;
         }
-        let ts = c.clock_ns;
+        let ts = c.tick();
         if let Some(t) = c.tracer.as_mut() {
             if t.enabled() {
                 t.record(ts, ev);
@@ -141,12 +198,19 @@ pub fn emit(ev: Event) {
 /// Record a complete phase span of modeled duration `dns`: begin at the
 /// current clock, advance by `dns`, end. The clock advances whether or
 /// not a tracer is armed, so arming never changes modeled timelines.
+/// On a real-time lane `dns` is ignored: the span covers the wall time
+/// elapsed since the lane's previous instrumentation point (i.e. the
+/// instrumented work that just ran).
 pub fn span_ns(phase: u8, dns: u64) {
     CTX.with(|c| {
         let mut c = c.borrow_mut();
         let begin = c.clock_ns;
-        c.clock_ns += dns;
-        let end = c.clock_ns;
+        let end = if c.real_origin.is_some() {
+            c.tick().max(begin)
+        } else {
+            c.clock_ns += dns;
+            c.clock_ns
+        };
         if c.paused {
             return;
         }
@@ -214,6 +278,31 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s[2].ev, Event::RecoveryBegin { epoch: 1 });
         assert_eq!(s[2].ts_ns, 10);
+    }
+
+    #[test]
+    fn real_time_lane_stamps_wall_time_and_ignores_modeled_advances() {
+        install(Box::new(RingTracer::new(16)));
+        set_clock(ClockSource::RealTime);
+        advance_ns(1_000_000_000); // modeled charge: ignored on a real lane
+        emit(Event::PoolAlloc { bytes: 1 });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span_ns(4, 123); // dns ignored; span covers the sleep
+        let t = take().expect("tracer was armed");
+        let s = t.snapshot();
+        assert_eq!(s.len(), 3);
+        assert!(s[0].ts_ns < 1_000_000_000, "modeled advance must not apply");
+        assert_eq!(s[1].ev, Event::PhaseBegin { phase: 4 });
+        assert_eq!(s[2].ev, Event::PhaseEnd { phase: 4 });
+        assert!(
+            s[2].ts_ns >= s[1].ts_ns + 2_000_000,
+            "span must cover the real elapsed time"
+        );
+        // Back to modeled: deterministic counter again.
+        set_clock(ClockSource::Modeled);
+        assert_eq!(now_ns(), 0);
+        advance_ns(7);
+        assert_eq!(now_ns(), 7);
     }
 
     #[test]

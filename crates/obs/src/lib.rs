@@ -41,7 +41,8 @@ pub mod metrics;
 pub mod tracer;
 
 pub use ctx::{
-    advance_ns, armed, emit, install, mark, now_ns, pause, resume, rewind, span_ns, take, TraceMark,
+    advance_ns, armed, emit, install, mark, now_ns, pause, resume, rewind, set_clock, span_ns,
+    take, ClockSource, TraceMark,
 };
 pub use export::{chrome_trace, summary_table, Lane};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};

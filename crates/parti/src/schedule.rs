@@ -177,6 +177,98 @@ impl Schedule {
         }
     }
 
+    /// Shared-memory-window twin of [`Schedule::gather_planes`], **begin
+    /// half**: publish this rank's send regions straight into the peer
+    /// windows (hybrid backend). The pack order per vertex is identical
+    /// to the channel path — same strided per-vertex records, same
+    /// lengths — so the published buffer is byte-for-byte the channel
+    /// message, and the modeled cost charged by the publish matches the
+    /// channel send exactly. Splitting begin/finish lets interior
+    /// kernels run while peers catch up to their publishes.
+    pub fn gather_planes_shm_begin(&self, rank: &mut Rank, data: &[f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        for (peer, idxs) in &self.sends {
+            rank.window_publish_f64(*peer, self.tag, self.class, |buf| {
+                for &i in idxs {
+                    for c in 0..nplanes {
+                        buf.push(data[c * plane + i as usize]);
+                    }
+                }
+            });
+        }
+    }
+
+    /// **Finish half** of the window gather: consume each peer's window
+    /// in place into this rank's ghost slots (same fill order as the
+    /// channel path). Must follow the matching
+    /// [`Schedule::gather_planes_shm_begin`] on every rank, in the same
+    /// global exchange order.
+    pub fn gather_planes_shm_finish(&self, rank: &mut Rank, data: &mut [f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        for (peer, slots) in &self.recvs {
+            rank.window_consume_f64(*peer, self.tag, |buf| {
+                assert_eq!(
+                    buf.len(),
+                    slots.len() * nplanes,
+                    "gather window size mismatch"
+                );
+                for (k, &s) in slots.iter().enumerate() {
+                    for c in 0..nplanes {
+                        data[c * plane + s as usize] = buf[k * nplanes + c];
+                    }
+                }
+            });
+        }
+    }
+
+    /// Shared-memory-window twin of [`Schedule::scatter_add_planes`],
+    /// **begin half**: publish the ghost-slot accumulators to their
+    /// owners' windows and zero them (they are accumulators), exactly as
+    /// the channel path packs and zeroes.
+    pub fn scatter_add_planes_shm_begin(&self, rank: &mut Rank, data: &mut [f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        let tag = self.tag + 1;
+        for (peer, slots) in &self.recvs {
+            rank.window_publish_f64(*peer, tag, self.class, |buf| {
+                for &s in slots {
+                    for c in 0..nplanes {
+                        let j = c * plane + s as usize;
+                        buf.push(data[j]);
+                        data[j] = 0.0;
+                    }
+                }
+            });
+        }
+    }
+
+    /// **Finish half** of the window scatter-add: consume each peer's
+    /// ghost contributions and add them into this rank's owned entries,
+    /// in the channel path's `(record, plane)` order so the floating-
+    /// point accumulation order — and therefore the result bits — are
+    /// identical to the distributed backend.
+    pub fn scatter_add_planes_shm_finish(&self, rank: &mut Rank, data: &mut [f64], nplanes: usize) {
+        debug_assert!(nplanes > 0 && data.len().is_multiple_of(nplanes));
+        let plane = data.len() / nplanes;
+        let tag = self.tag + 1;
+        for (peer, idxs) in &self.sends {
+            rank.window_consume_f64(*peer, tag, |buf| {
+                assert_eq!(
+                    buf.len(),
+                    idxs.len() * nplanes,
+                    "scatter window size mismatch"
+                );
+                for (k, &i) in idxs.iter().enumerate() {
+                    for c in 0..nplanes {
+                        data[c * plane + i as usize] += buf[k * nplanes + c];
+                    }
+                }
+            });
+        }
+    }
+
     /// Like [`Schedule::gather`] but with distinct source and destination
     /// arrays: owners pack from `src` (owner-local indices), receivers
     /// fill `dst` (buffer slots). Used by the inter-grid transfer
