@@ -10,6 +10,11 @@
 //!                  [--cycles 25] [--no-incremental]
 //!                  [--backend delta|hybrid] [--threads N]
 //!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
+//! eul3d serve      --socket /tmp/eul3d.sock [--workers N] [--queue N]
+//!                  [--cache N] [--seed N] [--retry-after-ms MS]
+//! eul3d submit     --socket /tmp/eul3d.sock --config run.toml
+//!                  [--distributed] [--force] [--artifacts] [--ndjson]
+//! eul3d submit     --socket S (--cancel JOB | --stats | --shutdown)
 //! ```
 //!
 //! `solve` and `distributed` additionally take the consolidated
@@ -35,6 +40,7 @@
 
 mod args;
 mod commands;
+mod service;
 
 use args::Args;
 
@@ -53,6 +59,8 @@ fn main() {
         Some("partition") => commands::partition(&parsed),
         Some("solve") => commands::solve(&parsed),
         Some("distributed") => commands::distributed(&parsed),
+        Some("serve") => service::serve(&parsed),
+        Some("submit") => service::submit(&parsed),
         Some("help") | None => {
             usage();
             Ok(())
@@ -73,6 +81,8 @@ fn usage() {
     eprintln!("  partition    partition a mesh and report cut/balance quality");
     eprintln!("  solve        sequential or shared-memory flow solve");
     eprintln!("  distributed  SPMD solve on the simulated Touchstone Delta");
+    eprintln!("  serve        host the multi-tenant job engine on a Unix socket");
+    eprintln!("  submit       client: submit/cancel jobs, stats, shutdown");
     eprintln!();
     eprintln!("run `eul3d <command> --help-flags` is not needed: unknown flags are rejected");
     eprintln!("with a message; see crates/cli/src/main.rs for the full flag list.");

@@ -1,0 +1,205 @@
+//! The service-mode subcommands: `eul3d serve` hosts the job engine on
+//! a Unix socket; `eul3d submit` is the client — submitting jobs,
+//! cancelling, fetching stats, and shutting the server down over the
+//! line-delimited JSON protocol (see DESIGN.md §11).
+
+use std::path::PathBuf;
+
+use eul3d_serve::engine::EngineConfig;
+use eul3d_serve::json::JObj;
+use eul3d_serve::{client, server, Request};
+
+use crate::args::Args;
+
+fn socket_of(a: &Args) -> Result<PathBuf, String> {
+    a.get_str("socket")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--socket PATH is required".to_string())
+}
+
+/// `eul3d serve --socket S [--workers N] [--queue N] [--cache N]
+/// [--seed N]` — host the job engine, blocking until a client sends
+/// `shutdown` (or the process is signalled).
+pub fn serve(a: &Args) -> Result<(), String> {
+    let path = socket_of(a)?;
+    let defaults = EngineConfig::default();
+    let cfg = EngineConfig {
+        workers: a.get("workers", defaults.workers)?,
+        queue_cap: a.get("queue", defaults.queue_cap)?,
+        cache_cap: a.get("cache", defaults.cache_cap)?,
+        seed: a.get("seed", defaults.seed)?,
+        retry_after_ms_per_queued: a.get("retry-after-ms", defaults.retry_after_ms_per_queued)?,
+    };
+    a.check_unknown()?;
+    if cfg.workers == 0 || cfg.queue_cap == 0 {
+        return Err("--workers and --queue must be at least 1".into());
+    }
+    let handle = server::spawn(&path, cfg.clone()).map_err(|e| format!("bind {path:?}: {e}"))?;
+    println!(
+        "eul3d serve: listening on {} (workers={} queue={} cache={} seed={})",
+        path.display(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap,
+        cfg.seed
+    );
+    handle.join();
+    println!("eul3d serve: shut down");
+    Ok(())
+}
+
+/// `eul3d submit --socket S --config run.toml [--distributed] [--force]
+/// [--artifacts] [--ndjson]`, or one of the control forms `--cancel N`
+/// / `--stats` / `--shutdown`. `--ndjson` passes the raw wire lines
+/// through unmodified (one JSON object per line, jq-friendly); the
+/// default renders a human summary. Exits non-zero when the job fails,
+/// is rejected for backpressure, or the request errors.
+pub fn submit(a: &Args) -> Result<(), String> {
+    let path = socket_of(a)?;
+    let ndjson = a.has("ndjson");
+    // Control forms: one request, one acknowledgement line.
+    let control = if let Some(job) = a.get_str("cancel") {
+        let job: u64 = job
+            .parse()
+            .map_err(|_| format!("--cancel: bad job id '{job}'"))?;
+        Some(Request::Cancel { job })
+    } else if a.has("stats") {
+        Some(Request::Stats)
+    } else if a.has("shutdown") {
+        Some(Request::Shutdown)
+    } else {
+        None
+    };
+    if let Some(req) = control {
+        a.get_str("config");
+        a.check_unknown()?;
+        let line =
+            client::request_one(&path, &req).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("{line}");
+        return Ok(());
+    }
+
+    let config_path = a
+        .get_str("config")
+        .ok_or_else(|| "--config run.toml is required to submit a job".to_string())?;
+    let mode = if a.has("distributed") {
+        "distributed"
+    } else {
+        "solve"
+    };
+    let force = a.has("force");
+    let artifacts = a.has("artifacts");
+    a.check_unknown()?;
+    let config = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("--config {config_path}: {e}"))?;
+    let req = Request::Submit {
+        config,
+        mode: eul3d_core::JobMode::parse(mode).unwrap_or_default(),
+        force,
+        artifacts,
+    };
+    let mut stream =
+        client::request(&path, &req).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut failed: Option<String> = None;
+    while let Some(line) = stream.next_line() {
+        if ndjson {
+            println!("{line}");
+        }
+        let Ok(o) = JObj::parse(&line) else {
+            if !ndjson {
+                eprintln!("unparsable reply line: {line}");
+            }
+            continue;
+        };
+        match o.str_of("event") {
+            Some("error") => {
+                failed = Some(o.str_of("msg").unwrap_or("request error").to_string());
+            }
+            Some("rejected") => {
+                failed = Some(format!(
+                    "rejected: queue full, retry after {} ms",
+                    o.u64_of("retry_after_ms").unwrap_or(0)
+                ));
+            }
+            Some("failed") => {
+                failed = Some(o.str_of("msg").unwrap_or("job failed").to_string());
+            }
+            Some("cancelled") => {
+                failed = Some("job cancelled".to_string());
+            }
+            _ => {}
+        }
+        if ndjson {
+            continue;
+        }
+        match o.str_of("event") {
+            Some("accepted") => println!(
+                "job {} accepted  key {}",
+                o.u64_of("job").unwrap_or(0),
+                o.str_of("key").unwrap_or("?")
+            ),
+            Some("started") => println!("job {} started", o.u64_of("job").unwrap_or(0)),
+            Some("progress") => println!(
+                "  cycle {:>4}  residual {:e}",
+                o.u64_of("cycle").unwrap_or(0),
+                o.f64_of("residual").unwrap_or(f64::NAN)
+            ),
+            Some("done") => {
+                println!(
+                    "done ({})  cycles {}  final residual {:e}  result {}",
+                    o.str_of("cache").unwrap_or("?"),
+                    o.u64_of("cycles").unwrap_or(0),
+                    o.f64_of("final_residual").unwrap_or(f64::NAN),
+                    o.str_of("result_hash").unwrap_or("?")
+                );
+                if let Some(t) = o.str_of("table") {
+                    print!("{t}");
+                }
+            }
+            Some(other) => println!("{other}: {line}"),
+            // Trace lines carry "ev" instead of "event": summarize them
+            // away in human mode (ndjson passes them through above).
+            None => {}
+        }
+    }
+    match failed {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(parts: &[&str]) -> Args {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Args::parse(&argv).unwrap_or_default()
+    }
+
+    #[test]
+    fn socket_flag_is_required() {
+        assert!(serve(&parsed(&["serve"])).is_err());
+        assert!(submit(&parsed(&["submit", "--stats"])).is_err());
+    }
+
+    #[test]
+    fn submit_requires_a_config_or_control_form() {
+        let err = submit(&parsed(&["submit", "--socket", "/tmp/nowhere.sock"]))
+            .expect_err("config is mandatory");
+        assert!(err.contains("--config"), "{err}");
+    }
+
+    #[test]
+    fn bad_cancel_id_is_rejected_before_connecting() {
+        let err = submit(&parsed(&[
+            "submit",
+            "--socket",
+            "/tmp/nowhere.sock",
+            "--cancel",
+            "pi",
+        ]))
+        .expect_err("non-numeric job id");
+        assert!(err.contains("bad job id"), "{err}");
+    }
+}

@@ -1,0 +1,465 @@
+//! Job-scoped solver invocation for the service layer: one fully
+//! described run ([`crate::RunConfig`] + mode + partitioner seed) in,
+//! one deterministic artifact bundle out, cancellable at cycle
+//! granularity through the same [`eul3d_delta::FaultSignal`] unwind
+//! path the fault-injection machinery uses.
+//!
+//! Determinism is the contract. For a fixed `(config, mode, seed)` the
+//! returned [`JobArtifacts`] are **byte-identical** across runs, worker
+//! threads, and process restarts: the residual table prints floats with
+//! Rust's shortest-round-trip formatting (unique per bit pattern), the
+//! Chrome trace rides the modeled clock (reset per job by
+//! `obs::install`), and the VTK export is a pure function of the final
+//! state. That is what lets the service layer treat a cache hit and a
+//! recompute as provably interchangeable.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use eul3d_delta::FaultSignal;
+use eul3d_mesh::vtk::write_vtk;
+use eul3d_mesh::MeshSequence;
+use eul3d_obs as obs;
+
+use crate::dist::{
+    run_distributed, run_distributed_guarded, run_distributed_with_faults, DistBackend,
+    DistOptions, DistSetup, FaultOptions,
+};
+use crate::error::{Eul3dError, SolverError};
+use crate::health::GuardOutcome;
+use crate::postproc::mach_field;
+use crate::runconfig::{fnv1a_128, BackendKind};
+use crate::{MultigridSolver, Phase, RunConfig};
+
+/// Cooperative cancellation handle for one job. Cloneable; any clone's
+/// [`CancelToken::cancel`] makes the next [`CancelToken::check`] on the
+/// solver thread unwind via [`FaultSignal::Killed`] — the exact
+/// non-local exit the fault-injection recovery driver uses — which the
+/// job runner catches with `catch_unwind`. Cancellation is therefore
+/// only observed at committed-cycle boundaries, so a cancelled job
+/// never leaves a torn solver state behind.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Unwind with [`FaultSignal::Killed`] if cancellation was
+    /// requested. Called by the job runner between committed cycles.
+    pub fn check(&self) {
+        if self.is_cancelled() {
+            // The process-wide hook keeps expected unwinds silent.
+            eul3d_delta::silence_fault_signal_panics();
+            panic_any(FaultSignal::Killed);
+        }
+    }
+}
+
+/// Which driver a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobMode {
+    /// Sequential multigrid on the driver thread (guarded when the
+    /// config arms the guard). Cancellable per cycle.
+    #[default]
+    Solve,
+    /// SPMD run on the simulated Delta (or hybrid threads), with
+    /// faults/recovery/guard per the config. The SPMD region runs to
+    /// completion once entered; cancellation is observed before setup
+    /// and before launch.
+    Distributed,
+}
+
+impl JobMode {
+    /// Wire name (`"solve"` / `"distributed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobMode::Solve => "solve",
+            JobMode::Distributed => "distributed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JobMode> {
+        match s {
+            "solve" => Some(JobMode::Solve),
+            "distributed" | "dist" => Some(JobMode::Distributed),
+            _ => None,
+        }
+    }
+}
+
+/// The deterministic result bundle of one completed job.
+#[derive(Debug, Clone)]
+pub struct JobArtifacts {
+    /// Committed residual history (bit-identical across reruns).
+    pub history: Vec<f64>,
+    /// The residual table: exact shortest-round-trip floats plus the
+    /// final-state content hash, so two byte-identical tables imply
+    /// bit-identical states.
+    pub table: String,
+    /// Chrome `trace_event` JSON of the run's lanes, when the config
+    /// arms tracing (byte-identical across reruns on the modeled clock).
+    pub trace_json: Option<String>,
+    /// Stamped event stream of the driver lane (solve) or virtual rank
+    /// 0's completed instance (distributed), for wire streaming.
+    pub events: Vec<obs::Stamped>,
+    /// ASCII VTK of the final Mach field on the fine mesh.
+    pub vtk: String,
+    /// Guard outcome of a guarded run.
+    pub guard: Option<GuardOutcome>,
+    /// FNV-1a 128 over table ‖ trace ‖ vtk — the content address of the
+    /// result itself.
+    pub result_hash: u128,
+}
+
+fn config_err(msg: &str) -> Eul3dError {
+    Eul3dError::Solver(SolverError::ConfigParse {
+        line: 0,
+        msg: msg.to_string(),
+    })
+}
+
+/// Exact-float residual table. `{r}` is Rust's shortest-round-trip
+/// formatting: distinct bit patterns render distinctly, so byte-equality
+/// of tables is bit-equality of histories (and, through the state hash,
+/// of final states).
+fn render_table(
+    rc: &RunConfig,
+    mode: JobMode,
+    history: &[f64],
+    state_hash: u128,
+    guard: Option<&GuardOutcome>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# eul3d job result\n");
+    out.push_str(&format!("mode = \"{}\"\n", mode.name()));
+    out.push_str(&format!("config_hash = \"{:032x}\"\n", rc.canonical_hash()));
+    if let Some(g) = guard {
+        out.push_str(&format!(
+            "guard_backoffs = {}\nguard_final_cfl = {}\n",
+            g.transcript.len(),
+            g.final_cfl
+        ));
+    }
+    out.push_str("cycle\tresidual\n");
+    for (c, r) in history.iter().enumerate() {
+        out.push_str(&format!("{c}\t{r}\n"));
+    }
+    out.push_str(&format!("state_fnv128 = \"{state_hash:032x}\"\n"));
+    out
+}
+
+/// Content hash of a state vector: FNV-1a 128 over the little-endian
+/// bit patterns, so two equal hashes mean bit-identical states.
+fn hash_f64s(vals: &[f64]) -> u128 {
+    let mut bytes = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a_128(&bytes)
+}
+
+fn phase_labels() -> Vec<&'static str> {
+    Phase::ALL.iter().map(|p| p.label()).collect()
+}
+
+fn render_vtk(
+    mesh: &eul3d_mesh::TetMesh,
+    gamma: f64,
+    w: &crate::SoaState,
+    nverts: usize,
+) -> Result<String, Eul3dError> {
+    let mach = mach_field(gamma, w, nverts);
+    let mut buf = Vec::new();
+    write_vtk(&mut buf, mesh, &[("mach", &mach)])
+        .map_err(|e| config_err(&format!("vtk export failed: {e}")))?;
+    String::from_utf8(buf).map_err(|_| config_err("vtk export produced non-UTF-8 output"))
+}
+
+/// Run one job to completion on the calling thread.
+///
+/// * `partition_seed` seeds the RSB partitioner of the distributed path
+///   (the service layer pins it at startup so cache keys are stable);
+///   the solve path ignores it.
+/// * `cancel` is polled at committed-cycle boundaries (solve) and
+///   between setup stages (distributed); a cancelled job unwinds with
+///   [`FaultSignal::Killed`], which the caller must `catch_unwind`.
+/// * `on_cycle(cycle, residual)` streams progress: live per cycle on
+///   the solve path, replayed from the committed history after the SPMD
+///   region on the distributed path.
+///
+/// The returned artifacts are byte-identical for identical
+/// `(config, mode, seed)` regardless of thread, load, or prior jobs on
+/// the worker (the per-job `obs::install` resets the modeled clock).
+pub fn run_job(
+    rc: &RunConfig,
+    mode: JobMode,
+    partition_seed: u64,
+    cancel: &CancelToken,
+    on_cycle: &mut dyn FnMut(u64, f64),
+) -> Result<JobArtifacts, Eul3dError> {
+    rc.validate()?;
+    cancel.check();
+    match mode {
+        JobMode::Solve => run_solve_job(rc, cancel, on_cycle),
+        JobMode::Distributed => run_dist_job(rc, partition_seed, cancel, on_cycle),
+    }
+}
+
+fn run_solve_job(
+    rc: &RunConfig,
+    cancel: &CancelToken,
+    on_cycle: &mut dyn FnMut(u64, f64),
+) -> Result<JobArtifacts, Eul3dError> {
+    if rc.faults.is_some() {
+        return Err(config_err(
+            "fault plans require mode = \"distributed\" (the solve driver has no recovery path)",
+        ));
+    }
+    let seq = MeshSequence::bump_sequence(&rc.mesh, rc.levels);
+    cancel.check();
+    if rc.trace.enabled {
+        obs::install(Box::new(obs::RingTracer::new(rc.trace.capacity)));
+    }
+    let mut mg = MultigridSolver::new(seq, rc.solver, rc.strategy);
+    let (history, guard) = match &rc.guard {
+        Some(g) => {
+            let (hist, outcome) = mg.solve_guarded_hooked(rc.cycles, g, &mut |c, r| {
+                cancel.check();
+                on_cycle(c as u64, r);
+            })?;
+            (hist, Some(outcome))
+        }
+        None => {
+            let mut hist = Vec::with_capacity(rc.cycles);
+            for c in 0..rc.cycles {
+                cancel.check();
+                let r = mg.cycle();
+                hist.push(r);
+                on_cycle(c as u64, r);
+            }
+            (hist, None)
+        }
+    };
+    let (events, trace_json) = if rc.trace.enabled {
+        match obs::take() {
+            Some(tr) => {
+                let lane = obs::Lane {
+                    id: 0,
+                    name: "driver".to_string(),
+                    events: tr.snapshot(),
+                    dropped: tr.dropped(),
+                };
+                let json = obs::chrome_trace(std::slice::from_ref(&lane), &phase_labels());
+                (lane.events, Some(json))
+            }
+            None => (Vec::new(), None),
+        }
+    } else {
+        (Vec::new(), None)
+    };
+    let nverts = mg.levels[0].n;
+    let w = &mg.levels[0].w;
+    let mut aos = w.to_aos();
+    aos.truncate(nverts * crate::NVAR);
+    let mesh0 = mg
+        .seq
+        .meshes
+        .first()
+        .ok_or(Eul3dError::Solver(SolverError::EmptyMeshSequence))?;
+    let vtk = render_vtk(mesh0, rc.solver.gamma, w, nverts)?;
+    let table = render_table(
+        rc,
+        JobMode::Solve,
+        &history,
+        hash_f64s(&aos),
+        guard.as_ref(),
+    );
+    Ok(finish(history, table, trace_json, events, vtk, guard))
+}
+
+fn run_dist_job(
+    rc: &RunConfig,
+    partition_seed: u64,
+    cancel: &CancelToken,
+    on_cycle: &mut dyn FnMut(u64, f64),
+) -> Result<JobArtifacts, Eul3dError> {
+    let hybrid = rc.backend == BackendKind::Hybrid;
+    let nranks = rc.effective_nranks();
+    let seq = MeshSequence::bump_sequence(&rc.mesh, rc.levels);
+    cancel.check();
+    let setup = DistSetup::new(seq, nranks, 40, partition_seed);
+    cancel.check();
+
+    let fopts = match &rc.faults {
+        Some(spec) => Some(FaultOptions {
+            plan: Arc::new(eul3d_delta::FaultPlan::parse(spec, nranks).map_err(Eul3dError::Delta)?),
+            checkpoint_every: rc.checkpoint_every,
+            recv_timeout_ms: rc.fault_timeout_ms,
+            ..FaultOptions::default()
+        }),
+        // The guarded driver needs a fault context for its rollback
+        // checkpoints even when nothing is killed.
+        None if rc.guard.is_some() => Some(FaultOptions {
+            checkpoint_every: rc.checkpoint_every,
+            recv_timeout_ms: rc.fault_timeout_ms,
+            ..FaultOptions::default()
+        }),
+        None => None,
+    };
+    let opts = DistOptions {
+        trace_capacity: rc.trace.enabled.then_some(rc.trace.capacity),
+        backend: if hybrid {
+            DistBackend::Hybrid
+        } else {
+            DistBackend::Delta
+        },
+        // Real-time lanes would break byte-identity; job traces always
+        // ride the modeled clock, even on the hybrid backend.
+        real_time_lanes: false,
+        ..DistOptions::default()
+    };
+    let r = match (&rc.guard, &fopts) {
+        (Some(g), Some(f)) => {
+            run_distributed_guarded(&setup, rc.solver, rc.strategy, rc.cycles, opts, f, g)?
+        }
+        (None, Some(f)) => {
+            run_distributed_with_faults(&setup, rc.solver, rc.strategy, rc.cycles, opts, f)
+        }
+        _ => run_distributed(&setup, rc.solver, rc.strategy, rc.cycles, opts),
+    };
+    let history = r.history().to_vec();
+    for (c, &res) in history.iter().enumerate() {
+        on_cycle(c as u64, res);
+    }
+    let guard = r.guard_outcome().cloned();
+    let (events, trace_json) = if rc.trace.enabled {
+        let lanes = r.lanes();
+        let json = obs::chrome_trace(&lanes, &phase_labels());
+        let ev0 = r.instance(0).map(|o| o.trace.clone()).unwrap_or_default();
+        (ev0, Some(json))
+    } else {
+        (Vec::new(), None)
+    };
+    let nverts = setup.seq.meshes[0].nverts();
+    let aos = r.global_state(nverts);
+    let w = crate::SoaState::from_aos(&aos, crate::NVAR);
+    let vtk = render_vtk(&setup.seq.meshes[0], rc.solver.gamma, &w, nverts)?;
+    let table = render_table(
+        rc,
+        JobMode::Distributed,
+        &history,
+        hash_f64s(&aos),
+        guard.as_ref(),
+    );
+    Ok(finish(history, table, trace_json, events, vtk, guard))
+}
+
+fn finish(
+    history: Vec<f64>,
+    table: String,
+    trace_json: Option<String>,
+    events: Vec<obs::Stamped>,
+    vtk: String,
+    guard: Option<GuardOutcome>,
+) -> JobArtifacts {
+    let mut bytes =
+        Vec::with_capacity(table.len() + trace_json.as_ref().map_or(0, String::len) + vtk.len());
+    bytes.extend_from_slice(table.as_bytes());
+    if let Some(t) = &trace_json {
+        bytes.extend_from_slice(t.as_bytes());
+    }
+    bytes.extend_from_slice(vtk.as_bytes());
+    let result_hash = fnv1a_128(&bytes);
+    JobArtifacts {
+        history,
+        table,
+        trace_json,
+        events,
+        vtk,
+        guard,
+        result_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_rc(cycles: usize) -> RunConfig {
+        RunConfig {
+            levels: 2,
+            cycles,
+            mesh: eul3d_mesh::gen::BumpSpec {
+                nx: 8,
+                ny: 4,
+                nz: 3,
+                ..Default::default()
+            },
+            nranks: 4,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn solve_job_is_byte_deterministic_and_streams_progress() {
+        let rc = small_rc(4);
+        let token = CancelToken::new();
+        let mut seen = Vec::new();
+        let a = run_job(&rc, JobMode::Solve, 7, &token, &mut |c, r| {
+            seen.push((c, r));
+        })
+        .unwrap();
+        let b = run_job(&rc, JobMode::Solve, 7, &token, &mut |_, _| {}).unwrap();
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.vtk, b.vtk);
+        assert_eq!(a.result_hash, b.result_hash);
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[2].1, a.history[2].to_owned());
+        assert!(a.table.contains("state_fnv128"));
+    }
+
+    #[test]
+    fn cancel_unwinds_with_fault_signal() {
+        let rc = small_rc(50);
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&rc, JobMode::Solve, 7, &token, &mut |c, _| {
+                if c == 1 {
+                    t2.cancel();
+                }
+            })
+        }))
+        .expect_err("cancellation must unwind");
+        assert!(
+            err.downcast_ref::<FaultSignal>().is_some(),
+            "payload must be the FaultSignal unwind"
+        );
+    }
+
+    #[test]
+    fn solve_mode_rejects_fault_plans() {
+        let mut rc = small_rc(4);
+        rc.faults = Some("kill:1@2".into());
+        rc.checkpoint_every = 2;
+        let err = run_job(&rc, JobMode::Solve, 7, &CancelToken::new(), &mut |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("distributed"), "{err}");
+    }
+}

@@ -44,6 +44,7 @@ pub mod flux;
 pub mod gas;
 pub mod health;
 pub mod history;
+pub mod job;
 pub mod level;
 pub mod multigrid;
 pub mod postproc;
@@ -64,8 +65,9 @@ pub use executor::{Executor, Phase, SerialExecutor};
 pub use gas::{Freestream, NVAR};
 pub use health::{GuardConfig, GuardOutcome, HealthVerdict, RetryEvent};
 pub use history::ConvergenceHistory;
+pub use job::{run_job, CancelToken, JobArtifacts, JobMode};
 pub use multigrid::{MultigridSolver, Strategy};
-pub use runconfig::{RunConfig, RunConfigBuilder, TraceConfig};
+pub use runconfig::{fnv1a_128, RunConfig, RunConfigBuilder, TraceConfig};
 pub use soa::SoaState;
 pub use solver::SingleGridSolver;
 

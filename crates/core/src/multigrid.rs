@@ -154,6 +154,24 @@ impl MultigridSolver {
         n: usize,
         guard: &GuardConfig,
     ) -> Result<(Vec<f64>, GuardOutcome), SolverError> {
+        self.solve_guarded_hooked(n, guard, &mut |_, _| {})
+    }
+
+    /// [`MultigridSolver::solve_guarded`] with a per-cycle observer:
+    /// `on_cycle(cycle, residual)` fires after each cycle the guard
+    /// passes, never for the bad cycle itself; when a later verdict
+    /// rolls the run back, the re-run of the replayed cycles reports
+    /// again (the hook mirrors what actually executed). The service
+    /// layer streams live progress from it and checks job cancellation
+    /// inside it — the hook may unwind (e.g. via `FaultSignal`) and the
+    /// solver state stays coherent: the cycle it interrupts is already
+    /// committed.
+    pub fn solve_guarded_hooked(
+        &mut self,
+        n: usize,
+        guard: &GuardConfig,
+        on_cycle: &mut dyn FnMut(usize, f64),
+    ) -> Result<(Vec<f64>, GuardOutcome), SolverError> {
         guard.validate()?;
         let target_cfl = self.cfg.cfl;
         let mut gs = GuardState::new(target_cfl, guard);
@@ -208,6 +226,7 @@ impl MultigridSolver {
             history.push(r);
             monitor.push(r);
             gs.ctl.on_clean();
+            on_cycle(history.len() - 1, r);
         }
         let final_cfl = gs.ctl.current;
         self.cfg.cfl = target_cfl;

@@ -523,7 +523,10 @@ impl RunConfig {
 
     /// Deserialize the TOML subset [`RunConfig::to_toml`] emits (plus
     /// comments and any key order). Unknown sections or keys are typed
-    /// parse errors, as are malformed values. Fields absent from the
+    /// parse errors, as are malformed values and duplicate keys or
+    /// reopened sections (TOML forbids both; silently last-winning would
+    /// let two visually different files alias one canonical hash, so
+    /// they are line-numbered errors instead). Fields absent from the
     /// file keep their defaults; a `[guard]` header (even empty) arms
     /// the guard with defaults for unset keys. The result is validated.
     pub fn from_toml(text: &str) -> Result<RunConfig, Eul3dError> {
@@ -531,6 +534,10 @@ impl RunConfig {
         let mut guard = GuardConfig::default();
         let mut has_guard = false;
         let mut section = String::new();
+        // (section, key) -> first-definition line, for duplicate
+        // detection; section headers are stored under an empty key.
+        let mut seen: std::collections::HashMap<(String, String), usize> =
+            std::collections::HashMap::new();
 
         for (k, raw_line) in text.lines().enumerate() {
             let lineno = k + 1;
@@ -543,6 +550,12 @@ impl RunConfig {
                     .strip_suffix(']')
                     .ok_or_else(|| parse_err(lineno, "unterminated section header"))?
                     .trim();
+                if let Some(first) = seen.insert((name.to_string(), String::new()), lineno) {
+                    return Err(parse_err(
+                        lineno,
+                        &format!("section [{name}] reopened (first defined at line {first})"),
+                    ));
+                }
                 match name {
                     "solver" | "run" | "mesh" | "trace" => section = name.to_string(),
                     "guard" => {
@@ -559,6 +572,12 @@ impl RunConfig {
                 .split_once('=')
                 .ok_or_else(|| parse_err(lineno, "expected `key = value`"))?;
             let key = key.trim();
+            if let Some(first) = seen.insert((section.clone(), key.to_string()), lineno) {
+                return Err(parse_err(
+                    lineno,
+                    &format!("duplicate key '{key}' in [{section}] (first set at line {first})"),
+                ));
+            }
             // Strip a trailing comment from unquoted values.
             let val = val.trim();
             let val = if val.starts_with('"') || val.starts_with('[') {
@@ -574,6 +593,51 @@ impl RunConfig {
         rc.validate()?;
         Ok(rc)
     }
+
+    /// The canonical serialization underlying [`RunConfig::canonical_hash`]:
+    /// the [`RunConfig::to_toml`] text of the configuration with its
+    /// presentation-only fields normalized away. `to_toml` is a
+    /// serialization fixed point (`to_toml ∘ from_toml ∘ to_toml =
+    /// to_toml`), so every re-serialization, key-order permutation,
+    /// comment, whitespace variant, and float spelling (`1.0` vs `1` vs
+    /// `1e0`) of the same semantic configuration collapses to one byte
+    /// string — while any semantic field change alters it.
+    ///
+    /// Normalized (excluded from identity) because they change where
+    /// results are *delivered*, never what is computed: `trace.out`,
+    /// `trace.summary`, `trace.top_n`. Everything else participates —
+    /// including `trace.enabled`/`trace.capacity`, which shape the
+    /// exported trace artifact itself.
+    pub fn canonical_toml(&self) -> String {
+        let mut c = self.clone();
+        c.trace.out = None;
+        c.trace.summary = false;
+        c.trace.top_n = TraceConfig::default().top_n;
+        c.to_toml()
+    }
+
+    /// Content-addressed identity of this configuration: FNV-1a 128 over
+    /// [`RunConfig::canonical_toml`]. Two configurations hash equal iff
+    /// they describe the same computation (see `canonical_toml` for the
+    /// presentation-only exclusions). The service layer folds the job
+    /// mode and partitioner seed on top of this to form cache keys.
+    pub fn canonical_hash(&self) -> u128 {
+        fnv1a_128(self.canonical_toml().as_bytes())
+    }
+}
+
+/// FNV-1a 128-bit over `bytes`: the workspace's content-address hash
+/// (dependency-free, deterministic across platforms — the standard
+/// offset basis and prime).
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 fn parse_err(line: usize, msg: &str) -> Eul3dError {

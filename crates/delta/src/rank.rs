@@ -933,8 +933,10 @@ impl Rank {
 /// [`FaultSignal`] unwinds are expected control flow (the recovery driver
 /// catches them), not crashes: install a process-wide panic hook — once —
 /// that stays silent for them and defers every real panic to the
-/// previous hook.
-fn silence_fault_signal_panics() {
+/// previous hook. [`Rank::new`] installs it automatically; callers that
+/// unwind via [`FaultSignal`] *without* building ranks (job-scoped
+/// cancellation in the service layer) call it directly.
+pub fn silence_fault_signal_panics() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {

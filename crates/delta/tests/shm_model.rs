@@ -1,0 +1,413 @@
+//! Exhaustive model checking of the hybrid backend's shared-memory
+//! window protocol (`eul3d_delta::shm::Window`) — the capacity-1 SPSC
+//! seqlock whose two monotonic counters (`published` / `consumed`)
+//! carry the entire ownership discipline.
+//!
+//! Loom is not available in this tree, so this is a hand-rolled
+//! explicit-state checker: each side of the protocol is decomposed into
+//! the same atomic steps the implementation performs (guard load →
+//! buffer write/read in two non-atomic halves → counter store), and a
+//! DFS enumerates **every** interleaving of those steps for a small
+//! number of epochs, with counter loads additionally allowed to return
+//! **stale** (older) values — the only staleness Release/Acquire on
+//! monotonic counters permits. At every reachable state the checker
+//! asserts:
+//!
+//! * **mutual exclusion** — writer and reader never own the buffer
+//!   simultaneously (the `UnsafeCell` safety argument);
+//! * **coherence** — a reader holding the buffer sees both halves from
+//!   exactly the epoch it is consuming (no torn reads);
+//! * **bounded epochs** — `consumed ≤ published ≤ consumed + 1`;
+//! * **exactly-once, in-order** — epochs are consumed as 0, 1, 2, …;
+//! * **deadlock freedom** — every non-terminal state has a successor,
+//!   and every terminal state has both sides finished.
+//!
+//! To prove the checker has teeth, mutated protocols (publish before
+//! the buffer is fully written — a missing Release edge; consume
+//! without the guard — a missing Acquire edge) must each be *caught*.
+//! A second model checks the exchange-ordering deadlock-freedom claim
+//! from the module docs: publish-all-sends-then-consume is deadlock
+//! free, while consume-first on both sides deadlocks — and the checker
+//! must find that deadlock.
+//!
+//! This complements the TSan job and the in-crate stress tests: those
+//! sample real schedules under the real memory model; this enumerates
+//! all schedules under the modeled one.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashSet;
+
+/// Epochs each side runs in the model. Three is enough to cover
+/// steady-state wrap behaviour (fill → drain → refill) while keeping
+/// the state space tiny.
+const EPOCHS: u64 = 3;
+
+/// Marker for a buffer half that no epoch has written yet.
+const UNWRITTEN: u64 = u64::MAX;
+
+/// Protocol variants: the real one, plus mutations the checker must
+/// reject.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// The shipped protocol.
+    Correct,
+    /// Writer bumps `published` before the second buffer half is
+    /// written — models the store being reordered past the buffer
+    /// writes (i.e. a missing `Release`).
+    PublishBeforeFill,
+    /// Reader touches the buffer without waiting for the guard —
+    /// models a missing `Acquire`/guard check.
+    ConsumeWithoutGuard,
+}
+
+/// One interleaved machine state. `*_pc` walk the atomic steps:
+/// 0 = at guard, 1 = first buffer half done, 2 = second half done,
+/// (writer) 3 ≡ wrapped back after the counter store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    w_pc: u8,
+    r_pc: u8,
+    /// Epochs fully published / consumed (also the counters' values,
+    /// updated by the pc-3 steps).
+    published: u64,
+    consumed: u64,
+    /// What each side's *next* guard load is allowed to be stale down
+    /// to: the freshest value that side has already observed.
+    w_floor: u64,
+    r_floor: u64,
+    /// Epoch markers in the two buffer halves.
+    buf_lo: u64,
+    buf_hi: u64,
+}
+
+impl State {
+    fn initial() -> State {
+        State {
+            w_pc: 0,
+            r_pc: 0,
+            published: 0,
+            consumed: 0,
+            w_floor: 0,
+            r_floor: 0,
+            buf_lo: UNWRITTEN,
+            buf_hi: UNWRITTEN,
+        }
+    }
+
+    fn writer_done(&self) -> bool {
+        self.w_pc == 0 && self.published == EPOCHS
+    }
+
+    fn reader_done(&self) -> bool {
+        self.r_pc == 0 && self.consumed == EPOCHS
+    }
+}
+
+/// Check the per-state safety invariants; returns a violation message.
+fn safety(s: &State, variant: Variant) -> Option<String> {
+    let w_owns = s.w_pc == 1 || s.w_pc == 2;
+    let r_owns = s.r_pc == 1 || s.r_pc == 2;
+    if w_owns && r_owns {
+        return Some(format!(
+            "mutual exclusion violated: writer pc={} and reader pc={} both own the buffer \
+             (published={}, consumed={})",
+            s.w_pc, s.r_pc, s.published, s.consumed
+        ));
+    }
+    if s.consumed > s.published || s.published - s.consumed > 1 {
+        return Some(format!(
+            "epoch bound violated: published={} consumed={}",
+            s.published, s.consumed
+        ));
+    }
+    // Coherence: while the reader owns the buffer, the halves it has
+    // already read must have carried its epoch. pc=1 means it read the
+    // low half, pc=2 both.
+    if r_owns {
+        let epoch = s.consumed;
+        if s.buf_lo != epoch {
+            return Some(format!(
+                "torn read: reader of epoch {epoch} sees low half from {:?} \
+                 (variant exposes a missing happens-before edge)",
+                s.buf_lo
+            ));
+        }
+        if s.r_pc == 2 && s.buf_hi != epoch {
+            return Some(format!(
+                "torn read: reader of epoch {epoch} sees high half from {:?}",
+                s.buf_hi
+            ));
+        }
+    }
+    let _ = variant;
+    None
+}
+
+/// All successor states of `s` under `variant`. Guard steps fan out
+/// over every staleness choice the memory model allows.
+fn successors(s: &State, variant: Variant) -> Vec<State> {
+    let mut out = Vec::new();
+
+    // Writer transitions.
+    if !s.writer_done() {
+        match s.w_pc {
+            0 => {
+                // Guard: load `consumed` with any staleness down to the
+                // writer's floor. The guard passes iff the loaded value
+                // equals `published` (writer-owned state).
+                for loaded in s.w_floor..=s.consumed {
+                    let mut n = *s;
+                    n.w_floor = loaded;
+                    if loaded == s.published {
+                        n.w_pc = 1;
+                        // The real writer clears the buffer before
+                        // filling: model the first half write here.
+                        n.buf_lo = s.published;
+                        out.push(n);
+                    } else if loaded != s.w_floor {
+                        // Spin observed a newer (still failing) value:
+                        // a distinct state, else a no-op self-loop.
+                        out.push(n);
+                    }
+                }
+            }
+            1 => {
+                if variant == Variant::PublishBeforeFill {
+                    // BUG MODEL: the counter store is reordered before
+                    // the second half write.
+                    let mut n = *s;
+                    n.published += 1;
+                    n.w_pc = 2;
+                    out.push(n);
+                } else {
+                    let mut n = *s;
+                    n.buf_hi = s.published;
+                    n.w_pc = 2;
+                    out.push(n);
+                }
+            }
+            2 => {
+                let mut n = *s;
+                if variant == Variant::PublishBeforeFill {
+                    // The write that should have preceded the store.
+                    n.buf_hi = s.published - 1;
+                } else {
+                    n.published += 1;
+                }
+                n.w_pc = 0;
+                out.push(n);
+            }
+            _ => unreachable!("writer pc"),
+        }
+    }
+
+    // Reader transitions.
+    if !s.reader_done() {
+        match s.r_pc {
+            0 => {
+                if variant == Variant::ConsumeWithoutGuard {
+                    // BUG MODEL: skip the guard entirely.
+                    let mut n = *s;
+                    n.r_pc = 1;
+                    out.push(n);
+                } else {
+                    for loaded in s.r_floor..=s.published {
+                        let mut n = *s;
+                        n.r_floor = loaded;
+                        if loaded > s.consumed {
+                            n.r_pc = 1;
+                            out.push(n);
+                        } else if loaded != s.r_floor {
+                            out.push(n);
+                        }
+                    }
+                }
+            }
+            1 => {
+                let mut n = *s;
+                n.r_pc = 2;
+                out.push(n);
+            }
+            2 => {
+                let mut n = *s;
+                n.consumed += 1;
+                n.r_pc = 0;
+                out.push(n);
+            }
+            _ => unreachable!("reader pc"),
+        }
+    }
+    out
+}
+
+/// Exhaustively explore `variant`; returns the first safety/liveness
+/// violation found, or stats on success.
+fn explore(variant: Variant) -> Result<(usize, usize), String> {
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial()];
+    let mut terminals = 0usize;
+    while let Some(s) = stack.pop() {
+        if !visited.insert(s) {
+            continue;
+        }
+        if let Some(v) = safety(&s, variant) {
+            return Err(v);
+        }
+        if s.writer_done() && s.reader_done() {
+            if s.published != EPOCHS || s.consumed != EPOCHS {
+                return Err(format!(
+                    "terminal state with published={} consumed={}",
+                    s.published, s.consumed
+                ));
+            }
+            terminals += 1;
+            continue;
+        }
+        let next = successors(&s, variant);
+        // Deadlock: a non-terminal state no interleaving can leave.
+        // Guard self-loops (stale re-reads of an unchanged value) were
+        // already excluded by `successors`.
+        if next.iter().all(|n| n == &s) || next.is_empty() {
+            return Err(format!(
+                "deadlock: writer pc={} epoch={} / reader pc={} epoch={}",
+                s.w_pc, s.published, s.r_pc, s.consumed
+            ));
+        }
+        stack.extend(next);
+    }
+    Ok((visited.len(), terminals))
+}
+
+#[test]
+fn window_protocol_is_safe_and_live_under_all_interleavings() {
+    let (states, terminals) = explore(Variant::Correct)
+        .unwrap_or_else(|v| panic!("protocol violation found by model checker: {v}"));
+    // The space must be larger than one serialized trace (a single
+    // straight-line execution of 3 epochs is 18 states) — i.e. the DFS
+    // really explored overlapping guard/ownership states — and every
+    // path must converge on the unique all-done terminal. The space is
+    // *legitimately* small: capacity-1 ownership alternation means most
+    // steps strictly serialize, which is exactly the property proved.
+    assert!(states > 18, "no concurrency explored: {states} states");
+    assert_eq!(terminals, 1, "all interleavings converge to one terminal");
+}
+
+#[test]
+fn checker_catches_publish_before_fill() {
+    let v = explore(Variant::PublishBeforeFill)
+        .expect_err("a publish reordered before the buffer write must be caught");
+    // The premature counter store lets the reader's guard pass while
+    // the writer still holds the buffer: depending on DFS order it
+    // surfaces as the ownership break or as the resulting torn read.
+    assert!(
+        v.contains("mutual exclusion") || v.contains("torn read"),
+        "wrong violation class: {v}"
+    );
+}
+
+#[test]
+fn checker_catches_consume_without_guard() {
+    let v = explore(Variant::ConsumeWithoutGuard)
+        .expect_err("consuming without the guard must be caught");
+    assert!(
+        v.contains("torn read") || v.contains("mutual exclusion") || v.contains("epoch bound"),
+        "wrong violation class: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Exchange-ordering model: two ranks, two directed streams. The module
+// docs claim deadlock freedom because every rank publishes all its
+// sends before consuming any receive. Model both that ordering and the
+// broken consume-first ordering; each rank's stream op is atomic here
+// (the single-stream model above already covers intra-op interleaving).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ExchangeState {
+    /// Per rank: (next op index, epochs completed).
+    pc: [u8; 2],
+    epoch: [u64; 2],
+    /// Per directed stream `a→b`, `b→a`: published - consumed ∈ {0,1}.
+    in_flight: [u8; 2],
+}
+
+/// Each rank's per-epoch program as (is_publish, stream index) pairs.
+fn program(rank: usize, consume_first: bool) -> [(bool, usize); 2] {
+    // Stream 0 is rank0→rank1, stream 1 is rank1→rank0.
+    let send = (true, rank);
+    let recv = (false, 1 - rank);
+    if consume_first {
+        [recv, send]
+    } else {
+        [send, recv]
+    }
+}
+
+fn explore_exchange(consume_first: [bool; 2]) -> Result<usize, String> {
+    let mut visited: HashSet<ExchangeState> = HashSet::new();
+    let mut stack = vec![ExchangeState {
+        pc: [0, 0],
+        epoch: [0, 0],
+        in_flight: [0, 0],
+    }];
+    let mut states = 0usize;
+    while let Some(s) = stack.pop() {
+        if !visited.insert(s) {
+            continue;
+        }
+        states += 1;
+        let done = (0..2).all(|r| s.epoch[r] == EPOCHS);
+        if done {
+            continue;
+        }
+        let mut progressed = false;
+        for (r, &cf) in consume_first.iter().enumerate() {
+            if s.epoch[r] == EPOCHS {
+                continue;
+            }
+            let (is_publish, stream) = program(r, cf)[s.pc[r] as usize];
+            let enabled = if is_publish {
+                s.in_flight[stream] == 0 // capacity-1 window is free
+            } else {
+                s.in_flight[stream] == 1 // an epoch is waiting
+            };
+            if !enabled {
+                continue;
+            }
+            progressed = true;
+            let mut n = s;
+            n.in_flight[stream] = if is_publish { 1 } else { 0 };
+            if n.pc[r] == 1 {
+                n.pc[r] = 0;
+                n.epoch[r] += 1;
+            } else {
+                n.pc[r] = 1;
+            }
+            stack.push(n);
+        }
+        if !progressed {
+            return Err(format!(
+                "deadlock at pc={:?} epoch={:?} in_flight={:?}",
+                s.pc, s.epoch, s.in_flight
+            ));
+        }
+    }
+    Ok(states)
+}
+
+#[test]
+fn publish_before_consume_ordering_is_deadlock_free() {
+    // The shipped SPMD ordering, and the mixed case (one rank happens
+    // to drain its receives late) — both must complete.
+    explore_exchange([false, false]).expect("symmetric publish-first deadlocked");
+    explore_exchange([false, true]).expect("mixed ordering deadlocked");
+    explore_exchange([true, false]).expect("mixed ordering deadlocked");
+}
+
+#[test]
+fn consume_first_on_both_ranks_deadlocks_and_the_checker_finds_it() {
+    let v = explore_exchange([true, true]).expect_err("both-consume-first must deadlock");
+    assert!(v.contains("deadlock"), "{v}");
+}

@@ -39,6 +39,7 @@ pub mod ctx;
 pub mod export;
 pub mod metrics;
 pub mod tracer;
+pub mod wire;
 
 pub use ctx::{
     advance_ns, armed, emit, install, mark, now_ns, pause, resume, rewind, set_clock, span_ns,

@@ -1,0 +1,233 @@
+//! Wire encoding for stamped events: one JSON object per line, so a
+//! [`crate::Stamped`] stream travels over the service layer's
+//! line-delimited protocol and decodes back losslessly.
+//!
+//! The encoding is deliberately flat — every field is an unsigned
+//! integer and the event kind is a kebab-case string — so both ends
+//! hand-roll it (the workspace vendors no serde) and external consumers
+//! (`jq`, log shippers) read it directly:
+//!
+//! ```text
+//! {"ts":1200,"ev":"msg-send","peer":1,"tag":7,"bytes":4096}
+//! ```
+//!
+//! [`encode`] ∘ [`decode`] is the identity on every event variant (see
+//! the round-trip test), and the output for a given stream is
+//! byte-stable: field order is fixed, integers carry no padding, floats
+//! never appear (CFL values travel as `f64::to_bits`, exactly as they
+//! are stamped).
+
+use crate::tracer::{Event, Stamped};
+
+/// Encode one stamped event as a single JSON line (no trailing newline).
+pub fn encode(s: &Stamped) -> String {
+    let ts = s.ts_ns;
+    match s.ev {
+        Event::PhaseBegin { phase } => {
+            format!("{{\"ts\":{ts},\"ev\":\"phase-begin\",\"phase\":{phase}}}")
+        }
+        Event::PhaseEnd { phase } => {
+            format!("{{\"ts\":{ts},\"ev\":\"phase-end\",\"phase\":{phase}}}")
+        }
+        Event::MsgSend { peer, tag, bytes } => format!(
+            "{{\"ts\":{ts},\"ev\":\"msg-send\",\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes}}}"
+        ),
+        Event::MsgRecv { peer, tag, bytes } => format!(
+            "{{\"ts\":{ts},\"ev\":\"msg-recv\",\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes}}}"
+        ),
+        Event::PoolAlloc { bytes } => {
+            format!("{{\"ts\":{ts},\"ev\":\"pool-alloc\",\"bytes\":{bytes}}}")
+        }
+        Event::CheckpointBegin { cycle } => {
+            format!("{{\"ts\":{ts},\"ev\":\"checkpoint-begin\",\"cycle\":{cycle}}}")
+        }
+        Event::CheckpointEnd { cycle } => {
+            format!("{{\"ts\":{ts},\"ev\":\"checkpoint-end\",\"cycle\":{cycle}}}")
+        }
+        Event::RecoveryBegin { epoch } => {
+            format!("{{\"ts\":{ts},\"ev\":\"recovery-begin\",\"epoch\":{epoch}}}")
+        }
+        Event::RecoveryEnd { epoch } => {
+            format!("{{\"ts\":{ts},\"ev\":\"recovery-end\",\"epoch\":{epoch}}}")
+        }
+        Event::GuardVerdict { cycle, severity } => format!(
+            "{{\"ts\":{ts},\"ev\":\"guard-verdict\",\"cycle\":{cycle},\"severity\":{severity}}}"
+        ),
+        Event::CflChange { from_bits, to_bits } => format!(
+            "{{\"ts\":{ts},\"ev\":\"cfl-change\",\"from_bits\":{from_bits},\"to_bits\":{to_bits}}}"
+        ),
+    }
+}
+
+/// Pull the unsigned-integer value of `"key":` out of a flat JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull the string value of `"key":"..."` out of a flat JSON line
+/// (values in this encoding never contain escapes).
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    rest.split('"').next()
+}
+
+/// Decode one line produced by [`encode`]. Returns `None` for anything
+/// malformed — an unknown kind, a missing field, a non-integer value —
+/// so a stream reader can skip foreign lines without failing.
+pub fn decode(line: &str) -> Option<Stamped> {
+    let ts_ns = field_u64(line, "ts")?;
+    let kind = field_str(line, "ev")?;
+    let ev = match kind {
+        "phase-begin" => Event::PhaseBegin {
+            phase: field_u64(line, "phase")?.try_into().ok()?,
+        },
+        "phase-end" => Event::PhaseEnd {
+            phase: field_u64(line, "phase")?.try_into().ok()?,
+        },
+        "msg-send" => Event::MsgSend {
+            peer: field_u64(line, "peer")?.try_into().ok()?,
+            tag: field_u64(line, "tag")?.try_into().ok()?,
+            bytes: field_u64(line, "bytes")?,
+        },
+        "msg-recv" => Event::MsgRecv {
+            peer: field_u64(line, "peer")?.try_into().ok()?,
+            tag: field_u64(line, "tag")?.try_into().ok()?,
+            bytes: field_u64(line, "bytes")?,
+        },
+        "pool-alloc" => Event::PoolAlloc {
+            bytes: field_u64(line, "bytes")?,
+        },
+        "checkpoint-begin" => Event::CheckpointBegin {
+            cycle: field_u64(line, "cycle")?,
+        },
+        "checkpoint-end" => Event::CheckpointEnd {
+            cycle: field_u64(line, "cycle")?,
+        },
+        "recovery-begin" => Event::RecoveryBegin {
+            epoch: field_u64(line, "epoch")?.try_into().ok()?,
+        },
+        "recovery-end" => Event::RecoveryEnd {
+            epoch: field_u64(line, "epoch")?.try_into().ok()?,
+        },
+        "guard-verdict" => Event::GuardVerdict {
+            cycle: field_u64(line, "cycle")?,
+            severity: field_u64(line, "severity")?.try_into().ok()?,
+        },
+        "cfl-change" => Event::CflChange {
+            from_bits: field_u64(line, "from_bits")?,
+            to_bits: field_u64(line, "to_bits")?,
+        },
+        _ => return None,
+    };
+    Some(Stamped { ts_ns, ev })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_variant() -> Vec<Stamped> {
+        let evs = [
+            Event::PhaseBegin { phase: 3 },
+            Event::PhaseEnd { phase: 3 },
+            Event::MsgSend {
+                peer: 7,
+                tag: 1044,
+                bytes: 40960,
+            },
+            Event::MsgRecv {
+                peer: 0,
+                tag: u32::MAX,
+                bytes: u64::MAX,
+            },
+            Event::PoolAlloc { bytes: 0 },
+            Event::CheckpointBegin { cycle: 12 },
+            Event::CheckpointEnd { cycle: 12 },
+            Event::RecoveryBegin { epoch: 2 },
+            Event::RecoveryEnd { epoch: 2 },
+            Event::GuardVerdict {
+                cycle: 9,
+                severity: 255,
+            },
+            Event::CflChange {
+                from_bits: 30.0_f64.to_bits(),
+                to_bits: 7.5_f64.to_bits(),
+            },
+        ];
+        evs.iter()
+            .enumerate()
+            .map(|(k, &ev)| Stamped {
+                ts_ns: k as u64 * 1_000 + 17,
+                ev,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for s in every_variant() {
+            let line = encode(&s);
+            let back = decode(&line).unwrap_or_else(|| panic!("decode failed for {line}"));
+            assert_eq!(s, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_byte_stable_and_jsonish() {
+        let s = Stamped {
+            ts_ns: 1200,
+            ev: Event::MsgSend {
+                peer: 1,
+                tag: 7,
+                bytes: 4096,
+            },
+        };
+        assert_eq!(
+            encode(&s),
+            "{\"ts\":1200,\"ev\":\"msg-send\",\"peer\":1,\"tag\":7,\"bytes\":4096}"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_none() {
+        for bad in [
+            "",
+            "{}",
+            "{\"ts\":5}",
+            "{\"ts\":5,\"ev\":\"warp-drive\"}",
+            "{\"ts\":5,\"ev\":\"pool-alloc\"}",
+            "{\"ts\":x,\"ev\":\"pool-alloc\",\"bytes\":1}",
+            "{\"ts\":5,\"ev\":\"phase-begin\",\"phase\":900}",
+        ] {
+            assert!(decode(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn cfl_bits_survive_exactly() {
+        let from = 0.1_f64 + 0.2_f64; // a value with no short decimal form
+        let s = Stamped {
+            ts_ns: 1,
+            ev: Event::CflChange {
+                from_bits: from.to_bits(),
+                to_bits: (from * 0.25).to_bits(),
+            },
+        };
+        let Some(Stamped {
+            ev: Event::CflChange { from_bits, .. },
+            ..
+        }) = decode(&encode(&s))
+        else {
+            panic!("decode failed");
+        };
+        assert_eq!(f64::from_bits(from_bits), from);
+    }
+}

@@ -1,0 +1,90 @@
+//! Thin client helpers over the wire protocol: connect, send one
+//! request line, stream the reply lines. The CLI `submit` subcommand,
+//! the benchmark loadgen, and the serve test suites all drive the
+//! server exclusively through this module, so they exercise the same
+//! bytes a foreign client would.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::Request;
+
+/// An open reply stream: iterate [`EventStream::next_line`] until
+/// `None` (server closed the connection).
+pub struct EventStream {
+    reader: BufReader<UnixStream>,
+}
+
+impl EventStream {
+    /// The next reply line, trimmed, or `None` at end of stream.
+    pub fn next_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+        }
+    }
+}
+
+/// Connect to the server at `path` and send one raw request line.
+pub fn open(path: &Path, line: &str) -> std::io::Result<EventStream> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    Ok(EventStream {
+        reader: BufReader::new(stream),
+    })
+}
+
+/// Send a typed request and stream the reply.
+pub fn request(path: &Path, req: &Request) -> std::io::Result<EventStream> {
+    open(path, &req.to_line())
+}
+
+/// Send a typed request expecting a single-line acknowledgement
+/// (`cancel` / `stats` / `shutdown`).
+pub fn request_one(path: &Path, req: &Request) -> std::io::Result<String> {
+    let mut s = request(path, req)?;
+    s.next_line()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no reply"))
+}
+
+/// Send a raw line and collect every reply line until the server closes
+/// the connection.
+pub fn raw_request(path: &Path, line: &str) -> std::io::Result<Vec<String>> {
+    let mut s = open(path, line)?;
+    let mut out = Vec::new();
+    while let Some(l) = s.next_line() {
+        out.push(l);
+    }
+    Ok(out)
+}
+
+/// Submit `config` (TOML text) and collect the full event stream of the
+/// job, through its terminal event.
+pub fn submit_and_collect(
+    path: &Path,
+    config: &str,
+    mode: &str,
+    force: bool,
+    artifacts: bool,
+) -> std::io::Result<Vec<String>> {
+    let mode = eul3d_core::JobMode::parse(mode).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("bad mode '{mode}'"),
+        )
+    })?;
+    raw_request(
+        path,
+        &Request::Submit {
+            config: config.to_string(),
+            mode,
+            force,
+            artifacts,
+        }
+        .to_line(),
+    )
+}

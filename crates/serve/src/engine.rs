@@ -1,0 +1,761 @@
+//! The multi-tenant job engine: a bounded worker pool draining a
+//! bounded, backpressured queue of solve jobs, with per-job
+//! cancellation, live event streams, and the content-addressed result
+//! cache in front of the workers.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//!            submit                    dequeue              run_job ok
+//! (request) ───────► Queued ─────────► Running ───────────► Done
+//!      │                │                 │  └─ run_job err ► Failed
+//!      │ queue full     │ cancel          │ cancel → FaultSignal unwind
+//!      ▼                ▼                 ▼
+//!   rejected        Cancelled         Cancelled
+//! ```
+//!
+//! A submission whose key is already cached skips the queue entirely
+//! (state goes straight to `Done`, the common case under heavy
+//! identical traffic); a forced submission (`force`) always computes.
+//! Every job reaches exactly one terminal state and its event stream
+//! ends with exactly one terminal event — the concurrency suite drives
+//! interleaved submit/cancel/resubmit storms against these invariants.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use eul3d_core::{run_job, CancelToken, JobMode, RunConfig};
+use eul3d_delta::FaultSignal;
+use eul3d_obs as obs;
+
+use crate::cache::{CacheKey, JobBlob, ResultCache};
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Queue slots; a submission beyond this is rejected with
+    /// [`SubmitError::QueueFull`] (cache hits bypass the queue).
+    pub queue_cap: usize,
+    /// Result-cache capacity, in completed jobs.
+    pub cache_cap: usize,
+    /// Partitioner seed folded into every cache key (pinned at engine
+    /// start so identical requests stay identical for the engine's
+    /// lifetime).
+    pub seed: u64,
+    /// The retry hint returned with queue-full rejections, per queued
+    /// job ahead of the rejected one.
+    pub retry_after_ms_per_queued: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 64,
+            seed: eul3d_core::env_seed(7),
+            retry_after_ms_per_queued: 100,
+        }
+    }
+}
+
+/// One job description: everything the worker needs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The validated run configuration.
+    pub rc: RunConfig,
+    /// Which driver runs it.
+    pub mode: JobMode,
+    /// Skip the cache lookup and recompute (the result still lands in
+    /// the cache — byte-identical to what it replaces).
+    pub force: bool,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// On a worker.
+    Running,
+    /// Completed with artifacts (cache hit or computed).
+    Done,
+    /// Cancelled before or during execution.
+    Cancelled,
+    /// The solver returned a typed error (or panicked).
+    Failed,
+}
+
+impl JobState {
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// One entry of a job's event stream. `Done`, `Cancelled`, and `Failed`
+/// are terminal: each stream carries exactly one of them, last.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job left the queue and is on a worker (not sent for cache
+    /// hits — they are never queued).
+    Started {
+        /// Job id.
+        job: u64,
+    },
+    /// One committed solver cycle (live on the solve path, replayed
+    /// from the committed history on the distributed path and for cache
+    /// hits — so hit and miss streams line up).
+    Progress {
+        /// Job id.
+        job: u64,
+        /// Committed cycle index (0-based).
+        cycle: u64,
+        /// Fine-grid residual of that cycle.
+        residual: f64,
+    },
+    /// Terminal: artifacts are ready.
+    Done {
+        /// Job id.
+        job: u64,
+        /// Whether the result came from the cache.
+        cache_hit: bool,
+        /// The artifact bundle.
+        blob: Arc<JobBlob>,
+    },
+    /// Terminal: the job was cancelled.
+    Cancelled {
+        /// Job id.
+        job: u64,
+    },
+    /// Terminal: the job failed.
+    Failed {
+        /// Job id.
+        job: u64,
+        /// The typed error, rendered.
+        msg: String,
+    },
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full; retry after the suggested backoff.
+    QueueFull {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+/// What [`JobEngine::cancel`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: removed, terminal `Cancelled` emitted.
+    WasQueued,
+    /// The job was running: its token is signalled; the worker emits
+    /// the terminal `Cancelled` at the next cycle boundary.
+    WasRunning,
+    /// The job had already reached a terminal state.
+    AlreadyFinished,
+    /// No such job id.
+    Unknown,
+}
+
+/// An accepted submission: the id, the content key, and the live event
+/// stream (ends after its terminal event).
+pub struct SubmitTicket {
+    /// Engine-assigned job id (monotone from 1).
+    pub job: u64,
+    /// The request's cache key.
+    pub key: CacheKey,
+    /// The job's event stream.
+    pub events: Receiver<JobEvent>,
+}
+
+/// Aggregate engine counters (see the wire `stats` event).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Submissions accepted (including cache hits).
+    pub submitted: u64,
+    /// Submissions rejected for backpressure.
+    pub rejected: u64,
+    /// Jobs finished with artifacts.
+    pub done: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently on workers.
+    pub running: usize,
+    /// Cache lookups served.
+    pub cache_hits: u64,
+    /// Cache lookups missed.
+    pub cache_misses: u64,
+    /// Results currently cached.
+    pub cache_len: usize,
+}
+
+struct Job {
+    spec: JobSpec,
+    key: CacheKey,
+    state: JobState,
+    cancel: CancelToken,
+    /// Present until a terminal event is emitted; dropping it ends the
+    /// subscriber's stream.
+    tx: Option<Sender<JobEvent>>,
+}
+
+struct EngineState {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    cache: ResultCache,
+    running: usize,
+    shutdown: bool,
+    submitted: u64,
+    rejected: u64,
+    done: u64,
+    cancelled: u64,
+    failed: u64,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Inner {
+    /// Lock the state, recovering from a poisoned mutex (a worker that
+    /// panicked while holding it left consistent-enough bookkeeping:
+    /// every field is updated atomically under the lock).
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// The engine: spawn with [`JobEngine::start`], drive with
+/// [`JobEngine::submit`] / [`JobEngine::cancel`], stop with
+/// [`JobEngine::shutdown`] (also runs on drop).
+pub struct JobEngine {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobEngine {
+    /// Start the worker pool.
+    pub fn start(cfg: EngineConfig) -> JobEngine {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                cache: ResultCache::new(cfg.cache_cap),
+                running: 0,
+                shutdown: false,
+                submitted: 0,
+                rejected: 0,
+                done: 0,
+                cancelled: 0,
+                failed: 0,
+            }),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|k| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("eul3d-serve-worker-{k}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_default();
+        JobEngine {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The engine's pinned partitioner seed (folded into cache keys).
+    pub fn seed(&self) -> u64 {
+        self.inner.cfg.seed
+    }
+
+    /// Submit one job. Validates the config, computes the cache key,
+    /// and either serves it from the cache (terminal `Done` already in
+    /// the stream), enqueues it, or rejects it for backpressure.
+    pub fn submit(&self, spec: JobSpec) -> Result<SubmitTicket, SubmitError> {
+        let key = CacheKey::of(&spec.rc, spec.mode, self.inner.cfg.seed);
+        let (tx, rx) = channel();
+        let mut st = self.inner.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Cache fast path: identical requests cost one lookup and are
+        // immune to backpressure.
+        if !spec.force {
+            if let Some(blob) = st.cache.get(key) {
+                let job = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+                st.submitted += 1;
+                st.done += 1;
+                for (c, &r) in blob.artifacts.history.iter().enumerate() {
+                    let _ = tx.send(JobEvent::Progress {
+                        job,
+                        cycle: c as u64,
+                        residual: r,
+                    });
+                }
+                let _ = tx.send(JobEvent::Done {
+                    job,
+                    cache_hit: true,
+                    blob,
+                });
+                st.jobs.insert(
+                    job,
+                    Job {
+                        spec,
+                        key,
+                        state: JobState::Done,
+                        cancel: CancelToken::new(),
+                        tx: None,
+                    },
+                );
+                return Ok(SubmitTicket {
+                    job,
+                    key,
+                    events: rx,
+                });
+            }
+        } else {
+            // A forced submission is an intentional miss: account it so
+            // hit-rate metrics reflect actual solve work.
+            st.cache.count_forced_miss();
+        }
+        if st.queue.len() >= self.inner.cfg.queue_cap {
+            st.rejected += 1;
+            let retry_after_ms =
+                (st.queue.len() as u64 + 1) * self.inner.cfg.retry_after_ms_per_queued;
+            return Err(SubmitError::QueueFull { retry_after_ms });
+        }
+        let job = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        st.submitted += 1;
+        st.queue.push_back(job);
+        st.jobs.insert(
+            job,
+            Job {
+                spec,
+                key,
+                state: JobState::Queued,
+                cancel: CancelToken::new(),
+                tx: Some(tx),
+            },
+        );
+        drop(st);
+        self.inner.cv.notify_one();
+        Ok(SubmitTicket {
+            job,
+            key,
+            events: rx,
+        })
+    }
+
+    /// Cancel a job by id.
+    pub fn cancel(&self, job: u64) -> CancelOutcome {
+        let mut st = self.inner.lock();
+        let Some(j) = st.jobs.get_mut(&job) else {
+            return CancelOutcome::Unknown;
+        };
+        match j.state {
+            JobState::Queued => {
+                j.state = JobState::Cancelled;
+                if let Some(tx) = j.tx.take() {
+                    let _ = tx.send(JobEvent::Cancelled { job });
+                }
+                st.cancelled += 1;
+                st.queue.retain(|&q| q != job);
+                CancelOutcome::WasQueued
+            }
+            JobState::Running => {
+                j.cancel.cancel();
+                CancelOutcome::WasRunning
+            }
+            _ => CancelOutcome::AlreadyFinished,
+        }
+    }
+
+    /// Current lifecycle state of a job.
+    pub fn job_state(&self, job: u64) -> Option<JobState> {
+        self.inner.lock().jobs.get(&job).map(|j| j.state)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        let st = self.inner.lock();
+        EngineStats {
+            submitted: st.submitted,
+            rejected: st.rejected,
+            done: st.done,
+            cancelled: st.cancelled,
+            failed: st.failed,
+            queued: st.queue.len(),
+            running: st.running,
+            cache_hits: st.cache.hits(),
+            cache_misses: st.cache.misses(),
+            cache_len: st.cache.len(),
+        }
+    }
+
+    /// Stop accepting work, cancel everything queued or running, and
+    /// join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.lock();
+            if !st.shutdown {
+                st.shutdown = true;
+                // Queued jobs terminate as cancelled without running.
+                while let Some(id) = st.queue.pop_front() {
+                    if let Some(j) = st.jobs.get_mut(&id) {
+                        j.state = JobState::Cancelled;
+                        if let Some(tx) = j.tx.take() {
+                            let _ = tx.send(JobEvent::Cancelled { job: id });
+                        }
+                        st.cancelled += 1;
+                    }
+                }
+                // Running jobs stop at their next cycle boundary.
+                for j in st.jobs.values() {
+                    if j.state == JobState::Running {
+                        j.cancel.cancel();
+                    }
+                }
+            }
+        }
+        self.inner.cv.notify_all();
+        let handles = {
+            let mut w = match self.workers.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            std::mem::take(&mut *w)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Wait for work or shutdown.
+        let (job, spec, key, token, tx) = {
+            let mut st = inner.lock();
+            let id = loop {
+                if let Some(id) = st.queue.pop_front() {
+                    break id;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = match inner.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            };
+            let Some(j) = st.jobs.get(&id) else {
+                continue;
+            };
+            // Dequeue-time re-check: an identical job may have finished
+            // while this one waited — serve it from the cache without
+            // touching a worker slot (peek: the submit-time lookup
+            // already counted this request's miss).
+            let hit = if j.spec.force {
+                None
+            } else {
+                st.cache.peek(j.key)
+            };
+            if let Some(blob) = hit {
+                st.done += 1;
+                if let Some(j) = st.jobs.get_mut(&id) {
+                    j.state = JobState::Done;
+                    if let Some(tx) = j.tx.take() {
+                        for (c, &r) in blob.artifacts.history.iter().enumerate() {
+                            let _ = tx.send(JobEvent::Progress {
+                                job: id,
+                                cycle: c as u64,
+                                residual: r,
+                            });
+                        }
+                        let _ = tx.send(JobEvent::Done {
+                            job: id,
+                            cache_hit: true,
+                            blob,
+                        });
+                    }
+                }
+                continue;
+            }
+            st.running += 1;
+            let Some(j) = st.jobs.get_mut(&id) else {
+                st.running -= 1;
+                continue;
+            };
+            j.state = JobState::Running;
+            let tx = j.tx.take();
+            (id, j.spec.clone(), j.key, j.cancel.clone(), tx)
+        };
+
+        if let Some(tx) = &tx {
+            let _ = tx.send(JobEvent::Started { job });
+        }
+        let seed = inner.cfg.seed;
+        let progress_tx = tx.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&spec.rc, spec.mode, seed, &token, &mut |cycle, residual| {
+                if let Some(ptx) = &progress_tx {
+                    let _ = ptx.send(JobEvent::Progress {
+                        job,
+                        cycle,
+                        residual,
+                    });
+                }
+            })
+        }));
+        // Worker hygiene: a cancelled solve unwinds past its trace
+        // disarm; drop any leftover tracer so the next job on this
+        // thread starts clean (install() also resets the lane clock).
+        drop(obs::take());
+
+        let mut st = inner.lock();
+        let (state, event) = match result {
+            Ok(Ok(artifacts)) => {
+                let blob = Arc::new(JobBlob { artifacts });
+                st.cache.insert(key, Arc::clone(&blob));
+                st.done += 1;
+                (
+                    JobState::Done,
+                    JobEvent::Done {
+                        job,
+                        cache_hit: false,
+                        blob,
+                    },
+                )
+            }
+            Ok(Err(e)) => {
+                st.failed += 1;
+                (
+                    JobState::Failed,
+                    JobEvent::Failed {
+                        job,
+                        msg: e.to_string(),
+                    },
+                )
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<FaultSignal>().is_some() && token.is_cancelled() {
+                    st.cancelled += 1;
+                    (JobState::Cancelled, JobEvent::Cancelled { job })
+                } else {
+                    st.failed += 1;
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "solver panicked".to_string());
+                    (
+                        JobState::Failed,
+                        JobEvent::Failed {
+                            job,
+                            msg: format!("solver panicked: {msg}"),
+                        },
+                    )
+                }
+            }
+        };
+        st.running -= 1;
+        if let Some(j) = st.jobs.get_mut(&job) {
+            j.state = state;
+        }
+        drop(st);
+        if let Some(tx) = tx {
+            let _ = tx.send(event);
+        }
+        // tx drops here: the subscriber's stream ends after the
+        // terminal event.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spec(cycles: usize, force: bool) -> JobSpec {
+        JobSpec {
+            rc: RunConfig {
+                levels: 2,
+                cycles,
+                mesh: eul3d_mesh::gen::BumpSpec {
+                    nx: 8,
+                    ny: 4,
+                    nz: 3,
+                    ..Default::default()
+                },
+                nranks: 4,
+                ..RunConfig::default()
+            },
+            mode: JobMode::Solve,
+            force,
+        }
+    }
+
+    fn drain(t: &SubmitTicket) -> Vec<JobEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = t.events.recv_timeout(Duration::from_secs(120)) {
+            let terminal = matches!(
+                ev,
+                JobEvent::Done { .. } | JobEvent::Cancelled { .. } | JobEvent::Failed { .. }
+            );
+            out.push(ev);
+            if terminal {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn submit_computes_then_hits_cache() {
+        let eng = JobEngine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let t1 = eng.submit(spec(3, false)).unwrap();
+        let evs = drain(&t1);
+        let Some(JobEvent::Done {
+            cache_hit: false,
+            blob: b1,
+            ..
+        }) = evs.last().cloned()
+        else {
+            panic!("expected computed Done, got {evs:?}");
+        };
+        let t2 = eng.submit(spec(3, false)).unwrap();
+        let evs2 = drain(&t2);
+        let Some(JobEvent::Done {
+            cache_hit: true,
+            blob: b2,
+            ..
+        }) = evs2.last().cloned()
+        else {
+            panic!("expected cache hit, got {evs2:?}");
+        };
+        assert_eq!(b1.artifacts.table, b2.artifacts.table);
+        assert!(
+            evs2.iter()
+                .filter(|e| matches!(e, JobEvent::Progress { .. }))
+                .count()
+                == 3,
+            "hits replay progress from the committed history"
+        );
+        let s = eng.stats();
+        assert_eq!((s.done, s.cache_hits, s.cache_misses), (2, 1, 1));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn backpressure_rejects_with_retry_hint() {
+        // No workers draining (queue_cap 1, one long job hogs the lone
+        // worker): the queue fills and the next submission bounces.
+        let eng = JobEngine::start(EngineConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..EngineConfig::default()
+        });
+        let _hog = eng.submit(spec(400, false)).unwrap();
+        // Give the worker a moment to take the hog off the queue, then
+        // fill the single queue slot.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while eng.stats().running == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let _waiting = eng.submit(spec(401, false)).unwrap();
+        match eng.submit(spec(402, false)) {
+            Err(SubmitError::QueueFull { retry_after_ms }) => assert!(retry_after_ms > 0),
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+            Ok(_) => panic!("expected QueueFull, got an accepted ticket"),
+        }
+        assert_eq!(eng.stats().rejected, 1);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cancel_queued_and_running() {
+        let eng = JobEngine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let hog = eng.submit(spec(500, false)).unwrap();
+        let queued = eng.submit(spec(501, false)).unwrap();
+        assert_eq!(eng.cancel(queued.job), CancelOutcome::WasQueued);
+        let evs = drain(&queued);
+        assert!(matches!(evs.last(), Some(JobEvent::Cancelled { .. })));
+        // Wait until the hog is actually running, then cancel it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while eng.job_state(hog.job) != Some(JobState::Running)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(eng.cancel(hog.job), CancelOutcome::WasRunning);
+        let evs = drain(&hog);
+        assert!(
+            matches!(evs.last(), Some(JobEvent::Cancelled { .. })),
+            "{evs:?}"
+        );
+        assert_eq!(eng.cancel(hog.job), CancelOutcome::AlreadyFinished);
+        assert_eq!(eng.cancel(9999), CancelOutcome::Unknown);
+        let s = eng.stats();
+        assert_eq!((s.cancelled, s.queued, s.running), (2, 0, 0));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_fails_typed() {
+        let eng = JobEngine::start(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut s = spec(3, false);
+        s.rc.solver.mach = -1.0;
+        let t = eng.submit(s).unwrap();
+        let evs = drain(&t);
+        let Some(JobEvent::Failed { msg, .. }) = evs.last() else {
+            panic!("expected Failed, got {evs:?}");
+        };
+        assert!(msg.contains("solver.mach"), "{msg}");
+        eng.shutdown();
+    }
+}

@@ -1,0 +1,308 @@
+//! Minimal JSON for the wire protocol: escaping for emission and a
+//! flat-object parser for requests/events. The workspace vendors no
+//! serde, and the protocol needs exactly one shape — a single-level
+//! object of string / number / boolean values — so this module
+//! implements just that, strictly enough to reject malformed input with
+//! a message instead of guessing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// A (already unescaped) string.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed flat JSON object with typed accessors.
+#[derive(Debug, Clone, Default)]
+pub struct JObj {
+    fields: BTreeMap<String, JVal>,
+}
+
+impl JObj {
+    /// Parse one `{ "key": value, ... }` line. Values must be scalars
+    /// (string, number, boolean, null) — nested containers are a
+    /// protocol error by construction. Duplicate keys are rejected.
+    pub fn parse(s: &str) -> Result<JObj, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            at: 0,
+        };
+        p.ws();
+        p.eat(b'{')?;
+        let mut fields = BTreeMap::new();
+        p.ws();
+        if p.peek() == Some(b'}') {
+            p.at += 1;
+        } else {
+            loop {
+                p.ws();
+                let key = p.string()?;
+                p.ws();
+                p.eat(b':')?;
+                p.ws();
+                let val = p.value()?;
+                if fields.insert(key.clone(), val).is_some() {
+                    return Err(format!("duplicate key '{key}'"));
+                }
+                p.ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, got {:?}",
+                            p.at,
+                            other.map(char::from)
+                        ))
+                    }
+                }
+            }
+        }
+        p.ws();
+        if p.at != p.b.len() {
+            return Err(format!("trailing content at byte {}", p.at));
+        }
+        Ok(JObj { fields })
+    }
+
+    /// Raw field access.
+    pub fn get(&self, key: &str) -> Option<&JVal> {
+        self.fields.get(key)
+    }
+
+    /// The string value of `key`, if present and a string.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key) {
+            Some(JVal::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of `key` as u64 (must be a non-negative
+    /// integer-valued number within `u64` range).
+    pub fn u64_of(&self, key: &str) -> Option<u64> {
+        match self.fields.get(key) {
+            Some(JVal::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value of `key`.
+    pub fn f64_of(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key) {
+            Some(JVal::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value of `key`.
+    pub fn bool_of(&self, key: &str) -> Option<bool> {
+        match self.fields.get(key) {
+            Some(JVal::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.at).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        Some(c)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!(
+                "expected '{}' at byte {}, got {:?}",
+                char::from(c),
+                self.at,
+                got.map(char::from)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("unterminated \\u escape")?;
+                            let d = (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {:?}", other.map(char::from))),
+                },
+                Some(c) if c < 0x20 => return Err("raw control character in string".into()),
+                Some(c) => {
+                    // Re-assemble multi-byte UTF-8 (the input is a &str,
+                    // so the bytes are valid by construction).
+                    let start = self.at - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.at = start + len;
+                    let chunk = self
+                        .b
+                        .get(start..self.at)
+                        .and_then(|raw| std::str::from_utf8(raw).ok())
+                        .ok_or("invalid UTF-8 sequence")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b't') => self.literal("true", JVal::Bool(true)),
+            Some(b'f') => self.literal("false", JVal::Bool(false)),
+            Some(b'n') => self.literal("null", JVal::Null),
+            Some(b'{' | b'[') => Err("nested containers are not part of the protocol".into()),
+            Some(_) => {
+                let start = self.at;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.at += 1;
+                }
+                let text = std::str::from_utf8(&self.b[start..self.at])
+                    .map_err(|_| "bad number".to_string())?;
+                text.parse::<f64>()
+                    .map(JVal::Num)
+                    .map_err(|_| format!("cannot parse '{text}' as a number"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, val: JVal) -> Result<JVal, String> {
+        if self.b[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(val)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.at))
+        }
+    }
+}
+
+/// Escape `s` for embedding in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let o = JObj::parse(
+            "{\"op\":\"submit\",\"force\":false,\"job\":42,\"x\":-1.5e3,\"none\":null}",
+        )
+        .unwrap();
+        assert_eq!(o.str_of("op"), Some("submit"));
+        assert_eq!(o.bool_of("force"), Some(false));
+        assert_eq!(o.u64_of("job"), Some(42));
+        assert_eq!(o.f64_of("x"), Some(-1500.0));
+        assert_eq!(o.get("none"), Some(&JVal::Null));
+        assert!(o.get("missing").is_none());
+        assert!(JObj::parse("{}").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash \u{1}end ünïcode";
+        let line = format!("{{\"s\":\"{}\"}}", escape(nasty));
+        let o = JObj::parse(&line).unwrap();
+        assert_eq!(o.str_of("s"), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "[1,2]",
+            "{\"a\":1",
+            "{\"a\":{}}",
+            "{\"a\":[1]}",
+            "{\"a\":1}trailing",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":tru}",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(JObj::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn u64_accessor_rejects_fractions_and_negatives() {
+        let o = JObj::parse("{\"a\":1.5,\"b\":-2,\"c\":3}").unwrap();
+        assert_eq!(o.u64_of("a"), None);
+        assert_eq!(o.u64_of("b"), None);
+        assert_eq!(o.u64_of("c"), Some(3));
+    }
+}

@@ -1,0 +1,45 @@
+//! # eul3d-serve — solver-as-a-service
+//!
+//! A long-running, multi-tenant job engine in front of the EUL3D
+//! solver: clients submit solve jobs (a [`eul3d_core::RunConfig`] as
+//! TOML plus a driver mode) over a line-delimited JSON protocol on a
+//! Unix-domain socket; a bounded worker pool runs them with
+//! backpressure, per-job cancellation (reusing the solver's
+//! `FaultSignal` unwind path at committed-cycle boundaries), live
+//! residual/trace event streaming, and a content-addressed result
+//! cache keyed on the canonical hash of (config, mode, seed).
+//!
+//! The service is *provably* cache-coherent rather than heuristically:
+//! [`eul3d_core::run_job`] is byte-deterministic for a fixed key, and
+//! the key is invariant under TOML spelling (see
+//! [`eul3d_core::RunConfig::canonical_toml`]), so a cached result and a
+//! fresh recompute are interchangeable to the byte — the determinism
+//! test suite (`tests/determinism.rs`) and the CI smoke job hold the
+//! service to exactly that bar. DESIGN.md §11 documents the job
+//! lifecycle state machine, the wire protocol, the cache-key
+//! canonicalization, and the backpressure policy.
+//!
+//! Module map:
+//! * [`engine`] — the worker pool, queue, lifecycle state machine;
+//! * [`cache`] — [`cache::CacheKey`] and the FIFO [`cache::ResultCache`];
+//! * [`protocol`] — request parsing and event-line builders;
+//! * [`server`] — the Unix-socket accept loop ([`server::spawn`]);
+//! * [`client`] — helpers used by the CLI, tests, and benchmarks;
+//! * [`json`] — the dependency-free flat-JSON codec underneath it all.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, JobBlob, ResultCache};
+pub use engine::{
+    CancelOutcome, EngineConfig, EngineStats, JobEngine, JobEvent, JobSpec, JobState, SubmitError,
+    SubmitTicket,
+};
+pub use protocol::Request;
+pub use server::{spawn, ServerHandle};

@@ -1,0 +1,298 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every message is one flat JSON object on one line. Three families
+//! share the stream, distinguished by which key they carry:
+//!
+//! * **requests** (client → server) carry `"op"`:
+//!   `submit` / `cancel` / `stats` / `shutdown`;
+//! * **lifecycle events** (server → client) carry `"event"`:
+//!   `accepted`, `rejected`, `error`, `started`, `progress`, trace
+//!   (`trace-*` below), `done`, `cancelled`, `failed`, `stats`,
+//!   `cancel`, `shutdown`;
+//! * **trace events** (server → client) carry `"ev"` — these are raw
+//!   [`eul3d_obs::wire`] lines replayed from the job's tracer, so a
+//!   client can pipe them straight into the same decoder the rest of
+//!   the workspace uses.
+//!
+//! `jq 'select(.event)'` / `jq 'select(.ev)'` therefore split a
+//! captured stream without any framing beyond newlines.
+//!
+//! Float fields (`residual`, `final_residual`) are emitted with Rust's
+//! shortest-round-trip formatting, which `f64` parsing recovers
+//! bit-exactly — the determinism e2e suite relies on this to compare
+//! streamed residuals against recomputed ones without tolerances.
+
+use eul3d_core::JobMode;
+
+use crate::cache::{CacheKey, JobBlob};
+use crate::engine::{CancelOutcome, EngineStats, JobState};
+use crate::json::{escape, JObj};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or fetch from cache) one job.
+    Submit {
+        /// The run configuration, as TOML text.
+        config: String,
+        /// Which driver runs it.
+        mode: JobMode,
+        /// Bypass the cache lookup and recompute.
+        force: bool,
+        /// Inline the full artifacts (table, trace JSON, VTK) in the
+        /// terminal `done` event.
+        artifacts: bool,
+    },
+    /// Cancel a job by id.
+    Cancel {
+        /// The id from the job's `accepted` event.
+        job: u64,
+    },
+    /// Fetch aggregate engine counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let o = JObj::parse(line)?;
+        match o.str_of("op") {
+            Some("submit") => {
+                let config = o
+                    .str_of("config")
+                    .ok_or("submit requires a string 'config' field (TOML text)")?
+                    .to_string();
+                let mode = match o.str_of("mode") {
+                    None => JobMode::Solve,
+                    Some(m) => JobMode::parse(m)
+                        .ok_or_else(|| format!("unknown mode '{m}' (solve|distributed)"))?,
+                };
+                Ok(Request::Submit {
+                    config,
+                    mode,
+                    force: o.bool_of("force").unwrap_or(false),
+                    artifacts: o.bool_of("artifacts").unwrap_or(false),
+                })
+            }
+            Some("cancel") => Ok(Request::Cancel {
+                job: o
+                    .u64_of("job")
+                    .ok_or("cancel requires a numeric 'job' field")?,
+            }),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!(
+                "unknown op '{other}' (submit|cancel|stats|shutdown)"
+            )),
+            None => Err("request must carry an 'op' field".into()),
+        }
+    }
+
+    /// Render the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit {
+                config,
+                mode,
+                force,
+                artifacts,
+            } => format!(
+                "{{\"op\":\"submit\",\"mode\":\"{}\",\"force\":{force},\"artifacts\":{artifacts},\"config\":\"{}\"}}",
+                mode.name(),
+                escape(config)
+            ),
+            Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+}
+
+/// `accepted`: the submission has an id and a content key.
+pub fn ev_accepted(job: u64, key: CacheKey) -> String {
+    format!("{{\"event\":\"accepted\",\"job\":{job},\"key\":\"{key}\"}}")
+}
+
+/// `rejected`: backpressure bounced the submission; retry after the
+/// hinted delay.
+pub fn ev_rejected(retry_after_ms: u64) -> String {
+    format!(
+        "{{\"event\":\"rejected\",\"reason\":\"queue-full\",\"retry_after_ms\":{retry_after_ms}}}"
+    )
+}
+
+/// `error`: the request itself was invalid (parse/validation error).
+pub fn ev_error(msg: &str) -> String {
+    format!("{{\"event\":\"error\",\"msg\":\"{}\"}}", escape(msg))
+}
+
+/// `started`: the job left the queue and is on a worker.
+pub fn ev_started(job: u64) -> String {
+    format!("{{\"event\":\"started\",\"job\":{job}}}")
+}
+
+/// `progress`: one committed multigrid cycle.
+pub fn ev_progress(job: u64, cycle: u64, residual: f64) -> String {
+    format!("{{\"event\":\"progress\",\"job\":{job},\"cycle\":{cycle},\"residual\":{residual}}}")
+}
+
+/// `done`: terminal success. `cache` says whether the artifacts came
+/// from the content-addressed cache (`"hit"`) or a solve (`"miss"`) —
+/// by the determinism contract that is the *only* byte that may differ
+/// between the two streams. With `artifacts`, the result table, trace
+/// JSON, and VTK export are inlined as escaped strings.
+pub fn ev_done(job: u64, cache_hit: bool, blob: &JobBlob, artifacts: bool) -> String {
+    let a = &blob.artifacts;
+    let mut line = format!(
+        "{{\"event\":\"done\",\"job\":{job},\"cache\":\"{}\",\"result_hash\":\"{:032x}\",\"cycles\":{},\"final_residual\":{}",
+        if cache_hit { "hit" } else { "miss" },
+        a.result_hash,
+        a.history.len(),
+        a.history.last().copied().unwrap_or(f64::NAN),
+    );
+    if let Some(g) = &a.guard {
+        line.push_str(&format!(
+            ",\"guard_backoffs\":{},\"guard_final_cfl\":{}",
+            g.transcript.len(),
+            g.final_cfl
+        ));
+    }
+    if artifacts {
+        line.push_str(&format!(",\"table\":\"{}\"", escape(&a.table)));
+        if let Some(t) = &a.trace_json {
+            line.push_str(&format!(",\"trace\":\"{}\"", escape(t)));
+        }
+        line.push_str(&format!(",\"vtk\":\"{}\"", escape(&a.vtk)));
+    }
+    line.push('}');
+    line
+}
+
+/// `cancelled`: terminal, the job was cancelled.
+pub fn ev_cancelled(job: u64) -> String {
+    format!("{{\"event\":\"cancelled\",\"job\":{job}}}")
+}
+
+/// `failed`: terminal, the solver returned an error.
+pub fn ev_failed(job: u64, msg: &str) -> String {
+    format!(
+        "{{\"event\":\"failed\",\"job\":{job},\"msg\":\"{}\"}}",
+        escape(msg)
+    )
+}
+
+/// `stats`: aggregate engine counters.
+pub fn ev_stats(s: &EngineStats) -> String {
+    format!(
+        "{{\"event\":\"stats\",\"submitted\":{},\"rejected\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\"queued\":{},\"running\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{}}}",
+        s.submitted,
+        s.rejected,
+        s.done,
+        s.cancelled,
+        s.failed,
+        s.queued,
+        s.running,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_len
+    )
+}
+
+/// `cancel`: acknowledgement of a cancel request. `ok` is true when the
+/// cancel changed anything (the job was queued or running).
+pub fn ev_cancel_ack(job: u64, outcome: CancelOutcome, state: Option<JobState>) -> String {
+    let ok = matches!(
+        outcome,
+        CancelOutcome::WasQueued | CancelOutcome::WasRunning
+    );
+    let state = match (outcome, state) {
+        (CancelOutcome::Unknown, _) => "unknown",
+        (_, Some(JobState::Queued)) => "queued",
+        (_, Some(JobState::Running)) => "running",
+        (_, Some(JobState::Done)) => "done",
+        (_, Some(JobState::Cancelled)) => "cancelled",
+        (_, Some(JobState::Failed)) => "failed",
+        (_, None) => "unknown",
+    };
+    format!("{{\"event\":\"cancel\",\"job\":{job},\"ok\":{ok},\"state\":\"{state}\"}}")
+}
+
+/// `shutdown`: acknowledgement that the server is stopping.
+pub fn ev_shutdown_ack() -> String {
+    "{\"event\":\"shutdown\",\"ok\":true}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_with_toml_payload() {
+        let req = Request::Submit {
+            config: "[run]\ncycles = 3\n# comment \"quoted\"\n".to_string(),
+            mode: JobMode::Distributed,
+            force: true,
+            artifacts: false,
+        };
+        assert_eq!(Request::parse(&req.to_line()), Ok(req));
+        for r in [
+            Request::Cancel { job: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&r.to_line()), Ok(r));
+        }
+    }
+
+    #[test]
+    fn submit_defaults_and_errors() {
+        let r = Request::parse("{\"op\":\"submit\",\"config\":\"\"}").unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                config: String::new(),
+                mode: JobMode::Solve,
+                force: false,
+                artifacts: false,
+            }
+        );
+        assert!(Request::parse("{\"op\":\"submit\"}").is_err());
+        assert!(Request::parse("{\"op\":\"submit\",\"config\":\"\",\"mode\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"op\":\"cancel\"}").is_err());
+        assert!(Request::parse("{\"op\":\"nope\"}").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn event_lines_parse_back_as_flat_json() {
+        let stats = EngineStats::default();
+        for line in [
+            ev_accepted(1, crate::cache::CacheKey(0xabc)),
+            ev_rejected(300),
+            ev_error("bad \"config\""),
+            ev_started(1),
+            ev_progress(1, 0, 0.125),
+            ev_cancelled(1),
+            ev_failed(1, "solver.mach must be positive"),
+            ev_stats(&stats),
+            ev_cancel_ack(1, CancelOutcome::WasRunning, Some(JobState::Running)),
+            ev_cancel_ack(7, CancelOutcome::Unknown, None),
+            ev_shutdown_ack(),
+        ] {
+            let o = JObj::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(o.str_of("event").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn progress_residual_round_trips_bit_exactly() {
+        let r = 0.1f64 + 0.2f64; // a value with no short decimal form
+        let line = ev_progress(3, 11, r);
+        let o = JObj::parse(&line).unwrap();
+        let got = o.f64_of("residual").unwrap();
+        assert_eq!(got.to_bits(), r.to_bits());
+    }
+}
