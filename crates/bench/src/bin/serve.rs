@@ -16,7 +16,10 @@
 //!
 //! `--smoke` shrinks the pool and rounds for CI; `--gate X` exits
 //! nonzero unless cache-hit serving is at least `X`× faster than
-//! recompute (the CI gate uses 10).
+//! recompute (the CI gate uses 10). `--gate-journal P` exits nonzero
+//! when the write-ahead journal + durable result store adds more than
+//! `P`% wall time to the same forced-recompute workload (the CI gate
+//! uses 5).
 
 use std::path::Path;
 use std::time::Instant;
@@ -57,6 +60,10 @@ fn main() {
         .iter()
         .position(|a| a == "--gate")
         .map(|i| args[i + 1].parse().expect("--gate takes a ratio"));
+    let gate_journal: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate-journal")
+        .map(|i| args[i + 1].parse().expect("--gate-journal takes a percent"));
     let rounds: usize = std::env::var("EUL3D_BENCH_REPEATS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -85,6 +92,7 @@ fn main() {
             cache_cap: 64,
             seed: eul3d_core::env_seed(7),
             retry_after_ms_per_queued: 10,
+            ..EngineConfig::default()
         },
     )
     .expect("bind benchmark socket");
@@ -120,6 +128,63 @@ fn main() {
     }
     let hit_wall = t0.elapsed().as_secs_f64();
 
+    // Journal-overhead phase: the same forced-recompute workload
+    // through a plain engine and a durable one (write-ahead journal,
+    // checkpoint-log lifecycle, result-store fsyncs on the hot path);
+    // best-of-N walls denoise scheduler and disk jitter. The jobs are
+    // compute-dominated (hundreds of ms) so the gate measures the
+    // journal's proportional cost at realistic job sizes — the ~1 ms
+    // of fsyncs per job would swamp the few-ms latency pool above.
+    let overhead_rounds = if smoke { 2 } else { 3 };
+    let ocycles = if smoke { 40 } else { 80 };
+    let opool: Vec<String> = (0..2)
+        .map(|k| {
+            format!(
+                "[run]\nlevels = 2\ncycles = {}\n[mesh]\nnx = 12\nny = 6\nnz = 5\n",
+                ocycles + k
+            )
+        })
+        .collect();
+    let seed = eul3d_core::env_seed(7);
+    let run_pool = |state_dir: Option<std::path::PathBuf>, tag: &str| -> f64 {
+        let mut jsock = std::env::temp_dir();
+        jsock.push(format!(
+            "eul3d-bench-serve-{tag}-{}.sock",
+            std::process::id()
+        ));
+        let mut jsrv = server::spawn(
+            &jsock,
+            EngineConfig {
+                workers: 2,
+                queue_cap: 64,
+                cache_cap: 64,
+                seed,
+                retry_after_ms_per_queued: 10,
+                state_dir,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("bind overhead socket");
+        let mut best = f64::INFINITY;
+        for _ in 0..overhead_rounds {
+            let t0 = Instant::now();
+            for cfg in &opool {
+                let (_, hit) = timed_submit(&jsock, cfg, true);
+                assert!(!hit, "forced submissions recompute");
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        jsrv.shutdown();
+        best
+    };
+    let state =
+        std::env::temp_dir().join(format!("eul3d-bench-serve-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let plain_wall = run_pool(None, "plain");
+    let durable_wall = run_pool(Some(state.clone()), "durable");
+    let _ = std::fs::remove_dir_all(&state);
+    let overhead_pct = (durable_wall - plain_wall) / plain_wall * 100.0;
+
     let stats_line = client::request_one(&sock, &eul3d_serve::Request::Stats).expect("stats");
     let stats = JObj::parse(&stats_line).expect("stats parse");
     let hits = stats.u64_of("cache_hits").unwrap_or(0);
@@ -148,9 +213,12 @@ fn main() {
         hit_rate * 100.0
     );
     println!("  hit speedup     {speedup:.1}x over recompute");
+    println!(
+        "  journal         plain {plain_wall:.3} s, durable {durable_wall:.3} s ({overhead_pct:+.1}% overhead)"
+    );
 
     let json = format!(
-        "{{\n  \"config\": {{\"pool\": {pool_size}, \"nx\": {nx}, \"cycles_base\": {cycles_base}, \"rounds\": {rounds}, \"workers\": 2, \"smoke\": {smoke}}},\n  \"throughput\": {{\"jobs\": {jobs}, \"hit_jobs_per_sec\": {jobs_per_sec:.3}}},\n  \"latency_seconds\": {{\"hit_p50\": {hit_p50:.6e}, \"hit_p99\": {hit_p99:.6e}, \"miss_p50\": {miss_p50:.6e}, \"miss_p99\": {miss_p99:.6e}}},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}, \"hit_speedup\": {speedup:.2}}}\n}}\n"
+        "{{\n  \"config\": {{\"pool\": {pool_size}, \"nx\": {nx}, \"cycles_base\": {cycles_base}, \"rounds\": {rounds}, \"workers\": 2, \"smoke\": {smoke}}},\n  \"throughput\": {{\"jobs\": {jobs}, \"hit_jobs_per_sec\": {jobs_per_sec:.3}}},\n  \"latency_seconds\": {{\"hit_p50\": {hit_p50:.6e}, \"hit_p99\": {hit_p99:.6e}, \"miss_p50\": {miss_p50:.6e}, \"miss_p99\": {miss_p99:.6e}}},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}, \"hit_speedup\": {speedup:.2}}},\n  \"journal\": {{\"rounds\": {overhead_rounds}, \"jobs\": 2, \"cycles\": {ocycles}, \"plain_wall_s\": {plain_wall:.6e}, \"durable_wall_s\": {durable_wall:.6e}, \"overhead_pct\": {overhead_pct:.2}}}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_serve.json");
     println!("wrote {out_path}");
@@ -163,5 +231,12 @@ fn main() {
             "cache-hit serving is only {speedup:.1}x faster than recompute; gate requires {min_ratio}x"
         );
         println!("gate: hit speedup {speedup:.1}x >= {min_ratio}x — ok");
+    }
+    if let Some(max_pct) = gate_journal {
+        assert!(
+            overhead_pct <= max_pct,
+            "durability costs {overhead_pct:.1}% wall time on recompute; gate allows {max_pct}%"
+        );
+        println!("gate: journal overhead {overhead_pct:+.1}% <= {max_pct}% — ok");
     }
 }

@@ -11,11 +11,24 @@
 //!                  [--backend delta|hybrid] [--threads N]
 //!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
 //! eul3d serve      --socket /tmp/eul3d.sock [--workers N] [--queue N]
-//!                  [--cache N] [--seed N] [--retry-after-ms MS]
+//!                  [--cache N] [--cache-bytes B] [--seed N]
+//!                  [--retry-after-ms MS] [--state-dir DIR]
+//!                  [--deadline-ms MS] [--drain-timeout-ms MS]
 //! eul3d submit     --socket /tmp/eul3d.sock --config run.toml
 //!                  [--distributed] [--force] [--artifacts] [--ndjson]
+//!                  [--timeout-ms MS] [--retries N]
 //! eul3d submit     --socket S (--cancel JOB | --stats | --shutdown)
 //! ```
+//!
+//! `serve --state-dir DIR` makes the server **crash-safe**: every
+//! submission is journaled before it is acknowledged, results persist
+//! in a content-addressed store, and running solve jobs write CRC-framed
+//! checkpoints — after a crash (`kill -9` included) a restarted server
+//! with the same `--state-dir` resumes interrupted jobs from their last
+//! checkpoint and reproduces byte-identical artifacts (DESIGN.md §12).
+//! `SIGTERM` drains gracefully: running jobs finish (bounded by
+//! `--drain-timeout-ms`), new submissions are refused, and anything
+//! still unfinished resumes on the next start.
 //!
 //! `solve` and `distributed` additionally take the consolidated
 //! run-configuration flags: `--config run.toml` loads a config file

@@ -1055,7 +1055,14 @@ fn run_with_ctx(
     // recovery machinery then works unchanged).
     let windows = match opts.backend {
         super::solver::DistBackend::Hybrid if fopts.plan.is_empty() => {
-            Some(eul3d_delta::WindowRegistry::new(setup.nranks))
+            let timeout = opts
+                .wedge_timeout_ms
+                .map(Duration::from_millis)
+                .unwrap_or(eul3d_delta::DEFAULT_WEDGE_TIMEOUT);
+            Some(eul3d_delta::WindowRegistry::with_timeout(
+                setup.nranks,
+                timeout,
+            ))
         }
         _ => None,
     };

@@ -53,6 +53,11 @@ pub struct DistOptions {
     /// stamps are not reproducible across runs, so goldens keep this
     /// off).
     pub real_time_lanes: bool,
+    /// Wedge timeout (ms) for the hybrid backend's shared-memory halo
+    /// windows; a stalled window surfaces as a typed
+    /// [`eul3d_delta::DeltaError::WindowWedged`] after this long.
+    /// `None` uses [`eul3d_delta::DEFAULT_WEDGE_TIMEOUT`] (30 s).
+    pub wedge_timeout_ms: Option<u64>,
 }
 
 impl Default for DistOptions {
@@ -63,6 +68,7 @@ impl Default for DistOptions {
             trace_capacity: None,
             backend: DistBackend::Delta,
             real_time_lanes: false,
+            wedge_timeout_ms: None,
         }
     }
 }

@@ -22,6 +22,7 @@ use eul3d_mesh::vtk::write_vtk;
 use eul3d_mesh::MeshSequence;
 use eul3d_obs as obs;
 
+use crate::ckstore::{DurabilitySink, JobCheckpoint};
 use crate::dist::{
     run_distributed, run_distributed_guarded, run_distributed_with_faults, DistBackend,
     DistOptions, DistSetup, FaultOptions,
@@ -214,10 +215,41 @@ pub fn run_job(
     cancel: &CancelToken,
     on_cycle: &mut dyn FnMut(u64, f64),
 ) -> Result<JobArtifacts, Eul3dError> {
+    run_job_durable(rc, mode, partition_seed, cancel, on_cycle, None)
+}
+
+/// [`run_job`] with a durability sink: the solve driver consults
+/// `durability` for a resume point before the first cycle and persists a
+/// [`JobCheckpoint`] through it at every `checkpoint_every` committed
+/// cycles (never at the final one — completion is the terminal record).
+///
+/// Resume is **bit-exact**: the checkpoint carries the committed history
+/// and the fine-grid state, and every coarse multigrid level is rebuilt
+/// from the fine grid by restriction at the start of each cycle, so a
+/// resumed run produces artifacts byte-identical to an uninterrupted
+/// one. `on_cycle` is replayed for the committed prefix so progress
+/// streaming is seamless across the resume.
+///
+/// The sink is only consulted on the solve path with tracing disabled
+/// and no guard armed: a Chrome trace rides the modeled clock from cycle
+/// 0 (a resumed trace could not be byte-identical) and guard retry state
+/// is not serialized. In those configurations — and on the distributed
+/// path — the job simply runs from scratch and writes no checkpoints.
+/// Resume points that do not fit the config (wrong mesh size,
+/// out-of-range cycle count, non-finite state) are ignored, not errors:
+/// a damaged resume point costs recompute, never the job.
+pub fn run_job_durable(
+    rc: &RunConfig,
+    mode: JobMode,
+    partition_seed: u64,
+    cancel: &CancelToken,
+    on_cycle: &mut dyn FnMut(u64, f64),
+    durability: Option<&mut dyn DurabilitySink>,
+) -> Result<JobArtifacts, Eul3dError> {
     rc.validate()?;
     cancel.check();
     match mode {
-        JobMode::Solve => run_solve_job(rc, cancel, on_cycle),
+        JobMode::Solve => run_solve_job(rc, cancel, on_cycle, durability),
         JobMode::Distributed => run_dist_job(rc, partition_seed, cancel, on_cycle),
     }
 }
@@ -226,6 +258,7 @@ fn run_solve_job(
     rc: &RunConfig,
     cancel: &CancelToken,
     on_cycle: &mut dyn FnMut(u64, f64),
+    mut durability: Option<&mut dyn DurabilitySink>,
 ) -> Result<JobArtifacts, Eul3dError> {
     if rc.faults.is_some() {
         return Err(config_err(
@@ -248,10 +281,54 @@ fn run_solve_job(
         }
         None => {
             let mut hist = Vec::with_capacity(rc.cycles);
-            for c in 0..rc.cycles {
+            let durable = !rc.trace.enabled;
+            let nverts = mg.levels[0].n;
+            let mut start = 0usize;
+            if durable {
+                if let Some(sink) = durability.as_mut() {
+                    if let Some(ck) = sink.resume_point() {
+                        let fits = ck.w.len() == nverts * crate::NVAR
+                            && ck.history.len() == ck.cycles_done as usize
+                            && (ck.cycles_done as usize) <= rc.cycles
+                            && ck.w.iter().all(|x| x.is_finite())
+                            && ck.history.iter().all(|x| x.is_finite());
+                        if fits {
+                            for i in 0..nverts {
+                                mg.levels[0]
+                                    .w
+                                    .set_row(i, &ck.w[i * crate::NVAR..(i + 1) * crate::NVAR]);
+                            }
+                            for (c, &r) in ck.history.iter().enumerate() {
+                                on_cycle(c as u64, r);
+                            }
+                            hist.extend_from_slice(&ck.history);
+                            start = ck.cycles_done as usize;
+                            sink.resumed(ck.cycles_done);
+                        }
+                    }
+                }
+            }
+            for c in start..rc.cycles {
                 cancel.check();
                 let r = mg.cycle();
                 hist.push(r);
+                // Persist before announcing the cycle: once a caller has
+                // observed `on_cycle(c)`, cycle c is durable — the serve
+                // layer's journal relies on exactly that ordering.
+                if durable && rc.checkpoint_every > 0 {
+                    let done = c + 1;
+                    if done % rc.checkpoint_every == 0 && done < rc.cycles {
+                        if let Some(sink) = durability.as_mut() {
+                            let mut aos = mg.levels[0].w.to_aos();
+                            aos.truncate(nverts * crate::NVAR);
+                            sink.checkpoint(&JobCheckpoint {
+                                cycles_done: done as u64,
+                                history: hist.clone(),
+                                w: aos,
+                            });
+                        }
+                    }
+                }
                 on_cycle(c as u64, r);
             }
             (hist, None)
@@ -335,14 +412,45 @@ fn run_dist_job(
         real_time_lanes: false,
         ..DistOptions::default()
     };
-    let r = match (&rc.guard, &fopts) {
-        (Some(g), Some(f)) => {
-            run_distributed_guarded(&setup, rc.solver, rc.strategy, rc.cycles, opts, f, g)?
-        }
-        (None, Some(f)) => {
-            run_distributed_with_faults(&setup, rc.solver, rc.strategy, rc.cycles, opts, f)
-        }
-        _ => run_distributed(&setup, rc.solver, rc.strategy, rc.cycles, opts),
+    // The SPMD region re-raises rank panics. A typed DeltaError payload
+    // (e.g. a wedged shared-memory window) is lifted back into the error
+    // taxonomy here; anything else keeps unwinding unchanged.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<crate::dist::DistRunResult, Eul3dError> {
+            match (&rc.guard, &fopts) {
+                (Some(g), Some(f)) => Ok(run_distributed_guarded(
+                    &setup,
+                    rc.solver,
+                    rc.strategy,
+                    rc.cycles,
+                    opts,
+                    f,
+                    g,
+                )?),
+                (None, Some(f)) => Ok(run_distributed_with_faults(
+                    &setup,
+                    rc.solver,
+                    rc.strategy,
+                    rc.cycles,
+                    opts,
+                    f,
+                )),
+                _ => Ok(run_distributed(
+                    &setup,
+                    rc.solver,
+                    rc.strategy,
+                    rc.cycles,
+                    opts,
+                )),
+            }
+        },
+    ));
+    let r = match run {
+        Ok(res) => res?,
+        Err(payload) => match payload.downcast::<eul3d_delta::DeltaError>() {
+            Ok(e) => return Err(Eul3dError::Delta(*e)),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
     };
     let history = r.history().to_vec();
     for (c, &res) in history.iter().enumerate() {
@@ -452,6 +560,130 @@ mod tests {
             err.downcast_ref::<FaultSignal>().is_some(),
             "payload must be the FaultSignal unwind"
         );
+    }
+
+    /// Collects every checkpoint and hands out a scripted resume point —
+    /// the in-memory stand-in for the serve layer's disk-backed sink.
+    #[derive(Default)]
+    struct MemSink {
+        resume: Option<crate::ckstore::JobCheckpoint>,
+        taken: Vec<crate::ckstore::JobCheckpoint>,
+    }
+
+    impl crate::ckstore::DurabilitySink for MemSink {
+        fn resume_point(&mut self) -> Option<crate::ckstore::JobCheckpoint> {
+            self.resume.clone()
+        }
+
+        fn checkpoint(&mut self, ck: &crate::ckstore::JobCheckpoint) {
+            self.taken.push(ck.clone());
+        }
+    }
+
+    #[test]
+    fn durable_resume_is_byte_identical_to_uninterrupted_run() {
+        // The checkpoint stores only the fine-grid state; this test is
+        // the proof that restriction rebuilds every coarse level, so the
+        // resumed multigrid run reproduces the uninterrupted one bit for
+        // bit.
+        let mut rc = small_rc(8);
+        rc.checkpoint_every = 2;
+        let token = CancelToken::new();
+        let mut full_sink = MemSink::default();
+        let base = run_job_durable(
+            &rc,
+            JobMode::Solve,
+            7,
+            &token,
+            &mut |_, _| {},
+            Some(&mut full_sink),
+        )
+        .unwrap();
+        // Checkpoints at cycles 2, 4, 6 — never at the final cycle.
+        assert_eq!(
+            full_sink
+                .taken
+                .iter()
+                .map(|c| c.cycles_done)
+                .collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+        for ck in &full_sink.taken {
+            // Resume from every checkpoint the run produced.
+            let mut sink = MemSink {
+                resume: Some(ck.clone()),
+                ..MemSink::default()
+            };
+            let mut seen = Vec::new();
+            let resumed = run_job_durable(
+                &rc,
+                JobMode::Solve,
+                7,
+                &token,
+                &mut |c, r| seen.push((c, r)),
+                Some(&mut sink),
+            )
+            .unwrap();
+            assert_eq!(resumed.table, base.table, "resume at {}", ck.cycles_done);
+            assert_eq!(resumed.vtk, base.vtk, "resume at {}", ck.cycles_done);
+            assert_eq!(resumed.result_hash, base.result_hash);
+            assert_eq!(resumed.history, base.history);
+            // Progress replays the committed prefix then streams live.
+            assert_eq!(seen.len(), 8);
+            for (c, (sc, sr)) in seen.iter().enumerate() {
+                assert_eq!(*sc, c as u64);
+                assert_eq!(*sr, base.history[c]);
+            }
+            // Later checkpoints are still emitted after a resume.
+            assert!(sink
+                .taken
+                .iter()
+                .all(|later| later.cycles_done > ck.cycles_done));
+        }
+    }
+
+    #[test]
+    fn unusable_resume_points_are_ignored_not_fatal() {
+        let mut rc = small_rc(4);
+        rc.checkpoint_every = 2;
+        let token = CancelToken::new();
+        let base = run_job(&rc, JobMode::Solve, 7, &token, &mut |_, _| {}).unwrap();
+        let bad_points = vec![
+            // Wrong mesh size.
+            crate::ckstore::JobCheckpoint {
+                cycles_done: 2,
+                history: vec![1.0, 0.5],
+                w: vec![1.0; 7],
+            },
+            // History length disagrees with the committed cycle count.
+            crate::ckstore::JobCheckpoint {
+                cycles_done: 2,
+                history: vec![1.0],
+                w: vec![1.0; 160 * crate::NVAR],
+            },
+            // Beyond the requested cycle count.
+            crate::ckstore::JobCheckpoint {
+                cycles_done: 99,
+                history: vec![1.0; 99],
+                w: vec![1.0; 160 * crate::NVAR],
+            },
+        ];
+        for bad in bad_points {
+            let mut sink = MemSink {
+                resume: Some(bad),
+                ..MemSink::default()
+            };
+            let got = run_job_durable(
+                &rc,
+                JobMode::Solve,
+                7,
+                &token,
+                &mut |_, _| {},
+                Some(&mut sink),
+            )
+            .unwrap();
+            assert_eq!(got.result_hash, base.result_hash, "runs from scratch");
+        }
     }
 
     #[test]

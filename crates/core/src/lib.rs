@@ -34,6 +34,7 @@
 pub mod agglo;
 pub mod boundary;
 pub mod checkpoint;
+pub mod ckstore;
 pub mod config;
 pub mod counters;
 pub mod dissipation;
@@ -58,6 +59,7 @@ pub mod solver;
 pub mod timestep;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use ckstore::{CheckpointLog, CkStoreError, DurabilitySink, JobCheckpoint, TailReport};
 pub use config::{Scheme, SolverConfig};
 pub use counters::{FlopCounter, PhaseCounters};
 pub use error::{Eul3dError, SolverError};
@@ -65,7 +67,7 @@ pub use executor::{Executor, Phase, SerialExecutor};
 pub use gas::{Freestream, NVAR};
 pub use health::{GuardConfig, GuardOutcome, HealthVerdict, RetryEvent};
 pub use history::ConvergenceHistory;
-pub use job::{run_job, CancelToken, JobArtifacts, JobMode};
+pub use job::{run_job, run_job_durable, CancelToken, JobArtifacts, JobMode};
 pub use multigrid::{MultigridSolver, Strategy};
 pub use runconfig::{fnv1a_128, RunConfig, RunConfigBuilder, TraceConfig};
 pub use soa::SoaState;

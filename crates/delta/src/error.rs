@@ -15,6 +15,26 @@ pub enum DeltaError {
     /// requested — rank ids are carried as `u32` in trace events and
     /// messages, and the cap keeps every conversion provably lossless.
     TooManyRanks { requested: usize, max: usize },
+    /// A shared-memory halo window stalled past its wedge timeout: the
+    /// publish/consume sequence on one directed stream is mismatched
+    /// (a protocol bug, or a peer that died outside the fault model).
+    /// Carries the full stream and epoch context so the wedge is
+    /// attributable to one `(src, dst, tag)` exchange.
+    WindowWedged {
+        /// Stream source rank.
+        src: usize,
+        /// Stream destination rank.
+        dst: usize,
+        /// Stream tag.
+        tag: u32,
+        /// Which side stalled (`"publisher"` waits on the consumer,
+        /// `"consumer"` waits on the publisher).
+        side: &'static str,
+        /// The epoch the stalled side was trying to advance past.
+        epoch: u64,
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 impl fmt::Display for DeltaError {
@@ -27,6 +47,18 @@ impl fmt::Display for DeltaError {
             DeltaError::TooManyRanks { requested, max } => {
                 write!(f, "{requested} ranks requested; the machine caps at {max}")
             }
+            DeltaError::WindowWedged {
+                src,
+                dst,
+                tag,
+                side,
+                epoch,
+                timeout_ms,
+            } => write!(
+                f,
+                "shared-memory window {src}->{dst} tag {tag} wedged: {side} stalled at \
+                 epoch {epoch} for {timeout_ms} ms (mismatched publish/consume sequence)"
+            ),
         }
     }
 }

@@ -200,7 +200,20 @@ impl Rank {
         assert!(dst < self.nranks, "publish to rank {dst} out of range");
         assert_ne!(dst, self.id, "self-publish is a schedule bug");
         let win = self.window(self.id, dst, tag);
-        let len = win.publish_with(fill);
+        let len = match win.publish_with(fill) {
+            Ok(len) => len,
+            // A wedge is not recoverable inside the SPMD region: unwind
+            // with the typed error so the driver boundary surfaces it as
+            // a DeltaError instead of a panic message.
+            Err(w) => std::panic::panic_any(crate::DeltaError::WindowWedged {
+                src: self.id,
+                dst,
+                tag,
+                side: w.side,
+                epoch: w.epoch,
+                timeout_ms: w.timeout_ms,
+            }),
+        };
         let bytes = 8 * len as u64; // Payload::F64 wire accounting
         let hops = self.hops_to(dst);
         self.counters.record_send(class, bytes);
@@ -222,7 +235,17 @@ impl Rank {
     {
         assert!(src < self.nranks, "consume from rank {src} out of range");
         let win = self.window(src, self.id, tag);
-        let (bytes, r) = win.consume_with(|buf| (8 * buf.len() as u64, read(buf)));
+        let (bytes, r) = match win.consume_with(|buf| (8 * buf.len() as u64, read(buf))) {
+            Ok(pair) => pair,
+            Err(w) => std::panic::panic_any(crate::DeltaError::WindowWedged {
+                src,
+                dst: self.id,
+                tag,
+                side: w.side,
+                epoch: w.epoch,
+                timeout_ms: w.timeout_ms,
+            }),
+        };
         obs::emit(obs::Event::MsgRecv {
             peer: rid(src),
             tag,

@@ -38,10 +38,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// How long a window wait spins before declaring the run wedged. Far
-/// beyond any legitimate kernel; a trip means a protocol bug (mismatched
-/// publish/consume sequence), and panicking beats a silent hang.
-const WEDGE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default for how long a window wait spins before declaring the run
+/// wedged. Far beyond any legitimate kernel; a trip means a protocol
+/// bug (mismatched publish/consume sequence), and a typed error beats a
+/// silent hang.
+pub const DEFAULT_WEDGE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A window wait expired: which side stalled and at which epoch. The
+/// caller (who knows the stream identity) lifts this into
+/// [`crate::DeltaError::WindowWedged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wedge {
+    /// `"publisher"` (stalled waiting on the consumer) or `"consumer"`
+    /// (stalled waiting on the publisher).
+    pub side: &'static str,
+    /// The epoch the stalled side was trying to advance past.
+    pub epoch: u64,
+    /// The timeout that expired, in milliseconds.
+    pub timeout_ms: u64,
+}
 
 /// One directed SPSC stream `(src, dst, tag)`. See the module docs for
 /// the ownership protocol.
@@ -56,6 +71,8 @@ pub struct Window {
     /// every state (see module docs), so the `UnsafeCell` access is
     /// data-race free under the counter protocol.
     buf: UnsafeCell<Vec<f64>>,
+    /// How long a wait may spin before reporting a wedge.
+    timeout: Duration,
 }
 
 // SAFETY: the counter protocol above guarantees exclusive access to
@@ -65,17 +82,19 @@ pub struct Window {
 unsafe impl Sync for Window {}
 
 impl Window {
-    fn new() -> Window {
+    fn new(timeout: Duration) -> Window {
         Window {
             published: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
             buf: UnsafeCell::new(Vec::new()),
+            timeout,
         }
     }
 
-    /// Spin (with escalating yields) until `ready` holds; `who` labels
-    /// the wedge panic.
-    fn wait(&self, ready: impl Fn() -> bool, who: &str) {
+    /// Spin (with escalating yields) until `ready` holds, or report the
+    /// wedge after the window's timeout. `side` labels which side
+    /// stalled; `epoch` is the epoch it was trying to advance past.
+    fn wait(&self, ready: impl Fn() -> bool, side: &'static str, epoch: u64) -> Result<(), Wedge> {
         let mut spins = 0u32;
         let mut deadline: Option<Instant> = None;
         while !ready() {
@@ -86,23 +105,34 @@ impl Window {
                 std::thread::yield_now();
                 let now = Instant::now();
                 match deadline {
-                    None => deadline = Some(now + WEDGE_TIMEOUT),
-                    Some(d) => assert!(
-                        now < d,
-                        "shared-memory window wedged waiting for {who}: \
-                         mismatched publish/consume sequence"
-                    ),
+                    None => deadline = Some(now + self.timeout),
+                    Some(d) => {
+                        if now >= d {
+                            return Err(Wedge {
+                                side,
+                                epoch,
+                                timeout_ms: self.timeout.as_millis() as u64,
+                            });
+                        }
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Writer side: wait for the previous epoch to be consumed, let
     /// `fill` pack the (cleared) buffer, and publish the new epoch.
-    /// Returns the published length.
-    pub fn publish_with<F: FnOnce(&mut Vec<f64>)>(&self, fill: F) -> usize {
+    /// Returns the published length, or the wedge if the consumer never
+    /// freed the buffer within the window's timeout (`fill` does not
+    /// run in that case).
+    pub fn publish_with<F: FnOnce(&mut Vec<f64>)>(&self, fill: F) -> Result<usize, Wedge> {
         let p = self.published.load(Ordering::Relaxed);
-        self.wait(|| self.consumed.load(Ordering::Acquire) == p, "consumer");
+        self.wait(
+            || self.consumed.load(Ordering::Acquire) == p,
+            "publisher",
+            p,
+        )?;
         // SAFETY: consumed == published, so the writer exclusively owns
         // the buffer until the Release store below.
         let buf = unsafe { &mut *self.buf.get() };
@@ -110,20 +140,21 @@ impl Window {
         fill(buf);
         let len = buf.len();
         self.published.store(p + 1, Ordering::Release);
-        len
+        Ok(len)
     }
 
     /// Reader side: wait for an unconsumed epoch, hand the buffer to
-    /// `read`, and return it to the writer.
-    pub fn consume_with<R, F: FnOnce(&[f64]) -> R>(&self, read: F) -> R {
+    /// `read`, and return it to the writer. Reports the wedge if no
+    /// epoch arrives within the window's timeout.
+    pub fn consume_with<R, F: FnOnce(&[f64]) -> R>(&self, read: F) -> Result<R, Wedge> {
         let c = self.consumed.load(Ordering::Relaxed);
-        self.wait(|| self.published.load(Ordering::Acquire) > c, "publisher");
+        self.wait(|| self.published.load(Ordering::Acquire) > c, "consumer", c)?;
         // SAFETY: published > consumed, so the reader exclusively owns
         // the buffer until the Release store below.
         let buf = unsafe { &*self.buf.get() };
         let r = read(buf);
         self.consumed.store(c + 1, Ordering::Release);
-        r
+        Ok(r)
     }
 
     /// Epochs published so far (diagnostics only).
@@ -138,13 +169,22 @@ impl Window {
 /// `Arc<Window>` cache and never touches the lock.
 pub struct WindowRegistry {
     nranks: usize,
+    timeout: Duration,
     map: Mutex<HashMap<(usize, usize, u32), Arc<Window>>>,
 }
 
 impl WindowRegistry {
     pub fn new(nranks: usize) -> Arc<WindowRegistry> {
+        WindowRegistry::with_timeout(nranks, DEFAULT_WEDGE_TIMEOUT)
+    }
+
+    /// A registry whose windows declare a wedge after `timeout` instead
+    /// of the default 30 s — test harnesses and deadline-bounded service
+    /// runs shrink it so a wedged run fails fast.
+    pub fn with_timeout(nranks: usize, timeout: Duration) -> Arc<WindowRegistry> {
         Arc::new(WindowRegistry {
             nranks,
+            timeout,
             map: Mutex::new(HashMap::new()),
         })
     }
@@ -152,6 +192,11 @@ impl WindowRegistry {
     /// Ranks this registry serves.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// The wedge timeout the registry's windows are created with.
+    pub fn wedge_timeout(&self) -> Duration {
+        self.timeout
     }
 
     /// Get or create the window for directed stream `(src, dst, tag)`.
@@ -162,7 +207,7 @@ impl WindowRegistry {
             Err(p) => p.into_inner(),
         };
         map.entry((src, dst, tag))
-            .or_insert_with(|| Arc::new(Window::new()))
+            .or_insert_with(|| Arc::new(Window::new(self.timeout)))
             .clone()
     }
 
@@ -182,12 +227,41 @@ mod tests {
 
     #[test]
     fn single_epoch_round_trip() {
-        let w = Window::new();
-        let n = w.publish_with(|b| b.extend_from_slice(&[1.0, 2.0, 3.0]));
+        let w = Window::new(DEFAULT_WEDGE_TIMEOUT);
+        let n = w
+            .publish_with(|b| b.extend_from_slice(&[1.0, 2.0, 3.0]))
+            .expect("free buffer");
         assert_eq!(n, 3);
-        let got = w.consume_with(|b| b.to_vec());
+        let got = w.consume_with(|b| b.to_vec()).expect("published epoch");
         assert_eq!(got, vec![1.0, 2.0, 3.0]);
         assert_eq!(w.epochs(), 1);
+    }
+
+    #[test]
+    fn wedged_waits_report_instead_of_panicking() {
+        let w = Window::new(Duration::from_millis(30));
+        // Consume with no publisher: the reader side wedges.
+        let wedge = w.consume_with(|b| b.len()).expect_err("nothing published");
+        assert_eq!(wedge.side, "consumer");
+        assert_eq!(wedge.epoch, 0);
+        assert!(wedge.timeout_ms >= 30);
+        // Publish twice with no consumer: the second publish wedges
+        // (capacity-1 window) and `fill` must not have run.
+        w.publish_with(|b| b.push(1.0))
+            .expect("first epoch is free");
+        let mut filled = false;
+        let wedge = w
+            .publish_with(|b| {
+                filled = true;
+                b.push(2.0);
+            })
+            .expect_err("buffer still owned by the reader");
+        assert_eq!(wedge.side, "publisher");
+        assert_eq!(wedge.epoch, 1);
+        assert!(!filled, "fill must not run on a wedged publish");
+        // The window stays usable: consuming frees the buffer again.
+        assert_eq!(w.consume_with(|b| b.to_vec()).expect("epoch 0"), vec![1.0]);
+        assert_eq!(w.publish_with(|b| b.push(2.0)).expect("freed"), 1);
     }
 
     #[test]
@@ -212,7 +286,7 @@ mod tests {
     #[test]
     fn stress_no_torn_reads_across_epochs() {
         const EPOCHS: u64 = 20_000;
-        let w = Arc::new(Window::new());
+        let w = Arc::new(Window::new(DEFAULT_WEDGE_TIMEOUT));
         let r = w.clone();
         let reader = thread::spawn(move || {
             for e in 0..EPOCHS {
@@ -227,12 +301,14 @@ mod tests {
                             "epoch {e}: torn read at element {i}"
                         );
                     }
-                });
+                })
+                .expect("no wedge under live traffic");
             }
         });
         for e in 0..EPOCHS {
             let len = (e % 97 + 1) as usize;
-            w.publish_with(|buf| buf.resize(len, e as f64));
+            w.publish_with(|buf| buf.resize(len, e as f64))
+                .expect("no wedge under live traffic");
         }
         reader.join().expect("reader panicked");
     }
@@ -262,7 +338,7 @@ mod tests {
                 for e in 0..EPOCHS {
                     for (peer, w) in &outs {
                         let stamp = (me * 1000 + peer * 10) as f64 + e as f64 * 0.001;
-                        w.publish_with(|b| b.resize(5, stamp));
+                        w.publish_with(|b| b.resize(5, stamp)).expect("no wedge");
                     }
                     for (peer, w) in &ins {
                         let want = (peer * 1000 + me * 10) as f64 + e as f64 * 0.001;
@@ -271,7 +347,8 @@ mod tests {
                             for &v in b.iter() {
                                 assert_eq!(v.to_bits(), want.to_bits());
                             }
-                        });
+                        })
+                        .expect("no wedge");
                     }
                 }
             }));

@@ -62,27 +62,66 @@ pub struct JobBlob {
     pub artifacts: JobArtifacts,
 }
 
+impl JobBlob {
+    /// Approximate resident size of this result in bytes — the payload
+    /// buffers plus a small fixed allowance for structure overhead. The
+    /// byte-budget eviction policy charges entries by this measure; it
+    /// only needs to be stable and roughly proportional, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        let a = &self.artifacts;
+        let guard = a.guard.as_ref().map_or(0, |g| 64 + g.transcript.len() * 64);
+        a.history.len() * 8
+            + a.table.len()
+            + a.trace_json.as_ref().map_or(0, String::len)
+            + a.events.len() * std::mem::size_of::<eul3d_obs::Stamped>()
+            + a.vtk.len()
+            + guard
+            + 128
+    }
+}
+
 /// Bounded FIFO content-addressed cache with hit/miss accounting.
 /// Insertion-order eviction (not LRU) keeps the structure allocation-
 /// light and — more importantly here — *deterministic*: which entries a
 /// test run retains depends only on the completion order, never on
 /// lookup timing.
+///
+/// Capacity is governed by **result bytes** ([`JobBlob::approx_bytes`]),
+/// with the entry count as a secondary ceiling: a handful of giant
+/// traced results and a thousand tiny ones occupy very different
+/// amounts of memory, so the budget that matters operationally is
+/// bytes, not entries. The newest entry is always retained even when it
+/// alone exceeds the budget — evicting the result that was just
+/// computed would make its own duplicate submissions recompute forever.
 #[derive(Debug)]
 pub struct ResultCache {
     cap: usize,
+    budget: Option<usize>,
     map: HashMap<u128, Arc<JobBlob>>,
     order: VecDeque<u128>,
+    bytes: usize,
+    evicted_bytes: u64,
     hits: u64,
     misses: u64,
 }
 
 impl ResultCache {
-    /// A cache retaining at most `cap` results (min 1).
+    /// A cache retaining at most `cap` results (min 1) with no byte
+    /// budget.
     pub fn new(cap: usize) -> ResultCache {
+        ResultCache::with_byte_budget(cap, None)
+    }
+
+    /// A cache retaining at most `cap` results and (when `budget` is
+    /// set) at most roughly `budget` total result bytes.
+    pub fn with_byte_budget(cap: usize, budget: Option<usize>) -> ResultCache {
         ResultCache {
             cap: cap.max(1),
+            budget,
             map: HashMap::new(),
             order: VecDeque::new(),
+            bytes: 0,
+            evicted_bytes: 0,
             hits: 0,
             misses: 0,
         }
@@ -115,15 +154,38 @@ impl ResultCache {
         self.misses += 1;
     }
 
+    /// Record a hit without a lookup — the caller resolved the key
+    /// through [`ResultCache::peek`] or the durable result store and no
+    /// solve work happened.
+    pub fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Insert (or overwrite — recomputes produce byte-identical blobs,
-    /// so overwriting is a no-op in content) and evict the oldest entry
-    /// beyond capacity.
+    /// so overwriting is a no-op in content) and evict oldest entries
+    /// until both the entry cap and the byte budget hold again (the
+    /// newest entry itself is never evicted).
     pub fn insert(&mut self, key: CacheKey, blob: Arc<JobBlob>) {
-        if self.map.insert(key.0, blob).is_none() {
-            self.order.push_back(key.0);
-            while self.order.len() > self.cap {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
+        let size = blob.approx_bytes();
+        match self.map.insert(key.0, blob) {
+            Some(old) => {
+                // Byte-identical in content, but re-measure anyway so the
+                // accounting can never drift.
+                self.bytes = self.bytes - old.approx_bytes() + size;
+            }
+            None => {
+                self.bytes += size;
+                self.order.push_back(key.0);
+                while self.order.len() > 1
+                    && (self.order.len() > self.cap || self.budget.is_some_and(|b| self.bytes > b))
+                {
+                    if let Some(old) = self.order.pop_front() {
+                        if let Some(gone) = self.map.remove(&old) {
+                            let freed = gone.approx_bytes();
+                            self.bytes -= freed;
+                            self.evicted_bytes += freed as u64;
+                        }
+                    }
                 }
             }
         }
@@ -137,6 +199,16 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Approximate bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Total approximate bytes evicted over the cache's lifetime.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
     }
 
     /// Lookups served from the cache.
@@ -181,6 +253,38 @@ mod tests {
         assert!(c.get(k2).is_some());
         assert!(c.get(k3).is_some());
         assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_until_under() {
+        // Each test blob measures 137 bytes: 8 (history) + 1 (table) +
+        // 128 fixed allowance.
+        let each = blob("a").approx_bytes();
+        assert_eq!(each, 137);
+        let mut c = ResultCache::with_byte_budget(100, Some(2 * each + 10));
+        c.insert(CacheKey(1), blob("a"));
+        c.insert(CacheKey(2), blob("b"));
+        assert_eq!(c.bytes(), 2 * each);
+        c.insert(CacheKey(3), blob("c"));
+        assert!(c.peek(CacheKey(1)).is_none(), "oldest evicted by bytes");
+        assert!(c.peek(CacheKey(2)).is_some());
+        assert!(c.peek(CacheKey(3)).is_some());
+        assert_eq!(c.bytes(), 2 * each);
+        assert_eq!(c.evicted_bytes(), each as u64);
+        // Overwriting an existing key never double-counts.
+        c.insert(CacheKey(3), blob("c"));
+        assert_eq!(c.bytes(), 2 * each);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn newest_entry_survives_even_over_budget() {
+        let mut c = ResultCache::with_byte_budget(4, Some(10));
+        c.insert(CacheKey(1), blob("a"));
+        c.insert(CacheKey(2), blob("b"));
+        assert_eq!(c.len(), 1, "budget evicts down to the newest entry");
+        assert!(c.peek(CacheKey(2)).is_some());
+        assert!(c.evicted_bytes() > 0);
     }
 
     #[test]

@@ -23,16 +23,21 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use eul3d_core::{run_job, CancelToken, JobMode, RunConfig};
+use eul3d_core::ckstore::{CheckpointLog, DurabilitySink, JobCheckpoint};
+use eul3d_core::{run_job_durable, CancelToken, JobMode, RunConfig};
 use eul3d_delta::FaultSignal;
 use eul3d_obs as obs;
 
 use crate::cache::{CacheKey, JobBlob, ResultCache};
+use crate::journal::{Journal, JournalRecord};
+use crate::store::ResultStore;
 
 /// Engine sizing and policy.
 #[derive(Debug, Clone)]
@@ -44,6 +49,8 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Result-cache capacity, in completed jobs.
     pub cache_cap: usize,
+    /// Result-cache byte budget (`None` = bounded by entry count only).
+    pub cache_bytes: Option<usize>,
     /// Partitioner seed folded into every cache key (pinned at engine
     /// start so identical requests stay identical for the engine's
     /// lifetime).
@@ -51,6 +58,17 @@ pub struct EngineConfig {
     /// The retry hint returned with queue-full rejections, per queued
     /// job ahead of the rejected one.
     pub retry_after_ms_per_queued: u64,
+    /// Durable state directory. When set, the engine journals every job
+    /// lifecycle to `<dir>/journal.ndjson`, persists results under
+    /// `<dir>/results/`, checkpoints running solve jobs under
+    /// `<dir>/ck/`, and on start replays the journal — resubmitting
+    /// interrupted jobs, which resume from their last durable
+    /// checkpoint. `None` keeps the engine fully in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Per-job wall-clock deadline. A job still running this long after
+    /// it started is cancelled at its next committed-cycle boundary and
+    /// reported as `Failed` with a deadline message. `None` = no limit.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -59,8 +77,11 @@ impl Default for EngineConfig {
             workers: 2,
             queue_cap: 16,
             cache_cap: 64,
+            cache_bytes: None,
             seed: eul3d_core::env_seed(7),
             retry_after_ms_per_queued: 100,
+            state_dir: None,
+            deadline_ms: None,
         }
     }
 }
@@ -206,6 +227,11 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Results currently cached.
     pub cache_len: usize,
+    /// Approximate bytes of cached results currently held.
+    pub cache_bytes: usize,
+    /// Approximate bytes evicted from the cache over the engine's
+    /// lifetime.
+    pub cache_evicted_bytes: u64,
 }
 
 struct Job {
@@ -216,6 +242,69 @@ struct Job {
     /// Present until a terminal event is emitted; dropping it ends the
     /// subscriber's stream.
     tx: Option<Sender<JobEvent>>,
+    /// When the job left the queue (deadline accounting).
+    started_at: Option<Instant>,
+    /// Set by the deadline watchdog: the cancellation about to land is a
+    /// deadline overrun, not a client cancel, and must terminalize as
+    /// `Failed`.
+    deadline_hit: bool,
+}
+
+/// The durability backends of a state-dir-configured engine.
+struct Durable {
+    journal: Mutex<Journal>,
+    store: ResultStore,
+    ck_dir: PathBuf,
+}
+
+impl Durable {
+    /// Append one journal record; journal I/O failures degrade
+    /// durability, never the job itself.
+    fn journal(&self, rec: &JournalRecord) {
+        let mut j = match self.journal.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let _ = j.append(rec);
+    }
+
+    /// The per-key checkpoint log path. Keyed by content (not job id)
+    /// so a resubmitted identical job resumes the interrupted one's
+    /// checkpoints.
+    fn ck_path(&self, key: CacheKey) -> PathBuf {
+        self.ck_dir.join(format!("{key}.cklog"))
+    }
+}
+
+/// Bridges one running job to the durability layer: checkpoint frames go
+/// to the per-key [`CheckpointLog`] (fsynced there), then the journal
+/// notes the committed cycle. Journal `checkpointed` records therefore
+/// always point at durable data.
+struct EngineSink<'a> {
+    log: CheckpointLog,
+    durable: &'a Durable,
+    job: u64,
+}
+
+impl DurabilitySink for EngineSink<'_> {
+    fn resume_point(&mut self) -> Option<JobCheckpoint> {
+        self.log.latest().cloned()
+    }
+
+    fn checkpoint(&mut self, ck: &JobCheckpoint) {
+        self.log.checkpoint(ck);
+        self.durable.journal(&JournalRecord::Checkpointed {
+            job: self.job,
+            cycle: ck.cycles_done,
+        });
+    }
+
+    fn resumed(&mut self, cycle: u64) {
+        self.durable.journal(&JournalRecord::Resumed {
+            job: self.job,
+            cycle,
+        });
+    }
 }
 
 struct EngineState {
@@ -224,6 +313,9 @@ struct EngineState {
     cache: ResultCache,
     running: usize,
     shutdown: bool,
+    /// Drain mode: refuse new submissions but keep computing what is
+    /// already queued or running (graceful SIGTERM handling).
+    draining: bool,
     submitted: u64,
     rejected: u64,
     done: u64,
@@ -236,6 +328,7 @@ struct Inner {
     state: Mutex<EngineState>,
     cv: Condvar,
     next_id: AtomicU64,
+    durable: Option<Durable>,
 }
 
 impl Inner {
@@ -259,15 +352,48 @@ pub struct JobEngine {
 }
 
 impl JobEngine {
-    /// Start the worker pool.
+    /// Start the worker pool. Panics if the configured `state_dir`
+    /// cannot be initialized — use [`JobEngine::try_start`] to handle
+    /// that as an error.
     pub fn start(cfg: EngineConfig) -> JobEngine {
+        match JobEngine::try_start(cfg) {
+            Ok(e) => e,
+            Err(e) => panic!("engine start failed: cannot initialize state dir: {e}"),
+        }
+    }
+
+    /// Start the worker pool. With a `state_dir` configured, opens (or
+    /// recovers) the write-ahead journal and the result store, truncates
+    /// any crash-damaged tails, and resubmits every journaled job that
+    /// never reached a terminal record — those jobs rerun internally
+    /// (no subscriber) and resume from their last durable checkpoint.
+    pub fn try_start(cfg: EngineConfig) -> std::io::Result<JobEngine> {
+        let mut pending = Vec::new();
+        let mut next_id = 1u64;
+        let durable = match &cfg.state_dir {
+            None => None,
+            Some(dir) => {
+                let (journal, replay) = Journal::open(dir)?;
+                let store = ResultStore::open(dir)?;
+                let ck_dir = dir.join("ck");
+                std::fs::create_dir_all(&ck_dir)?;
+                pending = replay.pending_jobs();
+                next_id = replay.max_job_id() + 1;
+                Some(Durable {
+                    journal: Mutex::new(journal),
+                    store,
+                    ck_dir,
+                })
+            }
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(EngineState {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
-                cache: ResultCache::new(cfg.cache_cap),
+                cache: ResultCache::with_byte_budget(cfg.cache_cap, cfg.cache_bytes),
                 running: 0,
                 shutdown: false,
+                draining: false,
                 submitted: 0,
                 rejected: 0,
                 done: 0,
@@ -275,10 +401,54 @@ impl JobEngine {
                 failed: 0,
             }),
             cv: Condvar::new(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
+            durable,
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
+        // Re-enqueue interrupted jobs before any worker exists, so the
+        // recovered queue order matches the journaled submission order.
+        {
+            let mut st = match inner.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            for p in pending {
+                match RunConfig::from_toml(&p.config) {
+                    Ok(rc) => {
+                        st.submitted += 1;
+                        st.queue.push_back(p.job);
+                        st.jobs.insert(
+                            p.job,
+                            Job {
+                                spec: JobSpec {
+                                    rc,
+                                    mode: p.mode,
+                                    force: p.force,
+                                },
+                                key: p.key,
+                                state: JobState::Queued,
+                                cancel: CancelToken::new(),
+                                tx: None,
+                                started_at: None,
+                                deadline_hit: false,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        // A journaled config that no longer parses (a
+                        // foreign edit, or a format change) terminalizes
+                        // as failed instead of wedging the replay.
+                        if let Some(d) = &inner.durable {
+                            d.journal(&JournalRecord::Failed {
+                                job: p.job,
+                                error: format!("replayed config no longer parses: {e}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut workers = (0..inner.cfg.workers.max(1))
             .map(|k| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -287,10 +457,22 @@ impl JobEngine {
             })
             .collect::<Result<Vec<_>, _>>()
             .unwrap_or_default();
-        JobEngine {
+        if inner.cfg.deadline_ms.is_some() {
+            let wd = Arc::clone(&inner);
+            if let Ok(h) = std::thread::Builder::new()
+                .name("eul3d-serve-deadline".to_string())
+                .spawn(move || deadline_loop(&wd))
+            {
+                workers.push(h);
+            }
+        }
+        if !inner.lock().queue.is_empty() {
+            inner.cv.notify_all();
+        }
+        Ok(JobEngine {
             inner,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// The engine's pinned partitioner seed (folded into cache keys).
@@ -305,13 +487,27 @@ impl JobEngine {
         let key = CacheKey::of(&spec.rc, spec.mode, self.inner.cfg.seed);
         let (tx, rx) = channel();
         let mut st = self.inner.lock();
-        if st.shutdown {
+        if st.shutdown || st.draining {
             return Err(SubmitError::ShuttingDown);
         }
-        // Cache fast path: identical requests cost one lookup and are
+        // Cache fast path: identical requests cost one lookup (falling
+        // back to the durable result store on a memory miss) and are
         // immune to backpressure.
         if !spec.force {
-            if let Some(blob) = st.cache.get(key) {
+            let found = match st.cache.peek(key) {
+                Some(blob) => Some(blob),
+                None => self.inner.durable.as_ref().and_then(|d| {
+                    let blob = d.store.get(key)?;
+                    st.cache.insert(key, Arc::clone(&blob));
+                    Some(blob)
+                }),
+            };
+            if found.is_some() {
+                st.cache.count_hit();
+            } else {
+                st.cache.count_forced_miss();
+            }
+            if let Some(blob) = found {
                 let job = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
                 st.submitted += 1;
                 st.done += 1;
@@ -335,6 +531,8 @@ impl JobEngine {
                         state: JobState::Done,
                         cancel: CancelToken::new(),
                         tx: None,
+                        started_at: None,
+                        deadline_hit: false,
                     },
                 );
                 return Ok(SubmitTicket {
@@ -357,6 +555,18 @@ impl JobEngine {
         let job = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         st.submitted += 1;
         st.queue.push_back(job);
+        // Write-ahead: the submission is journaled (fsynced) before the
+        // ticket exists, while the state lock still orders this line
+        // ahead of any record a worker could write for the same job.
+        if let Some(d) = &self.inner.durable {
+            d.journal(&JournalRecord::Submitted {
+                job,
+                key,
+                mode: spec.mode,
+                force: spec.force,
+                config: spec.rc.canonical_toml(),
+            });
+        }
         st.jobs.insert(
             job,
             Job {
@@ -365,6 +575,8 @@ impl JobEngine {
                 state: JobState::Queued,
                 cancel: CancelToken::new(),
                 tx: Some(tx),
+                started_at: None,
+                deadline_hit: false,
             },
         );
         drop(st);
@@ -390,6 +602,9 @@ impl JobEngine {
                 }
                 st.cancelled += 1;
                 st.queue.retain(|&q| q != job);
+                if let Some(d) = &self.inner.durable {
+                    d.journal(&JournalRecord::Cancelled { job });
+                }
                 CancelOutcome::WasQueued
             }
             JobState::Running => {
@@ -419,7 +634,40 @@ impl JobEngine {
             cache_hits: st.cache.hits(),
             cache_misses: st.cache.misses(),
             cache_len: st.cache.len(),
+            cache_bytes: st.cache.bytes(),
+            cache_evicted_bytes: st.cache.evicted_bytes(),
         }
+    }
+
+    /// Stop accepting new work but let everything already queued or
+    /// running finish (checkpointing as usual), waiting up to `timeout`;
+    /// then shut down. Returns `true` when the queue fully drained —
+    /// `false` means the timeout expired and the remainder was cancelled
+    /// (their checkpoints survive for the next start to resume).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        {
+            let mut st = self.inner.lock();
+            st.draining = true;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let st = self.inner.lock();
+                if st.queue.is_empty() && st.running == 0 {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let drained = {
+            let st = self.inner.lock();
+            st.queue.is_empty() && st.running == 0
+        };
+        self.shutdown();
+        drained
     }
 
     /// Stop accepting work, cancel everything queued or running, and
@@ -430,6 +678,10 @@ impl JobEngine {
             if !st.shutdown {
                 st.shutdown = true;
                 // Queued jobs terminate as cancelled without running.
+                // Deliberately NOT journaled as terminal: on a durable
+                // engine the next start replays their `submitted`
+                // records and finishes them (shutdown interrupts work,
+                // it does not retract it).
                 while let Some(id) = st.queue.pop_front() {
                     if let Some(j) = st.jobs.get_mut(&id) {
                         j.state = JobState::Cancelled;
@@ -488,16 +740,34 @@ fn worker_loop(inner: &Inner) {
                 continue;
             };
             // Dequeue-time re-check: an identical job may have finished
-            // while this one waited — serve it from the cache without
-            // touching a worker slot (peek: the submit-time lookup
-            // already counted this request's miss).
+            // while this one waited — serve it from the cache (or the
+            // durable store) without touching a worker slot (peek: the
+            // submit-time lookup already counted this request's miss).
             let hit = if j.spec.force {
                 None
             } else {
-                st.cache.peek(j.key)
+                let jkey = j.key;
+                match st.cache.peek(jkey) {
+                    Some(blob) => Some(blob),
+                    None => inner.durable.as_ref().and_then(|d| {
+                        let blob = d.store.get(jkey)?;
+                        st.cache.insert(jkey, Arc::clone(&blob));
+                        Some(blob)
+                    }),
+                }
             };
             if let Some(blob) = hit {
                 st.done += 1;
+                // Terminalize the journaled submission: without this, a
+                // job that crashed between its result landing in the
+                // store and its `done` record would be resubmitted on
+                // every restart.
+                if let Some(d) = &inner.durable {
+                    d.journal(&JournalRecord::Done {
+                        job: id,
+                        result_hash: blob.artifacts.result_hash,
+                    });
+                }
                 if let Some(j) = st.jobs.get_mut(&id) {
                     j.state = JobState::Done;
                     if let Some(tx) = j.tx.take() {
@@ -523,25 +793,52 @@ fn worker_loop(inner: &Inner) {
                 continue;
             };
             j.state = JobState::Running;
+            j.started_at = Some(Instant::now());
             let tx = j.tx.take();
             (id, j.spec.clone(), j.key, j.cancel.clone(), tx)
         };
 
+        if let Some(d) = &inner.durable {
+            d.journal(&JournalRecord::Started { job });
+        }
         if let Some(tx) = &tx {
             let _ = tx.send(JobEvent::Started { job });
         }
         let seed = inner.cfg.seed;
         let progress_tx = tx.clone();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(&spec.rc, spec.mode, seed, &token, &mut |cycle, residual| {
-                if let Some(ptx) = &progress_tx {
-                    let _ = ptx.send(JobEvent::Progress {
-                        job,
-                        cycle,
-                        residual,
-                    });
-                }
+        // The durability sink: per-key CRC-framed checkpoint log plus
+        // journal breadcrumbs. An unopenable log (damaged beyond the
+        // tail-truncation recovery, e.g. a foreign file at its path)
+        // degrades the job to non-durable instead of failing it.
+        let mut sink = inner.durable.as_ref().and_then(|d| {
+            let path = d.ck_path(key);
+            let opened = CheckpointLog::open(&path).ok().or_else(|| {
+                let _ = std::fs::remove_file(&path);
+                CheckpointLog::open(&path).ok()
+            })?;
+            Some(EngineSink {
+                log: opened.0,
+                durable: d,
+                job,
             })
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job_durable(
+                &spec.rc,
+                spec.mode,
+                seed,
+                &token,
+                &mut |cycle, residual| {
+                    if let Some(ptx) = &progress_tx {
+                        let _ = ptx.send(JobEvent::Progress {
+                            job,
+                            cycle,
+                            residual,
+                        });
+                    }
+                },
+                sink.as_mut().map(|s| s as &mut dyn DurabilitySink),
+            )
         }));
         // Worker hygiene: a cancelled solve unwinds past its trace
         // disarm; drop any leftover tracer so the next job on this
@@ -549,9 +846,30 @@ fn worker_loop(inner: &Inner) {
         drop(obs::take());
 
         let mut st = inner.lock();
+        let shutting_down = st.shutdown || st.draining;
+        let deadline_hit = st.jobs.get(&job).is_some_and(|j| j.deadline_hit);
+        // Journal the terminal record and clean the checkpoint log.
+        // `None` terminal = an interrupted (shutdown-cancelled) job:
+        // journal nothing so the next start resumes it from the log.
+        let terminalize = |term: Option<JournalRecord>| {
+            if let (Some(d), Some(rec)) = (&inner.durable, term) {
+                d.journal(&rec);
+                let _ = std::fs::remove_file(d.ck_path(key));
+            }
+        };
         let (state, event) = match result {
             Ok(Ok(artifacts)) => {
+                // Persist to the store *before* the `done` record: a
+                // crash between the two replays the job, which then
+                // finds its result in the store — idempotent.
                 let blob = Arc::new(JobBlob { artifacts });
+                if let Some(d) = &inner.durable {
+                    let _ = d.store.put(key, &blob);
+                }
+                terminalize(Some(JournalRecord::Done {
+                    job,
+                    result_hash: blob.artifacts.result_hash,
+                }));
                 st.cache.insert(key, Arc::clone(&blob));
                 st.done += 1;
                 (
@@ -565,6 +883,10 @@ fn worker_loop(inner: &Inner) {
             }
             Ok(Err(e)) => {
                 st.failed += 1;
+                terminalize(Some(JournalRecord::Failed {
+                    job,
+                    error: e.to_string(),
+                }));
                 (
                     JobState::Failed,
                     JobEvent::Failed {
@@ -575,8 +897,23 @@ fn worker_loop(inner: &Inner) {
             }
             Err(payload) => {
                 if payload.downcast_ref::<FaultSignal>().is_some() && token.is_cancelled() {
-                    st.cancelled += 1;
-                    (JobState::Cancelled, JobEvent::Cancelled { job })
+                    if deadline_hit {
+                        let ms = inner.cfg.deadline_ms.unwrap_or(0);
+                        let msg = format!("deadline exceeded: job ran past {ms} ms");
+                        st.failed += 1;
+                        terminalize(Some(JournalRecord::Failed {
+                            job,
+                            error: msg.clone(),
+                        }));
+                        (JobState::Failed, JobEvent::Failed { job, msg })
+                    } else {
+                        st.cancelled += 1;
+                        // A shutdown-induced cancellation is an
+                        // interruption, not a verdict: leave the journal
+                        // open so the job resumes on the next start.
+                        terminalize((!shutting_down).then_some(JournalRecord::Cancelled { job }));
+                        (JobState::Cancelled, JobEvent::Cancelled { job })
+                    }
                 } else {
                     st.failed += 1;
                     let msg = payload
@@ -584,13 +921,12 @@ fn worker_loop(inner: &Inner) {
                         .map(|s| (*s).to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "solver panicked".to_string());
-                    (
-                        JobState::Failed,
-                        JobEvent::Failed {
-                            job,
-                            msg: format!("solver panicked: {msg}"),
-                        },
-                    )
+                    let msg = format!("solver panicked: {msg}");
+                    terminalize(Some(JournalRecord::Failed {
+                        job,
+                        error: msg.clone(),
+                    }));
+                    (JobState::Failed, JobEvent::Failed { job, msg })
                 }
             }
         };
@@ -604,6 +940,41 @@ fn worker_loop(inner: &Inner) {
         }
         // tx drops here: the subscriber's stream ends after the
         // terminal event.
+    }
+}
+
+/// The deadline watchdog: scans running jobs every 25 ms and cancels
+/// any that outlived `deadline_ms`; the worker terminalizes them as
+/// `Failed` (deadline message) at their next committed-cycle boundary.
+fn deadline_loop(inner: &Inner) {
+    let Some(ms) = inner.cfg.deadline_ms else {
+        return;
+    };
+    let limit = Duration::from_millis(ms);
+    loop {
+        {
+            let mut st = inner.lock();
+            if st.shutdown {
+                return;
+            }
+            let overdue: Vec<u64> = st
+                .jobs
+                .iter()
+                .filter(|(_, j)| {
+                    j.state == JobState::Running
+                        && !j.deadline_hit
+                        && j.started_at.is_some_and(|t| t.elapsed() > limit)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in overdue {
+                if let Some(j) = st.jobs.get_mut(&id) {
+                    j.deadline_hit = true;
+                    j.cancel.cancel();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
     }
 }
 

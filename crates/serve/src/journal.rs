@@ -1,0 +1,479 @@
+//! The write-ahead job journal: an append-only NDJSON file at
+//! `<state_dir>/journal.ndjson` recording every job's lifecycle —
+//! `submitted`, `started`, `checkpointed`, `resumed`, `done`,
+//! `cancelled`, `failed` — so a server restart can rebuild its queue
+//! and resubmit work that was interrupted mid-run.
+//!
+//! ## Durability policy
+//!
+//! `submitted` and the terminal records (`done` / `cancelled` /
+//! `failed`) are `sync_data`'d before the append returns: losing a
+//! submission would silently drop a job, and losing a terminal record
+//! would re-run one. Progress records (`started`, `checkpointed`,
+//! `resumed`) are written but not individually fsynced — they are
+//! observability and kill-point markers, and the checkpoint *data*
+//! they refer to lives in the per-job checkpoint log, which carries its
+//! own `sync_data`. A lost progress record therefore costs nothing.
+//!
+//! ## Replay
+//!
+//! [`Journal::open`] reads the existing file line by line and keeps the
+//! **longest valid prefix**: the first unparseable line (a torn write
+//! from the crash, or corruption) ends the replay, the file is
+//! truncated back to the last good line boundary, and the
+//! [`JournalReplay`] reports what was dropped. Jobs with a `submitted`
+//! record but no terminal record are the interrupted ones — the engine
+//! resubmits them internally, where they either hit the restored result
+//! store or resume from their checkpoint log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use eul3d_core::JobMode;
+
+use crate::cache::CacheKey;
+use crate::json::{escape, JObj};
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A job was accepted into the queue. Carries everything needed to
+    /// resubmit it: the canonical config TOML, the mode, the force flag,
+    /// and the precomputed cache key.
+    Submitted {
+        job: u64,
+        key: CacheKey,
+        mode: JobMode,
+        force: bool,
+        config: String,
+    },
+    /// A worker dequeued the job and began (or re-began) computing.
+    Started { job: u64 },
+    /// Cycle `cycle` is durable in the job's checkpoint log.
+    Checkpointed { job: u64, cycle: u64 },
+    /// A restarted server resumed the job from checkpointed cycle
+    /// `cycle` instead of cycle 0.
+    Resumed { job: u64, cycle: u64 },
+    /// Terminal: completed, result persisted under `result_hash`.
+    Done { job: u64, result_hash: u128 },
+    /// Terminal: cancelled.
+    Cancelled { job: u64 },
+    /// Terminal: failed with `error`.
+    Failed { job: u64, error: String },
+}
+
+impl JournalRecord {
+    /// The job this record belongs to.
+    pub fn job(&self) -> u64 {
+        match *self {
+            JournalRecord::Submitted { job, .. }
+            | JournalRecord::Started { job }
+            | JournalRecord::Checkpointed { job, .. }
+            | JournalRecord::Resumed { job, .. }
+            | JournalRecord::Done { job, .. }
+            | JournalRecord::Cancelled { job }
+            | JournalRecord::Failed { job, .. } => job,
+        }
+    }
+
+    /// Whether this record ends its job's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Done { .. }
+                | JournalRecord::Cancelled { .. }
+                | JournalRecord::Failed { .. }
+        )
+    }
+
+    /// Whether this record must be fsynced individually (see the module
+    /// docs for the policy).
+    fn is_durable(&self) -> bool {
+        matches!(self, JournalRecord::Submitted { .. }) || self.is_terminal()
+    }
+
+    /// One NDJSON line, without the trailing newline.
+    pub fn to_line(&self) -> String {
+        match self {
+            JournalRecord::Submitted {
+                job,
+                key,
+                mode,
+                force,
+                config,
+            } => format!(
+                "{{\"rec\":\"submitted\",\"job\":{job},\"key\":\"{key}\",\"mode\":\"{}\",\"force\":{force},\"config\":\"{}\"}}",
+                mode.name(),
+                escape(config)
+            ),
+            // Numeric fields ride the shared flat-JSON codec, whose
+            // numbers are f64: exact for job ids and cycle counts below
+            // 2^53, which real engines never approach (job ids are
+            // sequential, cycles are bounded by the run config).
+            JournalRecord::Started { job } => format!("{{\"rec\":\"started\",\"job\":{job}}}"),
+            JournalRecord::Checkpointed { job, cycle } => {
+                format!("{{\"rec\":\"checkpointed\",\"job\":{job},\"cycle\":{cycle}}}")
+            }
+            JournalRecord::Resumed { job, cycle } => {
+                format!("{{\"rec\":\"resumed\",\"job\":{job},\"cycle\":{cycle}}}")
+            }
+            JournalRecord::Done { job, result_hash } => {
+                format!("{{\"rec\":\"done\",\"job\":{job},\"result_hash\":\"{result_hash:032x}\"}}")
+            }
+            JournalRecord::Cancelled { job } => format!("{{\"rec\":\"cancelled\",\"job\":{job}}}"),
+            JournalRecord::Failed { job, error } => format!(
+                "{{\"rec\":\"failed\",\"job\":{job},\"error\":\"{}\"}}",
+                escape(error)
+            ),
+        }
+    }
+
+    /// Parse one line; `None` for anything malformed.
+    pub fn parse(line: &str) -> Option<JournalRecord> {
+        let o = JObj::parse(line).ok()?;
+        let job = o.u64_of("job")?;
+        match o.str_of("rec")? {
+            "submitted" => Some(JournalRecord::Submitted {
+                job,
+                key: CacheKey::parse(o.str_of("key")?)?,
+                mode: JobMode::parse(o.str_of("mode")?)?,
+                force: o.bool_of("force")?,
+                config: o.str_of("config")?.to_string(),
+            }),
+            "started" => Some(JournalRecord::Started { job }),
+            "checkpointed" => Some(JournalRecord::Checkpointed {
+                job,
+                cycle: o.u64_of("cycle")?,
+            }),
+            "resumed" => Some(JournalRecord::Resumed {
+                job,
+                cycle: o.u64_of("cycle")?,
+            }),
+            "done" => {
+                let h = o.str_of("result_hash")?;
+                (h.len() == 32)
+                    .then(|| u128::from_str_radix(h, 16).ok())
+                    .flatten()
+                    .map(|result_hash| JournalRecord::Done { job, result_hash })
+            }
+            "cancelled" => Some(JournalRecord::Cancelled { job }),
+            "failed" => Some(JournalRecord::Failed {
+                job,
+                error: o.str_of("error")?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A job the journal says was accepted but never finished — the work a
+/// restarted server owes its clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    pub job: u64,
+    pub key: CacheKey,
+    pub mode: JobMode,
+    pub force: bool,
+    /// Canonical config TOML as journaled at submission.
+    pub config: String,
+    /// Highest cycle the journal saw checkpointed, if any (informational
+    /// — the authoritative resume point is the job's checkpoint log).
+    pub last_checkpoint: Option<u64>,
+}
+
+/// What [`Journal::open`] recovered.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Every record in the valid prefix, in order.
+    pub records: Vec<JournalRecord>,
+    /// Torn/corrupt lines dropped from the tail.
+    pub dropped_lines: usize,
+    /// Bytes truncated from the file.
+    pub dropped_bytes: u64,
+}
+
+impl JournalReplay {
+    /// Submitted-but-unterminated jobs, in submission order.
+    pub fn pending_jobs(&self) -> Vec<PendingJob> {
+        let mut pending: Vec<PendingJob> = Vec::new();
+        for rec in &self.records {
+            match rec {
+                JournalRecord::Submitted {
+                    job,
+                    key,
+                    mode,
+                    force,
+                    config,
+                } => pending.push(PendingJob {
+                    job: *job,
+                    key: *key,
+                    mode: *mode,
+                    force: *force,
+                    config: config.clone(),
+                    last_checkpoint: None,
+                }),
+                JournalRecord::Checkpointed { job, cycle } => {
+                    if let Some(p) = pending.iter_mut().find(|p| p.job == *job) {
+                        p.last_checkpoint = Some(*cycle);
+                    }
+                }
+                r if r.is_terminal() => pending.retain(|p| p.job != r.job()),
+                _ => {}
+            }
+        }
+        pending
+    }
+
+    /// The highest job id the journal mentions (0 when empty) — a
+    /// restarted server allocates ids strictly above this so journal
+    /// lines never collide across generations.
+    pub fn max_job_id(&self) -> u64 {
+        self.records
+            .iter()
+            .map(JournalRecord::job)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The open journal file. Appends are serialized by the engine's state
+/// lock (the journal is owned by the engine, not shared).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// The journal's file name under the state directory.
+pub const JOURNAL_FILE: &str = "journal.ndjson";
+
+impl Journal {
+    /// Open (creating) `<state_dir>/journal.ndjson`, replay the valid
+    /// prefix, and truncate any damaged tail so subsequent appends land
+    /// on a clean line boundary.
+    pub fn open(state_dir: &Path) -> io::Result<(Journal, JournalReplay)> {
+        std::fs::create_dir_all(state_dir)?;
+        let path = state_dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut text = Vec::new();
+        file.read_to_end(&mut text)?;
+        let mut replay = JournalReplay::default();
+        let mut valid_end = 0usize;
+        let mut at = 0usize;
+        while at < text.len() {
+            let nl = match text[at..].iter().position(|&b| b == b'\n') {
+                Some(off) => at + off,
+                None => {
+                    // No newline: a torn final line.
+                    replay.dropped_lines += 1;
+                    break;
+                }
+            };
+            let parsed = std::str::from_utf8(&text[at..nl])
+                .ok()
+                .and_then(JournalRecord::parse);
+            match parsed {
+                Some(rec) => {
+                    replay.records.push(rec);
+                    at = nl + 1;
+                    valid_end = at;
+                }
+                None => {
+                    // First bad line ends the valid prefix; everything
+                    // from here is dropped.
+                    replay.dropped_lines +=
+                        text[at..].iter().filter(|&&b| b == b'\n').count().max(1);
+                    break;
+                }
+            }
+        }
+        replay.dropped_bytes = (text.len() - valid_end) as u64;
+        if replay.dropped_bytes > 0 {
+            file.set_len(valid_end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { path, file }, replay))
+    }
+
+    /// Append one record; fsynced per the durability policy.
+    pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
+        let mut line = rec.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        if rec.is_durable() {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The journal's path (the crash harness polls it for kill points).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("eul3d-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Submitted {
+                job: 1,
+                key: CacheKey(0xABCD),
+                mode: JobMode::Solve,
+                force: false,
+                config: "[run]\ncycles = 3\n".to_string(),
+            },
+            JournalRecord::Started { job: 1 },
+            JournalRecord::Checkpointed { job: 1, cycle: 2 },
+            JournalRecord::Resumed { job: 1, cycle: 2 },
+            JournalRecord::Done {
+                job: 1,
+                result_hash: 0x1234_5678_9ABC_DEF0_1122_3344_5566_7788,
+            },
+            JournalRecord::Submitted {
+                job: 2,
+                key: CacheKey(0xEF),
+                mode: JobMode::Distributed,
+                force: true,
+                config: "nasty \"config\"\nwith lines\t".to_string(),
+            },
+            JournalRecord::Cancelled { job: 2 },
+            JournalRecord::Failed {
+                job: 3,
+                error: "solver exploded: \"boom\"".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_round_trips_through_its_line() {
+        for rec in sample_records() {
+            let line = rec.to_line();
+            assert_eq!(JournalRecord::parse(&line), Some(rec.clone()), "{line}");
+        }
+        assert!(JournalRecord::parse("{\"rec\":\"martian\",\"job\":1}").is_none());
+        assert!(JournalRecord::parse("not json at all").is_none());
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let d = dir("replay");
+        let (mut j, rep) = Journal::open(&d).unwrap();
+        assert!(rep.records.is_empty());
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let (_, rep) = Journal::open(&d).unwrap();
+        assert_eq!(rep.records, sample_records());
+        assert_eq!(rep.dropped_lines, 0);
+        assert_eq!(rep.dropped_bytes, 0);
+        assert_eq!(rep.max_job_id(), 3);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn pending_jobs_are_submitted_without_terminal() {
+        let d = dir("pending");
+        let (mut j, _) = Journal::open(&d).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        // Job 4: interrupted mid-run after a checkpoint at cycle 6.
+        j.append(&JournalRecord::Submitted {
+            job: 4,
+            key: CacheKey(44),
+            mode: JobMode::Solve,
+            force: false,
+            config: "[run]\ncycles = 9\n".to_string(),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Started { job: 4 }).unwrap();
+        j.append(&JournalRecord::Checkpointed { job: 4, cycle: 6 })
+            .unwrap();
+        drop(j);
+        let (_, rep) = Journal::open(&d).unwrap();
+        let pending = rep.pending_jobs();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].job, 4);
+        assert_eq!(pending[0].key, CacheKey(44));
+        assert_eq!(pending[0].last_checkpoint, Some(6));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn torn_tail_line_is_truncated_and_reported() {
+        let d = dir("torn");
+        let (mut j, _) = Journal::open(&d).unwrap();
+        let recs = sample_records();
+        for rec in &recs {
+            j.append(rec).unwrap();
+        }
+        drop(j);
+        let path = d.join(JOURNAL_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        let clean_len = clean.len();
+        // Tear the final line at several byte offsets.
+        for cut in [clean_len - 1, clean_len - 10, clean_len - 2] {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            let (_, rep) = Journal::open(path.parent().unwrap()).unwrap();
+            assert_eq!(rep.records.len(), recs.len() - 1, "cut at {cut}");
+            assert_eq!(rep.records, recs[..recs.len() - 1]);
+            assert!(rep.dropped_lines >= 1);
+            assert!(rep.dropped_bytes > 0);
+            // The truncation leaves a clean boundary: reopen is clean.
+            let (_, rep2) = Journal::open(path.parent().unwrap()).unwrap();
+            assert_eq!(rep2.dropped_bytes, 0);
+            assert_eq!(rep2.records, recs[..recs.len() - 1]);
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_line_ends_the_valid_prefix() {
+        let d = dir("midcorrupt");
+        let (mut j, _) = Journal::open(&d).unwrap();
+        let recs = sample_records();
+        for rec in &recs {
+            j.append(rec).unwrap();
+        }
+        drop(j);
+        let path = d.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt a byte inside the third line.
+        let third_start = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .nth(1)
+            .unwrap();
+        bytes[third_start + 2] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut j, rep) = Journal::open(&d).unwrap();
+        assert_eq!(rep.records, recs[..2]);
+        assert!(rep.dropped_lines >= 1);
+        // Appends after recovery extend the valid prefix.
+        j.append(&JournalRecord::Started { job: 9 }).unwrap();
+        drop(j);
+        let (_, rep) = Journal::open(&d).unwrap();
+        assert_eq!(rep.records.len(), 3);
+        assert_eq!(rep.records[2], JournalRecord::Started { job: 9 });
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

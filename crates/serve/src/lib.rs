@@ -19,12 +19,26 @@
 //! lifecycle state machine, the wire protocol, the cache-key
 //! canonicalization, and the backpressure policy.
 //!
+//! With a `state_dir` configured the engine is additionally
+//! **crash-safe**: submissions go through a write-ahead journal
+//! ([`journal`]), completed results persist in a content-addressed disk
+//! store ([`store`]), and running solve jobs append CRC-framed
+//! checkpoints through [`eul3d_core::ckstore`] — so a `kill -9` at any
+//! instant loses at most one checkpoint interval of compute, and a
+//! restarted server resumes interrupted jobs to byte-identical results
+//! (DESIGN.md §12; proven by the crash-injection harness in
+//! `crates/cli/tests/crash_recovery.rs`).
+//!
 //! Module map:
 //! * [`engine`] — the worker pool, queue, lifecycle state machine;
-//! * [`cache`] — [`cache::CacheKey`] and the FIFO [`cache::ResultCache`];
+//! * [`cache`] — [`cache::CacheKey`] and the byte-budgeted FIFO
+//!   [`cache::ResultCache`];
+//! * [`journal`] — the write-ahead NDJSON job journal and its replay;
+//! * [`store`] — the durable content-addressed result store;
 //! * [`protocol`] — request parsing and event-line builders;
 //! * [`server`] — the Unix-socket accept loop ([`server::spawn`]);
-//! * [`client`] — helpers used by the CLI, tests, and benchmarks;
+//! * [`client`] — helpers used by the CLI, tests, and benchmarks, with
+//!   timeout/retry resilience for flaky or restarting servers;
 //! * [`json`] — the dependency-free flat-JSON codec underneath it all.
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -32,14 +46,19 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::{CacheKey, JobBlob, ResultCache};
+pub use client::{submit_resilient, ClientConfig};
 pub use engine::{
     CancelOutcome, EngineConfig, EngineStats, JobEngine, JobEvent, JobSpec, JobState, SubmitError,
     SubmitTicket,
 };
+pub use journal::{Journal, JournalRecord, JournalReplay, PendingJob};
 pub use protocol::Request;
 pub use server::{spawn, ServerHandle};
+pub use store::ResultStore;

@@ -186,7 +186,7 @@ pub fn ev_failed(job: u64, msg: &str) -> String {
 /// `stats`: aggregate engine counters.
 pub fn ev_stats(s: &EngineStats) -> String {
     format!(
-        "{{\"event\":\"stats\",\"submitted\":{},\"rejected\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\"queued\":{},\"running\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{}}}",
+        "{{\"event\":\"stats\",\"submitted\":{},\"rejected\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\"queued\":{},\"running\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cache_bytes\":{},\"cache_evicted_bytes\":{}}}",
         s.submitted,
         s.rejected,
         s.done,
@@ -196,7 +196,9 @@ pub fn ev_stats(s: &EngineStats) -> String {
         s.running,
         s.cache_hits,
         s.cache_misses,
-        s.cache_len
+        s.cache_len,
+        s.cache_bytes,
+        s.cache_evicted_bytes
     )
 }
 

@@ -32,19 +32,22 @@ use crate::protocol::{
 pub struct ServerHandle {
     path: PathBuf,
     stop: Arc<AtomicBool>,
+    engine: Arc<JobEngine>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 /// Start serving `cfg`-sized engine on the Unix socket at `path`. A
 /// stale socket file from a previous run is removed first. Returns once
-/// the listener is bound and accepting.
+/// the listener is bound and accepting — engine state-directory errors
+/// (unwritable journal, damaged store directory) surface here, before
+/// any client can connect.
 pub fn spawn(path: &Path, cfg: EngineConfig) -> std::io::Result<ServerHandle> {
     if path.exists() {
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let engine = Arc::new(JobEngine::start(cfg));
+    let engine = Arc::new(JobEngine::try_start(cfg)?);
     let accept_thread = {
         let stop = Arc::clone(&stop);
         let engine = Arc::clone(&engine);
@@ -56,6 +59,7 @@ pub fn spawn(path: &Path, cfg: EngineConfig) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle {
         path: path.to_path_buf(),
         stop,
+        engine,
         accept_thread: Some(accept_thread),
     })
 }
@@ -64,6 +68,18 @@ impl ServerHandle {
     /// The socket path the server is bound to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The engine behind this server — for drain orchestration and
+    /// stats without a socket round trip.
+    pub fn engine(&self) -> &Arc<JobEngine> {
+        &self.engine
+    }
+
+    /// Whether the accept loop has exited (a client sent `shutdown` or
+    /// [`ServerHandle::shutdown`] ran).
+    pub fn is_finished(&self) -> bool {
+        self.accept_thread.as_ref().is_none_or(|h| h.is_finished())
     }
 
     /// Ask the server to stop (equivalent to a `shutdown` request) and

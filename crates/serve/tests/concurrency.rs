@@ -74,6 +74,7 @@ fn interleaved_submit_cancel_resubmit_leaks_nothing_and_stays_deterministic() {
         cache_cap: 64,
         seed: env_seed(7),
         retry_after_ms_per_queued: 5,
+        ..EngineConfig::default()
     }));
     let pool = config_pool();
 
@@ -183,6 +184,7 @@ fn backpressure_storm_rejects_cleanly_without_losing_accepted_jobs() {
         cache_cap: 8,
         seed: env_seed(7),
         retry_after_ms_per_queued: 5,
+        ..EngineConfig::default()
     }));
     let pool = config_pool();
     let (accepted, rejected): (u64, u64) = std::thread::scope(|s| {

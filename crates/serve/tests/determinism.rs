@@ -30,6 +30,7 @@ fn engine(workers: usize) -> JobEngine {
         cache_cap: 32,
         seed: env_seed(7),
         retry_after_ms_per_queued: 10,
+        ..EngineConfig::default()
     })
 }
 

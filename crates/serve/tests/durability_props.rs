@@ -1,0 +1,327 @@
+//! Property tests of the durability layer's recovery guarantees: for
+//! *any* write-ahead journal contents, *any* checkpoint-log contents,
+//! and *any* truncation point or single-byte corruption a crash can
+//! leave behind, reopening (a) never panics, (b) recovers exactly the
+//! longest valid prefix, and (c) reports what was dropped. These are
+//! the invariants DESIGN.md §12's crash-consistency argument leans on.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use eul3d_core::ckstore::{CheckpointLog, JobCheckpoint};
+use eul3d_core::{JobArtifacts, JobMode};
+use eul3d_serve::journal::{Journal, JournalRecord};
+use eul3d_serve::{CacheKey, JobBlob, ResultStore};
+
+fn dir(name: &str, case: u64) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("eul3d-props-{name}-{case}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// Text palette including every character class the codecs must escape.
+const PALETTE: &[char] = &[
+    'a', 'z', '0', '9', ' ', '"', '\\', '\n', '\t', '{', '}', ':', ',', 'é', '☃',
+];
+
+fn text_of(picks: &[usize]) -> String {
+    picks.iter().map(|&i| PALETTE[i % PALETTE.len()]).collect()
+}
+
+/// Decode one generated tuple into a journal record; `tag` selects the
+/// variant, the other draws fill its fields.
+fn record_of(tag: u64, job: u64, a: u64, b: u64, picks: &[usize]) -> JournalRecord {
+    let key = CacheKey(((a as u128) << 64) | b as u128);
+    let mode = if a.is_multiple_of(2) {
+        JobMode::Solve
+    } else {
+        JobMode::Distributed
+    };
+    match tag % 7 {
+        0 => JournalRecord::Submitted {
+            job,
+            key,
+            mode,
+            force: b.is_multiple_of(2),
+            config: text_of(picks),
+        },
+        1 => JournalRecord::Started { job },
+        2 => JournalRecord::Checkpointed { job, cycle: a },
+        3 => JournalRecord::Resumed { job, cycle: a },
+        4 => JournalRecord::Done {
+            job,
+            result_hash: key.0,
+        },
+        5 => JournalRecord::Cancelled { job },
+        _ => JournalRecord::Failed {
+            job,
+            error: text_of(picks),
+        },
+    }
+}
+
+type RawRecord = (u64, u64, u64, u64, Vec<usize>);
+
+fn write_journal(d: &Path, raw: &[RawRecord]) -> Vec<JournalRecord> {
+    let records: Vec<JournalRecord> = raw
+        .iter()
+        .map(|(t, j, a, b, p)| record_of(*t, *j, *a, *b, p))
+        .collect();
+    let (mut journal, replay) = Journal::open(d).unwrap();
+    assert!(replay.records.is_empty());
+    for r in &records {
+        journal.append(r).unwrap();
+    }
+    records
+}
+
+fn journal_path(d: &Path) -> PathBuf {
+    d.join("journal.ndjson")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    fn journal_truncated_at_any_byte_recovers_longest_prefix(
+        // `a` feeds cycle fields, which the journal's flat-JSON codec
+        // keeps exact only below 2^53 (f64 numbers); keys and hashes go
+        // through hex strings and stay full-width u128.
+        raw in collection::vec(
+            (0u64..7, 1u64..100, 0u64..(1u64 << 53), 0u64..u64::MAX,
+             collection::vec(0usize..PALETTE.len(), 0..16)),
+            1..10),
+        cut_draw in 0u64..u64::MAX,
+    ) {
+        let d = dir("jcut", cut_draw % 1000);
+        let records = write_journal(&d, &raw);
+        let data = std::fs::read(journal_path(&d)).unwrap();
+        let cut = (cut_draw % (data.len() as u64 + 1)) as usize;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(journal_path(&d))
+            .unwrap()
+            .set_len(cut as u64)
+            .unwrap();
+
+        // Expected survivors: exactly the lines whose terminating
+        // newline lies inside the cut.
+        let kept = data[..cut].iter().filter(|&&b| b == b'\n').count();
+        let last_nl_end = data[..cut]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+
+        let (_, replay) = Journal::open(&d).unwrap();
+        prop_assert_eq!(&replay.records, &records[..kept]);
+        prop_assert_eq!(replay.dropped_bytes, (cut - last_nl_end) as u64);
+        prop_assert_eq!(replay.dropped_lines, usize::from(cut > last_nl_end));
+
+        // Recovery truncated the torn tail: a reopen is clean and
+        // appending works on the repaired file.
+        let (mut journal, replay2) = Journal::open(&d).unwrap();
+        prop_assert_eq!(replay2.dropped_bytes, 0);
+        journal.append(&JournalRecord::Started { job: 424242 }).unwrap();
+        let (_, replay3) = Journal::open(&d).unwrap();
+        prop_assert_eq!(replay3.records.len(), kept + 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn journal_with_any_corrupt_byte_never_panics_and_keeps_prefix(
+        // `a` feeds cycle fields, which the journal's flat-JSON codec
+        // keeps exact only below 2^53 (f64 numbers); keys and hashes go
+        // through hex strings and stay full-width u128.
+        raw in collection::vec(
+            (0u64..7, 1u64..100, 0u64..(1u64 << 53), 0u64..u64::MAX,
+             collection::vec(0usize..PALETTE.len(), 0..16)),
+            1..10),
+        pos_draw in 0u64..u64::MAX,
+        mask in 1u64..256,
+    ) {
+        let d = dir("jflip", pos_draw % 1000);
+        let records = write_journal(&d, &raw);
+        let mut data = std::fs::read(journal_path(&d)).unwrap();
+        let pos = (pos_draw % data.len() as u64) as usize;
+        data[pos] ^= mask as u8;
+        std::fs::write(journal_path(&d), &data).unwrap();
+
+        // The line containing the flipped byte: every record before it
+        // must replay intact. The damaged line itself may parse as a
+        // different-but-valid record (a flipped digit) or end the
+        // prefix — both are sound, since the write-ahead contract only
+        // promises the longest *valid* prefix.
+        let hit_line = data[..pos].iter().filter(|&&b| b == b'\n').count();
+        let (_, replay) = Journal::open(&d).unwrap();
+        prop_assert!(replay.records.len() <= records.len());
+        let intact = hit_line.min(replay.records.len());
+        prop_assert_eq!(&replay.records[..intact], &records[..intact]);
+
+        // Idempotent recovery: a second open sees a fully valid file.
+        let (_, replay2) = Journal::open(&d).unwrap();
+        prop_assert_eq!(replay2.dropped_bytes, 0);
+        prop_assert_eq!(replay2.records.len(), replay.records.len());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn cklog_truncated_at_any_byte_recovers_longest_prefix(
+        cks in collection::vec(
+            (0u64..1000,
+             collection::vec(-1.0f64..1.0, 0..6),
+             collection::vec(-1.0f64..1.0, 0..10)),
+            1..8),
+        cut_draw in 0u64..u64::MAX,
+    ) {
+        let d = dir("ccut", cut_draw % 1000);
+        let path = d.join("job.cklog");
+        let cks: Vec<JobCheckpoint> = cks
+            .into_iter()
+            .map(|(cycles_done, history, w)| JobCheckpoint { cycles_done, history, w })
+            .collect();
+        {
+            let (mut log, report) = CheckpointLog::open(&path).unwrap();
+            assert!(report.clean());
+            for ck in &cks {
+                log.append(ck).unwrap();
+            }
+        }
+        let data = std::fs::read(&path).unwrap();
+        let cut = (cut_draw % (data.len() as u64 + 1)) as usize;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut as u64)
+            .unwrap();
+
+        // Walk the frame boundaries ([len u32][crc u32][payload] after
+        // the 12-byte header) to predict the longest recoverable prefix.
+        let mut kept = 0usize;
+        let mut at = 12usize;
+        while kept < cks.len() {
+            let len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as usize;
+            if at + 8 + len > cut {
+                break;
+            }
+            at += 8 + len;
+            kept += 1;
+        }
+
+        let (log, report) = CheckpointLog::open(&path).unwrap();
+        prop_assert_eq!(log.frames(), kept);
+        prop_assert_eq!(log.latest(), if kept == 0 { None } else { Some(&cks[kept - 1]) });
+        if cut >= 12 {
+            prop_assert_eq!(report.dropped_bytes, (cut - at.min(cut)) as u64);
+        } else {
+            // Torn header: everything (if anything) was dropped and the
+            // header was rewritten.
+            prop_assert_eq!(report.dropped_bytes, cut as u64);
+        }
+        prop_assert_eq!(report.dropped_frames > 0, cut > at && cut >= 12);
+
+        // The repaired log accepts appends and reopens clean.
+        drop(log);
+        let (mut log, report2) = CheckpointLog::open(&path).unwrap();
+        prop_assert!(report2.clean());
+        log.append(&JobCheckpoint { cycles_done: 1, history: vec![0.5], w: vec![] }).unwrap();
+        let (log, _) = CheckpointLog::open(&path).unwrap();
+        prop_assert_eq!(log.frames(), kept + 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn cklog_with_any_corrupt_byte_never_panics(
+        cks in collection::vec(
+            (0u64..1000,
+             collection::vec(-1.0f64..1.0, 0..6),
+             collection::vec(-1.0f64..1.0, 0..10)),
+            1..8),
+        pos_draw in 0u64..u64::MAX,
+        mask in 1u64..256,
+    ) {
+        let d = dir("cflip", pos_draw % 1000);
+        let path = d.join("job.cklog");
+        let cks: Vec<JobCheckpoint> = cks
+            .into_iter()
+            .map(|(cycles_done, history, w)| JobCheckpoint { cycles_done, history, w })
+            .collect();
+        {
+            let (mut log, _) = CheckpointLog::open(&path).unwrap();
+            for ck in &cks {
+                log.append(ck).unwrap();
+            }
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let pos = (pos_draw % data.len() as u64) as usize;
+        data[pos] ^= mask as u8;
+        std::fs::write(&path, &data).unwrap();
+
+        match CheckpointLog::open(&path) {
+            Err(_) => {
+                // Only a damaged *header* is unrecoverable-by-design
+                // (the file is not a checkpoint log any more).
+                prop_assert!(pos < 12, "frame corruption must recover, not error");
+            }
+            Ok((log, _)) => {
+                // CRC32 catches any single-byte flip, so the recovered
+                // prefix is exactly the frames before the damaged one.
+                prop_assert!(log.frames() <= cks.len());
+                prop_assert_eq!(
+                    log.latest(),
+                    if log.frames() == 0 { None } else { Some(&cks[log.frames() - 1]) }
+                );
+                // Idempotent: the truncated file reopens clean.
+                let n = log.frames();
+                drop(log);
+                let (log, report) = CheckpointLog::open(&path).unwrap();
+                prop_assert!(report.clean());
+                prop_assert_eq!(log.frames(), n);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn result_store_never_serves_corrupt_bytes(
+        history in collection::vec(-1.0f64..1.0, 1..6),
+        pos_draw in 0u64..u64::MAX,
+        mask in 1u64..256,
+        key_lo in 0u64..u64::MAX,
+    ) {
+        let d = dir("store", pos_draw % 1000);
+        let store = ResultStore::open(&d).unwrap();
+        let key = CacheKey(key_lo as u128);
+        let blob = Arc::new(JobBlob {
+            artifacts: JobArtifacts {
+                history,
+                table: "t\n".to_string(),
+                trace_json: None,
+                events: Vec::new(),
+                vtk: String::new(),
+                guard: None,
+                result_hash: key_lo as u128,
+            },
+        });
+        store.put(key, &blob).unwrap();
+        let path = d.join("results").join(format!("{key}.res"));
+        let mut data = std::fs::read(&path).unwrap();
+        let pos = (pos_draw % data.len() as u64) as usize;
+        data[pos] ^= mask as u8;
+
+        // Overwrite in place, corrupting exactly one byte.
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(pos as u64)).unwrap();
+        f.write_all(&data[pos..=pos]).unwrap();
+        drop(f);
+        let mut check = Vec::new();
+        std::fs::File::open(&path).unwrap().read_to_end(&mut check).unwrap();
+        assert_eq!(check, data);
+
+        // A flipped byte anywhere — header, length, payload, CRC —
+        // reads back as absent, never as wrong data.
+        prop_assert!(store.get(key).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
