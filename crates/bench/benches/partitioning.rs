@@ -1,22 +1,41 @@
 //! The partitioning cost the paper complains about (§2.4, §6: RSB "was
 //! found to require CPU times comparable to the amount of time required
-//! for the entire flow solution procedure"): recursive spectral
-//! bisection vs the cheap geometric and random baselines.
+//! for the entire flow solution procedure"): flat recursive spectral
+//! bisection vs multilevel RSB and the cheap geometric/random baselines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use eul3d_mesh::gen::unit_box;
-use eul3d_partition::{random_partition, rcb_partition, rsb_partition, PartitionQuality};
+use eul3d_partition::rcb::rcb_partition;
+use eul3d_partition::{
+    random_partition, FlatRsb, MultilevelRsb, PartitionOptions, PartitionQuality, Partitioner,
+};
 
 fn bench_partitioning(c: &mut Criterion) {
     let mesh = unit_box(12, 0.15, 5);
     let nparts = 16;
+    let opts = PartitionOptions::new(nparts).lanczos_iters(40).seed(1);
 
     let mut group = c.benchmark_group("partitioning_16_parts");
     group.sample_size(10);
-    group.bench_function("rsb_spectral", |b| {
-        b.iter(|| black_box(rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1)));
+    group.bench_function("rsb_spectral_flat", |b| {
+        b.iter(|| {
+            black_box(
+                FlatRsb
+                    .partition(mesh.nverts(), &mesh.edges, &opts)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("rsb_spectral_multilevel", |b| {
+        b.iter(|| {
+            black_box(
+                MultilevelRsb
+                    .partition(mesh.nverts(), &mesh.edges, &opts)
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("rcb_coordinate", |b| {
         b.iter(|| black_box(rcb_partition(&mesh.coords, nparts)));
@@ -30,15 +49,25 @@ fn bench_partitioning(c: &mut Criterion) {
     // only time; cut quality is why RSB is worth its cost).
     for (name, parts) in [
         (
-            "rsb",
-            rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1),
+            "flat-rsb",
+            FlatRsb
+                .partition(mesh.nverts(), &mesh.edges, &opts)
+                .unwrap()
+                .assignment,
+        ),
+        (
+            "multilevel",
+            MultilevelRsb
+                .partition(mesh.nverts(), &mesh.edges, &opts)
+                .unwrap()
+                .assignment,
         ),
         ("rcb", rcb_partition(&mesh.coords, nparts)),
         ("random", random_partition(mesh.nverts(), nparts, 1)),
     ] {
         let q = PartitionQuality::compute(&parts, nparts, &mesh.edges);
         eprintln!(
-            "quality {name:7}: cut {:5} edges ({:.1}%), imbalance {:.3}",
+            "quality {name:10}: cut {:5} edges ({:.1}%), imbalance {:.3}",
             q.cut_edges,
             100.0 * q.cut_fraction,
             q.max_imbalance

@@ -21,7 +21,8 @@ use eul3d_delta::{CommClass, CostModel};
 use eul3d_mesh::gen::BumpSpec;
 use eul3d_mesh::{MeshSequence, TetMesh};
 use eul3d_partition::{
-    kl_refine, random_partition, rcb_partition, rsb_partition, PartitionQuality,
+    kl_refine, random_partition, rcb_partition, FlatRsb, MultilevelRsb, PartitionOptions,
+    PartitionQuality, Partitioner,
 };
 use eul3d_perf::TextTable;
 
@@ -84,13 +85,17 @@ fn main() {
     );
     let mesh = eul3d_mesh::gen::bump_channel(&spec(&case));
     let mut rows = TextTable::new(&["partitioner", "cut %", "imbalance", "comm s/cycle"]);
+    let popts = PartitionOptions::new(nranks).lanczos_iters(40).seed(7);
+    let rsb_parts = |p: &dyn Partitioner| {
+        p.partition(mesh.nverts(), &mesh.edges, &popts)
+            .unwrap()
+            .assignment
+    };
     let parts_of: Vec<(&str, Vec<u32>)> = vec![
-        (
-            "rsb",
-            rsb_partition(mesh.nverts(), &mesh.edges, nranks, 40, 7),
-        ),
+        ("rsb", rsb_parts(&FlatRsb)),
+        ("multilevel", rsb_parts(&MultilevelRsb)),
         ("rsb+kl", {
-            let mut p = rsb_partition(mesh.nverts(), &mesh.edges, nranks, 40, 7);
+            let mut p = rsb_parts(&FlatRsb);
             kl_refine(mesh.nverts(), &mesh.edges, &mut p, nranks, 1.06, 6);
             p
         }),

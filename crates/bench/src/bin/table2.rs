@@ -31,7 +31,12 @@ fn make_setup(seq: eul3d_mesh::MeshSequence, nranks: usize, which: &str) -> Dist
             eul3d_partition::random_partition(m.nverts(), nranks, 99)
         }),
         "rsb+kl" => DistSetup::with_partitioner(seq, nranks, |m: &TetMesh| {
-            let mut parts = eul3d_partition::rsb_partition(m.nverts(), &m.edges, nranks, 40, 7);
+            use eul3d_partition::{FlatRsb, PartitionOptions, Partitioner};
+            let opts = PartitionOptions::new(nranks).lanczos_iters(40).seed(7);
+            let mut parts = FlatRsb
+                .partition(m.nverts(), &m.edges, &opts)
+                .unwrap()
+                .assignment;
             eul3d_partition::kl_refine(m.nverts(), &m.edges, &mut parts, nranks, 1.06, 6);
             parts
         }),

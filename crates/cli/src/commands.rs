@@ -5,7 +5,10 @@ use std::path::PathBuf;
 use eul3d_core::checkpoint::Checkpoint;
 use eul3d_core::health::GuardOutcome;
 use eul3d_core::postproc::{cp_field, mach_field, pressure_field};
-use eul3d_core::runconfig::{parse_backend, parse_scheme, parse_strategy, BackendKind};
+use eul3d_core::runconfig::{
+    parse_backend, parse_partition_method, parse_scheme, parse_strategy, partition_method_name,
+    BackendKind,
+};
 use eul3d_core::shared::SharedSingleGridSolver;
 use eul3d_core::{
     ConvergenceHistory, Eul3dError, MultigridSolver, Phase, RunConfig, Strategy, TraceConfig,
@@ -16,8 +19,10 @@ use eul3d_mesh::stats::MeshStats;
 use eul3d_mesh::vtk::write_vtk_file;
 use eul3d_mesh::MeshSequence;
 use eul3d_obs as obs;
+use eul3d_partition::rcb::rcb_partition;
 use eul3d_partition::{
-    kl_refine, parallel_rcb, random_partition, rcb_partition, rsb_partition, PartitionQuality,
+    kl_refine, parallel_rcb, random_partition, FlatRsb, MultilevelRsb, PartitionOptions,
+    PartitionQuality, Partitioner, RankMapping,
 };
 use eul3d_perf::TextTable;
 
@@ -118,6 +123,26 @@ fn run_config_of(a: &Args, levels: usize, cycles: usize, dist: bool) -> Result<R
         if let Some(spec) = a.get_str("faults") {
             rc.faults = Some(spec);
         }
+
+        // Partitioning policy: a file `[partition]` section arms it, as
+        // does any explicit partition flag; flags override file values.
+        let armed = rc.partition.is_some()
+            || a.get_str("partition-method").is_some()
+            || a.get_str("partition-mapping").is_some()
+            || a.get_str("repartition-every").is_some();
+        let mut p = rc.partition.take().unwrap_or_default();
+        if let Some(s) = a.get_str("partition-method") {
+            p.method = parse_partition_method(&s).ok_or_else(|| {
+                format!("--partition-method must be flat-rsb|multilevel, got '{s}'")
+            })?;
+        }
+        if let Some(s) = a.get_str("partition-mapping") {
+            p.mapping = eul3d_partition::RankMapping::parse(&s).ok_or_else(|| {
+                format!("--partition-mapping must be identity|topology, got '{s}'")
+            })?;
+        }
+        over(a, "repartition-every", &mut p.repartition_every)?;
+        rc.partition = armed.then_some(p);
     }
 
     // Tracing: `--trace out.json` writes the Chrome trace there,
@@ -244,34 +269,70 @@ pub fn mesh(a: &Args) -> Result<(), String> {
 pub fn partition(a: &Args) -> Result<(), String> {
     let spec = bump_spec(a)?;
     let parts_n: usize = a.get("parts", 16)?;
-    let method = a.get_str("method").unwrap_or_else(|| "rsb".into());
+    let method = a.get_str("method").unwrap_or_else(|| "flat-rsb".into());
+    let mapping_s = a.get_str("mapping").unwrap_or_else(|| "identity".into());
+    let coarsen_target: usize = a.get("coarsen-target", 64)?;
+    let refine_passes: usize = a.get("refine-passes", 4)?;
     let kl = a.has("kl");
     a.check_unknown()?;
+    let mapping = RankMapping::parse(&mapping_s)
+        .ok_or_else(|| format!("--mapping must be identity|topology, got '{mapping_s}'"))?;
 
     let mesh = eul3d_mesh::gen::bump_channel(&spec);
-    let mut parts = match method.as_str() {
-        "rsb" => rsb_partition(mesh.nverts(), &mesh.edges, parts_n, 40, 7),
-        "rcb" => rcb_partition(&mesh.coords, parts_n),
-        "random" => random_partition(mesh.nverts(), parts_n, 7),
-        "prcb" => {
-            if !parts_n.is_power_of_two() {
-                return Err("--method prcb needs a power-of-two --parts".into());
-            }
-            parallel_rcb(&mesh.coords, parts_n, 8)
-        }
-        other => {
-            return Err(format!(
-                "--method must be rsb|rcb|random|prcb, got '{other}'"
-            ))
-        }
+    // The spectral methods go through the `Partitioner` trait and report
+    // the full plan quality (hop volumes, Fiedler work, wall time); the
+    // geometric/random baselines keep the legacy cut/balance report.
+    let spectral: Option<&dyn Partitioner> = match method.as_str() {
+        "flat-rsb" | "rsb" => Some(&FlatRsb),
+        "multilevel" | "ml" => Some(&MultilevelRsb),
+        _ => None,
     };
+    let t0 = std::time::Instant::now();
+    let (mut parts, plan) = if let Some(p) = spectral {
+        let opts = PartitionOptions::new(parts_n)
+            .seed(eul3d_core::env_seed(7))
+            .coarsen_target(coarsen_target)
+            .refine_passes(refine_passes)
+            .mapping(mapping);
+        let plan = p
+            .partition(mesh.nverts(), &mesh.edges, &opts)
+            .map_err(|e| e.to_string())?;
+        (plan.assignment.clone(), Some(plan))
+    } else {
+        if mapping != RankMapping::Identity {
+            return Err(format!(
+                "--mapping {mapping_s} needs a spectral method (flat-rsb|multilevel)"
+            ));
+        }
+        let parts = match method.as_str() {
+            "rcb" => rcb_partition(&mesh.coords, parts_n),
+            "random" => random_partition(mesh.nverts(), parts_n, 7),
+            "prcb" => {
+                if !parts_n.is_power_of_two() {
+                    return Err("--method prcb needs a power-of-two --parts".into());
+                }
+                parallel_rcb(&mesh.coords, parts_n, 8)
+            }
+            other => {
+                return Err(format!(
+                    "--method must be flat-rsb|multilevel|rcb|random|prcb, got '{other}'"
+                ))
+            }
+        };
+        (parts, None)
+    };
+    let seconds = t0.elapsed().as_secs_f64();
     if kl {
         let moved = kl_refine(mesh.nverts(), &mesh.edges, &mut parts, parts_n, 1.06, 8);
         println!("KL refinement moved {moved} vertices");
     }
     let q = PartitionQuality::compute(&parts, parts_n, &mesh.edges);
+    let label = match spectral {
+        Some(p) => p.name(),
+        None => method.as_str(),
+    };
     println!(
-        "{} vertices into {parts_n} parts via {method}{}:",
+        "{} vertices into {parts_n} parts via {label}{}:",
         mesh.nverts(),
         if kl { "+kl" } else { "" }
     );
@@ -283,6 +344,20 @@ pub fn partition(a: &Args) -> Result<(), String> {
     println!("  max imbalance  {:.3}", q.max_imbalance);
     println!("  boundary verts {}", q.boundary_vertices);
     println!("  surface/volume {:.3}", q.mean_surface_to_volume);
+    if let Some(plan) = &plan {
+        // Post-KL the cut/balance lines above reflect the refined
+        // assignment; the plan block reports what the partitioner itself
+        // produced.
+        println!("  comm volume    {}", plan.comm_volume);
+        println!(
+            "  hop volume     {} ({}; identity {})",
+            plan.hop_volume,
+            mapping.label(),
+            plan.hop_volume_identity
+        );
+        println!("  fiedler iters  {}", plan.fiedler_iterations);
+        println!("  partition time {seconds:.3}s");
+    }
     Ok(())
 }
 
@@ -520,12 +595,30 @@ pub fn distributed(a: &Args) -> Result<(), String> {
     );
     let seq = MeshSequence::bump_sequence(&spec, levels);
     let t0 = std::time::Instant::now();
-    let setup = DistSetup::new(seq, nranks, 40, eul3d_core::env_seed(7));
+    let pseed = eul3d_core::env_seed(7);
+    let (setup, method_label) = match &rc.partition {
+        Some(p) => (
+            DistSetup::from_policy(seq, nranks, 40, pseed, p),
+            partition_method_name(p.method),
+        ),
+        None => (DistSetup::new(seq, nranks, 40, pseed), "flat-rsb"),
+    };
     println!(
-        "RSB partitioning of all levels: {:.2}s",
+        "{method_label} partitioning of all levels: {:.2}s",
         t0.elapsed().as_secs_f64()
     );
 
+    let repartition = rc
+        .partition
+        .as_ref()
+        .and_then(|p| eul3d_core::dist::RepartitionPolicy::from_config(p, 40, pseed));
+    if let Some(pol) = &repartition {
+        println!(
+            "mid-run repartition every {} cycles ({method_label}, {} mapping)",
+            pol.every,
+            pol.mapping.label()
+        );
+    }
     let opts = DistOptions {
         refetch_per_loop: no_incr,
         trace_capacity: rc.trace.enabled.then_some(rc.trace.capacity),
@@ -535,6 +628,7 @@ pub fn distributed(a: &Args) -> Result<(), String> {
             DistBackend::Delta
         },
         real_time_lanes: hybrid && rc.trace.enabled,
+        repartition,
         ..DistOptions::default()
     };
     let t1 = std::time::Instant::now();

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! eul3d mesh       --nx 24 [--levels 1] [--taper 0.0] [--vtk out.vtk]
-//! eul3d partition  --nx 24 --parts 16 [--method rsb|rcb|random] [--kl]
+//! eul3d partition  --nx 24 --parts 16 [--method flat-rsb|multilevel|rcb|random|prcb]
+//!                  [--mapping identity|topology] [--coarsen-target N]
+//!                  [--refine-passes N] [--kl]
 //! eul3d solve      --nx 24 --levels 4 [--strategy sg|v|w] [--scheme jst|roe]
 //!                  [--cycles 100] [--mach 0.675] [--alpha 0.0] [--fmg] [--threads N]
 //!                  [--restart ck] [--checkpoint ck] [--vtk out.vtk]
@@ -10,6 +12,8 @@
 //!                  [--cycles 25] [--no-incremental]
 //!                  [--backend delta|hybrid] [--threads N]
 //!                  [--faults SPEC] [--checkpoint-every N] [--fault-timeout-ms MS]
+//!                  [--partition-method flat-rsb|multilevel]
+//!                  [--partition-mapping identity|topology] [--repartition-every N]
 //! eul3d serve      --socket /tmp/eul3d.sock [--workers N] [--queue N]
 //!                  [--cache N] [--cache-bytes B] [--seed N]
 //!                  [--retry-after-ms MS] [--state-dir DIR]
@@ -50,6 +54,13 @@
 //! simulated machine; survivors roll back to the last `--checkpoint-every`
 //! checkpoint, rebuild their schedules, and finish with bit-identical
 //! residuals. `EUL3D_SEED` overrides the partitioner seed.
+//!
+//! `--partition-method`/`--partition-mapping` (or a `[partition]`
+//! section in `--config run.toml`) pick the partitioner and the
+//! part→rank placement for the distributed solve;
+//! `--repartition-every N` additionally migrates the whole run onto a
+//! fresh partition every N cycles (checkpoint, epoch-shifted schedule
+//! rebuild, restore — deterministic, and composable with `--faults`).
 
 mod args;
 mod commands;

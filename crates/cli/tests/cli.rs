@@ -31,12 +31,72 @@ fn mesh_command_reports_levels() {
 
 #[test]
 fn partition_command_all_methods() {
-    for method in ["rsb", "rcb", "random", "prcb"] {
+    for method in [
+        "flat-rsb",
+        "rsb",
+        "multilevel",
+        "ml",
+        "rcb",
+        "random",
+        "prcb",
+    ] {
         let (ok, stdout, stderr) =
             eul3d(&["partition", "--nx", "8", "--parts", "4", "--method", method]);
         assert!(ok, "method {method} failed: {stderr}");
         assert!(stdout.contains("cut edges"), "{stdout}");
     }
+    let (ok, _, stderr) = eul3d(&["partition", "--nx", "8", "--method", "metis"]);
+    assert!(!ok, "unknown method must be rejected");
+    assert!(stderr.contains("flat-rsb|multilevel"), "{stderr}");
+}
+
+#[test]
+fn partition_command_reports_plan_quality() {
+    // Spectral methods print the full plan block: comm volume, mapped vs
+    // identity hop volume, Fiedler work, and partition wall time.
+    let (ok, stdout, stderr) = eul3d(&[
+        "partition",
+        "--nx",
+        "10",
+        "--parts",
+        "8",
+        "--method",
+        "multilevel",
+        "--mapping",
+        "topology",
+        "--coarsen-target",
+        "32",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("via multilevel"), "{stdout}");
+    for line in [
+        "cut edges",
+        "max imbalance",
+        "comm volume",
+        "hop volume",
+        "(topology; identity",
+        "fiedler iters",
+        "partition time",
+    ] {
+        assert!(stdout.contains(line), "missing '{line}' in: {stdout}");
+    }
+
+    // The geometric baselines have no spectral plan to map.
+    let (ok, _, stderr) = eul3d(&[
+        "partition",
+        "--nx",
+        "8",
+        "--method",
+        "rcb",
+        "--mapping",
+        "topology",
+    ]);
+    assert!(!ok, "topology mapping needs a spectral method");
+    assert!(stderr.contains("spectral"), "{stderr}");
+
+    let (ok, _, stderr) = eul3d(&["partition", "--nx", "8", "--mapping", "torus"]);
+    assert!(!ok);
+    assert!(stderr.contains("identity|topology"), "{stderr}");
 }
 
 #[test]
@@ -95,6 +155,41 @@ fn distributed_command_runs() {
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("modeled Delta cost"));
+}
+
+#[test]
+fn distributed_with_mid_run_repartitioning() {
+    let (ok, stdout, stderr) = eul3d(&[
+        "distributed",
+        "--nx",
+        "8",
+        "--levels",
+        "2",
+        "--ranks",
+        "4",
+        "--cycles",
+        "6",
+        "--partition-method",
+        "multilevel",
+        "--partition-mapping",
+        "topology",
+        "--repartition-every",
+        "3",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("multilevel partitioning of all levels"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("mid-run repartition every 3 cycles (multilevel, topology mapping)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("modeled Delta cost"), "{stdout}");
+
+    let (ok, _, stderr) = eul3d(&["distributed", "--nx", "8", "--partition-method", "scotch"]);
+    assert!(!ok, "unknown partition method must be rejected");
+    assert!(stderr.contains("flat-rsb|multilevel"), "{stderr}");
 }
 
 #[test]

@@ -19,10 +19,10 @@ mod transfer;
 pub use hybrid::HybridExecutor;
 pub use level::{DistExecOptions, DistExecutor, DistLevel};
 pub use recover::{run_distributed_guarded, run_distributed_with_faults, FaultOptions};
-pub use setup::DistSetup;
+pub use setup::{partition_options, partitioner_of, DistSetup};
 pub use solver::{
     run_distributed, AdoptedOutput, DistBackend, DistOptions, DistRunResult, DistSolver, RankFate,
-    RankOutput,
+    RankOutput, RepartitionPolicy,
 };
 pub use transfer::TransferLink;
 

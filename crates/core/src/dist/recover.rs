@@ -45,6 +45,7 @@
 //! the freshly backed-off state (so repeated failures compound the
 //! backoff instead of livelocking on an identical replay).
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::Scope;
@@ -52,6 +53,7 @@ use std::time::Duration;
 
 use eul3d_delta::{run_spmd, CommClass, FaultPlan, FaultSignal, Rank, RankCounters};
 use eul3d_obs as obs;
+use eul3d_partition::PartitionOptions;
 
 use crate::config::SolverConfig;
 use crate::counters::{PhaseCounters, FLOPS_GUARD_VERT};
@@ -63,8 +65,10 @@ use crate::health::{
 };
 use crate::multigrid::Strategy;
 
-use super::setup::DistSetup;
-use super::solver::{AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput};
+use super::setup::{partitioner_of, DistSetup};
+use super::solver::{
+    AdoptedOutput, DistOptions, DistRunResult, DistSolver, RankFate, RankOutput, RepartitionPolicy,
+};
 
 /// Fault-injection and recovery options of a distributed run. The
 /// default is fault-free: empty plan, no checkpoints, and the
@@ -108,6 +112,45 @@ struct Ctx<'a> {
     fopts: &'a FaultOptions,
     /// Solver-health guard configuration (`None` = unguarded run).
     guard: Option<GuardConfig>,
+    /// Lazily-built per-era partition plans for mid-run repartitioning,
+    /// shared by every instance of the run.
+    plans: PlanCache,
+}
+
+/// Cache of migration-era [`DistSetup`]s. Era `k`'s plan is cut from the
+/// shared mesh sequence with seed `pol.seed + k`, a pure function of the
+/// era index, so every instance — and every rerun — computes the
+/// identical layout. The first instance to reach an era builds its plan
+/// under the lock (pure CPU, no communication, so holding it cannot
+/// deadlock the machine); the rest share the `Arc`.
+#[derive(Default)]
+struct PlanCache {
+    slots: Mutex<HashMap<usize, Arc<DistSetup>>>,
+}
+
+impl PlanCache {
+    /// The setup for migration era `era` (callers never ask for era 0 —
+    /// that is the run's own `ctx.setup`).
+    fn setup_for(&self, base: &DistSetup, pol: &RepartitionPolicy, era: usize) -> Arc<DistSetup> {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots
+            .entry(era)
+            .or_insert_with(|| {
+                let opts = PartitionOptions::new(base.nranks)
+                    .lanczos_iters(pol.lanczos_iters)
+                    .seed(pol.seed.wrapping_add(era as u64))
+                    .coarsen_target(pol.coarsen_target)
+                    .refine_passes(pol.refine_passes)
+                    .mapping(pol.mapping);
+                Arc::new(DistSetup::from_arc(
+                    base.seq.clone(),
+                    base.nranks,
+                    partitioner_of(pol.method),
+                    &opts,
+                ))
+            })
+            .clone()
+    }
 }
 
 /// One in-memory checkpoint generation: the global fine-grid state at
@@ -321,6 +364,18 @@ struct LoopState {
     guard: Option<GuardLoop>,
     /// Cycle and verdict of the failure the guard gave up on.
     exhausted: Option<(usize, HealthVerdict)>,
+    /// Current migration era: cycles `(k*every, (k+1)*every]` run in era
+    /// `k`. Era 0 is the run's own partition.
+    era: usize,
+    /// The era's setup when `era > 0` (era 0 uses `ctx.setup`).
+    era_setup: Option<Arc<DistSetup>>,
+}
+
+/// Move this instance into migration era `era`, fetching (or building)
+/// its partition plan from the shared cache.
+fn enter_era(ctx: &Ctx, st: &mut LoopState, pol: &RepartitionPolicy, era: usize) {
+    st.era = era;
+    st.era_setup = (era > 0).then(|| ctx.plans.setup_for(ctx.setup, pol, era));
 }
 
 /// Arm this instance's thread with a fresh ring tracer when the run is
@@ -398,6 +453,11 @@ fn restore_from(s: &mut DistSolver, w_global: &[f64]) {
 /// every buffer to its owner, so steady-state checkpoints allocate
 /// nothing.
 fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize) {
+    // The gather must walk the *current era's* ownership map — after a
+    // migration, `ctx.setup`'s `owned_globals` no longer describe what
+    // each rank holds. The snapshot itself is global-layout either way.
+    let era_setup = st.era_setup.clone();
+    let setup = era_setup.as_deref().unwrap_or(ctx.setup);
     let LoopState {
         solver, cks, guard, ..
     } = st;
@@ -412,7 +472,7 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
     obs::emit(obs::Event::CheckpointBegin {
         cycle: cycle as u64,
     });
-    let nglob = ctx.setup.seq.meshes[0].nverts() * NVAR;
+    let nglob = setup.seq.meshes[0].nverts() * NVAR;
     cks.invalidate(cycle);
     let slot = cks.begin_write();
     slot.mark = tmark;
@@ -427,15 +487,15 @@ fn take_checkpoint(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, cycle: usize)
             let dst = g as usize * NVAR;
             slot.w[dst..dst + NVAR].copy_from_slice(&fine.st.w.get5(k));
         }
-        for src in 1..ctx.setup.nranks {
+        for src in 1..setup.nranks {
             let part = rank.recv_f64(src, s.ck_tag);
-            for (k, &g) in ctx.setup.pms[0].ranks[src].owned_globals.iter().enumerate() {
+            for (k, &g) in setup.pms[0].ranks[src].owned_globals.iter().enumerate() {
                 let dst = g as usize * NVAR;
                 slot.w[dst..dst + NVAR].copy_from_slice(&part[k * NVAR..(k + 1) * NVAR]);
             }
             rank.return_packed_f64(src, s.ck_tag, part);
         }
-        for dst in 1..ctx.setup.nranks {
+        for dst in 1..setup.nranks {
             let mut buf = rank.take_pack_f64(dst, s.ck_tag + 1, nglob);
             buf.extend_from_slice(&slot.w);
             rank.send_packed_f64(dst, s.ck_tag + 1, buf, CommClass::Recovery);
@@ -468,8 +528,21 @@ fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) -> StepAction {
     // Everything in this iteration — including the leading checkpoint —
     // belongs to (1-based) fault cycle c + 1.
     rank.set_fault_cycle((c + 1) as u64);
+    // A due migration runs first and commits its own checkpoint at `c`,
+    // making the regular cadence checkpoint at the same boundary
+    // redundant. After a fault rollback to exactly `c` the era already
+    // equals `era_of(c)`, so the migration does not re-fire on replay —
+    // which is fine, because its checkpoint is layout-independent and
+    // the restored state is identical either way.
+    let mut repartitioned = false;
+    if let Some(pol) = ctx.opts.repartition {
+        if c > 0 && c.is_multiple_of(pol.every) && st.era < pol.era_of(c) {
+            do_repartition(rank, ctx, st, c, &pol);
+            repartitioned = true;
+        }
+    }
     let k = ctx.fopts.checkpoint_every;
-    if k > 0 && c.is_multiple_of(k) {
+    if k > 0 && c.is_multiple_of(k) && !repartitioned {
         take_checkpoint(rank, ctx, st, c);
     }
     let LoopState {
@@ -542,6 +615,54 @@ fn do_step(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState) -> StepAction {
     cycle_allocs.push(rank.counters.comm_allocs);
     *cycle += 1;
     StepAction::Continue
+}
+
+/// Planned mid-run repartition at committed-cycle boundary `c`: commit a
+/// checkpoint on the old layout, bump every rank into a fresh recovery
+/// epoch, rebuild every schedule against the new era's partition plan,
+/// and restore the (global-layout) checkpoint onto it.
+///
+/// Unlike fault recovery this is a *planned*, machine-synchronous event:
+/// every rank reaches the boundary at the same point of its committed
+/// timeline and takes the silent [`Rank::advance_epoch`] bump — no abort
+/// broadcast, no rollback, no recovery count. A faster peer's new-epoch
+/// rebuild traffic is held by the delta sieve until this rank's own bump
+/// replays it. No trace pause is needed — nothing here is
+/// timing-dependent.
+fn do_repartition(
+    rank: &mut Rank,
+    ctx: &Ctx,
+    st: &mut LoopState,
+    c: usize,
+    pol: &RepartitionPolicy,
+) {
+    // The checkpoint runs on the OLD layout (its streams are the old
+    // solver's `ck_tag` in the old epoch's tag space) and charges its
+    // own traffic to `Phase::Checkpoint`; the migration bracket below
+    // starts after it so nothing is double-counted.
+    take_checkpoint(rank, ctx, st, c);
+    let (m0, b0, a0) = comm_snap(rank);
+    obs::emit(obs::Event::RepartitionBegin { cycle: c as u64 });
+    rank.advance_epoch(rank.epoch() + 1);
+    if let Some(s) = st.solver.take() {
+        st.retired.merge(&s.counter);
+    }
+    enter_era(ctx, st, pol, pol.era_of(c));
+    let era_setup = st.era_setup.clone();
+    let setup = era_setup.as_deref().unwrap_or(ctx.setup);
+    let mut s = DistSolver::build_epoch(rank, setup, ctx.cfg, ctx.strategy, ctx.opts, rank.epoch());
+    let Some(w0) = st.cks.get(c) else {
+        unreachable!("repartition checkpoint committed just above")
+    };
+    restore_from(&mut s, w0);
+    obs::emit(obs::Event::RepartitionEnd { cycle: c as u64 });
+    // A later fault rollback to this slot replays from after the
+    // migration markers, keeping them on the committed timeline.
+    st.cks.set_mark(c, obs::mark());
+    let (m1, b1, a1) = comm_snap(rank);
+    s.counter
+        .add_comm(Phase::Recovery, m1 - m0, b1 - b0, a1 - a0);
+    st.solver = Some(s);
 }
 
 /// Hand dead rank `d`'s partition to a replica thread on this node. The
@@ -623,14 +744,6 @@ fn do_recover<'scope, 'env>(
             }
         }
     }
-    let mut s = DistSolver::build_epoch(
-        rank,
-        ctx.setup,
-        ctx.cfg,
-        ctx.strategy,
-        ctx.opts,
-        rank.epoch(),
-    );
     // Agree on the newest checkpoint every instance can restore:
     // min over instances of their newest commit, via a max of negated
     // cycles. An instance with nothing to offer forces a restart from
@@ -651,7 +764,38 @@ fn do_recover<'scope, 'env>(
         v[3] = enc[0];
         v[4] = enc[1];
     }
-    rank.all_reduce_max_in_place(&mut v);
+    // With repartitioning armed, the rollback agreement must run BEFORE
+    // the rebuild: the agreed cycle selects which migration era's plan
+    // every instance rebuilds against. Without it, keep the historical
+    // build-then-agree order so fault-only runs are byte-identical to
+    // before. The policy is a run-wide constant, so every instance picks
+    // the same order and the epoch's collective sequence stays
+    // machine-consistent.
+    let mut s = if let Some(pol) = ctx.opts.repartition {
+        rank.all_reduce_max_in_place(&mut v);
+        let target = if v[0].is_finite() {
+            pol.era_of(-v[0] as usize)
+        } else {
+            0
+        };
+        if target != st.era {
+            enter_era(ctx, st, &pol, target);
+        }
+        let era_setup = st.era_setup.clone();
+        let setup = era_setup.as_deref().unwrap_or(ctx.setup);
+        DistSolver::build_epoch(rank, setup, ctx.cfg, ctx.strategy, ctx.opts, rank.epoch())
+    } else {
+        let s = DistSolver::build_epoch(
+            rank,
+            ctx.setup,
+            ctx.cfg,
+            ctx.strategy,
+            ctx.opts,
+            rank.epoch(),
+        );
+        rank.all_reduce_max_in_place(&mut v);
+        s
+    };
     let agreed = -v[0];
     let numeric = (v[1] > 0.0).then(|| (v[2] as usize, HealthVerdict::decode([v[3], v[4]])));
     let mut rewind_to = obs::TraceMark::default();
@@ -754,16 +898,35 @@ fn do_join(rank: &mut Rank, ctx: &Ctx, st: &mut LoopState, host: usize) {
     // lane starts recording from its origin only once the agreed state
     // is installed.
     obs::pause();
-    let mut s = DistSolver::build_epoch(
-        rank,
-        ctx.setup,
-        ctx.cfg,
-        ctx.strategy,
-        ctx.opts,
-        rank.epoch(),
-    );
+    // Mirror of `do_recover`'s ordering rule: with repartitioning armed
+    // the (unconstraining) agreement runs first so this replica rebuilds
+    // against the same era plan as the survivors.
     let mut v = [f64::NEG_INFINITY; 5];
-    rank.all_reduce_max_in_place(&mut v);
+    let mut s = if let Some(pol) = ctx.opts.repartition {
+        rank.all_reduce_max_in_place(&mut v);
+        let target = if v[0].is_finite() {
+            pol.era_of(-v[0] as usize)
+        } else {
+            0
+        };
+        if target != st.era {
+            enter_era(ctx, st, &pol, target);
+        }
+        let era_setup = st.era_setup.clone();
+        let setup = era_setup.as_deref().unwrap_or(ctx.setup);
+        DistSolver::build_epoch(rank, setup, ctx.cfg, ctx.strategy, ctx.opts, rank.epoch())
+    } else {
+        let s = DistSolver::build_epoch(
+            rank,
+            ctx.setup,
+            ctx.cfg,
+            ctx.strategy,
+            ctx.opts,
+            rank.epoch(),
+        );
+        rank.all_reduce_max_in_place(&mut v);
+        s
+    };
     let agreed = -v[0];
     let numeric = (v[1] > 0.0).then(|| (v[2] as usize, HealthVerdict::decode([v[3], v[4]])));
     if agreed.is_finite() {
@@ -851,6 +1014,8 @@ fn virtual_loop<'scope, 'env>(
         handled: vec![false; nranks],
         guard: ctx.guard.as_ref().map(|g| GuardLoop::new(ctx.cfg.cfl, g)),
         exhausted: None,
+        era: 0,
+        era_setup: None,
     };
     if join_from.is_some() {
         // Ranks already dead when this replica was spawned were adopted
@@ -1048,13 +1213,17 @@ fn run_with_ctx(
         opts,
         fopts,
         guard,
+        plans: PlanCache::default(),
     };
     // The hybrid backend's shared-memory windows carry only fault-free
     // halo streams: fault injection lives in the channel transport, so a
-    // non-empty plan silently keeps everything on the channels (the
-    // recovery machinery then works unchanged).
+    // non-empty plan — or a repartition policy, whose migrations reuse
+    // the same epoch machinery — silently keeps everything on the
+    // channels (the recovery machinery then works unchanged).
     let windows = match opts.backend {
-        super::solver::DistBackend::Hybrid if fopts.plan.is_empty() => {
+        super::solver::DistBackend::Hybrid
+            if fopts.plan.is_empty() && opts.repartition.is_none() =>
+        {
             let timeout = opts
                 .wedge_timeout_ms
                 .map(Duration::from_millis)

@@ -6,7 +6,17 @@
 use std::sync::Arc;
 
 use eul3d_mesh::MeshSequence;
-use eul3d_partition::{rsb_partition, PartitionedMesh};
+use eul3d_partition::{FlatRsb, MultilevelRsb, PartitionOptions, PartitionedMesh, Partitioner};
+
+use crate::runconfig::{PartitionConfig, PartitionMethod};
+
+/// The statically-dispatched partitioner for a configured method.
+pub fn partitioner_of(method: PartitionMethod) -> &'static dyn Partitioner {
+    match method {
+        PartitionMethod::FlatRsb => &FlatRsb,
+        PartitionMethod::Multilevel => &MultilevelRsb,
+    }
+}
 
 /// Everything the SPMD ranks need, shared read-only.
 pub struct DistSetup {
@@ -17,21 +27,50 @@ pub struct DistSetup {
 }
 
 impl DistSetup {
-    /// Partition all levels of `seq` over `nranks` ranks with RSB.
+    /// Partition all levels of `seq` over `nranks` ranks with flat RSB
+    /// (the historical default; bit-identical to the old
+    /// `rsb_partition` path).
     pub fn new(seq: MeshSequence, nranks: usize, lanczos_iters: usize, seed: u64) -> DistSetup {
+        let opts = PartitionOptions::new(nranks)
+            .lanczos_iters(lanczos_iters)
+            .seed(seed);
+        Self::from_arc(Arc::new(seq), nranks, &FlatRsb, &opts)
+    }
+
+    /// Partition all levels with a configured [`PartitionConfig`] policy
+    /// (method, multilevel knobs, rank mapping).
+    pub fn from_policy(
+        seq: MeshSequence,
+        nranks: usize,
+        lanczos_iters: usize,
+        seed: u64,
+        policy: &PartitionConfig,
+    ) -> DistSetup {
+        let opts = partition_options(nranks, lanczos_iters, seed, policy);
+        Self::from_arc(Arc::new(seq), nranks, partitioner_of(policy.method), &opts)
+    }
+
+    /// Partition all levels of an already-shared mesh sequence with an
+    /// arbitrary [`Partitioner`] — the entry point mid-run
+    /// repartitioning uses to rebuild the per-rank layout without
+    /// copying the meshes.
+    pub fn from_arc(
+        seq: Arc<MeshSequence>,
+        nranks: usize,
+        partitioner: &dyn Partitioner,
+        opts: &PartitionOptions,
+    ) -> DistSetup {
         let pms = seq
             .meshes
             .iter()
             .map(|m| {
-                let parts = rsb_partition(m.nverts(), &m.edges, nranks, lanczos_iters, seed);
-                Arc::new(PartitionedMesh::build(m, &parts, nranks))
+                let plan = partitioner
+                    .partition(m.nverts(), &m.edges, opts)
+                    .unwrap_or_else(|e| panic!("partition options rejected: {e}"));
+                Arc::new(PartitionedMesh::build(m, &plan.assignment, nranks))
             })
             .collect();
-        DistSetup {
-            seq: Arc::new(seq),
-            pms,
-            nranks,
-        }
+        DistSetup { seq, pms, nranks }
     }
 
     /// Partition with a caller-supplied partitioner (e.g. RCB or random,
@@ -58,9 +97,25 @@ impl DistSetup {
     }
 }
 
+/// Translate a [`PartitionConfig`] into validated [`PartitionOptions`].
+pub fn partition_options(
+    nranks: usize,
+    lanczos_iters: usize,
+    seed: u64,
+    policy: &PartitionConfig,
+) -> PartitionOptions {
+    PartitionOptions::new(nranks)
+        .lanczos_iters(lanczos_iters)
+        .seed(seed)
+        .coarsen_target(policy.coarsen_target)
+        .refine_passes(policy.refine_passes)
+        .mapping(policy.mapping)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eul3d_partition::RankMapping;
 
     #[test]
     fn setup_partitions_every_level() {
@@ -72,6 +127,52 @@ mod tests {
             let owned: usize = pm.ranks.iter().map(|r| r.n_owned()).sum();
             assert_eq!(owned, mesh.nverts());
         }
+    }
+
+    #[test]
+    fn new_matches_the_historic_flat_rsb_assignment() {
+        // DistSetup::new must stay bit-identical to the deprecated
+        // rsb_partition path it replaced.
+        let seq = MeshSequence::box_sequence(5, 2, 0.1, 2);
+        let setup = DistSetup::new(seq, 4, 30, 9);
+        #[allow(deprecated)]
+        for (pm, mesh) in setup.pms.iter().zip(&setup.seq.meshes) {
+            let old = eul3d_partition::rsb_partition(mesh.nverts(), &mesh.edges, 4, 30, 9);
+            assert_eq!(pm.owner, old);
+        }
+    }
+
+    #[test]
+    fn policy_setup_partitions_every_level() {
+        let seq = MeshSequence::box_sequence(5, 2, 0.1, 5);
+        let policy = PartitionConfig {
+            method: PartitionMethod::Multilevel,
+            coarsen_target: 16,
+            mapping: RankMapping::Topology,
+            ..PartitionConfig::default()
+        };
+        let setup = DistSetup::from_policy(seq, 4, 30, 7, &policy);
+        assert_eq!(setup.pms.len(), 2);
+        for (pm, mesh) in setup.pms.iter().zip(&setup.seq.meshes) {
+            assert_eq!(pm.nparts, 4);
+            let owned: usize = pm.ranks.iter().map(|r| r.n_owned()).sum();
+            assert_eq!(owned, mesh.nverts());
+        }
+    }
+
+    #[test]
+    fn from_arc_shares_the_sequence_and_changes_with_the_seed() {
+        let seq = Arc::new(MeshSequence::box_sequence(5, 2, 0.1, 4));
+        let opts_a = PartitionOptions::new(4).lanczos_iters(30).seed(1);
+        let opts_b = PartitionOptions::new(4).lanczos_iters(30).seed(2);
+        let a = DistSetup::from_arc(seq.clone(), 4, &FlatRsb, &opts_a);
+        let b = DistSetup::from_arc(seq.clone(), 4, &FlatRsb, &opts_b);
+        assert!(Arc::ptr_eq(&a.seq, &b.seq), "meshes are shared, not copied");
+        assert_ne!(
+            a.pms[0].owner, b.pms[0].owner,
+            "different seeds must give a different assignment for \
+             migration to be meaningful"
+        );
     }
 
     #[test]

@@ -5,12 +5,15 @@ use eul3d_delta::{MachineRun, Rank, RankCounters};
 use eul3d_obs as obs;
 use eul3d_parti::TagAllocator;
 
+use eul3d_partition::RankMapping;
+
 use crate::config::SolverConfig;
 use crate::counters::PhaseCounters;
 use crate::executor::Phase;
 use crate::gas::NVAR;
 use crate::health::GuardOutcome;
 use crate::multigrid::Strategy;
+use crate::runconfig::{PartitionConfig, PartitionMethod};
 
 use super::level::{DistExecOptions, DistLevel};
 use super::setup::DistSetup;
@@ -31,6 +34,59 @@ pub enum DistBackend {
     /// modeled clock. Falls back to `Delta` when a fault plan is active
     /// (injection intercepts the channel transport).
     Hybrid,
+}
+
+/// Mid-run repartition-and-migrate policy: every `every` committed
+/// cycles the machine checkpoints, bumps into a fresh epoch, rebuilds
+/// every schedule against a new partition plan, and restores the
+/// checkpointed state onto the new layout — the PR 3 recovery machinery
+/// driven by a planned trigger instead of a fault. The plan for
+/// migration era `k` is cut with `seed + k`, so each boundary really
+/// changes ownership; era indices are a pure function of the committed
+/// cycle, which keeps reruns (and post-fault replays) byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepartitionPolicy {
+    /// Committed-cycle cadence (> 0).
+    pub every: usize,
+    /// Partitioner used for migration-era plans.
+    pub method: PartitionMethod,
+    /// Multilevel: stop coarsening at this many vertices.
+    pub coarsen_target: usize,
+    /// Multilevel: refinement sweeps per level while uncoarsening.
+    pub refine_passes: usize,
+    /// Part→rank placement of each era's plan.
+    pub mapping: RankMapping,
+    /// Lanczos iteration cap per Fiedler solve.
+    pub lanczos_iters: usize,
+    /// Base seed; era `k` partitions with `seed + k`.
+    pub seed: u64,
+}
+
+impl RepartitionPolicy {
+    /// Build from a run's [`PartitionConfig`]; `None` when the config
+    /// does not arm mid-run repartitioning.
+    pub fn from_config(
+        policy: &PartitionConfig,
+        lanczos_iters: usize,
+        seed: u64,
+    ) -> Option<RepartitionPolicy> {
+        (policy.repartition_every > 0).then_some(RepartitionPolicy {
+            every: policy.repartition_every,
+            method: policy.method,
+            coarsen_target: policy.coarsen_target,
+            refine_passes: policy.refine_passes,
+            mapping: policy.mapping,
+            lanczos_iters,
+            seed,
+        })
+    }
+
+    /// The migration era the cycle *after* `committed` runs in: cycles
+    /// `(k·every, (k+1)·every]` run in era `k`, so a run restored to
+    /// `committed` cycles resumes in era `committed / every`.
+    pub fn era_of(&self, committed: usize) -> usize {
+        committed / self.every
+    }
 }
 
 /// Options of a distributed run.
@@ -58,6 +114,12 @@ pub struct DistOptions {
     /// [`eul3d_delta::DeltaError::WindowWedged`] after this long.
     /// `None` uses [`eul3d_delta::DEFAULT_WEDGE_TIMEOUT`] (30 s).
     pub wedge_timeout_ms: Option<u64>,
+    /// Mid-run repartition-and-migrate policy (`None` = the partition is
+    /// fixed for the whole run, the historical behaviour). Arming this
+    /// forces the channel transport for halo streams, like a fault plan
+    /// does — migration rebuilds schedules mid-run, which the hybrid
+    /// windows' fixed layout cannot follow.
+    pub repartition: Option<RepartitionPolicy>,
 }
 
 impl Default for DistOptions {
@@ -69,6 +131,7 @@ impl Default for DistOptions {
             backend: DistBackend::Delta,
             real_time_lanes: false,
             wedge_timeout_ms: None,
+            repartition: None,
         }
     }
 }

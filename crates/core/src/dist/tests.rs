@@ -1324,3 +1324,197 @@ mod trace {
         assert_eq!(ta, tb, "fault-recovery traces must be byte-identical");
     }
 }
+
+mod repartition {
+    //! Mid-run repartitioning: at every `repartition_every` committed
+    //! cycles the machine checkpoints, bumps into a fresh epoch, rebuilds
+    //! every schedule against a new partition plan, and resumes — a
+    //! planned, deterministic migration riding the fault-recovery
+    //! machinery.
+
+    use std::sync::Arc;
+
+    use eul3d_delta::FaultPlan;
+    use eul3d_obs as obs;
+    use eul3d_partition::RankMapping;
+
+    use super::*;
+    use crate::dist::{run_distributed_with_faults, FaultOptions, RankFate, RepartitionPolicy};
+    use crate::runconfig::PartitionMethod;
+
+    fn policy(every: usize) -> RepartitionPolicy {
+        RepartitionPolicy {
+            every,
+            method: PartitionMethod::Multilevel,
+            coarsen_target: 16,
+            refine_passes: 4,
+            mapping: RankMapping::Topology,
+            lanczos_iters: 20,
+            seed: pseed(),
+        }
+    }
+
+    fn repart_opts(every: usize) -> DistOptions {
+        DistOptions {
+            repartition: Some(policy(every)),
+            ..DistOptions::default()
+        }
+    }
+
+    #[test]
+    fn migration_changes_ownership_and_reruns_bit_identical() {
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let seq = small_seq(2);
+        let nverts = seq.meshes[0].nverts();
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let cycles = 9;
+
+        let run = || run_distributed(&setup, cfg, Strategy::VCycle, cycles, repart_opts(3));
+        let a = run();
+        let b = run();
+
+        // Planned migrations are silent epoch bumps, not recoveries.
+        for (id, c) in a.run.counters.iter().enumerate() {
+            assert_eq!(c.recoveries, 0, "rank {id}: migrations are not recoveries");
+        }
+        // Ownership genuinely changed: some rank's final owned set
+        // differs from the era-0 partition it started with.
+        let moved = a
+            .run
+            .results
+            .iter()
+            .enumerate()
+            .any(|(id, r)| r.owned_globals != setup.pms[0].ranks[id].owned_globals);
+        assert!(moved, "repartitioning must actually move vertices");
+        assert!(a
+            .run
+            .results
+            .iter()
+            .all(|r| matches!(r.fate, RankFate::Completed)));
+
+        // The migration is a pure function of the committed cycle, so a
+        // rerun is bit-identical in history and state.
+        assert_eq!(a.history().len(), cycles);
+        for (x, y) in a.history().iter().zip(b.history()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "reruns must agree exactly");
+        }
+        let (wa, wb) = (a.global_state(nverts), b.global_state(nverts));
+        for (x, y) in wa.iter().zip(&wb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "rerun state must agree exactly");
+        }
+
+        // And the physics is unchanged: the migrated run tracks the
+        // static-partition run to accumulation-order round-off.
+        let still = run_distributed(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            cycles,
+            DistOptions::default(),
+        );
+        for (x, y) in still.history().iter().zip(a.history()) {
+            assert!(
+                (x - y).abs() < 1e-9 * x.abs().max(1e-30),
+                "migrated residual history diverged: {x} vs {y}"
+            );
+        }
+        compare_states(
+            &still.global_state(nverts),
+            &wa,
+            1e-9,
+            "migrated vs static state",
+        );
+    }
+
+    #[test]
+    fn repartition_composes_with_fault_recovery_bit_identically() {
+        // A rank killed in era 1 (after the first migration): recovery
+        // must rebuild against the era-1 plan, roll back to a checkpoint
+        // taken on it, and still land on the clean migrated answer bit
+        // for bit.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let seq = small_seq(2);
+        let nverts = seq.meshes[0].nverts();
+        let setup = DistSetup::new(seq, 4, 20, pseed());
+        let cycles = 10;
+
+        let clean = run_distributed(&setup, cfg, Strategy::VCycle, cycles, repart_opts(4));
+        let fopts = FaultOptions {
+            plan: Arc::new(FaultPlan::parse("kill:1@7+9", 4).expect("valid fault spec")),
+            checkpoint_every: 2,
+            ..FaultOptions::default()
+        };
+        let faulted = run_distributed_with_faults(
+            &setup,
+            cfg,
+            Strategy::VCycle,
+            cycles,
+            repart_opts(4),
+            &fopts,
+        );
+
+        assert!(matches!(faulted.run.results[1].fate, RankFate::Died { .. }));
+        let replica = faulted.instance(1).expect("vid 1 must complete somewhere");
+        assert_eq!(replica.fate, RankFate::Completed);
+
+        let (hc, hf) = (clean.history(), faulted.history());
+        assert_eq!(hc.len(), hf.len());
+        for (i, (x, y)) in hc.iter().zip(hf).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "cycle {i}: fault recovery diverged from the migrated run"
+            );
+        }
+        let (wc, wf) = (clean.global_state(nverts), faulted.global_state(nverts));
+        for (i, (x, y)) in wc.iter().zip(&wf).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "state entry {i} diverges");
+        }
+    }
+
+    #[test]
+    fn repartition_spans_land_on_the_committed_timeline() {
+        // Traced migrated runs carry the repartition markers and stay
+        // deterministic down to the exported artifact.
+        let cfg = SolverConfig {
+            mach: 0.5,
+            ..SolverConfig::default()
+        };
+        let setup = DistSetup::new(small_seq(2), 4, 20, pseed());
+        let traced = || DistOptions {
+            trace_capacity: Some(1 << 15),
+            ..repart_opts(3)
+        };
+        let a = run_distributed(&setup, cfg, Strategy::VCycle, 7, traced());
+        let b = run_distributed(&setup, cfg, Strategy::VCycle, 7, traced());
+
+        let la = a.lanes();
+        let begins = la
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|s| matches!(s.ev, obs::Event::RepartitionBegin { cycle: 3 }))
+            .count();
+        assert_eq!(begins, setup.nranks, "one era-1 begin marker per rank");
+        assert!(
+            la.iter()
+                .flat_map(|l| &l.events)
+                .any(|s| matches!(s.ev, obs::Event::RepartitionEnd { cycle: 6 })),
+            "era-2 end marker missing"
+        );
+        let labels: Vec<&str> = crate::executor::Phase::ALL
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(
+            obs::chrome_trace(&la, &labels),
+            obs::chrome_trace(&b.lanes(), &labels),
+            "migrated traces must be byte-identical"
+        );
+    }
+}

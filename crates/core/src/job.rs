@@ -381,7 +381,10 @@ fn run_dist_job(
     let nranks = rc.effective_nranks();
     let seq = MeshSequence::bump_sequence(&rc.mesh, rc.levels);
     cancel.check();
-    let setup = DistSetup::new(seq, nranks, 40, partition_seed);
+    let setup = match &rc.partition {
+        Some(p) => DistSetup::from_policy(seq, nranks, 40, partition_seed, p),
+        None => DistSetup::new(seq, nranks, 40, partition_seed),
+    };
     cancel.check();
 
     let fopts = match &rc.faults {
@@ -410,6 +413,10 @@ fn run_dist_job(
         // Real-time lanes would break byte-identity; job traces always
         // ride the modeled clock, even on the hybrid backend.
         real_time_lanes: false,
+        repartition: rc
+            .partition
+            .as_ref()
+            .and_then(|p| crate::dist::RepartitionPolicy::from_config(p, 40, partition_seed)),
         ..DistOptions::default()
     };
     // The SPMD region re-raises rank panics. A typed DeltaError payload

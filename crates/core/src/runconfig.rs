@@ -29,6 +29,7 @@
 
 use eul3d_mesh::gen::BumpSpec;
 use eul3d_obs::DEFAULT_RING_CAPACITY;
+use eul3d_partition::RankMapping;
 
 use crate::config::{Scheme, SolverConfig};
 use crate::error::{Eul3dError, SolverError};
@@ -58,6 +59,68 @@ impl Default for TraceConfig {
             out: None,
             summary: false,
             top_n: 10,
+        }
+    }
+}
+
+/// Which partitioner cuts the mesh for the distributed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionMethod {
+    /// Flat recursive spectral bisection — the paper's §4.1 method and
+    /// the historical default.
+    #[default]
+    FlatRsb,
+    /// Multilevel RSB: coarsen by heavy-edge matching, bisect the small
+    /// graph spectrally, project back with boundary refinement.
+    Multilevel,
+}
+
+/// The canonical spelling of a partition method (inverse of
+/// [`parse_partition_method`]).
+pub fn partition_method_name(m: PartitionMethod) -> &'static str {
+    match m {
+        PartitionMethod::FlatRsb => "flat-rsb",
+        PartitionMethod::Multilevel => "multilevel",
+    }
+}
+
+/// Parse a partition method name (the CLI's `--method` grammar).
+pub fn parse_partition_method(s: &str) -> Option<PartitionMethod> {
+    match s {
+        "flat-rsb" | "flat" => Some(PartitionMethod::FlatRsb),
+        "multilevel" | "ml" => Some(PartitionMethod::Multilevel),
+        _ => None,
+    }
+}
+
+/// Partitioning policy of a run: which partitioner cuts the mesh, its
+/// multilevel knobs, how parts are placed on ranks, and the optional
+/// mid-run repartition cadence. Absent (`None` on [`RunConfig`]) means
+/// the historical behaviour: flat RSB, identity placement, no mid-run
+/// repartitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// The partitioner.
+    pub method: PartitionMethod,
+    /// Multilevel: stop coarsening at this many vertices.
+    pub coarsen_target: usize,
+    /// Multilevel: refinement sweeps per level while uncoarsening.
+    pub refine_passes: usize,
+    /// Part→rank placement policy.
+    pub mapping: RankMapping,
+    /// Repartition-and-migrate every this many committed cycles
+    /// (0 = never).
+    pub repartition_every: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> PartitionConfig {
+        PartitionConfig {
+            method: PartitionMethod::FlatRsb,
+            coarsen_target: 64,
+            refine_passes: 4,
+            mapping: RankMapping::Identity,
+            repartition_every: 0,
         }
     }
 }
@@ -107,6 +170,9 @@ pub struct RunConfig {
     pub faults: Option<String>,
     /// Bounded-receive window for fault detection, in milliseconds.
     pub fault_timeout_ms: u64,
+    /// Partitioning policy (`None` = flat RSB, identity placement, no
+    /// mid-run repartitioning — the historical behaviour).
+    pub partition: Option<PartitionConfig>,
     /// Observability configuration.
     pub trace: TraceConfig,
 }
@@ -126,6 +192,7 @@ impl Default for RunConfig {
             checkpoint_every: 0,
             faults: None,
             fault_timeout_ms: 1500,
+            partition: None,
             trace: TraceConfig::default(),
         }
     }
@@ -204,6 +271,29 @@ impl RunConfig {
         }
         if let Some(spec) = &self.faults {
             eul3d_delta::FaultPlan::parse(spec, self.nranks).map_err(Eul3dError::Delta)?;
+        }
+        if let Some(p) = &self.partition {
+            if p.coarsen_target < 2 {
+                return Err(range_err(
+                    "partition.coarsen_target",
+                    p.coarsen_target as f64,
+                    "must be at least 2",
+                ));
+            }
+            if p.refine_passes > 1000 {
+                return Err(range_err(
+                    "partition.refine_passes",
+                    p.refine_passes as f64,
+                    "must be at most 1000",
+                ));
+            }
+            if p.repartition_every != 0 && p.repartition_every >= self.cycles {
+                return Err(range_err(
+                    "partition.repartition_every",
+                    p.repartition_every as f64,
+                    "must be below the cycle count (or 0 to disable)",
+                ));
+            }
         }
         Ok(())
     }
@@ -369,6 +459,12 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Install a partitioning policy.
+    pub fn partition(mut self, p: PartitionConfig) -> Self {
+        self.cfg.partition = Some(p);
+        self
+    }
+
     /// Observability configuration.
     pub fn trace(mut self, t: TraceConfig) -> Self {
         self.cfg.trace = t;
@@ -509,6 +605,18 @@ impl RunConfig {
             out.push_str(&format!("snapshot_every = {}\n", g.snapshot_every));
         }
 
+        if let Some(p) = &self.partition {
+            out.push_str("\n[partition]\n");
+            out.push_str(&format!(
+                "method = \"{}\"\n",
+                partition_method_name(p.method)
+            ));
+            out.push_str(&format!("coarsen_target = {}\n", p.coarsen_target));
+            out.push_str(&format!("refine_passes = {}\n", p.refine_passes));
+            out.push_str(&format!("mapping = \"{}\"\n", p.mapping.label()));
+            out.push_str(&format!("repartition_every = {}\n", p.repartition_every));
+        }
+
         let t = &self.trace;
         out.push_str("\n[trace]\n");
         out.push_str(&format!("enabled = {}\n", t.enabled));
@@ -533,6 +641,8 @@ impl RunConfig {
         let mut rc = RunConfig::default();
         let mut guard = GuardConfig::default();
         let mut has_guard = false;
+        let mut part = PartitionConfig::default();
+        let mut has_partition = false;
         let mut section = String::new();
         // (section, key) -> first-definition line, for duplicate
         // detection; section headers are stored under an empty key.
@@ -562,6 +672,10 @@ impl RunConfig {
                         section = name.to_string();
                         has_guard = true;
                     }
+                    "partition" => {
+                        section = name.to_string();
+                        has_partition = true;
+                    }
                     other => {
                         return Err(parse_err(lineno, &format!("unknown section [{other}]")));
                     }
@@ -585,10 +699,13 @@ impl RunConfig {
             } else {
                 val.split('#').next().unwrap_or("").trim()
             };
-            apply_entry(&mut rc, &mut guard, &section, key, val, lineno)?;
+            apply_entry(&mut rc, &mut guard, &mut part, &section, key, val, lineno)?;
         }
         if has_guard {
             rc.guard = Some(guard);
+        }
+        if has_partition {
+            rc.partition = Some(part);
         }
         rc.validate()?;
         Ok(rc)
@@ -699,6 +816,7 @@ fn toml_f64_array<const N: usize>(val: &str, line: usize) -> Result<[f64; N], Eu
 fn apply_entry(
     rc: &mut RunConfig,
     guard: &mut GuardConfig,
+    part: &mut PartitionConfig,
     section: &str,
     key: &str,
     val: &str,
@@ -755,6 +873,27 @@ fn apply_entry(
         ("guard", "divergence_ratio") => guard.divergence_ratio = toml_num(val, line)?,
         ("guard", "reramp_after") => guard.reramp_after = toml_num(val, line)?,
         ("guard", "snapshot_every") => guard.snapshot_every = toml_num(val, line)?,
+        ("partition", "method") => {
+            let name = toml_str(val, line)?;
+            part.method = parse_partition_method(&name).ok_or_else(|| {
+                parse_err(
+                    line,
+                    &format!("method must be flat-rsb|multilevel, got '{name}'"),
+                )
+            })?;
+        }
+        ("partition", "coarsen_target") => part.coarsen_target = toml_num(val, line)?,
+        ("partition", "refine_passes") => part.refine_passes = toml_num(val, line)?,
+        ("partition", "mapping") => {
+            let name = toml_str(val, line)?;
+            part.mapping = RankMapping::parse(&name).ok_or_else(|| {
+                parse_err(
+                    line,
+                    &format!("mapping must be identity|topology, got '{name}'"),
+                )
+            })?;
+        }
+        ("partition", "repartition_every") => part.repartition_every = toml_num(val, line)?,
         ("trace", "enabled") => rc.trace.enabled = toml_bool(val, line)?,
         ("trace", "capacity") => rc.trace.capacity = toml_num(val, line)?,
         ("trace", "out") => rc.trace.out = Some(toml_str(val, line)?),
@@ -951,6 +1090,75 @@ mod tests {
         assert_eq!(rc.cycles, 7);
         assert_eq!(rc.levels, RunConfig::default().levels);
         assert_eq!(rc.guard, Some(GuardConfig::default()));
+    }
+
+    #[test]
+    fn partition_section_round_trips_and_validates() {
+        let rc = RunConfig::builder()
+            .cycles(40)
+            .partition(PartitionConfig {
+                method: PartitionMethod::Multilevel,
+                coarsen_target: 32,
+                refine_passes: 6,
+                mapping: RankMapping::Topology,
+                repartition_every: 10,
+            })
+            .build()
+            .unwrap();
+        let text = rc.to_toml();
+        assert!(text.contains("[partition]"), "{text}");
+        assert!(text.contains("method = \"multilevel\""), "{text}");
+        let back = RunConfig::from_toml(&text).unwrap();
+        assert_eq!(rc, back);
+
+        // No [partition] section: no policy, and the canonical text is
+        // unchanged from the historical form.
+        let plain = RunConfig::default();
+        assert!(plain.partition.is_none());
+        assert!(!plain.to_toml().contains("[partition]"));
+
+        // An empty [partition] header arms the defaults.
+        let rc = RunConfig::from_toml("[partition]\n").unwrap();
+        assert_eq!(rc.partition, Some(PartitionConfig::default()));
+
+        // Bad spellings are line-numbered errors.
+        let err = RunConfig::from_toml("[partition]\nmethod = \"metis\"\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("flat-rsb|multilevel"),
+            "{msg}"
+        );
+        let err = RunConfig::from_toml("[partition]\nmapping = \"ring\"\n").unwrap_err();
+        assert!(err.to_string().contains("identity|topology"), "{err}");
+
+        // Range validation.
+        let err = RunConfig::builder()
+            .partition(PartitionConfig {
+                coarsen_target: 1,
+                ..PartitionConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("coarsen_target"), "{err}");
+        let err = RunConfig::builder()
+            .cycles(10)
+            .partition(PartitionConfig {
+                repartition_every: 10,
+                ..PartitionConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("repartition_every"), "{err}");
+    }
+
+    #[test]
+    fn partition_policy_changes_the_canonical_hash() {
+        let plain = RunConfig::default();
+        let armed = RunConfig {
+            partition: Some(PartitionConfig::default()),
+            ..RunConfig::default()
+        };
+        assert_ne!(plain.canonical_hash(), armed.canonical_hash());
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use fault::{FaultAction, FaultCause, FaultPlan, FaultSignal, FaultState, Kil
 pub use machine::{check_nranks, run_spmd, MachineRun, MAX_RANKS};
 pub use msg::{checksum, CommClass, CommStats, Payload, RankCounters};
 pub use pool::CommBuffers;
-pub use rank::{mesh_dims, silence_fault_signal_panics, Rank, COLLECTIVE_TAG_BASE};
+pub use rank::{mesh_dims, mesh_hops, silence_fault_signal_panics, Rank, COLLECTIVE_TAG_BASE};
 pub use shm::{Wedge, Window, WindowRegistry, DEFAULT_WEDGE_TIMEOUT};

@@ -36,6 +36,18 @@ pub fn mesh_dims(n: usize) -> (usize, usize) {
     (rows, n / rows)
 }
 
+/// Manhattan hop distance between two rank ids on the simulated Delta's
+/// 2-D mesh of `nranks` nodes — the same layout [`Rank::hops_to`]
+/// charges message costs on. Exposed as a free function so preprocessing
+/// (the topology-aware partition mapper) can query the machine model
+/// without constructing ranks.
+pub fn mesh_hops(a: usize, b: usize, nranks: usize) -> u64 {
+    let (_rows, cols) = mesh_dims(nranks);
+    let (r1, c1) = (a / cols, a % cols);
+    let (r2, c2) = (b / cols, b % cols);
+    (r1.abs_diff(r2) + c1.abs_diff(c2)) as u64
+}
+
 /// Checked rank-id narrowing for wire/trace fields. Infallible once
 /// [`crate::machine::check_nranks`] has admitted the run (the cap is far
 /// below `u32::MAX`); kept checked so a future cap change cannot
@@ -62,6 +74,17 @@ pub struct Rank {
     /// Out-of-order receive buffer: messages that arrived before anyone
     /// asked for them, keyed by `(src, tag)`.
     stash: HashMap<(usize, u32), VecDeque<Payload>>,
+    /// Messages from a *future* epoch, held intact until this rank takes
+    /// its own (planned) epoch bump. Only planned migrations produce
+    /// them: a peer that reached the agreed boundary first may start its
+    /// next-epoch rebuild before this rank has finished the old epoch's
+    /// last receives. Fault epochs never land here — their `Abort`
+    /// precedes any new-epoch data on the FIFO channel and sweeps this
+    /// rank forward first.
+    future: VecDeque<Message>,
+    /// Held messages re-queued by [`Rank::advance_epoch`]; drained ahead
+    /// of the wire by the receive loop.
+    replay: VecDeque<Message>,
     barrier: Arc<Barrier>,
     /// Accounting; read back by the driver after the run.
     pub counters: RankCounters,
@@ -128,6 +151,8 @@ impl Rank {
             rx,
             txs,
             stash: HashMap::new(),
+            future: VecDeque::new(),
+            replay: VecDeque::new(),
             barrier,
             counters: RankCounters::default(),
             collective_seq: 0,
@@ -599,15 +624,24 @@ impl Rank {
                     self.recycle_payload(payload);
                     return None;
                 }
-                assert!(
-                    m.epoch == self.epoch,
-                    "rank {}: epoch {} data from rank {} before its abort \
-                     announcement (have epoch {})",
-                    self.id,
-                    m.epoch,
-                    m.src,
-                    self.epoch
-                );
+                if m.epoch > self.epoch {
+                    // A peer took the planned epoch bump first and its
+                    // rebuild traffic overtook our old epoch's tail.
+                    // Hold the message whole (sequence numbers belong to
+                    // the new epoch's reset streams) until our own
+                    // `advance_epoch` replays it. A *fault* epoch can't
+                    // land here: its abort precedes any data per-channel
+                    // and sweeps us forward on sight.
+                    self.future.push_back(Message {
+                        src: m.src,
+                        tag: m.tag,
+                        epoch: m.epoch,
+                        seq: m.seq,
+                        crc: m.crc,
+                        payload,
+                    });
+                    return None;
+                }
                 let key = Self::stream_key(m.src, m.tag);
                 let want = *self.recv_seq.entry(key).or_insert(0);
                 if m.seq < want {
@@ -642,24 +676,28 @@ impl Rank {
             }
         }
         loop {
-            let m = match self.recv_timeout {
-                None => match self.rx.recv() {
-                    Ok(m) => m,
-                    Err(_) => unreachable!("all senders hung up while receiving"),
-                },
-                Some(window) => match self.rx.recv_timeout(window) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => {
-                        // Silent loss (or a quiesced network): nothing
-                        // arrived within the detection window. Value-safe
-                        // even if spurious — recovery rolls back to a
-                        // checkpoint either way.
-                        self.raise_recovery(self.epoch + 1, FaultCause::Timeout)
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        panic!("all senders hung up while receiving")
-                    }
-                },
+            let m = if let Some(m) = self.replay.pop_front() {
+                m
+            } else {
+                match self.recv_timeout {
+                    None => match self.rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => unreachable!("all senders hung up while receiving"),
+                    },
+                    Some(window) => match self.rx.recv_timeout(window) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Silent loss (or a quiesced network): nothing
+                            // arrived within the detection window. Value-safe
+                            // even if spurious — recovery rolls back to a
+                            // checkpoint either way.
+                            self.raise_recovery(self.epoch + 1, FaultCause::Timeout)
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            panic!("all senders hung up while receiving")
+                        }
+                    },
+                }
             };
             if let Some((s, t, p)) = self.sieve(m) {
                 if s == src && t == tag {
@@ -729,18 +767,21 @@ impl Rank {
             "recovery epoch must advance: {} -> {epoch}",
             self.epoch
         );
+        // Held planned-migration traffic is at most one epoch ahead of
+        // the old epoch; a fault at or past that boundary dooms it (its
+        // sender gets swept into the fault epoch and resends), so it is
+        // discarded like the stash.
+        let future = std::mem::take(&mut self.future);
+        for m in future {
+            self.recycle_payload(m.payload);
+        }
+        let replay = std::mem::take(&mut self.replay);
+        for m in replay {
+            self.recycle_payload(m.payload);
+        }
         self.epoch = epoch;
         self.counters.recoveries += 1;
-        let stash = std::mem::take(&mut self.stash);
-        for (_, q) in stash {
-            for p in q {
-                self.recycle_payload(p);
-            }
-        }
-        self.send_seq.clear();
-        self.recv_seq.clear();
-        self.outstanding.clear();
-        self.collective_seq = 0;
+        self.reset_streams();
         let dead = self.dead_ranks();
         for dst in 0..self.nranks {
             if dst != self.id {
@@ -767,6 +808,48 @@ impl Rank {
                 });
             }
         }
+    }
+
+    /// Silently advance to `epoch` — the planned-migration variant of
+    /// [`Rank::begin_recovery`]. Every rank reaches the same committed
+    /// boundary by construction and bumps independently, so there is no
+    /// `Abort` broadcast (nobody needs sweeping), no recovery count, and
+    /// no rollback. Messages a faster peer already sent from the new
+    /// epoch were held by the sieve; they are re-queued here for the new
+    /// epoch's receives.
+    pub fn advance_epoch(&mut self, epoch: u32) {
+        assert!(
+            epoch > self.epoch,
+            "epoch must advance: {} -> {epoch}",
+            self.epoch
+        );
+        self.epoch = epoch;
+        self.reset_streams();
+        let future = std::mem::take(&mut self.future);
+        for m in future {
+            assert!(
+                m.epoch == epoch,
+                "held message from epoch {} replayed into epoch {epoch}",
+                m.epoch
+            );
+            self.replay.push_back(m);
+        }
+    }
+
+    /// Shared epoch-entry reset: discard all buffered old-epoch traffic
+    /// (recycling its storage), reset every stream's sequence numbers and
+    /// the collective counter, and forget lent pack buffers.
+    fn reset_streams(&mut self) {
+        let stash = std::mem::take(&mut self.stash);
+        for (_, q) in stash {
+            for p in q {
+                self.recycle_payload(p);
+            }
+        }
+        self.send_seq.clear();
+        self.recv_seq.clear();
+        self.outstanding.clear();
+        self.collective_seq = 0;
     }
 
     /// Build a fresh [`Rank`] handle that takes over dead rank `vid`'s

@@ -60,6 +60,12 @@ fn push_event(out: &mut String, tid: u32, s: &Stamped, phase_names: &[&str]) {
         Event::RecoveryEnd { epoch } => format!(
             "{{\"name\": \"recovery\", \"cat\": \"recovery\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"epoch\": {epoch}}}}}",
         ),
+        Event::RepartitionBegin { cycle } => format!(
+            "{{\"name\": \"repartition\", \"cat\": \"repart\", \"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}}}}}",
+        ),
+        Event::RepartitionEnd { cycle } => format!(
+            "{{\"name\": \"repartition\", \"cat\": \"repart\", \"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}}}}}",
+        ),
         Event::GuardVerdict { cycle, severity } => format!(
             "{{\"name\": \"guard-verdict\", \"cat\": \"guard\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"args\": {{\"cycle\": {cycle}, \"severity\": {severity}}}}}",
         ),
@@ -139,10 +145,12 @@ pub fn summary_table(lanes: &[Lane], phase_names: &[&str], top_n: usize) -> Stri
     let ndropped: u64 = lanes.iter().map(|l| l.dropped).sum();
 
     for (li, lane) in lanes.iter().enumerate() {
-        // Open-span stacks: one per phase index, plus checkpoint/recovery.
-        let mut open: Vec<Vec<u64>> = vec![Vec::new(); phase_names.len().max(16) + 2];
-        let ck = open.len() - 2;
-        let rec = open.len() - 1;
+        // Open-span stacks: one per phase index, plus
+        // checkpoint/recovery/repartition.
+        let mut open: Vec<Vec<u64>> = vec![Vec::new(); phase_names.len().max(16) + 3];
+        let ck = open.len() - 3;
+        let rec = open.len() - 2;
+        let rep = open.len() - 1;
         for s in &lane.events {
             match s.ev {
                 Event::PhaseBegin { phase } => open[phase as usize].push(s.ts_ns),
@@ -176,6 +184,18 @@ pub fn summary_table(lanes: &[Lane], phase_names: &[&str], top_n: usize) -> Stri
                         spans.push(SpanRec {
                             lane: li,
                             name: "recovery",
+                            phase: None,
+                            begin_ns: b,
+                            dur_ns: s.ts_ns - b,
+                        });
+                    }
+                }
+                Event::RepartitionBegin { .. } => open[rep].push(s.ts_ns),
+                Event::RepartitionEnd { .. } => {
+                    if let Some(b) = open[rep].pop() {
+                        spans.push(SpanRec {
+                            lane: li,
+                            name: "repartition",
                             phase: None,
                             begin_ns: b,
                             dur_ns: s.ts_ns - b,
@@ -326,6 +346,25 @@ mod tests {
         }]);
         let json = chrome_trace(&[l], &[]);
         assert!(json.contains("\"from\": 30.0, \"to\": 7.5"), "{json}");
+    }
+
+    #[test]
+    fn repartition_spans_export_and_summarize() {
+        let l = lane(vec![
+            Stamped {
+                ts_ns: 1_000,
+                ev: Event::RepartitionBegin { cycle: 20 },
+            },
+            Stamped {
+                ts_ns: 4_000_000,
+                ev: Event::RepartitionEnd { cycle: 20 },
+            },
+        ]);
+        let json = chrome_trace(std::slice::from_ref(&l), &["exchange"]);
+        assert!(json.contains("\"name\": \"repartition\", \"cat\": \"repart\", \"ph\": \"B\""));
+        assert!(json.contains("\"cycle\": 20"));
+        let table = summary_table(&[l], &["exchange"], 3);
+        assert!(table.contains("repartition"), "{table}");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 ///
 /// Span pairs ([`Event::PhaseBegin`]/[`Event::PhaseEnd`],
 /// [`Event::CheckpointBegin`]/[`Event::CheckpointEnd`],
-/// [`Event::RecoveryBegin`]/[`Event::RecoveryEnd`]) nest properly per
-/// lane; the rest are instants.
+/// [`Event::RecoveryBegin`]/[`Event::RecoveryEnd`],
+/// [`Event::RepartitionBegin`]/[`Event::RepartitionEnd`]) nest properly
+/// per lane; the rest are instants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A solver phase (dense [`index`](Event::PhaseBegin::phase) into the
@@ -65,6 +66,17 @@ pub enum Event {
     RecoveryEnd {
         /// The recovery epoch that was entered.
         epoch: u32,
+    },
+    /// A planned mid-run repartition (checkpoint + epoch bump + rebuild
+    /// against a new partition plan + restore) started on this rank.
+    RepartitionBegin {
+        /// Committed-cycle boundary the repartition runs at.
+        cycle: u64,
+    },
+    /// The repartition finished; cycling resumes on the new layout.
+    RepartitionEnd {
+        /// Committed-cycle boundary the repartition ran at.
+        cycle: u64,
     },
     /// The health guard agreed on a non-healthy verdict for a cycle.
     GuardVerdict {

@@ -50,6 +50,12 @@ pub fn encode(s: &Stamped) -> String {
         Event::RecoveryEnd { epoch } => {
             format!("{{\"ts\":{ts},\"ev\":\"recovery-end\",\"epoch\":{epoch}}}")
         }
+        Event::RepartitionBegin { cycle } => {
+            format!("{{\"ts\":{ts},\"ev\":\"repartition-begin\",\"cycle\":{cycle}}}")
+        }
+        Event::RepartitionEnd { cycle } => {
+            format!("{{\"ts\":{ts},\"ev\":\"repartition-end\",\"cycle\":{cycle}}}")
+        }
         Event::GuardVerdict { cycle, severity } => format!(
             "{{\"ts\":{ts},\"ev\":\"guard-verdict\",\"cycle\":{cycle},\"severity\":{severity}}}"
         ),
@@ -117,6 +123,12 @@ pub fn decode(line: &str) -> Option<Stamped> {
         "recovery-end" => Event::RecoveryEnd {
             epoch: field_u64(line, "epoch")?.try_into().ok()?,
         },
+        "repartition-begin" => Event::RepartitionBegin {
+            cycle: field_u64(line, "cycle")?,
+        },
+        "repartition-end" => Event::RepartitionEnd {
+            cycle: field_u64(line, "cycle")?,
+        },
         "guard-verdict" => Event::GuardVerdict {
             cycle: field_u64(line, "cycle")?,
             severity: field_u64(line, "severity")?.try_into().ok()?,
@@ -153,6 +165,8 @@ mod tests {
             Event::CheckpointEnd { cycle: 12 },
             Event::RecoveryBegin { epoch: 2 },
             Event::RecoveryEnd { epoch: 2 },
+            Event::RepartitionBegin { cycle: 40 },
+            Event::RepartitionEnd { cycle: 40 },
             Event::GuardVerdict {
                 cycle: 9,
                 severity: 255,

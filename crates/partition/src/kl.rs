@@ -91,7 +91,7 @@ pub fn kl_refine(
 mod tests {
     use super::*;
     use crate::quality::PartitionQuality;
-    use crate::{random_partition, rsb_partition};
+    use crate::{random_partition, FlatRsb, PartitionOptions, Partitioner};
     use eul3d_mesh::gen::unit_box;
 
     #[test]
@@ -116,7 +116,10 @@ mod tests {
     fn kl_does_not_hurt_a_good_partition() {
         let m = unit_box(6, 0.15, 4);
         let nparts = 4;
-        let mut parts = rsb_partition(m.nverts(), &m.edges, nparts, 40, 1);
+        let mut parts = FlatRsb
+            .partition(m.nverts(), &m.edges, &PartitionOptions::new(nparts).seed(1))
+            .unwrap()
+            .assignment;
         let before = PartitionQuality::compute(&parts, nparts, &m.edges);
         kl_refine(m.nverts(), &m.edges, &mut parts, nparts, 1.10, 8);
         let after = PartitionQuality::compute(&parts, nparts, &m.edges);

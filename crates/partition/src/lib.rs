@@ -14,20 +14,27 @@
 
 //! ```
 //! use eul3d_mesh::gen::unit_box;
-//! use eul3d_partition::{color_edges, validate_coloring, rsb_partition, PartitionQuality};
+//! use eul3d_partition::{
+//!     color_edges, validate_coloring, MultilevelRsb, PartitionOptions, Partitioner,
+//! };
 //!
 //! let mesh = unit_box(4, 0.15, 7);
 //! // §3.1: recurrence-free edge groups for the vector/parallel path.
 //! let coloring = color_edges(&mesh);
 //! assert!(validate_coloring(&mesh, &coloring).is_ok());
-//! // §4.1: recursive spectral bisection for the distributed path.
-//! let parts = rsb_partition(mesh.nverts(), &mesh.edges, 4, 30, 1);
-//! let quality = PartitionQuality::compute(&parts, 4, &mesh.edges);
-//! assert!(quality.max_imbalance < 1.2);
+//! // §4.1 modernized: multilevel spectral bisection for the
+//! // distributed path, via the Partitioner trait.
+//! let opts = PartitionOptions::new(4).seed(1);
+//! let plan = MultilevelRsb.partition(mesh.nverts(), &mesh.edges, &opts).unwrap();
+//! assert!(plan.balance < 1.2);
+//! assert!(plan.edge_cut > 0);
 //! ```
 
+pub mod api;
 pub mod coloring;
 pub mod kl;
+pub mod mapping;
+pub mod multilevel;
 pub mod parallel;
 pub mod partitioned;
 pub mod quality;
@@ -36,14 +43,24 @@ pub mod reorder;
 pub mod rsb;
 pub mod spectral;
 
+pub use api::{
+    FlatRsb, MultilevelRsb, PartitionError, PartitionOptions, PartitionPlan, Partitioner,
+    RankMapping,
+};
 pub use coloring::{color_edges, validate_coloring, EdgeColoring};
 pub use kl::kl_refine;
+pub use mapping::{comm_matrix, hop_volume, topology_mapping};
+pub use multilevel::{
+    coarsen, heavy_edge_matching, multilevel_bisect, rebalance_bisection, MultilevelParams,
+    WeightedGraph,
+};
 pub use parallel::parallel_rcb;
 pub use partitioned::{PartitionedMesh, RankMesh};
 pub use quality::PartitionQuality;
 pub use rcb::rcb_partition;
+#[allow(deprecated)]
 pub use rsb::rsb_partition;
-pub use spectral::fiedler_vector;
+pub use spectral::{fiedler_vector, fiedler_vector_tol, FiedlerSolve};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

@@ -1,0 +1,626 @@
+//! Multilevel recursive spectral bisection, the parRSB recipe the paper's
+//! §6 asks for: flat RSB runs Lanczos on the *full* graph at every
+//! recursion level, which is why the paper found partitioning "comparable
+//! to the amount of time required for the entire flow solution". The
+//! multilevel scheme instead
+//!
+//! 1. **coarsens** by heavy-edge matching until the graph is small
+//!    (vertex and edge weights accumulate so the coarse graph is an
+//!    exact aggregate of the fine one),
+//! 2. runs the existing Lanczos/Fiedler **bisection on the coarse
+//!    graph** (weighted Laplacian, weighted-median split), and
+//! 3. **projects back** level by level, running a balance-constrained
+//!    boundary refinement pass at each level that never worsens the
+//!    weighted edge-cut.
+//!
+//! The spectral work thus happens on O(coarsen_target) vertices
+//! regardless of mesh size; everything else is linear passes.
+
+use crate::spectral::lanczos_fiedler;
+
+/// A compact undirected graph in CSR form with integer vertex and edge
+/// weights — the aggregate of a finer graph under a matching. Weights
+/// are exact counters (`u64`), so level-to-level conservation is an
+/// equality, not a tolerance.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    /// CSR row offsets (`nverts + 1` entries).
+    pub offsets: Vec<u32>,
+    /// Neighbour vertex per CSR slot.
+    pub nbrs: Vec<u32>,
+    /// Edge weight per CSR slot (both directions carry the weight).
+    pub ewts: Vec<u64>,
+    /// Vertex weights (fine vertices represented by each vertex).
+    pub vwts: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Build with unit vertex and edge weights from an undirected edge
+    /// list — the finest level of a multilevel hierarchy.
+    pub fn unit_from_edges(nverts: usize, edges: &[[u32; 2]]) -> WeightedGraph {
+        let mut counts = vec![0u32; nverts + 1];
+        for &[a, b] in edges {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        for i in 0..nverts {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut nbrs = vec![0u32; offsets[nverts] as usize];
+        let mut cursor = offsets.clone();
+        for &[a, b] in edges {
+            nbrs[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            nbrs[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        let ewts = vec![1u64; nbrs.len()];
+        WeightedGraph {
+            offsets,
+            nbrs,
+            ewts,
+            vwts: vec![1u64; nverts],
+        }
+    }
+
+    pub fn nverts(&self) -> usize {
+        self.vwts.len()
+    }
+
+    /// Neighbour ids and edge weights of `v`.
+    pub fn adj(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        self.nbrs[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.ewts[lo..hi].iter().copied())
+    }
+
+    /// Total vertex weight — conserved exactly across coarsening.
+    pub fn total_vweight(&self) -> u64 {
+        self.vwts.iter().sum()
+    }
+
+    /// Total edge weight (each undirected edge counted once).
+    pub fn total_eweight(&self) -> u64 {
+        self.ewts.iter().sum::<u64>() / 2
+    }
+
+    /// `y = L_w x` with the weighted Laplacian `L_w = D_w − A_w`.
+    fn laplacian_matvec(&self, x: &[f64], y: &mut [f64]) {
+        for v in 0..self.nverts() {
+            let mut acc = 0.0;
+            for (u, w) in self.adj(v) {
+                let w = w as f64;
+                acc += w * (x[v] - x[u as usize]);
+            }
+            y[v] = acc;
+        }
+    }
+}
+
+/// Deterministic heavy-edge matching: visit vertices in index order and
+/// pair each unmatched vertex with its unmatched neighbour of maximum
+/// edge weight (ties broken toward the smallest neighbour index).
+/// Returns `mate[v]` — the partner, or `v` itself when unmatched — so
+/// the result is an involution: `mate[mate[v]] == v`.
+///
+/// `max_weight` caps the combined vertex weight of a matched pair
+/// (pass `u64::MAX` for no cap). Without a cap, an aggregate vertex's
+/// edges grow heavy, it keeps winning matches, and it snowballs into a
+/// single vertex holding most of the graph — which no weighted-median
+/// split can then balance.
+pub fn heavy_edge_matching(g: &WeightedGraph, max_weight: u64) -> Vec<u32> {
+    let n = g.nverts();
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    for v in 0..n {
+        if matched[v] {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for (u, w) in g.adj(v) {
+            if u as usize == v || matched[u as usize] {
+                continue;
+            }
+            if g.vwts[v].saturating_add(g.vwts[u as usize]) > max_weight {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bw, bu)) => w > bw || (w == bw && u < bu),
+            };
+            if better {
+                best = Some((w, u));
+            }
+        }
+        if let Some((_, u)) = best {
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+            matched[v] = true;
+            matched[u as usize] = true;
+        }
+    }
+    mate
+}
+
+/// Collapse a matching into the coarse graph. Returns the coarse graph
+/// and the fine→coarse vertex map. Coarse vertices are numbered by
+/// first appearance in fine index order, so the construction is fully
+/// deterministic. Vertex weights add across each pair; parallel edges
+/// between the same coarse pair merge with summed weights; the matched
+/// edge itself collapses into the new vertex (no self-loop).
+pub fn coarsen(g: &WeightedGraph, mate: &[u32]) -> (WeightedGraph, Vec<u32>) {
+    let n = g.nverts();
+    let mut cmap = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n {
+        if cmap[v] != u32::MAX {
+            continue;
+        }
+        cmap[v] = nc;
+        let m = mate[v] as usize;
+        if m != v {
+            cmap[m] = nc;
+        }
+        nc += 1;
+    }
+    let nc = nc as usize;
+
+    let mut vwts = vec![0u64; nc];
+    for v in 0..n {
+        vwts[cmap[v] as usize] += g.vwts[v];
+    }
+
+    // Aggregate adjacency per coarse vertex with a dense scatter slate —
+    // O(E) total, deterministic neighbour order (first touch in fine
+    // CSR order). The inverse map gives each coarse vertex its 1–2 fine
+    // members.
+    let mut member_of = vec![[u32::MAX; 2]; nc];
+    for (v, &cv) in cmap.iter().enumerate() {
+        let c = cv as usize;
+        if member_of[c][0] == u32::MAX {
+            member_of[c][0] = v as u32;
+        } else {
+            member_of[c][1] = v as u32;
+        }
+    }
+    let mut offsets = vec![0u32; nc + 1];
+    let mut nbrs: Vec<u32> = Vec::with_capacity(g.nbrs.len());
+    let mut ewts: Vec<u64> = Vec::with_capacity(g.nbrs.len());
+    let mut slot = vec![u32::MAX; nc]; // coarse nbr -> index into this row
+    let mut touched: Vec<u32> = Vec::with_capacity(16);
+    for cv in 0..nc {
+        for &v in member_of[cv].iter().filter(|&&v| v != u32::MAX) {
+            for (u, w) in g.adj(v as usize) {
+                let cu = cmap[u as usize];
+                if cu as usize == cv {
+                    continue; // matched edge collapses; no self-loop
+                }
+                if slot[cu as usize] == u32::MAX {
+                    slot[cu as usize] = nbrs.len() as u32;
+                    nbrs.push(cu);
+                    ewts.push(w);
+                    touched.push(cu);
+                } else {
+                    ewts[slot[cu as usize] as usize] += w;
+                }
+            }
+        }
+        for &cu in &touched {
+            slot[cu as usize] = u32::MAX;
+        }
+        touched.clear();
+        offsets[cv + 1] = nbrs.len() as u32;
+    }
+
+    (
+        WeightedGraph {
+            offsets,
+            nbrs,
+            ewts,
+            vwts,
+        },
+        cmap,
+    )
+}
+
+/// Weighted edge-cut of a two-sided split.
+pub fn bisection_cut(g: &WeightedGraph, side: &[bool]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.nverts() {
+        for (u, w) in g.adj(v) {
+            if (u as usize) > v && side[v] != side[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// One balance-constrained boundary-refinement sweep per pass: move a
+/// vertex to the other side only when the move strictly reduces the
+/// weighted cut (gain = external − internal connectivity > 0) and the
+/// receiving side stays under its weight cap. Strictly-positive gains
+/// mean the pass **never worsens the cut** — the invariant the
+/// proptests pin down. Returns the number of vertices moved.
+pub fn refine_bisection(
+    g: &WeightedGraph,
+    side: &mut [bool],
+    target_left: u64,
+    balance_tol: f64,
+    passes: usize,
+) -> usize {
+    let n = g.nverts();
+    let total: u64 = g.total_vweight();
+    let target_right = total - target_left;
+    let cap = |target: u64| ((target as f64 * balance_tol).floor() as u64).max(1);
+    let (cap_left, cap_right) = (cap(target_left), cap(target_right));
+
+    let mut weight_left: u64 = (0..n).filter(|&v| side[v]).map(|v| g.vwts[v]).sum();
+    let mut count_left = side.iter().filter(|&&s| s).count();
+
+    let mut moved_total = 0usize;
+    for _pass in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let home_left = side[v];
+            // Keep both sides nonempty.
+            if home_left && count_left <= 1 {
+                continue;
+            }
+            if !home_left && n - count_left <= 1 {
+                continue;
+            }
+            let mut internal = 0u64;
+            let mut external = 0u64;
+            for (u, w) in g.adj(v) {
+                if side[u as usize] == home_left {
+                    internal += w;
+                } else {
+                    external += w;
+                }
+            }
+            if external <= internal {
+                continue;
+            }
+            let vw = g.vwts[v];
+            let fits = if home_left {
+                weight_left - vw >= 1 && total - (weight_left - vw) <= cap_right
+            } else {
+                weight_left + vw <= cap_left
+            };
+            if !fits {
+                continue;
+            }
+            side[v] = !home_left;
+            if home_left {
+                weight_left -= vw;
+                count_left -= 1;
+            } else {
+                weight_left += vw;
+                count_left += 1;
+            }
+            moved += 1;
+        }
+        moved_total += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    moved_total
+}
+
+/// Force the split back under the balance caps: while one side exceeds
+/// its cap, move across the vertex with the best (possibly negative)
+/// cut gain whose move strictly shrinks the overshoot. Unlike
+/// [`refine_bisection`] this may increase the cut — it trades cut for
+/// the balance guarantee after projecting a coarse split whose
+/// aggregate vertices were too lumpy to balance. Returns moves made.
+pub fn rebalance_bisection(
+    g: &WeightedGraph,
+    side: &mut [bool],
+    target_left: u64,
+    balance_tol: f64,
+) -> usize {
+    let n = g.nverts();
+    let total = g.total_vweight();
+    let target_right = total - target_left;
+    let cap = |target: u64| ((target as f64 * balance_tol).floor() as u64).max(1);
+    let (cap_left, cap_right) = (cap(target_left), cap(target_right));
+    let overshoot =
+        |wl: u64| (wl.saturating_sub(cap_left)).max((total - wl).saturating_sub(cap_right));
+
+    let mut weight_left: u64 = (0..n).filter(|&v| side[v]).map(|v| g.vwts[v]).sum();
+    let mut count_left = side.iter().filter(|&&s| s).count();
+    let mut moves = 0usize;
+    while overshoot(weight_left) > 0 {
+        let from_left = weight_left > cap_left;
+        if from_left && count_left <= 1 {
+            break;
+        }
+        if !from_left && n - count_left <= 1 {
+            break;
+        }
+        // Best gain among moves that strictly shrink the overshoot.
+        let mut best: Option<(i64, usize)> = None;
+        for v in 0..n {
+            if side[v] != from_left {
+                continue;
+            }
+            let vw = g.vwts[v];
+            let new_left = if from_left {
+                weight_left - vw
+            } else {
+                weight_left + vw
+            };
+            if overshoot(new_left) >= overshoot(weight_left) {
+                continue;
+            }
+            // gain = external − internal: the cut reduction if v moves.
+            let mut gain = 0i64;
+            for (u, w) in g.adj(v) {
+                if side[u as usize] == from_left {
+                    gain -= w as i64;
+                } else {
+                    gain += w as i64;
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain > bg,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        let Some((_, v)) = best else { break };
+        side[v] = !from_left;
+        if from_left {
+            weight_left -= g.vwts[v];
+            count_left -= 1;
+        } else {
+            weight_left += g.vwts[v];
+            count_left += 1;
+        }
+        moves += 1;
+    }
+    moves
+}
+
+/// Tuning knobs of one multilevel bisection (shared across the whole
+/// recursive partition).
+#[derive(Debug, Clone, Copy)]
+pub struct MultilevelParams {
+    /// Stop coarsening once the graph has at most this many vertices.
+    pub coarsen_target: usize,
+    /// Refinement sweeps per level during uncoarsening.
+    pub refine_passes: usize,
+    /// Per-side weight cap as a multiple of the side's target weight.
+    pub balance_tol: f64,
+    /// Lanczos iteration cap for the coarse-graph Fiedler solve.
+    pub lanczos_iters: usize,
+    /// Fiedler residual tolerance (0.0 = run to the cap).
+    pub tolerance: f64,
+    /// Seed for the Lanczos start vector.
+    pub seed: u64,
+}
+
+/// Split `g` into two sides with target left weight
+/// `total · w_left / (w_left + w_right)` by coarsen → Fiedler-bisect →
+/// uncoarsen-with-refinement. Returns the side mask (`true` = left) and
+/// the Lanczos iterations spent on the coarse solve.
+pub fn multilevel_bisect(
+    g: &WeightedGraph,
+    w_left: usize,
+    w_right: usize,
+    p: &MultilevelParams,
+) -> (Vec<bool>, usize) {
+    // Coarsening phase: stop at the target size or when matching stalls
+    // (shrink factor worse than 0.95 means the graph is essentially
+    // unmatchable — star graphs and the like).
+    let mut maps: Vec<Vec<u32>> = Vec::new();
+    let mut owned: Vec<WeightedGraph> = Vec::new();
+    // METIS-style aggregate cap: no coarse vertex may hold more than
+    // ~1.5× the average coarsest-level share, so the weighted-median
+    // split always has pieces fine enough to balance with.
+    let max_pair_weight =
+        ((g.total_vweight().saturating_mul(3)) / (2 * p.coarsen_target.max(2) as u64)).max(2);
+    loop {
+        let cur: &WeightedGraph = owned.last().unwrap_or(g);
+        if cur.nverts() <= p.coarsen_target.max(2) {
+            break;
+        }
+        let mate = heavy_edge_matching(cur, max_pair_weight);
+        let (coarse, cmap) = coarsen(cur, &mate);
+        if (coarse.nverts() as f64) > 0.95 * cur.nverts() as f64 {
+            break;
+        }
+        maps.push(cmap);
+        owned.push(coarse);
+    }
+    // Finest-first level view without cloning any graph.
+    let levels: Vec<&WeightedGraph> = std::iter::once(g).chain(owned.iter()).collect();
+
+    let coarsest = *levels.last().unwrap();
+    let nc = coarsest.nverts();
+    let total = coarsest.total_vweight();
+    let target_left = (total as u128 * w_left as u128 / (w_left + w_right) as u128) as u64;
+
+    // Fiedler split of the coarse graph at the weighted median.
+    let solve = lanczos_fiedler(
+        nc,
+        |x, y| coarsest.laplacian_matvec(x, y),
+        p.lanczos_iters,
+        p.tolerance,
+        p.seed,
+    );
+    let f = &solve.vector;
+    let mut order: Vec<u32> = (0..nc as u32).collect();
+    order.sort_by(|&a, &b| {
+        f[a as usize]
+            .partial_cmp(&f[b as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut side = vec![false; nc];
+    let mut acc = 0u64;
+    for &v in &order {
+        if acc >= target_left {
+            break;
+        }
+        let w = coarsest.vwts[v as usize];
+        // Stop short when overshooting would hurt balance more than
+        // undershooting: |left − target| ≤ max vertex weight / 2.
+        if acc + w > target_left && (acc + w - target_left) > (target_left - acc) {
+            break;
+        }
+        side[v as usize] = true;
+        acc += w;
+    }
+    // Degenerate guards: both sides must be nonempty.
+    if side.iter().all(|&s| s) {
+        side[order[nc - 1] as usize] = false;
+    }
+    if side.iter().all(|&s| !s) {
+        side[order[0] as usize] = true;
+    }
+
+    // Uncoarsening: at each level restore the balance caps first (the
+    // coarse split can be lumpy), then run the cut-monotone boundary
+    // refinement. At the finest level vertices are unit weight, so the
+    // rebalance always lands inside the tolerance band.
+    let nlevels = levels.len();
+    rebalance_bisection(levels[nlevels - 1], &mut side, target_left, p.balance_tol);
+    refine_bisection(
+        levels[nlevels - 1],
+        &mut side,
+        target_left,
+        p.balance_tol,
+        p.refine_passes,
+    );
+    for l in (0..nlevels - 1).rev() {
+        let fine = levels[l];
+        let cmap = &maps[l];
+        let mut fine_side = vec![false; fine.nverts()];
+        for v in 0..fine.nverts() {
+            fine_side[v] = side[cmap[v] as usize];
+        }
+        side = fine_side;
+        rebalance_bisection(fine, &mut side, target_left, p.balance_tol);
+        refine_bisection(fine, &mut side, target_left, p.balance_tol, p.refine_passes);
+    }
+    (side, solve.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_graph(nx: usize, ny: usize) -> (usize, Vec<[u32; 2]>) {
+        let id = |x: usize, y: usize| (y * nx + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push([id(x, y), id(x + 1, y)]);
+                }
+                if y + 1 < ny {
+                    edges.push([id(x, y), id(x, y + 1)]);
+                }
+            }
+        }
+        (nx * ny, edges)
+    }
+
+    fn params() -> MultilevelParams {
+        MultilevelParams {
+            coarsen_target: 16,
+            refine_passes: 4,
+            balance_tol: 1.1,
+            lanczos_iters: 40,
+            tolerance: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn matching_is_an_involution_of_adjacent_pairs() {
+        let (n, edges) = grid_graph(8, 6);
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        let mate = heavy_edge_matching(&g, u64::MAX);
+        for v in 0..n {
+            let m = mate[v] as usize;
+            assert_eq!(mate[m] as usize, v, "mate is an involution");
+            if m != v {
+                assert!(
+                    g.adj(v).any(|(u, _)| u as usize == m),
+                    "matched pair ({v},{m}) must be adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_conserves_weights() {
+        let (n, edges) = grid_graph(10, 10);
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        let mate = heavy_edge_matching(&g, u64::MAX);
+        let (coarse, cmap) = coarsen(&g, &mate);
+        assert_eq!(coarse.total_vweight(), g.total_vweight());
+        // Edge weight: fine total = coarse total + weight collapsed
+        // inside matched pairs.
+        let mut collapsed = 0u64;
+        for v in 0..n {
+            for (u, w) in g.adj(v) {
+                if (u as usize) > v && cmap[v] == cmap[u as usize] {
+                    collapsed += w;
+                }
+            }
+        }
+        assert_eq!(coarse.total_eweight() + collapsed, g.total_eweight());
+        assert!(coarse.nverts() < n);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_cut() {
+        let (n, edges) = grid_graph(12, 5);
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        // A deliberately bad interleaved split.
+        let mut side: Vec<bool> = (0..n).map(|v| v % 2 == 0).collect();
+        let before = bisection_cut(&g, &side);
+        refine_bisection(&g, &mut side, g.total_vweight() / 2, 1.2, 8);
+        let after = bisection_cut(&g, &side);
+        assert!(after <= before, "cut went {before} -> {after}");
+        assert!(after < before, "interleave should improve a grid");
+    }
+
+    #[test]
+    fn multilevel_bisect_splits_a_grid_cleanly() {
+        let (n, edges) = grid_graph(16, 8);
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        let (side, iters) = multilevel_bisect(&g, 1, 1, &params());
+        let left = side.iter().filter(|&&s| s).count();
+        assert!(iters > 0);
+        assert!(
+            (left as f64 - n as f64 / 2.0).abs() <= n as f64 * 0.11,
+            "balance: {left}/{n}"
+        );
+        // A 16x8 grid's optimal bisection cuts 8 edges; multilevel
+        // should land near it, far below an interleaved split.
+        let cut = bisection_cut(&g, &side);
+        assert!(cut <= 24, "cut {cut}");
+    }
+
+    #[test]
+    fn multilevel_bisect_deterministic() {
+        let (n, edges) = grid_graph(11, 9);
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        let a = multilevel_bisect(&g, 1, 1, &params());
+        let b = multilevel_bisect(&g, 1, 1, &params());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

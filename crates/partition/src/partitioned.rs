@@ -166,12 +166,19 @@ impl PartitionedMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rsb::rsb_partition;
+    use crate::{FlatRsb, PartitionOptions, Partitioner};
     use eul3d_mesh::gen::unit_box;
 
     fn split_box(n: usize, nparts: usize) -> (TetMesh, PartitionedMesh) {
         let m = unit_box(n, 0.15, 8);
-        let parts = rsb_partition(m.nverts(), &m.edges, nparts, 25, 3);
+        let parts = FlatRsb
+            .partition(
+                m.nverts(),
+                &m.edges,
+                &PartitionOptions::new(nparts).seed(3).lanczos_iters(25),
+            )
+            .unwrap()
+            .assignment;
         let pm = PartitionedMesh::build(&m, &parts, nparts);
         (m, pm)
     }

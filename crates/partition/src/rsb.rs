@@ -8,10 +8,13 @@
 //! *expensive* — comparable to a whole flow solution — which our Table-2
 //! harness reports too.
 
-use crate::spectral::{fiedler_vector, Graph};
+use crate::spectral::{fiedler_vector_tol, Graph};
 
 /// Partition `nverts` vertices connected by `edges` into `nparts` pieces
 /// by recursive spectral bisection. Returns the part id of every vertex.
+#[deprecated(
+    note = "use the `Partitioner` trait: `FlatRsb.partition(nverts, edges, &PartitionOptions::new(nparts))`"
+)]
 pub fn rsb_partition(
     nverts: usize,
     edges: &[[u32; 2]],
@@ -19,12 +22,33 @@ pub fn rsb_partition(
     lanczos_iters: usize,
     seed: u64,
 ) -> Vec<u32> {
+    rsb_with_stats(nverts, edges, nparts, lanczos_iters, 0.0, seed).0
+}
+
+/// The flat-RSB driver behind both the deprecated free function and the
+/// [`crate::FlatRsb`] partitioner: recursion over induced subgraphs,
+/// with the per-bisection Lanczos iteration counts summed for the plan.
+/// With `tol == 0.0` and the same `lanczos_iters`/`seed`, the assignment
+/// is byte-identical to the historical `rsb_partition`.
+pub(crate) fn rsb_with_stats(
+    nverts: usize,
+    edges: &[[u32; 2]],
+    nparts: usize,
+    lanczos_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> (Vec<u32>, usize) {
     assert!(nparts >= 1);
     let mut parts = vec![0u32; nverts];
+    let mut fiedler_iters = 0usize;
     if nparts == 1 || nverts == 0 {
-        return parts;
+        return (parts, fiedler_iters);
     }
     let all: Vec<u32> = (0..nverts as u32).collect();
+    // Scratch global→local map shared across bisections: each bisection
+    // overwrites the slots of exactly the vertices it owns, and its edge
+    // list touches no others, so stale entries are never read.
+    let mut local_of = vec![0u32; nverts];
     let mut stack = vec![(all, edges.to_vec(), 0u32, nparts)];
     while let Some((verts, sub_edges, base, np)) = stack.pop() {
         if np == 1 || verts.len() <= 1 {
@@ -35,37 +59,51 @@ pub fn rsb_partition(
         }
         let np_left = np / 2;
         let np_right = np - np_left;
-        let (left, right, le, re) =
-            bisect(&verts, &sub_edges, np_left, np_right, lanczos_iters, seed);
+        let (left, right, le, re, iters) = bisect(
+            &verts,
+            &sub_edges,
+            np_left,
+            np_right,
+            lanczos_iters,
+            tol,
+            seed,
+            &mut local_of,
+        );
+        fiedler_iters += iters;
         stack.push((left, le, base, np_left));
         stack.push((right, re, base + np_left as u32, np_right));
     }
-    parts
+    (parts, fiedler_iters)
 }
 
 /// Bisect one vertex subset along its Fiedler vector at the weighted
-/// median. Returns the two subsets and the edge lists induced on each.
+/// median. Returns the two subsets, the edge lists induced on each, and
+/// the Lanczos iterations the Fiedler solve used.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn bisect(
     verts: &[u32],
     edges: &[[u32; 2]],
     w_left: usize,
     w_right: usize,
     lanczos_iters: usize,
+    tol: f64,
     seed: u64,
-) -> (Vec<u32>, Vec<u32>, Vec<[u32; 2]>, Vec<[u32; 2]>) {
+    local_of: &mut [u32],
+) -> (Vec<u32>, Vec<u32>, Vec<[u32; 2]>, Vec<[u32; 2]>, usize) {
     let n = verts.len();
-    // Local renumbering for the subgraph.
-    let mut local_of = std::collections::HashMap::with_capacity(n);
+    // Local renumbering for the subgraph, through the caller's dense
+    // scratch map (every edge endpoint is in `verts` by construction).
     for (l, &g) in verts.iter().enumerate() {
-        local_of.insert(g, l as u32);
+        local_of[g as usize] = l as u32;
     }
     let local_edges: Vec<[u32; 2]> = edges
         .iter()
-        .filter_map(|&[a, b]| Some([*local_of.get(&a)?, *local_of.get(&b)?]))
+        .map(|&[a, b]| [local_of[a as usize], local_of[b as usize]])
         .collect();
     let g = Graph::from_edges(n, &local_edges);
-    let f = fiedler_vector(&g, lanczos_iters, seed);
+    let solve = fiedler_vector_tol(&g, lanczos_iters, tol, seed);
+    let f = solve.vector;
 
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
@@ -91,7 +129,7 @@ fn bisect(
             _ => {} // cut edge: dropped from both induced subgraphs
         }
     }
-    (left, right, le, re)
+    (left, right, le, re, solve.iterations)
 }
 
 #[cfg(test)]
@@ -100,10 +138,15 @@ mod tests {
     use crate::quality::PartitionQuality;
     use eul3d_mesh::gen::unit_box;
 
+    /// Flat RSB through the modern entry point, positional-style.
+    fn flat(nverts: usize, edges: &[[u32; 2]], nparts: usize, iters: usize, seed: u64) -> Vec<u32> {
+        rsb_with_stats(nverts, edges, nparts, iters, 0.0, seed).0
+    }
+
     #[test]
     fn rsb_balances_a_box() {
         let m = unit_box(6, 0.15, 2);
-        let p = rsb_partition(m.nverts(), &m.edges, 4, 30, 1);
+        let p = flat(m.nverts(), &m.edges, 4, 30, 1);
         let q = PartitionQuality::compute(&p, 4, &m.edges);
         assert!(q.max_imbalance < 1.10, "imbalance {:?}", q);
         assert!(q.cut_edges > 0);
@@ -121,7 +164,7 @@ mod tests {
     #[test]
     fn rsb_handles_non_power_of_two() {
         let m = unit_box(5, 0.1, 3);
-        let p = rsb_partition(m.nverts(), &m.edges, 3, 25, 2);
+        let p = flat(m.nverts(), &m.edges, 3, 25, 2);
         let q = PartitionQuality::compute(&p, 3, &m.edges);
         assert!(q.max_imbalance < 1.15, "{q:?}");
         for r in 0..3u32 {
@@ -132,7 +175,7 @@ mod tests {
     #[test]
     fn rsb_single_part_is_identity() {
         let m = unit_box(3, 0.0, 0);
-        let p = rsb_partition(m.nverts(), &m.edges, 1, 10, 0);
+        let p = flat(m.nverts(), &m.edges, 1, 10, 0);
         assert!(p.iter().all(|&x| x == 0));
     }
 
@@ -141,7 +184,7 @@ mod tests {
         // On a box graph the spectral split should be roughly geometric:
         // the two halves' centroids must be well separated.
         let m = unit_box(6, 0.0, 0);
-        let p = rsb_partition(m.nverts(), &m.edges, 2, 40, 4);
+        let p = flat(m.nverts(), &m.edges, 2, 40, 4);
         let centroid = |part: u32| {
             let pts: Vec<_> = m
                 .coords

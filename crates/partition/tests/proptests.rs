@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 use eul3d_partition::coloring::color_edge_list;
 use eul3d_partition::reorder::{random_order, rcm_order};
-use eul3d_partition::{kl_refine, rsb_partition, PartitionQuality};
+use eul3d_partition::{
+    coarsen, heavy_edge_matching, kl_refine, multilevel_bisect, FlatRsb, MultilevelParams,
+    MultilevelRsb, PartitionOptions, PartitionQuality, Partitioner, WeightedGraph,
+};
 
 /// A connected random graph: spanning tree + `extra` random edges.
 fn arb_graph(n: usize) -> impl Strategy<Value = Vec<[u32; 2]>> {
@@ -67,10 +70,112 @@ proptest! {
     #[test]
     fn rsb_on_random_graphs(edges in arb_graph(40), nparts in 2usize..6) {
         let n = 40;
-        let parts = rsb_partition(n, &edges, nparts, 25, 3);
-        prop_assert_eq!(parts.len(), n);
-        let q = PartitionQuality::compute(&parts, nparts, &edges);
+        let opts = PartitionOptions::new(nparts).lanczos_iters(25).seed(3);
+        let plan = FlatRsb.partition(n, &edges, &opts).unwrap();
+        prop_assert_eq!(plan.assignment.len(), n);
+        let q = PartitionQuality::compute(&plan.assignment, nparts, &edges);
         prop_assert!(q.max_imbalance < 1.4, "imbalance {}", q.max_imbalance);
+        prop_assert_eq!(plan.edge_cut, q.cut_edges);
+    }
+
+    /// Heavy-edge matching is a valid matching: an involution whose
+    /// matched pairs are actual graph edges.
+    #[test]
+    fn matching_valid_on_random_graphs(edges in arb_graph(32)) {
+        let g = WeightedGraph::unit_from_edges(32, &edges);
+        let mate = heavy_edge_matching(&g, u64::MAX);
+        prop_assert_eq!(mate.len(), 32);
+        for v in 0..32u32 {
+            let m = mate[v as usize];
+            prop_assert_eq!(mate[m as usize], v, "mate[] must be an involution");
+            if m != v {
+                prop_assert!(
+                    g.adj(v as usize).any(|(u, _)| u == m),
+                    "matched pair ({v},{m}) is not an edge"
+                );
+            }
+        }
+    }
+
+    /// Coarsening conserves both vertex weight and (edge weight +
+    /// collapsed matched-pair weight) exactly, level to level.
+    #[test]
+    fn coarsen_conserves_weight_on_random_graphs(edges in arb_graph(40)) {
+        let g = WeightedGraph::unit_from_edges(40, &edges);
+        let mate = heavy_edge_matching(&g, u64::MAX);
+        let (cg, cmap) = coarsen(&g, &mate);
+        prop_assert_eq!(cg.total_vweight(), g.total_vweight());
+        let collapsed: u64 = (0..40u32)
+            .filter(|&v| mate[v as usize] > v)
+            .map(|v| {
+                g.adj(v as usize)
+                    .find(|&(u, _)| u == mate[v as usize])
+                    .map(|(_, w)| w)
+                    .unwrap_or(0)
+            })
+            .sum();
+        prop_assert_eq!(cg.total_eweight() + collapsed, g.total_eweight());
+        for v in 0..40usize {
+            prop_assert!((cmap[v] as usize) < cg.nverts());
+            prop_assert_eq!(cmap[v], cmap[mate[v] as usize]);
+        }
+    }
+
+    /// Multilevel bisection balance stays within the configured
+    /// tolerance band of flat RSB's: both sides nonempty and neither
+    /// side exceeds the tolerance-scaled target.
+    #[test]
+    fn multilevel_bisect_balanced_on_random_graphs(edges in arb_graph(48), seed in 0u64..20) {
+        let n = 48usize;
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        let p = MultilevelParams {
+            coarsen_target: 8,
+            refine_passes: 4,
+            balance_tol: 1.10,
+            lanczos_iters: 30,
+            tolerance: 0.0,
+            seed,
+        };
+        let (side, _iters) = multilevel_bisect(&g, 1, 1, &p);
+        let left = side.iter().filter(|&&s| s).count();
+        let right = n - left;
+        prop_assert!(left > 0 && right > 0);
+        // Weighted split with tol 1.10 on unit weights: each side at
+        // most ceil(1.10 * n/2) + 1 vertices (slack for the last move).
+        let cap = ((n as f64 / 2.0) * 1.10).ceil() as usize + 1;
+        prop_assert!(left <= cap && right <= cap, "split {left}/{right} vs cap {cap}");
+    }
+
+    /// Boundary refinement never worsens the bisection cut, from any
+    /// starting split on any graph.
+    #[test]
+    fn refine_never_worsens_on_random_graphs(edges in arb_graph(40), seed in 0u64..50) {
+        use eul3d_partition::multilevel::{bisection_cut, refine_bisection};
+        let n = 40usize;
+        let g = WeightedGraph::unit_from_edges(n, &edges);
+        // A random (likely bad) initial split, roughly half-half.
+        let start = eul3d_partition::random_partition(n, 2, seed);
+        let mut side: Vec<bool> = start.iter().map(|&p| p == 0).collect();
+        if side.iter().all(|&s| s) { side[0] = false; }
+        if side.iter().all(|&s| !s) { side[0] = true; }
+        let before = bisection_cut(&g, &side);
+        refine_bisection(&g, &mut side, g.total_vweight() / 2, 1.3, 6);
+        let after = bisection_cut(&g, &side);
+        prop_assert!(after <= before, "refine worsened cut {before} -> {after}");
+        prop_assert!(side.iter().any(|&s| s) && side.iter().any(|&s| !s));
+    }
+
+    /// Same seed, same inputs: the full PartitionPlan is byte-identical
+    /// for both partitioner implementations.
+    #[test]
+    fn plans_deterministic_on_random_graphs(edges in arb_graph(36), nparts in 2usize..5, seed in 0u64..20) {
+        let opts = PartitionOptions::new(nparts).lanczos_iters(25).seed(seed);
+        let a = FlatRsb.partition(36, &edges, &opts).unwrap();
+        let b = FlatRsb.partition(36, &edges, &opts).unwrap();
+        prop_assert_eq!(a, b);
+        let c = MultilevelRsb.partition(36, &edges, &opts).unwrap();
+        let d = MultilevelRsb.partition(36, &edges, &opts).unwrap();
+        prop_assert_eq!(c, d);
     }
 
     /// KL refinement never increases the cut and keeps every part

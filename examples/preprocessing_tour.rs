@@ -12,7 +12,9 @@ use eul3d::mesh::gen::{bump_channel, BumpSpec};
 use eul3d::mesh::stats::MeshStats;
 use eul3d::mesh::InterpOps;
 use eul3d::partition::reorder::{apply_vertex_order, mean_edge_span, rcm_order, shuffle_vertices};
-use eul3d::partition::{color_edges, rsb_partition, validate_coloring, PartitionQuality};
+use eul3d::partition::{
+    color_edges, validate_coloring, FlatRsb, PartitionOptions, PartitionQuality, Partitioner,
+};
 
 fn main() {
     // 1. Mesh generation (stand-in for the advancing-front generator).
@@ -47,8 +49,11 @@ fn main() {
 
     // 4. Partitioning for the distributed path (RSB, reference [10]).
     let nparts = 8;
-    let parts = rsb_partition(mesh.nverts(), &mesh.edges, nparts, 40, 1);
-    let q = PartitionQuality::compute(&parts, nparts, &mesh.edges);
+    let opts = PartitionOptions::new(nparts).lanczos_iters(40).seed(1);
+    let plan = FlatRsb
+        .partition(mesh.nverts(), &mesh.edges, &opts)
+        .unwrap();
+    let q = PartitionQuality::compute(&plan.assignment, nparts, &mesh.edges);
     println!(
         "4. RSB into {nparts}: cut {:.1}% of edges, imbalance {:.3}, surface/volume {:.2}",
         100.0 * q.cut_fraction,

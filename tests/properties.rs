@@ -8,7 +8,9 @@ use eul3d::mesh::gen::{bump_channel, unit_box, BumpSpec};
 use eul3d::mesh::search::Locator;
 use eul3d::mesh::stats::MeshStats;
 use eul3d::mesh::InterpOps;
-use eul3d::partition::{color_edges, rsb_partition, validate_coloring, PartitionQuality};
+use eul3d::partition::{
+    color_edges, validate_coloring, FlatRsb, PartitionOptions, PartitionQuality, Partitioner,
+};
 use eul3d::solver::level::{time_step, LevelState};
 use eul3d::solver::SolverConfig;
 use eul3d::solver::{PhaseCounters, SerialExecutor};
@@ -61,7 +63,8 @@ proptest! {
     #[test]
     fn rsb_always_balanced(n in 3usize..6, nparts in 2usize..9, seed in 0u64..100) {
         let m = unit_box(n, 0.15, seed);
-        let parts = rsb_partition(m.nverts(), &m.edges, nparts, 25, seed);
+        let opts = PartitionOptions::new(nparts).lanczos_iters(25).seed(seed);
+        let parts = FlatRsb.partition(m.nverts(), &m.edges, &opts).unwrap().assignment;
         prop_assert!(parts.iter().all(|&p| (p as usize) < nparts));
         let q = PartitionQuality::compute(&parts, nparts, &m.edges);
         prop_assert!(q.max_imbalance < 1.35, "imbalance {}", q.max_imbalance);
